@@ -1,0 +1,112 @@
+// Ablation: localized flag exchange (BNB arbiters) vs global ranking
+// (Koppelman-style adder trees) as the per-stage decision mechanism.
+//
+// The paper's Section 5.3 credits the BNB's savings to "the splitting
+// needs only local bit informations.  Each node of splitter needs two bits
+// from its two children and one bit from its parent for decision", versus
+// the SRPN's ranking circuit of multi-bit adders.  This bench quantifies
+// that design axis with both mechanisms built over the SAME GBN skeleton:
+//
+//   * decision hardware per stage (1-bit function nodes vs log P-bit adders,
+//     also expanded to raw gate counts);
+//   * decision depth per stage (function-node levels vs adder levels, and
+//     gate levels after expanding each adder to a ripple add).
+#include <cstdio>
+
+#include "baselines/koppelman.hpp"
+#include "common/math_util.hpp"
+#include "common/table.hpp"
+#include "core/arbiter.hpp"
+#include "core/complexity.hpp"
+#include "perm/generators.hpp"
+
+namespace {
+
+using bnb::TablePrinter;
+
+// Gate model: our Fig. 5 node is 4 gates, 2 levels deep (measured in
+// test_function_node).  A log P-bit ripple adder node is ~5 gates per bit
+// (full adder) and log P carry levels deep.
+constexpr std::uint64_t kFnGates = 4;
+constexpr std::uint64_t kFnLevels = 2;
+constexpr std::uint64_t kGatesPerAdderBit = 5;
+
+void decision_hardware() {
+  std::puts("== Decision hardware on the same GBN skeleton ==");
+  TablePrinter t({"N", "BNB fn nodes", "BNB gates", "ranking adders",
+                  "adder gates", "gate ratio"});
+  for (unsigned m = 3; m <= 14; ++m) {
+    const std::uint64_t N = bnb::pow2(m);
+    // BNB: all arbiters of all BSNs (Eq. 6's C_FN part).
+    const std::uint64_t fn = bnb::model::bnb_cost_exact(N, 0).fn;
+    // Ranking: one (P-1)-node adder tree per block per main stage, adders
+    // are log P bits wide at a P-line block.
+    std::uint64_t adders = 0;
+    std::uint64_t adder_gates = 0;
+    for (unsigned i = 0; i < m; ++i) {
+      const std::uint64_t blocks = bnb::pow2(i);
+      const std::uint64_t P = bnb::pow2(m - i);
+      adders += blocks * (P - 1);
+      adder_gates += blocks * (P - 1) * (m - i) * kGatesPerAdderBit;
+    }
+    const std::uint64_t fn_gates = fn * kFnGates;
+    t.add_row({TablePrinter::num(N), TablePrinter::num(fn),
+               TablePrinter::num(fn_gates), TablePrinter::num(adders),
+               TablePrinter::num(adder_gates),
+               TablePrinter::ratio(static_cast<double>(adder_gates) /
+                                   static_cast<double>(fn_gates))});
+  }
+  t.print();
+  std::puts("(local flags need a constant-size node; global ranks pay log P");
+  std::puts(" bits of adder per tree node)");
+}
+
+void decision_depth() {
+  std::puts("\n== Decision depth along the critical stage sequence ==");
+  TablePrinter t({"N", "BNB fn levels", "BNB gate levels", "rank adder levels",
+                  "rank gate levels", "gate-level ratio"});
+  for (unsigned m = 3; m <= 14; ++m) {
+    const std::uint64_t N = bnb::pow2(m);
+    const std::uint64_t fn_levels = bnb::model::bnb_delay_fn_units(N);  // Eq. 8
+    // Ranking trees: 2 log P adder levels per main stage; each level is a
+    // log P-bit ripple add = log P gate levels.
+    std::uint64_t adder_levels = 0;
+    std::uint64_t adder_gate_levels = 0;
+    for (unsigned i = 0; i < m; ++i) {
+      const unsigned p = m - i;
+      adder_levels += 2ULL * p;
+      adder_gate_levels += 2ULL * p * p;
+    }
+    t.add_row({TablePrinter::num(N), TablePrinter::num(fn_levels),
+               TablePrinter::num(fn_levels * kFnLevels),
+               TablePrinter::num(adder_levels),
+               TablePrinter::num(adder_gate_levels),
+               TablePrinter::ratio(static_cast<double>(adder_gate_levels) /
+                                   static_cast<double>(fn_levels * kFnLevels))});
+  }
+  t.print();
+}
+
+void measured_ranking_work() {
+  std::puts("\n== Measured ranking work of the rank-and-route SRPN (per route) ==");
+  TablePrinter t({"N", "adder ops", "adder depth", "BNB fn levels (Eq.8)"});
+  for (unsigned m = 3; m <= 12; ++m) {
+    const std::uint64_t N = bnb::pow2(m);
+    const bnb::KoppelmanSrpn srpn(m);
+    const auto r = srpn.route(bnb::identity_perm(N));
+    t.add_row({TablePrinter::num(N), TablePrinter::num(r.adder_ops),
+               TablePrinter::num(r.adder_depth),
+               TablePrinter::num(bnb::model::bnb_delay_fn_units(N))});
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main() {
+  std::puts("BNB network -- ablation: local flags vs global ranking\n");
+  decision_hardware();
+  decision_depth();
+  measured_ranking_work();
+  return 0;
+}

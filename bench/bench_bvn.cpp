@@ -1,0 +1,77 @@
+// Birkhoff-von Neumann scheduling study (extension): serving demand
+// matrices with the self-routing fabric.
+//
+// Sweeps port count and load, reporting decomposition size (vs Birkhoff's
+// N^2-2N+2 bound), matching work, schedule length (always the optimal
+// max-line-sum), and end-to-end audited delivery through the BNB network.
+#include <chrono>
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "fabric/bvn.hpp"
+#include "fabric/demand.hpp"
+
+namespace {
+
+using bnb::TablePrinter;
+
+void decomposition_sweep() {
+  std::puts("== Decomposition size and work vs ports and load ==");
+  TablePrinter t({"ports", "load", "cells", "slots", "Birkhoff bound",
+                  "matchings", "decompose ms"});
+  bnb::Rng rng(808);
+  for (const std::size_t n : {8UL, 16UL, 32UL, 64UL}) {
+    for (const double load : {0.5, 0.9}) {
+      bnb::DemandMatrix demand =
+          bnb::DemandMatrix::random_admissible(n, 32, load, rng);
+      if (demand.total() == 0) continue;
+      bnb::DemandMatrix padded = demand;
+      (void)padded.pad_to_capacity(padded.max_line_sum());
+
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto dec = bnb::bvn_decompose(padded);
+      const double ms =
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+              .count();
+
+      t.add_row({TablePrinter::num(static_cast<std::uint64_t>(n)),
+                 TablePrinter::num(load, 1), TablePrinter::num(demand.total()),
+                 TablePrinter::num(static_cast<std::uint64_t>(dec.slots.size())),
+                 TablePrinter::num(n * n - 2 * n + 2),
+                 TablePrinter::num(dec.matchings), TablePrinter::num(ms, 2)});
+    }
+  }
+  t.print();
+}
+
+void schedule_audit() {
+  std::puts("\n== Audited schedules through the BNB fabric ==");
+  TablePrinter t({"ports", "cells", "cell times (= frame bound)", "delivered",
+                  "demand met"});
+  bnb::Rng rng(809);
+  for (const std::size_t n : {8UL, 16UL, 32UL, 64UL}) {
+    bnb::DemandMatrix demand = bnb::DemandMatrix::random_admissible(n, 24, 0.8, rng);
+    bnb::DemandMatrix padded = demand;
+    (void)padded.pad_to_capacity(padded.max_line_sum());
+    const auto dec = bnb::bvn_decompose(padded);
+    const auto result = bnb::run_bvn_schedule(dec, demand);
+    t.add_row({TablePrinter::num(static_cast<std::uint64_t>(n)),
+               TablePrinter::num(demand.total()),
+               TablePrinter::num(result.cell_times),
+               TablePrinter::num(result.cells_delivered),
+               result.demand_met ? "yes" : "NO"});
+  }
+  t.print();
+  std::puts("(frame length equals the max line sum -- the information-theoretic");
+  std::puts(" optimum -- because the fabric serves any permutation per cell time)");
+}
+
+}  // namespace
+
+int main() {
+  std::puts("BNB network -- Birkhoff-von Neumann traffic scheduling (extension)\n");
+  decomposition_sweep();
+  schedule_audit();
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Verifies every numbered equation of Section 5 against the constructed
+// networks: Eqs. 1-6 (BNB cost), 7-9 (BNB delay), 10-12 (Batcher).
+// Each row compares the closed form with a measurement taken from a built
+// object and prints ok/MISMATCH.
+#include <cstdio>
+#include <string>
+
+#include "baselines/batcher.hpp"
+#include "common/math_util.hpp"
+#include "common/table.hpp"
+#include "core/bnb_netlist.hpp"
+#include "core/complexity.hpp"
+
+namespace {
+
+using bnb::TablePrinter;
+
+int failures = 0;
+
+std::string check(std::uint64_t measured, std::uint64_t predicted) {
+  if (measured != predicted) {
+    ++failures;
+    return "MISMATCH";
+  }
+  return "ok";
+}
+
+void verify_eq6() {
+  std::puts("== Eq. 6: C_BNB(N) closed form vs recurrence (Eq. 1-5) vs census ==");
+  TablePrinter t({"N", "w", "closed sw", "closed fn", "recurrence", "census", "verdict"});
+  for (const unsigned w : {0U, 8U}) {
+    for (unsigned m = 2; m <= 12; m += 2) {
+      const std::uint64_t N = bnb::pow2(m);
+      const auto closed = bnb::model::bnb_cost_exact(N, w);
+      const auto rec = bnb::model::bnb_cost_recurrence(N, w);
+      const auto census = bnb::BnbNetlist(m, w).census();
+      const bool rec_ok = rec == closed;
+      const bool census_ok =
+          census.switches_2x2 == closed.sw && census.function_nodes == closed.fn;
+      if (!rec_ok || !census_ok) ++failures;
+      t.add_row({TablePrinter::num(N), std::to_string(w),
+                 TablePrinter::num(closed.sw), TablePrinter::num(closed.fn),
+                 rec_ok ? "match" : "MISMATCH", census_ok ? "match" : "MISMATCH",
+                 (rec_ok && census_ok) ? "ok" : "FAIL"});
+    }
+  }
+  t.print();
+}
+
+void verify_delays() {
+  std::puts("\n== Eqs. 7-9: BNB delay closed forms vs measured critical path ==");
+  TablePrinter t({"N", "Eq.7 sw", "meas sw", "Eq.8 fn", "meas fn", "verdict"});
+  for (unsigned m = 1; m <= 10; ++m) {
+    const std::uint64_t N = bnb::pow2(m);
+    const auto d = bnb::model::bnb_delay(N);
+    const auto path = bnb::BnbNetlist(m, 0).critical_path(1.0, 1.0);
+    t.add_row({TablePrinter::num(N), TablePrinter::num(d.sw),
+               TablePrinter::num(path.units.sw), TablePrinter::num(d.fn),
+               TablePrinter::num(path.units.fn),
+               check(path.units.sw, d.sw) == "ok" && check(path.units.fn, d.fn) == "ok"
+                   ? "ok"
+                   : "FAIL"});
+  }
+  t.print();
+}
+
+void verify_batcher() {
+  std::puts("\n== Eqs. 10-12: Batcher comparators, cost and delay vs built network ==");
+  TablePrinter t({"N", "Eq.10 CE", "built CE", "Eq.12 stages", "built depth",
+                  "meas fn path", "Eq.12 fn", "verdict"});
+  for (unsigned m = 1; m <= 10; ++m) {
+    const std::uint64_t N = bnb::pow2(m);
+    const bnb::BatcherNetwork net(m);
+    const auto d = bnb::model::batcher_delay(N);
+    const auto path = net.build_delay_graph().critical_path(1.0, 1.0);
+    const bool ok = net.comparator_count() == bnb::model::batcher_comparator_count(N) &&
+                    net.depth() == bnb::model::batcher_stage_count(N) &&
+                    path.units.fn == d.fn && path.units.sw == d.sw;
+    if (!ok) ++failures;
+    t.add_row({TablePrinter::num(N),
+               TablePrinter::num(bnb::model::batcher_comparator_count(N)),
+               TablePrinter::num(net.comparator_count()),
+               TablePrinter::num(bnb::model::batcher_stage_count(N)),
+               TablePrinter::num(net.depth()), TablePrinter::num(path.units.fn),
+               TablePrinter::num(d.fn), ok ? "ok" : "FAIL"});
+  }
+  t.print();
+}
+
+void verify_eq4() {
+  std::puts("\n== Eq. 4: arbiter node count P log(P/2) - P/2 + 1 vs recurrence ==");
+  TablePrinter t({"P", "closed form", "recurrence (P-1) + 2C(P/2)", "verdict"});
+  std::uint64_t prev = 0;  // C(2) = 0
+  for (unsigned k = 2; k <= 16; ++k) {
+    const std::uint64_t P = bnb::pow2(k);
+    const std::uint64_t closed = bnb::model::nested_arbiter_cost(P);
+    const std::uint64_t rec = (P - 1) + 2 * prev;
+    t.add_row({TablePrinter::num(P), TablePrinter::num(closed),
+               TablePrinter::num(rec), check(closed, rec)});
+    prev = closed;
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main() {
+  std::puts("BNB network -- verification of Eqs. 1-12 against constructed hardware\n");
+  verify_eq6();
+  verify_delays();
+  verify_batcher();
+  verify_eq4();
+  if (failures == 0) {
+    std::puts("\nAll equations verified against constructed networks.");
+  } else {
+    std::printf("\n%d MISMATCHES FOUND\n", failures);
+  }
+  return failures == 0 ? 0 : 1;
+}

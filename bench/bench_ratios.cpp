@@ -1,0 +1,78 @@
+// Reproduces the paper's Section 5.3 / Section 6 headline claims:
+// "the network needs about one third of the hardware of the Batcher's
+// network and the routing delay time is two thirds of that of the
+// Batcher's network by the highest order term comparison".
+//
+// Sweeps N to 2^24 and prints the full-polynomial ratios converging to the
+// 1/3 and 2/3 asymptotes, plus the crossover points against Koppelman[11].
+#include <cstdio>
+
+#include "common/math_util.hpp"
+#include "common/table.hpp"
+#include "core/complexity.hpp"
+
+namespace {
+
+using bnb::TablePrinter;
+using bnb::model::NetworkKind;
+
+void hardware_ratio_sweep() {
+  std::puts("== Hardware ratio BNB / Batcher (full Eq. 6 vs Eq. 11, w = 0) ==");
+  TablePrinter t({"N", "BNB sw+fn", "Batcher sw+fn", "ratio", "asymptote"});
+  for (unsigned m = 3; m <= 24; m += 3) {
+    const std::uint64_t N = bnb::pow2(m);
+    const auto b = bnb::model::bnb_cost_exact(N, 0);
+    const auto a = bnb::model::batcher_cost(N, 0);
+    const double ratio = static_cast<double>(b.sw + b.fn) / static_cast<double>(a.sw + a.fn);
+    t.add_row({TablePrinter::num(N), TablePrinter::num(b.sw + b.fn),
+               TablePrinter::num(a.sw + a.fn), TablePrinter::ratio(ratio),
+               "1/3"});
+  }
+  t.print();
+}
+
+void delay_ratio_sweep() {
+  std::puts("\n== Delay ratio BNB / Batcher (Eq. 9 vs Eq. 12, D_SW = D_FN = 1) ==");
+  TablePrinter t({"N", "BNB delay", "Batcher delay", "ratio", "asymptote"});
+  for (unsigned m = 3; m <= 24; m += 3) {
+    const std::uint64_t N = bnb::pow2(m);
+    const auto b = bnb::model::bnb_delay(N);
+    const auto a = bnb::model::batcher_delay(N);
+    const double ratio = b.evaluate() / a.evaluate();
+    t.add_row({TablePrinter::num(N),
+               TablePrinter::num(static_cast<std::uint64_t>(b.evaluate())),
+               TablePrinter::num(static_cast<std::uint64_t>(a.evaluate())),
+               TablePrinter::ratio(ratio), "2/3"});
+  }
+  t.print();
+}
+
+void crossover_analysis() {
+  std::puts("\n== Crossovers of the published Table 2 polynomials ==");
+  TablePrinter t({"N", "BNB", "Batcher row", "Koppelman row", "winner"});
+  for (unsigned m = 2; m <= 12; ++m) {
+    const std::uint64_t N = bnb::pow2(m);
+    const double b = bnb::model::table2_delay(NetworkKind::kBnb, N);
+    const double bat = bnb::model::table2_delay(NetworkKind::kBatcher, N);
+    const double kop = bnb::model::table2_delay(NetworkKind::kKoppelman, N);
+    const char* winner = "BNB";
+    if (bat < b && bat <= kop) winner = "Batcher";
+    if (kop < b && kop < bat) winner = "Koppelman";
+    if (b <= bat && b <= kop) winner = "BNB";
+    t.add_row({TablePrinter::num(N), TablePrinter::num(b, 0),
+               TablePrinter::num(bat, 0), TablePrinter::num(kop, 0), winner});
+  }
+  t.print();
+  std::puts("(BNB's advantage is asymptotic: it ties Batcher's published row at");
+  std::puts(" N = 32 and leads all rows from N = 128 onward.)");
+}
+
+}  // namespace
+
+int main() {
+  std::puts("BNB network -- Section 5.3/6 ratio claims\n");
+  hardware_ratio_sweep();
+  delay_ratio_sweep();
+  crossover_analysis();
+  return 0;
+}

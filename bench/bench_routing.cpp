@@ -1,0 +1,103 @@
+// Wall-clock routing throughput of every permutation network in the
+// repository (google-benchmark).  Not a paper table — the paper's model is
+// gate delay — but a sanity check that the behavioral simulators scale as
+// their asymptotics promise, and a practical comparison for users of the
+// library as a software permutation router.
+#include <benchmark/benchmark.h>
+
+#include "baselines/batcher.hpp"
+#include "baselines/benes.hpp"
+#include "baselines/crossbar.hpp"
+#include "baselines/koppelman.hpp"
+#include "common/rng.hpp"
+#include "core/bnb_network.hpp"
+#include "perm/generators.hpp"
+
+namespace {
+
+bnb::Permutation test_perm(std::size_t n) {
+  bnb::Rng rng(0xBEEF ^ n);
+  return bnb::random_perm(n, rng);
+}
+
+void BM_BnbRoute(benchmark::State& state) {
+  const unsigned m = static_cast<unsigned>(state.range(0));
+  const bnb::BnbNetwork net(m);
+  const auto pi = test_perm(net.inputs());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.route(pi));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(net.inputs()));
+}
+BENCHMARK(BM_BnbRoute)->DenseRange(4, 14, 2);
+
+void BM_BatcherRoute(benchmark::State& state) {
+  const unsigned m = static_cast<unsigned>(state.range(0));
+  const bnb::BatcherNetwork net(m);
+  const auto pi = test_perm(net.inputs());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.route(pi));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(net.inputs()));
+}
+BENCHMARK(BM_BatcherRoute)->DenseRange(4, 14, 2);
+
+void BM_BenesSetupAndRoute(benchmark::State& state) {
+  const unsigned m = static_cast<unsigned>(state.range(0));
+  const bnb::BenesNetwork net(m);
+  const auto pi = test_perm(net.inputs());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.route(pi));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(net.inputs()));
+}
+BENCHMARK(BM_BenesSetupAndRoute)->DenseRange(4, 14, 2);
+
+void BM_BenesApplyOnly(benchmark::State& state) {
+  // Amortized case: the plan is precomputed once and reused.
+  const unsigned m = static_cast<unsigned>(state.range(0));
+  const bnb::BenesNetwork net(m);
+  const auto pi = test_perm(net.inputs());
+  const auto plan = net.set_up(pi);
+  std::vector<bnb::Word> words(net.inputs());
+  for (std::size_t j = 0; j < net.inputs(); ++j) {
+    words[j] = bnb::Word{pi(j), j};
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.apply_plan(plan, words));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(net.inputs()));
+}
+BENCHMARK(BM_BenesApplyOnly)->DenseRange(4, 14, 2);
+
+void BM_KoppelmanRoute(benchmark::State& state) {
+  const unsigned m = static_cast<unsigned>(state.range(0));
+  const bnb::KoppelmanSrpn net(m);
+  const auto pi = test_perm(net.inputs());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.route(pi));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(net.inputs()));
+}
+BENCHMARK(BM_KoppelmanRoute)->DenseRange(4, 14, 2);
+
+void BM_CrossbarRoute(benchmark::State& state) {
+  const unsigned m = static_cast<unsigned>(state.range(0));
+  const bnb::Crossbar net(std::size_t{1} << m);
+  const auto pi = test_perm(net.inputs());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.route(pi));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(net.inputs()));
+}
+BENCHMARK(BM_CrossbarRoute)->DenseRange(4, 14, 2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

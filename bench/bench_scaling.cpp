@@ -1,0 +1,94 @@
+// Scaling study: behavioral routing wall-clock and asymptotic fit.
+//
+// The behavioral router does O(N log^2 N) switch decisions per permutation
+// (one per 2x2 switch of the control slice).  This bench sweeps N to 2^20,
+// times route(), and prints the per-element cost — flat per-element time
+// across three orders of magnitude is the evidence that the implementation
+// has no hidden super-linear term.  Also reports the element counts and
+// peak structures the delay-graph builder allocates.
+#include <chrono>
+#include <cstdio>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/bnb_netlist.hpp"
+#include "core/bnb_network.hpp"
+#include "core/complexity.hpp"
+#include "perm/generators.hpp"
+
+namespace {
+
+using bnb::TablePrinter;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+void behavioral_scaling() {
+  std::puts("== Behavioral route() scaling ==");
+  TablePrinter t({"N", "switch decisions", "route ms", "ns/decision"});
+  bnb::Rng rng(2021);
+  for (unsigned m = 8; m <= 20; m += 2) {
+    const std::size_t n = bnb::pow2(m);
+    const bnb::BnbNetwork net(m);
+    const bnb::Permutation pi = bnb::random_perm(n, rng);
+
+    const auto t0 = Clock::now();
+    const auto r = net.route(pi);
+    const double ms = ms_since(t0);
+    if (!r.self_routed) std::puts("UNEXPECTED: misroute");
+
+    // Control-slice switches: sum over columns of N/2.
+    std::uint64_t decisions = 0;
+    for (unsigned i = 0; i < m; ++i) decisions += (n / 2) * (m - i);
+    t.add_row({TablePrinter::num(static_cast<std::uint64_t>(n)),
+               TablePrinter::num(decisions), TablePrinter::num(ms, 2),
+               TablePrinter::num(1e6 * ms / static_cast<double>(decisions), 2)});
+  }
+  t.print();
+}
+
+void structural_scaling() {
+  std::puts("\n== Structural model scaling (delay-graph build + analysis) ==");
+  TablePrinter t({"N", "DAG nodes", "build+path ms", "Eq.9 delay"});
+  for (unsigned m = 6; m <= 13; ++m) {
+    const std::size_t n = bnb::pow2(m);
+    const bnb::BnbNetlist net(m, 0);
+    const auto t0 = Clock::now();
+    const auto g = net.build_delay_graph();
+    const auto path = g.critical_path(1.0, 1.0);
+    const double ms = ms_since(t0);
+    t.add_row({TablePrinter::num(static_cast<std::uint64_t>(n)),
+               TablePrinter::num(static_cast<std::uint64_t>(g.node_count())),
+               TablePrinter::num(ms, 2), TablePrinter::num(path.delay, 0)});
+  }
+  t.print();
+}
+
+void throughput_projection() {
+  std::puts("\n== Fabric-size projection (Eq. 6 hardware at datacenter scales) ==");
+  TablePrinter t({"N", "switches (w=32)", "function nodes", "delay units",
+                  "delay vs N=64"});
+  const double base = bnb::model::bnb_delay(64).evaluate();
+  for (unsigned m = 6; m <= 20; m += 2) {
+    const std::uint64_t N = bnb::pow2(m);
+    const auto c = bnb::model::bnb_cost_exact(N, 32);
+    const auto d = bnb::model::bnb_delay(N).evaluate();
+    t.add_row({TablePrinter::num(N), TablePrinter::num(c.sw),
+               TablePrinter::num(c.fn), TablePrinter::num(d, 0),
+               TablePrinter::ratio(d / base, 1)});
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main() {
+  std::puts("BNB network -- scaling study\n");
+  behavioral_scaling();
+  structural_scaling();
+  throughput_projection();
+  return 0;
+}

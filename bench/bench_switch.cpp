@@ -1,0 +1,65 @@
+// Cell-switch latency/throughput study (extension): the classic
+// input-queued switch curves, produced by the VOQ switch running on the
+// self-routing BNB fabric.
+//
+// Sweeps offered load and reports mean/p99 latency and peak backlog —
+// the delay knee near saturation is the textbook shape; the fabric's
+// contribution is that every matched set of cells crosses in ONE pass
+// with zero configuration distribution.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "fabric/cell_switch.hpp"
+
+namespace {
+
+using bnb::TablePrinter;
+
+void latency_vs_load(unsigned m, std::uint64_t cycles) {
+  std::printf("== %zu-port switch, uniform Bernoulli traffic, %llu arrival cycles ==\n",
+              std::size_t{1} << m, static_cast<unsigned long long>(cycles));
+  TablePrinter t({"load", "offered", "delivered", "mean latency", "p99", "max",
+                  "peak backlog"});
+  const bnb::CellSwitch sw(m);
+  for (const double load : {0.1, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95}) {
+    const auto s = sw.run_uniform(load, cycles, 4242);
+    if (!s.drained) std::puts("UNEXPECTED: switch failed to drain");
+    t.add_row({TablePrinter::num(load, 2), TablePrinter::num(s.offered),
+               TablePrinter::num(s.delivered), TablePrinter::num(s.mean_latency, 2),
+               TablePrinter::num(s.p99_latency), TablePrinter::num(s.max_latency),
+               TablePrinter::num(s.peak_backlog)});
+  }
+  t.print();
+}
+
+void hotspot_study() {
+  std::puts("\n== Hotspot traffic (16 ports, load 0.6, growing share to output 0) ==");
+  TablePrinter t({"hot share", "load on output 0", "drained", "final backlog",
+                  "mean latency"});
+  const bnb::CellSwitch sw(4);
+  for (const double share : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+    // Output-0 utilisation: load * N * share + load * (1-share) (uniform part).
+    const double hot_util = 0.6 * 16 * share + 0.6 * (1 - share);
+    const auto s = sw.run_hotspot(0.6, share, 2000, 777, /*max_drain_cycles=*/2000);
+    t.add_row({TablePrinter::num(share, 2), TablePrinter::num(hot_util, 2),
+               s.drained ? "yes" : "NO", TablePrinter::num(s.final_backlog),
+               TablePrinter::num(s.mean_latency, 2)});
+  }
+  t.print();
+  std::puts("(once output 0's utilisation crosses 1.0 the traffic is inadmissible:");
+  std::puts(" no fabric can help, and the hotspot VOQs grow without bound)");
+}
+
+}  // namespace
+
+int main() {
+  std::puts("BNB network -- VOQ cell-switch study (extension)\n");
+  latency_vs_load(4, 4000);
+  std::puts("");
+  latency_vs_load(6, 2000);
+  hotspot_study();
+  std::puts("\n(the latency knee near load 0.9+ is head-of-line pressure in the");
+  std::puts(" single-iteration matcher, not the fabric: the BNB serves every");
+  std::puts(" granted permutation in one pass at any load)");
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Structure explorer: prints the constructions behind the paper's figures.
+//
+//   Fig. 1 — the 8-input generalized baseline network B(3, SB);
+//   Fig. 2/3 — the BNB nesting profile (main stages, NB(i,l), BSN slices);
+//   Fig. 4 — an 8-input splitter routing a concrete input, with the
+//            arbiter's up/down signals and the resulting switch settings;
+//   Fig. 5 — the function node's truth table.
+//
+// Run with no arguments for the paper's N = 8; pass a power of two to
+// explore other sizes (structure dumps stay at N <= 32 for readability).
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "core/arbiter.hpp"
+#include "core/bnb_network.hpp"
+#include "core/complexity.hpp"
+#include "core/dot_export.hpp"
+#include "core/gbn.hpp"
+#include "core/splitter.hpp"
+#include "core/trace_render.hpp"
+#include "perm/generators.hpp"
+
+namespace {
+
+void show_fig1(unsigned m) {
+  std::puts("---- Fig. 1: the generalized baseline network ----");
+  const bnb::GbnTopology g(m);
+  std::fputs(g.describe().c_str(), stdout);
+  std::puts("");
+}
+
+void show_fig3(unsigned m) {
+  std::puts("---- Fig. 2/3: the BNB nesting profile ----");
+  const bnb::BnbNetwork net(m);
+  std::fputs(net.describe().c_str(), stdout);
+  std::puts("");
+}
+
+void show_fig4() {
+  std::puts("---- Fig. 4: an 8-input splitter, sp(3), routing 1,1,0,1,0,0,1,0 ----");
+  const bnb::Splitter sp(3);
+  const std::vector<std::uint8_t> in{1, 1, 0, 1, 0, 0, 1, 0};
+
+  bnb::Arbiter::Trace trace;
+  const bnb::Arbiter arb(3);
+  (void)arb.compute_flags(in, &trace);
+  std::puts("arbiter tree (heap order; node 1 = root):");
+  for (std::size_t v = 1; v < 8; ++v) {
+    std::printf("  node %zu: z_u=%u  z_d=%u\n", v, trace.up[v], trace.down[v]);
+  }
+
+  const auto r = sp.route(in);
+  std::puts("switch column:");
+  for (std::size_t t = 0; t < 4; ++t) {
+    std::printf("  sw %zu: inputs (%u,%u) flags (%u,%u) -> %s\n", t, in[2 * t],
+                in[2 * t + 1], r.flags[2 * t], r.flags[2 * t + 1],
+                r.controls[t] ? "exchange" : "straight");
+  }
+  std::printf("outputs: ");
+  for (const auto b : r.out_bits) std::printf("%u ", b);
+  std::puts("");
+  std::size_t even = 0;
+  std::size_t odd = 0;
+  for (std::size_t j = 0; j < 8; ++j) {
+    if (r.out_bits[j]) ((j % 2 == 0) ? even : odd)++;
+  }
+  std::printf("M_e = %zu, M_o = %zu (Definition 3 satisfied)\n\n", even, odd);
+}
+
+void show_fig5() {
+  std::puts("---- Fig. 5: the function node ----");
+  std::puts(" x1 x2 z_d | z_u y1 y2");
+  for (const unsigned x1 : {0U, 1U}) {
+    for (const unsigned x2 : {0U, 1U}) {
+      for (const unsigned zd : {0U, 1U}) {
+        const auto out = bnb::function_node(x1, x2, zd);
+        std::printf("  %u  %u  %u  |  %u   %u  %u\n", x1, x2, zd, out.z_u, out.y1,
+                    out.y2);
+      }
+    }
+  }
+  std::puts("");
+}
+
+void show_trace(unsigned m) {
+  if (m > 3) return;  // keep the dump readable
+  std::puts("---- A routing trace (Theorem 2 in action) ----");
+  const bnb::BnbNetwork net(m);
+  bnb::Rng rng(1991);
+  std::fputs(bnb::render_trace(net, bnb::random_perm(net.inputs(), rng)).c_str(),
+             stdout);
+  std::puts("");
+}
+
+void show_dot_hint(unsigned m) {
+  std::puts("---- Graphviz export ----");
+  std::printf("splitter_to_dot(3) yields %zu chars; bnb_profile_to_dot(%u) yields %zu\n",
+              bnb::splitter_to_dot(3).size(), m, bnb::bnb_profile_to_dot(m).size());
+  std::puts("(pipe `route_cli --dot N` into `dot -Tsvg` to draw the nesting)\n");
+}
+
+void show_complexity(unsigned m) {
+  const std::uint64_t N = bnb::pow2(m);
+  std::puts("---- Section 5 complexity summary for this size ----");
+  const auto cost = bnb::model::bnb_cost_exact(N, 0);
+  const auto delay = bnb::model::bnb_delay(N);
+  std::printf("C_BNB(%llu): %llu 2x2 switches + %llu function nodes (Eq. 6)\n",
+              static_cast<unsigned long long>(N),
+              static_cast<unsigned long long>(cost.sw),
+              static_cast<unsigned long long>(cost.fn));
+  std::printf("D_BNB(%llu): %llu D_FN + %llu D_SW (Eqs. 7-9)\n",
+              static_cast<unsigned long long>(N),
+              static_cast<unsigned long long>(delay.fn),
+              static_cast<unsigned long long>(delay.sw));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t n = 8;
+  if (argc > 1) n = static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10));
+  if (!bnb::is_power_of_two(n) || n < 2) {
+    std::fprintf(stderr, "usage: %s [N]   with N a power of two >= 2\n", argv[0]);
+    return 2;
+  }
+  const unsigned m = bnb::log2_exact(n);
+
+  std::printf("==== BNB network explorer, N = %zu ====\n\n", n);
+  if (n <= 32) {
+    show_fig1(m);
+    show_fig3(m);
+  } else {
+    std::puts("(structure dumps skipped for N > 32; complexity summary below)\n");
+  }
+  show_fig4();
+  show_fig5();
+  show_trace(m);
+  show_dot_hint(m);
+  show_complexity(m);
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Command-line permutation router.
+//
+// Usage:
+//   route_cli                 # demo: random permutation on 16 lines
+//   route_cli 3 0 1 2         # route [3 0 1 2] (N inferred, power of two)
+//   route_cli --network=batcher 1 0 3 2
+//   route_cli --trace 3 1 0 2 # print the stage-by-stage radix-sort trace
+//   route_cli --dot 8         # emit the 8-input BNB profile as Graphviz
+//
+// Exit code 0 iff the permutation was routed (always, for valid input).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baselines/batcher.hpp"
+#include "baselines/benes.hpp"
+#include "baselines/koppelman.hpp"
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "core/bnb_network.hpp"
+#include "core/dot_export.hpp"
+#include "core/trace_render.hpp"
+#include "perm/generators.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--network=bnb|batcher|benes|koppelman] [--trace] "
+               "[--dot N] [image...]\n",
+               argv0);
+  return 2;
+}
+
+int emit_dot(std::size_t n) {
+  if (!bnb::is_power_of_two(n) || n < 2 || n > 2048) {
+    std::fputs("--dot needs a power of two in [2, 2048]\n", stderr);
+    return 2;
+  }
+  std::fputs(bnb::bnb_profile_to_dot(bnb::log2_exact(n)).c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string network = "bnb";
+  bool trace = false;
+  std::vector<bnb::Permutation::value_type> image;
+
+  for (int a = 1; a < argc; ++a) {
+    const char* arg = argv[a];
+    if (std::strncmp(arg, "--network=", 10) == 0) {
+      network = arg + 10;
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      trace = true;
+    } else if (std::strcmp(arg, "--dot") == 0) {
+      if (a + 1 >= argc) return usage(argv[0]);
+      return emit_dot(std::strtoull(argv[a + 1], nullptr, 10));
+    } else if (arg[0] == '-' && !(arg[1] >= '0' && arg[1] <= '9')) {
+      return usage(argv[0]);
+    } else {
+      image.push_back(static_cast<bnb::Permutation::value_type>(
+          std::strtoul(arg, nullptr, 10)));
+    }
+  }
+
+  bnb::Permutation pi;
+  if (image.empty()) {
+    bnb::Rng rng(2026);
+    pi = bnb::random_perm(16, rng);
+    std::printf("no permutation given; demo with random %s\n\n",
+                pi.to_string().c_str());
+  } else {
+    if (!bnb::is_power_of_two(image.size()) ||
+        !bnb::Permutation::is_valid_image(image)) {
+      std::fputs("input must be a permutation of 0..N-1 with N a power of two\n",
+                 stderr);
+      return 2;
+    }
+    pi = bnb::Permutation(image);
+  }
+  const unsigned m = bnb::log2_exact(pi.size());
+
+  if (trace) {
+    const bnb::BnbNetwork net(m);
+    std::fputs(bnb::render_trace(net, pi).c_str(), stdout);
+    return 0;
+  }
+
+  bool routed = false;
+  if (network == "bnb") {
+    routed = bnb::BnbNetwork(m).route(pi).self_routed;
+  } else if (network == "batcher") {
+    routed = bnb::BatcherNetwork(m).route(pi).self_routed;
+  } else if (network == "benes") {
+    routed = bnb::BenesNetwork(m).route(pi).self_routed;
+  } else if (network == "koppelman") {
+    routed = bnb::KoppelmanSrpn(m).route(pi).self_routed;
+  } else {
+    return usage(argv[0]);
+  }
+
+  std::printf("%s: %s routed %s\n", network.c_str(), pi.to_string().c_str(),
+              routed ? "OK" : "FAILED");
+  return routed ? 0 : 1;
+}

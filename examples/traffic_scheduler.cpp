@@ -1,0 +1,57 @@
+// Serving a demand MATRIX with a permutation fabric: Birkhoff-von Neumann
+// scheduling over the BNB network.
+//
+// A 32-port switch receives a frame of cell demands D(i, j).  The scheduler
+// pads D to equal line sums, decomposes it into weighted permutation slots
+// (Birkhoff's theorem), and plays the slots through the self-routing BNB
+// fabric — no per-slot configuration work, because the fabric routes any
+// permutation by itself.  Every cell delivery is audited.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "fabric/bvn.hpp"
+#include "fabric/demand.hpp"
+
+int main() {
+  const std::size_t ports = 32;
+  bnb::Rng rng(33550336);
+
+  // A frame of admissible traffic: line sums bounded by 16 cell times.
+  bnb::DemandMatrix demand =
+      bnb::DemandMatrix::random_admissible(ports, 16, 0.85, rng);
+  std::printf("32-port frame: %llu cells, max line sum %llu\n",
+              static_cast<unsigned long long>(demand.total()),
+              static_cast<unsigned long long>(demand.max_line_sum()));
+
+  // Pad to a doubly-balanced matrix and decompose.
+  bnb::DemandMatrix padded = demand;
+  const bnb::DemandMatrix filler = padded.pad_to_capacity(padded.max_line_sum());
+  const auto decomposition = bnb::bvn_decompose(padded);
+  std::printf("padding added %llu filler cells\n",
+              static_cast<unsigned long long>(filler.total()));
+  std::printf("decomposition: %zu permutation slots over %llu cell times "
+              "(%llu matchings, %llu augment steps)\n",
+              decomposition.slots.size(),
+              static_cast<unsigned long long>(decomposition.capacity),
+              static_cast<unsigned long long>(decomposition.matchings),
+              static_cast<unsigned long long>(decomposition.augmentations));
+
+  if (!bnb::decomposition_reconstructs(decomposition, padded)) {
+    std::puts("ERROR: decomposition does not reconstruct the padded matrix");
+    return 1;
+  }
+
+  // Play the schedule through the BNB fabric.
+  const auto result = bnb::run_bvn_schedule(decomposition, demand);
+  std::printf("\nfabric passes:    %llu\n",
+              static_cast<unsigned long long>(result.cell_times));
+  std::printf("cells delivered:  %llu / %llu\n",
+              static_cast<unsigned long long>(result.cells_delivered),
+              static_cast<unsigned long long>(demand.total()));
+  std::printf("demand met:       %s\n", result.demand_met ? "yes" : "NO");
+
+  if (!result.demand_met) return 1;
+  std::puts("\nevery cell of the frame delivered in max_line_sum cell times --");
+  std::puts("the optimal frame length, with zero fabric reconfiguration work");
+  return 0;
+}

@@ -1,0 +1,177 @@
+#include "baselines/banyan_equivalence.hpp"
+
+#include <string>
+#include <unordered_set>
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "core/unshuffle.hpp"
+#include "perm/generators.hpp"
+
+namespace bnb {
+
+namespace {
+
+std::size_t shuffle_line(std::size_t i, unsigned m, std::size_t n) {
+  return ((i << 1) & (n - 1)) | (i >> (m - 1));
+}
+
+}  // namespace
+
+bool banyan_admissible(BanyanKind kind, const Permutation& pi) {
+  const std::size_t n = pi.size();
+  BNB_EXPECTS(is_power_of_two(n) && n >= 2);
+  const unsigned m = log2_exact(n);
+
+  // used[k][line]: switch output `line` of stage k is taken.
+  std::vector<std::vector<bool>> used(m, std::vector<bool>(n, false));
+
+  for (std::size_t src = 0; src < n; ++src) {
+    const std::uint32_t dst = pi(src);
+    std::size_t line = src;
+    for (unsigned k = 0; k < m; ++k) {
+      if (kind == BanyanKind::kOmega) line = shuffle_line(line, m, n);
+      // The unique path exits stage k on the port named by the k-th
+      // destination bit (MSB first).
+      line = (line & ~std::size_t{1}) | bit_of(dst, m - 1 - k);
+      if (used[k][line]) return false;
+      used[k][line] = true;
+      if (kind == BanyanKind::kBaseline && k + 1 < m) {
+        line = unshuffle_index(line, m - k, m);
+      }
+    }
+    BNB_ENSURES(line == dst);  // unique-path endpoint
+  }
+  return true;
+}
+
+namespace {
+
+/// Route every line through the network under explicit switch settings;
+/// bit s*N/2 + t of `settings` controls switch t of stage s.
+Permutation apply_settings(BanyanKind kind, unsigned m, std::uint64_t settings) {
+  const std::size_t n = std::size_t{1} << m;
+  std::vector<std::size_t> line(n);
+  for (std::size_t i = 0; i < n; ++i) line[i] = i;
+
+  for (unsigned s = 0; s < m; ++s) {
+    if (kind == BanyanKind::kOmega) {
+      for (auto& l : line) l = shuffle_line(l, m, n);
+    }
+    for (auto& l : line) {
+      const std::size_t t = l / 2;
+      const std::uint64_t x = (settings >> (s * (n / 2) + t)) & 1U;
+      if (x != 0) l ^= 1U;
+    }
+    if (kind == BanyanKind::kBaseline && s + 1 < m) {
+      for (auto& l : line) l = unshuffle_index(l, m - s, m);
+    }
+  }
+
+  std::vector<Permutation::value_type> image(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    image[i] = static_cast<Permutation::value_type>(line[i]);
+  }
+  return Permutation(std::move(image));
+}
+
+std::string key_of(const Permutation& p) {
+  std::string k;
+  k.reserve(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    k.push_back(static_cast<char>(p(i)));
+  }
+  return k;
+}
+
+/// All bit-permutation relabelings (BPC with zero mask) of 2^m lines.
+std::vector<Permutation> bit_perm_relabelings(unsigned m) {
+  std::vector<Permutation> out;
+  std::vector<unsigned> bits(m);
+  for (unsigned i = 0; i < m; ++i) bits[i] = i;
+  Permutation order(m);  // iterate bit orders via next_lexicographic
+  do {
+    std::vector<unsigned> arrangement(m);
+    for (unsigned i = 0; i < m; ++i) arrangement[i] = order(i);
+    out.push_back(bpc_perm(std::size_t{1} << m, arrangement, 0));
+  } while (order.next_lexicographic());
+  return out;
+}
+
+}  // namespace
+
+std::vector<Permutation> all_realizable(BanyanKind kind, unsigned m) {
+  BNB_EXPECTS(m >= 1 && m <= 3);
+  const std::size_t switches = m * (std::size_t{1} << (m - 1));
+  std::vector<Permutation> out;
+  out.reserve(std::size_t{1} << switches);
+  for (std::uint64_t s = 0; s < (std::uint64_t{1} << switches); ++s) {
+    out.push_back(apply_settings(kind, m, s));
+  }
+  return out;
+}
+
+EquivalenceWitness find_equivalence(unsigned m, unsigned samples, std::uint64_t seed) {
+  BNB_EXPECTS(m >= 1 && m <= 4);
+  const std::size_t n = std::size_t{1} << m;
+  const auto candidates = bit_perm_relabelings(m);
+
+  // Exhaustive realizable sets for small m; sampling otherwise.
+  std::unordered_set<std::string> omega_set;
+  std::vector<Permutation> baseline_list;
+  const bool exhaustive = (m <= 3);
+  if (exhaustive) {
+    for (const auto& p : all_realizable(BanyanKind::kOmega, m)) {
+      omega_set.insert(key_of(p));
+    }
+    baseline_list = all_realizable(BanyanKind::kBaseline, m);
+  }
+
+  Rng rng(seed);
+  const std::size_t switches = m * (n / 2);
+
+  for (const auto& phi : candidates) {
+    for (const auto& psi : candidates) {
+      bool ok = true;
+      if (exhaustive) {
+        for (const auto& pi : baseline_list) {
+          // psi o pi o phi must be Omega-realizable.
+          if (omega_set.find(key_of(psi.compose(pi).compose(phi))) ==
+              omega_set.end()) {
+            ok = false;
+            break;
+          }
+        }
+        // Equal sizes + injectivity of the transform => set equality.
+      }
+      if (ok) {
+        // Randomized validation, both directions.
+        for (unsigned s = 0; ok && s < samples; ++s) {
+          const std::uint64_t setting = rng.next() & ((std::uint64_t{1} << switches) - 1);
+          const Permutation b = apply_settings(BanyanKind::kBaseline, m, setting);
+          if (!banyan_admissible(BanyanKind::kOmega, psi.compose(b).compose(phi))) {
+            ok = false;
+          }
+          const Permutation o = apply_settings(BanyanKind::kOmega, m, setting);
+          // Inverse direction: phi^{-1} o (psi^{-1} o o) must be
+          // baseline-admissible.
+          if (ok && !banyan_admissible(BanyanKind::kBaseline,
+                                       psi.inverse().compose(o).compose(phi.inverse()))) {
+            ok = false;
+          }
+        }
+      }
+      if (ok) {
+        EquivalenceWitness w;
+        w.found = true;
+        w.input_relabel = phi;
+        w.output_relabel = psi;
+        return w;
+      }
+    }
+  }
+  return EquivalenceWitness{};
+}
+
+}  // namespace bnb

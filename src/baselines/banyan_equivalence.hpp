@@ -1,0 +1,53 @@
+// Banyan admissibility and topological equivalence (reference [12],
+// Wu & Feng, "On a class of multistage interconnection networks").
+//
+// The baseline network (the BNB's skeleton) and the Omega network are
+// banyans: every (input, output) pair is joined by exactly ONE path.  Two
+// consequences drive this module:
+//
+//   * ADMISSIBILITY IS DECIDABLE IN O(N log N): a permutation routes
+//     conflict-free iff no two of its unique paths share a switch output.
+//     `banyan_admissible` computes this exactly — and must agree with the
+//     greedy destination-tag simulators (cross-checked in tests).
+//
+//   * EQUIVALENCE: Wu & Feng showed the baseline, Omega, flip and cube
+//     networks are topologically equivalent — relabeling inputs/outputs by
+//     fixed permutations maps one admissible set onto the other.
+//     `find_equivalence` searches the bit-permute relabeling family and
+//     returns a witness pair (phi, psi) with
+//         Admissible_omega = { psi o pi o phi : pi in Admissible_baseline },
+//     verified exhaustively over all 2^{switches} settings for N <= 8 and
+//     by randomized sampling beyond.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "perm/permutation.hpp"
+
+namespace bnb {
+
+enum class BanyanKind { kOmega, kBaseline };
+
+/// Exact unique-path admissibility of `pi` on the given banyan.
+[[nodiscard]] bool banyan_admissible(BanyanKind kind, const Permutation& pi);
+
+/// All permutations realizable by some switch setting (N = 2^m, m <= 3:
+/// 2^{m 2^{m-1}} settings).  Each setting yields a distinct permutation
+/// (unique-path property), so the result has exactly that many entries.
+[[nodiscard]] std::vector<Permutation> all_realizable(BanyanKind kind, unsigned m);
+
+struct EquivalenceWitness {
+  bool found = false;
+  Permutation input_relabel;   ///< phi, applied before the baseline network
+  Permutation output_relabel;  ///< psi, applied after it
+};
+
+/// Search bit-permute relabelings (phi, psi) such that for every
+/// permutation pi:  baseline admits pi  <=>  omega admits psi o pi o phi.
+/// Exhaustive verification for m <= 3; `samples` randomized checks are
+/// ALSO run (both directions) for any m.
+[[nodiscard]] EquivalenceWitness find_equivalence(unsigned m, unsigned samples = 200,
+                                                  std::uint64_t seed = 1);
+
+}  // namespace bnb

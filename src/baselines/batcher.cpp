@@ -1,0 +1,113 @@
+#include "baselines/batcher.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+
+namespace bnb {
+
+BatcherNetwork::BatcherNetwork(unsigned m) : m_(m) {
+  BNB_EXPECTS(m >= 1 && m < 26);
+  const std::size_t n = inputs();
+  // Knuth's iterative odd-even merge schedule (TAOCP vol. 3, 5.2.2M):
+  // each (p, k) pair is one parallel stage.
+  for (std::size_t p = 1; p < n; p *= 2) {
+    for (std::size_t k = p; k >= 1; k /= 2) {
+      std::vector<Comparator> stage;
+      for (std::size_t j = k % p; j + k < n; j += 2 * k) {
+        for (std::size_t i = 0; i < std::min(k, n - j - k); ++i) {
+          if ((i + j) / (2 * p) == (i + j + k) / (2 * p)) {
+            stage.push_back(Comparator{static_cast<std::uint32_t>(i + j),
+                                       static_cast<std::uint32_t>(i + j + k)});
+          }
+        }
+      }
+      comparator_count_ += stage.size();
+      stages_.push_back(std::move(stage));
+    }
+  }
+}
+
+BatcherNetwork::Result BatcherNetwork::route_words(std::span<const Word> words) const {
+  const std::size_t n = inputs();
+  BNB_EXPECTS(words.size() == n);
+
+  Result r;
+  r.outputs.assign(words.begin(), words.end());
+  std::vector<std::uint32_t> where(n);
+  for (std::size_t j = 0; j < n; ++j) where[j] = static_cast<std::uint32_t>(j);
+
+  for (const auto& stage : stages_) {
+    for (const auto& c : stage) {
+      if (r.outputs[c.low].address > r.outputs[c.high].address) {
+        std::swap(r.outputs[c.low], r.outputs[c.high]);
+        std::swap(where[c.low], where[c.high]);
+      }
+    }
+  }
+
+  r.dest.assign(n, 0);
+  for (std::size_t line = 0; line < n; ++line) {
+    r.dest[where[line]] = static_cast<std::uint32_t>(line);
+  }
+  r.self_routed = true;
+  for (std::size_t line = 0; line < n; ++line) {
+    if (r.outputs[line].address != line) {
+      r.self_routed = false;
+      break;
+    }
+  }
+  return r;
+}
+
+BatcherNetwork::Result BatcherNetwork::route(const Permutation& pi) const {
+  BNB_EXPECTS(pi.size() == inputs());
+  std::vector<Word> words(inputs());
+  for (std::size_t j = 0; j < inputs(); ++j) {
+    words[j] = Word{pi(j), static_cast<std::uint64_t>(j)};
+  }
+  return route_words(words);
+}
+
+std::vector<std::uint64_t> BatcherNetwork::sort_keys(
+    std::span<const std::uint64_t> keys) const {
+  BNB_EXPECTS(keys.size() == inputs());
+  std::vector<std::uint64_t> v(keys.begin(), keys.end());
+  for (const auto& stage : stages_) {
+    for (const auto& c : stage) {
+      if (v[c.low] > v[c.high]) std::swap(v[c.low], v[c.high]);
+    }
+  }
+  return v;
+}
+
+sim::HardwareCensus BatcherNetwork::census(unsigned payload_bits) const {
+  sim::HardwareCensus c;
+  c.comparators = comparator_count_;
+  // Eq. 11's model: a comparator moves the whole (log N + w)-bit word
+  // through one 2x2 switch slice per bit and compares the log N address
+  // bits with log N function slices.
+  c.switches_2x2 = comparator_count_ * (m_ + payload_bits);
+  c.function_nodes = comparator_count_ * m_;
+  return c;
+}
+
+sim::DelayGraph BatcherNetwork::build_delay_graph() const {
+  sim::DelayGraph g;
+  const std::size_t n = inputs();
+  std::vector<sim::DelayGraph::NodeId> arrival(n);
+  for (auto& a : arrival) a = g.add_source();
+
+  const sim::DelayUnits kComparator{1, m_, 0};  // 1 D_SW + logN D_FN
+  for (const auto& stage : stages_) {
+    for (const auto& c : stage) {
+      const auto node = g.add_node(kComparator, {arrival[c.low], arrival[c.high]});
+      arrival[c.low] = node;
+      arrival[c.high] = node;
+    }
+  }
+  return g;
+}
+
+}  // namespace bnb

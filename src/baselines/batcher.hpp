@@ -1,0 +1,78 @@
+// Batcher's odd-even merge sorting network (paper reference [9]).
+//
+// The paper's primary comparison point: a sorting network is a self-routing
+// permutation network (sort words by destination address), at the price of
+// compare/exchange elements that examine all log N address bits at every
+// stage.  Eq. 10 counts its comparators, Eq. 11 its hardware, Eq. 12 its
+// delay; Table 1/2 set them against the BNB network.
+//
+// We construct the comparator schedule explicitly (Knuth's iterative form
+// of the odd-even merge), so the comparator count and stage depth are
+// measured properties of a built object, not formulas.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/bnb_network.hpp"  // Word
+#include "perm/permutation.hpp"
+#include "sim/census.hpp"
+#include "sim/delay_graph.hpp"
+
+namespace bnb {
+
+class BatcherNetwork {
+ public:
+  /// N = 2^m lines.  Requires 1 <= m < 26.
+  explicit BatcherNetwork(unsigned m);
+
+  [[nodiscard]] unsigned m() const noexcept { return m_; }
+  [[nodiscard]] std::size_t inputs() const noexcept { return std::size_t{1} << m_; }
+
+  /// One compare/exchange element: min(key) exits on line `low`,
+  /// max(key) on line `high`.
+  struct Comparator {
+    std::uint32_t low;
+    std::uint32_t high;
+  };
+
+  /// The comparator schedule; stages()[s] holds the parallel comparators of
+  /// stage s (disjoint lines within a stage).
+  [[nodiscard]] const std::vector<std::vector<Comparator>>& stages() const noexcept {
+    return stages_;
+  }
+  [[nodiscard]] std::size_t comparator_count() const noexcept { return comparator_count_; }
+  [[nodiscard]] std::size_t depth() const noexcept { return stages_.size(); }
+
+  struct Result {
+    std::vector<Word> outputs;
+    std::vector<std::uint32_t> dest;  ///< dest[input line] = output line
+    bool self_routed = false;
+  };
+
+  /// Use the sorter as a permutation network: words are sorted by address,
+  /// so the word addressed j exits on line j.
+  [[nodiscard]] Result route_words(std::span<const Word> words) const;
+  [[nodiscard]] Result route(const Permutation& pi) const;
+
+  /// Sort arbitrary (possibly duplicate) keys ascending; returns the keys
+  /// in output order.  Verifies the schedule really is a sorting network.
+  [[nodiscard]] std::vector<std::uint64_t> sort_keys(
+      std::span<const std::uint64_t> keys) const;
+
+  /// Hardware per Eq. 11's decomposition: each comparator carries
+  /// (log N + w) 2x2-switch slices and log N function slices.
+  [[nodiscard]] sim::HardwareCensus census(unsigned payload_bits) const;
+
+  /// Element DAG: every comparator is one node of weight
+  /// (sw = 1, fn = log N); measured counterpart of Eq. 12.
+  [[nodiscard]] sim::DelayGraph build_delay_graph() const;
+
+ private:
+  unsigned m_;
+  std::vector<std::vector<Comparator>> stages_;
+  std::size_t comparator_count_ = 0;
+};
+
+}  // namespace bnb

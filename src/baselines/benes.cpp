@@ -1,0 +1,193 @@
+#include "baselines/benes.hpp"
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+
+namespace bnb {
+
+BenesNetwork::BenesNetwork(unsigned m, bool waksman_optimized)
+    : m_(m), waksman_(waksman_optimized) {
+  BNB_EXPECTS(m >= 1 && m < 26);
+}
+
+std::uint64_t BenesNetwork::switch_count() const noexcept {
+  const std::uint64_t n = inputs();
+  if (!waksman_) return static_cast<std::uint64_t>(stage_count()) * (n / 2);
+  // Waksman: one output switch deleted per sub-network of size >= 4; there
+  // are n/4 + n/8 + ... + 1 = n/2 - 1 of those, plus... equivalently the
+  // closed form N log N - N + 1.
+  return n * m_ - n + 1;
+}
+
+BenesNetwork::Plan BenesNetwork::set_up(const Permutation& pi) const {
+  BNB_EXPECTS(pi.size() == inputs());
+  Plan plan;
+  plan.settings.assign(stage_count(),
+                       std::vector<std::uint8_t>(inputs() / 2, 0));
+  std::vector<std::uint32_t> perm(pi.image().begin(), pi.image().end());
+  set_up_rec(perm, m_, 0, 0, plan);
+  return plan;
+}
+
+void BenesNetwork::set_up_rec(std::span<const std::uint32_t> perm, unsigned k,
+                              std::size_t base, unsigned depth, Plan& plan) const {
+  const std::size_t n = std::size_t{1} << k;
+  BNB_EXPECTS(perm.size() == n);
+
+  if (k == 1) {
+    // Middle stage: a single 2x2 switch realizes the 2-line permutation.
+    plan.settings[depth][base / 2] = static_cast<std::uint8_t>(perm[0] == 1);
+    ++plan.setup_ops;
+    return;
+  }
+
+  const std::size_t half = n / 2;
+  std::vector<std::uint32_t> inv(n);
+  for (std::size_t i = 0; i < n; ++i) inv[perm[i]] = static_cast<std::uint32_t>(i);
+
+  // -1 = undecided; 0 = straight; 1 = exchange.
+  std::vector<int> in_set(half, -1);
+  std::vector<int> out_set(half, -1);
+
+  // Waksman's looping: walk each constraint cycle, alternating subnets.
+  // In the optimized construction the BOTTOM output switch (half-1) is
+  // fixed straight; starting enumeration there makes its cycle's free
+  // choice land on it, so the fixed setting is honored for free.
+  for (std::size_t idx = 0; idx < half; ++idx) {
+    const std::size_t start = waksman_ ? half - 1 - idx : idx;
+    if (out_set[start] != -1) continue;
+    out_set[start] = 0;  // free choice per loop: upper subnet feeds output 2*start
+    ++plan.setup_ops;
+
+    std::size_t o = 2 * start;  // current output line
+    int s = 0;                  // subnet that must feed line o
+    for (;;) {
+      ++plan.setup_ops;
+      const std::size_t i = inv[o];
+      const std::size_t in_sw = i / 2;
+      // Route input i through subnet s.
+      const int want_in = (i % 2 == 0) ? s : 1 - s;
+      BNB_EXPECTS(in_set[in_sw] == -1 || in_set[in_sw] == want_in);
+      in_set[in_sw] = want_in;
+
+      // The partner input is forced into the other subnet.
+      const std::size_t i2 = i ^ 1U;
+      const std::size_t o2 = perm[i2];
+      const std::size_t out_sw = o2 / 2;
+      const int feed = 1 - s;  // subnet feeding output line o2
+      const int want_out = (o2 % 2 == 0) ? feed : 1 - feed;
+      if (out_set[out_sw] != -1) {
+        BNB_EXPECTS(out_set[out_sw] == want_out);  // cycle closes consistently
+        break;
+      }
+      out_set[out_sw] = want_out;
+      // The partner output of that switch is fed by the other subnet (= s).
+      o = o2 ^ 1U;
+      // s unchanged: partner output is fed from subnet s.
+    }
+  }
+
+  // Record this level's switch settings.
+  const unsigned out_stage = 2 * m_ - 2 - depth;
+  for (std::size_t t = 0; t < half; ++t) {
+    BNB_EXPECTS(in_set[t] != -1 && out_set[t] != -1);
+    plan.settings[depth][base / 2 + t] = static_cast<std::uint8_t>(in_set[t]);
+    plan.settings[out_stage][base / 2 + t] = static_cast<std::uint8_t>(out_set[t]);
+  }
+
+  // Build the sub-permutations seen by the two half-size networks.
+  std::vector<std::uint32_t> perm_u(half), perm_l(half);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t in_sw = i / 2;
+    const int subnet = (i % 2 == 0) ? in_set[in_sw] : 1 - in_set[in_sw];
+    const std::size_t o = perm[i];
+    if (subnet == 0) {
+      perm_u[in_sw] = static_cast<std::uint32_t>(o / 2);
+    } else {
+      perm_l[in_sw] = static_cast<std::uint32_t>(o / 2);
+    }
+  }
+
+  set_up_rec(perm_u, k - 1, base, depth + 1, plan);
+  set_up_rec(perm_l, k - 1, base + half, depth + 1, plan);
+}
+
+namespace {
+// Apply the plan recursively over [base, base + 2^k).
+void apply_rec(const BenesNetwork::Plan& plan, unsigned m, unsigned k,
+               std::size_t base, unsigned depth, std::vector<Word>& lines) {
+  const std::size_t n = std::size_t{1} << k;
+  if (k == 1) {
+    if (plan.settings[depth][base / 2] != 0) std::swap(lines[base], lines[base + 1]);
+    return;
+  }
+  const std::size_t half = n / 2;
+  const unsigned out_stage = 2 * m - 2 - depth;
+
+  // Input stage: pair (2t, 2t+1) -> upper[t] / lower[t].
+  std::vector<Word> tmp(n);
+  for (std::size_t t = 0; t < half; ++t) {
+    const bool x = plan.settings[depth][base / 2 + t] != 0;
+    tmp[t] = lines[base + 2 * t + (x ? 1 : 0)];
+    tmp[half + t] = lines[base + 2 * t + (x ? 0 : 1)];
+  }
+  for (std::size_t i = 0; i < n; ++i) lines[base + i] = tmp[i];
+
+  apply_rec(plan, m, k - 1, base, depth + 1, lines);
+  apply_rec(plan, m, k - 1, base + half, depth + 1, lines);
+
+  // Output stage: upper[t] / lower[t] -> pair (2t, 2t+1).
+  for (std::size_t t = 0; t < half; ++t) {
+    const bool x = plan.settings[out_stage][base / 2 + t] != 0;
+    tmp[2 * t + (x ? 1 : 0)] = lines[base + t];
+    tmp[2 * t + (x ? 0 : 1)] = lines[base + half + t];
+  }
+  for (std::size_t i = 0; i < n; ++i) lines[base + i] = tmp[i];
+}
+}  // namespace
+
+std::vector<Word> BenesNetwork::apply_plan(const Plan& plan,
+                                           std::span<const Word> words) const {
+  BNB_EXPECTS(words.size() == inputs());
+  BNB_EXPECTS(plan.settings.size() == stage_count());
+  std::vector<Word> lines(words.begin(), words.end());
+  apply_rec(plan, m_, m_, 0, 0, lines);
+  return lines;
+}
+
+BenesNetwork::Result BenesNetwork::route_words(std::span<const Word> words) const {
+  const std::size_t n = inputs();
+  BNB_EXPECTS(words.size() == n);
+  std::vector<Permutation::value_type> addrs(n);
+  for (std::size_t j = 0; j < n; ++j) addrs[j] = words[j].address;
+  const Permutation pi(std::move(addrs));
+
+  const Plan plan = set_up(pi);
+  Result r;
+  r.setup_ops = plan.setup_ops;
+  r.outputs = apply_plan(plan, words);
+
+  r.dest.assign(n, 0);
+  r.self_routed = true;
+  for (std::size_t line = 0; line < n; ++line) {
+    if (r.outputs[line].address != line) r.self_routed = false;
+  }
+  for (std::size_t j = 0; j < n; ++j) r.dest[j] = words[j].address;
+  return r;
+}
+
+BenesNetwork::Result BenesNetwork::route(const Permutation& pi) const {
+  std::vector<Word> words(inputs());
+  for (std::size_t j = 0; j < inputs(); ++j) {
+    words[j] = Word{pi(j), static_cast<std::uint64_t>(j)};
+  }
+  return route_words(words);
+}
+
+sim::HardwareCensus BenesNetwork::census(unsigned payload_bits) const {
+  sim::HardwareCensus c;
+  c.switches_2x2 = switch_count() * (m_ + payload_bits);
+  return c;
+}
+
+}  // namespace bnb

@@ -1,0 +1,89 @@
+// Benes rearrangeable network with Waksman's looping set-up algorithm
+// (paper references [5], [6]).
+//
+// The Benes network routes every permutation with only 2logN-1 stages of
+// N/2 switches — far less hardware than any self-routing permutation
+// network — but its switches must be SET UP by a global algorithm that
+// sees the whole permutation.  The paper's introduction argues this
+// set-up overhead (O(N logN) serial work, O(log^2 N) on a parallel
+// machine) dwarfs the network itself; the BNB network removes it.
+//
+// This implementation builds the recursive switch schedule with the
+// looping algorithm, counts the set-up operations, and routes words so
+// benches can put "global routing cost" next to "self-routing cost".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/bnb_network.hpp"  // Word
+#include "perm/permutation.hpp"
+#include "sim/census.hpp"
+
+namespace bnb {
+
+class BenesNetwork {
+ public:
+  /// N = 2^m lines.  Requires 1 <= m < 26.
+  ///
+  /// With `waksman_optimized` (Waksman's construction, reference [5]) the
+  /// bottom output switch of every recursion level is fixed straight and
+  /// can be deleted from the hardware: N log N - N + 1 switches instead of
+  /// (2 log N - 1) N/2.  The looping algorithm honors the fixed switches by
+  /// starting every constraint cycle at the highest-index undecided output
+  /// switch, which assigns the forced switch its straight setting.
+  explicit BenesNetwork(unsigned m, bool waksman_optimized = false);
+
+  [[nodiscard]] bool waksman_optimized() const noexcept { return waksman_; }
+
+  /// 2x2 switches of one bit slice: (2m-1) N/2 plain, N m - N + 1 Waksman.
+  [[nodiscard]] std::uint64_t switch_count() const noexcept;
+
+  [[nodiscard]] unsigned m() const noexcept { return m_; }
+  [[nodiscard]] std::size_t inputs() const noexcept { return std::size_t{1} << m_; }
+
+  /// Stages of 2x2 switches: 2m - 1.
+  [[nodiscard]] unsigned stage_count() const noexcept { return 2 * m_ - 1; }
+
+  /// Switch settings computed by the looping algorithm:
+  /// settings[stage][switch] with 0 = straight, 1 = exchange.
+  struct Plan {
+    std::vector<std::vector<std::uint8_t>> settings;
+    /// Serial operations spent by the set-up algorithm (loop steps).
+    std::uint64_t setup_ops = 0;
+  };
+
+  /// Run Waksman's looping algorithm for `pi` (input j must reach output
+  /// pi(j)).  This is the *global* routing step the BNB network avoids.
+  [[nodiscard]] Plan set_up(const Permutation& pi) const;
+
+  struct Result {
+    std::vector<Word> outputs;
+    std::vector<std::uint32_t> dest;
+    bool self_routed = false;  ///< here: "plan routed the permutation"
+    std::uint64_t setup_ops = 0;
+  };
+
+  /// set_up + apply: route words whose addresses form a permutation.
+  [[nodiscard]] Result route_words(std::span<const Word> words) const;
+  [[nodiscard]] Result route(const Permutation& pi) const;
+
+  /// Apply an explicit plan to words (no set-up cost).
+  [[nodiscard]] std::vector<Word> apply_plan(const Plan& plan,
+                                             std::span<const Word> words) const;
+
+  /// (2m-1) * N/2 switches per bit slice, times (m + w) slices.
+  [[nodiscard]] sim::HardwareCensus census(unsigned payload_bits) const;
+
+ private:
+  // Recursive looping over lines [base, base+2^k) at recursion depth d.
+  // outer_stage = d, mirror output stage = 2m-2-d.
+  void set_up_rec(std::span<const std::uint32_t> perm, unsigned k, std::size_t base,
+                  unsigned depth, Plan& plan) const;
+
+  unsigned m_;
+  bool waksman_ = false;
+};
+
+}  // namespace bnb

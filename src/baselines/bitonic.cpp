@@ -1,0 +1,113 @@
+#include "baselines/bitonic.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+
+namespace bnb {
+
+BitonicNetwork::BitonicNetwork(unsigned m) : m_(m) {
+  BNB_EXPECTS(m >= 1 && m < 26);
+  const std::size_t n = inputs();
+  // Standard iterative bitonic schedule: block size k doubles; within a
+  // block, partners at distance j halve.  Direction alternates by the k-bit
+  // of the line index so every merged block is bitonic.
+  for (std::size_t k = 2; k <= n; k *= 2) {
+    for (std::size_t j = k / 2; j >= 1; j /= 2) {
+      std::vector<Comparator> stage;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t partner = i ^ j;
+        if (partner <= i) continue;
+        if ((i & k) == 0) {
+          stage.push_back(Comparator{static_cast<std::uint32_t>(i),
+                                     static_cast<std::uint32_t>(partner)});
+        } else {
+          stage.push_back(Comparator{static_cast<std::uint32_t>(partner),
+                                     static_cast<std::uint32_t>(i)});
+        }
+      }
+      comparator_count_ += stage.size();
+      stages_.push_back(std::move(stage));
+    }
+  }
+}
+
+std::uint64_t BitonicNetwork::comparator_count_formula(std::uint64_t N) {
+  const std::uint64_t m = log2_exact(N);
+  return (N / 2) * (m * (m + 1) / 2);
+}
+
+BitonicNetwork::Result BitonicNetwork::route_words(std::span<const Word> words) const {
+  const std::size_t n = inputs();
+  BNB_EXPECTS(words.size() == n);
+  Result r;
+  r.outputs.assign(words.begin(), words.end());
+  std::vector<std::uint32_t> where(n);
+  for (std::size_t j = 0; j < n; ++j) where[j] = static_cast<std::uint32_t>(j);
+
+  for (const auto& stage : stages_) {
+    for (const auto& c : stage) {
+      if (r.outputs[c.low].address > r.outputs[c.high].address) {
+        std::swap(r.outputs[c.low], r.outputs[c.high]);
+        std::swap(where[c.low], where[c.high]);
+      }
+    }
+  }
+
+  r.dest.assign(n, 0);
+  for (std::size_t line = 0; line < n; ++line) {
+    r.dest[where[line]] = static_cast<std::uint32_t>(line);
+  }
+  r.self_routed = true;
+  for (std::size_t line = 0; line < n; ++line) {
+    if (r.outputs[line].address != line) r.self_routed = false;
+  }
+  return r;
+}
+
+BitonicNetwork::Result BitonicNetwork::route(const Permutation& pi) const {
+  std::vector<Word> words(inputs());
+  for (std::size_t j = 0; j < inputs(); ++j) {
+    words[j] = Word{pi(j), static_cast<std::uint64_t>(j)};
+  }
+  return route_words(words);
+}
+
+std::vector<std::uint64_t> BitonicNetwork::sort_keys(
+    std::span<const std::uint64_t> keys) const {
+  BNB_EXPECTS(keys.size() == inputs());
+  std::vector<std::uint64_t> v(keys.begin(), keys.end());
+  for (const auto& stage : stages_) {
+    for (const auto& c : stage) {
+      if (v[c.low] > v[c.high]) std::swap(v[c.low], v[c.high]);
+    }
+  }
+  return v;
+}
+
+sim::HardwareCensus BitonicNetwork::census(unsigned payload_bits) const {
+  sim::HardwareCensus c;
+  c.comparators = comparator_count_;
+  c.switches_2x2 = comparator_count_ * (m_ + payload_bits);
+  c.function_nodes = comparator_count_ * m_;
+  return c;
+}
+
+sim::DelayGraph BitonicNetwork::build_delay_graph() const {
+  sim::DelayGraph g;
+  const std::size_t n = inputs();
+  std::vector<sim::DelayGraph::NodeId> arrival(n);
+  for (auto& a : arrival) a = g.add_source();
+  const sim::DelayUnits comparator{1, m_, 0};
+  for (const auto& stage : stages_) {
+    for (const auto& c : stage) {
+      const auto node = g.add_node(comparator, {arrival[c.low], arrival[c.high]});
+      arrival[c.low] = node;
+      arrival[c.high] = node;
+    }
+  }
+  return g;
+}
+
+}  // namespace bnb

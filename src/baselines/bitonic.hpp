@@ -1,0 +1,64 @@
+// Batcher's bitonic sorting network (the second construction of [9]).
+//
+// The paper's Eqs. 10-12 use the odd-even merge network; the bitonic
+// sorter is its sibling with the same depth log N (log N + 1)/2 but MORE
+// comparators — every stage is a full column of N/2.  Included as a second
+// sorting-network baseline so the comparison in Table 1 can be shown to be
+// conservative: the BNB's advantage only grows against the bitonic form.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/bnb_network.hpp"  // Word
+#include "perm/permutation.hpp"
+#include "sim/census.hpp"
+#include "sim/delay_graph.hpp"
+
+namespace bnb {
+
+class BitonicNetwork {
+ public:
+  /// N = 2^m lines.  Requires 1 <= m < 26.
+  explicit BitonicNetwork(unsigned m);
+
+  [[nodiscard]] unsigned m() const noexcept { return m_; }
+  [[nodiscard]] std::size_t inputs() const noexcept { return std::size_t{1} << m_; }
+
+  struct Comparator {
+    std::uint32_t low;   ///< min(key) exits here
+    std::uint32_t high;  ///< max(key) exits here
+  };
+
+  [[nodiscard]] const std::vector<std::vector<Comparator>>& stages() const noexcept {
+    return stages_;
+  }
+  [[nodiscard]] std::size_t comparator_count() const noexcept { return comparator_count_; }
+  [[nodiscard]] std::size_t depth() const noexcept { return stages_.size(); }
+
+  /// Closed form: every one of the logN(logN+1)/2 stages is a full column
+  /// of N/2 comparators.
+  [[nodiscard]] static std::uint64_t comparator_count_formula(std::uint64_t N);
+
+  struct Result {
+    std::vector<Word> outputs;
+    std::vector<std::uint32_t> dest;
+    bool self_routed = false;
+  };
+
+  [[nodiscard]] Result route_words(std::span<const Word> words) const;
+  [[nodiscard]] Result route(const Permutation& pi) const;
+  [[nodiscard]] std::vector<std::uint64_t> sort_keys(
+      std::span<const std::uint64_t> keys) const;
+
+  [[nodiscard]] sim::HardwareCensus census(unsigned payload_bits) const;
+  [[nodiscard]] sim::DelayGraph build_delay_graph() const;
+
+ private:
+  unsigned m_;
+  std::vector<std::vector<Comparator>> stages_;
+  std::size_t comparator_count_ = 0;
+};
+
+}  // namespace bnb

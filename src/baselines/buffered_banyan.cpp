@@ -1,0 +1,94 @@
+#include "baselines/buffered_banyan.hpp"
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+
+namespace bnb {
+
+namespace {
+constexpr std::uint32_t kEmpty = ~std::uint32_t{0};
+}  // namespace
+
+BufferedOmegaSwitch::BufferedOmegaSwitch(unsigned m) : m_(m) {
+  BNB_EXPECTS(m >= 1 && m < 26);
+}
+
+BufferedOmegaSwitch::DrainResult BufferedOmegaSwitch::drain(
+    const Permutation& pi, std::uint64_t max_cycles) const {
+  const std::size_t n = inputs();
+  BNB_EXPECTS(pi.size() == n);
+
+  DrainResult r;
+  std::vector<bool> pending(n, true);
+  std::size_t remaining = n;
+
+  while (remaining > 0 && r.cycles < max_cycles) {
+    ++r.cycles;
+    // Offer every pending packet at its source line.  A packet carries its
+    // destination plus its source (to mark delivery).
+    std::vector<std::uint32_t> addr(n, kEmpty);
+    std::vector<std::uint32_t> src(n, kEmpty);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (pending[j]) {
+        addr[j] = pi(j);
+        src[j] = static_cast<std::uint32_t>(j);
+      }
+    }
+
+    // One Omega pass: shuffle + exchange per stage; arbitration losers are
+    // dropped (they stay pending and retry next cycle).
+    for (unsigned stage = 0; stage < m_; ++stage) {
+      std::vector<std::uint32_t> sa(n, kEmpty), ss(n, kEmpty);
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t to = ((i << 1) & (n - 1)) | (i >> (m_ - 1));
+        sa[to] = addr[i];
+        ss[to] = src[i];
+      }
+      addr = std::move(sa);
+      src = std::move(ss);
+
+      const unsigned bit = m_ - 1 - stage;
+      std::vector<std::uint32_t> na(n, kEmpty), ns(n, kEmpty);
+      for (std::size_t t = 0; t < n / 2; ++t) {
+        const std::uint32_t a = addr[2 * t];
+        const std::uint32_t b = addr[2 * t + 1];
+        const int want_a = (a == kEmpty) ? -1 : static_cast<int>(bit_of(a, bit));
+        const int want_b = (b == kEmpty) ? -1 : static_cast<int>(bit_of(b, bit));
+        if (want_a != -1 && want_a == want_b) {
+          // Upper input wins; the lower packet is dropped for this cycle.
+          ++r.total_conflicts;
+          na[2 * t + static_cast<std::size_t>(want_a)] = a;
+          ns[2 * t + static_cast<std::size_t>(want_a)] = src[2 * t];
+        } else {
+          if (want_a != -1) {
+            na[2 * t + static_cast<std::size_t>(want_a)] = a;
+            ns[2 * t + static_cast<std::size_t>(want_a)] = src[2 * t];
+          }
+          if (want_b != -1) {
+            na[2 * t + static_cast<std::size_t>(want_b)] = b;
+            ns[2 * t + static_cast<std::size_t>(want_b)] = src[2 * t + 1];
+          }
+        }
+      }
+      addr = std::move(na);
+      src = std::move(ns);
+    }
+
+    // Survivors of all stages are at their destination lines: deliver.
+    std::uint64_t delivered_now = 0;
+    for (std::size_t line = 0; line < n; ++line) {
+      if (addr[line] == line && src[line] != kEmpty && pending[src[line]]) {
+        pending[src[line]] = false;
+        --remaining;
+        ++delivered_now;
+      }
+    }
+    r.per_cycle.push_back(delivered_now);
+    r.delivered += delivered_now;
+  }
+
+  r.complete = (remaining == 0);
+  return r;
+}
+
+}  // namespace bnb

@@ -1,0 +1,46 @@
+// Input-buffered banyan switch with retries (a multi-cycle baseline).
+//
+// A practical answer to banyan blocking (Section 1's problem) is not more
+// hardware but TIME: hold the losers at the inputs and retry next cycle.
+// This models an input-queued Omega switch: every cycle, each still-pending
+// packet is offered at its source line; destination-tag routing runs; a
+// packet that traverses all stages without losing an arbitration is
+// delivered, everyone else retries.  The figure of merit is cycles-to-
+// drain one permutation — the latency cost of blocking that the BNB fabric
+// avoids by construction (one pass, always).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "perm/permutation.hpp"
+
+namespace bnb {
+
+class BufferedOmegaSwitch {
+ public:
+  /// N = 2^m ports.
+  explicit BufferedOmegaSwitch(unsigned m);
+
+  [[nodiscard]] unsigned m() const noexcept { return m_; }
+  [[nodiscard]] std::size_t inputs() const noexcept { return std::size_t{1} << m_; }
+
+  struct DrainResult {
+    std::uint64_t cycles = 0;          ///< passes until every packet delivered
+    std::uint64_t total_conflicts = 0; ///< arbitrations lost across all passes
+    std::uint64_t delivered = 0;
+    bool complete = false;             ///< all N packets delivered
+    /// Deliveries per cycle (the drain profile).
+    std::vector<std::uint64_t> per_cycle;
+  };
+
+  /// Deliver one full permutation, retrying losers each cycle.
+  /// `max_cycles` bounds the simulation (misconfiguration guard).
+  [[nodiscard]] DrainResult drain(const Permutation& pi,
+                                  std::uint64_t max_cycles = 10000) const;
+
+ private:
+  unsigned m_;
+};
+
+}  // namespace bnb

@@ -1,0 +1,64 @@
+#include "baselines/cellular.hpp"
+
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace bnb {
+
+CellularArray::CellularArray(std::size_t n) : n_(n) { BNB_EXPECTS(n >= 1); }
+
+std::size_t CellularArray::cell_count() const noexcept {
+  // Column s compares pairs starting at s % 2: alternating floor(n/2) and
+  // floor((n-1)/2) cells over n columns.
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < n_; ++s) {
+    const std::size_t first = s % 2;
+    total += (n_ - first) / 2;
+  }
+  return total;
+}
+
+CellularArray::Result CellularArray::route_words(std::span<const Word> words) const {
+  BNB_EXPECTS(words.size() == n_);
+  Result r;
+  r.outputs.assign(words.begin(), words.end());
+  std::vector<std::uint32_t> where(n_);
+  for (std::size_t j = 0; j < n_; ++j) where[j] = static_cast<std::uint32_t>(j);
+
+  for (std::size_t s = 0; s < n_; ++s) {
+    for (std::size_t i = s % 2; i + 1 < n_; i += 2) {
+      if (r.outputs[i].address > r.outputs[i + 1].address) {
+        std::swap(r.outputs[i], r.outputs[i + 1]);
+        std::swap(where[i], where[i + 1]);
+      }
+    }
+  }
+
+  r.dest.assign(n_, 0);
+  for (std::size_t line = 0; line < n_; ++line) {
+    r.dest[where[line]] = static_cast<std::uint32_t>(line);
+  }
+  r.self_routed = true;
+  for (std::size_t line = 0; line < n_; ++line) {
+    if (r.outputs[line].address != line) r.self_routed = false;
+  }
+  return r;
+}
+
+CellularArray::Result CellularArray::route(const Permutation& pi) const {
+  std::vector<Word> words(n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    words[j] = Word{pi(j), static_cast<std::uint64_t>(j)};
+  }
+  return route_words(words);
+}
+
+sim::HardwareCensus CellularArray::census() const {
+  sim::HardwareCensus c;
+  c.crosspoints = cell_count();
+  c.comparators = cell_count();
+  return c;
+}
+
+}  // namespace bnb

@@ -1,0 +1,42 @@
+// Cellular interconnection array (paper refs [3][4]), modeled as an
+// odd-even transposition sorting array: N columns of nearest-neighbor
+// compare/exchange cells.  O(N^2) cells and O(N) delay — the paper's
+// introduction cites this class as the hardware-hungry alternative that
+// motivated multistage permutation networks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/bnb_network.hpp"  // Word
+#include "perm/permutation.hpp"
+#include "sim/census.hpp"
+
+namespace bnb {
+
+class CellularArray {
+ public:
+  explicit CellularArray(std::size_t n);
+
+  [[nodiscard]] std::size_t inputs() const noexcept { return n_; }
+  /// Columns of the array (= delay in cell steps): N.
+  [[nodiscard]] std::size_t depth() const noexcept { return n_; }
+  [[nodiscard]] std::size_t cell_count() const noexcept;
+
+  struct Result {
+    std::vector<Word> outputs;
+    std::vector<std::uint32_t> dest;
+    bool self_routed = false;
+  };
+
+  [[nodiscard]] Result route_words(std::span<const Word> words) const;
+  [[nodiscard]] Result route(const Permutation& pi) const;
+
+  [[nodiscard]] sim::HardwareCensus census() const;
+
+ private:
+  std::size_t n_;
+};
+
+}  // namespace bnb

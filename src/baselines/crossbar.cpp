@@ -1,0 +1,41 @@
+#include "baselines/crossbar.hpp"
+
+#include "common/expect.hpp"
+
+namespace bnb {
+
+Crossbar::Crossbar(std::size_t n) : n_(n) { BNB_EXPECTS(n >= 1); }
+
+Crossbar::Result Crossbar::route_words(std::span<const Word> words) const {
+  BNB_EXPECTS(words.size() == n_);
+  {
+    std::vector<Permutation::value_type> addrs(n_);
+    for (std::size_t j = 0; j < n_; ++j) addrs[j] = words[j].address;
+    BNB_EXPECTS(Permutation::is_valid_image(addrs));
+  }
+  Result r;
+  r.outputs.resize(n_);
+  r.dest.resize(n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    r.outputs[words[j].address] = words[j];
+    r.dest[j] = words[j].address;
+  }
+  r.self_routed = true;
+  return r;
+}
+
+Crossbar::Result Crossbar::route(const Permutation& pi) const {
+  std::vector<Word> words(n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    words[j] = Word{pi(j), static_cast<std::uint64_t>(j)};
+  }
+  return route_words(words);
+}
+
+sim::HardwareCensus Crossbar::census() const {
+  sim::HardwareCensus c;
+  c.crosspoints = static_cast<std::uint64_t>(n_) * n_;
+  return c;
+}
+
+}  // namespace bnb

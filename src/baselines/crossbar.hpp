@@ -1,0 +1,38 @@
+// N x N crossbar — the trivial non-blocking reference from the paper's
+// introduction: routes every permutation in one pass through a single
+// crosspoint, at O(N^2) hardware.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/bnb_network.hpp"  // Word
+#include "perm/permutation.hpp"
+#include "sim/census.hpp"
+
+namespace bnb {
+
+class Crossbar {
+ public:
+  explicit Crossbar(std::size_t n);
+
+  [[nodiscard]] std::size_t inputs() const noexcept { return n_; }
+
+  struct Result {
+    std::vector<Word> outputs;
+    std::vector<std::uint32_t> dest;
+    bool self_routed = false;
+  };
+
+  [[nodiscard]] Result route_words(std::span<const Word> words) const;
+  [[nodiscard]] Result route(const Permutation& pi) const;
+
+  /// N^2 crosspoints (per word, all bits switch together).
+  [[nodiscard]] sim::HardwareCensus census() const;
+
+ private:
+  std::size_t n_;
+};
+
+}  // namespace bnb

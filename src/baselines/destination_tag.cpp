@@ -1,0 +1,116 @@
+#include "baselines/destination_tag.hpp"
+
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+#include "core/unshuffle.hpp"
+
+namespace bnb {
+
+namespace {
+/// Run one stage of N/2 adjacent-pair switches over `addr`, routing by
+/// `bit` of each address (0 -> even output, 1 -> odd output).  Lines with
+/// no packet hold kEmpty.
+constexpr std::uint32_t kEmpty = ~std::uint32_t{0};
+
+void exchange_stage(std::vector<std::uint32_t>& addr, unsigned bit,
+                    std::uint64_t& conflicts) {
+  const std::size_t n = addr.size();
+  std::vector<std::uint32_t> next(n, kEmpty);
+  for (std::size_t t = 0; t < n / 2; ++t) {
+    const std::uint32_t a = addr[2 * t];
+    const std::uint32_t b = addr[2 * t + 1];
+    const int want_a = (a == kEmpty) ? -1 : static_cast<int>(bit_of(a, bit));
+    const int want_b = (b == kEmpty) ? -1 : static_cast<int>(bit_of(b, bit));
+    if (want_a != -1 && want_a == want_b) {
+      // Collision: upper input wins, lower input is misrouted.
+      ++conflicts;
+      next[2 * t + static_cast<std::size_t>(want_a)] = a;
+      next[2 * t + static_cast<std::size_t>(1 - want_b)] = b;
+    } else {
+      if (want_a != -1) next[2 * t + static_cast<std::size_t>(want_a)] = a;
+      if (want_b != -1) next[2 * t + static_cast<std::size_t>(want_b)] = b;
+    }
+  }
+  addr = std::move(next);
+}
+
+DtagResult finish(const std::vector<std::uint32_t>& addr) {
+  DtagResult r;
+  for (std::size_t line = 0; line < addr.size(); ++line) {
+    if (addr[line] == line) ++r.delivered;
+  }
+  r.conflict_free = (r.conflicts == 0) && (r.delivered == addr.size());
+  return r;
+}
+}  // namespace
+
+OmegaNetwork::OmegaNetwork(unsigned m) : m_(m) { BNB_EXPECTS(m >= 1 && m < 26); }
+
+DtagResult OmegaNetwork::route(const Permutation& pi) const {
+  const std::size_t n = inputs();
+  BNB_EXPECTS(pi.size() == n);
+  std::vector<std::uint32_t> addr(n);
+  for (std::size_t j = 0; j < n; ++j) addr[j] = pi(j);
+
+  std::uint64_t conflicts = 0;
+  for (unsigned stage = 0; stage < m_; ++stage) {
+    // Perfect shuffle: line i moves to rotate-left(i).
+    std::vector<std::uint32_t> shuffled(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t to = ((i << 1) & (n - 1)) | (i >> (m_ - 1));
+      shuffled[to] = addr[i];
+    }
+    addr = std::move(shuffled);
+    exchange_stage(addr, m_ - 1 - stage, conflicts);
+  }
+  DtagResult r = finish(addr);
+  r.conflicts = conflicts;
+  r.conflict_free = (conflicts == 0) && (r.delivered == n);
+  return r;
+}
+
+sim::HardwareCensus OmegaNetwork::census(unsigned payload_bits) const {
+  sim::HardwareCensus c;
+  c.switches_2x2 =
+      static_cast<std::uint64_t>(m_) * (inputs() / 2) * (m_ + payload_bits);
+  return c;
+}
+
+BaselineDtagNetwork::BaselineDtagNetwork(unsigned m) : m_(m) {
+  BNB_EXPECTS(m >= 1 && m < 26);
+}
+
+DtagResult BaselineDtagNetwork::route(const Permutation& pi) const {
+  const std::size_t n = inputs();
+  BNB_EXPECTS(pi.size() == n);
+  std::vector<std::uint32_t> addr(n);
+  for (std::size_t j = 0; j < n; ++j) addr[j] = pi(j);
+
+  std::uint64_t conflicts = 0;
+  for (unsigned stage = 0; stage < m_; ++stage) {
+    // Stage i consumes paper-bit i = integer bit m-1-i: 0 -> even output.
+    exchange_stage(addr, m_ - 1 - stage, conflicts);
+    if (stage + 1 < m_) {
+      std::vector<std::uint32_t> next(n);
+      for (std::size_t line = 0; line < n; ++line) {
+        next[unshuffle_index(line, m_ - stage, m_)] = addr[line];
+      }
+      addr = std::move(next);
+    }
+  }
+  DtagResult r = finish(addr);
+  r.conflicts = conflicts;
+  r.conflict_free = (conflicts == 0) && (r.delivered == n);
+  return r;
+}
+
+sim::HardwareCensus BaselineDtagNetwork::census(unsigned payload_bits) const {
+  sim::HardwareCensus c;
+  c.switches_2x2 =
+      static_cast<std::uint64_t>(m_) * (inputs() / 2) * (m_ + payload_bits);
+  return c;
+}
+
+}  // namespace bnb

@@ -1,0 +1,65 @@
+// Destination-tag self-routing on banyan-class networks (paper refs [7][8]).
+//
+// An Omega (shuffle-exchange) or baseline network with plain 2x2 switches
+// can self-route by examining one destination bit per stage — but with only
+// N/2 switches per stage it is blocking: for many permutations two packets
+// demand the same switch output.  Nassimi/Sahni and Boppana/Raghavendra
+// characterized rich classes that do route (the paper's Section 1), yet
+// "these algorithms cannot self-route all permutations" — which is the gap
+// the BNB network closes.  These models measure that blocking.
+//
+// Conflict policy: the packet on the switch's upper input wins the port;
+// the loser is misrouted through the other port and (in hardware) would be
+// discarded/retried.  We count conflicts and undelivered packets.
+#pragma once
+
+#include <cstdint>
+
+#include "perm/permutation.hpp"
+#include "sim/census.hpp"
+
+namespace bnb {
+
+struct DtagResult {
+  std::uint64_t conflicts = 0;   ///< switch-port collisions observed
+  std::uint64_t delivered = 0;   ///< packets that reached their destination
+  bool conflict_free = false;    ///< the permutation self-routed completely
+};
+
+/// Omega network: m stages, each = perfect shuffle + N/2 exchange switches;
+/// stage k consumes destination bit m-1-k (MSB first).
+class OmegaNetwork {
+ public:
+  explicit OmegaNetwork(unsigned m);
+
+  [[nodiscard]] unsigned m() const noexcept { return m_; }
+  [[nodiscard]] std::size_t inputs() const noexcept { return std::size_t{1} << m_; }
+
+  [[nodiscard]] DtagResult route(const Permutation& pi) const;
+
+  /// m stages x N/2 switches x (m + w) bit slices.
+  [[nodiscard]] sim::HardwareCensus census(unsigned payload_bits) const;
+
+ private:
+  unsigned m_;
+};
+
+/// Baseline network (the BNB's skeleton with plain sw(1) switches and no
+/// arbiters), destination-tag routed: stage i consumes address bit i
+/// (bit 0 = MSB), 0 = even output / 1 = odd output, then the GBN unshuffle.
+class BaselineDtagNetwork {
+ public:
+  explicit BaselineDtagNetwork(unsigned m);
+
+  [[nodiscard]] unsigned m() const noexcept { return m_; }
+  [[nodiscard]] std::size_t inputs() const noexcept { return std::size_t{1} << m_; }
+
+  [[nodiscard]] DtagResult route(const Permutation& pi) const;
+
+  [[nodiscard]] sim::HardwareCensus census(unsigned payload_bits) const;
+
+ private:
+  unsigned m_;
+};
+
+}  // namespace bnb

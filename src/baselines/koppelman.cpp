@@ -1,0 +1,99 @@
+#include "baselines/koppelman.hpp"
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+#include "core/complexity.hpp"
+#include "core/unshuffle.hpp"
+
+namespace bnb {
+
+KoppelmanSrpn::KoppelmanSrpn(unsigned m) : m_(m) { BNB_EXPECTS(m >= 1 && m < 26); }
+
+KoppelmanSrpn::Result KoppelmanSrpn::route_words(std::span<const Word> words) const {
+  const std::size_t n = inputs();
+  BNB_EXPECTS(words.size() == n);
+  {
+    std::vector<Permutation::value_type> addrs(n);
+    for (std::size_t j = 0; j < n; ++j) addrs[j] = words[j].address;
+    BNB_EXPECTS(Permutation::is_valid_image(addrs));
+  }
+
+  Result r;
+  std::vector<Word> cur(words.begin(), words.end());
+  std::vector<std::uint32_t> where(n);
+  for (std::size_t j = 0; j < n; ++j) where[j] = static_cast<std::uint32_t>(j);
+
+  for (unsigned stage = 0; stage < m_; ++stage) {
+    const unsigned p_log = m_ - stage;
+    const std::size_t block = std::size_t{1} << p_log;
+    const unsigned addr_bit = m_ - 1 - stage;
+
+    // Ranking circuit: a parallel prefix count (Blelloch scan shape) of the
+    // 1-bits in each block — an adder tree of block-1 nodes swept up then
+    // down, exactly the "tree of adder nodes" of [11].  Work = 2(P-1) adds
+    // per block; depth = 2 log P adder levels per stage.
+    r.adder_ops += 2 * (block - 1) * (n / block);
+    r.adder_depth += 2 * p_log;
+
+    std::vector<Word> next(n);
+    std::vector<std::uint32_t> next_where(n);
+    for (std::size_t base = 0; base < n; base += block) {
+      std::size_t rank0 = 0;
+      std::size_t rank1 = 0;
+      for (std::size_t j = 0; j < block; ++j) {
+        const unsigned b = bit_of(cur[base + j].address, addr_bit);
+        // Preset routing rule of the cube network: the r-th 0 goes to even
+        // output 2r, the r-th 1 to odd output 2r+1 (stable bit sort, same
+        // even/odd balance the BNB's splitters achieve).
+        const std::size_t out = (b == 0) ? 2 * rank0++ : 2 * rank1++ + 1;
+        next[base + out] = cur[base + j];
+        next_where[base + out] = where[base + j];
+      }
+      BNB_EXPECTS(rank0 == rank1);  // addresses are a permutation
+    }
+    cur = std::move(next);
+    where = std::move(next_where);
+
+    if (stage + 1 < m_) {
+      std::vector<Word> shuffled(n);
+      std::vector<std::uint32_t> shuffled_where(n);
+      for (std::size_t line = 0; line < n; ++line) {
+        const std::size_t nxt = unshuffle_index(line, m_ - stage, m_);
+        shuffled[nxt] = cur[line];
+        shuffled_where[nxt] = where[line];
+      }
+      cur = std::move(shuffled);
+      where = std::move(shuffled_where);
+    }
+  }
+
+  r.dest.assign(n, 0);
+  for (std::size_t line = 0; line < n; ++line) {
+    r.dest[where[line]] = static_cast<std::uint32_t>(line);
+  }
+  r.self_routed = true;
+  for (std::size_t line = 0; line < n; ++line) {
+    if (cur[line].address != line) r.self_routed = false;
+  }
+  r.outputs = std::move(cur);
+  return r;
+}
+
+KoppelmanSrpn::Result KoppelmanSrpn::route(const Permutation& pi) const {
+  std::vector<Word> words(inputs());
+  for (std::size_t j = 0; j < inputs(); ++j) {
+    words[j] = Word{pi(j), static_cast<std::uint64_t>(j)};
+  }
+  return route_words(words);
+}
+
+sim::HardwareCensus KoppelmanSrpn::census() const {
+  const auto cost = model::koppelman_cost_leading(inputs());
+  sim::HardwareCensus c;
+  c.switches_2x2 = cost.sw;
+  c.function_nodes = cost.fn;
+  c.adder_nodes = cost.add;
+  return c;
+}
+
+}  // namespace bnb

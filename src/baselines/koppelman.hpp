@@ -1,0 +1,57 @@
+// A Koppelman/Oruc-style self-routing permutation network (paper ref [11]).
+//
+// SUBSTITUTION NOTE (see DESIGN.md §2).  The 1989 Koppelman-Oruc SRPN is a
+// separate paper; this one characterizes it only by its mechanism — "it
+// uses ranking circuits and cube networks to route the inputs.  The
+// ranking circuit is a tree which consists of four kinds of adder nodes.
+// The switches of the cube network are set for bit sorting according to
+// preset routing rules using the rankings" — and by its Table 1/2
+// complexity rows.  We implement that mechanism faithfully at behavioral
+// level: the same MSB-first bit-sorting stage plan as the BNB network, but
+// each stage's decision comes from a GLOBAL adder-tree ranking (a parallel
+// prefix count over the block) instead of the BNB's local flag exchange.
+// The measured ranking work and tree depth drive the locality ablation
+// bench; published Table 1/2 rows are reproduced from core/complexity.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/bnb_network.hpp"  // Word
+#include "perm/permutation.hpp"
+#include "sim/census.hpp"
+
+namespace bnb {
+
+class KoppelmanSrpn {
+ public:
+  /// N = 2^m lines.  Requires 1 <= m < 26.
+  explicit KoppelmanSrpn(unsigned m);
+
+  [[nodiscard]] unsigned m() const noexcept { return m_; }
+  [[nodiscard]] std::size_t inputs() const noexcept { return std::size_t{1} << m_; }
+
+  struct Result {
+    std::vector<Word> outputs;
+    std::vector<std::uint32_t> dest;
+    bool self_routed = false;
+    /// Adder-node evaluations performed by the ranking trees (up-sweep +
+    /// down-sweep of every block of every stage).
+    std::uint64_t adder_ops = 0;
+    /// Adder levels on the slowest path (each level is a multi-bit add).
+    std::uint64_t adder_depth = 0;
+  };
+
+  [[nodiscard]] Result route_words(std::span<const Word> words) const;
+  [[nodiscard]] Result route(const Permutation& pi) const;
+
+  /// Hardware per the published Table 1 row (leading terms): N/4 log^3 N
+  /// switches, N/2 log^2 N function slices, N log^2 N adder slices.
+  [[nodiscard]] sim::HardwareCensus census() const;
+
+ private:
+  unsigned m_;
+};
+
+}  // namespace bnb

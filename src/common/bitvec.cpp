@@ -1,0 +1,98 @@
+#include "common/bitvec.hpp"
+
+#include <bit>
+
+#include "common/expect.hpp"
+
+namespace bnb {
+
+BitVec::BitVec(std::size_t n, bool value)
+    : words_(words_for(n), value ? ~std::uint64_t{0} : 0), size_(n) {
+  trim();
+}
+
+BitVec BitVec::from_string(const std::string& s) {
+  BitVec v(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    BNB_EXPECTS(s[i] == '0' || s[i] == '1');
+    v.set(i, s[i] == '1');
+  }
+  return v;
+}
+
+bool BitVec::get(std::size_t i) const {
+  BNB_EXPECTS(i < size_);
+  return ((words_[i / kBits] >> (i % kBits)) & 1U) != 0;
+}
+
+void BitVec::set(std::size_t i, bool v) {
+  BNB_EXPECTS(i < size_);
+  const std::uint64_t mask = std::uint64_t{1} << (i % kBits);
+  if (v) {
+    words_[i / kBits] |= mask;
+  } else {
+    words_[i / kBits] &= ~mask;
+  }
+}
+
+void BitVec::flip(std::size_t i) {
+  BNB_EXPECTS(i < size_);
+  words_[i / kBits] ^= std::uint64_t{1} << (i % kBits);
+}
+
+std::size_t BitVec::count_ones() const noexcept {
+  std::size_t c = 0;
+  for (auto w : words_) c += static_cast<std::size_t>(std::popcount(w));
+  return c;
+}
+
+std::size_t BitVec::count_ones_even() const {
+  // Even bit positions within each word have a fixed mask.
+  constexpr std::uint64_t even_mask = 0x5555555555555555ULL;
+  std::size_t c = 0;
+  for (auto w : words_) c += static_cast<std::size_t>(std::popcount(w & even_mask));
+  return c;
+}
+
+std::size_t BitVec::count_ones_odd() const {
+  constexpr std::uint64_t odd_mask = 0xAAAAAAAAAAAAAAAAULL;
+  std::size_t c = 0;
+  for (auto w : words_) c += static_cast<std::size_t>(std::popcount(w & odd_mask));
+  return c;
+}
+
+void BitVec::append(bool v) {
+  resize(size_ + 1);
+  set(size_ - 1, v);
+}
+
+void BitVec::clear() noexcept {
+  words_.clear();
+  size_ = 0;
+}
+
+void BitVec::resize(std::size_t n, bool value) {
+  const std::size_t old = size_;
+  words_.resize(words_for(n), 0);
+  size_ = n;
+  if (value && n > old) {
+    for (std::size_t i = old; i < n; ++i) set(i, true);
+  }
+  trim();
+}
+
+void BitVec::trim() noexcept {
+  const std::size_t tail = size_ % kBits;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << tail) - 1;
+  }
+}
+
+std::string BitVec::to_string() const {
+  std::string s;
+  s.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) s.push_back(get(i) ? '1' : '0');
+  return s;
+}
+
+}  // namespace bnb

@@ -1,0 +1,62 @@
+// A compact dynamic bit vector.
+//
+// The networks in this repository are "bit-slice" machines: a q-bit word
+// travelling through the fabric is physically q parallel 1-bit signals.
+// BitVec is the container for one such 1-bit slice across all N lines.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bnb {
+
+class BitVec {
+ public:
+  BitVec() = default;
+
+  /// Construct with `n` bits, all set to `value`.
+  explicit BitVec(std::size_t n, bool value = false);
+
+  /// Construct from a string of '0'/'1' characters (index 0 first).
+  static BitVec from_string(const std::string& s);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] bool get(std::size_t i) const;
+  void set(std::size_t i, bool v);
+  void flip(std::size_t i);
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count_ones() const noexcept;
+  [[nodiscard]] std::size_t count_zeros() const noexcept { return size_ - count_ones(); }
+
+  /// Number of set bits at even / odd indices — the M_e / M_o measures of
+  /// Definition 3 in the paper.
+  [[nodiscard]] std::size_t count_ones_even() const;
+  [[nodiscard]] std::size_t count_ones_odd() const;
+
+  void append(bool v);
+  void clear() noexcept;
+  void resize(std::size_t n, bool value = false);
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const BitVec& a, const BitVec& b) noexcept {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+ private:
+  static constexpr std::size_t kBits = 64;
+  [[nodiscard]] static std::size_t words_for(std::size_t n) noexcept {
+    return (n + kBits - 1) / kBits;
+  }
+  void trim() noexcept;
+
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace bnb

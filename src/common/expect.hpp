@@ -1,0 +1,38 @@
+// Contract-checking helpers in the spirit of the GSL's Expects/Ensures
+// (C++ Core Guidelines I.6/I.8).  Violations throw `contract_violation`
+// so that tests can assert on misuse and library users get a diagnosable
+// failure instead of UB.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bnb {
+
+/// Thrown when a precondition or postcondition of a public API is violated.
+class contract_violation : public std::logic_error {
+ public:
+  explicit contract_violation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* cond,
+                                       const char* file, int line) {
+  throw contract_violation(std::string(kind) + " failed: " + cond + " at " +
+                           file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace bnb
+
+/// Precondition check: throws bnb::contract_violation when `cond` is false.
+#define BNB_EXPECTS(cond)                                                     \
+  do {                                                                        \
+    if (!(cond)) ::bnb::detail::contract_fail("Precondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+/// Postcondition / invariant check: throws bnb::contract_violation when false.
+#define BNB_ENSURES(cond)                                                     \
+  do {                                                                        \
+    if (!(cond)) ::bnb::detail::contract_fail("Postcondition", #cond, __FILE__, __LINE__); \
+  } while (false)

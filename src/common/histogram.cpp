@@ -1,0 +1,83 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+
+namespace bnb {
+
+void Histogram::add(std::uint64_t value) {
+  if (!samples_.empty() && value < samples_.back()) sorted_ = false;
+  samples_.push_back(value);
+  sum_ += value;
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (const auto v : other.samples_) add(v);
+}
+
+double Histogram::mean() const {
+  BNB_EXPECTS(!samples_.empty());
+  return static_cast<double>(sum_) / static_cast<double>(samples_.size());
+}
+
+void Histogram::ensure_sorted() const {
+  if (!sorted_) {
+    auto& mut = const_cast<std::vector<std::uint64_t>&>(samples_);
+    std::sort(mut.begin(), mut.end());
+    sorted_ = true;
+  }
+}
+
+std::uint64_t Histogram::min() const {
+  BNB_EXPECTS(!samples_.empty());
+  ensure_sorted();
+  return samples_.front();
+}
+
+std::uint64_t Histogram::max() const {
+  BNB_EXPECTS(!samples_.empty());
+  ensure_sorted();
+  return samples_.back();
+}
+
+std::uint64_t Histogram::percentile(double p) const {
+  BNB_EXPECTS(!samples_.empty());
+  BNB_EXPECTS(p > 0.0 && p <= 100.0);
+  ensure_sorted();
+  // Smallest index covering at least p% of the mass (nearest-rank method).
+  const std::size_t rank = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(samples_.size()) + 0.999999);
+  const std::size_t idx = (rank == 0 ? 1 : rank) - 1;
+  return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+std::string Histogram::render(std::size_t bar_width) const {
+  std::ostringstream os;
+  if (samples_.empty()) {
+    os << "(empty)\n";
+    return os.str();
+  }
+  ensure_sorted();
+  // Bucket k holds values in [2^k, 2^{k+1}); bucket for 0 is its own.
+  const unsigned top = floor_log2(std::max<std::uint64_t>(samples_.back(), 1));
+  std::vector<std::size_t> buckets(top + 2, 0);
+  for (const auto v : samples_) {
+    buckets[v == 0 ? 0 : floor_log2(v) + 1]++;
+  }
+  std::size_t biggest = 1;
+  for (const auto b : buckets) biggest = std::max(biggest, b);
+  for (std::size_t k = 0; k < buckets.size(); ++k) {
+    if (buckets[k] == 0) continue;
+    std::uint64_t lo = (k == 0) ? 0 : (std::uint64_t{1} << (k - 1));
+    std::uint64_t hi = (k == 0) ? 0 : (std::uint64_t{1} << k) - 1;
+    os << "  [" << lo << ", " << hi << "]: " << buckets[k] << " ";
+    const std::size_t bar = std::max<std::size_t>(1, buckets[k] * bar_width / biggest);
+    os << std::string(bar, '#') << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace bnb

@@ -1,0 +1,40 @@
+// Latency/size statistics with exact percentiles and a log-bucket render.
+//
+// Collects integer samples (cell latencies, queue depths, op counts),
+// reports count/mean/min/max and exact order-statistic percentiles, and
+// renders a power-of-two-bucket ASCII histogram for bench output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bnb {
+
+class Histogram {
+ public:
+  void add(std::uint64_t value);
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] std::uint64_t min() const;
+  [[nodiscard]] std::uint64_t max() const;
+
+  /// Exact order statistic: the smallest sample s.t. at least p percent of
+  /// samples are <= it.  p in (0, 100].
+  [[nodiscard]] std::uint64_t percentile(double p) const;
+
+  /// Power-of-two buckets: "[2^k, 2^{k+1}) count bar".
+  [[nodiscard]] std::string render(std::size_t bar_width = 40) const;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<std::uint64_t> samples_;
+  mutable bool sorted_ = true;
+  std::uint64_t sum_ = 0;
+};
+
+}  // namespace bnb

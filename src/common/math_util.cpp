@@ -1,0 +1,45 @@
+#include "common/math_util.hpp"
+
+#include <bit>
+
+#include "common/expect.hpp"
+
+namespace bnb {
+
+unsigned log2_exact(std::uint64_t n) {
+  BNB_EXPECTS(is_power_of_two(n));
+  return floor_log2(n);
+}
+
+std::uint64_t pow2(unsigned k) {
+  BNB_EXPECTS(k < 64);
+  return std::uint64_t{1} << k;
+}
+
+std::uint64_t reverse_bits(std::uint64_t v, unsigned bits) {
+  BNB_EXPECTS(bits <= 64);
+  std::uint64_t r = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    r = (r << 1) | ((v >> i) & 1U);
+  }
+  return r;
+}
+
+unsigned popcount64(std::uint64_t v) noexcept {
+  return static_cast<unsigned>(std::popcount(v));
+}
+
+std::uint64_t ipow(std::uint64_t n, unsigned e) noexcept {
+  std::uint64_t r = 1;
+  for (unsigned i = 0; i < e; ++i) r *= n;
+  return r;
+}
+
+std::uint64_t factorial(unsigned n) {
+  BNB_EXPECTS(n <= 20);
+  std::uint64_t r = 1;
+  for (unsigned i = 2; i <= n; ++i) r *= i;
+  return r;
+}
+
+}  // namespace bnb

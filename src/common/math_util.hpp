@@ -1,0 +1,50 @@
+// Small integer-math helpers used throughout the network code.
+//
+// All network sizes in the paper are powers of two (N = 2^m); these helpers
+// make the "m = log N" bookkeeping explicit and checked.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace bnb {
+
+/// True iff `n` is a power of two (and nonzero).
+[[nodiscard]] constexpr bool is_power_of_two(std::uint64_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// floor(log2(n)) for n >= 1.  Constexpr-friendly.
+[[nodiscard]] constexpr unsigned floor_log2(std::uint64_t n) noexcept {
+  unsigned r = 0;
+  while (n > 1) {
+    n >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// log2(n) for n an exact power of two.  Throws contract_violation otherwise.
+[[nodiscard]] unsigned log2_exact(std::uint64_t n);
+
+/// 2^k as a 64-bit value.  Throws for k >= 64.
+[[nodiscard]] std::uint64_t pow2(unsigned k);
+
+/// Reverse the low `bits` bits of `v` (bit-reversal permutation helper).
+[[nodiscard]] std::uint64_t reverse_bits(std::uint64_t v, unsigned bits);
+
+/// Extract bit `k` (0 = least significant) of `v` as 0/1.
+[[nodiscard]] constexpr unsigned bit_of(std::uint64_t v, unsigned k) noexcept {
+  return static_cast<unsigned>((v >> k) & 1U);
+}
+
+/// Population count.
+[[nodiscard]] unsigned popcount64(std::uint64_t v) noexcept;
+
+/// Integer power n^e with overflow-unchecked 64-bit arithmetic (small use only).
+[[nodiscard]] std::uint64_t ipow(std::uint64_t n, unsigned e) noexcept;
+
+/// n! as unsigned 64-bit; valid for n <= 20.
+[[nodiscard]] std::uint64_t factorial(unsigned n);
+
+}  // namespace bnb

@@ -1,0 +1,84 @@
+#include "common/table.hpp"
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+#include "common/expect.hpp"
+
+namespace bnb {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  BNB_EXPECTS(!headers_.empty());
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  BNB_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+    }
+  }
+
+  auto line = [&](char fill, char sep) {
+    std::string s = std::string(1, sep);
+    for (auto w : width) {
+      s += std::string(w + 2, fill);
+      s += sep;
+    }
+    s += '\n';
+    return s;
+  };
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::ostringstream os;
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << std::setw(static_cast<int>(width[c])) << std::right << row[c] << " |";
+    }
+    os << '\n';
+    return os.str();
+  };
+
+  std::string out = line('-', '+');
+  out += render_row(headers_);
+  out += line('-', '+');
+  for (const auto& row : rows_) out += render_row(row);
+  out += line('-', '+');
+  return out;
+}
+
+void TablePrinter::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string TablePrinter::num(std::uint64_t v) {
+  // Group digits for readability: 1234567 -> 1,234,567.
+  std::string raw = std::to_string(v);
+  std::string out;
+  const std::size_t n = raw.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(raw[i]);
+    const std::size_t remaining = n - 1 - i;
+    if (remaining > 0 && remaining % 3 == 0) out.push_back(',');
+  }
+  return out;
+}
+
+std::string TablePrinter::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TablePrinter::ratio(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+}  // namespace bnb

@@ -1,0 +1,39 @@
+// Console table formatting for the benchmark harnesses.
+//
+// Every bench binary reproduces a table/figure from the paper; TablePrinter
+// renders the rows with aligned columns so the output can be compared
+// side-by-side with the published tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bnb {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append a row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with box-drawing separators to a string.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Convenience: render and write to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Format helpers for numeric cells.
+  static std::string num(std::uint64_t v);
+  static std::string num(double v, int precision = 2);
+  static std::string ratio(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bnb

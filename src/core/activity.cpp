@@ -1,0 +1,116 @@
+#include "core/activity.hpp"
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+#include "core/arbiter.hpp"
+#include "core/unshuffle.hpp"
+
+namespace bnb {
+
+namespace {
+
+/// Walk every splitter column, recording each switch's setting, and also
+/// accumulate per-main-stage exchange counts when `per_stage` is given.
+std::vector<std::uint8_t> settings_walk(unsigned m, const Permutation& pi,
+                                        std::vector<std::uint64_t>* per_stage) {
+  const std::size_t n = std::size_t{1} << m;
+  BNB_EXPECTS(pi.size() == n);
+
+  std::vector<std::uint32_t> addr(n);
+  for (std::size_t j = 0; j < n; ++j) addr[j] = pi(j);
+
+  std::vector<std::uint8_t> settings;
+  std::vector<std::uint8_t> bits;
+  if (per_stage != nullptr) per_stage->assign(m, 0);
+
+  for (unsigned i = 0; i < m; ++i) {
+    const unsigned p_log = m - i;
+    const std::size_t nested_size = std::size_t{1} << p_log;
+    const unsigned addr_bit = m - 1 - i;
+
+    for (unsigned j = 0; j < p_log; ++j) {
+      const unsigned p = p_log - j;
+      const std::size_t sp_size = std::size_t{1} << p;
+      const Arbiter arbiter(p);
+
+      for (std::size_t base = 0; base < n; base += sp_size) {
+        bits.resize(sp_size);
+        for (std::size_t l = 0; l < sp_size; ++l) {
+          bits[l] = static_cast<std::uint8_t>(bit_of(addr[base + l], addr_bit));
+        }
+        const auto flags = arbiter.compute_flags(bits);
+        for (std::size_t t = 0; t < sp_size / 2; ++t) {
+          const std::uint8_t control =
+              static_cast<std::uint8_t>(bits[2 * t] ^ flags[2 * t]);
+          settings.push_back(control);
+          if (control != 0) {
+            if (per_stage != nullptr) ++(*per_stage)[i];
+            std::swap(addr[base + 2 * t], addr[base + 2 * t + 1]);
+          }
+        }
+      }
+
+      if (j + 1 < p_log) {
+        std::vector<std::uint32_t> next(n);
+        for (std::size_t nb = 0; nb < n; nb += nested_size) {
+          for (std::size_t local = 0; local < nested_size; ++local) {
+            next[nb + unshuffle_index(local, p, p_log)] = addr[nb + local];
+          }
+        }
+        addr = std::move(next);
+      }
+    }
+
+    if (i + 1 < m) {
+      std::vector<std::uint32_t> next(n);
+      for (std::size_t line = 0; line < n; ++line) {
+        next[unshuffle_index(line, m - i, m)] = addr[line];
+      }
+      addr = std::move(next);
+    }
+  }
+
+  // Sanity: the walk must have routed the permutation (Theorem 2).
+  for (std::size_t line = 0; line < n; ++line) BNB_ENSURES(addr[line] == line);
+  return settings;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> bnb_switch_settings(unsigned m, const Permutation& pi) {
+  return settings_walk(m, pi, nullptr);
+}
+
+ActivityStats measure_activity(unsigned m, const Permutation& pi) {
+  ActivityStats stats;
+  const auto settings = settings_walk(m, pi, &stats.exchanges_per_main_stage);
+  stats.switches_per_pass = settings.size();
+  for (const auto s : settings) stats.exchanges += s;
+  return stats;
+}
+
+ActivityStats measure_stream_activity(unsigned m, std::span<const Permutation> perms) {
+  ActivityStats stats;
+  std::vector<std::uint8_t> prev;
+  for (const auto& pi : perms) {
+    std::vector<std::uint64_t> per_stage;
+    const auto settings = settings_walk(m, pi, &per_stage);
+    if (stats.exchanges_per_main_stage.empty()) {
+      stats.exchanges_per_main_stage.assign(per_stage.size(), 0);
+      stats.switches_per_pass = settings.size();
+    }
+    for (std::size_t i = 0; i < per_stage.size(); ++i) {
+      stats.exchanges_per_main_stage[i] += per_stage[i];
+    }
+    for (const auto s : settings) stats.exchanges += s;
+    if (!prev.empty()) {
+      for (std::size_t s = 0; s < settings.size(); ++s) {
+        if (settings[s] != prev[s]) ++stats.toggles;
+      }
+    }
+    prev = settings;
+  }
+  return stats;
+}
+
+}  // namespace bnb

@@ -1,0 +1,47 @@
+// Switch-activity analysis (dynamic-power proxy; extension).
+//
+// In CMOS, dynamic power tracks switching activity.  For a routing fabric
+// the interesting activity is (a) how many 2x2 switches are set to
+// "exchange" for a given permutation and (b) how many switches CHANGE
+// state between consecutive permutations of a traffic stream (the actual
+// toggle count a registered fabric would pay).  This module measures both
+// over the BNB network, per main stage and in total.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "perm/permutation.hpp"
+
+namespace bnb {
+
+struct ActivityStats {
+  std::uint64_t switches_per_pass = 0;    ///< control-slice switches evaluated
+  std::uint64_t exchanges = 0;            ///< switches set to "exchange"
+  std::uint64_t toggles = 0;              ///< setting changes vs previous pass
+  std::vector<std::uint64_t> exchanges_per_main_stage;
+
+  [[nodiscard]] double exchange_rate() const noexcept {
+    return switches_per_pass == 0
+               ? 0.0
+               : static_cast<double>(exchanges) /
+                     static_cast<double>(switches_per_pass);
+  }
+};
+
+/// Collect the full switch-setting vector of one routed permutation,
+/// column-major (the order is stable across calls, so vectors from two
+/// permutations can be diffed for toggle counts).
+[[nodiscard]] std::vector<std::uint8_t> bnb_switch_settings(unsigned m,
+                                                            const Permutation& pi);
+
+/// Activity of a single permutation.
+[[nodiscard]] ActivityStats measure_activity(unsigned m, const Permutation& pi);
+
+/// Activity of a stream: exchange counts are summed; toggles compare each
+/// pass's settings with the previous pass.
+[[nodiscard]] ActivityStats measure_stream_activity(unsigned m,
+                                                    std::span<const Permutation> perms);
+
+}  // namespace bnb

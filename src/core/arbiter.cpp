@@ -1,0 +1,156 @@
+#include "core/arbiter.hpp"
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+
+namespace bnb {
+
+FunctionNodeOutput function_node(unsigned x1, unsigned x2, unsigned z_d) {
+  BNB_EXPECTS(x1 <= 1 && x2 <= 1 && z_d <= 1);
+  const unsigned z_u = x1 ^ x2;
+  // Type-1 pair below (XOR = 0): generate 0 for the upper child and 1 for
+  // the lower child, ignoring the parent.  Type-2 (XOR = 1): forward z_d.
+  const unsigned y1 = (z_u == 0) ? 0U : z_d;
+  const unsigned y2 = (z_u == 0) ? 1U : z_d;
+  return FunctionNodeOutput{z_u, y1, y2};
+}
+
+FunctionNodeGates build_function_node(sim::GateNetlist& net,
+                                      sim::GateNetlist::GateId x1,
+                                      sim::GateNetlist::GateId x2,
+                                      sim::GateNetlist::GateId z_d) {
+  const auto z_u = net.add_xor(x1, x2);
+  // y1 = (z_u == 0) ? 0 : z_d   ==  z_u AND z_d
+  const auto y1 = net.add_and(z_u, z_d);
+  // y2 = (z_u == 0) ? 1 : z_d   ==  NOT z_u OR z_d  ==  NAND(z_u, NOT z_d);
+  // the NOT hangs off the input, keeping the node two gate levels deep.
+  const auto y2 = net.add_nand(z_u, net.add_not(z_d));
+  return FunctionNodeGates{z_u, y1, y2};
+}
+
+Arbiter::Arbiter(unsigned p) : p_(p) { BNB_EXPECTS(p >= 1 && p < 32); }
+
+std::uint64_t Arbiter::node_count(unsigned p) {
+  BNB_EXPECTS(p >= 1 && p < 64);
+  // A(1) is a wiring: the input bit is the switch signal (paper, Eq. 4).
+  if (p <= 1) return 0;
+  return pow2(p) - 1;
+}
+
+std::uint64_t Arbiter::delay_fn_units(unsigned p) {
+  BNB_EXPECTS(p >= 1 && p < 64);
+  if (p <= 1) return 0;
+  // p node levels up (leaf pairs to root) plus p levels down (Eq. 8's
+  // factor of 2 on the per-splitter term).
+  return 2ULL * p;
+}
+
+std::vector<std::uint8_t> Arbiter::compute_flags(std::span<const std::uint8_t> bits,
+                                                 Trace* trace) const {
+  const std::size_t n = inputs();
+  BNB_EXPECTS(bits.size() == n);
+  for (auto b : bits) BNB_EXPECTS(b <= 1);
+
+  std::vector<std::uint8_t> flags(n, 0);
+  if (p_ == 1) {
+    // A(1) is wiring; f = 0 and the switch signal is the input bit itself.
+    if (trace != nullptr) {
+      trace->up.assign(2, 0);
+      trace->down.assign(2, 0);
+    }
+    return flags;
+  }
+
+  const std::size_t leaves = n / 2;       // leaf nodes, heap ids [leaves, n)
+  std::vector<std::uint8_t> up(n, 0);     // index 0 unused
+  std::vector<std::uint8_t> down(n, 0);
+
+  // Up pass: z_u = XOR of the node's two inputs.
+  for (std::size_t v = n - 1; v >= leaves; --v) {
+    const std::size_t j = v - leaves;  // pair index
+    up[v] = static_cast<std::uint8_t>(bits[2 * j] ^ bits[2 * j + 1]);
+  }
+  for (std::size_t v = leaves - 1; v >= 1; --v) {
+    up[v] = static_cast<std::uint8_t>(up[2 * v] ^ up[2 * v + 1]);
+  }
+
+  // Down pass.  The root echoes its own up signal as the parent flag.
+  down[1] = up[1];
+  for (std::size_t v = 1; v < leaves; ++v) {
+    const unsigned x1 = up[2 * v];
+    const unsigned x2 = up[2 * v + 1];
+    const auto out = function_node(x1, x2, down[v]);
+    down[2 * v] = static_cast<std::uint8_t>(out.y1);
+    down[2 * v + 1] = static_cast<std::uint8_t>(out.y2);
+  }
+
+  // Leaf nodes hand the flags to their input pair.
+  for (std::size_t v = leaves; v < n; ++v) {
+    const std::size_t j = v - leaves;
+    const unsigned x1 = bits[2 * j];
+    const unsigned x2 = bits[2 * j + 1];
+    const auto out = function_node(x1, x2, down[v]);
+    flags[2 * j] = static_cast<std::uint8_t>(out.y1);
+    flags[2 * j + 1] = static_cast<std::uint8_t>(out.y2);
+  }
+
+  if (trace != nullptr) {
+    trace->up = std::move(up);
+    trace->down = std::move(down);
+  }
+  return flags;
+}
+
+std::vector<sim::GateNetlist::GateId> Arbiter::build_gates(
+    sim::GateNetlist& net,
+    std::span<const sim::GateNetlist::GateId> input_bits) const {
+  using GateId = sim::GateNetlist::GateId;
+  const std::size_t n = inputs();
+  BNB_EXPECTS(input_bits.size() == n);
+
+  if (p_ == 1) {
+    const GateId zero = net.add_const(false);
+    return std::vector<GateId>(n, zero);
+  }
+
+  const std::size_t leaves = n / 2;
+  // Per heap node: gate ids of its two inputs and of its z_u.
+  std::vector<GateId> x1(n), x2(n), zu(n), zd(n);
+
+  for (std::size_t v = n - 1; v >= leaves; --v) {
+    const std::size_t j = v - leaves;
+    x1[v] = input_bits[2 * j];
+    x2[v] = input_bits[2 * j + 1];
+    zu[v] = net.add_xor(x1[v], x2[v]);
+  }
+  for (std::size_t v = leaves - 1; v >= 1; --v) {
+    x1[v] = zu[2 * v];
+    x2[v] = zu[2 * v + 1];
+    zu[v] = net.add_xor(x1[v], x2[v]);
+  }
+
+  zd[1] = zu[1];  // root echo
+  for (std::size_t v = 1; v < n; ++v) {
+    // y1 = zu AND zd ; y2 = NAND(zu, NOT zd).  (zu[v] already built.)
+    const GateId y1 = net.add_and(zu[v], zd[v]);
+    const GateId y2 = net.add_nand(zu[v], net.add_not(zd[v]));
+    if (v < leaves) {
+      zd[2 * v] = y1;
+      zd[2 * v + 1] = y2;
+    } else {
+      // Stash the leaf's flag gate ids; collected into `flags` below.
+      x1[v] = y1;
+      x2[v] = y2;
+    }
+  }
+
+  std::vector<GateId> flags(n);
+  for (std::size_t v = leaves; v < n; ++v) {
+    const std::size_t j = v - leaves;
+    flags[2 * j] = x1[v];
+    flags[2 * j + 1] = x2[v];
+  }
+  return flags;
+}
+
+}  // namespace bnb

@@ -1,0 +1,92 @@
+// The tree arbiter A(p) and its function node (paper, Section 4, Fig. 4/5).
+//
+// A(p) is a binary tree of identical 1-bit function nodes over 2^p input
+// bits.  Each leaf node covers one input pair (one 2x2 switch).  The
+// routing algorithm (Section 4):
+//
+//   1. every node sends UP the XOR of its two inputs;
+//   2. a node whose input-XOR is 0 generates flags itself: 0 to its upper
+//      child, 1 to its lower child, ignoring its parent;
+//   3. a node whose input-XOR is 1 forwards the flag received from its
+//      parent to both children;
+//   4. the root echoes its own up-signal as its "parent flag";
+//   5. input j of the attached switch column goes to the upper output when
+//      s^I(j) XOR f(j) = 0 and to the lower output otherwise.
+//
+// The arbiter is the entire "global" coordination of the BNB network — and
+// it is local: each node sees two bits from below and one from above.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/gates.hpp"
+
+namespace bnb {
+
+/// Behavioral truth function of one arbiter node (Fig. 5).
+/// x1/x2 come up from the children (or are the two input bits, at a leaf);
+/// z_d comes down from the parent.
+struct FunctionNodeOutput {
+  unsigned z_u;  ///< to parent: x1 XOR x2
+  unsigned y1;   ///< flag to the upper child
+  unsigned y2;   ///< flag to the lower child
+};
+
+[[nodiscard]] FunctionNodeOutput function_node(unsigned x1, unsigned x2, unsigned z_d);
+
+/// Gate-level realization of the same node: z_u = x1 XOR x2,
+/// y1 = z_u AND z_d, y2 = (NOT z_u) OR z_d.  Three inputs, four gates.
+struct FunctionNodeGates {
+  sim::GateNetlist::GateId z_u;
+  sim::GateNetlist::GateId y1;
+  sim::GateNetlist::GateId y2;
+};
+
+FunctionNodeGates build_function_node(sim::GateNetlist& net,
+                                      sim::GateNetlist::GateId x1,
+                                      sim::GateNetlist::GateId x2,
+                                      sim::GateNetlist::GateId z_d);
+
+/// The 2^p-input tree arbiter.
+class Arbiter {
+ public:
+  /// Requires 1 <= p < 32.  A(1) is pure wiring (no function nodes): the
+  /// input bit itself is the switch-setting signal, so flags are all zero.
+  explicit Arbiter(unsigned p);
+
+  [[nodiscard]] unsigned p() const noexcept { return p_; }
+  [[nodiscard]] std::size_t inputs() const noexcept { return std::size_t{1} << p_; }
+
+  /// Function nodes in A(p): 2^p - 1 for p >= 2; 0 for p = 1 (wiring).
+  [[nodiscard]] static std::uint64_t node_count(unsigned p);
+
+  /// D_FN units on the critical path through A(p): one per node level going
+  /// up plus one per level coming down = 2p for p >= 2; 0 for p = 1.
+  [[nodiscard]] static std::uint64_t delay_fn_units(unsigned p);
+
+  /// Per-node signal record (heap order: node 1 is the root, node v has
+  /// children 2v and 2v+1, leaves are [2^{p-1}, 2^p)).  Index 0 is unused.
+  struct Trace {
+    std::vector<std::uint8_t> up;    ///< z_u of each node
+    std::vector<std::uint8_t> down;  ///< z_d received by each node
+  };
+
+  /// Run the up/down passes over the 2^p input bits and return the flag
+  /// f(j) for every input line j.  `trace`, if given, receives the
+  /// intermediate signals for inspection.
+  [[nodiscard]] std::vector<std::uint8_t> compute_flags(
+      std::span<const std::uint8_t> bits, Trace* trace = nullptr) const;
+
+  /// Build the entire A(p) out of real gates; returns the gate ids of the
+  /// 2^p flag outputs, pairing input gate ids supplied by the caller.
+  [[nodiscard]] std::vector<sim::GateNetlist::GateId> build_gates(
+      sim::GateNetlist& net,
+      std::span<const sim::GateNetlist::GateId> input_bits) const;
+
+ private:
+  unsigned p_;
+};
+
+}  // namespace bnb

@@ -1,0 +1,137 @@
+#include "core/bit_sliced.hpp"
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+#include "core/arbiter.hpp"
+#include "core/unshuffle.hpp"
+
+namespace bnb {
+
+BitSlicedBnb::BitSlicedBnb(unsigned m, unsigned payload_bits)
+    : m_(m), w_(payload_bits) {
+  BNB_EXPECTS(m >= 1 && m < 22);
+  BNB_EXPECTS(payload_bits <= 64);
+}
+
+BitSlicedBnb::Result BitSlicedBnb::route_words(std::span<const Word> words) const {
+  const std::size_t n = inputs();
+  const unsigned q = slice_count();
+  BNB_EXPECTS(words.size() == n);
+  {
+    std::vector<Permutation::value_type> addrs(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      addrs[j] = words[j].address;
+      // No wires exist for payload bits beyond w.
+      BNB_EXPECTS(w_ == 64 || (words[j].payload >> w_) == 0);
+    }
+    BNB_EXPECTS(Permutation::is_valid_image(addrs));
+  }
+
+  // Decompose into bit planes.  Plane k < m carries paper address bit k
+  // (bit 0 = MSB = integer bit m-1); planes m..m+w-1 carry payload bits.
+  std::vector<BitVec> plane(q, BitVec(n));
+  for (std::size_t line = 0; line < n; ++line) {
+    for (unsigned k = 0; k < m_; ++k) {
+      plane[k].set(line, bit_of(words[line].address, m_ - 1 - k) != 0);
+    }
+    for (unsigned k = 0; k < w_; ++k) {
+      plane[m_ + k].set(line, bit_of(words[line].payload, k) != 0);
+    }
+  }
+
+  Result r;
+  std::vector<std::uint8_t> bits;
+  for (unsigned i = 0; i < m_; ++i) {
+    const unsigned p_log = m_ - i;
+    const std::size_t nested_size = std::size_t{1} << p_log;
+    BitVec& control_plane = plane[i];  // slice i is the BSN of main stage i
+
+    for (unsigned j = 0; j < p_log; ++j) {
+      const unsigned p = p_log - j;
+      const std::size_t sp_size = std::size_t{1} << p;
+      const Arbiter arbiter(p);
+
+      for (std::size_t base = 0; base < n; base += sp_size) {
+        // The splitter's arbiter reads the control plane only.
+        bits.resize(sp_size);
+        for (std::size_t l = 0; l < sp_size; ++l) {
+          bits[l] = static_cast<std::uint8_t>(control_plane.get(base + l));
+        }
+        const auto flags = arbiter.compute_flags(bits);
+
+        for (std::size_t t = 0; t < sp_size / 2; ++t) {
+          const std::uint8_t control =
+              static_cast<std::uint8_t>(bits[2 * t] ^ flags[2 * t]);
+          // Broadcast the setting to the follower switches of every other
+          // plane; each follower mirrors the exchange on its own two bits.
+          r.broadcast_signals += q - 1;
+          if (control != 0) {
+            const std::size_t l0 = base + 2 * t;
+            const std::size_t l1 = base + 2 * t + 1;
+            for (unsigned k = 0; k < q; ++k) {
+              const bool b0 = plane[k].get(l0);
+              const bool b1 = plane[k].get(l1);
+              plane[k].set(l0, b1);
+              plane[k].set(l1, b0);
+            }
+          }
+        }
+      }
+
+      if (j + 1 < p_log) {
+        // Nested unshuffle, applied to every plane.
+        for (unsigned k = 0; k < q; ++k) {
+          BitVec next(n);
+          for (std::size_t nb = 0; nb < n; nb += nested_size) {
+            for (std::size_t local = 0; local < nested_size; ++local) {
+              next.set(nb + unshuffle_index(local, p, p_log),
+                       plane[k].get(nb + local));
+            }
+          }
+          plane[k] = std::move(next);
+        }
+      }
+    }
+
+    if (i + 1 < m_) {
+      for (unsigned k = 0; k < q; ++k) {
+        BitVec next(n);
+        for (std::size_t line = 0; line < n; ++line) {
+          next.set(unshuffle_index(line, m_ - i, m_), plane[k].get(line));
+        }
+        plane[k] = std::move(next);
+      }
+    }
+  }
+
+  // Reassemble words from the planes.
+  r.outputs.resize(n);
+  for (std::size_t line = 0; line < n; ++line) {
+    std::uint32_t address = 0;
+    for (unsigned k = 0; k < m_; ++k) {
+      address |= static_cast<std::uint32_t>(plane[k].get(line)) << (m_ - 1 - k);
+    }
+    std::uint64_t payload = 0;
+    for (unsigned k = 0; k < w_; ++k) {
+      payload |= static_cast<std::uint64_t>(plane[m_ + k].get(line)) << k;
+    }
+    r.outputs[line] = Word{address, payload};
+  }
+  r.self_routed = true;
+  for (std::size_t line = 0; line < n; ++line) {
+    if (r.outputs[line].address != line) r.self_routed = false;
+  }
+  return r;
+}
+
+BitSlicedBnb::Result BitSlicedBnb::route(const Permutation& pi) const {
+  BNB_EXPECTS(pi.size() == inputs());
+  std::vector<Word> words(inputs());
+  const std::uint64_t mask = (w_ >= 64) ? ~std::uint64_t{0} : (std::uint64_t{1} << w_) - 1;
+  for (std::size_t j = 0; j < inputs(); ++j) {
+    words[j] = Word{pi(j), static_cast<std::uint64_t>(j) & mask};
+  }
+  return route_words(words);
+}
+
+}  // namespace bnb

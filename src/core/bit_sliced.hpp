@@ -1,0 +1,56 @@
+// Physical bit-slice simulation of the BNB network.
+//
+// In the hardware, a word never travels as a unit: its q = m + w bits move
+// through q parallel one-bit planes, and only the plane carrying address
+// bit i (the BSN slice) THINKS in main stage i — its switch settings are
+// broadcast to the corresponding sw(1)'s of the other q-1 planes
+// (Definition 5; "all the sw(1)'s in other slices of the nested network
+// follow the routing of the bit-sorter networks").
+//
+// BitSlicedBnb simulates exactly that: q BitVec planes, one splitter
+// decision per control-plane switch, and a broadcast swap applied to every
+// plane.  Words are only reassembled at the output — so if the broadcast
+// logic were wrong in any plane, reassembly would produce corrupted words
+// and the equivalence tests against BnbNetwork would fail.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "core/bnb_network.hpp"  // Word
+#include "perm/permutation.hpp"
+
+namespace bnb {
+
+class BitSlicedBnb {
+ public:
+  /// N = 2^m lines carrying (m + payload_bits)-bit words.
+  /// Requires 1 <= m < 22 and payload_bits <= 64.
+  BitSlicedBnb(unsigned m, unsigned payload_bits);
+
+  [[nodiscard]] unsigned m() const noexcept { return m_; }
+  [[nodiscard]] unsigned payload_bits() const noexcept { return w_; }
+  [[nodiscard]] unsigned slice_count() const noexcept { return m_ + w_; }
+  [[nodiscard]] std::size_t inputs() const noexcept { return std::size_t{1} << m_; }
+
+  struct Result {
+    std::vector<Word> outputs;  ///< reassembled from the bit planes
+    bool self_routed = false;
+    /// Switch-setting signals broadcast from the control plane to follower
+    /// planes over the whole run (one per follower switch).
+    std::uint64_t broadcast_signals = 0;
+  };
+
+  /// Route words physically.  Payloads must fit in payload_bits (checked):
+  /// the hardware has no wires for the rest.
+  [[nodiscard]] Result route_words(std::span<const Word> words) const;
+  [[nodiscard]] Result route(const Permutation& pi) const;
+
+ private:
+  unsigned m_;
+  unsigned w_;
+};
+
+}  // namespace bnb

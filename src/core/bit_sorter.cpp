@@ -1,0 +1,85 @@
+#include "core/bit_sorter.hpp"
+
+#include <numeric>
+
+#include "common/expect.hpp"
+
+namespace bnb {
+
+BitSorter::BitSorter(unsigned k) : topo_(k) {
+  splitters_.reserve(k);
+  for (unsigned l = 0; l < k; ++l) {
+    splitters_.emplace_back(k - l);  // stage-l uses sp(k-l)
+  }
+}
+
+BitSorter::Result BitSorter::route(std::span<const std::uint8_t> bits) const {
+  const std::size_t n = inputs();
+  BNB_EXPECTS(bits.size() == n);
+  std::size_t ones = 0;
+  for (auto b : bits) {
+    BNB_EXPECTS(b <= 1);
+    ones += b;
+  }
+  BNB_EXPECTS(ones * 2 == n);  // Theorem 1 hypothesis: exactly half are 1
+
+  Result r;
+  r.controls.resize(k());
+  r.line_bits.reserve(k());
+
+  std::vector<std::uint8_t> cur(bits.begin(), bits.end());
+  // dest starts as identity and accumulates the line mapping.
+  std::vector<std::uint32_t> where(n);  // where[line] = original input index
+  std::iota(where.begin(), where.end(), 0U);
+
+  for (unsigned stage = 0; stage < k(); ++stage) {
+    r.line_bits.push_back(cur);
+    const std::size_t box_size = topo_.box_size(stage);
+    const Splitter& sp = splitters_[stage];
+    r.controls[stage].reserve(n / 2);
+
+    std::vector<std::uint8_t> next_bits(n);
+    std::vector<std::uint32_t> next_where(n);
+    for (std::size_t box = 0; box < topo_.boxes_in_stage(stage); ++box) {
+      const std::size_t base = topo_.box_base(stage, box);
+      const auto res = sp.route(std::span<const std::uint8_t>(cur).subspan(base, box_size));
+      for (auto c : res.controls) r.controls[stage].push_back(c);
+      for (std::size_t j = 0; j < box_size; ++j) {
+        next_bits[base + res.dest[j]] = cur[base + j];
+        next_where[base + res.dest[j]] = where[base + j];
+      }
+    }
+    cur = std::move(next_bits);
+    where = std::move(next_where);
+
+    if (stage + 1 < k()) {
+      // The GBN's U_{k-stage}^k unshuffle connection to the next stage.
+      std::vector<std::uint8_t> shuffled_bits(n);
+      std::vector<std::uint32_t> shuffled_where(n);
+      for (std::size_t line = 0; line < n; ++line) {
+        const std::size_t nxt = topo_.next_line(stage, line);
+        shuffled_bits[nxt] = cur[line];
+        shuffled_where[nxt] = where[line];
+      }
+      cur = std::move(shuffled_bits);
+      where = std::move(shuffled_where);
+    }
+  }
+
+  r.out_bits = std::move(cur);
+  r.dest.assign(n, 0);
+  for (std::size_t line = 0; line < n; ++line) {
+    r.dest[where[line]] = static_cast<std::uint32_t>(line);
+  }
+  return r;
+}
+
+sim::HardwareCensus BitSorter::census() const {
+  sim::HardwareCensus total;
+  for (unsigned stage = 0; stage < k(); ++stage) {
+    total += splitters_[stage].census().scaled(topo_.boxes_in_stage(stage));
+  }
+  return total;
+}
+
+}  // namespace bnb

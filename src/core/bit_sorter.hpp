@@ -1,0 +1,61 @@
+// The bit-sorter network BSN (paper, Definition 4 and Theorem 1).
+//
+// A 2^k-input BSN is the GBN B(k, sp(l)) whose switching boxes are
+// splitters: stage-l holds 2^l splitters sp(k-l), with the GBN's
+// 2^{k-l}-unshuffle connection between consecutive stages.  When exactly
+// half of the input bits are 1, the BSN delivers 0 to every even output
+// and 1 to every odd output (Theorem 1) — one complete pass of MSB-first
+// binary radix sort.
+//
+// route() reports, besides the output bits, the full line mapping and the
+// setting of every 2x2 switch.  Those settings are broadcast (by the BNB
+// network) to the other q-1 bit slices of the nested network, which is how
+// entire words follow the sorter's decision.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/gbn.hpp"
+#include "core/splitter.hpp"
+#include "sim/census.hpp"
+
+namespace bnb {
+
+class BitSorter {
+ public:
+  /// A 2^k-input BSN.  Requires 1 <= k < 32.
+  explicit BitSorter(unsigned k);
+
+  [[nodiscard]] unsigned k() const noexcept { return topo_.m(); }
+  [[nodiscard]] std::size_t inputs() const noexcept { return topo_.inputs(); }
+  [[nodiscard]] const GbnTopology& topology() const noexcept { return topo_; }
+
+  struct Result {
+    std::vector<std::uint8_t> out_bits;  ///< bit at each output line
+    /// dest[j] = final output line of the word that entered on line j.
+    std::vector<std::uint32_t> dest;
+    /// controls[stage] = settings of that stage's switches, top to bottom
+    /// (0 straight, 1 exchange).  These drive the other bit slices.
+    std::vector<std::vector<std::uint8_t>> controls;
+    /// line_bits[stage] = bits present at the *inputs* of each stage
+    /// (line_bits[0] is the network input); out_bits is the final stage's
+    /// output after its switches.
+    std::vector<std::vector<std::uint8_t>> line_bits;
+  };
+
+  /// Route one bit slice.  Precondition: exactly half the bits are 1
+  /// (Theorem 1's hypothesis; guaranteed inside the BNB network).
+  [[nodiscard]] Result route(std::span<const std::uint8_t> bits) const;
+
+  /// Total hardware of the one-bit slice: switches of every splitter plus
+  /// all arbiter function nodes (Eq. 4's census for this slice).
+  [[nodiscard]] sim::HardwareCensus census() const;
+
+ private:
+  GbnTopology topo_;
+  std::vector<Splitter> splitters_;  ///< splitters_[l] = sp(k-l), used by stage l
+};
+
+}  // namespace bnb

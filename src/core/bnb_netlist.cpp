@@ -1,0 +1,126 @@
+#include "core/bnb_netlist.hpp"
+
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+#include "core/arbiter.hpp"
+#include "core/unshuffle.hpp"
+
+namespace bnb {
+
+BnbNetlist::BnbNetlist(unsigned m, unsigned payload_bits) : m_(m), w_(payload_bits) {
+  BNB_EXPECTS(m >= 1 && m < 26);
+}
+
+sim::HardwareCensus BnbNetlist::census() const {
+  sim::HardwareCensus total;
+  // Walk the construction: main stage i has 2^i nested networks of
+  // P = 2^{m-i} lines; a nested network has (log P + w) bit slices, each an
+  // (m-i)-stage GBN of switches; its BSN slice adds the arbiters.
+  for (unsigned i = 0; i < m_; ++i) {
+    const std::uint64_t nested_count = pow2(i);
+    const unsigned p_log = m_ - i;             // nested network is 2^p_log lines
+    const std::uint64_t slices = p_log + w_;   // Eq. 2: log P + w bit slices
+    sim::HardwareCensus nested;
+    for (unsigned j = 0; j < p_log; ++j) {
+      const unsigned sp_size = p_log - j;      // nested stage j: 2^j x sp(sp_size)
+      const std::uint64_t boxes = pow2(j);
+      nested.switches_2x2 += boxes * pow2(sp_size - 1) * slices;
+      nested.function_nodes += boxes * Arbiter::node_count(sp_size);
+    }
+    total += nested.scaled(nested_count);
+  }
+  return total;
+}
+
+sim::DelayGraph BnbNetlist::build_delay_graph() const {
+  using NodeId = sim::DelayGraph::NodeId;
+  sim::DelayGraph g;
+  const std::size_t n = inputs();
+
+  // arrival[line] = DAG node carrying the signal currently on that line.
+  std::vector<NodeId> arrival(n);
+  for (std::size_t line = 0; line < n; ++line) arrival[line] = g.add_source();
+
+  constexpr sim::DelayUnits kFn{0, 1, 0};
+  constexpr sim::DelayUnits kSw{1, 0, 0};
+
+  std::vector<NodeId> up;    // arbiter nodes, heap order (index 0 unused)
+  std::vector<NodeId> down;
+
+  for (unsigned i = 0; i < m_; ++i) {
+    const unsigned p_log = m_ - i;  // nested networks span 2^{p_log} lines
+    const std::size_t nested_size = pow2(p_log);
+
+    for (unsigned j = 0; j < p_log; ++j) {
+      const unsigned p = p_log - j;            // this nested stage: sp(p)'s
+      const std::size_t sp_size = pow2(p);
+
+      for (std::size_t base = 0; base < n; base += sp_size) {
+        if (p >= 2) {
+          // Arbiter A(p): up pass then down pass, one FN element per node
+          // per direction.  Heap ids [1, 2^p); leaves at [2^{p-1}, 2^p).
+          const std::size_t heap = sp_size;
+          const std::size_t leaves = heap / 2;
+          up.assign(heap, sim::DelayGraph::kNoNode);
+          down.assign(heap, sim::DelayGraph::kNoNode);
+          for (std::size_t v = heap - 1; v >= leaves; --v) {
+            const std::size_t pair = v - leaves;
+            up[v] = g.add_node(kFn, {arrival[base + 2 * pair],
+                                     arrival[base + 2 * pair + 1]});
+          }
+          for (std::size_t v = leaves - 1; v >= 1; --v) {
+            up[v] = g.add_node(kFn, {up[2 * v], up[2 * v + 1]});
+          }
+          // Root echo is wiring: D_1 depends only on U_1.
+          down[1] = g.add_node(kFn, {up[1]});
+          for (std::size_t v = 2; v < heap; ++v) {
+            down[v] = g.add_node(kFn, {up[v], down[v / 2]});
+          }
+          // Switch column: switch t waits for its pair's flag (leaf down
+          // node) and its two data inputs.
+          for (std::size_t t = 0; t < sp_size / 2; ++t) {
+            const std::size_t leaf = leaves + t;
+            const NodeId sw = g.add_node(
+                kSw, {down[leaf], arrival[base + 2 * t], arrival[base + 2 * t + 1]});
+            arrival[base + 2 * t] = sw;
+            arrival[base + 2 * t + 1] = sw;
+          }
+        } else {
+          // sp(1): A(1) is wiring; the switch is driven by the input bit.
+          const NodeId sw = g.add_node(kSw, {arrival[base], arrival[base + 1]});
+          arrival[base] = sw;
+          arrival[base + 1] = sw;
+        }
+      }
+
+      if (j + 1 < p_log) {
+        // Nested U_{p}^{p_log} connection, applied within each nested block.
+        std::vector<NodeId> next(n);
+        for (std::size_t nb = 0; nb < n; nb += nested_size) {
+          for (std::size_t local = 0; local < nested_size; ++local) {
+            next[nb + unshuffle_index(local, p, p_log)] = arrival[nb + local];
+          }
+        }
+        arrival = std::move(next);
+      }
+    }
+
+    if (i + 1 < m_) {
+      // Main U_{m-i}^m connection.
+      std::vector<NodeId> next(n);
+      for (std::size_t line = 0; line < n; ++line) {
+        next[unshuffle_index(line, m_ - i, m_)] = arrival[line];
+      }
+      arrival = std::move(next);
+    }
+  }
+  return g;
+}
+
+sim::DelayGraph::PathResult BnbNetlist::critical_path(double d_sw, double d_fn) const {
+  return build_delay_graph().critical_path(d_sw, d_fn);
+}
+
+}  // namespace bnb

@@ -1,0 +1,50 @@
+// Structural (element-level) model of the BNB network.
+//
+// Where BnbNetwork answers "where does each word go", BnbNetlist answers
+// "what hardware is that, and how long does the slowest signal take".  It
+// CONSTRUCTS the network element by element:
+//
+//   * census(): walks every nested network of every main stage and counts
+//     the 2x2 switches of all (log P + w) bit slices and the function nodes
+//     of every arbiter — the measured counterpart of Eq. 6.
+//   * build_delay_graph(): builds the per-line combinational DAG of the
+//     control+data path — arbiter up nodes, arbiter down nodes, switch
+//     elements — whose weighted critical path is the measured counterpart
+//     of Eqs. 7-9.  (Only one bit slice appears: the other slices' switches
+//     are driven by the same flags in parallel and add no delay, exactly
+//     the paper's assumption.)
+#pragma once
+
+#include <cstdint>
+
+#include "sim/census.hpp"
+#include "sim/delay_graph.hpp"
+
+namespace bnb {
+
+class BnbNetlist {
+ public:
+  /// N = 2^m lines, w payload bits per word.
+  BnbNetlist(unsigned m, unsigned payload_bits);
+
+  [[nodiscard]] unsigned m() const noexcept { return m_; }
+  [[nodiscard]] unsigned payload_bits() const noexcept { return w_; }
+  [[nodiscard]] std::size_t inputs() const noexcept { return std::size_t{1} << m_; }
+
+  /// Constructed hardware counts (measured Eq. 6).
+  [[nodiscard]] sim::HardwareCensus census() const;
+
+  /// The full element-level delay DAG of one bit slice.
+  [[nodiscard]] sim::DelayGraph build_delay_graph() const;
+
+  /// Critical path of the constructed DAG for given unit delays
+  /// (measured Eq. 9; the unit counts along the path measure Eqs. 7/8).
+  [[nodiscard]] sim::DelayGraph::PathResult critical_path(double d_sw = 1.0,
+                                                          double d_fn = 1.0) const;
+
+ private:
+  unsigned m_;
+  unsigned w_;
+};
+
+}  // namespace bnb

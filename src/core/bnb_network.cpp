@@ -1,0 +1,126 @@
+#include "core/bnb_network.hpp"
+
+#include <sstream>
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+
+namespace bnb {
+
+BnbNetwork::BnbNetwork(unsigned m) : m_(m), main_(m) {
+  BNB_EXPECTS(m >= 1 && m < 26);
+  sorters_.reserve(m);
+  for (unsigned i = 0; i < m; ++i) {
+    sorters_.emplace_back(m - i);  // BSN(i, *) spans 2^{m-i} lines
+  }
+}
+
+BnbNetwork::Result BnbNetwork::route(const Permutation& pi, bool keep_trace) const {
+  BNB_EXPECTS(pi.size() == inputs());
+  std::vector<Word> words(inputs());
+  for (std::size_t j = 0; j < inputs(); ++j) {
+    words[j] = Word{pi(j), static_cast<std::uint64_t>(j)};
+  }
+  return route_words(words, keep_trace);
+}
+
+BnbNetwork::Result BnbNetwork::route_words(std::span<const Word> words,
+                                           bool keep_trace) const {
+  const std::size_t n = inputs();
+  BNB_EXPECTS(words.size() == n);
+  {
+    // The self-routing guarantee (Theorem 2) assumes the addresses are a
+    // permutation of 0..N-1.
+    std::vector<Permutation::value_type> addrs(n);
+    for (std::size_t j = 0; j < n; ++j) addrs[j] = words[j].address;
+    BNB_EXPECTS(Permutation::is_valid_image(addrs));
+  }
+
+  Result r;
+  std::vector<Word> cur(words.begin(), words.end());
+  std::vector<std::uint32_t> where(n);  // where[line] = original input index
+  for (std::size_t j = 0; j < n; ++j) where[j] = static_cast<std::uint32_t>(j);
+
+  std::vector<std::uint8_t> bits;
+  for (unsigned stage = 0; stage < m_; ++stage) {
+    if (keep_trace) r.stage_words.push_back(cur);
+
+    const std::size_t block = main_.box_size(stage);
+    const BitSorter& bsn = sorters_[stage];
+    // Paper bit i (bit 0 = MSB) of an m-bit address is integer bit m-1-i.
+    const unsigned addr_bit = m_ - 1 - stage;
+
+    std::vector<Word> next(n);
+    std::vector<std::uint32_t> next_where(n);
+    for (std::size_t b = 0; b < main_.boxes_in_stage(stage); ++b) {
+      const std::size_t base = main_.box_base(stage, b);
+      bits.resize(block);
+      for (std::size_t j = 0; j < block; ++j) {
+        bits[j] = static_cast<std::uint8_t>(bit_of(cur[base + j].address, addr_bit));
+      }
+      // BSN(stage, b) decides the routing of the whole nested network
+      // NB(stage, b); the words follow its switch settings.
+      const auto sorted = bsn.route(bits);
+      for (std::size_t j = 0; j < block; ++j) {
+        next[base + sorted.dest[j]] = cur[base + j];
+        next_where[base + sorted.dest[j]] = where[base + j];
+      }
+    }
+    cur = std::move(next);
+    where = std::move(next_where);
+
+    if (stage + 1 < m_) {
+      // Main-network U_{m-stage}^m connection: even lines of each block go
+      // to NB(stage+1, 2b), odd lines to NB(stage+1, 2b+1).
+      std::vector<Word> shuffled(n);
+      std::vector<std::uint32_t> shuffled_where(n);
+      for (std::size_t line = 0; line < n; ++line) {
+        const std::size_t nxt = main_.next_line(stage, line);
+        shuffled[nxt] = cur[line];
+        shuffled_where[nxt] = where[line];
+      }
+      cur = std::move(shuffled);
+      where = std::move(shuffled_where);
+    }
+  }
+
+  r.dest.assign(n, 0);
+  for (std::size_t line = 0; line < n; ++line) {
+    r.dest[where[line]] = static_cast<std::uint32_t>(line);
+  }
+  r.self_routed = true;
+  for (std::size_t line = 0; line < n; ++line) {
+    if (cur[line].address != line) {
+      r.self_routed = false;
+      break;
+    }
+  }
+  r.outputs = std::move(cur);
+  return r;
+}
+
+std::string BnbNetwork::describe() const {
+  std::ostringstream os;
+  const std::size_t n = inputs();
+  os << "BNB self-routing permutation network B(" << m_ << ", B_k^q(i, SB_k)): "
+     << n << " inputs, " << m_ << " main stages\n";
+  for (unsigned i = 0; i < m_; ++i) {
+    const std::size_t boxes = main_.boxes_in_stage(i);
+    const std::size_t size = main_.box_size(i);
+    os << "  main stage-" << i << ": " << boxes << " nested network(s) NB(" << i
+       << ",0.." << (boxes - 1) << "), each " << size << "x" << size
+       << "; slice-" << i << " is BSN(" << i << ",l) sorting address bit " << i
+       << " (MSB=bit 0)\n";
+    const BitSorter& bsn = sorters_[i];
+    for (unsigned l = 0; l < bsn.k(); ++l) {
+      os << "      BSN stage-" << l << ": " << (std::size_t{1} << l)
+         << " x sp(" << (bsn.k() - l) << ")\n";
+    }
+    if (i + 1 < m_) {
+      os << "    --U_" << size << "-unshuffle--> (even lines up, odd lines down)\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace bnb

@@ -1,0 +1,89 @@
+// The BNB self-routing permutation network (paper, Definition 5, Theorem 2).
+//
+// The N(=2^m)-input BNB network is a two-level nesting of GBNs:
+//
+//   * The MAIN network is an m-stage GBN whose stage-i "switching boxes"
+//     are 2^i nested networks NB(i,l) of 2^{m-i} lines each, joined by
+//     2^{m-i}-unshuffle connections.
+//   * Each NESTED network NB(i,l) is a q-bit-slice GBN (q = m address bits
+//     + w payload bits).  Its slice i — the slice carrying address bit i,
+//     where bit 0 is the MSB — is a bit-sorter network BSN(i,l) built from
+//     splitters; every other slice is plain switches sw(.) that copy the
+//     BSN's switch settings.
+//
+// Stage i therefore sorts the words of each block by address bit i, and
+// the main unshuffle sends the 0-half up and the 1-half down: MSB-first
+// binary radix sort, one bit per stage, ending with every word on the
+// output line its address names — for any of the N! permutations, with no
+// global routing computation (Theorem 2).
+//
+// This class is the behavioral model: it moves whole words under the
+// bit-sorter's settings, exactly as the hardware broadcast of switch
+// signals would.  The structural model (hardware census, delay graph)
+// lives in core/bnb_netlist.hpp.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/bit_sorter.hpp"
+#include "core/gbn.hpp"
+#include "perm/permutation.hpp"
+
+namespace bnb {
+
+/// One word travelling through the fabric: an m-bit destination address
+/// plus an opaque payload (the "w data bits" of the paper).
+struct Word {
+  std::uint32_t address = 0;
+  std::uint64_t payload = 0;
+
+  friend bool operator==(const Word&, const Word&) = default;
+};
+
+class BnbNetwork {
+ public:
+  /// An N = 2^m input network.  Requires 1 <= m < 26.
+  explicit BnbNetwork(unsigned m);
+
+  [[nodiscard]] unsigned m() const noexcept { return m_; }
+  [[nodiscard]] std::size_t inputs() const noexcept { return std::size_t{1} << m_; }
+  [[nodiscard]] const GbnTopology& main_topology() const noexcept { return main_; }
+
+  struct Result {
+    /// outputs[line] = word delivered at output line.
+    std::vector<Word> outputs;
+    /// dest[j] = output line reached by the word that entered on line j.
+    std::vector<std::uint32_t> dest;
+    /// True iff every word arrived at the output line its address names.
+    bool self_routed = false;
+    /// Words at the inputs of each main stage (index 0 = network inputs);
+    /// filled only when route was asked to keep a trace.
+    std::vector<std::vector<Word>> stage_words;
+  };
+
+  /// Route a permutation: input line j carries address pi(j) and payload j.
+  [[nodiscard]] Result route(const Permutation& pi, bool keep_trace = false) const;
+
+  /// Route explicit words (addresses must form a permutation of 0..N-1 —
+  /// the paper's standing assumption; checked).
+  [[nodiscard]] Result route_words(std::span<const Word> words,
+                                   bool keep_trace = false) const;
+
+  /// Identify nested network NB(i,l): the main-stage box owning a line.
+  [[nodiscard]] GbnTopology::BoxRef nested_of(unsigned stage, std::size_t line) const {
+    return main_.box_of(stage, line);
+  }
+
+  /// ASCII profile of the nesting structure (Fig. 3).
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  unsigned m_;
+  GbnTopology main_;
+  std::vector<BitSorter> sorters_;  ///< sorters_[i] = the BSN shape of stage i
+};
+
+}  // namespace bnb

@@ -1,0 +1,158 @@
+#include "core/complexity.hpp"
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+
+namespace bnb::model {
+
+namespace {
+unsigned checked_m(std::uint64_t N) {
+  BNB_EXPECTS(is_power_of_two(N) && N >= 2);
+  return log2_exact(N);
+}
+}  // namespace
+
+// ---------------------------------------------------------------- BNB ----
+
+std::uint64_t nested_arbiter_cost(std::uint64_t P) {
+  const std::uint64_t m = checked_m(P);
+  // Eq. 4: P log(P/2) - P/2 + 1.
+  return P * (m - 1) - P / 2 + 1;
+}
+
+Cost nested_network_cost(std::uint64_t P, std::uint64_t w) {
+  const std::uint64_t m = checked_m(P);
+  Cost c;
+  c.sw = (P / 2) * m * (m + w);        // Eq. 3 x (log P + w) slices
+  c.fn = nested_arbiter_cost(P);        // Eq. 4
+  return c;
+}
+
+Cost bnb_cost_recurrence(std::uint64_t N, std::uint64_t w) {
+  checked_m(N);
+  // Eq. 1: C_BNB(N) = 2 C_BNB(N/2) + C_NB(N); C_BNB(1) = 0.
+  Cost c;
+  if (N >= 4) c = bnb_cost_recurrence(N / 2, w);
+  Cost total = nested_network_cost(N, w);
+  total.sw += 2 * c.sw;
+  total.fn += 2 * c.fn;
+  return total;
+}
+
+Cost bnb_cost_exact(std::uint64_t N, std::uint64_t w) {
+  const std::uint64_t m = checked_m(N);
+  Cost c;
+  // N/6 m^3 + N/4 m^2 + N/12 m  ==  (N/2) * m(m+1)(2m+1)/6
+  // (the square-pyramid closed form; always integral for even N).
+  c.sw = (N / 2) * (m * (m + 1) * (2 * m + 1) / 6);
+  // + (Nw/4)(m^2 + m)  ==  (N/2) * w * m(m+1)/2
+  c.sw += (N / 2) * w * (m * (m + 1) / 2);
+  // N/2 m^2 - N m + N - 1
+  c.fn = (N / 2) * m * m - N * m + N - 1;
+  return c;
+}
+
+std::uint64_t bnb_delay_sw_units(std::uint64_t N) {
+  const std::uint64_t m = checked_m(N);
+  return m * (m + 1) / 2;  // Eq. 7
+}
+
+std::uint64_t bnb_delay_fn_units(std::uint64_t N) {
+  const std::uint64_t m = checked_m(N);
+  // Eq. 8: (1/3)m^3 + m^2 - (4/3)m  ==  m(m-1)(m+4)/3.
+  return m * (m - 1) * (m + 4) / 3;
+}
+
+Delay bnb_delay(std::uint64_t N) {
+  return Delay{bnb_delay_sw_units(N), bnb_delay_fn_units(N)};
+}
+
+// ------------------------------------------------------------- Batcher ----
+
+std::uint64_t batcher_comparator_count(std::uint64_t N) {
+  const std::uint64_t m = checked_m(N);
+  // Eq. 10: N/4 m^2 - N/4 m + N - 1  ==  (N/2) * m(m-1)/2 + N - 1.
+  return (N / 2) * (m * (m - 1) / 2) + N - 1;
+}
+
+std::uint64_t batcher_stage_count(std::uint64_t N) {
+  const std::uint64_t m = checked_m(N);
+  return m * (m + 1) / 2;
+}
+
+Cost batcher_cost(std::uint64_t N, std::uint64_t w) {
+  const std::uint64_t m = checked_m(N);
+  const std::uint64_t ce = batcher_comparator_count(N);
+  Cost c;
+  c.sw = ce * (m + w);  // one 2x2 switch slice per word bit (Eq. 11)
+  c.fn = ce * m;        // logN-bit comparison logic per comparator
+  return c;
+}
+
+Delay batcher_delay(std::uint64_t N) {
+  const std::uint64_t m = checked_m(N);
+  const std::uint64_t stages = batcher_stage_count(N);
+  // Eq. 12: every stage compares logN bits (m D_FN) then switches (1 D_SW).
+  return Delay{stages, stages * m};
+}
+
+// ----------------------------------------------------------- Koppelman ----
+
+Cost koppelman_cost_leading(std::uint64_t N) {
+  const std::uint64_t m = checked_m(N);
+  Cost c;
+  c.sw = N / 4 * m * m * m;  // exact for N >= 4
+  c.fn = N / 2 * m * m;
+  c.add = N * m * m;
+  return c;
+}
+
+std::uint64_t koppelman_delay_units(std::uint64_t N) {
+  const std::uint64_t m = checked_m(N);
+  // (2/3)m^3 - m^2 + (1/3)m + 1  ==  m(m-1)(2m-1)/3 + 1.
+  return m * (m - 1) * (2 * m - 1) / 3 + 1;
+}
+
+// -------------------------------------------------------------- Tables ----
+
+std::string network_kind_name(NetworkKind k) {
+  switch (k) {
+    case NetworkKind::kBatcher: return "Batcher";
+    case NetworkKind::kKoppelman: return "Koppelman[11]";
+    case NetworkKind::kBnb: return "This paper (BNB)";
+  }
+  return "?";
+}
+
+Table1Row table1_leading(NetworkKind k, std::uint64_t N) {
+  const double n = static_cast<double>(N);
+  const double m = static_cast<double>(checked_m(N));
+  const double m3 = m * m * m;
+  const double m2 = m * m;
+  switch (k) {
+    case NetworkKind::kBatcher:
+      return Table1Row{n / 4 * m3, n / 4 * m3, 0.0};
+    case NetworkKind::kKoppelman:
+      return Table1Row{n / 4 * m3, n / 2 * m2, n * m2};
+    case NetworkKind::kBnb:
+      return Table1Row{n / 6 * m3, n / 2 * m2, 0.0};
+  }
+  return Table1Row{0, 0, 0};
+}
+
+double table2_delay(NetworkKind k, std::uint64_t N) {
+  const double m = static_cast<double>(checked_m(N));
+  switch (k) {
+    case NetworkKind::kBatcher:
+      // Table 2 publishes the function-delay term only.
+      return 0.5 * m * m * m + 0.5 * m * m;
+    case NetworkKind::kKoppelman:
+      return (2.0 / 3) * m * m * m - m * m + m / 3 + 1;
+    case NetworkKind::kBnb:
+      // Eq. 9 with D_SW = D_FN = 1: 1/3 m^3 + 3/2 m^2 - 5/6 m.
+      return m * m * m / 3 + 1.5 * m * m - (5.0 / 6) * m;
+  }
+  return 0.0;
+}
+
+}  // namespace bnb::model

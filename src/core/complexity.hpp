@@ -1,0 +1,112 @@
+// Closed-form hardware-cost and propagation-delay models
+// (paper, Section 5, Eqs. 1-12 and Tables 1-2).
+//
+// All counts are exact integers (every formula in the paper evaluates to an
+// integer for N a power of two); the Table-1/Table-2 "leading term" helpers
+// return doubles because N/6*log^3(N) alone need not be integral.
+//
+// Conventions: N = 2^m inputs, w = payload (data word) bits,
+// costs are multiples of C_SW (2x2 switch) / C_FN (function node) /
+// C_ADD (adder node); delays are multiples of D_SW / D_FN.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bnb::model {
+
+/// Hardware cost in units of (C_SW, C_FN, C_ADD).
+struct Cost {
+  std::uint64_t sw = 0;
+  std::uint64_t fn = 0;
+  std::uint64_t add = 0;
+  friend bool operator==(const Cost&, const Cost&) = default;
+  Cost& operator+=(const Cost& o) noexcept {
+    sw += o.sw;
+    fn += o.fn;
+    add += o.add;
+    return *this;
+  }
+};
+
+/// Propagation delay in units of (D_SW, D_FN).
+struct Delay {
+  std::uint64_t sw = 0;
+  std::uint64_t fn = 0;
+  friend bool operator==(const Delay&, const Delay&) = default;
+  [[nodiscard]] double evaluate(double d_sw = 1.0, double d_fn = 1.0) const noexcept {
+    return static_cast<double>(sw) * d_sw + static_cast<double>(fn) * d_fn;
+  }
+};
+
+// ---------------------------------------------------------------- BNB ----
+
+/// Eq. 4: function nodes of all arbiters in a P-input bit-sorter network:
+/// P*log(P/2) - P/2 + 1.
+[[nodiscard]] std::uint64_t nested_arbiter_cost(std::uint64_t P);
+
+/// Eq. 5: cost of one P-input nested network with w payload bits:
+/// (P/2)*logP*(logP + w) switches + nested_arbiter_cost(P) function nodes.
+[[nodiscard]] Cost nested_network_cost(std::uint64_t P, std::uint64_t w);
+
+/// Eqs. 1+5 evaluated as the recurrence C_BNB(N) = 2 C_BNB(N/2) + C_NB(N).
+[[nodiscard]] Cost bnb_cost_recurrence(std::uint64_t N, std::uint64_t w);
+
+/// Eq. 6, the closed form:
+///   C_SW:  N/6 log^3 N + N/4 log^2 N + N/12 log N + (Nw/4)(log^2 N + log N)
+///   C_FN:  N/2 log^2 N - N log N + N - 1
+[[nodiscard]] Cost bnb_cost_exact(std::uint64_t N, std::uint64_t w);
+
+/// Eq. 7: switch stages on the path = (1/2) logN (logN + 1).
+[[nodiscard]] std::uint64_t bnb_delay_sw_units(std::uint64_t N);
+
+/// Eq. 8: arbiter levels = (1/3)log^3 N + log^2 N - (4/3)log N.
+[[nodiscard]] std::uint64_t bnb_delay_fn_units(std::uint64_t N);
+
+/// Eq. 9 = Eq. 7 + Eq. 8 combined.
+[[nodiscard]] Delay bnb_delay(std::uint64_t N);
+
+// ------------------------------------------------------------- Batcher ----
+
+/// Eq. 10: comparators in the N-input odd-even sorting network:
+/// N/4 log^2 N - N/4 log N + N - 1.
+[[nodiscard]] std::uint64_t batcher_comparator_count(std::uint64_t N);
+
+/// Comparator stages (columns): (1/2) logN (logN + 1).
+[[nodiscard]] std::uint64_t batcher_stage_count(std::uint64_t N);
+
+/// Eq. 11: each comparator carries (logN + w) 2x2-switch slices and logN
+/// function slices.
+[[nodiscard]] Cost batcher_cost(std::uint64_t N, std::uint64_t w);
+
+/// Eq. 12: (1/2 log^3 N + 1/2 log^2 N) D_FN + (1/2 log^2 N + 1/2 log N) D_SW.
+[[nodiscard]] Delay batcher_delay(std::uint64_t N);
+
+// ----------------------------------------------------------- Koppelman ----
+
+/// Table 1 row for the SRPN of [11] (leading terms only, as published):
+/// N/4 log^3 N switches, N/2 log^2 N function slices, N log^2 N adders.
+[[nodiscard]] Cost koppelman_cost_leading(std::uint64_t N);
+
+/// Table 2 row for [11]: (2/3)log^3 N - log^2 N + (1/3)log N + 1,
+/// in combined delay units (the paper lists one polynomial).
+[[nodiscard]] std::uint64_t koppelman_delay_units(std::uint64_t N);
+
+// -------------------------------------------------------------- Table 1 ----
+
+enum class NetworkKind { kBatcher, kKoppelman, kBnb };
+
+[[nodiscard]] std::string network_kind_name(NetworkKind k);
+
+/// Table 1 leading terms, evaluated (may be fractional for the BNB row).
+struct Table1Row {
+  double switches;
+  double function_slices;
+  double adder_slices;  // 0 except for Koppelman
+};
+[[nodiscard]] Table1Row table1_leading(NetworkKind k, std::uint64_t N);
+
+/// Table 2 delay polynomial, evaluated with D_SW = D_FN = 1.
+[[nodiscard]] double table2_delay(NetworkKind k, std::uint64_t N);
+
+}  // namespace bnb::model

@@ -1,0 +1,100 @@
+#include "core/dot_export.hpp"
+
+#include <sstream>
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+#include "core/unshuffle.hpp"
+
+namespace bnb {
+
+std::string gbn_to_dot(const GbnTopology& topology) {
+  const unsigned m = topology.m();
+  std::ostringstream os;
+  os << "digraph gbn {\n  rankdir=LR;\n  node [shape=box];\n";
+  // One node per switching box.
+  for (unsigned stage = 0; stage < m; ++stage) {
+    for (std::size_t box = 0; box < topology.boxes_in_stage(stage); ++box) {
+      os << "  s" << stage << "_b" << box << " [label=\"SB(" << (m - stage)
+         << ")\\nstage " << stage << ", box " << box << "\"];\n";
+    }
+  }
+  // One edge per line of each inter-stage connection.
+  for (unsigned stage = 0; stage + 1 < m; ++stage) {
+    for (std::size_t line = 0; line < topology.inputs(); ++line) {
+      const auto from = topology.box_of(stage, line);
+      const auto to = topology.box_of(stage + 1, topology.next_line(stage, line));
+      os << "  s" << stage << "_b" << from.box << " -> s" << (stage + 1) << "_b"
+         << to.box << " [label=\"" << line << "\"];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string splitter_to_dot(unsigned p) {
+  BNB_EXPECTS(p >= 1 && p <= 8);
+  std::ostringstream os;
+  os << "digraph splitter {\n  node [shape=circle];\n";
+  const std::size_t heap = std::size_t{1} << p;
+  if (p >= 2) {
+    for (std::size_t v = 1; v < heap; ++v) {
+      os << "  fn" << v << " [label=\"FN\"];\n";
+    }
+    // Tree edges: up (child -> parent) and down (parent -> child).
+    for (std::size_t v = 1; v < heap / 2; ++v) {
+      os << "  fn" << (2 * v) << " -> fn" << v << " [label=\"z_u\"];\n";
+      os << "  fn" << (2 * v + 1) << " -> fn" << v << " [label=\"z_u\"];\n";
+      os << "  fn" << v << " -> fn" << (2 * v) << " [label=\"y1\",style=dashed];\n";
+      os << "  fn" << v << " -> fn" << (2 * v + 1) << " [label=\"y2\",style=dashed];\n";
+    }
+  }
+  // Switch column, fed by the leaf flags (or by the input bit for sp(1)).
+  for (std::size_t t = 0; t < (std::size_t{1} << (p - 1)); ++t) {
+    os << "  sw" << t << " [shape=box,label=\"sw(1) #" << t << "\"];\n";
+    if (p >= 2) {
+      os << "  fn" << (heap / 2 + t) << " -> sw" << t
+         << " [label=\"flag\",style=dashed];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string bnb_profile_to_dot(unsigned m) {
+  BNB_EXPECTS(m >= 1 && m < 12);
+  const std::size_t n = std::size_t{1} << m;
+  std::ostringstream os;
+  os << "digraph bnb {\n  rankdir=LR;\n  node [shape=box3d];\n";
+  for (unsigned i = 0; i < m; ++i) {
+    const std::size_t boxes = std::size_t{1} << i;
+    const std::size_t size = n >> i;
+    for (std::size_t l = 0; l < boxes; ++l) {
+      os << "  nb" << i << "_" << l << " [label=\"NB(" << i << "," << l << ")\\n"
+         << size << "x" << size << " nested GBN\\nBSN slice " << i << "\"];\n";
+    }
+  }
+  for (unsigned i = 0; i + 1 < m; ++i) {
+    const std::size_t block = n >> i;
+    if (n <= 64) {
+      for (std::size_t line = 0; line < n; ++line) {
+        const std::size_t from = line / block;
+        const std::size_t to = unshuffle_index(line, m - i, m) / (block / 2);
+        os << "  nb" << i << "_" << from << " -> nb" << (i + 1) << "_" << to
+           << ";\n";
+      }
+    } else {
+      // Summarize: each NB feeds its two children with block/2 lines each.
+      for (std::size_t l = 0; l < (std::size_t{1} << i); ++l) {
+        os << "  nb" << i << "_" << l << " -> nb" << (i + 1) << "_" << (2 * l)
+           << " [label=\"" << (block / 2) << " lines\"];\n";
+        os << "  nb" << i << "_" << l << " -> nb" << (i + 1) << "_" << (2 * l + 1)
+           << " [label=\"" << (block / 2) << " lines\"];\n";
+      }
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace bnb

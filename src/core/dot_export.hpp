@@ -1,0 +1,27 @@
+// Graphviz export of the network structures.
+//
+// Renders the paper's constructions as dot graphs for inspection and
+// documentation: the GBN skeleton (Fig. 1), a splitter with its arbiter
+// tree (Fig. 4), and the BNB main-stage nesting (Fig. 3).  Output is
+// deterministic, so the tests can assert on node/edge counts.
+#pragma once
+
+#include <string>
+
+#include "core/gbn.hpp"
+
+namespace bnb {
+
+/// The m-stage GBN: one node per switching box, one edge per inter-stage
+/// line (labelled by the unshuffle connection).
+[[nodiscard]] std::string gbn_to_dot(const GbnTopology& topology);
+
+/// One splitter sp(p): the arbiter tree above the switch column, with
+/// up/down signal edges and flag edges into the switches.
+[[nodiscard]] std::string splitter_to_dot(unsigned p);
+
+/// The BNB main-network nesting: NB(i,l) boxes and the main unshuffle
+/// edges between them (one edge per line for n <= 64, summarized beyond).
+[[nodiscard]] std::string bnb_profile_to_dot(unsigned m);
+
+}  // namespace bnb

@@ -1,0 +1,246 @@
+#include "core/element_sim.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+#include "core/unshuffle.hpp"
+
+namespace bnb {
+
+namespace {
+
+std::uint64_t pack_site(const FaultSite& s) {
+  return (static_cast<std::uint64_t>(s.kind) << 56) |
+         (static_cast<std::uint64_t>(s.main_stage) << 48) |
+         (static_cast<std::uint64_t>(s.nested_stage) << 40) |
+         (static_cast<std::uint64_t>(s.box) << 20) |
+         static_cast<std::uint64_t>(s.index);
+}
+
+using FaultMap = std::unordered_map<std::uint64_t, bool>;
+
+/// Look up a stuck value for (kind, i, j, box, index); returns the live
+/// value when no fault is registered there.
+std::uint8_t apply_fault(const FaultMap& faults, FaultSite::Kind kind, unsigned i,
+                         unsigned j, std::uint32_t box, std::uint32_t index,
+                         std::uint8_t live) {
+  if (faults.empty()) return live;
+  FaultSite s;
+  s.kind = kind;
+  s.main_stage = i;
+  s.nested_stage = j;
+  s.box = box;
+  s.index = index;
+  const auto it = faults.find(pack_site(s));
+  return it == faults.end() ? live : static_cast<std::uint8_t>(it->second);
+}
+
+}  // namespace
+
+BnbElementSim::BnbElementSim(unsigned m) : m_(m) { BNB_EXPECTS(m >= 1 && m < 22); }
+
+BnbElementSim::Result BnbElementSim::route(const Permutation& pi, double d_sw,
+                                           double d_fn) const {
+  return route_with_faults(pi, {}, d_sw, d_fn);
+}
+
+BnbElementSim::Result BnbElementSim::route_with_faults(const Permutation& pi,
+                                                       std::span<const Fault> faults,
+                                                       double d_sw,
+                                                       double d_fn) const {
+  const std::size_t n = inputs();
+  BNB_EXPECTS(pi.size() == n);
+
+  FaultMap fault_map;
+  for (const auto& f : faults) fault_map[pack_site(f.site)] = f.stuck_value;
+
+  Result r;
+  std::vector<std::uint32_t> addr(n);
+  std::vector<std::uint32_t> where(n);
+  std::vector<double> time(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    addr[j] = pi(j);
+    where[j] = static_cast<std::uint32_t>(j);
+  }
+
+  // Scratch buffers reused across splitters (sized for the largest).
+  std::vector<std::uint8_t> up(n), down(n), flags(n);
+  std::vector<double> up_t(n), down_t(n);
+
+  for (unsigned i = 0; i < m_; ++i) {
+    const unsigned p_log = m_ - i;
+    const std::size_t nested_size = std::size_t{1} << p_log;
+    const unsigned addr_bit = m_ - 1 - i;  // paper bit i = integer bit m-1-i
+
+    for (unsigned j = 0; j < p_log; ++j) {
+      const unsigned p = p_log - j;
+      const std::size_t sp_size = std::size_t{1} << p;
+
+      for (std::size_t base = 0; base < n; base += sp_size) {
+        const auto box = static_cast<std::uint32_t>(base / sp_size);
+
+        if (p >= 2) {
+          // --- Up pass: z_u = XOR of the node's two inputs. ---
+          const std::size_t heap = sp_size;
+          const std::size_t leaves = heap / 2;
+          for (std::size_t v = heap - 1; v >= leaves; --v) {
+            const std::size_t pr = v - leaves;  // pair index
+            const std::uint8_t b0 = static_cast<std::uint8_t>(
+                bit_of(addr[base + 2 * pr], addr_bit));
+            const std::uint8_t b1 = static_cast<std::uint8_t>(
+                bit_of(addr[base + 2 * pr + 1], addr_bit));
+            up[v] = apply_fault(fault_map, FaultSite::Kind::kArbiterUp, i, j, box,
+                                static_cast<std::uint32_t>(v),
+                                static_cast<std::uint8_t>(b0 ^ b1));
+            up_t[v] = std::max(time[base + 2 * pr], time[base + 2 * pr + 1]) + d_fn;
+            ++r.elements_evaluated;
+          }
+          for (std::size_t v = leaves - 1; v >= 1; --v) {
+            up[v] = apply_fault(fault_map, FaultSite::Kind::kArbiterUp, i, j, box,
+                                static_cast<std::uint32_t>(v),
+                                static_cast<std::uint8_t>(up[2 * v] ^ up[2 * v + 1]));
+            up_t[v] = std::max(up_t[2 * v], up_t[2 * v + 1]) + d_fn;
+            ++r.elements_evaluated;
+          }
+
+          // --- Down pass: the root echoes z_u; nodes generate or forward. ---
+          down[1] = up[1];
+          down_t[1] = up_t[1] + d_fn;  // the root's own down logic
+          ++r.elements_evaluated;
+          for (std::size_t v = 2; v < heap; ++v) {
+            down[v] = (up[v / 2] == 0)
+                          ? static_cast<std::uint8_t>(v % 2)  // generated 0/1
+                          : down[v / 2];                       // forwarded
+            down_t[v] = std::max(up_t[v], down_t[v / 2]) + d_fn;
+            ++r.elements_evaluated;
+          }
+
+          // Leaf flags: a leaf node covering pair `pr` hands f to its lines.
+          for (std::size_t v = leaves; v < heap; ++v) {
+            const std::size_t pr = v - leaves;
+            const std::uint8_t own_xor = up[v];
+            const std::uint8_t f0 = (own_xor == 0) ? 0 : down[v];
+            const std::uint8_t f1 = (own_xor == 0) ? 1 : down[v];
+            flags[2 * pr] = apply_fault(fault_map, FaultSite::Kind::kArbiterFlag, i,
+                                        j, box, static_cast<std::uint32_t>(2 * pr),
+                                        f0);
+            flags[2 * pr + 1] =
+                apply_fault(fault_map, FaultSite::Kind::kArbiterFlag, i, j, box,
+                            static_cast<std::uint32_t>(2 * pr + 1), f1);
+          }
+        }
+
+        // --- Switch column. ---
+        for (std::size_t t = 0; t < sp_size / 2; ++t) {
+          const std::size_t l0 = base + 2 * t;
+          const std::size_t l1 = base + 2 * t + 1;
+          const std::uint8_t b0 =
+              static_cast<std::uint8_t>(bit_of(addr[l0], addr_bit));
+          std::uint8_t control;
+          double control_t;
+          if (p >= 2) {
+            control = static_cast<std::uint8_t>(b0 ^ flags[2 * t]);
+            control_t = down_t[sp_size / 2 + t];  // the leaf's settle time
+          } else {
+            control = b0;  // A(1) is wiring: the input bit sets the switch
+            control_t = time[l0];
+          }
+          control = apply_fault(fault_map, FaultSite::Kind::kSwitchControl, i, j,
+                                box, static_cast<std::uint32_t>(t), control);
+          const double settle =
+              std::max({control_t, time[l0], time[l1]}) + d_sw;
+          if (control != 0) {
+            std::swap(addr[l0], addr[l1]);
+            std::swap(where[l0], where[l1]);
+          }
+          time[l0] = settle;
+          time[l1] = settle;
+          ++r.elements_evaluated;
+        }
+      }
+
+      if (j + 1 < p_log) {
+        // Nested U_p^{p_log} connection within each nested block.
+        std::vector<std::uint32_t> na(n), nw(n);
+        std::vector<double> nt(n);
+        for (std::size_t nb = 0; nb < n; nb += nested_size) {
+          for (std::size_t local = 0; local < nested_size; ++local) {
+            const std::size_t to = nb + unshuffle_index(local, p, p_log);
+            na[to] = addr[nb + local];
+            nw[to] = where[nb + local];
+            nt[to] = time[nb + local];
+          }
+        }
+        addr = std::move(na);
+        where = std::move(nw);
+        time = std::move(nt);
+      }
+    }
+
+    if (i + 1 < m_) {
+      std::vector<std::uint32_t> na(n), nw(n);
+      std::vector<double> nt(n);
+      for (std::size_t line = 0; line < n; ++line) {
+        const std::size_t to = unshuffle_index(line, m_ - i, m_);
+        na[to] = addr[line];
+        nw[to] = where[line];
+        nt[to] = time[line];
+      }
+      addr = std::move(na);
+      where = std::move(nw);
+      time = std::move(nt);
+    }
+  }
+
+  r.dest.assign(n, 0);
+  for (std::size_t line = 0; line < n; ++line) {
+    r.dest[where[line]] = static_cast<std::uint32_t>(line);
+  }
+  r.self_routed = true;
+  for (std::size_t line = 0; line < n; ++line) {
+    if (addr[line] != line) r.self_routed = false;
+    r.settle_time = std::max(r.settle_time, time[line]);
+  }
+  return r;
+}
+
+std::vector<FaultSite> BnbElementSim::all_fault_sites() const {
+  std::vector<FaultSite> sites;
+  const std::size_t n = inputs();
+  for (unsigned i = 0; i < m_; ++i) {
+    const unsigned p_log = m_ - i;
+    for (unsigned j = 0; j < p_log; ++j) {
+      const unsigned p = p_log - j;
+      const std::size_t sp_size = std::size_t{1} << p;
+      for (std::size_t base = 0; base < n; base += sp_size) {
+        const auto box = static_cast<std::uint32_t>(base / sp_size);
+        FaultSite s;
+        s.main_stage = i;
+        s.nested_stage = j;
+        s.box = box;
+        if (p >= 2) {
+          s.kind = FaultSite::Kind::kArbiterUp;
+          for (std::size_t v = 1; v < sp_size; ++v) {
+            s.index = static_cast<std::uint32_t>(v);
+            sites.push_back(s);
+          }
+          s.kind = FaultSite::Kind::kArbiterFlag;
+          for (std::size_t l = 0; l < sp_size; ++l) {
+            s.index = static_cast<std::uint32_t>(l);
+            sites.push_back(s);
+          }
+        }
+        s.kind = FaultSite::Kind::kSwitchControl;
+        for (std::size_t t = 0; t < sp_size / 2; ++t) {
+          s.index = static_cast<std::uint32_t>(t);
+          sites.push_back(s);
+        }
+      }
+    }
+  }
+  return sites;
+}
+
+}  // namespace bnb

@@ -1,0 +1,86 @@
+// Value-level element simulation of the BNB network, with fault injection.
+//
+// BnbNetwork moves words under the splitter algorithm's *decisions*;
+// BnbElementSim instead propagates the actual 1-bit signals through every
+// constructed element — arbiter up/down function nodes and 2x2 switches —
+// exactly as the hardware would, and reads the routing off the element
+// outputs.  It exists to answer two questions the behavioral model cannot:
+//
+//   1. Equivalence: does the element network compute the same routing as
+//      the algorithmic description?  (Tested element-for-element.)
+//   2. Robustness: what happens when hardware breaks?  Any function node's
+//      z_u output, any flag, or any switch control can be frozen to 0/1
+//      (stuck-at faults), and the misrouting they cause is observable —
+//      the basis of the fault-coverage study in bench_faults.
+//
+// Per-element settle times are also computed during propagation; the
+// network settle time measured here must equal Eq. 9's closed form, giving
+// a third, independent check of the delay analysis.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "perm/permutation.hpp"
+
+namespace bnb {
+
+/// Where a fault lives.  Sites are enumerable so coverage studies can sweep
+/// every possible single fault of a network.
+struct FaultSite {
+  enum class Kind : std::uint8_t {
+    kArbiterUp,      ///< a function node's z_u output (up pass)
+    kArbiterFlag,    ///< a leaf flag wire f(j) into the switch column
+    kSwitchControl,  ///< a 2x2 switch's setting signal
+  };
+  Kind kind = Kind::kSwitchControl;
+  unsigned main_stage = 0;    ///< i: which main stage
+  unsigned nested_stage = 0;  ///< j: which splitter column inside the BSN
+  std::uint32_t box = 0;      ///< which splitter of that column (global index)
+  std::uint32_t index = 0;    ///< heap node id / flag line / switch index
+};
+
+struct Fault {
+  FaultSite site;
+  bool stuck_value = false;  ///< the value the signal is frozen to
+};
+
+class BnbElementSim {
+ public:
+  /// N = 2^m lines.  Requires 1 <= m < 22 (the element walk is O(N log^2 N)).
+  explicit BnbElementSim(unsigned m);
+
+  [[nodiscard]] unsigned m() const noexcept { return m_; }
+  [[nodiscard]] std::size_t inputs() const noexcept { return std::size_t{1} << m_; }
+
+  struct Result {
+    std::vector<std::uint32_t> dest;  ///< dest[input line] = output line
+    bool self_routed = false;
+    /// Settle time of the slowest output under (d_sw, d_fn) unit delays;
+    /// equals Eq. 9 when fault-free.
+    double settle_time = 0.0;
+    /// Elements evaluated (fn nodes counted once per pass direction).
+    std::uint64_t elements_evaluated = 0;
+  };
+
+  /// Fault-free run.
+  [[nodiscard]] Result route(const Permutation& pi, double d_sw = 1.0,
+                             double d_fn = 1.0) const;
+
+  /// Run with stuck-at faults applied.  The simulation is well-defined for
+  /// any fault set; `self_routed` reports whether the (possibly broken)
+  /// network still delivered every word.
+  [[nodiscard]] Result route_with_faults(const Permutation& pi,
+                                         std::span<const Fault> faults,
+                                         double d_sw = 1.0, double d_fn = 1.0) const;
+
+  /// Enumerate every distinct single-fault site of the network.  Each site
+  /// yields two faults (stuck-0 / stuck-1).
+  [[nodiscard]] std::vector<FaultSite> all_fault_sites() const;
+
+ private:
+  unsigned m_;
+};
+
+}  // namespace bnb

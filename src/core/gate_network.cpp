@@ -1,0 +1,122 @@
+#include "core/gate_network.hpp"
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+#include "core/arbiter.hpp"
+#include "core/unshuffle.hpp"
+
+namespace bnb {
+
+GateLevelBnb::GateLevelBnb(unsigned m) : m_(m) {
+  BNB_EXPECTS(m >= 1 && m <= 10);
+  const std::size_t n = inputs();
+
+  // Input gates: one per line per address bit (paper bit k = slice k).
+  input_bits_.resize(n);
+  for (std::size_t line = 0; line < n; ++line) {
+    input_bits_[line].resize(m_);
+    for (unsigned k = 0; k < m_; ++k) {
+      input_bits_[line][k] = net_.add_input();
+    }
+  }
+
+  // wires[line][k]: the gate currently driving bit k of `line`.
+  std::vector<std::vector<sim::GateNetlist::GateId>> wires = input_bits_;
+
+  std::vector<sim::GateNetlist::GateId> control_bits;
+  for (unsigned i = 0; i < m_; ++i) {
+    const unsigned p_log = m_ - i;
+    const std::size_t nested_size = std::size_t{1} << p_log;
+
+    for (unsigned j = 0; j < p_log; ++j) {
+      const unsigned p = p_log - j;
+      const std::size_t sp_size = std::size_t{1} << p;
+      const Arbiter arbiter(p);
+
+      for (std::size_t base = 0; base < n; base += sp_size) {
+        // The arbiter reads bit i (this stage's BSN slice) of each line.
+        control_bits.resize(sp_size);
+        for (std::size_t l = 0; l < sp_size; ++l) {
+          control_bits[l] = wires[base + l][i];
+        }
+        const auto flags = arbiter.build_gates(net_, control_bits);
+
+        for (std::size_t t = 0; t < sp_size / 2; ++t) {
+          const std::size_t l0 = base + 2 * t;
+          const std::size_t l1 = base + 2 * t + 1;
+          // Switch setting: s^I(2t) XOR f(2t).  For sp(1) the flag is a
+          // constant 0 gate, so this reduces to the input bit (A(1) wiring).
+          const auto control = net_.add_xor(wires[l0][i], flags[2 * t]);
+          // The setting drives one MUX pair per bit slice (the broadcast of
+          // Definition 5: every slice's sw(1) follows the BSN's decision).
+          for (unsigned k = 0; k < m_; ++k) {
+            const auto a = wires[l0][k];
+            const auto b = wires[l1][k];
+            wires[l0][k] = net_.add_mux(control, a, b);
+            wires[l1][k] = net_.add_mux(control, b, a);
+          }
+        }
+      }
+
+      if (j + 1 < p_log) {
+        // Nested unshuffle: pure rewiring, no gates.
+        std::vector<std::vector<sim::GateNetlist::GateId>> next(n);
+        for (std::size_t nb = 0; nb < n; nb += nested_size) {
+          for (std::size_t local = 0; local < nested_size; ++local) {
+            next[nb + unshuffle_index(local, p, p_log)] =
+                std::move(wires[nb + local]);
+          }
+        }
+        wires = std::move(next);
+      }
+    }
+
+    if (i + 1 < m_) {
+      std::vector<std::vector<sim::GateNetlist::GateId>> next(n);
+      for (std::size_t line = 0; line < n; ++line) {
+        next[unshuffle_index(line, m_ - i, m_)] = std::move(wires[line]);
+      }
+      wires = std::move(next);
+    }
+  }
+
+  output_bits_ = std::move(wires);
+}
+
+std::vector<bool> GateLevelBnb::input_vector(const Permutation& pi) const {
+  const std::size_t n = inputs();
+  BNB_EXPECTS(pi.size() == n);
+  std::vector<bool> in(n * m_);
+  std::size_t next = 0;
+  for (std::size_t line = 0; line < n; ++line) {
+    for (unsigned k = 0; k < m_; ++k) {
+      // Paper bit k (MSB = bit 0) of pi(line) is integer bit m-1-k.
+      in[next++] = bit_of(pi(line), m_ - 1 - k) != 0;
+    }
+  }
+  return in;
+}
+
+GateLevelBnb::Result GateLevelBnb::route(const Permutation& pi) const {
+  return decode_outputs(net_.evaluate(input_vector(pi)));
+}
+
+GateLevelBnb::Result GateLevelBnb::decode_outputs(const std::vector<bool>& values) const {
+  const std::size_t n = inputs();
+  BNB_EXPECTS(values.size() == net_.gate_count());
+  Result r;
+  r.output_addresses.resize(n);
+  r.self_routed = true;
+  for (std::size_t line = 0; line < n; ++line) {
+    std::uint32_t address = 0;
+    for (unsigned k = 0; k < m_; ++k) {
+      address |= static_cast<std::uint32_t>(values[output_bits_[line][k]])
+                 << (m_ - 1 - k);
+    }
+    r.output_addresses[line] = address;
+    if (address != line) r.self_routed = false;
+  }
+  return r;
+}
+
+}  // namespace bnb

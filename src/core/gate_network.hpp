@@ -1,0 +1,64 @@
+// The whole BNB network as one combinational gate netlist.
+//
+// The element-level models trust that "a 2x2 switch" and "a function node"
+// behave as described.  GateLevelBnb removes even that trust: it expands
+// every arbiter node into its four gates (Fig. 5), every switch-setting
+// into an XOR, and every address-bit switch into a MUX pair, wires them
+// with the GBN's unshuffle connections, and routes permutations by plain
+// boolean evaluation of the resulting netlist.  Small-N equivalence with
+// the behavioral router (exhaustive at N = 8) is the repository's deepest
+// fidelity check; the netlist's gate count and logic depth also give
+// technology-level versions of Table 1 / Table 2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "perm/permutation.hpp"
+#include "sim/gates.hpp"
+
+namespace bnb {
+
+class GateLevelBnb {
+ public:
+  /// N = 2^m lines, m address bits per word (gate count is O(N log^3 N):
+  /// keep m <= 8 or so).
+  explicit GateLevelBnb(unsigned m);
+
+  [[nodiscard]] unsigned m() const noexcept { return m_; }
+  [[nodiscard]] std::size_t inputs() const noexcept { return std::size_t{1} << m_; }
+
+  /// Netlist statistics.
+  [[nodiscard]] std::size_t gate_count() const noexcept { return net_.gate_count(); }
+  [[nodiscard]] std::size_t logic_gate_count() const noexcept {
+    return net_.logic_gate_count();
+  }
+  [[nodiscard]] std::size_t depth() const { return net_.depth(); }
+
+  struct Result {
+    std::vector<std::uint32_t> output_addresses;  ///< address read at each output
+    bool self_routed = false;
+  };
+
+  /// Evaluate the netlist for the permutation's address bits.
+  [[nodiscard]] Result route(const Permutation& pi) const;
+
+  /// Structural access for timing/event analyses.
+  [[nodiscard]] const sim::GateNetlist& netlist() const noexcept { return net_; }
+
+  /// The input-value vector (in add_input order) encoding `pi`.
+  [[nodiscard]] std::vector<bool> input_vector(const Permutation& pi) const;
+
+  /// Decode a full value assignment into per-output-line addresses.
+  [[nodiscard]] Result decode_outputs(const std::vector<bool>& values) const;
+
+ private:
+  unsigned m_;
+  sim::GateNetlist net_;
+  /// input_bits_[line][k] = input gate of paper address bit k on `line`.
+  std::vector<std::vector<sim::GateNetlist::GateId>> input_bits_;
+  /// output_bits_[line][k] = gate holding bit k at output `line`.
+  std::vector<std::vector<sim::GateNetlist::GateId>> output_bits_;
+};
+
+}  // namespace bnb

@@ -1,0 +1,75 @@
+#include "core/gbn.hpp"
+
+#include <sstream>
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+#include "core/unshuffle.hpp"
+
+namespace bnb {
+
+GbnTopology::GbnTopology(unsigned m) : m_(m) { BNB_EXPECTS(m >= 1 && m < 32); }
+
+std::size_t GbnTopology::boxes_in_stage(unsigned stage) const {
+  BNB_EXPECTS(stage < m_);
+  return std::size_t{1} << stage;
+}
+
+unsigned GbnTopology::box_size_log(unsigned stage) const {
+  BNB_EXPECTS(stage < m_);
+  return m_ - stage;
+}
+
+std::size_t GbnTopology::box_size(unsigned stage) const {
+  return std::size_t{1} << box_size_log(stage);
+}
+
+GbnTopology::BoxRef GbnTopology::box_of(unsigned stage, std::size_t line) const {
+  BNB_EXPECTS(line < inputs());
+  const unsigned p = box_size_log(stage);
+  return BoxRef{line >> p, line & ((std::size_t{1} << p) - 1)};
+}
+
+std::size_t GbnTopology::box_base(unsigned stage, std::size_t box) const {
+  BNB_EXPECTS(box < boxes_in_stage(stage));
+  return box << box_size_log(stage);
+}
+
+std::size_t GbnTopology::next_line(unsigned stage, std::size_t line) const {
+  BNB_EXPECTS(stage + 1 < m_);
+  BNB_EXPECTS(line < inputs());
+  return unshuffle_index(line, m_ - stage, m_);
+}
+
+Permutation GbnTopology::connection(unsigned stage) const {
+  BNB_EXPECTS(stage + 1 < m_);
+  return unshuffle_connection(m_ - stage, m_);
+}
+
+bool GbnTopology::connection_stays_in_block(unsigned stage) const {
+  for (std::size_t line = 0; line < inputs(); ++line) {
+    const std::size_t nxt = next_line(stage, line);
+    // The origin box of stage `stage` covers lines [base, base + size); the
+    // connection must keep the line inside that range (it lands in one of
+    // the two half-size boxes of the next stage).
+    const auto ref = box_of(stage, line);
+    const std::size_t base = box_base(stage, ref.box);
+    if (nxt < base || nxt >= base + box_size(stage)) return false;
+  }
+  return true;
+}
+
+std::string GbnTopology::describe() const {
+  std::ostringstream os;
+  os << "Generalized baseline network B(" << m_ << ", SB): " << inputs()
+     << " inputs, " << m_ << " stages\n";
+  for (unsigned i = 0; i < m_; ++i) {
+    os << "  stage-" << i << ": " << boxes_in_stage(i) << " x SB(" << (m_ - i)
+       << ")  [" << box_size(i) << "x" << box_size(i) << " boxes]";
+    if (i + 1 < m_) os << "  --U_" << (std::size_t{1} << (m_ - i)) << "-unshuffle-->";
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace bnb

@@ -1,0 +1,68 @@
+// Generalized baseline network (GBN) topology (paper, Definition 2).
+//
+// An N(=2^m)-input, m-stage GBN has 2^i switching boxes SB(m-i) in stage-i
+// and a 2^{m-i}-unshuffle connection between stage-i and stage-(i+1).
+// The boxes of a stage act on contiguous blocks of lines, and every
+// inter-stage connection stays within the block it starts in, splitting it
+// into the two half-size blocks of the next stage (the recursive
+// construction of Fig. 1).
+//
+// GbnTopology is a pure structure object: it knows where every line goes
+// and which box owns it, but not what the boxes compute.  The bit-sorter
+// network, the BNB network and the destination-tag baselines all route on
+// top of this one topology.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "perm/permutation.hpp"
+
+namespace bnb {
+
+class GbnTopology {
+ public:
+  /// A GBN over 2^m lines.  Requires 1 <= m < 32.
+  explicit GbnTopology(unsigned m);
+
+  [[nodiscard]] unsigned m() const noexcept { return m_; }
+  [[nodiscard]] std::size_t inputs() const noexcept { return std::size_t{1} << m_; }
+  [[nodiscard]] unsigned stages() const noexcept { return m_; }
+
+  /// Number of switching boxes in stage i (= 2^i).
+  [[nodiscard]] std::size_t boxes_in_stage(unsigned stage) const;
+
+  /// log2 of the box size in stage i (boxes are SB(m-i), i.e. 2^{m-i} lines).
+  [[nodiscard]] unsigned box_size_log(unsigned stage) const;
+  [[nodiscard]] std::size_t box_size(unsigned stage) const;
+
+  struct BoxRef {
+    std::size_t box;     ///< box index within the stage, top to bottom
+    std::size_t offset;  ///< line offset within the box
+  };
+
+  /// Which box of `stage` owns global line `line`, and at which local offset.
+  [[nodiscard]] BoxRef box_of(unsigned stage, std::size_t line) const;
+
+  /// First global line of box `box` in `stage`.
+  [[nodiscard]] std::size_t box_base(unsigned stage, std::size_t box) const;
+
+  /// Where output `line` of stage `stage` enters stage+1
+  /// (the U_{m-stage}^m connection).  Requires stage < m-1.
+  [[nodiscard]] std::size_t next_line(unsigned stage, std::size_t line) const;
+
+  /// The full stage->stage+1 connection as a permutation of lines.
+  [[nodiscard]] Permutation connection(unsigned stage) const;
+
+  /// True iff `next_line` never leaves the block of its origin box — the
+  /// structural invariant behind the recursive construction.
+  [[nodiscard]] bool connection_stays_in_block(unsigned stage) const;
+
+  /// ASCII rendering of the recursive structure (Fig. 1 for m = 3).
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  unsigned m_;
+};
+
+}  // namespace bnb

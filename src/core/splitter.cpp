@@ -1,0 +1,66 @@
+#include "core/splitter.hpp"
+
+#include <numeric>
+
+#include "common/expect.hpp"
+
+namespace bnb {
+
+Splitter::Splitter(unsigned p) : p_(p), arbiter_(p) { BNB_EXPECTS(p >= 1 && p < 32); }
+
+Splitter::Result Splitter::route(std::span<const std::uint8_t> bits) const {
+  const std::size_t n = inputs();
+  BNB_EXPECTS(bits.size() == n);
+
+  std::size_t ones = 0;
+  for (auto b : bits) {
+    BNB_EXPECTS(b <= 1);
+    ones += b;
+  }
+  // Standing assumption from the paper: even number of 1s (p >= 2), or one
+  // 0 and one 1 (p = 1).  In the BNB network this always holds because the
+  // inputs are a permutation of 0..N-1.
+  BNB_EXPECTS(ones % 2 == 0 || p_ == 1);
+  if (p_ == 1) BNB_EXPECTS(ones == 1);
+
+  Result r;
+  r.flags = arbiter_.compute_flags(bits);
+  r.out_bits.assign(n, 0);
+  r.controls.assign(n / 2, 0);
+  r.dest.assign(n, 0);
+
+  for (std::size_t t = 0; t < n / 2; ++t) {
+    const std::size_t i0 = 2 * t;      // upper input
+    const std::size_t i1 = 2 * t + 1;  // lower input
+    // Switch setting: s^I XOR f; 0 = to OU (even output), 1 = to OL (odd).
+    // The pair's two XORs are always complementary, so the upper input's
+    // signal alone determines the switch (the paper uses one of the two).
+    const std::uint8_t control = static_cast<std::uint8_t>(bits[i0] ^ r.flags[i0]);
+    r.controls[t] = control;
+    if (control == 0) {  // straight
+      r.out_bits[i0] = bits[i0];
+      r.out_bits[i1] = bits[i1];
+      r.dest[i0] = static_cast<std::uint32_t>(i0);
+      r.dest[i1] = static_cast<std::uint32_t>(i1);
+    } else {  // exchange
+      r.out_bits[i0] = bits[i1];
+      r.out_bits[i1] = bits[i0];
+      r.dest[i0] = static_cast<std::uint32_t>(i1);
+      r.dest[i1] = static_cast<std::uint32_t>(i0);
+    }
+  }
+  return r;
+}
+
+sim::HardwareCensus Splitter::census() const {
+  sim::HardwareCensus c;
+  c.switches_2x2 = switch_count();
+  c.function_nodes = Arbiter::node_count(p_);
+  return c;
+}
+
+std::uint64_t Splitter::arbiter_delay_fn_units() const {
+  return Arbiter::delay_fn_units(p_);
+}
+
+}  // namespace bnb

@@ -1,0 +1,63 @@
+// The splitter sp(p) (paper, Definition 3 and Section 4).
+//
+// A 2^p x 2^p one-bit-slice switching element that self-routes its inputs
+// so that the even-numbered and odd-numbered outputs carry the same number
+// of 1s (M_e = M_o).  Because the GBN's unshuffle connection sends even
+// outputs to the upper half-size box and odd outputs to the lower one, the
+// splitter is exactly one "distribute the current radix bit evenly" step of
+// MSB-first radix sort.
+//
+// Structure: one arbiter A(p) plus a column sw(p) of 2^{p-1} 2x2 switches
+// (Fig. 4).  Switch t takes inputs 2t and 2t+1 and produces outputs 2t
+// (upper, OU) and 2t+1 (lower, OL); its setting is s^I(2t) XOR f(2t).
+// The same setting signal drives the corresponding switches of the other
+// q-1 bit slices of the nested network, which is how whole words follow
+// the bit-sorter's routing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/arbiter.hpp"
+#include "sim/census.hpp"
+
+namespace bnb {
+
+class Splitter {
+ public:
+  /// Requires 1 <= p < 32.  sp(1) has no arbiter nodes: the input bit is
+  /// the switch signal, routing 0 up and 1 down (Definition 3, p = 1 case).
+  explicit Splitter(unsigned p);
+
+  [[nodiscard]] unsigned p() const noexcept { return p_; }
+  [[nodiscard]] std::size_t inputs() const noexcept { return std::size_t{1} << p_; }
+  [[nodiscard]] std::size_t switch_count() const noexcept { return inputs() / 2; }
+
+  struct Result {
+    std::vector<std::uint8_t> out_bits;  ///< bit at each output line
+    std::vector<std::uint8_t> controls;  ///< per switch: 0 straight, 1 exchange
+    std::vector<std::uint8_t> flags;     ///< f(j) per input line (from A(p))
+    /// dest[j] = output line that input j was routed to.
+    std::vector<std::uint32_t> dest;
+  };
+
+  /// Route one bit slice.  Precondition (paper's standing assumption): the
+  /// number of 1 inputs is even for p >= 2; for p = 1 the two inputs must
+  /// differ.  Violations throw bnb::contract_violation.
+  [[nodiscard]] Result route(std::span<const std::uint8_t> bits) const;
+
+  /// Hardware of one sp(p): 2^{p-1} switches + (2^p - 1) function nodes
+  /// (0 nodes for p = 1).
+  [[nodiscard]] sim::HardwareCensus census() const;
+
+  /// Critical-path D_FN units through the arbiter (2p, or 0 for p = 1);
+  /// the switch column adds one D_SW after the flags settle.
+  [[nodiscard]] std::uint64_t arbiter_delay_fn_units() const;
+
+ private:
+  unsigned p_;
+  Arbiter arbiter_;
+};
+
+}  // namespace bnb

@@ -1,0 +1,66 @@
+#include "core/trace_render.hpp"
+
+#include <sstream>
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+
+namespace bnb {
+
+namespace {
+std::string binary(std::uint32_t v, unsigned bits) {
+  std::string s(bits, '0');
+  for (unsigned k = 0; k < bits; ++k) {
+    if (bit_of(v, bits - 1 - k)) s[k] = '1';
+  }
+  return s;
+}
+}  // namespace
+
+std::string render_trace(const BnbNetwork& network, const Permutation& pi,
+                         const TraceRenderOptions& options) {
+  const std::size_t n = network.inputs();
+  BNB_EXPECTS(n <= options.max_lines);
+  const unsigned m = network.m();
+
+  const auto result = network.route(pi, /*keep_trace=*/true);
+  std::ostringstream os;
+  os << "routing " << pi.to_string() << " through the " << n
+     << "-input BNB network\n";
+
+  for (unsigned stage = 0; stage < m; ++stage) {
+    const std::size_t block = std::size_t{1} << (m - stage);
+    os << "\nmain stage " << stage << " (sorting address bit " << stage
+       << ", MSB = bit 0); nested blocks of " << block << " lines\n";
+    const auto& words = result.stage_words[stage];
+    for (std::size_t line = 0; line < n; ++line) {
+      if (line % block == 0) {
+        os << "  -- NB(" << stage << "," << (line / block) << ") --\n";
+      }
+      const Word& w = words[line];
+      os << "  line " << line << ": addr ";
+      if (options.show_binary) {
+        const std::string bits = binary(w.address, m);
+        // Mark the bit this stage sorts on.
+        os << bits.substr(0, stage) << '[' << bits[stage] << ']'
+           << bits.substr(stage + 1);
+      } else {
+        os << w.address;
+      }
+      if (options.show_payloads) os << "  payload " << w.payload;
+      os << '\n';
+    }
+  }
+
+  os << "\noutputs:\n";
+  for (std::size_t line = 0; line < n; ++line) {
+    os << "  line " << line << ": addr " << result.outputs[line].address;
+    if (options.show_payloads) os << "  payload " << result.outputs[line].payload;
+    os << '\n';
+  }
+  os << (result.self_routed ? "self-routed: every word at its address\n"
+                            : "MISROUTED\n");
+  return os.str();
+}
+
+}  // namespace bnb

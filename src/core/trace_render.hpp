@@ -1,0 +1,34 @@
+// ASCII rendering of a routing trace — a textual counterpart of the
+// paper's worked figures.
+//
+// Given the per-main-stage words captured by BnbNetwork::route(pi, true),
+// render_trace() draws, stage by stage, each line's word, the sorted bit,
+// and the block boundaries of the nested networks, making the MSB-first
+// radix sort visible:
+//
+//   stage 0 (sorting address bit 0 = MSB) | NB(0,0) spans lines 0..7
+//     line 0: addr 101 <-     ...
+//
+// Used by examples/network_explorer and by documentation tests.
+#pragma once
+
+#include <string>
+
+#include "core/bnb_network.hpp"
+#include "perm/permutation.hpp"
+
+namespace bnb {
+
+struct TraceRenderOptions {
+  bool show_binary = true;     ///< print addresses in binary
+  bool show_payloads = false;  ///< append payloads
+  std::size_t max_lines = 64;  ///< refuse to render bigger networks
+};
+
+/// Render the trace of routing `pi` through an m-input-bit BNB network.
+/// Runs the route itself (with tracing) and returns the rendering;
+/// throws contract_violation if the network exceeds options.max_lines.
+[[nodiscard]] std::string render_trace(const BnbNetwork& network, const Permutation& pi,
+                                       const TraceRenderOptions& options = {});
+
+}  // namespace bnb

@@ -1,0 +1,39 @@
+#include "core/unshuffle.hpp"
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+
+namespace bnb {
+
+std::uint64_t unshuffle_index(std::uint64_t i, unsigned k, unsigned m) {
+  BNB_EXPECTS(1 <= k && k <= m && m < 64);
+  BNB_EXPECTS(i < pow2(m));
+  const std::uint64_t low_mask = pow2(k) - 1;
+  const std::uint64_t high = i & ~low_mask;
+  const std::uint64_t low = i & low_mask;
+  // Rotate the low k bits right by one: b_0 moves to position k-1.
+  const std::uint64_t rotated = (low >> 1) | ((low & 1U) << (k - 1));
+  return high | rotated;
+}
+
+std::uint64_t shuffle_index(std::uint64_t i, unsigned k, unsigned m) {
+  BNB_EXPECTS(1 <= k && k <= m && m < 64);
+  BNB_EXPECTS(i < pow2(m));
+  const std::uint64_t low_mask = pow2(k) - 1;
+  const std::uint64_t high = i & ~low_mask;
+  const std::uint64_t low = i & low_mask;
+  // Rotate the low k bits left by one: b_{k-1} moves to position 0.
+  const std::uint64_t rotated = ((low << 1) & low_mask) | ((low >> (k - 1)) & 1U);
+  return high | rotated;
+}
+
+Permutation unshuffle_connection(unsigned k, unsigned m) {
+  const std::size_t n = pow2(m);
+  std::vector<Permutation::value_type> image(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    image[j] = static_cast<Permutation::value_type>(unshuffle_index(j, k, m));
+  }
+  return Permutation(std::move(image));
+}
+
+}  // namespace bnb

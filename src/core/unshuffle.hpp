@@ -1,0 +1,30 @@
+// The 2^k-unshuffle connection U_k^m (paper, Section 2, Definition 1).
+//
+// For an m-bit line index i = (b_{m-1} ... b_k  b_{k-1} ... b_1 b_0),
+//
+//     U_k^m(i) = (b_{m-1} ... b_k  b_0  b_{k-1} ... b_1)
+//
+// i.e. the low k bits are rotated right by one while the high m-k bits are
+// untouched.  Between stage-i and stage-(i+1) of a baseline network the
+// wiring is U_{m-i}^m, which sends the even outputs of each 2^{m-i}-line
+// block to the block's upper half and the odd outputs to its lower half —
+// exactly the "split by the sorted bit" step of MSB-first radix sort.
+#pragma once
+
+#include <cstdint>
+
+#include "perm/permutation.hpp"
+
+namespace bnb {
+
+/// U_k^m applied to one index.  Requires 1 <= k <= m, i < 2^m.
+[[nodiscard]] std::uint64_t unshuffle_index(std::uint64_t i, unsigned k, unsigned m);
+
+/// Inverse of U_k^m (the 2^k-shuffle): rotate the low k bits left by one.
+[[nodiscard]] std::uint64_t shuffle_index(std::uint64_t i, unsigned k, unsigned m);
+
+/// The whole connection as a Permutation of 2^m lines:
+/// output j of stage-i attaches to input U_k^m(j) of stage-(i+1).
+[[nodiscard]] Permutation unshuffle_connection(unsigned k, unsigned m);
+
+}  // namespace bnb

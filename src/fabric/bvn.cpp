@@ -1,0 +1,138 @@
+#include "fabric/bvn.hpp"
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+#include "core/bnb_network.hpp"
+
+namespace bnb {
+
+namespace {
+
+/// Kuhn's augmenting-path step: try to match `row` to some column with
+/// positive demand, displacing earlier matches along an alternating path.
+bool try_augment(const DemandMatrix& m, std::size_t row,
+                 std::vector<std::int64_t>& match_col, std::vector<bool>& visited,
+                 std::uint64_t& augmentations) {
+  ++augmentations;
+  const std::size_t n = m.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    if (m.at(row, col) == 0 || visited[col]) continue;
+    visited[col] = true;
+    if (match_col[col] < 0 ||
+        try_augment(m, static_cast<std::size_t>(match_col[col]), match_col, visited,
+                    augmentations)) {
+      match_col[col] = static_cast<std::int64_t>(row);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// A perfect matching of rows to columns over positive entries.  Exists by
+/// Hall's theorem while all line sums are equal and positive (Birkhoff).
+std::vector<std::uint32_t> perfect_matching(const DemandMatrix& m,
+                                            std::uint64_t& augmentations) {
+  const std::size_t n = m.size();
+  std::vector<std::int64_t> match_col(n, -1);
+  for (std::size_t row = 0; row < n; ++row) {
+    std::vector<bool> visited(n, false);
+    const bool ok = try_augment(m, row, match_col, visited, augmentations);
+    BNB_ENSURES(ok);  // Birkhoff guarantees a perfect matching
+  }
+  std::vector<std::uint32_t> perm(n);
+  for (std::size_t col = 0; col < n; ++col) {
+    BNB_ENSURES(match_col[col] >= 0);
+    perm[static_cast<std::size_t>(match_col[col])] = static_cast<std::uint32_t>(col);
+  }
+  return perm;
+}
+
+}  // namespace
+
+BvnDecomposition bvn_decompose(DemandMatrix matrix) {
+  const std::size_t n = matrix.size();
+  const std::uint64_t capacity = matrix.row_sum(0);
+  BNB_EXPECTS(capacity > 0);
+  for (std::size_t k = 0; k < n; ++k) {
+    BNB_EXPECTS(matrix.row_sum(k) == capacity);
+    BNB_EXPECTS(matrix.col_sum(k) == capacity);
+  }
+
+  BvnDecomposition d;
+  d.capacity = capacity;
+  std::uint64_t remaining = capacity;
+  while (remaining > 0) {
+    const auto image = perfect_matching(matrix, d.augmentations);
+    ++d.matchings;
+    // Hold the slot for the bottleneck weight of its matching.
+    std::uint32_t weight = ~std::uint32_t{0};
+    for (std::size_t i = 0; i < n; ++i) {
+      weight = std::min(weight, matrix.at(i, image[i]));
+    }
+    BNB_ENSURES(weight > 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      matrix.set(i, image[i], matrix.at(i, image[i]) - weight);
+    }
+    d.slots.push_back(BvnSlot{Permutation(std::vector<Permutation::value_type>(
+                                  image.begin(), image.end())),
+                              weight});
+    remaining -= weight;
+  }
+  return d;
+}
+
+bool decomposition_reconstructs(const BvnDecomposition& d, const DemandMatrix& matrix) {
+  DemandMatrix sum(matrix.size());
+  for (const auto& slot : d.slots) {
+    for (std::size_t i = 0; i < matrix.size(); ++i) {
+      sum.add(i, slot.perm(i), slot.weight);
+    }
+  }
+  return sum == matrix;
+}
+
+ScheduleResult run_bvn_schedule(const BvnDecomposition& d,
+                                const DemandMatrix& real_demand) {
+  const std::size_t n = real_demand.size();
+  BNB_EXPECTS(is_power_of_two(n) && n >= 2);
+  const BnbNetwork fabric(log2_exact(n));
+
+  DemandMatrix remaining = real_demand;
+  ScheduleResult r;
+  std::vector<Word> words(n);
+  constexpr std::uint64_t kFiller = ~std::uint64_t{0};
+
+  for (const auto& slot : d.slots) {
+    for (std::uint32_t t = 0; t < slot.weight; ++t) {
+      ++r.cell_times;
+      bool any_real = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t dst = slot.perm(i);
+        if (remaining.at(i, dst) > 0) {
+          remaining.set(i, dst, remaining.at(i, dst) - 1);
+          words[i] = Word{dst, static_cast<std::uint64_t>(i)};
+          any_real = true;
+        } else {
+          words[i] = Word{dst, kFiller};  // padding traffic
+        }
+      }
+      if (!any_real) ++r.filler_slots;
+
+      const auto out = fabric.route_words(words);
+      BNB_ENSURES(out.self_routed);
+      for (std::size_t line = 0; line < n; ++line) {
+        if (out.outputs[line].payload == kFiller) continue;
+        // A real cell from source s must arrive where its demand pointed.
+        const auto src = static_cast<std::size_t>(out.outputs[line].payload);
+        BNB_ENSURES(slot.perm(src) == line);
+        ++r.cells_delivered;
+      }
+    }
+  }
+
+  r.demand_met = (remaining.total() == 0) &&
+                 (r.cells_delivered == real_demand.total());
+  return r;
+}
+
+}  // namespace bnb

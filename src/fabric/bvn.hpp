@@ -1,0 +1,63 @@
+// Birkhoff–von Neumann scheduling over the BNB fabric.
+//
+// A permutation network can only move permutations, but real switch
+// traffic is a demand MATRIX.  The classical bridge is Birkhoff's theorem:
+// any matrix whose row and column sums all equal C is a sum of at most
+// N^2 - 2N + 2 weighted permutation matrices.  The scheduler here
+//
+//   1. pads an admissible demand matrix to capacity C (fabric/demand.hpp),
+//   2. decomposes it with repeated perfect matchings (Kuhn's augmenting-
+//      path algorithm on the positive-entry bipartite graph; a perfect
+//      matching always exists while line sums are equal and positive),
+//   3. runs the resulting permutation slots through the self-routing BNB
+//      network, one slot per `weight` cell times, auditing every delivery.
+//
+// Because the BNB self-routes, each slot needs zero reconfiguration work —
+// the schedule IS just the sequence of permutations, which is exactly the
+// deployment model the paper's introduction sketches for switching systems.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fabric/demand.hpp"
+#include "perm/permutation.hpp"
+
+namespace bnb {
+
+struct BvnSlot {
+  Permutation perm;
+  std::uint32_t weight = 0;  ///< consecutive cell times this slot is held
+};
+
+struct BvnDecomposition {
+  std::vector<BvnSlot> slots;
+  std::uint64_t capacity = 0;        ///< frame length = sum of weights
+  std::uint64_t matchings = 0;       ///< perfect matchings computed
+  std::uint64_t augmentations = 0;   ///< augmenting-path searches
+};
+
+/// Decompose a padded matrix (every row and column sums to the same
+/// positive value).  Throws contract_violation when the matrix is not
+/// doubly balanced.  The input is consumed (entries are drained to zero).
+[[nodiscard]] BvnDecomposition bvn_decompose(DemandMatrix matrix);
+
+/// Validity check: sum over slots of weight * P(slot) equals `matrix`.
+[[nodiscard]] bool decomposition_reconstructs(const BvnDecomposition& d,
+                                              const DemandMatrix& matrix);
+
+struct ScheduleResult {
+  std::uint64_t cell_times = 0;      ///< total fabric passes (= capacity)
+  std::uint64_t cells_delivered = 0; ///< real (non-filler) cells delivered
+  std::uint64_t filler_slots = 0;    ///< passes spent on padding traffic
+  bool demand_met = false;           ///< every real cell delivered exactly once
+};
+
+/// Execute the schedule on an N-input BNB network: for each slot and each
+/// of its `weight` cell times, route the slot's permutation carrying real
+/// cells where demand remains and filler otherwise; audit arrivals against
+/// the original (unpadded) demand.
+[[nodiscard]] ScheduleResult run_bvn_schedule(const BvnDecomposition& d,
+                                              const DemandMatrix& real_demand);
+
+}  // namespace bnb

@@ -1,0 +1,129 @@
+#include "fabric/demand.hpp"
+
+#include <sstream>
+
+#include "common/expect.hpp"
+
+namespace bnb {
+
+DemandMatrix::DemandMatrix(std::size_t n) : n_(n), cells_(n * n, 0) {
+  BNB_EXPECTS(n >= 1);
+}
+
+std::uint32_t DemandMatrix::at(std::size_t i, std::size_t j) const {
+  BNB_EXPECTS(i < n_ && j < n_);
+  return cells_[i * n_ + j];
+}
+
+void DemandMatrix::set(std::size_t i, std::size_t j, std::uint32_t v) {
+  BNB_EXPECTS(i < n_ && j < n_);
+  cells_[i * n_ + j] = v;
+}
+
+void DemandMatrix::add(std::size_t i, std::size_t j, std::uint32_t v) {
+  BNB_EXPECTS(i < n_ && j < n_);
+  cells_[i * n_ + j] += v;
+}
+
+std::uint64_t DemandMatrix::row_sum(std::size_t i) const {
+  BNB_EXPECTS(i < n_);
+  std::uint64_t s = 0;
+  for (std::size_t j = 0; j < n_; ++j) s += cells_[i * n_ + j];
+  return s;
+}
+
+std::uint64_t DemandMatrix::col_sum(std::size_t j) const {
+  BNB_EXPECTS(j < n_);
+  std::uint64_t s = 0;
+  for (std::size_t i = 0; i < n_; ++i) s += cells_[i * n_ + j];
+  return s;
+}
+
+std::uint64_t DemandMatrix::max_line_sum() const {
+  std::uint64_t best = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    best = std::max(best, row_sum(i));
+    best = std::max(best, col_sum(i));
+  }
+  return best;
+}
+
+std::uint64_t DemandMatrix::total() const {
+  std::uint64_t s = 0;
+  for (const auto c : cells_) s += c;
+  return s;
+}
+
+DemandMatrix DemandMatrix::pad_to_capacity(std::uint64_t capacity) {
+  BNB_EXPECTS(capacity >= max_line_sum());
+  DemandMatrix filler(n_);
+
+  std::vector<std::uint64_t> row_deficit(n_), col_deficit(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    row_deficit[i] = capacity - row_sum(i);
+    col_deficit[i] = capacity - col_sum(i);
+  }
+  // Greedy north-west filling: total row deficit == total col deficit, so
+  // this always terminates with both exhausted.
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < n_ && j < n_) {
+    if (row_deficit[i] == 0) {
+      ++i;
+      continue;
+    }
+    if (col_deficit[j] == 0) {
+      ++j;
+      continue;
+    }
+    const std::uint64_t x = std::min(row_deficit[i], col_deficit[j]);
+    filler.add(i, j, static_cast<std::uint32_t>(x));
+    add(i, j, static_cast<std::uint32_t>(x));
+    row_deficit[i] -= x;
+    col_deficit[j] -= x;
+  }
+  for (std::size_t k = 0; k < n_; ++k) {
+    BNB_ENSURES(row_sum(k) == capacity);
+    BNB_ENSURES(col_sum(k) == capacity);
+  }
+  return filler;
+}
+
+DemandMatrix DemandMatrix::random(std::size_t n, std::size_t cells, Rng& rng) {
+  DemandMatrix d(n);
+  for (std::size_t c = 0; c < cells; ++c) {
+    d.add(rng.below(n), rng.below(n), 1);
+  }
+  return d;
+}
+
+DemandMatrix DemandMatrix::random_admissible(std::size_t n, std::uint32_t capacity,
+                                             double load, Rng& rng) {
+  BNB_EXPECTS(load >= 0.0 && load <= 1.0);
+  DemandMatrix d(n);
+  std::vector<std::uint32_t> perm(n);
+  for (std::uint32_t round = 0; round < capacity; ++round) {
+    // A random permutation, thinned by the load factor, adds at most one
+    // cell per row and per column: line sums stay <= capacity.
+    for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<std::uint32_t>(i);
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.below(i)]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.uniform01() < load) d.add(i, perm[i], 1);
+    }
+  }
+  return d;
+}
+
+std::string DemandMatrix::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      os << cells_[i * n_ + j] << (j + 1 == n_ ? '\n' : ' ');
+    }
+  }
+  return os.str();
+}
+
+}  // namespace bnb

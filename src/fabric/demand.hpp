@@ -1,0 +1,59 @@
+// Integer demand matrices for traffic scheduling.
+//
+// D(i, j) = number of cells input port i wants to send to output port j in
+// one scheduling frame.  A permutation fabric serves such a frame as a
+// sequence of permutation "slots" (see fabric/bvn.hpp); the matrix
+// machinery here validates demands, measures line sums, and pads a
+// feasible matrix to the doubly-balanced form the decomposition needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace bnb {
+
+class DemandMatrix {
+ public:
+  /// n x n zero matrix.
+  explicit DemandMatrix(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  [[nodiscard]] std::uint32_t at(std::size_t i, std::size_t j) const;
+  void set(std::size_t i, std::size_t j, std::uint32_t v);
+  void add(std::size_t i, std::size_t j, std::uint32_t v);
+
+  [[nodiscard]] std::uint64_t row_sum(std::size_t i) const;
+  [[nodiscard]] std::uint64_t col_sum(std::size_t j) const;
+  /// max over all row and column sums — the frame length any schedule needs.
+  [[nodiscard]] std::uint64_t max_line_sum() const;
+  [[nodiscard]] std::uint64_t total() const;
+
+  /// Pad with filler demand until every row and column sums to exactly
+  /// `capacity` (>= max_line_sum()).  Returns the filler as its own matrix
+  /// so callers can distinguish real from padding traffic.
+  [[nodiscard]] DemandMatrix pad_to_capacity(std::uint64_t capacity);
+
+  /// Uniform random demand: `cells` cells with i.i.d. uniform (src, dst).
+  [[nodiscard]] static DemandMatrix random(std::size_t n, std::size_t cells, Rng& rng);
+
+  /// Random demand with every row/col sum <= capacity (admissible load):
+  /// generated as a sum of `capacity` random partial permutations, each
+  /// kept with probability `load`.
+  [[nodiscard]] static DemandMatrix random_admissible(std::size_t n,
+                                                      std::uint32_t capacity,
+                                                      double load, Rng& rng);
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const DemandMatrix&, const DemandMatrix&) = default;
+
+ private:
+  std::size_t n_;
+  std::vector<std::uint32_t> cells_;  // row-major
+};
+
+}  // namespace bnb

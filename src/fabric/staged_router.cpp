@@ -1,0 +1,121 @@
+#include "fabric/staged_router.hpp"
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+#include "core/arbiter.hpp"
+#include "core/unshuffle.hpp"
+
+namespace bnb {
+
+StagedBnbRouter::StagedBnbRouter(unsigned m) : m_(m) {
+  BNB_EXPECTS(m >= 1 && m < 22);
+  for (unsigned i = 0; i < m; ++i) {
+    for (unsigned j = 0; j < m - i; ++j) {
+      columns_.push_back(Column{i, j, m - i - j});
+    }
+  }
+}
+
+sim::DelayUnits StagedBnbRouter::column_delay(unsigned column) const {
+  BNB_EXPECTS(column < total_columns());
+  const unsigned p = columns_[column].p;
+  return sim::DelayUnits{1, Arbiter::delay_fn_units(p), 0};
+}
+
+sim::DelayUnits StagedBnbRouter::max_column_delay() const {
+  sim::DelayUnits worst{};
+  for (unsigned c = 0; c < total_columns(); ++c) {
+    const auto d = column_delay(c);
+    if (d.evaluate(1.0, 1.0) > worst.evaluate(1.0, 1.0)) worst = d;
+  }
+  return worst;
+}
+
+StagedJob StagedBnbRouter::start(std::span<const Word> words, std::uint64_t tag) const {
+  BNB_EXPECTS(words.size() == inputs());
+  StagedJob job;
+  job.lines.assign(words.begin(), words.end());
+  job.tag = tag;
+  return job;
+}
+
+void StagedBnbRouter::step(StagedJob& job) const {
+  BNB_EXPECTS(!finished(job));
+  BNB_EXPECTS(job.lines.size() == inputs());
+  const Column& col = columns_[job.column];
+  const std::size_t n = inputs();
+  const unsigned p_log = m_ - col.main_stage;
+  const std::size_t nested_size = std::size_t{1} << p_log;
+  const std::size_t sp_size = std::size_t{1} << col.p;
+  const unsigned addr_bit = m_ - 1 - col.main_stage;
+  const Arbiter arbiter(col.p);
+
+  std::vector<std::uint8_t> bits(sp_size);
+  for (std::size_t base = 0; base < n; base += sp_size) {
+    for (std::size_t l = 0; l < sp_size; ++l) {
+      bits[l] = static_cast<std::uint8_t>(bit_of(job.lines[base + l].address, addr_bit));
+    }
+    const auto flags = arbiter.compute_flags(bits);
+    for (std::size_t t = 0; t < sp_size / 2; ++t) {
+      if ((bits[2 * t] ^ flags[2 * t]) != 0) {
+        std::swap(job.lines[base + 2 * t], job.lines[base + 2 * t + 1]);
+      }
+    }
+  }
+
+  // Wiring after this column.
+  if (col.nested_stage + 1 < p_log) {
+    std::vector<Word> next(n);
+    for (std::size_t nb = 0; nb < n; nb += nested_size) {
+      for (std::size_t local = 0; local < nested_size; ++local) {
+        next[nb + unshuffle_index(local, col.p, p_log)] = job.lines[nb + local];
+      }
+    }
+    job.lines = std::move(next);
+  } else if (col.main_stage + 1 < m_) {
+    std::vector<Word> next(n);
+    for (std::size_t line = 0; line < n; ++line) {
+      next[unshuffle_index(line, p_log, m_)] = job.lines[line];
+    }
+    job.lines = std::move(next);
+  }
+  ++job.column;
+}
+
+std::vector<Word> StagedBnbRouter::run_to_completion(std::span<const Word> words) const {
+  StagedJob job = start(words);
+  while (!finished(job)) step(job);
+  return std::move(job.lines);
+}
+
+StagedBatcherRouter::StagedBatcherRouter(unsigned m) : net_(m) {}
+
+sim::DelayUnits StagedBatcherRouter::column_delay(unsigned column) const {
+  BNB_EXPECTS(column < total_columns());
+  return sim::DelayUnits{1, net_.m(), 0};
+}
+
+sim::DelayUnits StagedBatcherRouter::max_column_delay() const {
+  return column_delay(0);
+}
+
+StagedJob StagedBatcherRouter::start(std::span<const Word> words,
+                                     std::uint64_t tag) const {
+  BNB_EXPECTS(words.size() == inputs());
+  StagedJob job;
+  job.lines.assign(words.begin(), words.end());
+  job.tag = tag;
+  return job;
+}
+
+void StagedBatcherRouter::step(StagedJob& job) const {
+  BNB_EXPECTS(!finished(job));
+  for (const auto& c : net_.stages()[job.column]) {
+    if (job.lines[c.low].address > job.lines[c.high].address) {
+      std::swap(job.lines[c.low], job.lines[c.high]);
+    }
+  }
+  ++job.column;
+}
+
+}  // namespace bnb

@@ -1,0 +1,67 @@
+#include "perm/classes.hpp"
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "perm/generators.hpp"
+
+namespace bnb {
+
+const std::vector<PermFamily>& all_perm_families() {
+  static const std::vector<PermFamily> families = {
+      PermFamily::kIdentity,       PermFamily::kReversal,
+      PermFamily::kBitReversal,    PermFamily::kPerfectShuffle,
+      PermFamily::kUnshuffle,      PermFamily::kButterfly,
+      PermFamily::kExchange,       PermFamily::kTranspose,
+      PermFamily::kRotationOne,    PermFamily::kRotationHalf,
+      PermFamily::kPairwiseSwap,   PermFamily::kRandom,
+      PermFamily::kRandomBpc,      PermFamily::kRandomDerangement,
+  };
+  return families;
+}
+
+std::string perm_family_name(PermFamily f) {
+  switch (f) {
+    case PermFamily::kIdentity: return "identity";
+    case PermFamily::kReversal: return "reversal";
+    case PermFamily::kBitReversal: return "bit-reversal";
+    case PermFamily::kPerfectShuffle: return "perfect-shuffle";
+    case PermFamily::kUnshuffle: return "unshuffle";
+    case PermFamily::kButterfly: return "butterfly";
+    case PermFamily::kExchange: return "exchange";
+    case PermFamily::kTranspose: return "transpose";
+    case PermFamily::kRotationOne: return "rotation-by-1";
+    case PermFamily::kRotationHalf: return "rotation-by-n/2";
+    case PermFamily::kPairwiseSwap: return "pairwise-swap";
+    case PermFamily::kRandom: return "random";
+    case PermFamily::kRandomBpc: return "random-BPC";
+    case PermFamily::kRandomDerangement: return "random-derangement";
+  }
+  return "unknown";
+}
+
+Permutation make_perm(PermFamily f, std::size_t n, std::uint64_t seed) {
+  BNB_EXPECTS(is_power_of_two(n) && n >= 2);
+  Rng rng(seed);
+  switch (f) {
+    case PermFamily::kIdentity: return identity_perm(n);
+    case PermFamily::kReversal: return reversal_perm(n);
+    case PermFamily::kBitReversal: return bit_reversal_perm(n);
+    case PermFamily::kPerfectShuffle: return perfect_shuffle_perm(n);
+    case PermFamily::kUnshuffle: return unshuffle_perm(n);
+    case PermFamily::kButterfly: return butterfly_perm(n);
+    case PermFamily::kExchange: return exchange_perm(n);
+    case PermFamily::kTranspose:
+      // Transpose needs an even number of address bits.
+      return (log2_exact(n) % 2 == 0) ? transpose_perm(n) : reversal_perm(n);
+    case PermFamily::kRotationOne: return rotation_perm(n, 1);
+    case PermFamily::kRotationHalf: return rotation_perm(n, n / 2);
+    case PermFamily::kPairwiseSwap: return pairwise_swap_perm(n);
+    case PermFamily::kRandom: return random_perm(n, rng);
+    case PermFamily::kRandomBpc: return random_bpc_perm(n, rng);
+    case PermFamily::kRandomDerangement: return random_derangement(n, rng);
+  }
+  return identity_perm(n);
+}
+
+}  // namespace bnb

@@ -1,0 +1,41 @@
+// Named permutation families, for parameterized tests and benches.
+//
+// Each family maps (n, seed) -> Permutation so sweeps can iterate
+// uniformly over "all interesting workloads".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perm/permutation.hpp"
+
+namespace bnb {
+
+enum class PermFamily {
+  kIdentity,
+  kReversal,
+  kBitReversal,
+  kPerfectShuffle,
+  kUnshuffle,
+  kButterfly,
+  kExchange,
+  kTranspose,     // only defined for even log2(n); falls back to reversal
+  kRotationOne,
+  kRotationHalf,
+  kPairwiseSwap,
+  kRandom,
+  kRandomBpc,
+  kRandomDerangement,
+};
+
+/// All families, in a stable order.
+[[nodiscard]] const std::vector<PermFamily>& all_perm_families();
+
+/// Human-readable family name ("bit-reversal", ...).
+[[nodiscard]] std::string perm_family_name(PermFamily f);
+
+/// Instantiate a family member of size n (power of two).  For the
+/// randomized families, `seed` selects the member; it is ignored otherwise.
+[[nodiscard]] Permutation make_perm(PermFamily f, std::size_t n, std::uint64_t seed = 1);
+
+}  // namespace bnb

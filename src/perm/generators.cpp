@@ -1,0 +1,143 @@
+#include "perm/generators.hpp"
+
+#include <numeric>
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+
+namespace bnb {
+
+Permutation identity_perm(std::size_t n) { return Permutation(n); }
+
+Permutation reversal_perm(std::size_t n) {
+  std::vector<Permutation::value_type> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<Permutation::value_type>(n - 1 - i);
+  return Permutation(std::move(v));
+}
+
+Permutation random_perm(std::size_t n, Rng& rng) {
+  std::vector<Permutation::value_type> v(n);
+  std::iota(v.begin(), v.end(), Permutation::value_type{0});
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = rng.below(i);
+    std::swap(v[i - 1], v[j]);
+  }
+  return Permutation(std::move(v));
+}
+
+Permutation bit_reversal_perm(std::size_t n) {
+  const unsigned m = log2_exact(n);
+  std::vector<Permutation::value_type> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<Permutation::value_type>(reverse_bits(i, m));
+  }
+  return Permutation(std::move(v));
+}
+
+Permutation perfect_shuffle_perm(std::size_t n) {
+  const unsigned m = log2_exact(n);
+  std::vector<Permutation::value_type> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t hi = (i >> (m - 1)) & 1U;
+    v[i] = static_cast<Permutation::value_type>(((i << 1) & (n - 1)) | hi);
+  }
+  return Permutation(std::move(v));
+}
+
+Permutation unshuffle_perm(std::size_t n) {
+  return perfect_shuffle_perm(n).inverse();
+}
+
+Permutation butterfly_perm(std::size_t n) {
+  const unsigned m = log2_exact(n);
+  std::vector<Permutation::value_type> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const unsigned lo = bit_of(i, 0);
+    const unsigned hi = bit_of(i, m - 1);
+    std::uint64_t j = i & ~((std::uint64_t{1} << (m - 1)) | 1U);
+    j |= static_cast<std::uint64_t>(lo) << (m - 1);
+    j |= hi;
+    v[i] = static_cast<Permutation::value_type>(j);
+  }
+  return Permutation(std::move(v));
+}
+
+Permutation exchange_perm(std::size_t n) {
+  BNB_EXPECTS(is_power_of_two(n));
+  std::vector<Permutation::value_type> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<Permutation::value_type>(~i & (n - 1));
+  }
+  return Permutation(std::move(v));
+}
+
+Permutation rotation_perm(std::size_t n, std::size_t k) {
+  std::vector<Permutation::value_type> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<Permutation::value_type>((i + k) % n);
+  }
+  return Permutation(std::move(v));
+}
+
+Permutation transpose_perm(std::size_t n) {
+  const unsigned m = log2_exact(n);
+  BNB_EXPECTS(m % 2 == 0);
+  const unsigned h = m / 2;
+  const std::uint64_t side_mask = (std::uint64_t{1} << h) - 1;
+  std::vector<Permutation::value_type> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t row = (i >> h) & side_mask;
+    const std::uint64_t col = i & side_mask;
+    v[i] = static_cast<Permutation::value_type>((col << h) | row);
+  }
+  return Permutation(std::move(v));
+}
+
+Permutation bpc_perm(std::size_t n, std::span<const unsigned> bit_perm,
+                     std::uint64_t complement_mask) {
+  const unsigned m = log2_exact(n);
+  BNB_EXPECTS(bit_perm.size() == m);
+  std::vector<Permutation::value_type> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t d = 0;
+    for (unsigned b = 0; b < m; ++b) {
+      BNB_EXPECTS(bit_perm[b] < m);
+      d |= static_cast<std::uint64_t>(bit_of(i, bit_perm[b])) << b;
+    }
+    d ^= complement_mask & (n - 1);
+    v[i] = static_cast<Permutation::value_type>(d);
+  }
+  return Permutation(std::move(v));
+}
+
+Permutation random_bpc_perm(std::size_t n, Rng& rng) {
+  const unsigned m = log2_exact(n);
+  std::vector<unsigned> bits(m);
+  std::iota(bits.begin(), bits.end(), 0U);
+  for (std::size_t i = m; i > 1; --i) {
+    const std::size_t j = rng.below(i);
+    std::swap(bits[i - 1], bits[j]);
+  }
+  const std::uint64_t mask = rng.next() & (n - 1);
+  return bpc_perm(n, bits, mask);
+}
+
+Permutation random_derangement(std::size_t n, Rng& rng) {
+  BNB_EXPECTS(n >= 2);
+  for (;;) {
+    Permutation p = random_perm(n, rng);
+    if (p.fixed_points() == 0) return p;
+  }
+}
+
+Permutation pairwise_swap_perm(std::size_t n) {
+  BNB_EXPECTS(n % 2 == 0);
+  std::vector<Permutation::value_type> v(n);
+  for (std::size_t i = 0; i < n; i += 2) {
+    v[i] = static_cast<Permutation::value_type>(i + 1);
+    v[i + 1] = static_cast<Permutation::value_type>(i);
+  }
+  return Permutation(std::move(v));
+}
+
+}  // namespace bnb

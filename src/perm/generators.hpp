@@ -1,0 +1,64 @@
+// Generators for the permutation workloads used across tests and benches.
+//
+// Besides uniform-random permutations we provide the structured families
+// that the interconnection-network literature (and the paper's references:
+// Lawrie's Omega access patterns, Nassimi/Sahni's BPC class) cares about,
+// because naive destination-tag self-routing fails on exactly these.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "perm/permutation.hpp"
+
+namespace bnb {
+
+/// Identity: pi(i) = i.
+[[nodiscard]] Permutation identity_perm(std::size_t n);
+
+/// Reversal: pi(i) = n-1-i.
+[[nodiscard]] Permutation reversal_perm(std::size_t n);
+
+/// Uniform-random permutation via Fisher–Yates with the given generator.
+[[nodiscard]] Permutation random_perm(std::size_t n, Rng& rng);
+
+/// Bit-reversal: pi(i) = reverse of i's log2(n)-bit representation.
+/// Requires n a power of two.
+[[nodiscard]] Permutation bit_reversal_perm(std::size_t n);
+
+/// Perfect shuffle: pi(i) = left-rotate of i's bits by one.  Power of two.
+[[nodiscard]] Permutation perfect_shuffle_perm(std::size_t n);
+
+/// Unshuffle (inverse perfect shuffle): right-rotate of i's bits by one.
+[[nodiscard]] Permutation unshuffle_perm(std::size_t n);
+
+/// Butterfly: swap the most and least significant bits of i.  Power of two.
+[[nodiscard]] Permutation butterfly_perm(std::size_t n);
+
+/// Exchange: complement all address bits, pi(i) = ~i (mod n).  Power of two.
+[[nodiscard]] Permutation exchange_perm(std::size_t n);
+
+/// Cyclic rotation by k: pi(i) = (i + k) mod n.
+[[nodiscard]] Permutation rotation_perm(std::size_t n, std::size_t k);
+
+/// Matrix transpose of a sqrt(n) x sqrt(n) array stored row-major; this is
+/// the classic Omega-network blocker.  Requires n an even power of two.
+[[nodiscard]] Permutation transpose_perm(std::size_t n);
+
+/// Bit-permute-complement (BPC) permutation: destination bits are a fixed
+/// permutation of source bits, XOR-ed with a complement mask.
+/// `bit_perm[b]` gives the source-bit index feeding destination bit b.
+[[nodiscard]] Permutation bpc_perm(std::size_t n,
+                                   std::span<const unsigned> bit_perm,
+                                   std::uint64_t complement_mask);
+
+/// Random BPC permutation (random bit permutation + random mask).
+[[nodiscard]] Permutation random_bpc_perm(std::size_t n, Rng& rng);
+
+/// A derangement (no fixed points) sampled uniformly by rejection.
+[[nodiscard]] Permutation random_derangement(std::size_t n, Rng& rng);
+
+/// Adjacent-pair swap: pi(2i) = 2i+1, pi(2i+1) = 2i.  Requires even n.
+[[nodiscard]] Permutation pairwise_swap_perm(std::size_t n);
+
+}  // namespace bnb

@@ -1,0 +1,56 @@
+#include "perm/partial.hpp"
+
+#include "common/expect.hpp"
+
+namespace bnb {
+
+bool is_valid_partial(const PartialMapping& req) {
+  std::vector<bool> used(req.size(), false);
+  for (const auto& d : req) {
+    if (!d.has_value()) continue;
+    if (*d >= req.size() || used[*d]) return false;
+    used[*d] = true;
+  }
+  return true;
+}
+
+CompletedMapping complete_partial(const PartialMapping& req) {
+  BNB_EXPECTS(is_valid_partial(req));
+  const std::size_t n = req.size();
+
+  std::vector<bool> used(n, false);
+  for (const auto& d : req) {
+    if (d.has_value()) used[*d] = true;
+  }
+  // Unused destinations, ascending.
+  std::vector<std::uint32_t> spare;
+  spare.reserve(n);
+  for (std::size_t d = 0; d < n; ++d) {
+    if (!used[d]) spare.push_back(static_cast<std::uint32_t>(d));
+  }
+
+  CompletedMapping out;
+  out.is_dummy.assign(n, false);
+  std::vector<Permutation::value_type> image(n);
+  std::size_t next_spare = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (req[j].has_value()) {
+      image[j] = *req[j];
+    } else {
+      image[j] = spare[next_spare++];
+      out.is_dummy[j] = true;
+    }
+  }
+  out.full = Permutation(std::move(image));
+  return out;
+}
+
+PartialMapping partial_from_ints(std::span<const std::int64_t> v) {
+  PartialMapping req(v.size());
+  for (std::size_t j = 0; j < v.size(); ++j) {
+    if (v[j] >= 0) req[j] = static_cast<std::uint32_t>(v[j]);
+  }
+  return req;
+}
+
+}  // namespace bnb

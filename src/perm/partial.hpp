@@ -1,0 +1,40 @@
+// Partial permutations (an extension beyond the paper).
+//
+// The paper's standing assumption is full permutation traffic: every input
+// carries a distinct destination.  Real switch ports are sometimes idle.
+// The standard remedy — and the one the radix-sorting fabric admits
+// directly — is to COMPLETE the partial mapping: hand every idle input one
+// of the unused destination addresses (any bijective completion works,
+// because the network routes all N! permutations).  Idle inputs then carry
+// dummy words that are discarded at the outputs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "perm/permutation.hpp"
+
+namespace bnb {
+
+/// A partial request: dest_of[j] is input j's destination, or nullopt when
+/// input j is idle.
+using PartialMapping = std::vector<std::optional<std::uint32_t>>;
+
+/// True iff the requested destinations are within range and distinct.
+[[nodiscard]] bool is_valid_partial(const PartialMapping& req);
+
+struct CompletedMapping {
+  Permutation full;               ///< bijective completion
+  std::vector<bool> is_dummy;     ///< is_dummy[j]: input j carried a filler
+};
+
+/// Complete a valid partial mapping: idle inputs receive the unused
+/// destinations in ascending order (deterministic; any order would do).
+[[nodiscard]] CompletedMapping complete_partial(const PartialMapping& req);
+
+/// Convenience: parse "-1 means idle" integer vectors (tests, examples).
+[[nodiscard]] PartialMapping partial_from_ints(std::span<const std::int64_t> v);
+
+}  // namespace bnb

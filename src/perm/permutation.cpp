@@ -1,0 +1,83 @@
+#include "perm/permutation.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "common/expect.hpp"
+
+namespace bnb {
+
+Permutation::Permutation(std::size_t n) : image_(n) {
+  std::iota(image_.begin(), image_.end(), value_type{0});
+}
+
+Permutation::Permutation(std::vector<value_type> image) : image_(std::move(image)) {
+  BNB_EXPECTS(is_valid_image(image_));
+}
+
+Permutation::Permutation(std::initializer_list<value_type> image)
+    : Permutation(std::vector<value_type>(image)) {}
+
+Permutation::value_type Permutation::operator()(std::size_t i) const {
+  BNB_EXPECTS(i < image_.size());
+  return image_[i];
+}
+
+Permutation Permutation::compose(const Permutation& rhs) const {
+  BNB_EXPECTS(size() == rhs.size());
+  std::vector<value_type> out(size());
+  for (std::size_t i = 0; i < size(); ++i) out[i] = image_[rhs.image_[i]];
+  return Permutation(std::move(out));
+}
+
+Permutation Permutation::inverse() const {
+  std::vector<value_type> out(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    out[image_[i]] = static_cast<value_type>(i);
+  }
+  return Permutation(std::move(out));
+}
+
+bool Permutation::is_identity() const noexcept {
+  for (std::size_t i = 0; i < image_.size(); ++i) {
+    if (image_[i] != i) return false;
+  }
+  return true;
+}
+
+std::size_t Permutation::fixed_points() const noexcept {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < image_.size(); ++i) {
+    if (image_[i] == i) ++c;
+  }
+  return c;
+}
+
+bool Permutation::is_valid_image(std::span<const value_type> image) {
+  std::vector<bool> seen(image.size(), false);
+  for (auto v : image) {
+    if (v >= image.size() || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+bool Permutation::next_lexicographic() {
+  if (std::next_permutation(image_.begin(), image_.end())) return true;
+  // std::next_permutation wrapped around to the identity (sorted order).
+  return false;
+}
+
+std::string Permutation::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < image_.size(); ++i) {
+    if (i != 0) os << ' ';
+    os << image_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace bnb

@@ -1,0 +1,76 @@
+// A validated permutation of {0, ..., n-1}.
+//
+// In the paper's setting, input line j of the network carries a word whose
+// address field is pi(j): the destination output line.  A permutation
+// network must deliver every word to its address for every pi in S_n.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bnb {
+
+class Permutation {
+ public:
+  using value_type = std::uint32_t;
+
+  Permutation() = default;
+
+  /// Identity permutation of size n.
+  explicit Permutation(std::size_t n);
+
+  /// Construct from an explicit image vector; validates bijectivity.
+  explicit Permutation(std::vector<value_type> image);
+  Permutation(std::initializer_list<value_type> image);
+
+  [[nodiscard]] std::size_t size() const noexcept { return image_.size(); }
+
+  /// pi(i): destination of source line i.
+  [[nodiscard]] value_type operator()(std::size_t i) const;
+
+  [[nodiscard]] std::span<const value_type> image() const noexcept { return image_; }
+
+  /// Composition: (*this ∘ rhs)(i) = (*this)(rhs(i)).
+  [[nodiscard]] Permutation compose(const Permutation& rhs) const;
+
+  /// Group inverse.
+  [[nodiscard]] Permutation inverse() const;
+
+  [[nodiscard]] bool is_identity() const noexcept;
+
+  /// Number of fixed points (pi(i) == i).
+  [[nodiscard]] std::size_t fixed_points() const noexcept;
+
+  /// Apply to a sequence: out[pi(i)] = in[i].  Sizes must match.
+  template <typename T>
+  [[nodiscard]] std::vector<T> apply(std::span<const T> in) const {
+    std::vector<T> out(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) out[image_[i]] = in[i];
+    return out;
+  }
+  template <typename T>
+  [[nodiscard]] std::vector<T> apply(const std::vector<T>& in) const {
+    return apply(std::span<const T>(in));
+  }
+
+  /// True iff `image` is a bijection on {0..n-1}; used by the validating ctor.
+  [[nodiscard]] static bool is_valid_image(std::span<const value_type> image);
+
+  /// Advance to the next permutation in lexicographic order;
+  /// returns false (and resets to identity) after the last one.
+  bool next_lexicographic();
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Permutation& a, const Permutation& b) noexcept {
+    return a.image_ == b.image_;
+  }
+
+ private:
+  std::vector<value_type> image_;
+};
+
+}  // namespace bnb

@@ -1,0 +1,34 @@
+#include "sim/census.hpp"
+
+#include <sstream>
+
+namespace bnb::sim {
+
+HardwareCensus& HardwareCensus::operator+=(const HardwareCensus& o) noexcept {
+  switches_2x2 += o.switches_2x2;
+  function_nodes += o.function_nodes;
+  adder_nodes += o.adder_nodes;
+  comparators += o.comparators;
+  crosspoints += o.crosspoints;
+  return *this;
+}
+
+HardwareCensus HardwareCensus::scaled(std::uint64_t k) const noexcept {
+  HardwareCensus c = *this;
+  c.switches_2x2 *= k;
+  c.function_nodes *= k;
+  c.adder_nodes *= k;
+  c.comparators *= k;
+  c.crosspoints *= k;
+  return c;
+}
+
+std::string HardwareCensus::to_string() const {
+  std::ostringstream os;
+  os << "{sw=" << switches_2x2 << ", fn=" << function_nodes
+     << ", add=" << adder_nodes << ", cmp=" << comparators
+     << ", xp=" << crosspoints << "}";
+  return os.str();
+}
+
+}  // namespace bnb::sim

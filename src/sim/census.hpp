@@ -1,0 +1,41 @@
+// Hardware census — counting the constructed elements of a network.
+//
+// The paper's Table 1 compares networks by the number of 2x2 switches,
+// function-logic slices and adder slices.  Every structural builder in this
+// repository reports its element counts through this struct so the bench
+// harnesses can print measured (not just formula-predicted) hardware.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bnb::sim {
+
+struct HardwareCensus {
+  /// 1-bit 2x2 switches, sw(1), across all bit slices.
+  std::uint64_t switches_2x2 = 0;
+  /// Arbiter function nodes (Fig. 5) — one per tree node, all identical.
+  std::uint64_t function_nodes = 0;
+  /// Adder nodes of ranking circuits (Koppelman-style baselines only).
+  std::uint64_t adder_nodes = 0;
+  /// Compare/exchange elements (Batcher-style networks only), counted as
+  /// whole comparators; their switch/function decomposition is reported
+  /// separately by the builder.
+  std::uint64_t comparators = 0;
+  /// Crosspoints (crossbar / cellular arrays only).
+  std::uint64_t crosspoints = 0;
+
+  HardwareCensus& operator+=(const HardwareCensus& o) noexcept;
+  friend HardwareCensus operator+(HardwareCensus a, const HardwareCensus& b) noexcept {
+    a += b;
+    return a;
+  }
+  friend bool operator==(const HardwareCensus&, const HardwareCensus&) = default;
+
+  /// Multiply every count (e.g. q identical bit slices).
+  [[nodiscard]] HardwareCensus scaled(std::uint64_t k) const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace bnb::sim

@@ -1,0 +1,53 @@
+#include "sim/delay_graph.hpp"
+
+#include "common/expect.hpp"
+
+namespace bnb::sim {
+
+DelayGraph::NodeId DelayGraph::add_node(DelayUnits weight,
+                                        std::initializer_list<NodeId> preds) {
+  return add_node(weight, std::vector<NodeId>(preds));
+}
+
+DelayGraph::NodeId DelayGraph::add_node(DelayUnits weight,
+                                        const std::vector<NodeId>& preds) {
+  const NodeId id = static_cast<NodeId>(weights_.size());
+  weights_.push_back(weight);
+  for (NodeId p : preds) {
+    if (p == kNoNode) continue;
+    BNB_EXPECTS(p < id);
+    preds_.push_back(p);
+  }
+  edge_index_.push_back(static_cast<std::uint32_t>(preds_.size()));
+  return id;
+}
+
+DelayGraph::PathResult DelayGraph::critical_path(double d_sw, double d_fn,
+                                                 double d_add) const {
+  PathResult best;
+  if (weights_.empty()) return best;
+
+  std::vector<double> arrive(weights_.size(), 0.0);
+  std::vector<DelayUnits> units(weights_.size());
+  for (NodeId v = 0; v < weights_.size(); ++v) {
+    double in_best = 0.0;
+    DelayUnits in_units{};
+    for (std::uint32_t e = edge_index_[v]; e < edge_index_[v + 1]; ++e) {
+      const NodeId p = preds_[e];
+      if (arrive[p] > in_best) {
+        in_best = arrive[p];
+        in_units = units[p];
+      }
+    }
+    arrive[v] = in_best + weights_[v].evaluate(d_sw, d_fn, d_add);
+    units[v] = in_units + weights_[v];
+    if (arrive[v] > best.delay) {
+      best.delay = arrive[v];
+      best.units = units[v];
+      best.terminal = v;
+    }
+  }
+  return best;
+}
+
+}  // namespace bnb::sim

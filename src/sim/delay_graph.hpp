@@ -1,0 +1,79 @@
+// Parametric delay DAG for propagation-delay measurement.
+//
+// The paper expresses delay as a polynomial  a * D_FN + b * D_SW  — the
+// number of arbiter function nodes and 2x2 switches on the slowest path.
+// Structural builders add one node per traversed hardware element, tagged
+// with its per-unit-class weight; `critical_path` then evaluates the longest
+// weighted path for concrete (D_SW, D_FN, D_ADD) values and reports the unit
+// counts along that path, so measurements can be compared with Eqs. 7-9/12
+// term by term.
+//
+// Nodes must be added in topological order (edges may only point from
+// already-created nodes to new ones), which every staged network satisfies
+// naturally; this keeps the longest-path computation a single linear pass.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bnb::sim {
+
+/// Per-unit-class weight of one hardware element on a path.
+struct DelayUnits {
+  std::uint64_t sw = 0;   ///< 2x2 switch traversals (D_SW each)
+  std::uint64_t fn = 0;   ///< arbiter function-node traversals (D_FN each)
+  std::uint64_t add = 0;  ///< adder-node traversals (D_ADD each)
+
+  DelayUnits& operator+=(const DelayUnits& o) noexcept {
+    sw += o.sw;
+    fn += o.fn;
+    add += o.add;
+    return *this;
+  }
+  friend DelayUnits operator+(DelayUnits a, const DelayUnits& b) noexcept {
+    a += b;
+    return a;
+  }
+  friend bool operator==(const DelayUnits&, const DelayUnits&) = default;
+
+  [[nodiscard]] double evaluate(double d_sw, double d_fn, double d_add = 1.0) const noexcept {
+    return static_cast<double>(sw) * d_sw + static_cast<double>(fn) * d_fn +
+           static_cast<double>(add) * d_add;
+  }
+};
+
+class DelayGraph {
+ public:
+  using NodeId = std::uint32_t;
+  static constexpr NodeId kNoNode = ~NodeId{0};
+
+  /// Add a node with the given element weight and predecessor list.
+  /// Predecessors must already exist.  kNoNode entries are ignored so
+  /// callers can pass "not connected" wires without filtering.
+  NodeId add_node(DelayUnits weight, std::initializer_list<NodeId> preds);
+  NodeId add_node(DelayUnits weight, const std::vector<NodeId>& preds);
+
+  /// A zero-weight source node (network input).
+  NodeId add_source() { return add_node({}, {}); }
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return weights_.size(); }
+
+  struct PathResult {
+    double delay = 0.0;       ///< longest weighted path, given unit delays
+    DelayUnits units;         ///< unit counts accumulated along that path
+    NodeId terminal = kNoNode;
+  };
+
+  /// Longest weighted path from any source to any node, for the given unit
+  /// delays.  Ties are broken deterministically by node id.
+  [[nodiscard]] PathResult critical_path(double d_sw, double d_fn,
+                                         double d_add = 1.0) const;
+
+ private:
+  std::vector<DelayUnits> weights_;
+  // Flattened adjacency: edge_index_[v]..edge_index_[v+1] are preds of v.
+  std::vector<std::uint32_t> edge_index_{0};
+  std::vector<NodeId> preds_;
+};
+
+}  // namespace bnb::sim

@@ -1,0 +1,117 @@
+#include "sim/event_sim.hpp"
+
+#include <queue>
+
+#include "common/expect.hpp"
+
+namespace bnb::sim {
+
+EventSimulator::EventSimulator(const GateNetlist& net, std::vector<double> delay)
+    : net_(net), delay_(std::move(delay)), fanouts_(net.gate_count()) {
+  BNB_EXPECTS(delay_.size() == net_.gate_count());
+  using GateId = GateNetlist::GateId;
+  for (GateId g = 0; g < net_.gate_count(); ++g) {
+    const auto kind = net_.kind(g);
+    if (kind == GateKind::kInput || kind == GateKind::kConst0 ||
+        kind == GateKind::kConst1) {
+      continue;
+    }
+    // The coalescing discipline needs strictly positive logic delays
+    // (a zero-delay gate could be scheduled for an instant already popped).
+    BNB_EXPECTS(delay_[g] > 0.0);
+    const auto& op = net_.operands(g);
+    const unsigned arity = (kind == GateKind::kMux) ? 3 : (kind == GateKind::kNot ? 1 : 2);
+    for (unsigned k = 0; k < arity; ++k) {
+      // Dedupe repeated operands (e.g. NOT stores its input twice).
+      bool seen = false;
+      for (unsigned p = 0; p < k; ++p) seen = seen || (op[p] == op[k]);
+      if (!seen) fanouts_[op[k]].push_back(g);
+    }
+  }
+}
+
+std::vector<double> EventSimulator::uniform_delays(const GateNetlist& net, double d) {
+  std::vector<double> delays(net.gate_count(), 0.0);
+  for (GateNetlist::GateId g = 0; g < net.gate_count(); ++g) {
+    const auto kind = net.kind(g);
+    if (kind != GateKind::kInput && kind != GateKind::kConst0 &&
+        kind != GateKind::kConst1) {
+      delays[g] = d;
+    }
+  }
+  return delays;
+}
+
+EventSimulator::Result EventSimulator::run_transition(const std::vector<bool>& from,
+                                                      const std::vector<bool>& to) const {
+  using GateId = GateNetlist::GateId;
+  BNB_EXPECTS(from.size() == net_.input_count());
+  BNB_EXPECTS(to.size() == net_.input_count());
+
+  Result r;
+  // Stable starting point.
+  std::vector<bool> cur = net_.evaluate(from);
+  const std::vector<bool> initial = cur;
+
+  // Coalesced event model: an event is "re-evaluate gate g at time t"; the
+  // gate computes from the then-current inputs, so a gate fires at most
+  // once per distinct time (per-gate dedup below) and the event count is
+  // bounded by gates x timesteps — the standard inertial-style discipline
+  // that keeps glitch trains from multiplying combinatorially.
+  struct Event {
+    double time;
+    std::uint64_t seq;  // FIFO tie-break for determinism
+    GateId gate;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> queue;
+  std::uint64_t seq = 0;
+  std::vector<std::uint32_t> changes(net_.gate_count(), 0);
+  // Last time each gate was scheduled for (dedup key); -1 = never.
+  std::vector<double> scheduled_at(net_.gate_count(), -1.0);
+
+  auto schedule = [&](GateId g, double t) {
+    if (scheduled_at[g] == t) return;  // already pending for this instant
+    scheduled_at[g] = t;
+    queue.push(Event{t, seq++, g});
+  };
+
+  // The input switch happens at t = 0: apply directly, wake the fanouts.
+  for (std::size_t i = 0; i < to.size(); ++i) {
+    const GateId g = net_.input_gate(i);
+    if (cur[g] != to[i]) {
+      cur[g] = to[i];
+      ++r.transitions;
+      ++changes[g];
+      for (const GateId f : fanouts_[g]) schedule(f, delay_[f]);
+    }
+  }
+
+  while (!queue.empty()) {
+    const Event e = queue.top();
+    queue.pop();
+    const bool v = net_.evaluate_gate(e.gate, cur);
+    if (cur[e.gate] == v) continue;  // inputs wiggled back: no output change
+    cur[e.gate] = v;
+    ++r.transitions;
+    ++changes[e.gate];
+    r.settle_time = e.time;
+    for (const GateId f : fanouts_[e.gate]) schedule(f, e.time + delay_[f]);
+  }
+
+  // Glitches: each gate minimally needs 1 change if its final value differs
+  // from the initial one, 0 otherwise; everything beyond that was a pulse.
+  for (GateId g = 0; g < net_.gate_count(); ++g) {
+    const std::uint32_t needed = (cur[g] != initial[g]) ? 1 : 0;
+    if (changes[g] > needed) r.glitches += changes[g] - needed;
+  }
+  r.values = std::move(cur);
+  return r;
+}
+
+}  // namespace bnb::sim

@@ -1,0 +1,57 @@
+// Event-driven simulation of a gate netlist (coalesced inertial model).
+//
+// The levelized evaluator answers "what does the network compute"; this
+// simulator answers "what does it DO while computing": starting from a
+// stable state, an input change launches a wavefront of events, gates fire
+// after their individual delays, and reconverging paths of UNEQUAL length
+// produce GLITCHES — transient output pulses the static analysis never
+// sees.  Each event means "re-evaluate this gate now" and a gate fires at
+// most once per distinct instant (zero-width pulses are filtered, as an
+// inertial gate would), which bounds the event count by gates x timesteps.
+// Logic-gate delays must be strictly positive.  For the BNB network this matters doubly: the paper's delay
+// analysis (Eq. 9) is a worst-case settle bound, and the arbiter's flags
+// glitching means the switch column must not latch before the bound.
+//
+// Measurements per run: the final values (must equal the levelized
+// evaluation — tested), the settle time (last transition), the total
+// transition count (a dynamic-power proxy at gate granularity), and the
+// glitch count (transitions beyond the minimum each gate needed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/gates.hpp"
+
+namespace bnb::sim {
+
+class EventSimulator {
+ public:
+  /// `delay[g]` is gate g's propagation delay; inputs/constants should be 0.
+  /// The netlist must outlive the simulator.
+  EventSimulator(const GateNetlist& net, std::vector<double> delay);
+
+  /// Uniform delay for every logic gate (0 for inputs/constants).
+  [[nodiscard]] static std::vector<double> uniform_delays(const GateNetlist& net,
+                                                          double d);
+
+  struct Result {
+    std::vector<bool> values;       ///< final (settled) value of every gate
+    double settle_time = 0.0;       ///< time of the last transition
+    std::uint64_t transitions = 0;  ///< value changes across all gates
+    std::uint64_t glitches = 0;     ///< transitions beyond each gate's minimum
+  };
+
+  /// Settle the netlist at `from`, then switch the inputs to `to` at t = 0
+  /// and run the event wavefront to quiescence.
+  [[nodiscard]] Result run_transition(const std::vector<bool>& from,
+                                      const std::vector<bool>& to) const;
+
+ private:
+  const GateNetlist& net_;
+  std::vector<double> delay_;
+  /// fanouts_[g] = gates that read g.
+  std::vector<std::vector<GateNetlist::GateId>> fanouts_;
+};
+
+}  // namespace bnb::sim

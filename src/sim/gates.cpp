@@ -1,0 +1,123 @@
+#include "sim/gates.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace bnb::sim {
+
+std::string gate_kind_name(GateKind k) {
+  switch (k) {
+    case GateKind::kInput: return "INPUT";
+    case GateKind::kConst0: return "CONST0";
+    case GateKind::kConst1: return "CONST1";
+    case GateKind::kNot: return "NOT";
+    case GateKind::kAnd: return "AND";
+    case GateKind::kOr: return "OR";
+    case GateKind::kXor: return "XOR";
+    case GateKind::kNand: return "NAND";
+    case GateKind::kNor: return "NOR";
+    case GateKind::kXnor: return "XNOR";
+    case GateKind::kMux: return "MUX";
+  }
+  return "?";
+}
+
+GateNetlist::GateId GateNetlist::add(GateKind kind, GateId a, GateId b, GateId c) {
+  const GateId id = static_cast<GateId>(kinds_.size());
+  BNB_EXPECTS(kind == GateKind::kInput || kind == GateKind::kConst0 ||
+              kind == GateKind::kConst1 || (a < id && b < id && c < id));
+  kinds_.push_back(kind);
+  operands_.push_back({a, b, c});
+  return id;
+}
+
+GateNetlist::GateId GateNetlist::add_input(std::string name) {
+  const GateId id = add(GateKind::kInput);
+  inputs_.push_back(id);
+  names_.push_back(std::move(name));
+  return id;
+}
+
+GateNetlist::GateId GateNetlist::add_const(bool value) {
+  return add(value ? GateKind::kConst1 : GateKind::kConst0);
+}
+
+GateNetlist::GateId GateNetlist::add_not(GateId a) { return add(GateKind::kNot, a, a); }
+GateNetlist::GateId GateNetlist::add_and(GateId a, GateId b) { return add(GateKind::kAnd, a, b); }
+GateNetlist::GateId GateNetlist::add_or(GateId a, GateId b) { return add(GateKind::kOr, a, b); }
+GateNetlist::GateId GateNetlist::add_xor(GateId a, GateId b) { return add(GateKind::kXor, a, b); }
+GateNetlist::GateId GateNetlist::add_nand(GateId a, GateId b) { return add(GateKind::kNand, a, b); }
+GateNetlist::GateId GateNetlist::add_nor(GateId a, GateId b) { return add(GateKind::kNor, a, b); }
+GateNetlist::GateId GateNetlist::add_xnor(GateId a, GateId b) { return add(GateKind::kXnor, a, b); }
+GateNetlist::GateId GateNetlist::add_mux(GateId select, GateId a, GateId b) {
+  return add(GateKind::kMux, select, a, b);
+}
+
+std::size_t GateNetlist::logic_gate_count() const noexcept {
+  std::size_t c = 0;
+  for (auto k : kinds_) {
+    if (k != GateKind::kInput && k != GateKind::kConst0 && k != GateKind::kConst1) ++c;
+  }
+  return c;
+}
+
+bool GateNetlist::evaluate_gate(GateId id, const std::vector<bool>& v) const {
+  const auto& op = operands_[id];
+  switch (kinds_[id]) {
+    case GateKind::kInput: return v[id];  // inputs hold their driven value
+    case GateKind::kConst0: return false;
+    case GateKind::kConst1: return true;
+    case GateKind::kNot: return !v[op[0]];
+    case GateKind::kAnd: return v[op[0]] && v[op[1]];
+    case GateKind::kOr: return v[op[0]] || v[op[1]];
+    case GateKind::kXor: return v[op[0]] != v[op[1]];
+    case GateKind::kNand: return !(v[op[0]] && v[op[1]]);
+    case GateKind::kNor: return !(v[op[0]] || v[op[1]]);
+    case GateKind::kXnor: return v[op[0]] == v[op[1]];
+    case GateKind::kMux: return v[op[0]] ? v[op[2]] : v[op[1]];
+  }
+  return false;
+}
+
+std::vector<bool> GateNetlist::evaluate(const std::vector<bool>& input_values) const {
+  BNB_EXPECTS(input_values.size() == inputs_.size());
+  std::vector<bool> v(kinds_.size(), false);
+  std::size_t next_input = 0;
+  for (GateId id = 0; id < kinds_.size(); ++id) {
+    if (kinds_[id] == GateKind::kInput) {
+      v[id] = input_values[next_input++];
+    } else {
+      v[id] = evaluate_gate(id, v);
+    }
+  }
+  return v;
+}
+
+std::size_t GateNetlist::depth() const {
+  std::vector<std::size_t> d(kinds_.size(), 0);
+  std::size_t best = 0;
+  for (GateId id = 0; id < kinds_.size(); ++id) {
+    const auto& op = operands_[id];
+    switch (kinds_[id]) {
+      case GateKind::kInput:
+      case GateKind::kConst0:
+      case GateKind::kConst1:
+        d[id] = 0;
+        break;
+      case GateKind::kNot:
+        d[id] = d[op[0]] + 1;
+        break;
+      case GateKind::kMux:
+        d[id] = std::max({d[op[0]], d[op[1]], d[op[2]]}) + 1;
+        break;
+      default:
+        d[id] = std::max(d[op[0]], d[op[1]]) + 1;
+        break;
+    }
+    best = std::max(best, d[id]);
+  }
+  return best;
+}
+
+}  // namespace bnb::sim

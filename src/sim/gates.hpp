@@ -1,0 +1,83 @@
+// A minimal combinational gate netlist.
+//
+// Used to build the paper's Fig. 5 arbiter function node (and small
+// arbiters/splitters) out of actual boolean gates, so tests can verify that
+// the behavioral element models match a genuine gate-level realization.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bnb::sim {
+
+enum class GateKind : std::uint8_t {
+  kInput,
+  kConst0,
+  kConst1,
+  kNot,
+  kAnd,
+  kOr,
+  kXor,
+  kNand,
+  kNor,
+  kXnor,
+  kMux,  // operands: {select, a (select=0), b (select=1)}
+};
+
+[[nodiscard]] std::string gate_kind_name(GateKind k);
+
+/// Combinational netlist.  Gates must be created in topological order:
+/// operands refer to already-created gates.  Evaluation is a single pass.
+class GateNetlist {
+ public:
+  using GateId = std::uint32_t;
+
+  GateId add_input(std::string name = {});
+  GateId add_const(bool value);
+  GateId add_not(GateId a);
+  GateId add_and(GateId a, GateId b);
+  GateId add_or(GateId a, GateId b);
+  GateId add_xor(GateId a, GateId b);
+  GateId add_nand(GateId a, GateId b);
+  GateId add_nor(GateId a, GateId b);
+  GateId add_xnor(GateId a, GateId b);
+  GateId add_mux(GateId select, GateId a, GateId b);
+
+  [[nodiscard]] std::size_t gate_count() const noexcept { return kinds_.size(); }
+  [[nodiscard]] std::size_t input_count() const noexcept { return inputs_.size(); }
+
+  /// Count of gates that are not inputs/constants (i.e. real logic).
+  [[nodiscard]] std::size_t logic_gate_count() const noexcept;
+
+  /// Evaluate the whole netlist for the given input assignment
+  /// (one bool per add_input call, in creation order); returns the value
+  /// of every gate, indexed by GateId.
+  [[nodiscard]] std::vector<bool> evaluate(const std::vector<bool>& input_values) const;
+
+  /// Longest path measured in logic-gate levels (inputs/constants are 0).
+  [[nodiscard]] std::size_t depth() const;
+
+  [[nodiscard]] const std::string& input_name(std::size_t i) const { return names_[i]; }
+
+  /// Structural access (event-driven simulation, analysis passes).
+  [[nodiscard]] GateKind kind(GateId id) const { return kinds_.at(id); }
+  [[nodiscard]] const std::array<GateId, 3>& operands(GateId id) const {
+    return operands_.at(id);
+  }
+  [[nodiscard]] GateId input_gate(std::size_t i) const { return inputs_.at(i); }
+
+  /// Evaluate a single gate from the given value assignment.
+  [[nodiscard]] bool evaluate_gate(GateId id, const std::vector<bool>& values) const;
+
+ private:
+  GateId add(GateKind kind, GateId a = 0, GateId b = 0, GateId c = 0);
+
+  std::vector<GateKind> kinds_;
+  std::vector<std::array<GateId, 3>> operands_;
+  std::vector<GateId> inputs_;  // gate ids of the inputs, in creation order
+  std::vector<std::string> names_;
+};
+
+}  // namespace bnb::sim

@@ -1,0 +1,76 @@
+#include "verify/conformance.hpp"
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "perm/classes.hpp"
+#include "perm/generators.hpp"
+
+namespace bnb {
+
+namespace {
+
+void record_failure(ConformanceReport& report, const std::string& what) {
+  ++report.failures;
+  if (report.failed_cases.size() < 16) report.failed_cases.push_back(what);
+}
+
+void run_case(const RouteProbe& probe, const Permutation& pi,
+              const std::string& what, ConformanceReport& report) {
+  ++report.cases_run;
+  if (!probe(pi)) record_failure(report, what);
+}
+
+void run_exhaustive(const RouteProbe& probe, std::size_t n,
+                    ConformanceReport& report) {
+  Permutation pi(n);
+  do {
+    run_case(probe, pi, pi.to_string(), report);
+  } while (pi.next_lexicographic());
+}
+
+void run_families(const RouteProbe& probe, std::size_t n, std::uint64_t seed,
+                  ConformanceReport& report) {
+  for (const auto f : all_perm_families()) {
+    run_case(probe, make_perm(f, n, seed), perm_family_name(f), report);
+  }
+}
+
+void run_randomized(const RouteProbe& probe, std::size_t n, unsigned rounds,
+                    std::uint64_t seed, ConformanceReport& report) {
+  Rng rng(seed);
+  for (unsigned r = 0; r < rounds; ++r) {
+    const Permutation pi = random_perm(n, rng);
+    run_case(probe, pi,
+             n <= 16 ? pi.to_string() : "random #" + std::to_string(r), report);
+  }
+}
+
+}  // namespace
+
+ConformanceReport run_conformance(const RouteProbe& probe, std::size_t n,
+                                  ConformanceLevel level, unsigned random_rounds,
+                                  std::uint64_t seed) {
+  BNB_EXPECTS(is_power_of_two(n) && n >= 2);
+  ConformanceReport report;
+  switch (level) {
+    case ConformanceLevel::kExhaustive:
+      BNB_EXPECTS(n <= 8);  // 8! = 40320 cases; beyond that is impractical
+      run_exhaustive(probe, n, report);
+      break;
+    case ConformanceLevel::kFamilies:
+      run_families(probe, n, seed, report);
+      break;
+    case ConformanceLevel::kRandomized:
+      run_randomized(probe, n, random_rounds, seed, report);
+      break;
+    case ConformanceLevel::kFull:
+      if (n <= 8) run_exhaustive(probe, n, report);
+      run_families(probe, n, seed, report);
+      run_randomized(probe, n, random_rounds, seed, report);
+      break;
+  }
+  return report;
+}
+
+}  // namespace bnb

@@ -1,0 +1,47 @@
+// Permutation-network conformance harness.
+//
+// Every router in this repository claims the same contract: given any
+// permutation pi of 0..N-1 on its inputs, deliver input j to output pi(j).
+// This harness checks an arbitrary implementation — supplied as a closure —
+// against a graded battery:
+//
+//   kExhaustive : every permutation (requires N <= 8; 40320 cases at N=8);
+//   kFamilies   : all named structured families;
+//   kRandomized : seeded uniform permutations;
+//   kFull       : everything applicable for the given N.
+//
+// Tests use it to hold all routers to one standard, and downstream users
+// can point it at their own network implementations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "perm/permutation.hpp"
+
+namespace bnb {
+
+/// The implementation under test: route `pi` and report whether every word
+/// reached the output its address names.
+using RouteProbe = std::function<bool(const Permutation& pi)>;
+
+enum class ConformanceLevel { kExhaustive, kFamilies, kRandomized, kFull };
+
+struct ConformanceReport {
+  std::uint64_t cases_run = 0;
+  std::uint64_t failures = 0;
+  /// Up to 16 descriptions of failing cases (family name or permutation).
+  std::vector<std::string> failed_cases;
+  [[nodiscard]] bool passed() const noexcept { return failures == 0; }
+};
+
+/// Run the battery for an N-input implementation.  `random_rounds` controls
+/// the kRandomized portion; `seed` makes the battery reproducible.
+[[nodiscard]] ConformanceReport run_conformance(const RouteProbe& probe,
+                                                std::size_t n, ConformanceLevel level,
+                                                unsigned random_rounds = 50,
+                                                std::uint64_t seed = 1);
+
+}  // namespace bnb

@@ -1,0 +1,78 @@
+#include "verify/sorting_checker.hpp"
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+
+namespace bnb {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+}  // namespace
+
+SortingCheck check_sorting_network(
+    std::size_t wires, const std::vector<std::vector<ComparatorEdge>>& stages) {
+  BNB_EXPECTS(wires >= 1 && wires <= 24);
+  const std::uint64_t vectors = std::uint64_t{1} << wires;
+  const std::size_t words = static_cast<std::size_t>((vectors + kWordBits - 1) / kWordBits);
+
+  // wire[i] holds bit v = value of wire i under input v.  Initialize with
+  // input v's bit i — for the low 6 wire indices that is a fixed 64-bit
+  // pattern repeated; beyond that it alternates block-wise.
+  std::vector<std::vector<std::uint64_t>> wire(wires,
+                                               std::vector<std::uint64_t>(words));
+  for (std::size_t i = 0; i < wires; ++i) {
+    if (i < 6) {
+      // Pattern with period 2^{i+1} inside a word.
+      std::uint64_t pat = 0;
+      for (unsigned b = 0; b < kWordBits; ++b) {
+        if ((b >> i) & 1U) pat |= std::uint64_t{1} << b;
+      }
+      for (std::size_t w = 0; w < words; ++w) wire[i][w] = pat;
+    } else {
+      // Whole words alternate with period 2^{i-6} words.
+      for (std::size_t w = 0; w < words; ++w) {
+        wire[i][w] = ((w >> (i - 6)) & 1U) ? ~std::uint64_t{0} : 0;
+      }
+    }
+  }
+
+  for (const auto& stage : stages) {
+    for (const auto& c : stage) {
+      BNB_EXPECTS(c.low < wires && c.high < wires && c.low != c.high);
+      auto& lo = wire[c.low];
+      auto& hi = wire[c.high];
+      for (std::size_t w = 0; w < words; ++w) {
+        const std::uint64_t a = lo[w];
+        const std::uint64_t b = hi[w];
+        lo[w] = a & b;
+        hi[w] = a | b;
+      }
+    }
+  }
+
+  SortingCheck result;
+  result.inputs_covered = vectors;
+  // Sorted iff no column has wire i = 1 while wire i+1 = 0.
+  for (std::size_t i = 0; i + 1 < wires; ++i) {
+    for (std::size_t w = 0; w < words; ++w) {
+      const std::uint64_t bad = wire[i][w] & ~wire[i + 1][w];
+      if (bad != 0) {
+        // Decode the first failing column into a concrete input.
+        unsigned bit = 0;
+        while (((bad >> bit) & 1U) == 0) ++bit;
+        const std::uint64_t v = static_cast<std::uint64_t>(w) * kWordBits + bit;
+        std::vector<std::uint8_t> input(wires);
+        for (std::size_t k = 0; k < wires; ++k) {
+          input[k] = static_cast<std::uint8_t>((v >> k) & 1U);
+        }
+        result.sorts = false;
+        result.counterexample = std::move(input);
+        return result;
+      }
+    }
+  }
+  result.sorts = true;
+  return result;
+}
+
+}  // namespace bnb

@@ -1,0 +1,86 @@
+// Switch-activity analysis.
+#include "core/activity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "perm/generators.hpp"
+
+namespace bnb {
+namespace {
+
+std::uint64_t total_switches(unsigned m) {
+  std::uint64_t total = 0;
+  for (unsigned i = 0; i < m; ++i) total += (pow2(m) / 2) * (m - i);
+  return total;
+}
+
+TEST(Activity, SettingsVectorHasOneEntryPerSwitch) {
+  for (const unsigned m : {2U, 4U, 6U}) {
+    const auto settings = bnb_switch_settings(m, identity_perm(pow2(m)));
+    EXPECT_EQ(settings.size(), total_switches(m));
+  }
+}
+
+TEST(Activity, SettingsAreDeterministic) {
+  Rng rng(171);
+  const Permutation pi = random_perm(64, rng);
+  EXPECT_EQ(bnb_switch_settings(6, pi), bnb_switch_settings(6, pi));
+}
+
+TEST(Activity, ExchangeCountsMatchSettingsSum) {
+  Rng rng(172);
+  const Permutation pi = random_perm(64, rng);
+  const auto stats = measure_activity(6, pi);
+  const auto settings = bnb_switch_settings(6, pi);
+  std::uint64_t ones = 0;
+  for (const auto s : settings) ones += s;
+  EXPECT_EQ(stats.exchanges, ones);
+  EXPECT_EQ(stats.switches_per_pass, settings.size());
+
+  std::uint64_t per_stage_sum = 0;
+  for (const auto e : stats.exchanges_per_main_stage) per_stage_sum += e;
+  EXPECT_EQ(per_stage_sum, stats.exchanges);
+}
+
+TEST(Activity, RandomTrafficExchangesRoughlyHalf) {
+  // Arbiter controls are near-fair under uniform traffic.
+  Rng rng(173);
+  std::vector<Permutation> stream;
+  for (int i = 0; i < 50; ++i) stream.push_back(random_perm(256, rng));
+  const auto stats = measure_stream_activity(8, stream);
+  const double rate = static_cast<double>(stats.exchanges) /
+                      static_cast<double>(stats.switches_per_pass * 50);
+  EXPECT_GT(rate, 0.35);
+  EXPECT_LT(rate, 0.65);
+}
+
+TEST(Activity, TogglesZeroForRepeatedPermutation) {
+  Rng rng(174);
+  const Permutation pi = random_perm(32, rng);
+  const std::vector<Permutation> stream{pi, pi, pi};
+  const auto stats = measure_stream_activity(5, stream);
+  EXPECT_EQ(stats.toggles, 0U);
+}
+
+TEST(Activity, TogglesBoundedBySwitchCountPerTransition) {
+  Rng rng(175);
+  std::vector<Permutation> stream{random_perm(32, rng), random_perm(32, rng)};
+  const auto stats = measure_stream_activity(5, stream);
+  EXPECT_LE(stats.toggles, stats.switches_per_pass);
+  EXPECT_GT(stats.toggles, 0U);  // two random perms almost surely differ
+}
+
+TEST(Activity, StreamSumsEqualIndividualRuns) {
+  Rng rng(176);
+  std::vector<Permutation> stream;
+  for (int i = 0; i < 5; ++i) stream.push_back(random_perm(16, rng));
+  const auto whole = measure_stream_activity(4, stream);
+  std::uint64_t sum = 0;
+  for (const auto& pi : stream) sum += measure_activity(4, pi).exchanges;
+  EXPECT_EQ(whole.exchanges, sum);
+}
+
+}  // namespace
+}  // namespace bnb

@@ -1,0 +1,156 @@
+// Section 4: the tree arbiter A(p) and the flag algorithm.
+#include "core/arbiter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "sim/gates.hpp"
+
+namespace bnb {
+namespace {
+
+std::vector<std::uint8_t> bits_of(std::uint64_t v, std::size_t n) {
+  std::vector<std::uint8_t> bits(n);
+  for (std::size_t i = 0; i < n; ++i) bits[i] = static_cast<std::uint8_t>((v >> i) & 1U);
+  return bits;
+}
+
+TEST(Arbiter, NodeCountMatchesEq4Pieces) {
+  EXPECT_EQ(Arbiter::node_count(1), 0U);   // A(1) is wiring
+  EXPECT_EQ(Arbiter::node_count(2), 3U);
+  EXPECT_EQ(Arbiter::node_count(3), 7U);
+  EXPECT_EQ(Arbiter::node_count(4), 15U);
+  EXPECT_EQ(Arbiter::node_count(10), 1023U);
+}
+
+TEST(Arbiter, DelayUnitsArePLevelsEachWay) {
+  EXPECT_EQ(Arbiter::delay_fn_units(1), 0U);
+  EXPECT_EQ(Arbiter::delay_fn_units(2), 4U);
+  EXPECT_EQ(Arbiter::delay_fn_units(3), 6U);
+  EXPECT_EQ(Arbiter::delay_fn_units(7), 14U);
+}
+
+TEST(Arbiter, A1IsWiring) {
+  const Arbiter a(1);
+  const std::vector<std::uint8_t> bits{1, 0};
+  const auto flags = a.compute_flags(bits);
+  EXPECT_EQ(flags, (std::vector<std::uint8_t>{0, 0}));
+}
+
+TEST(Arbiter, Type2PairsReceiveEqualZeroAndOneFlags) {
+  // Theorem 3's pairing argument: with an even number of 1s, exactly half
+  // of the type-2 pairs get flag 0 and half get flag 1.
+  Rng rng(21);
+  for (const unsigned p : {2U, 3U, 4U, 5U, 6U}) {
+    const Arbiter a(p);
+    const std::size_t n = a.inputs();
+    for (int round = 0; round < 200; ++round) {
+      // Random even-weight input.
+      std::vector<std::uint8_t> bits(n);
+      for (auto& b : bits) b = static_cast<std::uint8_t>(rng.flip());
+      if (std::accumulate(bits.begin(), bits.end(), 0) % 2 != 0) bits[0] ^= 1;
+
+      const auto flags = a.compute_flags(bits);
+      std::size_t zero_flag_pairs = 0;
+      std::size_t one_flag_pairs = 0;
+      for (std::size_t t = 0; t < n / 2; ++t) {
+        if (bits[2 * t] == bits[2 * t + 1]) continue;  // type-1
+        // Type-2 pair: both inputs must carry the same flag (rule 3).
+        ASSERT_EQ(flags[2 * t], flags[2 * t + 1]);
+        (flags[2 * t] == 0 ? zero_flag_pairs : one_flag_pairs)++;
+      }
+      EXPECT_EQ(zero_flag_pairs, one_flag_pairs) << "p=" << p;
+    }
+  }
+}
+
+TEST(Arbiter, ExhaustiveEvenWeightP2P3) {
+  for (const unsigned p : {2U, 3U}) {
+    const Arbiter a(p);
+    const std::size_t n = a.inputs();
+    for (std::uint64_t v = 0; v < pow2(static_cast<unsigned>(n)); ++v) {
+      if (popcount64(v) % 2 != 0) continue;
+      const auto bits = bits_of(v, n);
+      const auto flags = a.compute_flags(bits);
+      std::size_t zero_pairs = 0;
+      std::size_t one_pairs = 0;
+      for (std::size_t t = 0; t < n / 2; ++t) {
+        if (bits[2 * t] == bits[2 * t + 1]) continue;
+        ASSERT_EQ(flags[2 * t], flags[2 * t + 1]);
+        (flags[2 * t] == 0 ? zero_pairs : one_pairs)++;
+      }
+      EXPECT_EQ(zero_pairs, one_pairs) << "p=" << p << " v=" << v;
+    }
+  }
+}
+
+TEST(Arbiter, TraceUpSignalsAreSubtreeXors) {
+  const Arbiter a(3);
+  const std::vector<std::uint8_t> bits{1, 0, 1, 1, 0, 0, 1, 0};
+  Arbiter::Trace trace;
+  (void)a.compute_flags(bits, &trace);
+  ASSERT_EQ(trace.up.size(), 8U);
+  // Leaves (heap 4..7) hold the pair XORs.
+  EXPECT_EQ(trace.up[4], 1);  // 1^0
+  EXPECT_EQ(trace.up[5], 0);  // 1^1
+  EXPECT_EQ(trace.up[6], 0);  // 0^0
+  EXPECT_EQ(trace.up[7], 1);  // 1^0
+  // Internal nodes XOR their children.
+  EXPECT_EQ(trace.up[2], trace.up[4] ^ trace.up[5]);
+  EXPECT_EQ(trace.up[3], trace.up[6] ^ trace.up[7]);
+  EXPECT_EQ(trace.up[1], trace.up[2] ^ trace.up[3]);
+  // Even total weight => root XOR is 0, and it echoes down.
+  EXPECT_EQ(trace.up[1], 0);
+  EXPECT_EQ(trace.down[1], trace.up[1]);
+}
+
+TEST(Arbiter, GateLevelMatchesBehavioralExhaustively) {
+  for (const unsigned p : {2U, 3U, 4U}) {
+    const Arbiter a(p);
+    const std::size_t n = a.inputs();
+
+    sim::GateNetlist net;
+    std::vector<sim::GateNetlist::GateId> input_ids(n);
+    for (auto& id : input_ids) id = net.add_input();
+    const auto flag_ids = a.build_gates(net, input_ids);
+    ASSERT_EQ(flag_ids.size(), n);
+
+    for (std::uint64_t v = 0; v < pow2(static_cast<unsigned>(n)); ++v) {
+      const auto bits = bits_of(v, n);
+      std::vector<bool> in(n);
+      for (std::size_t i = 0; i < n; ++i) in[i] = bits[i] != 0;
+      const auto values = net.evaluate(in);
+      const auto flags = a.compute_flags(bits);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(values[flag_ids[i]], flags[i] != 0)
+            << "p=" << p << " v=" << v << " line=" << i;
+      }
+    }
+  }
+}
+
+TEST(Arbiter, GateCountIsFourPerNode) {
+  const Arbiter a(4);
+  sim::GateNetlist net;
+  std::vector<sim::GateNetlist::GateId> input_ids(16);
+  for (auto& id : input_ids) id = net.add_input();
+  (void)a.build_gates(net, input_ids);
+  // 15 nodes x (XOR + AND + NOT + OR) = 60 logic gates.
+  EXPECT_EQ(net.logic_gate_count(), 4 * Arbiter::node_count(4));
+}
+
+TEST(Arbiter, InputSizeChecked) {
+  const Arbiter a(2);
+  const std::vector<std::uint8_t> three{0, 1, 0};
+  EXPECT_THROW((void)a.compute_flags(three), contract_violation);
+  const std::vector<std::uint8_t> bad{0, 1, 2, 0};
+  EXPECT_THROW((void)a.compute_flags(bad), contract_violation);
+}
+
+}  // namespace
+}  // namespace bnb

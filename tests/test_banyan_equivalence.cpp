@@ -1,0 +1,122 @@
+// Banyan admissibility (unique-path check) and Wu-Feng equivalence [12].
+#include "baselines/banyan_equivalence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/destination_tag.hpp"
+#include "common/rng.hpp"
+#include "perm/classes.hpp"
+#include "perm/generators.hpp"
+
+namespace bnb {
+namespace {
+
+TEST(BanyanAdmissible, AgreesWithOmegaDtagSimulator) {
+  // Two independent implementations of "does Omega route pi": the greedy
+  // conflict-counting simulator and the unique-path occupancy check.
+  Rng rng(231);
+  for (const unsigned m : {2U, 3U, 5U, 7U}) {
+    const OmegaNetwork omega(m);
+    const std::size_t n = std::size_t{1} << m;
+    for (int round = 0; round < 50; ++round) {
+      const Permutation pi = random_perm(n, rng);
+      EXPECT_EQ(banyan_admissible(BanyanKind::kOmega, pi),
+                omega.route(pi).conflict_free)
+          << "m=" << m;
+    }
+    for (const auto f : all_perm_families()) {
+      const Permutation pi = make_perm(f, n, 3);
+      EXPECT_EQ(banyan_admissible(BanyanKind::kOmega, pi),
+                omega.route(pi).conflict_free)
+          << perm_family_name(f);
+    }
+  }
+}
+
+TEST(BanyanAdmissible, AgreesWithBaselineDtagSimulator) {
+  Rng rng(232);
+  for (const unsigned m : {2U, 3U, 5U, 7U}) {
+    const BaselineDtagNetwork baseline(m);
+    const std::size_t n = std::size_t{1} << m;
+    for (int round = 0; round < 50; ++round) {
+      const Permutation pi = random_perm(n, rng);
+      EXPECT_EQ(banyan_admissible(BanyanKind::kBaseline, pi),
+                baseline.route(pi).conflict_free)
+          << "m=" << m;
+    }
+  }
+}
+
+TEST(BanyanAdmissible, KnownCases) {
+  EXPECT_TRUE(banyan_admissible(BanyanKind::kOmega, identity_perm(64)));
+  EXPECT_FALSE(banyan_admissible(BanyanKind::kOmega, transpose_perm(64)));
+  EXPECT_FALSE(banyan_admissible(BanyanKind::kBaseline, identity_perm(64)));
+  EXPECT_TRUE(banyan_admissible(BanyanKind::kBaseline, bit_reversal_perm(64)));
+}
+
+TEST(AllRealizable, CountsAndDistinctness) {
+  // Unique paths make settings -> permutation injective: 2^{m 2^{m-1}}
+  // distinct permutations.
+  for (const unsigned m : {1U, 2U, 3U}) {
+    for (const auto kind : {BanyanKind::kOmega, BanyanKind::kBaseline}) {
+      const auto perms = all_realizable(kind, m);
+      std::set<std::string> distinct;
+      for (const auto& p : perms) distinct.insert(p.to_string());
+      EXPECT_EQ(distinct.size(), perms.size());
+      EXPECT_EQ(perms.size(),
+                std::size_t{1} << (m * (std::size_t{1} << (m - 1))));
+    }
+  }
+}
+
+TEST(AllRealizable, EveryRealizableIsAdmissibleAndConverse) {
+  // The realizable set and the admissible set coincide (N = 8): every
+  // setting's permutation is admissible, and admissible permutations are
+  // exactly those produced by some setting.
+  const auto perms = all_realizable(BanyanKind::kOmega, 3);
+  std::set<std::string> realizable;
+  for (const auto& p : perms) {
+    EXPECT_TRUE(banyan_admissible(BanyanKind::kOmega, p));
+    realizable.insert(p.to_string());
+  }
+  Permutation pi(8);
+  std::size_t admissible = 0;
+  do {
+    if (banyan_admissible(BanyanKind::kOmega, pi)) {
+      ++admissible;
+      EXPECT_TRUE(realizable.count(pi.to_string()) == 1);
+    }
+  } while (pi.next_lexicographic());
+  EXPECT_EQ(admissible, realizable.size());
+}
+
+TEST(WuFengEquivalence, WitnessExistsForSmallM) {
+  for (const unsigned m : {2U, 3U}) {
+    const auto w = find_equivalence(m, 100, 5);
+    EXPECT_TRUE(w.found) << "m=" << m;
+  }
+}
+
+TEST(WuFengEquivalence, WitnessValidatesOnFreshSamples) {
+  const auto w = find_equivalence(3, 50, 7);
+  ASSERT_TRUE(w.found);
+  // Independent validation with a different seed: baseline-admissible
+  // permutations map to Omega-admissible ones.
+  Rng rng(233);
+  for (int round = 0; round < 200; ++round) {
+    const Permutation pi = random_perm(8, rng);
+    EXPECT_EQ(banyan_admissible(BanyanKind::kBaseline, pi),
+              banyan_admissible(BanyanKind::kOmega,
+                                w.output_relabel.compose(pi).compose(w.input_relabel)));
+  }
+}
+
+TEST(WuFengEquivalence, WitnessExistsAtM4BySampling) {
+  const auto w = find_equivalence(4, 150, 11);
+  EXPECT_TRUE(w.found);
+}
+
+}  // namespace
+}  // namespace bnb

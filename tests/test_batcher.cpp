@@ -1,0 +1,130 @@
+// Batcher's odd-even sorting network (reference [9], Eqs. 10-12).
+#include "baselines/batcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "core/complexity.hpp"
+#include "perm/generators.hpp"
+
+namespace bnb {
+namespace {
+
+TEST(Batcher, ComparatorCountMatchesEq10) {
+  for (unsigned m = 1; m <= 14; ++m) {
+    const BatcherNetwork net(m);
+    EXPECT_EQ(net.comparator_count(), model::batcher_comparator_count(pow2(m)))
+        << "m=" << m;
+  }
+}
+
+TEST(Batcher, DepthIsHalfLogSquaredPlusHalfLog) {
+  for (unsigned m = 1; m <= 14; ++m) {
+    const BatcherNetwork net(m);
+    EXPECT_EQ(net.depth(), model::batcher_stage_count(pow2(m))) << "m=" << m;
+  }
+}
+
+TEST(Batcher, StagesUseDisjointLines) {
+  // Comparators within one stage must touch disjoint lines (parallel step).
+  const BatcherNetwork net(5);
+  for (const auto& stage : net.stages()) {
+    std::vector<bool> used(net.inputs(), false);
+    for (const auto& c : stage) {
+      ASSERT_LT(c.low, c.high);
+      ASSERT_FALSE(used[c.low]);
+      ASSERT_FALSE(used[c.high]);
+      used[c.low] = used[c.high] = true;
+    }
+  }
+}
+
+TEST(Batcher, ZeroOnePrincipleExhaustive) {
+  // A comparator network sorts everything iff it sorts all 0/1 inputs.
+  for (const unsigned m : {1U, 2U, 3U, 4U}) {
+    const BatcherNetwork net(m);
+    const std::size_t n = net.inputs();
+    for (std::uint64_t v = 0; v < pow2(static_cast<unsigned>(n)); ++v) {
+      std::vector<std::uint64_t> keys(n);
+      for (std::size_t i = 0; i < n; ++i) keys[i] = (v >> i) & 1U;
+      const auto out = net.sort_keys(keys);
+      EXPECT_TRUE(std::is_sorted(out.begin(), out.end())) << "m=" << m << " v=" << v;
+    }
+  }
+}
+
+TEST(Batcher, SortsRandomKeysWithDuplicates) {
+  Rng rng(61);
+  const BatcherNetwork net(8);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::uint64_t> keys(256);
+    for (auto& k : keys) k = rng.below(32);  // heavy duplication
+    auto expect = keys;
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(net.sort_keys(keys), expect);
+  }
+}
+
+TEST(Batcher, RoutesAllPermutationsN8Exhaustive) {
+  const BatcherNetwork net(3);
+  Permutation pi(8);
+  do {
+    ASSERT_TRUE(net.route(pi).self_routed) << pi.to_string();
+  } while (pi.next_lexicographic());
+}
+
+TEST(Batcher, RoutesRandomLarge) {
+  Rng rng(62);
+  for (const unsigned m : {6U, 10U, 12U}) {
+    const BatcherNetwork net(m);
+    const Permutation pi = random_perm(net.inputs(), rng);
+    const auto r = net.route(pi);
+    EXPECT_TRUE(r.self_routed);
+    for (std::size_t j = 0; j < net.inputs(); ++j) EXPECT_EQ(r.dest[j], pi(j));
+  }
+}
+
+TEST(Batcher, PayloadsFollowAddresses) {
+  Rng rng(63);
+  const BatcherNetwork net(7);
+  const Permutation pi = random_perm(128, rng);
+  std::vector<Word> words(128);
+  for (std::size_t j = 0; j < 128; ++j) words[j] = Word{pi(j), 1000 + j};
+  const auto r = net.route_words(words);
+  ASSERT_TRUE(r.self_routed);
+  for (std::size_t line = 0; line < 128; ++line) {
+    EXPECT_EQ(r.outputs[line].payload, 1000 + pi.inverse()(line));
+  }
+}
+
+TEST(Batcher, CensusMatchesEq11) {
+  for (const unsigned w : {0U, 8U}) {
+    for (unsigned m = 1; m <= 12; ++m) {
+      const BatcherNetwork net(m);
+      const auto c = net.census(w);
+      const auto predicted = model::batcher_cost(pow2(m), w);
+      EXPECT_EQ(c.switches_2x2, predicted.sw);
+      EXPECT_EQ(c.function_nodes, predicted.fn);
+    }
+  }
+}
+
+TEST(Batcher, MeasuredCriticalPathMatchesEq12) {
+  // The comparator DAG's longest chain hits every stage, so the measured
+  // path equals Eq. 12's synchronous model.
+  for (unsigned m = 1; m <= 10; ++m) {
+    const BatcherNetwork net(m);
+    const auto g = net.build_delay_graph();
+    const auto d = model::batcher_delay(pow2(m));
+    const auto r = g.critical_path(1.0, 1.0);
+    EXPECT_EQ(r.units.sw, d.sw) << "m=" << m;
+    EXPECT_EQ(r.units.fn, d.fn) << "m=" << m;
+  }
+}
+
+}  // namespace
+}  // namespace bnb

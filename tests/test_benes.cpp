@@ -1,0 +1,104 @@
+// Benes network + Waksman looping (references [5], [6]).
+#include "baselines/benes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "perm/classes.hpp"
+#include "perm/generators.hpp"
+
+namespace bnb {
+namespace {
+
+TEST(Benes, StageCount) {
+  EXPECT_EQ(BenesNetwork(1).stage_count(), 1U);
+  EXPECT_EQ(BenesNetwork(3).stage_count(), 5U);
+  EXPECT_EQ(BenesNetwork(10).stage_count(), 19U);
+}
+
+TEST(Benes, RoutesTrivialN2) {
+  const BenesNetwork net(1);
+  EXPECT_TRUE(net.route(Permutation({0, 1})).self_routed);
+  EXPECT_TRUE(net.route(Permutation({1, 0})).self_routed);
+}
+
+TEST(Benes, ExhaustiveN4) {
+  const BenesNetwork net(2);
+  Permutation pi(4);
+  do {
+    ASSERT_TRUE(net.route(pi).self_routed) << pi.to_string();
+  } while (pi.next_lexicographic());
+}
+
+TEST(Benes, ExhaustiveN8) {
+  const BenesNetwork net(3);
+  Permutation pi(8);
+  do {
+    ASSERT_TRUE(net.route(pi).self_routed) << pi.to_string();
+  } while (pi.next_lexicographic());
+}
+
+TEST(Benes, RandomLarge) {
+  Rng rng(71);
+  for (const unsigned m : {5U, 8U, 12U, 14U}) {
+    const BenesNetwork net(m);
+    for (int round = 0; round < 5; ++round) {
+      EXPECT_TRUE(net.route(random_perm(net.inputs(), rng)).self_routed) << "m=" << m;
+    }
+  }
+}
+
+TEST(Benes, StructuredFamiliesAllRoute) {
+  for (const auto f : all_perm_families()) {
+    const BenesNetwork net(6);
+    EXPECT_TRUE(net.route(make_perm(f, 64, 5)).self_routed) << perm_family_name(f);
+  }
+}
+
+TEST(Benes, SetupOpsGrowSuperlinearly) {
+  // The looping algorithm is Theta(N log N) serial work: each of the m
+  // recursion levels walks all N lines.
+  Rng rng(72);
+  const Permutation p1 = random_perm(1 << 8, rng);
+  const Permutation p2 = random_perm(1 << 12, rng);
+  const auto ops1 = BenesNetwork(8).set_up(p1).setup_ops;
+  const auto ops2 = BenesNetwork(12).set_up(p2).setup_ops;
+  // N doubled 4x and log grew 8->12: expect ops ratio > 16 (superlinear).
+  EXPECT_GT(ops2, 16 * ops1);
+  EXPECT_GE(ops1, (1ULL << 8) * 4);  // at least ~N*log(N)/2 loop steps
+}
+
+TEST(Benes, PlanIsReusableWithoutSetup) {
+  Rng rng(73);
+  const BenesNetwork net(6);
+  const Permutation pi = random_perm(64, rng);
+  const auto plan = net.set_up(pi);
+  std::vector<Word> words(64);
+  for (std::size_t j = 0; j < 64; ++j) words[j] = Word{pi(j), 7000 + j};
+  const auto out = net.apply_plan(plan, words);
+  for (std::size_t line = 0; line < 64; ++line) {
+    EXPECT_EQ(out[line].address, line);
+    EXPECT_EQ(out[line].payload, 7000 + pi.inverse()(line));
+  }
+}
+
+TEST(Benes, SettingsShapeMatchesTopology) {
+  const BenesNetwork net(4);
+  const auto plan = net.set_up(Permutation(16));
+  ASSERT_EQ(plan.settings.size(), 7U);
+  for (const auto& stage : plan.settings) EXPECT_EQ(stage.size(), 8U);
+}
+
+TEST(Benes, CensusIsFarSmallerThanBnb) {
+  // The paper's point: Benes hardware is tiny (O(N log N) switches); its
+  // cost is the global set-up, not the fabric.
+  const BenesNetwork net(10);
+  const auto c = net.census(0);
+  EXPECT_EQ(c.switches_2x2, 19ULL * 512 * 10);
+  EXPECT_EQ(c.function_nodes, 0U);
+}
+
+}  // namespace
+}  // namespace bnb

@@ -1,0 +1,116 @@
+// Bitonic sorting network baseline.
+#include "baselines/bitonic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/batcher.hpp"
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "core/complexity.hpp"
+#include "perm/generators.hpp"
+
+namespace bnb {
+namespace {
+
+TEST(Bitonic, ComparatorCountMatchesFormula) {
+  for (unsigned m = 1; m <= 12; ++m) {
+    const BitonicNetwork net(m);
+    EXPECT_EQ(net.comparator_count(), BitonicNetwork::comparator_count_formula(pow2(m)))
+        << "m=" << m;
+  }
+}
+
+TEST(Bitonic, SameDepthAsOddEven) {
+  for (unsigned m = 1; m <= 12; ++m) {
+    EXPECT_EQ(BitonicNetwork(m).depth(), model::batcher_stage_count(pow2(m)));
+  }
+}
+
+TEST(Bitonic, MoreComparatorsThanOddEven) {
+  // The conservative-baseline property: bitonic >= odd-even everywhere,
+  // strictly more from N = 8.
+  for (unsigned m = 3; m <= 12; ++m) {
+    EXPECT_GT(BitonicNetwork(m).comparator_count(),
+              model::batcher_comparator_count(pow2(m)));
+  }
+}
+
+TEST(Bitonic, ZeroOnePrincipleExhaustive) {
+  for (const unsigned m : {1U, 2U, 3U, 4U}) {
+    const BitonicNetwork net(m);
+    const std::size_t n = net.inputs();
+    for (std::uint64_t v = 0; v < pow2(static_cast<unsigned>(n)); ++v) {
+      std::vector<std::uint64_t> keys(n);
+      for (std::size_t i = 0; i < n; ++i) keys[i] = (v >> i) & 1U;
+      const auto out = net.sort_keys(keys);
+      ASSERT_TRUE(std::is_sorted(out.begin(), out.end())) << "m=" << m << " v=" << v;
+    }
+  }
+}
+
+TEST(Bitonic, StagesUseDisjointLines) {
+  const BitonicNetwork net(5);
+  for (const auto& stage : net.stages()) {
+    EXPECT_EQ(stage.size(), 16U);  // every bitonic stage is a full column
+    std::vector<bool> used(32, false);
+    for (const auto& c : stage) {
+      ASSERT_FALSE(used[c.low]);
+      ASSERT_FALSE(used[c.high]);
+      used[c.low] = used[c.high] = true;
+    }
+  }
+}
+
+TEST(Bitonic, RoutesAllPermutationsN8) {
+  const BitonicNetwork net(3);
+  Permutation pi(8);
+  do {
+    ASSERT_TRUE(net.route(pi).self_routed) << pi.to_string();
+  } while (pi.next_lexicographic());
+}
+
+TEST(Bitonic, AgreesWithOddEvenOnWords) {
+  Rng rng(181);
+  const BitonicNetwork bitonic(7);
+  const BatcherNetwork odd_even(7);
+  for (int round = 0; round < 10; ++round) {
+    const Permutation pi = random_perm(128, rng);
+    std::vector<Word> words(128);
+    for (std::size_t j = 0; j < 128; ++j) words[j] = Word{pi(j), j};
+    EXPECT_EQ(bitonic.route_words(words).outputs, odd_even.route_words(words).outputs);
+  }
+}
+
+TEST(Bitonic, SortsRandomKeysWithDuplicates) {
+  Rng rng(182);
+  const BitonicNetwork net(6);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::uint64_t> keys(64);
+    for (auto& k : keys) k = rng.below(10);
+    auto expect = keys;
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(net.sort_keys(keys), expect);
+  }
+}
+
+TEST(Bitonic, MeasuredDelayDominatesOddEven) {
+  // Same stage count, same per-stage cost model => same critical path.
+  const BitonicNetwork net(6);
+  const auto path = net.build_delay_graph().critical_path(1.0, 1.0);
+  const auto d = model::batcher_delay(64);
+  EXPECT_EQ(path.units.sw, d.sw);
+  EXPECT_EQ(path.units.fn, d.fn);
+}
+
+TEST(Bitonic, CensusScalesWithComparators) {
+  const BitonicNetwork net(5);
+  const auto c = net.census(8);
+  EXPECT_EQ(c.comparators, net.comparator_count());
+  EXPECT_EQ(c.switches_2x2, net.comparator_count() * (5 + 8));
+  EXPECT_EQ(c.function_nodes, net.comparator_count() * 5);
+}
+
+}  // namespace
+}  // namespace bnb

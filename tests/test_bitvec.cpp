@@ -1,0 +1,112 @@
+#include "common/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+
+namespace bnb {
+namespace {
+
+TEST(BitVec, ConstructAllZero) {
+  BitVec v(100);
+  EXPECT_EQ(v.size(), 100U);
+  EXPECT_EQ(v.count_ones(), 0U);
+  EXPECT_EQ(v.count_zeros(), 100U);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(v.get(i));
+}
+
+TEST(BitVec, ConstructAllOne) {
+  BitVec v(70, true);
+  EXPECT_EQ(v.count_ones(), 70U);
+  for (std::size_t i = 0; i < 70; ++i) EXPECT_TRUE(v.get(i));
+}
+
+TEST(BitVec, SetGetFlip) {
+  BitVec v(130);
+  v.set(0, true);
+  v.set(64, true);
+  v.set(129, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(129));
+  EXPECT_EQ(v.count_ones(), 3U);
+  v.flip(64);
+  EXPECT_FALSE(v.get(64));
+  EXPECT_EQ(v.count_ones(), 2U);
+  v.set(0, false);
+  EXPECT_EQ(v.count_ones(), 1U);
+}
+
+TEST(BitVec, OutOfRangeThrows) {
+  BitVec v(10);
+  EXPECT_THROW((void)v.get(10), contract_violation);
+  EXPECT_THROW(v.set(10, true), contract_violation);
+  EXPECT_THROW(v.flip(11), contract_violation);
+}
+
+TEST(BitVec, FromToString) {
+  const std::string s = "0110100110010110";
+  BitVec v = BitVec::from_string(s);
+  EXPECT_EQ(v.to_string(), s);
+  EXPECT_EQ(v.count_ones(), 8U);
+  EXPECT_THROW(BitVec::from_string("01x"), contract_violation);
+}
+
+TEST(BitVec, EvenOddOnesCounts) {
+  // 1s at indices 0 (even), 3 (odd), 4 (even), 7 (odd).
+  BitVec v = BitVec::from_string("10011001");
+  EXPECT_EQ(v.count_ones_even(), 2U);
+  EXPECT_EQ(v.count_ones_odd(), 2U);
+
+  BitVec w = BitVec::from_string("1111");
+  EXPECT_EQ(w.count_ones_even(), 2U);
+  EXPECT_EQ(w.count_ones_odd(), 2U);
+
+  BitVec z = BitVec::from_string("1010");
+  EXPECT_EQ(z.count_ones_even(), 2U);
+  EXPECT_EQ(z.count_ones_odd(), 0U);
+}
+
+TEST(BitVec, EvenOddAgreeWithNaiveOnRandom) {
+  Rng rng(99);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = 1 + rng.below(300);
+    BitVec v(n);
+    std::size_t even = 0;
+    std::size_t odd = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool b = rng.flip();
+      v.set(i, b);
+      if (b) ((i % 2 == 0) ? even : odd)++;
+    }
+    EXPECT_EQ(v.count_ones_even(), even);
+    EXPECT_EQ(v.count_ones_odd(), odd);
+  }
+}
+
+TEST(BitVec, AppendAndResize) {
+  BitVec v;
+  EXPECT_TRUE(v.empty());
+  for (int i = 0; i < 100; ++i) v.append(i % 3 == 0);
+  EXPECT_EQ(v.size(), 100U);
+  EXPECT_EQ(v.count_ones(), 34U);
+  v.resize(50);
+  EXPECT_EQ(v.size(), 50U);
+  EXPECT_EQ(v.count_ones(), 17U);
+  v.resize(60, true);
+  EXPECT_EQ(v.count_ones(), 27U);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(BitVec, EqualityIgnoresStaleTailBits) {
+  BitVec a(65);
+  BitVec b(65, true);
+  b.resize(0);
+  b.resize(65);  // same logical content as a
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace bnb

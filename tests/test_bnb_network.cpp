@@ -1,0 +1,153 @@
+// Theorem 2: the BNB network self-routes every permutation.
+#include "core/bnb_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "perm/classes.hpp"
+#include "perm/generators.hpp"
+
+namespace bnb {
+namespace {
+
+TEST(BnbNetwork, RoutesTrivialN2) {
+  const BnbNetwork net(1);
+  EXPECT_TRUE(net.route(Permutation({0, 1})).self_routed);
+  EXPECT_TRUE(net.route(Permutation({1, 0})).self_routed);
+}
+
+TEST(BnbNetwork, Theorem2ExhaustiveN4) {
+  const BnbNetwork net(2);
+  Permutation pi(4);
+  std::size_t count = 0;
+  do {
+    const auto r = net.route(pi);
+    ASSERT_TRUE(r.self_routed) << pi.to_string();
+    ++count;
+  } while (pi.next_lexicographic());
+  EXPECT_EQ(count, factorial(4));
+}
+
+TEST(BnbNetwork, Theorem2ExhaustiveN8) {
+  // All 8! = 40320 permutations of an 8-input network.
+  const BnbNetwork net(3);
+  Permutation pi(8);
+  std::size_t count = 0;
+  do {
+    const auto r = net.route(pi);
+    ASSERT_TRUE(r.self_routed) << pi.to_string();
+    ++count;
+  } while (pi.next_lexicographic());
+  EXPECT_EQ(count, factorial(8));
+}
+
+TEST(BnbNetwork, RandomPermutationsUpTo64k) {
+  Rng rng(51);
+  for (const unsigned m : {4U, 6U, 8U, 10U, 12U, 14U, 16U}) {
+    const BnbNetwork net(m);
+    const int rounds = m <= 10 ? 20 : 3;
+    for (int round = 0; round < rounds; ++round) {
+      const Permutation pi = random_perm(net.inputs(), rng);
+      EXPECT_TRUE(net.route(pi).self_routed) << "m=" << m;
+    }
+  }
+}
+
+TEST(BnbNetwork, DestMatchesAddresses) {
+  Rng rng(52);
+  const BnbNetwork net(6);
+  const Permutation pi = random_perm(64, rng);
+  const auto r = net.route(pi);
+  ASSERT_TRUE(r.self_routed);
+  for (std::size_t j = 0; j < 64; ++j) {
+    EXPECT_EQ(r.dest[j], pi(j));  // input j ends at output pi(j)
+  }
+}
+
+TEST(BnbNetwork, PayloadsTravelWithAddresses) {
+  Rng rng(53);
+  const BnbNetwork net(8);
+  const Permutation pi = random_perm(256, rng);
+  std::vector<Word> words(256);
+  for (std::size_t j = 0; j < 256; ++j) {
+    words[j] = Word{pi(j), 0xABCD000000000000ULL | j};
+  }
+  const auto r = net.route_words(words);
+  ASSERT_TRUE(r.self_routed);
+  for (std::size_t line = 0; line < 256; ++line) {
+    // The word delivered at `line` is the one that was addressed there,
+    // payload intact.
+    EXPECT_EQ(r.outputs[line].address, line);
+    EXPECT_EQ(r.outputs[line].payload, 0xABCD000000000000ULL | pi.inverse()(line));
+  }
+}
+
+TEST(BnbNetwork, TraceShowsRadixSortProgress) {
+  // After main stage i, every nested block of stage i+1 holds addresses
+  // agreeing on the top i+1 bits — the radix-sort invariant of Theorem 2.
+  Rng rng(54);
+  const unsigned m = 6;
+  const BnbNetwork net(m);
+  const Permutation pi = random_perm(64, rng);
+  const auto r = net.route(pi, /*keep_trace=*/true);
+  ASSERT_TRUE(r.self_routed);
+  ASSERT_EQ(r.stage_words.size(), m);
+  for (unsigned stage = 1; stage < m; ++stage) {
+    const std::size_t block = std::size_t{1} << (m - stage);
+    const auto& words = r.stage_words[stage];
+    for (std::size_t base = 0; base < words.size(); base += block) {
+      const std::uint32_t prefix = words[base].address >> (m - stage);
+      for (std::size_t j = 0; j < block; ++j) {
+        ASSERT_EQ(words[base + j].address >> (m - stage), prefix)
+            << "stage " << stage << " block@" << base;
+      }
+      // Blocks are themselves in ascending prefix order.
+      EXPECT_EQ(prefix, base / block);
+    }
+  }
+}
+
+TEST(BnbNetwork, StructuredFamiliesAllRoute) {
+  for (const auto f : all_perm_families()) {
+    for (const unsigned m : {3U, 5U, 8U, 10U}) {
+      const BnbNetwork net(m);
+      const Permutation pi = make_perm(f, net.inputs(), 77);
+      EXPECT_TRUE(net.route(pi).self_routed)
+          << perm_family_name(f) << " m=" << m;
+    }
+  }
+}
+
+TEST(BnbNetwork, NonPermutationAddressesRejected) {
+  const BnbNetwork net(2);
+  std::vector<Word> words(4);
+  for (auto& w : words) w = Word{1, 0};  // duplicate destinations
+  EXPECT_THROW((void)net.route_words(words), contract_violation);
+}
+
+TEST(BnbNetwork, SizeMismatchRejected) {
+  const BnbNetwork net(3);
+  EXPECT_THROW((void)net.route(Permutation(4)), contract_violation);
+}
+
+TEST(BnbNetwork, DescribeShowsNestingProfile) {
+  const BnbNetwork net(3);
+  const std::string s = net.describe();
+  EXPECT_NE(s.find("main stage-0"), std::string::npos);
+  EXPECT_NE(s.find("BSN"), std::string::npos);
+  EXPECT_NE(s.find("sp(3)"), std::string::npos);
+  EXPECT_NE(s.find("sp(1)"), std::string::npos);
+}
+
+TEST(BnbNetwork, LargeSingleShot) {
+  // One 2^18-line routing to exercise the big-N path.
+  Rng rng(55);
+  const BnbNetwork net(18);
+  const Permutation pi = random_perm(net.inputs(), rng);
+  EXPECT_TRUE(net.route(pi).self_routed);
+}
+
+}  // namespace
+}  // namespace bnb

@@ -1,0 +1,116 @@
+// Waksman-optimized Benes and the input-buffered retry banyan.
+#include <gtest/gtest.h>
+
+#include "baselines/benes.hpp"
+#include "baselines/buffered_banyan.hpp"
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "perm/classes.hpp"
+#include "perm/generators.hpp"
+
+namespace bnb {
+namespace {
+
+TEST(Waksman, SwitchCountClosedForm) {
+  // N log N - N + 1 vs the plain Benes (2 log N - 1) N/2.
+  for (unsigned m = 1; m <= 12; ++m) {
+    const std::uint64_t n = pow2(m);
+    EXPECT_EQ(BenesNetwork(m, true).switch_count(), n * m - n + 1);
+    EXPECT_EQ(BenesNetwork(m, false).switch_count(), (2 * m - 1) * (n / 2));
+    EXPECT_LE(BenesNetwork(m, true).switch_count(),
+              BenesNetwork(m, false).switch_count());
+  }
+}
+
+TEST(Waksman, ExhaustiveN8StillRoutesEverything) {
+  const BenesNetwork net(3, true);
+  Permutation pi(8);
+  do {
+    ASSERT_TRUE(net.route(pi).self_routed) << pi.to_string();
+  } while (pi.next_lexicographic());
+}
+
+TEST(Waksman, FixedSwitchesAreAlwaysStraight) {
+  // In every plan, the bottom output switch of every recursion block is
+  // straight — the hardware saving Waksman's construction banks on.
+  Rng rng(201);
+  const unsigned m = 5;
+  const BenesNetwork net(m, true);
+  for (int round = 0; round < 40; ++round) {
+    const auto plan = net.set_up(random_perm(32, rng));
+    // Recursion blocks: depth d has blocks of size 2^(m-d) at the output
+    // stage 2m-2-d; the fixed switch of the block starting at `base` is the
+    // block's last switch.
+    for (unsigned d = 0; d + 1 < m; ++d) {  // k = m-d >= 2
+      const std::size_t block = std::size_t{1} << (m - d);
+      const unsigned out_stage = 2 * m - 2 - d;
+      for (std::size_t base = 0; base < 32; base += block) {
+        const std::size_t fixed_switch = base / 2 + block / 2 - 1;
+        EXPECT_EQ(plan.settings[out_stage][fixed_switch], 0)
+            << "d=" << d << " base=" << base;
+      }
+    }
+  }
+}
+
+TEST(Waksman, AgreesWithPlainBenesOnWords) {
+  Rng rng(202);
+  const BenesNetwork plain(6, false);
+  const BenesNetwork waksman(6, true);
+  for (int round = 0; round < 10; ++round) {
+    const Permutation pi = random_perm(64, rng);
+    EXPECT_EQ(plain.route(pi).outputs, waksman.route(pi).outputs);
+  }
+}
+
+TEST(BufferedBanyan, IdentityDrainsInOneCycle) {
+  const BufferedOmegaSwitch sw(5);
+  const auto r = sw.drain(identity_perm(32));
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.cycles, 1U);
+  EXPECT_EQ(r.total_conflicts, 0U);
+  EXPECT_EQ(r.delivered, 32U);
+}
+
+TEST(BufferedBanyan, TransposeNeedsMultipleCycles) {
+  const BufferedOmegaSwitch sw(6);
+  const auto r = sw.drain(transpose_perm(64));
+  EXPECT_TRUE(r.complete);
+  EXPECT_GT(r.cycles, 1U);
+  EXPECT_EQ(r.delivered, 64U);
+}
+
+TEST(BufferedBanyan, AlwaysDrainsCompletely) {
+  Rng rng(203);
+  for (const unsigned m : {3U, 5U, 7U}) {
+    const BufferedOmegaSwitch sw(m);
+    for (int round = 0; round < 10; ++round) {
+      const auto r = sw.drain(random_perm(pow2(m), rng));
+      EXPECT_TRUE(r.complete) << "m=" << m;
+      EXPECT_EQ(r.delivered, pow2(m));
+      // At least one packet survives every pass, so cycles <= N.
+      EXPECT_LE(r.cycles, pow2(m));
+    }
+  }
+}
+
+TEST(BufferedBanyan, PerCycleProfileSumsToN) {
+  Rng rng(204);
+  const BufferedOmegaSwitch sw(6);
+  const auto r = sw.drain(random_perm(64, rng));
+  std::uint64_t sum = 0;
+  for (const auto d : r.per_cycle) sum += d;
+  EXPECT_EQ(sum, 64U);
+  EXPECT_EQ(r.per_cycle.size(), r.cycles);
+}
+
+TEST(BufferedBanyan, AllFamiliesDrain) {
+  for (const auto f : all_perm_families()) {
+    const BufferedOmegaSwitch sw(5);
+    const auto r = sw.drain(make_perm(f, 32, 7));
+    EXPECT_TRUE(r.complete) << perm_family_name(f);
+  }
+}
+
+}  // namespace
+}  // namespace bnb

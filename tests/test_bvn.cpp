@@ -1,0 +1,142 @@
+// Demand matrices and Birkhoff–von Neumann scheduling over the BNB fabric.
+#include "fabric/bvn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+#include "fabric/demand.hpp"
+
+namespace bnb {
+namespace {
+
+TEST(Demand, SumsAndAccess) {
+  DemandMatrix d(3);
+  d.set(0, 1, 5);
+  d.add(0, 1, 2);
+  d.set(2, 0, 3);
+  EXPECT_EQ(d.at(0, 1), 7U);
+  EXPECT_EQ(d.row_sum(0), 7U);
+  EXPECT_EQ(d.col_sum(1), 7U);
+  EXPECT_EQ(d.col_sum(0), 3U);
+  EXPECT_EQ(d.max_line_sum(), 7U);
+  EXPECT_EQ(d.total(), 10U);
+  EXPECT_THROW((void)d.at(3, 0), contract_violation);
+}
+
+TEST(Demand, PadToCapacityBalancesEverything) {
+  Rng rng(211);
+  DemandMatrix d = DemandMatrix::random(8, 40, rng);
+  const std::uint64_t cap = d.max_line_sum() + 3;
+  DemandMatrix original = d;
+  const DemandMatrix filler = d.pad_to_capacity(cap);
+  for (std::size_t k = 0; k < 8; ++k) {
+    EXPECT_EQ(d.row_sum(k), cap);
+    EXPECT_EQ(d.col_sum(k), cap);
+  }
+  // d = original + filler, entrywise.
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      EXPECT_EQ(d.at(i, j), original.at(i, j) + filler.at(i, j));
+    }
+  }
+}
+
+TEST(Demand, PadBelowMaxLineSumRejected) {
+  DemandMatrix d(2);
+  d.set(0, 0, 4);
+  EXPECT_THROW((void)d.pad_to_capacity(3), contract_violation);
+}
+
+TEST(Demand, RandomAdmissibleRespectsCapacity) {
+  Rng rng(212);
+  for (int round = 0; round < 10; ++round) {
+    const DemandMatrix d = DemandMatrix::random_admissible(16, 12, 0.8, rng);
+    EXPECT_LE(d.max_line_sum(), 12U);
+  }
+}
+
+TEST(Bvn, DecomposesAPermutationMatrixInOneSlot) {
+  DemandMatrix d(4);
+  d.set(0, 2, 5);
+  d.set(1, 0, 5);
+  d.set(2, 3, 5);
+  d.set(3, 1, 5);
+  const auto dec = bvn_decompose(d);
+  ASSERT_EQ(dec.slots.size(), 1U);
+  EXPECT_EQ(dec.slots[0].weight, 5U);
+  EXPECT_EQ(dec.slots[0].perm, Permutation({2, 0, 3, 1}));
+  EXPECT_EQ(dec.capacity, 5U);
+  EXPECT_TRUE(decomposition_reconstructs(dec, d));
+}
+
+TEST(Bvn, ReconstructsRandomBalancedMatrices) {
+  Rng rng(213);
+  for (const std::size_t n : {2UL, 4UL, 8UL, 16UL}) {
+    DemandMatrix d = DemandMatrix::random(n, 5 * n, rng);
+    (void)d.pad_to_capacity(d.max_line_sum());
+    const DemandMatrix padded = d;
+    const auto dec = bvn_decompose(padded);
+    EXPECT_TRUE(decomposition_reconstructs(dec, padded)) << "n=" << n;
+    // Birkhoff bound: at most n^2 - 2n + 2 slots.
+    EXPECT_LE(dec.slots.size(), n * n - 2 * n + 2) << "n=" << n;
+    std::uint64_t weight_sum = 0;
+    for (const auto& s : dec.slots) weight_sum += s.weight;
+    EXPECT_EQ(weight_sum, dec.capacity);
+  }
+}
+
+TEST(Bvn, UnbalancedMatrixRejected) {
+  DemandMatrix d(2);
+  d.set(0, 0, 2);
+  d.set(1, 1, 1);
+  EXPECT_THROW((void)bvn_decompose(d), contract_violation);
+}
+
+TEST(Bvn, ZeroCapacityRejected) {
+  EXPECT_THROW((void)bvn_decompose(DemandMatrix(4)), contract_violation);
+}
+
+TEST(Bvn, ScheduleDeliversEveryCellExactlyOnce) {
+  Rng rng(214);
+  for (const std::size_t n : {4UL, 8UL, 16UL}) {
+    DemandMatrix real = DemandMatrix::random(n, 6 * n, rng);
+    DemandMatrix padded = real;
+    (void)padded.pad_to_capacity(padded.max_line_sum());
+    const auto dec = bvn_decompose(padded);
+
+    const auto result = run_bvn_schedule(dec, real);
+    EXPECT_TRUE(result.demand_met) << "n=" << n;
+    EXPECT_EQ(result.cells_delivered, real.total());
+    EXPECT_EQ(result.cell_times, dec.capacity);
+  }
+}
+
+TEST(Bvn, ScheduleHandlesSparseDemand) {
+  // One single cell: the frame still pads out to a full permutation set.
+  DemandMatrix real(8);
+  real.set(3, 5, 1);
+  DemandMatrix padded = real;
+  (void)padded.pad_to_capacity(1);
+  const auto dec = bvn_decompose(padded);
+  const auto result = run_bvn_schedule(dec, real);
+  EXPECT_TRUE(result.demand_met);
+  EXPECT_EQ(result.cells_delivered, 1U);
+  EXPECT_EQ(result.cell_times, 1U);
+}
+
+TEST(Bvn, ScheduleAdmissibleLoadSweep) {
+  Rng rng(215);
+  for (const double load : {0.25, 0.75, 1.0}) {
+    DemandMatrix real = DemandMatrix::random_admissible(16, 8, load, rng);
+    if (real.total() == 0) continue;
+    DemandMatrix padded = real;
+    (void)padded.pad_to_capacity(padded.max_line_sum());
+    const auto dec = bvn_decompose(padded);
+    const auto result = run_bvn_schedule(dec, real);
+    EXPECT_TRUE(result.demand_met) << "load=" << load;
+  }
+}
+
+}  // namespace
+}  // namespace bnb

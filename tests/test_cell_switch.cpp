@@ -1,0 +1,113 @@
+// The VOQ cell switch on the BNB fabric.
+#include "fabric/cell_switch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+
+namespace bnb {
+namespace {
+
+TEST(CellSwitch, ZeroLoadDoesNothing) {
+  const CellSwitch sw(4);
+  const auto stats = sw.run_uniform(0.0, 100, 1);
+  EXPECT_EQ(stats.offered, 0U);
+  EXPECT_EQ(stats.delivered, 0U);
+  EXPECT_TRUE(stats.drained);
+  EXPECT_EQ(stats.cycles, 100U);
+}
+
+TEST(CellSwitch, LightLoadLowLatency) {
+  const CellSwitch sw(5);
+  const auto stats = sw.run_uniform(0.1, 2000, 2);
+  EXPECT_TRUE(stats.drained);
+  EXPECT_GT(stats.offered, 0U);
+  EXPECT_EQ(stats.delivered, stats.offered);
+  // At 10% load almost every cell is served on its next cell time.
+  EXPECT_LT(stats.mean_latency, 2.0);
+  EXPECT_GE(stats.mean_latency, 1.0);  // service takes at least one cycle
+}
+
+TEST(CellSwitch, ModerateLoadStableAndDrains) {
+  const CellSwitch sw(5);
+  const auto stats = sw.run_uniform(0.6, 3000, 3);
+  EXPECT_TRUE(stats.drained);
+  EXPECT_EQ(stats.delivered, stats.offered);
+  // Stable: backlog bounded far below offered volume.
+  EXPECT_LT(stats.peak_backlog, stats.offered / 4);
+  EXPECT_NEAR(stats.throughput(), 0.6 * 32, 0.1 * 32);
+}
+
+TEST(CellSwitch, HeavyAdmissibleLoadStillDrains) {
+  const CellSwitch sw(4);
+  const auto stats = sw.run_uniform(0.9, 3000, 4);
+  EXPECT_TRUE(stats.drained);
+  EXPECT_EQ(stats.delivered, stats.offered);
+  EXPECT_GE(stats.p99_latency, stats.mean_latency);
+  EXPECT_GE(stats.max_latency, stats.p99_latency);
+}
+
+TEST(CellSwitch, DeterministicForSeed) {
+  const CellSwitch sw(4);
+  const auto a = sw.run_uniform(0.5, 500, 77);
+  const auto b = sw.run_uniform(0.5, 500, 77);
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_DOUBLE_EQ(a.mean_latency, b.mean_latency);
+}
+
+TEST(CellSwitch, LatencyGrowsWithLoad) {
+  const CellSwitch sw(5);
+  const auto low = sw.run_uniform(0.2, 2000, 5);
+  const auto high = sw.run_uniform(0.85, 2000, 5);
+  EXPECT_TRUE(low.drained);
+  EXPECT_TRUE(high.drained);
+  EXPECT_GT(high.mean_latency, low.mean_latency);
+}
+
+TEST(CellSwitch, FullLoadKeepsFabricBusy) {
+  const CellSwitch sw(3);
+  const auto stats = sw.run_uniform(1.0, 2000, 6, 200000);
+  // At load 1.0 with uniform destinations the matcher can't always serve
+  // everyone, but the run must still drain once arrivals stop.
+  EXPECT_TRUE(stats.drained);
+  EXPECT_EQ(stats.delivered, stats.offered);
+}
+
+TEST(CellSwitch, InvalidLoadRejected) {
+  const CellSwitch sw(3);
+  EXPECT_THROW((void)sw.run_uniform(1.5, 10, 1), contract_violation);
+  EXPECT_THROW((void)sw.run_uniform(-0.1, 10, 1), contract_violation);
+  EXPECT_THROW((void)sw.run_hotspot(0.5, 1.5, 10, 1), contract_violation);
+}
+
+TEST(CellSwitch, MildHotspotStaysStable) {
+  // load * N * hot_share = 0.5 * 16 * 0.1 = 0.8 < 1: admissible.
+  const CellSwitch sw(4);
+  const auto stats = sw.run_hotspot(0.5, 0.1, 2000, 8);
+  EXPECT_TRUE(stats.drained);
+  EXPECT_EQ(stats.final_backlog, 0U);
+}
+
+TEST(CellSwitch, SevereHotspotSaturatesOutputZero) {
+  // load * N * hot_share = 0.8 * 16 * 0.5 = 6.4 >> 1: output 0 can serve
+  // only one cell per cycle, so backlog grows ~ (6.4 - 1) per cycle and the
+  // bounded drain window cannot clear it.
+  const CellSwitch sw(4);
+  const auto stats = sw.run_hotspot(0.8, 0.5, 2000, 9, /*max_drain_cycles=*/500);
+  EXPECT_FALSE(stats.drained);
+  EXPECT_GT(stats.final_backlog, 2000U);
+  // Delivered cells still audited and bounded by one per output per cycle.
+  EXPECT_LE(stats.delivered, stats.cycles * 16);
+}
+
+TEST(CellSwitch, HotspotZeroShareMatchesUniformShape) {
+  const CellSwitch sw(4);
+  const auto hot = sw.run_hotspot(0.4, 0.0, 1000, 10);
+  EXPECT_TRUE(hot.drained);
+  EXPECT_GT(hot.offered, 0U);
+}
+
+}  // namespace
+}  // namespace bnb

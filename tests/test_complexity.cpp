@@ -1,0 +1,199 @@
+// Section 5: the closed-form cost/delay models, Eqs. 1-12 and Tables 1-2.
+#include "core/complexity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+
+namespace bnb::model {
+namespace {
+
+TEST(Complexity, NestedArbiterCostSmallCases) {
+  // Eq. 4 closed form P log(P/2) - P/2 + 1.
+  EXPECT_EQ(nested_arbiter_cost(2), 0U);    // one sp(1): wiring only
+  EXPECT_EQ(nested_arbiter_cost(4), 3U);    // one A(2)
+  EXPECT_EQ(nested_arbiter_cost(8), 13U);   // A(3) + 2 A(2) = 7 + 6
+  EXPECT_EQ(nested_arbiter_cost(16), 41U);  // 15 + 2*13
+}
+
+TEST(Complexity, NestedArbiterCostSatisfiesRecurrence) {
+  // Eq. 4: C_NB,A(P) = (P - 1) + 2 C_NB,A(P/2), with A(1) = wiring.
+  for (std::uint64_t P = 4; P <= (1ULL << 16); P *= 2) {
+    EXPECT_EQ(nested_arbiter_cost(P), (P - 1) + 2 * nested_arbiter_cost(P / 2));
+  }
+}
+
+TEST(Complexity, NestedNetworkCostEq5) {
+  // P = 8, w = 0: (4*3*3) switches + 13 nodes.
+  const Cost c = nested_network_cost(8, 0);
+  EXPECT_EQ(c.sw, 36U);
+  EXPECT_EQ(c.fn, 13U);
+  // w = 2 adds 2 slices: (4*3*5).
+  EXPECT_EQ(nested_network_cost(8, 2).sw, 60U);
+}
+
+TEST(Complexity, Eq6ClosedFormMatchesRecurrence) {
+  // The paper derives Eq. 6 from recurrence Eq. 1; both must agree exactly.
+  for (const std::uint64_t w : {0ULL, 1ULL, 8ULL, 32ULL}) {
+    for (std::uint64_t N = 2; N <= (1ULL << 20); N *= 2) {
+      EXPECT_EQ(bnb_cost_exact(N, w), bnb_cost_recurrence(N, w))
+          << "N=" << N << " w=" << w;
+    }
+  }
+}
+
+TEST(Complexity, Eq6KnownValues) {
+  // Hand-computed: N=4, w=0 -> 10 C_SW + 3 C_FN.
+  EXPECT_EQ(bnb_cost_exact(4, 0), (Cost{10, 3, 0}));
+  // N=2: a single sp(1) = 1 switch.
+  EXPECT_EQ(bnb_cost_exact(2, 0), (Cost{1, 0, 0}));
+}
+
+TEST(Complexity, Eq7SwitchStages) {
+  EXPECT_EQ(bnb_delay_sw_units(2), 1U);
+  EXPECT_EQ(bnb_delay_sw_units(4), 3U);
+  EXPECT_EQ(bnb_delay_sw_units(8), 6U);
+  EXPECT_EQ(bnb_delay_sw_units(1024), 55U);
+}
+
+TEST(Complexity, Eq8ArbiterLevels) {
+  // Direct double-sum 2 * sum_{k=2}^{m} sum_{l=2}^{k} l vs the closed form.
+  for (unsigned m = 1; m <= 20; ++m) {
+    std::uint64_t direct = 0;
+    for (unsigned k = 2; k <= m; ++k) {
+      for (unsigned l = 2; l <= k; ++l) direct += l;
+    }
+    direct *= 2;
+    EXPECT_EQ(bnb_delay_fn_units(pow2(m)), direct) << "m=" << m;
+  }
+}
+
+TEST(Complexity, Eq9Combines7And8) {
+  for (std::uint64_t N = 2; N <= (1ULL << 16); N *= 2) {
+    const Delay d = bnb_delay(N);
+    EXPECT_EQ(d.sw, bnb_delay_sw_units(N));
+    EXPECT_EQ(d.fn, bnb_delay_fn_units(N));
+  }
+}
+
+TEST(Complexity, Eq10BatcherComparators) {
+  EXPECT_EQ(batcher_comparator_count(2), 1U);
+  EXPECT_EQ(batcher_comparator_count(4), 5U);
+  EXPECT_EQ(batcher_comparator_count(8), 19U);
+  EXPECT_EQ(batcher_comparator_count(16), 63U);
+  EXPECT_EQ(batcher_comparator_count(1024), 24063U);
+}
+
+TEST(Complexity, Eq11BatcherCost) {
+  // Each comparator: (m + w) switch slices + m function slices.
+  for (const std::uint64_t w : {0ULL, 8ULL}) {
+    for (std::uint64_t N = 2; N <= (1ULL << 14); N *= 2) {
+      const std::uint64_t m = log2_exact(N);
+      const std::uint64_t ce = batcher_comparator_count(N);
+      const Cost c = batcher_cost(N, w);
+      EXPECT_EQ(c.sw, ce * (m + w));
+      EXPECT_EQ(c.fn, ce * m);
+    }
+  }
+}
+
+TEST(Complexity, Eq12BatcherDelay) {
+  // (1/2 m^3 + 1/2 m^2) D_FN + (1/2 m^2 + 1/2 m) D_SW.
+  for (unsigned m = 1; m <= 20; ++m) {
+    const Delay d = batcher_delay(pow2(m));
+    EXPECT_EQ(d.sw, std::uint64_t{m} * (m + 1) / 2);
+    EXPECT_EQ(d.fn, std::uint64_t{m} * m * (m + 1) / 2);
+  }
+}
+
+TEST(Complexity, KoppelmanDelayTable2Row) {
+  // (2/3)m^3 - m^2 + m/3 + 1.
+  EXPECT_EQ(koppelman_delay_units(4), 3U);    // m=2
+  EXPECT_EQ(koppelman_delay_units(8), 11U);   // m=3
+  EXPECT_EQ(koppelman_delay_units(16), 29U);  // m=4
+}
+
+TEST(Complexity, Table1LeadingTermRelations) {
+  // The paper's headline: BNB uses 2/3 of Batcher's switches (N/6 vs N/4
+  // log^3 N)... but with the BNB's extra fn column far cheaper.
+  for (std::uint64_t N = 16; N <= (1ULL << 20); N *= 16) {
+    const auto bat = table1_leading(NetworkKind::kBatcher, N);
+    const auto kop = table1_leading(NetworkKind::kKoppelman, N);
+    const auto bnb = table1_leading(NetworkKind::kBnb, N);
+    EXPECT_DOUBLE_EQ(bnb.switches / bat.switches, 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(kop.switches, bat.switches);
+    EXPECT_DOUBLE_EQ(kop.adder_slices, 2 * kop.function_slices);
+    EXPECT_DOUBLE_EQ(bnb.adder_slices, 0.0);
+    // BNB's function hardware is asymptotically negligible vs Batcher's.
+    EXPECT_LT(bnb.function_slices, bat.function_slices);
+  }
+}
+
+TEST(Complexity, Table2DelayOrderingBeyondCrossovers) {
+  // The published polynomials cross: BNB beats Batcher's row from N = 64
+  // (they tie at N = 32) and beats Koppelman's from N = 128.  Past both
+  // crossovers the ordering is strict for good.
+  EXPECT_DOUBLE_EQ(table2_delay(NetworkKind::kBnb, 32),
+                   table2_delay(NetworkKind::kBatcher, 32));
+  for (std::uint64_t N = 128; N <= (1ULL << 24); N *= 2) {
+    const double bat = table2_delay(NetworkKind::kBatcher, N);
+    const double kop = table2_delay(NetworkKind::kKoppelman, N);
+    const double bnb = table2_delay(NetworkKind::kBnb, N);
+    EXPECT_LT(bnb, bat) << N;
+    EXPECT_LT(bnb, kop) << N;
+  }
+}
+
+TEST(Complexity, HeadlineRatiosByHighestOrderTerm) {
+  // Section 6 states the claims "by the highest order term comparison":
+  // hardware N/6 log^3 N vs Batcher's (N/4 + N/4) log^3 N  -> 1/3,
+  // delay (1/3) log^3 N vs (1/2) log^3 N                   -> 2/3.
+  for (std::uint64_t N = 16; N <= (1ULL << 20); N *= 16) {
+    const auto bat_hw = table1_leading(NetworkKind::kBatcher, N);
+    const auto bnb_hw = table1_leading(NetworkKind::kBnb, N);
+    EXPECT_DOUBLE_EQ(bnb_hw.switches / (bat_hw.switches + bat_hw.function_slices),
+                     1.0 / 3.0);
+  }
+  const double m = 20.0;
+  EXPECT_DOUBLE_EQ(((1.0 / 3.0) * m * m * m) / ((1.0 / 2.0) * m * m * m), 2.0 / 3.0);
+}
+
+TEST(Complexity, FullPolynomialRatiosConvergeTowardHeadline) {
+  // The complete expressions approach 1/3 / 2/3 from above as N grows.
+  double prev_hw = 10.0;
+  double prev_delay = 10.0;
+  for (unsigned mm = 4; mm <= 40; mm += 4) {
+    const std::uint64_t N = 1ULL << mm;
+    const auto bat_hw = table1_leading(NetworkKind::kBatcher, N);
+    const auto bnb_hw = table1_leading(NetworkKind::kBnb, N);
+    const double hw = (bnb_hw.switches + bnb_hw.function_slices) /
+                      (bat_hw.switches + bat_hw.function_slices);
+    const double dl = table2_delay(NetworkKind::kBnb, N) /
+                      table2_delay(NetworkKind::kBatcher, N);
+    EXPECT_LT(hw, prev_hw);
+    EXPECT_LT(dl, prev_delay);
+    EXPECT_GT(hw, 1.0 / 3.0);
+    EXPECT_GT(dl, 2.0 / 3.0);
+    prev_hw = hw;
+    prev_delay = dl;
+  }
+  // Far out, the ratios are close to the headline numbers.
+  EXPECT_NEAR(prev_hw, 1.0 / 3.0, 0.04);
+  EXPECT_NEAR(prev_delay, 2.0 / 3.0, 0.08);
+}
+
+TEST(Complexity, NonPowersRejected) {
+  EXPECT_THROW((void)bnb_cost_exact(12, 0), bnb::contract_violation);
+  EXPECT_THROW((void)batcher_comparator_count(0), bnb::contract_violation);
+  EXPECT_THROW((void)bnb_delay(1), bnb::contract_violation);
+}
+
+TEST(Complexity, NetworkKindNames) {
+  EXPECT_EQ(network_kind_name(NetworkKind::kBatcher), "Batcher");
+  EXPECT_EQ(network_kind_name(NetworkKind::kKoppelman), "Koppelman[11]");
+  EXPECT_EQ(network_kind_name(NetworkKind::kBnb), "This paper (BNB)");
+}
+
+}  // namespace
+}  // namespace bnb::model

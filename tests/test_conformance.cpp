@@ -1,0 +1,104 @@
+// The conformance harness itself, and every router held to it.
+#include "verify/conformance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/batcher.hpp"
+#include "baselines/benes.hpp"
+#include "baselines/bitonic.hpp"
+#include "baselines/crossbar.hpp"
+#include "baselines/destination_tag.hpp"
+#include "baselines/koppelman.hpp"
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+#include "core/bit_sliced.hpp"
+#include "core/bnb_network.hpp"
+#include "core/element_sim.hpp"
+#include "core/gate_network.hpp"
+
+namespace bnb {
+namespace {
+
+TEST(Conformance, AllRoutersPassFullBatteryN8) {
+  const unsigned m = 3;
+  const std::size_t n = 8;
+  const BnbNetwork bnb_net(m);
+  const BnbElementSim element(m);
+  const BitSlicedBnb sliced(m, 4);
+  const GateLevelBnb gates(m);
+  const BatcherNetwork batcher(m);
+  const BitonicNetwork bitonic(m);
+  const BenesNetwork benes(m);
+  const KoppelmanSrpn koppelman(m);
+  const Crossbar crossbar(n);
+
+  const std::vector<std::pair<const char*, RouteProbe>> routers = {
+      {"bnb", [&](const Permutation& pi) { return bnb_net.route(pi).self_routed; }},
+      {"element", [&](const Permutation& pi) { return element.route(pi).self_routed; }},
+      {"bit-sliced", [&](const Permutation& pi) { return sliced.route(pi).self_routed; }},
+      {"gate-level", [&](const Permutation& pi) { return gates.route(pi).self_routed; }},
+      {"batcher", [&](const Permutation& pi) { return batcher.route(pi).self_routed; }},
+      {"bitonic", [&](const Permutation& pi) { return bitonic.route(pi).self_routed; }},
+      {"benes", [&](const Permutation& pi) { return benes.route(pi).self_routed; }},
+      {"koppelman", [&](const Permutation& pi) { return koppelman.route(pi).self_routed; }},
+      {"crossbar", [&](const Permutation& pi) { return crossbar.route(pi).self_routed; }},
+  };
+  for (const auto& [name, probe] : routers) {
+    const auto report = run_conformance(probe, n, ConformanceLevel::kFull, 20);
+    EXPECT_TRUE(report.passed()) << name << ": " << report.failures << " failures";
+    EXPECT_EQ(report.cases_run, factorial(8) + 14 + 20) << name;
+  }
+}
+
+TEST(Conformance, LargerSizesFamiliesAndRandom) {
+  const unsigned m = 7;
+  const BnbNetwork bnb_net(m);
+  const auto report = run_conformance(
+      [&](const Permutation& pi) { return bnb_net.route(pi).self_routed; }, 128,
+      ConformanceLevel::kFull, 30);
+  EXPECT_TRUE(report.passed());
+  EXPECT_EQ(report.cases_run, 14U + 30U);  // no exhaustive portion at N=128
+}
+
+TEST(Conformance, CatchesABrokenRouter) {
+  // A blocking banyan must fail the battery, with failures recorded.
+  const OmegaNetwork omega(5);
+  const auto report = run_conformance(
+      [&](const Permutation& pi) { return omega.route(pi).conflict_free; }, 32,
+      ConformanceLevel::kFull, 20);
+  EXPECT_FALSE(report.passed());
+  EXPECT_GT(report.failures, 0U);
+  EXPECT_FALSE(report.failed_cases.empty());
+  EXPECT_LE(report.failed_cases.size(), 16U);
+}
+
+TEST(Conformance, CatchesASubtlyBrokenRouter) {
+  // A router that silently drops one specific exchange: correct on most
+  // permutations, caught by the exhaustive battery.
+  const BnbNetwork net(2);
+  const auto probe = [&](const Permutation& pi) {
+    if (pi(0) == 3 && pi(1) == 2) return false;  // injected defect
+    return net.route(pi).self_routed;
+  };
+  const auto strict = run_conformance(probe, 4, ConformanceLevel::kExhaustive);
+  EXPECT_FALSE(strict.passed());
+  EXPECT_EQ(strict.failures, 2U);  // the two perms with pi(0)=3, pi(1)=2
+}
+
+TEST(Conformance, ReproducibleAcrossRuns) {
+  const BnbNetwork net(4);
+  const auto probe = [&](const Permutation& pi) { return net.route(pi).self_routed; };
+  const auto a = run_conformance(probe, 16, ConformanceLevel::kRandomized, 25, 9);
+  const auto b = run_conformance(probe, 16, ConformanceLevel::kRandomized, 25, 9);
+  EXPECT_EQ(a.cases_run, b.cases_run);
+  EXPECT_EQ(a.failures, b.failures);
+}
+
+TEST(Conformance, ExhaustiveBeyondN8Rejected) {
+  const auto probe = [](const Permutation&) { return true; };
+  EXPECT_THROW((void)run_conformance(probe, 16, ConformanceLevel::kExhaustive),
+               contract_violation);
+}
+
+}  // namespace
+}  // namespace bnb

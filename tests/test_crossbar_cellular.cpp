@@ -1,0 +1,90 @@
+// Crossbar and cellular-array references (paper introduction, refs [3][4]).
+#include <gtest/gtest.h>
+
+#include "baselines/cellular.hpp"
+#include "baselines/crossbar.hpp"
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+#include "perm/generators.hpp"
+
+namespace bnb {
+namespace {
+
+TEST(Crossbar, RoutesEverything) {
+  Rng rng(101);
+  for (const std::size_t n : {1UL, 2UL, 7UL, 64UL, 1000UL}) {
+    const Crossbar xb(n);
+    const Permutation pi = random_perm(n, rng);
+    const auto r = xb.route(pi);
+    EXPECT_TRUE(r.self_routed);
+    for (std::size_t j = 0; j < n; ++j) EXPECT_EQ(r.dest[j], pi(j));
+  }
+}
+
+TEST(Crossbar, PayloadsFollow) {
+  Rng rng(102);
+  const Crossbar xb(32);
+  const Permutation pi = random_perm(32, rng);
+  std::vector<Word> words(32);
+  for (std::size_t j = 0; j < 32; ++j) words[j] = Word{pi(j), 90 + j};
+  const auto r = xb.route_words(words);
+  for (std::size_t line = 0; line < 32; ++line) {
+    EXPECT_EQ(r.outputs[line].payload, 90 + pi.inverse()(line));
+  }
+}
+
+TEST(Crossbar, QuadraticCrosspoints) {
+  EXPECT_EQ(Crossbar(8).census().crosspoints, 64U);
+  EXPECT_EQ(Crossbar(1024).census().crosspoints, 1024ULL * 1024);
+}
+
+TEST(Crossbar, DuplicateAddressesRejected) {
+  const Crossbar xb(3);
+  std::vector<Word> words(3, Word{1, 0});
+  EXPECT_THROW((void)xb.route_words(words), contract_violation);
+}
+
+TEST(Cellular, RoutesEverythingExhaustiveSmall) {
+  for (const std::size_t n : {2UL, 4UL, 6UL}) {
+    const CellularArray arr(n);
+    Permutation pi(n);
+    do {
+      ASSERT_TRUE(arr.route(pi).self_routed) << pi.to_string();
+    } while (pi.next_lexicographic());
+  }
+}
+
+TEST(Cellular, RoutesRandomNonPowerOfTwoSizes) {
+  Rng rng(103);
+  for (const std::size_t n : {3UL, 17UL, 100UL}) {
+    const CellularArray arr(n);
+    EXPECT_TRUE(arr.route(random_perm(n, rng)).self_routed) << n;
+  }
+}
+
+TEST(Cellular, QuadraticCellCount) {
+  // n columns, alternating floor(n/2) / floor((n-1)/2) cells: n(n-1)/2 total.
+  EXPECT_EQ(CellularArray(2).cell_count(), 1U);    // columns: 1, 0
+  EXPECT_EQ(CellularArray(4).cell_count(), 6U);    // columns: 2, 1, 2, 1
+  EXPECT_EQ(CellularArray(8).cell_count(), 28U);   // 8*7/2
+}
+
+TEST(Cellular, DepthIsN) {
+  EXPECT_EQ(CellularArray(16).depth(), 16U);
+}
+
+TEST(Cellular, PayloadsFollow) {
+  Rng rng(104);
+  const CellularArray arr(20);
+  const Permutation pi = random_perm(20, rng);
+  std::vector<Word> words(20);
+  for (std::size_t j = 0; j < 20; ++j) words[j] = Word{pi(j), j};
+  const auto r = arr.route_words(words);
+  ASSERT_TRUE(r.self_routed);
+  for (std::size_t line = 0; line < 20; ++line) {
+    EXPECT_EQ(r.outputs[line].payload, pi.inverse()(line));
+  }
+}
+
+}  // namespace
+}  // namespace bnb

@@ -1,0 +1,105 @@
+#include "sim/delay_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+
+namespace bnb::sim {
+namespace {
+
+TEST(DelayUnits, Evaluate) {
+  const DelayUnits u{3, 2, 1};
+  EXPECT_DOUBLE_EQ(u.evaluate(1.0, 1.0, 1.0), 6.0);
+  EXPECT_DOUBLE_EQ(u.evaluate(2.0, 0.5, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(u.evaluate(0.0, 1.0), 3.0);  // d_add defaults to 1
+  EXPECT_DOUBLE_EQ(u.evaluate(0.0, 1.0, 0.0), 2.0);
+}
+
+TEST(DelayUnits, Accumulate) {
+  DelayUnits a{1, 2, 3};
+  const DelayUnits b{10, 20, 30};
+  a += b;
+  EXPECT_EQ(a, (DelayUnits{11, 22, 33}));
+}
+
+TEST(DelayGraph, EmptyGraphZeroPath) {
+  const DelayGraph g;
+  const auto r = g.critical_path(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.delay, 0.0);
+  EXPECT_EQ(r.terminal, DelayGraph::kNoNode);
+}
+
+TEST(DelayGraph, SingleChain) {
+  DelayGraph g;
+  auto s = g.add_source();
+  auto a = g.add_node({1, 0, 0}, {s});
+  auto b = g.add_node({0, 1, 0}, {a});
+  auto c = g.add_node({1, 0, 0}, {b});
+  const auto r = g.critical_path(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.delay, 3.0);
+  EXPECT_EQ(r.units, (DelayUnits{2, 1, 0}));
+  EXPECT_EQ(r.terminal, c);
+}
+
+TEST(DelayGraph, PicksHeavierBranch) {
+  DelayGraph g;
+  auto s = g.add_source();
+  // Branch 1: two switch units.  Branch 2: one fn unit.
+  auto a1 = g.add_node({1, 0, 0}, {s});
+  auto a2 = g.add_node({1, 0, 0}, {a1});
+  auto b1 = g.add_node({0, 1, 0}, {s});
+  auto join = g.add_node({0, 0, 0}, {a2, b1});
+  (void)join;
+
+  // With D_SW = D_FN = 1 the switch branch (2.0) wins.
+  auto r = g.critical_path(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.delay, 2.0);
+  EXPECT_EQ(r.units, (DelayUnits{2, 0, 0}));
+
+  // With expensive function nodes the fn branch wins.
+  r = g.critical_path(1.0, 5.0);
+  EXPECT_DOUBLE_EQ(r.delay, 5.0);
+  EXPECT_EQ(r.units, (DelayUnits{0, 1, 0}));
+}
+
+TEST(DelayGraph, IgnoresNoNodePreds) {
+  DelayGraph g;
+  auto s = g.add_source();
+  auto a = g.add_node({1, 0, 0}, {s, DelayGraph::kNoNode});
+  (void)a;
+  EXPECT_DOUBLE_EQ(g.critical_path(1.0, 1.0).delay, 1.0);
+}
+
+TEST(DelayGraph, ForwardEdgesRejected) {
+  DelayGraph g;
+  auto s = g.add_source();
+  (void)s;
+  EXPECT_THROW(g.add_node({}, {5}), bnb::contract_violation);
+}
+
+TEST(DelayGraph, AdderUnitsCounted) {
+  DelayGraph g;
+  auto s = g.add_source();
+  auto a = g.add_node({0, 0, 4}, {s});
+  (void)a;
+  const auto r = g.critical_path(1.0, 1.0, 2.5);
+  EXPECT_DOUBLE_EQ(r.delay, 10.0);
+  EXPECT_EQ(r.units.add, 4U);
+}
+
+TEST(DelayGraph, WideFanInTakesMax) {
+  DelayGraph g;
+  std::vector<DelayGraph::NodeId> preds;
+  for (int i = 0; i < 10; ++i) {
+    auto s = g.add_source();
+    preds.push_back(g.add_node({static_cast<std::uint64_t>(i), 0, 0}, {s}));
+  }
+  auto join = g.add_node({0, 1, 0}, preds);
+  (void)join;
+  const auto r = g.critical_path(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.delay, 10.0);  // 9 sw + 1 fn
+  EXPECT_EQ(r.units, (DelayUnits{9, 1, 0}));
+}
+
+}  // namespace
+}  // namespace bnb::sim

@@ -1,0 +1,101 @@
+// Destination-tag self-routing is blocking (references [7][8]) — the
+// motivation for the BNB network.
+#include "baselines/destination_tag.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "perm/generators.hpp"
+
+namespace bnb {
+namespace {
+
+TEST(OmegaDtag, IdentityRoutesConflictFree) {
+  for (const unsigned m : {2U, 4U, 6U, 8U}) {
+    const OmegaNetwork net(m);
+    const auto r = net.route(identity_perm(net.inputs()));
+    EXPECT_TRUE(r.conflict_free) << "m=" << m;
+    EXPECT_EQ(r.conflicts, 0U);
+    EXPECT_EQ(r.delivered, net.inputs());
+  }
+}
+
+TEST(OmegaDtag, UniformShiftsRouteConflictFree) {
+  // Rotations are in the Omega-admissible class (Lawrie).
+  const OmegaNetwork net(6);
+  for (std::size_t k = 0; k < 64; ++k) {
+    EXPECT_TRUE(net.route(rotation_perm(64, k)).conflict_free) << "k=" << k;
+  }
+}
+
+TEST(OmegaDtag, TransposeBlocks) {
+  // The classic Omega blocker: matrix transpose.
+  const OmegaNetwork net(6);
+  const auto r = net.route(transpose_perm(64));
+  EXPECT_FALSE(r.conflict_free);
+  EXPECT_GT(r.conflicts, 0U);
+  EXPECT_LT(r.delivered, 64U);
+}
+
+TEST(OmegaDtag, SomePermutationIsAlwaysBlockedForM2Plus) {
+  // Count over all 4! permutations at N = 4: Omega admits exactly
+  // N^{N/2} = 16 of the 24 (each switch-setting vector realizes a distinct
+  // permutation), so 8 must block.
+  const OmegaNetwork net(2);
+  Permutation pi(4);
+  std::size_t ok = 0;
+  std::size_t total = 0;
+  do {
+    if (net.route(pi).conflict_free) ++ok;
+    ++total;
+  } while (pi.next_lexicographic());
+  EXPECT_EQ(total, 24U);
+  EXPECT_EQ(ok, 16U);
+}
+
+TEST(OmegaDtag, RandomPermutationsMostlyBlockAtScale) {
+  Rng rng(81);
+  const OmegaNetwork net(8);
+  std::size_t blocked = 0;
+  for (int round = 0; round < 50; ++round) {
+    if (!net.route(random_perm(256, rng)).conflict_free) ++blocked;
+  }
+  // With 256 lines a uniform permutation is overwhelmingly likely to block.
+  EXPECT_GT(blocked, 45U);
+}
+
+TEST(BaselineDtag, BitReversalRoutesConflictFree) {
+  // The baseline network's admissible class contains bit-reversal
+  // (it is the inverse-Omega class of the same order).
+  const BaselineDtagNetwork net(6);
+  EXPECT_TRUE(net.route(bit_reversal_perm(64)).conflict_free);
+}
+
+TEST(BaselineDtag, IdentityBlocks) {
+  // Unlike Omega, the plain baseline network cannot even route identity:
+  // adjacent inputs share their MSB and collide in stage 0.
+  const BaselineDtagNetwork net(4);
+  const auto r = net.route(identity_perm(16));
+  EXPECT_FALSE(r.conflict_free);
+  EXPECT_GT(r.conflicts, 0U);
+}
+
+TEST(BaselineDtag, AdmitsSameCountAsOmegaAtN4) {
+  // Both networks have 4 switches at N = 4 -> 16 admissible permutations.
+  const BaselineDtagNetwork net(2);
+  Permutation pi(4);
+  std::size_t ok = 0;
+  do {
+    if (net.route(pi).conflict_free) ++ok;
+  } while (pi.next_lexicographic());
+  EXPECT_EQ(ok, 16U);
+}
+
+TEST(Dtag, CensusIsMLogStages) {
+  EXPECT_EQ(OmegaNetwork(6).census(0).switches_2x2, 6ULL * 32 * 6);
+  EXPECT_EQ(BaselineDtagNetwork(6).census(2).switches_2x2, 6ULL * 32 * 8);
+}
+
+}  // namespace
+}  // namespace bnb

@@ -1,0 +1,103 @@
+// Differential fuzzing: all BNB models and all baselines must agree on the
+// exact output placement for the same word stream, across many random
+// sizes and seeds.  Any divergence between the behavioral router, the
+// element simulator, the bit-sliced machine, the gate netlist and the
+// comparison networks is a bug in one of them.
+#include <gtest/gtest.h>
+
+#include "baselines/batcher.hpp"
+#include "baselines/benes.hpp"
+#include "baselines/bitonic.hpp"
+#include "baselines/cellular.hpp"
+#include "baselines/crossbar.hpp"
+#include "baselines/koppelman.hpp"
+#include "common/rng.hpp"
+#include "core/bit_sliced.hpp"
+#include "core/bnb_netlist.hpp"
+#include "core/bnb_network.hpp"
+#include "core/element_sim.hpp"
+#include "core/gate_network.hpp"
+#include "perm/generators.hpp"
+
+namespace bnb {
+namespace {
+
+TEST(Differential, AllBnbModelsAgreeOnDest) {
+  Rng rng(0xD1FF);
+  for (int round = 0; round < 60; ++round) {
+    const unsigned m = 1 + static_cast<unsigned>(rng.below(6));  // N = 2..64
+    const std::size_t n = std::size_t{1} << m;
+    const Permutation pi = random_perm(n, rng);
+
+    const BnbNetwork behavioral(m);
+    const BnbElementSim element(m);
+    const BitSlicedBnb sliced(m, 8);
+    const GateLevelBnb gates(m);
+
+    const auto b = behavioral.route(pi);
+    const auto e = element.route(pi);
+    ASSERT_TRUE(b.self_routed);
+    ASSERT_EQ(b.dest, e.dest) << "m=" << m << " " << pi.to_string();
+
+    const auto s = sliced.route(pi);
+    ASSERT_TRUE(s.self_routed) << "m=" << m;
+    const auto g = gates.route(pi);
+    ASSERT_TRUE(g.self_routed) << "m=" << m;
+    for (std::size_t line = 0; line < n; ++line) {
+      ASSERT_EQ(s.outputs[line].address, b.outputs[line].address);
+      ASSERT_EQ(g.output_addresses[line], b.outputs[line].address);
+    }
+  }
+}
+
+TEST(Differential, AllNetworksAgreeOnWordPlacement) {
+  Rng rng(0xD2FF);
+  for (int round = 0; round < 40; ++round) {
+    const unsigned m = 2 + static_cast<unsigned>(rng.below(5));  // N = 4..64
+    const std::size_t n = std::size_t{1} << m;
+    const Permutation pi = random_perm(n, rng);
+    std::vector<Word> words(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      words[j] = Word{pi(j), rng.next() & 0xFFULL};
+    }
+
+    const auto reference = Crossbar(n).route_words(words).outputs;
+    ASSERT_EQ(BnbNetwork(m).route_words(words).outputs, reference) << "m=" << m;
+    ASSERT_EQ(BatcherNetwork(m).route_words(words).outputs, reference);
+    ASSERT_EQ(BitonicNetwork(m).route_words(words).outputs, reference);
+    ASSERT_EQ(BenesNetwork(m).route_words(words).outputs, reference);
+    ASSERT_EQ(KoppelmanSrpn(m).route_words(words).outputs, reference);
+    ASSERT_EQ(CellularArray(n).route_words(words).outputs, reference);
+  }
+}
+
+TEST(Differential, RepeatedRoutingIsIdempotent) {
+  // Routing the already-delivered words (address == line) must be the
+  // identity on every network.
+  Rng rng(0xD3FF);
+  const unsigned m = 5;
+  const std::size_t n = 32;
+  const Permutation pi = random_perm(n, rng);
+  const BnbNetwork net(m);
+  const auto first = net.route(pi);
+  ASSERT_TRUE(first.self_routed);
+  const auto second = net.route_words(first.outputs);
+  ASSERT_TRUE(second.self_routed);
+  EXPECT_EQ(second.outputs, first.outputs);
+}
+
+TEST(Differential, SettleTimesAgreeBetweenModels) {
+  // Element-sim settle time vs delay-graph critical path, computed by two
+  // unrelated code paths.
+  Rng rng(0xD4FF);
+  for (const unsigned m : {2U, 4U, 6U, 8U}) {
+    const BnbElementSim element(m);
+    const auto sim_result = element.route(random_perm(std::size_t{1} << m, rng), 1.7, 3.1);
+    const auto graph_result =
+        BnbNetlist(m, 0).critical_path(1.7, 3.1);
+    EXPECT_DOUBLE_EQ(sim_result.settle_time, graph_result.delay) << "m=" << m;
+  }
+}
+
+}  // namespace
+}  // namespace bnb

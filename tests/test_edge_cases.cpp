@@ -1,0 +1,124 @@
+// Edge cases and cross-module invariants not covered by the per-module
+// suites: minimal sizes, API contracts, and equalities between independent
+// implementations.
+#include <gtest/gtest.h>
+
+#include "baselines/benes.hpp"
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+#include "core/activity.hpp"
+#include "core/bnb_netlist.hpp"
+#include "core/bnb_network.hpp"
+#include "core/complexity.hpp"
+#include "core/element_sim.hpp"
+#include "fabric/staged_router.hpp"
+#include "perm/generators.hpp"
+
+namespace bnb {
+namespace {
+
+TEST(EdgeCases, SmallestNetworkEverywhere) {
+  // m = 1 (N = 2): one sp(1), pure wiring logic.
+  const Permutation swap12({1, 0});
+  EXPECT_TRUE(BnbNetwork(1).route(swap12).self_routed);
+  EXPECT_TRUE(BnbElementSim(1).route(swap12).self_routed);
+  EXPECT_EQ(BnbNetlist(1, 0).census().switches_2x2, 1U);
+  EXPECT_EQ(BnbNetlist(1, 0).census().function_nodes, 0U);
+  const auto path = BnbNetlist(1, 0).critical_path(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(path.delay, 1.0);  // one switch, no arbiters
+}
+
+TEST(EdgeCases, NestedOfIdentifiesBlocks) {
+  const BnbNetwork net(4);
+  EXPECT_EQ(net.nested_of(0, 13).box, 0U);
+  EXPECT_EQ(net.nested_of(1, 13).box, 1U);   // blocks of 8
+  EXPECT_EQ(net.nested_of(2, 13).box, 3U);   // blocks of 4
+  EXPECT_EQ(net.nested_of(3, 13).box, 6U);   // blocks of 2
+  EXPECT_EQ(net.nested_of(3, 13).offset, 1U);
+}
+
+TEST(EdgeCases, WaksmanSetupOpsComparableToPlain) {
+  // The optimization changes the cycle start order, which reshapes the
+  // sub-permutations at deeper recursion levels — op counts differ a
+  // little, but the work is the same order.
+  Rng rng(991);
+  const Permutation pi = random_perm(256, rng);
+  const auto plain = BenesNetwork(8, false).set_up(pi).setup_ops;
+  const auto waksman = BenesNetwork(8, true).set_up(pi).setup_ops;
+  EXPECT_GT(waksman, plain * 9 / 10);
+  EXPECT_LT(waksman, plain * 11 / 10);
+}
+
+TEST(EdgeCases, ElementSimFaultsInDeepStages) {
+  // Faults in later main stages and inner nested stages are honored too.
+  const BnbElementSim sim(4);
+  Rng rng(992);
+  Fault f;
+  f.site.kind = FaultSite::Kind::kSwitchControl;
+  f.site.main_stage = 2;   // NB blocks of 4
+  f.site.nested_stage = 1; // its sp(1) column
+  f.site.box = 5;
+  f.site.index = 0;
+  f.stuck_value = true;
+  bool any_misroute = false;
+  for (int round = 0; round < 60; ++round) {
+    const Permutation pi = random_perm(16, rng);
+    if (!sim.route_with_faults(pi, std::span<const Fault>(&f, 1)).self_routed) {
+      any_misroute = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_misroute);
+}
+
+TEST(EdgeCases, ActivityIdentityVsReversalSymmetry) {
+  // Reversal complements every address bit of identity, so each splitter
+  // sees complemented inputs; exchange counts may differ, but the fabric
+  // size and stage structure are identical.
+  const auto id = measure_activity(5, identity_perm(32));
+  const auto rev = measure_activity(5, reversal_perm(32));
+  EXPECT_EQ(id.switches_per_pass, rev.switches_per_pass);
+  EXPECT_EQ(id.exchanges_per_main_stage.size(), rev.exchanges_per_main_stage.size());
+}
+
+TEST(EdgeCases, StagedRouterRejectsOverstepping) {
+  const StagedBnbRouter router(2);
+  std::vector<Word> words(4);
+  for (std::size_t j = 0; j < 4; ++j) words[j] = Word{static_cast<std::uint32_t>(j), 0};
+  auto job = router.start(words);
+  while (!router.finished(job)) router.step(job);
+  EXPECT_THROW(router.step(job), contract_violation);
+}
+
+TEST(EdgeCases, RouteWordsToleratesArbitraryPayloadBits) {
+  // The behavioral model carries 64-bit payloads regardless of m.
+  const BnbNetwork net(2);
+  std::vector<Word> words(4);
+  const Permutation pi({2, 3, 0, 1});
+  for (std::size_t j = 0; j < 4; ++j) words[j] = Word{pi(j), ~std::uint64_t{0} - j};
+  const auto r = net.route_words(words);
+  ASSERT_TRUE(r.self_routed);
+  for (std::size_t line = 0; line < 4; ++line) {
+    EXPECT_EQ(r.outputs[line].payload, ~std::uint64_t{0} - pi.inverse()(line));
+  }
+}
+
+TEST(EdgeCases, ComplexityModelsRejectTinyOrHugeInput) {
+  EXPECT_THROW((void)model::bnb_cost_exact(1, 0), contract_violation);
+  EXPECT_THROW((void)model::bnb_delay(3), contract_violation);
+  EXPECT_THROW((void)model::batcher_delay(6), contract_violation);
+}
+
+TEST(EdgeCases, TraceKeepsFirstStageEqualToInputs) {
+  Rng rng(993);
+  const BnbNetwork net(5);
+  const Permutation pi = random_perm(32, rng);
+  const auto r = net.route(pi, true);
+  ASSERT_EQ(r.stage_words.size(), 5U);
+  for (std::size_t j = 0; j < 32; ++j) {
+    EXPECT_EQ(r.stage_words[0][j].address, pi(j));
+  }
+}
+
+}  // namespace
+}  // namespace bnb

@@ -1,0 +1,206 @@
+// Value-level element simulation: equivalence with the behavioral router,
+// Eq. 9 settle times, and stuck-at fault behavior.
+#include "core/element_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "core/bnb_network.hpp"
+#include "core/complexity.hpp"
+#include "perm/classes.hpp"
+#include "perm/generators.hpp"
+
+namespace bnb {
+namespace {
+
+TEST(ElementSim, ExhaustiveN4MatchesBehavioral) {
+  const BnbElementSim sim(2);
+  const BnbNetwork net(2);
+  Permutation pi(4);
+  do {
+    const auto gate = sim.route(pi);
+    const auto behav = net.route(pi);
+    ASSERT_TRUE(gate.self_routed) << pi.to_string();
+    ASSERT_EQ(gate.dest, behav.dest) << pi.to_string();
+  } while (pi.next_lexicographic());
+}
+
+TEST(ElementSim, ExhaustiveN8MatchesBehavioral) {
+  const BnbElementSim sim(3);
+  const BnbNetwork net(3);
+  Permutation pi(8);
+  do {
+    ASSERT_EQ(sim.route(pi).dest, net.route(pi).dest) << pi.to_string();
+  } while (pi.next_lexicographic());
+}
+
+TEST(ElementSim, RandomLargeMatchesBehavioral) {
+  Rng rng(121);
+  for (const unsigned m : {5U, 8U, 11U}) {
+    const BnbElementSim sim(m);
+    const BnbNetwork net(m);
+    for (int round = 0; round < 5; ++round) {
+      const Permutation pi = random_perm(std::size_t{1} << m, rng);
+      const auto gate = sim.route(pi);
+      EXPECT_TRUE(gate.self_routed);
+      EXPECT_EQ(gate.dest, net.route(pi).dest);
+    }
+  }
+}
+
+TEST(ElementSim, SettleTimeEqualsEq9) {
+  Rng rng(122);
+  for (const unsigned m : {1U, 3U, 5U, 7U, 9U}) {
+    const BnbElementSim sim(m);
+    const Permutation pi = random_perm(std::size_t{1} << m, rng);
+    const auto r = sim.route(pi, 1.0, 1.0);
+    const auto d = model::bnb_delay(pow2(m));
+    EXPECT_DOUBLE_EQ(r.settle_time, static_cast<double>(d.sw + d.fn)) << "m=" << m;
+  }
+}
+
+TEST(ElementSim, SettleTimeIsDataIndependent) {
+  // Signals always propagate through every element; the slowest output is
+  // structural, not data-dependent.
+  const BnbElementSim sim(6);
+  double first = -1;
+  for (const auto f : all_perm_families()) {
+    const auto r = sim.route(make_perm(f, 64, 3), 1.5, 2.5);
+    if (first < 0) first = r.settle_time;
+    EXPECT_DOUBLE_EQ(r.settle_time, first) << perm_family_name(f);
+  }
+}
+
+TEST(ElementSim, ElementsEvaluatedMatchesCensusPlusDownNodes) {
+  // Up pass touches every fn node once, down pass once more (the root's
+  // echo counts as its down evaluation); each switch evaluates once.
+  const unsigned m = 5;
+  const BnbElementSim sim(m);
+  const auto r = sim.route(identity_perm(32));
+  const auto cost = model::bnb_cost_exact(32, 0);
+  std::uint64_t control_switches = 0;
+  for (unsigned i = 0; i < m; ++i) control_switches += (pow2(m) / 2) * (m - i);
+  EXPECT_EQ(r.elements_evaluated, 2 * cost.fn + control_switches);
+}
+
+TEST(ElementSim, FaultSiteEnumerationCountsMatchStructure) {
+  const unsigned m = 3;
+  const BnbElementSim sim(m);
+  const auto sites = sim.all_fault_sites();
+  // Count by hand: for each sp(p): (2^p - 1) up + 2^p flags (p >= 2) +
+  // 2^{p-1} switches.
+  std::uint64_t expect = 0;
+  for (unsigned i = 0; i < m; ++i) {
+    for (unsigned j = 0; j < m - i; ++j) {
+      const unsigned p = m - i - j;
+      const std::uint64_t boxes = pow2(m) / pow2(p);
+      if (p >= 2) expect += boxes * ((pow2(p) - 1) + pow2(p));
+      expect += boxes * pow2(p - 1);
+    }
+  }
+  EXPECT_EQ(sites.size(), expect);
+}
+
+TEST(ElementSim, StuckControlFaultMisroutesSomePermutation) {
+  const BnbElementSim sim(3);
+  Fault f;
+  f.site.kind = FaultSite::Kind::kSwitchControl;
+  f.site.main_stage = 0;
+  f.site.nested_stage = 0;
+  f.site.box = 0;
+  f.site.index = 0;
+  f.stuck_value = true;  // switch frozen to "exchange"
+
+  // Some permutation must be misrouted by a frozen switch.
+  Permutation pi(8);
+  bool any_misroute = false;
+  do {
+    const auto r = sim.route_with_faults(pi, std::span<const Fault>(&f, 1));
+    if (!r.self_routed) {
+      any_misroute = true;
+      break;
+    }
+  } while (pi.next_lexicographic());
+  EXPECT_TRUE(any_misroute);
+}
+
+TEST(ElementSim, Type1PairToleratesEitherStuckControl) {
+  // Identity traffic makes switch 0's pair type-1 at stage 0 (equal MSBs):
+  // exchanging two words with the same sorted bit cannot break radix sort,
+  // so BOTH stuck polarities are harmless — a genuine robustness property
+  // of the design.
+  const BnbElementSim sim(3);
+  const Permutation pi = identity_perm(8);
+  for (const bool v : {false, true}) {
+    Fault f;
+    f.site.kind = FaultSite::Kind::kSwitchControl;
+    f.stuck_value = v;
+    EXPECT_TRUE(
+        sim.route_with_faults(pi, std::span<const Fault>(&f, 1)).self_routed);
+  }
+}
+
+TEST(ElementSim, Type2PairHasExactlyOneHarmlessStuckControl) {
+  // Make switch 0's pair type-2 at stage 0: addresses 0 (MSB 0) and 4
+  // (MSB 1).  The correct control is forced; the opposite polarity breaks
+  // the bit balance and must misroute.
+  const BnbElementSim sim(3);
+  const Permutation pi({0, 4, 1, 2, 3, 5, 6, 7});
+  int harmless = 0;
+  for (const bool v : {false, true}) {
+    Fault f;
+    f.site.kind = FaultSite::Kind::kSwitchControl;
+    f.stuck_value = v;
+    if (sim.route_with_faults(pi, std::span<const Fault>(&f, 1)).self_routed) {
+      ++harmless;
+    }
+  }
+  EXPECT_EQ(harmless, 1);
+}
+
+TEST(ElementSim, ArbiterUpFaultCanBreakBalance) {
+  // A stuck z_u in the first splitter corrupts flag pairing; at least one
+  // permutation must misroute.
+  const BnbElementSim sim(3);
+  Fault f;
+  f.site.kind = FaultSite::Kind::kArbiterUp;
+  f.site.index = 1;  // root of the sp(3) arbiter
+  f.stuck_value = true;
+
+  Rng rng(123);
+  bool any_misroute = false;
+  for (int round = 0; round < 50; ++round) {
+    const Permutation pi = random_perm(8, rng);
+    if (!sim.route_with_faults(pi, std::span<const Fault>(&f, 1)).self_routed) {
+      any_misroute = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_misroute);
+}
+
+TEST(ElementSim, MultipleFaultsCompose) {
+  const BnbElementSim sim(4);
+  std::vector<Fault> faults(2);
+  faults[0].site.kind = FaultSite::Kind::kSwitchControl;
+  faults[0].site.main_stage = 0;
+  faults[0].stuck_value = true;
+  faults[1].site.kind = FaultSite::Kind::kSwitchControl;
+  faults[1].site.main_stage = 1;
+  faults[1].stuck_value = false;
+  Rng rng(124);
+  // The run must complete and be well-defined (dest is a bijection) even
+  // when the network misroutes.
+  const Permutation pi = random_perm(16, rng);
+  const auto r = sim.route_with_faults(pi, faults);
+  std::vector<bool> hit(16, false);
+  for (const auto d : r.dest) {
+    ASSERT_LT(d, 16U);
+    ASSERT_FALSE(hit[d]);
+    hit[d] = true;
+  }
+}
+
+}  // namespace
+}  // namespace bnb

@@ -1,0 +1,151 @@
+// Event-driven gate simulation: final-state equivalence with the levelized
+// evaluator, settle bounds, and glitch observation.
+#include "sim/event_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+#include "core/arbiter.hpp"
+#include "core/gate_network.hpp"
+#include "perm/generators.hpp"
+
+namespace bnb::sim {
+namespace {
+
+TEST(EventSim, ChainPropagatesWithAccumulatedDelay) {
+  GateNetlist net;
+  const auto a = net.add_input();
+  auto x = net.add_not(a);
+  x = net.add_not(x);
+  x = net.add_not(x);
+  const EventSimulator sim(net, EventSimulator::uniform_delays(net, 2.0));
+  const auto r = sim.run_transition({false}, {true});
+  EXPECT_EQ(r.values, net.evaluate({true}));
+  EXPECT_DOUBLE_EQ(r.settle_time, 6.0);  // three gates at 2.0 each
+  EXPECT_EQ(r.transitions, 4U);          // input + 3 gates
+  EXPECT_EQ(r.glitches, 0U);             // a chain cannot glitch
+}
+
+TEST(EventSim, NoInputChangeNoEvents) {
+  GateNetlist net;
+  const auto a = net.add_input();
+  net.add_not(a);
+  const EventSimulator sim(net, EventSimulator::uniform_delays(net, 1.0));
+  const auto r = sim.run_transition({true}, {true});
+  EXPECT_EQ(r.transitions, 0U);
+  EXPECT_DOUBLE_EQ(r.settle_time, 0.0);
+}
+
+TEST(EventSim, EqualDelayReconvergenceIsPulseFree) {
+  // y = AND(a, NOT a) with EQUAL delays: the would-be pulse has zero
+  // width, and the coalesced (inertial-style) model suppresses it — the
+  // AND re-evaluates at t=1 after the inverter's same-instant update.
+  GateNetlist net;
+  const auto a = net.add_input();
+  const auto na = net.add_not(a);
+  const auto y = net.add_and(a, na);
+  (void)na;
+  const EventSimulator sim(net, EventSimulator::uniform_delays(net, 1.0));
+  const auto r = sim.run_transition({false}, {true});
+  EXPECT_FALSE(r.values[y]);  // statically 0
+  EXPECT_EQ(r.glitches, 0U);  // zero-width pulse filtered
+}
+
+TEST(EventSim, GlitchWidthTracksPathSkew) {
+  // Slower inverter -> wider pulse -> later settle.
+  GateNetlist net;
+  const auto a = net.add_input();
+  const auto na = net.add_not(a);
+  const auto y = net.add_and(a, na);
+  (void)y;
+  std::vector<double> delays(net.gate_count(), 0.0);
+  delays[na] = 5.0;
+  delays[y] = 1.0;
+  const EventSimulator sim(net, delays);
+  const auto r = sim.run_transition({false}, {true});
+  EXPECT_DOUBLE_EQ(r.settle_time, 6.0);  // 5 (NOT) + 1 (AND)
+  EXPECT_EQ(r.glitches, 2U);
+}
+
+TEST(EventSim, MatchesLevelizedOnRandomNetlists) {
+  Rng rng(221);
+  for (int round = 0; round < 20; ++round) {
+    GateNetlist net;
+    std::vector<GateNetlist::GateId> pool;
+    const std::size_t n_inputs = 3 + rng.below(5);
+    for (std::size_t i = 0; i < n_inputs; ++i) pool.push_back(net.add_input());
+    for (int g = 0; g < 40; ++g) {
+      const auto a = pool[rng.below(pool.size())];
+      const auto b = pool[rng.below(pool.size())];
+      switch (rng.below(5)) {
+        case 0: pool.push_back(net.add_and(a, b)); break;
+        case 1: pool.push_back(net.add_or(a, b)); break;
+        case 2: pool.push_back(net.add_xor(a, b)); break;
+        case 3: pool.push_back(net.add_not(a)); break;
+        default: {
+          const auto c = pool[rng.below(pool.size())];
+          pool.push_back(net.add_mux(a, b, c));
+          break;
+        }
+      }
+    }
+    const EventSimulator sim(net, EventSimulator::uniform_delays(net, 1.0));
+    std::vector<bool> from(n_inputs), to(n_inputs);
+    for (std::size_t i = 0; i < n_inputs; ++i) {
+      from[i] = rng.flip();
+      to[i] = rng.flip();
+    }
+    const auto r = sim.run_transition(from, to);
+    EXPECT_EQ(r.values, net.evaluate(to)) << "round " << round;
+    EXPECT_LE(r.settle_time, static_cast<double>(net.depth()));
+  }
+}
+
+TEST(EventSim, ArbiterSettlesWithinTreeDepth) {
+  const Arbiter arb(4);
+  GateNetlist net;
+  std::vector<GateNetlist::GateId> input_ids(16);
+  for (auto& id : input_ids) id = net.add_input();
+  (void)arb.build_gates(net, input_ids);
+
+  const EventSimulator sim(net, EventSimulator::uniform_delays(net, 1.0));
+  Rng rng(222);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<bool> from(16), to(16);
+    for (int i = 0; i < 16; ++i) {
+      from[i] = rng.flip();
+      to[i] = rng.flip();
+    }
+    const auto r = sim.run_transition(from, to);
+    EXPECT_EQ(r.values, net.evaluate(to));
+    EXPECT_LE(r.settle_time, static_cast<double>(net.depth()));
+  }
+}
+
+TEST(EventSim, FullBnbNetlistRoutesByEvents) {
+  // Drive the complete N=8 gate network from one permutation's stable
+  // state to another by events only; the decoded outputs must self-route.
+  const GateLevelBnb gates(3);
+  const EventSimulator sim(gates.netlist(),
+                           EventSimulator::uniform_delays(gates.netlist(), 1.0));
+  Rng rng(223);
+  const Permutation from = identity_perm(8);
+  for (int round = 0; round < 10; ++round) {
+    const Permutation to = random_perm(8, rng);
+    const auto r = sim.run_transition(gates.input_vector(from), gates.input_vector(to));
+    const auto decoded = gates.decode_outputs(r.values);
+    EXPECT_TRUE(decoded.self_routed) << to.to_string();
+    EXPECT_LE(r.settle_time, static_cast<double>(gates.depth()));
+    EXPECT_GT(r.transitions, 0U);
+  }
+}
+
+TEST(EventSim, DelayVectorSizeChecked) {
+  GateNetlist net;
+  net.add_input();
+  EXPECT_THROW(EventSimulator(net, std::vector<double>{}), bnb::contract_violation);
+}
+
+}  // namespace
+}  // namespace bnb::sim

@@ -1,0 +1,82 @@
+// Fig. 5: the arbiter function node.  Verifies the behavioral truth
+// function, the gate-level realization, and their equivalence.
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+#include "core/arbiter.hpp"
+#include "sim/gates.hpp"
+
+namespace bnb {
+namespace {
+
+TEST(FunctionNode, Type1PairGeneratesFlagsItself) {
+  // Rule 2: XOR of inputs is 0 -> y1 = 0, y2 = 1 regardless of z_d.
+  for (const unsigned x : {0U, 1U}) {
+    for (const unsigned zd : {0U, 1U}) {
+      const auto out = function_node(x, x, zd);
+      EXPECT_EQ(out.z_u, 0U);
+      EXPECT_EQ(out.y1, 0U);
+      EXPECT_EQ(out.y2, 1U);
+    }
+  }
+}
+
+TEST(FunctionNode, Type2PairForwardsParentFlag) {
+  // Rule 3: XOR of inputs is 1 -> both children receive z_d.
+  for (const unsigned zd : {0U, 1U}) {
+    for (const auto& [x1, x2] : {std::pair{0U, 1U}, std::pair{1U, 0U}}) {
+      const auto out = function_node(x1, x2, zd);
+      EXPECT_EQ(out.z_u, 1U);
+      EXPECT_EQ(out.y1, zd);
+      EXPECT_EQ(out.y2, zd);
+    }
+  }
+}
+
+TEST(FunctionNode, SendsUpXor) {
+  EXPECT_EQ(function_node(0, 0, 0).z_u, 0U);
+  EXPECT_EQ(function_node(0, 1, 0).z_u, 1U);
+  EXPECT_EQ(function_node(1, 0, 1).z_u, 1U);
+  EXPECT_EQ(function_node(1, 1, 1).z_u, 0U);
+}
+
+TEST(FunctionNode, RejectsNonBits) {
+  EXPECT_THROW((void)function_node(2, 0, 0), contract_violation);
+  EXPECT_THROW((void)function_node(0, 2, 0), contract_violation);
+  EXPECT_THROW((void)function_node(0, 0, 2), contract_violation);
+}
+
+TEST(FunctionNode, GateLevelMatchesBehavioralOnAllInputs) {
+  sim::GateNetlist net;
+  const auto x1 = net.add_input("x1");
+  const auto x2 = net.add_input("x2");
+  const auto zd = net.add_input("z_d");
+  const auto node = build_function_node(net, x1, x2, zd);
+
+  for (const unsigned vx1 : {0U, 1U}) {
+    for (const unsigned vx2 : {0U, 1U}) {
+      for (const unsigned vzd : {0U, 1U}) {
+        const auto values = net.evaluate({vx1 != 0, vx2 != 0, vzd != 0});
+        const auto expect = function_node(vx1, vx2, vzd);
+        EXPECT_EQ(values[node.z_u], expect.z_u != 0);
+        EXPECT_EQ(values[node.y1], expect.y1 != 0);
+        EXPECT_EQ(values[node.y2], expect.y2 != 0);
+      }
+    }
+  }
+}
+
+TEST(FunctionNode, GateLevelIsFewGates) {
+  // The paper stresses the node "consists of few gates"; ours uses 4
+  // (XOR, AND, NOT, OR) at depth 2 — one D_FN in the element model.
+  sim::GateNetlist net;
+  const auto x1 = net.add_input();
+  const auto x2 = net.add_input();
+  const auto zd = net.add_input();
+  build_function_node(net, x1, x2, zd);
+  EXPECT_LE(net.logic_gate_count(), 4U);
+  EXPECT_LE(net.depth(), 2U);
+}
+
+}  // namespace
+}  // namespace bnb

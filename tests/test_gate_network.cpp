@@ -1,0 +1,88 @@
+// Full gate-level BNB network: boolean-gate routing equals the behavioral
+// router, and the netlist's shape matches the element accounting.
+#include "core/gate_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "core/bnb_network.hpp"
+#include "core/complexity.hpp"
+#include "perm/classes.hpp"
+#include "perm/generators.hpp"
+
+namespace bnb {
+namespace {
+
+TEST(GateLevelBnb, ExhaustiveN4) {
+  const GateLevelBnb gates(2);
+  Permutation pi(4);
+  do {
+    const auto r = gates.route(pi);
+    ASSERT_TRUE(r.self_routed) << pi.to_string();
+  } while (pi.next_lexicographic());
+}
+
+TEST(GateLevelBnb, ExhaustiveN8MatchesBehavioralOutputs) {
+  const GateLevelBnb gates(3);
+  const BnbNetwork net(3);
+  Permutation pi(8);
+  do {
+    const auto g = gates.route(pi);
+    const auto b = net.route(pi);
+    ASSERT_TRUE(g.self_routed) << pi.to_string();
+    for (std::size_t line = 0; line < 8; ++line) {
+      ASSERT_EQ(g.output_addresses[line], b.outputs[line].address);
+    }
+  } while (pi.next_lexicographic());
+}
+
+TEST(GateLevelBnb, RandomN64AndFamilies) {
+  const GateLevelBnb gates(6);
+  Rng rng(161);
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_TRUE(gates.route(random_perm(64, rng)).self_routed);
+  }
+  for (const auto f : all_perm_families()) {
+    EXPECT_TRUE(gates.route(make_perm(f, 64, 4)).self_routed)
+        << perm_family_name(f);
+  }
+}
+
+TEST(GateLevelBnb, GateCountDecomposes) {
+  // Logic gates = 4 per function node (Fig. 5) + 1 XOR per switch (the
+  // setting) + 2 MUX per switch per address slice, except sp(1) switches
+  // whose flag input is a shared constant (the XOR still exists).
+  for (const unsigned m : {2U, 3U, 4U, 5U}) {
+    const GateLevelBnb gates(m);
+    const std::uint64_t N = pow2(m);
+    const auto cost = model::bnb_cost_exact(N, 0);
+    std::uint64_t control_switches = 0;
+    for (unsigned i = 0; i < m; ++i) control_switches += (N / 2) * (m - i);
+    const std::uint64_t expected =
+        4 * cost.fn + control_switches * (1 + 2ULL * m);
+    EXPECT_EQ(gates.logic_gate_count(), expected) << "m=" << m;
+  }
+}
+
+TEST(GateLevelBnb, DepthTracksEq9Scale) {
+  // Each D_FN element is 2 gate levels, each switch 1 MUX level, plus the
+  // per-switch setting XOR.  The netlist depth must stay within the
+  // element-model bounds: between (sw + fn) and (sw*2 + fn*2).
+  for (const unsigned m : {2U, 4U, 6U}) {
+    const GateLevelBnb gates(m);
+    const auto d = model::bnb_delay(pow2(m));
+    const std::size_t depth = gates.depth();
+    EXPECT_GE(depth, d.sw + d.fn) << "m=" << m;
+    EXPECT_LE(depth, 2 * (d.sw + d.fn) + 1) << "m=" << m;
+  }
+}
+
+TEST(GateLevelBnb, InputSizeChecked) {
+  const GateLevelBnb gates(3);
+  EXPECT_THROW((void)gates.route(Permutation(4)), contract_violation);
+}
+
+}  // namespace
+}  // namespace bnb

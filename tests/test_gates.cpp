@@ -1,0 +1,94 @@
+#include "sim/gates.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+
+namespace bnb::sim {
+namespace {
+
+TEST(Gates, PrimitivesTruthTables) {
+  GateNetlist net;
+  const auto a = net.add_input("a");
+  const auto b = net.add_input("b");
+  const auto g_not = net.add_not(a);
+  const auto g_and = net.add_and(a, b);
+  const auto g_or = net.add_or(a, b);
+  const auto g_xor = net.add_xor(a, b);
+  const auto g_nand = net.add_nand(a, b);
+  const auto g_nor = net.add_nor(a, b);
+  const auto g_xnor = net.add_xnor(a, b);
+
+  for (const bool va : {false, true}) {
+    for (const bool vb : {false, true}) {
+      const auto v = net.evaluate({va, vb});
+      EXPECT_EQ(v[g_not], !va);
+      EXPECT_EQ(v[g_and], va && vb);
+      EXPECT_EQ(v[g_or], va || vb);
+      EXPECT_EQ(v[g_xor], va != vb);
+      EXPECT_EQ(v[g_nand], !(va && vb));
+      EXPECT_EQ(v[g_nor], !(va || vb));
+      EXPECT_EQ(v[g_xnor], va == vb);
+    }
+  }
+}
+
+TEST(Gates, MuxSelects) {
+  GateNetlist net;
+  const auto s = net.add_input();
+  const auto a = net.add_input();
+  const auto b = net.add_input();
+  const auto m = net.add_mux(s, a, b);
+  EXPECT_TRUE(net.evaluate({false, true, false})[m]);   // s=0 -> a
+  EXPECT_FALSE(net.evaluate({false, false, true})[m]);
+  EXPECT_TRUE(net.evaluate({true, false, true})[m]);    // s=1 -> b
+  EXPECT_FALSE(net.evaluate({true, true, false})[m]);
+}
+
+TEST(Gates, Constants) {
+  GateNetlist net;
+  const auto zero = net.add_const(false);
+  const auto one = net.add_const(true);
+  const auto v = net.evaluate({});
+  EXPECT_FALSE(v[zero]);
+  EXPECT_TRUE(v[one]);
+}
+
+TEST(Gates, CountsSeparateLogicFromInputs) {
+  GateNetlist net;
+  const auto a = net.add_input();
+  const auto b = net.add_input();
+  net.add_const(true);
+  net.add_xor(a, b);
+  net.add_not(a);
+  EXPECT_EQ(net.input_count(), 2U);
+  EXPECT_EQ(net.gate_count(), 5U);
+  EXPECT_EQ(net.logic_gate_count(), 2U);
+}
+
+TEST(Gates, DepthIsLongestChain) {
+  GateNetlist net;
+  const auto a = net.add_input();
+  const auto b = net.add_input();
+  auto x = net.add_xor(a, b);   // depth 1
+  x = net.add_and(x, a);        // depth 2
+  x = net.add_or(x, b);         // depth 3
+  net.add_not(a);               // depth 1, not on the critical chain
+  EXPECT_EQ(net.depth(), 3U);
+}
+
+TEST(Gates, EvaluateChecksInputArity) {
+  GateNetlist net;
+  net.add_input();
+  EXPECT_THROW((void)net.evaluate({}), bnb::contract_violation);
+  EXPECT_THROW((void)net.evaluate({true, false}), bnb::contract_violation);
+}
+
+TEST(Gates, OperandsMustExist) {
+  GateNetlist net;
+  const auto a = net.add_input();
+  EXPECT_THROW(net.add_and(a, 5), bnb::contract_violation);
+}
+
+}  // namespace
+}  // namespace bnb::sim

@@ -1,0 +1,103 @@
+#include "core/gbn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+
+namespace bnb {
+namespace {
+
+TEST(Gbn, StageAndBoxCounts) {
+  // Definition 2: stage-i has 2^i boxes SB(m-i).
+  const GbnTopology g(3);
+  EXPECT_EQ(g.inputs(), 8U);
+  EXPECT_EQ(g.stages(), 3U);
+  EXPECT_EQ(g.boxes_in_stage(0), 1U);
+  EXPECT_EQ(g.boxes_in_stage(1), 2U);
+  EXPECT_EQ(g.boxes_in_stage(2), 4U);
+  EXPECT_EQ(g.box_size(0), 8U);
+  EXPECT_EQ(g.box_size(1), 4U);
+  EXPECT_EQ(g.box_size(2), 2U);
+}
+
+TEST(Gbn, BoxOfLine) {
+  const GbnTopology g(3);
+  EXPECT_EQ(g.box_of(1, 5).box, 1U);
+  EXPECT_EQ(g.box_of(1, 5).offset, 1U);
+  EXPECT_EQ(g.box_of(2, 5).box, 2U);
+  EXPECT_EQ(g.box_of(2, 5).offset, 1U);
+  EXPECT_EQ(g.box_of(0, 5).box, 0U);
+  EXPECT_EQ(g.box_of(0, 5).offset, 5U);
+}
+
+TEST(Gbn, BoxBaseRoundTrips) {
+  const GbnTopology g(5);
+  for (unsigned stage = 0; stage < g.stages(); ++stage) {
+    for (std::size_t line = 0; line < g.inputs(); ++line) {
+      const auto ref = g.box_of(stage, line);
+      EXPECT_EQ(g.box_base(stage, ref.box) + ref.offset, line);
+    }
+  }
+}
+
+TEST(Gbn, ConnectionsStayInBlock) {
+  // The recursive-construction invariant: a stage's connection never leaves
+  // the block owned by the box it exits.
+  for (unsigned m = 2; m <= 8; ++m) {
+    const GbnTopology g(m);
+    for (unsigned stage = 0; stage + 1 < m; ++stage) {
+      EXPECT_TRUE(g.connection_stays_in_block(stage)) << "m=" << m << " stage=" << stage;
+    }
+  }
+}
+
+TEST(Gbn, EvenOutputsFeedUpperChildBox) {
+  // Even box outputs go to box 2b of the next stage, odd outputs to 2b+1.
+  for (unsigned m = 2; m <= 6; ++m) {
+    const GbnTopology g(m);
+    for (unsigned stage = 0; stage + 1 < m; ++stage) {
+      for (std::size_t line = 0; line < g.inputs(); ++line) {
+        const auto from = g.box_of(stage, line);
+        const auto to = g.box_of(stage + 1, g.next_line(stage, line));
+        if (from.offset % 2 == 0) {
+          EXPECT_EQ(to.box, 2 * from.box);
+          EXPECT_EQ(to.offset, from.offset / 2);
+        } else {
+          EXPECT_EQ(to.box, 2 * from.box + 1);
+          EXPECT_EQ(to.offset, from.offset / 2);
+        }
+      }
+    }
+  }
+}
+
+TEST(Gbn, ConnectionIsUnshufflePermutation) {
+  const GbnTopology g(4);
+  for (unsigned stage = 0; stage + 1 < g.stages(); ++stage) {
+    const Permutation conn = g.connection(stage);
+    for (std::size_t line = 0; line < g.inputs(); ++line) {
+      EXPECT_EQ(conn(line), g.next_line(stage, line));
+    }
+  }
+}
+
+TEST(Gbn, DescribeMentionsEveryStage) {
+  const GbnTopology g(3);
+  const std::string s = g.describe();
+  EXPECT_NE(s.find("stage-0"), std::string::npos);
+  EXPECT_NE(s.find("stage-1"), std::string::npos);
+  EXPECT_NE(s.find("stage-2"), std::string::npos);
+  EXPECT_NE(s.find("SB(3)"), std::string::npos);
+}
+
+TEST(Gbn, PreconditionsEnforced) {
+  EXPECT_THROW(GbnTopology(0), contract_violation);
+  const GbnTopology g(3);
+  EXPECT_THROW((void)g.boxes_in_stage(3), contract_violation);
+  EXPECT_THROW((void)g.next_line(2, 0), contract_violation);  // last stage has no connection
+  EXPECT_THROW((void)g.box_of(0, 8), contract_violation);
+}
+
+}  // namespace
+}  // namespace bnb

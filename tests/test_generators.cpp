@@ -1,0 +1,150 @@
+#include "perm/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+#include "perm/classes.hpp"
+
+namespace bnb {
+namespace {
+
+TEST(Generators, Reversal) {
+  const Permutation p = reversal_perm(6);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(p(i), 5 - i);
+}
+
+TEST(Generators, RandomIsReproducible) {
+  Rng a(42);
+  Rng b(42);
+  EXPECT_EQ(random_perm(64, a), random_perm(64, b));
+}
+
+TEST(Generators, RandomCoversManyPermutations) {
+  Rng rng(1);
+  std::set<std::string> seen;
+  for (int i = 0; i < 50; ++i) seen.insert(random_perm(6, rng).to_string());
+  EXPECT_GT(seen.size(), 30U);  // 720 possible; near-certain with 50 draws
+}
+
+TEST(Generators, BitReversalInvolution) {
+  for (std::size_t n : {2UL, 4UL, 8UL, 64UL, 256UL}) {
+    const Permutation p = bit_reversal_perm(n);
+    EXPECT_TRUE(p.compose(p).is_identity());
+  }
+}
+
+TEST(Generators, BitReversal8) {
+  const Permutation p = bit_reversal_perm(8);
+  EXPECT_EQ(p(1), 4U);  // 001 -> 100
+  EXPECT_EQ(p(3), 6U);  // 011 -> 110
+  EXPECT_EQ(p(7), 7U);
+}
+
+TEST(Generators, PerfectShuffleRotatesBitsLeft) {
+  const Permutation p = perfect_shuffle_perm(8);
+  // i = b2 b1 b0 -> b1 b0 b2.
+  EXPECT_EQ(p(0b100), 0b001U);
+  EXPECT_EQ(p(0b001), 0b010U);
+  EXPECT_EQ(p(0b110), 0b101U);
+}
+
+TEST(Generators, UnshuffleInvertsShuffle) {
+  for (std::size_t n : {2UL, 8UL, 32UL, 128UL}) {
+    EXPECT_TRUE(perfect_shuffle_perm(n).compose(unshuffle_perm(n)).is_identity());
+  }
+}
+
+TEST(Generators, ButterflySwapsEndBits) {
+  const Permutation p = butterfly_perm(8);
+  EXPECT_EQ(p(0b001), 0b100U);
+  EXPECT_EQ(p(0b100), 0b001U);
+  EXPECT_EQ(p(0b101), 0b101U);
+  EXPECT_EQ(p(0b010), 0b010U);
+  EXPECT_TRUE(p.compose(p).is_identity());
+}
+
+TEST(Generators, ExchangeComplementsBits) {
+  const Permutation p = exchange_perm(8);
+  EXPECT_EQ(p(0), 7U);
+  EXPECT_EQ(p(5), 2U);
+  EXPECT_TRUE(p.compose(p).is_identity());
+  EXPECT_EQ(p.fixed_points(), 0U);
+}
+
+TEST(Generators, RotationWrapsAround) {
+  const Permutation p = rotation_perm(8, 3);
+  EXPECT_EQ(p(0), 3U);
+  EXPECT_EQ(p(6), 1U);
+  EXPECT_TRUE(rotation_perm(8, 0).is_identity());
+  EXPECT_TRUE(rotation_perm(8, 8).is_identity());
+}
+
+TEST(Generators, TransposeIsMatrixTranspose) {
+  // 16 = 4x4 row-major: element (r,c) at 4r+c goes to 4c+r.
+  const Permutation p = transpose_perm(16);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(p(4 * r + c), 4 * c + r);
+    }
+  }
+  EXPECT_TRUE(p.compose(p).is_identity());
+  EXPECT_THROW(transpose_perm(8), contract_violation);  // odd bit count
+}
+
+TEST(Generators, BpcIdentityAndReversalSpecialCases) {
+  const unsigned id_bits[] = {0, 1, 2};
+  EXPECT_TRUE(bpc_perm(8, id_bits, 0).is_identity());
+  // Complementing all bits = exchange permutation.
+  EXPECT_EQ(bpc_perm(8, id_bits, 7), exchange_perm(8));
+  // Reversing bit order = bit-reversal permutation.
+  const unsigned rev_bits[] = {2, 1, 0};
+  EXPECT_EQ(bpc_perm(8, rev_bits, 0), bit_reversal_perm(8));
+}
+
+TEST(Generators, RandomBpcIsValidAndReproducible) {
+  Rng a(5);
+  Rng b(5);
+  const Permutation pa = random_bpc_perm(64, a);
+  const Permutation pb = random_bpc_perm(64, b);
+  EXPECT_EQ(pa, pb);
+}
+
+TEST(Generators, DerangementHasNoFixedPoints) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(random_derangement(16, rng).fixed_points(), 0U);
+  }
+}
+
+TEST(Generators, PairwiseSwap) {
+  const Permutation p = pairwise_swap_perm(6);
+  EXPECT_EQ(p(0), 1U);
+  EXPECT_EQ(p(1), 0U);
+  EXPECT_EQ(p(4), 5U);
+  EXPECT_TRUE(p.compose(p).is_identity());
+}
+
+TEST(PermFamilies, AllFamiliesProduceValidPermutations) {
+  for (const auto f : all_perm_families()) {
+    for (std::size_t n : {2UL, 4UL, 8UL, 16UL, 64UL}) {
+      const Permutation p = make_perm(f, n, 7);
+      EXPECT_EQ(p.size(), n) << perm_family_name(f);
+    }
+  }
+}
+
+TEST(PermFamilies, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto f : all_perm_families()) names.insert(perm_family_name(f));
+  EXPECT_EQ(names.size(), all_perm_families().size());
+}
+
+TEST(PermFamilies, RandomFamiliesVaryWithSeed) {
+  EXPECT_NE(make_perm(PermFamily::kRandom, 64, 1), make_perm(PermFamily::kRandom, 64, 2));
+}
+
+}  // namespace
+}  // namespace bnb

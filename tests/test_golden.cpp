@@ -1,0 +1,123 @@
+// Golden constants.
+//
+// The formula-vs-constructed tests would miss a bug that changed a formula
+// AND its builder symmetrically.  These hand-derived constants (checked
+// against the paper's equations by hand, several also against the worked
+// examples in the text) pin the absolute values down.
+#include <gtest/gtest.h>
+
+#include "baselines/batcher.hpp"
+#include "baselines/benes.hpp"
+#include "baselines/bitonic.hpp"
+#include "core/bnb_netlist.hpp"
+#include "core/complexity.hpp"
+#include "fabric/staged_router.hpp"
+
+namespace bnb {
+namespace {
+
+TEST(Golden, BnbSwitchCounts) {
+  // Eq. 6 C_SW at w = 0: (N/2) * m(m+1)(2m+1)/6.
+  EXPECT_EQ(model::bnb_cost_exact(2, 0).sw, 1U);
+  EXPECT_EQ(model::bnb_cost_exact(4, 0).sw, 10U);
+  EXPECT_EQ(model::bnb_cost_exact(8, 0).sw, 56U);
+  EXPECT_EQ(model::bnb_cost_exact(16, 0).sw, 240U);
+  EXPECT_EQ(model::bnb_cost_exact(32, 0).sw, 880U);
+  EXPECT_EQ(model::bnb_cost_exact(64, 0).sw, 2912U);
+  EXPECT_EQ(model::bnb_cost_exact(1024, 0).sw, 197120U);
+  EXPECT_EQ(model::bnb_cost_exact(4096, 0).sw, 1331200U);
+}
+
+TEST(Golden, BnbFunctionNodeCounts) {
+  // Eq. 6 C_FN: N/2 m^2 - N m + N - 1.
+  EXPECT_EQ(model::bnb_cost_exact(2, 0).fn, 0U);
+  EXPECT_EQ(model::bnb_cost_exact(4, 0).fn, 3U);
+  EXPECT_EQ(model::bnb_cost_exact(8, 0).fn, 19U);
+  EXPECT_EQ(model::bnb_cost_exact(16, 0).fn, 79U);
+  EXPECT_EQ(model::bnb_cost_exact(32, 0).fn, 271U);
+  EXPECT_EQ(model::bnb_cost_exact(1024, 0).fn, 41983U);
+}
+
+TEST(Golden, BnbPayloadSwitchCounts) {
+  // w = 8 adds (N/2) * 8 * m(m+1)/2 switches.
+  EXPECT_EQ(model::bnb_cost_exact(8, 8).sw, 56U + 4 * 8 * 6);
+  EXPECT_EQ(model::bnb_cost_exact(256, 8).sw,
+            model::bnb_cost_exact(256, 0).sw + 128 * 8 * 36);
+}
+
+TEST(Golden, BnbDelays) {
+  // Eq. 7 and Eq. 8.
+  EXPECT_EQ(model::bnb_delay(8).sw, 6U);
+  EXPECT_EQ(model::bnb_delay(8).fn, 14U);
+  EXPECT_EQ(model::bnb_delay(64).sw, 21U);
+  EXPECT_EQ(model::bnb_delay(64).fn, 100U);
+  EXPECT_EQ(model::bnb_delay(1024).sw, 55U);
+  EXPECT_EQ(model::bnb_delay(1024).fn, 420U);
+  EXPECT_EQ(model::bnb_delay(65536).fn, 1600U);  // m=16: 16*15*20/3
+}
+
+TEST(Golden, BatcherCounts) {
+  EXPECT_EQ(model::batcher_comparator_count(2), 1U);
+  EXPECT_EQ(model::batcher_comparator_count(4), 5U);
+  EXPECT_EQ(model::batcher_comparator_count(8), 19U);
+  EXPECT_EQ(model::batcher_comparator_count(16), 63U);
+  EXPECT_EQ(model::batcher_comparator_count(32), 191U);
+  EXPECT_EQ(model::batcher_comparator_count(1024), 24063U);
+  EXPECT_EQ(BatcherNetwork(5).depth(), 15U);
+  EXPECT_EQ(BatcherNetwork(10).depth(), 55U);
+}
+
+TEST(Golden, BitonicCounts) {
+  // (N/2) * m(m+1)/2.
+  EXPECT_EQ(BitonicNetwork(3).comparator_count(), 24U);
+  EXPECT_EQ(BitonicNetwork(5).comparator_count(), 240U);
+  EXPECT_EQ(BitonicNetwork(10).comparator_count(), 28160U);
+}
+
+TEST(Golden, BenesAndWaksmanSwitches) {
+  EXPECT_EQ(BenesNetwork(3, false).switch_count(), 20U);   // 5 stages x 4
+  EXPECT_EQ(BenesNetwork(3, true).switch_count(), 17U);    // 8*3 - 8 + 1
+  EXPECT_EQ(BenesNetwork(10, false).switch_count(), 9728U);
+  EXPECT_EQ(BenesNetwork(10, true).switch_count(), 9217U);
+}
+
+TEST(Golden, KoppelmanRows) {
+  EXPECT_EQ(model::koppelman_delay_units(1024), 571U);  // 2/3*1000-100+10/3+1
+  const auto c = model::koppelman_cost_leading(1024);
+  EXPECT_EQ(c.sw, 256000U);
+  EXPECT_EQ(c.fn, 51200U);
+  EXPECT_EQ(c.add, 102400U);
+}
+
+TEST(Golden, Table2PublishedValues) {
+  using model::NetworkKind;
+  EXPECT_DOUBLE_EQ(model::table2_delay(NetworkKind::kBatcher, 1024), 550.0);
+  EXPECT_DOUBLE_EQ(model::table2_delay(NetworkKind::kKoppelman, 1024), 571.0);
+  EXPECT_DOUBLE_EQ(model::table2_delay(NetworkKind::kBnb, 1024), 475.0);
+}
+
+TEST(Golden, StagedColumnCounts) {
+  EXPECT_EQ(StagedBnbRouter(4).total_columns(), 10U);
+  EXPECT_EQ(StagedBnbRouter(10).total_columns(), 55U);
+  EXPECT_EQ(StagedBatcherRouter(4).total_columns(), 10U);
+}
+
+TEST(Golden, MeasuredCensusPinnedValues) {
+  // From constructed netlists, not formulas.
+  const auto c8 = BnbNetlist(3, 0).census();
+  EXPECT_EQ(c8.switches_2x2, 56U);
+  EXPECT_EQ(c8.function_nodes, 19U);
+  const auto c1024 = BnbNetlist(10, 0).census();
+  EXPECT_EQ(c1024.switches_2x2, 197120U);
+  EXPECT_EQ(c1024.function_nodes, 41983U);
+}
+
+TEST(Golden, NestedArbiterCosts) {
+  EXPECT_EQ(model::nested_arbiter_cost(8), 13U);    // A(3) + 2 A(2)
+  EXPECT_EQ(model::nested_arbiter_cost(16), 41U);   // 15 + 2*13
+  EXPECT_EQ(model::nested_arbiter_cost(32), 113U);  // 31 + 2*41
+  EXPECT_EQ(model::nested_arbiter_cost(1024), 8705U);  // 1024*9 - 512 + 1
+}
+
+}  // namespace
+}  // namespace bnb

@@ -1,0 +1,100 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+
+namespace bnb {
+namespace {
+
+TEST(Histogram, BasicStats) {
+  Histogram h;
+  for (const std::uint64_t v : {5ULL, 1ULL, 3ULL, 9ULL, 2ULL}) h.add(v);
+  EXPECT_EQ(h.count(), 5U);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+  EXPECT_EQ(h.min(), 1U);
+  EXPECT_EQ(h.max(), 9U);
+}
+
+TEST(Histogram, EmptyStatsThrow) {
+  const Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_THROW((void)h.mean(), contract_violation);
+  EXPECT_THROW((void)h.min(), contract_violation);
+  EXPECT_THROW((void)h.percentile(50), contract_violation);
+}
+
+TEST(Histogram, PercentileNearestRank) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.add(v);
+  EXPECT_EQ(h.percentile(1), 1U);
+  EXPECT_EQ(h.percentile(50), 50U);
+  EXPECT_EQ(h.percentile(99), 99U);
+  EXPECT_EQ(h.percentile(100), 100U);
+  EXPECT_THROW((void)h.percentile(0), contract_violation);
+  EXPECT_THROW((void)h.percentile(101), contract_violation);
+}
+
+TEST(Histogram, PercentileMatchesSortedVectorOnRandomData) {
+  Rng rng(61);
+  Histogram h;
+  std::vector<std::uint64_t> raw;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.below(10000);
+    h.add(v);
+    raw.push_back(v);
+  }
+  std::sort(raw.begin(), raw.end());
+  for (const double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+    const std::size_t rank =
+        static_cast<std::size_t>(p / 100.0 * 1000.0 + 0.999999);
+    EXPECT_EQ(h.percentile(p), raw[rank - 1]) << p;
+  }
+}
+
+TEST(Histogram, SingleSample) {
+  Histogram h;
+  h.add(42);
+  EXPECT_EQ(h.percentile(1), 42U);
+  EXPECT_EQ(h.percentile(100), 42U);
+  EXPECT_DOUBLE_EQ(h.mean(), 42.0);
+}
+
+TEST(Histogram, Merge) {
+  Histogram a;
+  Histogram b;
+  a.add(1);
+  a.add(2);
+  b.add(3);
+  b.add(4);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4U);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+  EXPECT_EQ(a.max(), 4U);
+}
+
+TEST(Histogram, RenderShowsBuckets) {
+  Histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(100);
+  const std::string s = h.render();
+  EXPECT_NE(s.find("[0, 0]: 1"), std::string::npos);
+  EXPECT_NE(s.find("[1, 1]: 1"), std::string::npos);
+  EXPECT_NE(s.find("[2, 3]: 2"), std::string::npos);
+  EXPECT_NE(s.find("[64, 127]: 1"), std::string::npos);
+  EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+TEST(Histogram, RenderEmpty) {
+  const Histogram h;
+  EXPECT_EQ(h.render(), "(empty)\n");
+}
+
+}  // namespace
+}  // namespace bnb

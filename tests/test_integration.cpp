@@ -1,0 +1,148 @@
+// Cross-network integration: every permutation network in the repository
+// must agree on where words land, and words must arrive intact end-to-end.
+#include <gtest/gtest.h>
+
+#include "baselines/batcher.hpp"
+#include "baselines/benes.hpp"
+#include "baselines/cellular.hpp"
+#include "baselines/crossbar.hpp"
+#include "baselines/koppelman.hpp"
+#include "common/rng.hpp"
+#include "core/bnb_network.hpp"
+#include "perm/classes.hpp"
+#include "perm/generators.hpp"
+
+namespace bnb {
+namespace {
+
+std::vector<Word> make_words(const Permutation& pi) {
+  std::vector<Word> words(pi.size());
+  for (std::size_t j = 0; j < pi.size(); ++j) {
+    words[j] = Word{pi(j), 0xF00D0000ULL + j};
+  }
+  return words;
+}
+
+TEST(Integration, AllNetworksDeliverIdenticalOutputs) {
+  Rng rng(111);
+  const unsigned m = 7;
+  const std::size_t n = 1ULL << m;
+  const BnbNetwork bnb(m);
+  const BatcherNetwork batcher(m);
+  const BenesNetwork benes(m);
+  const KoppelmanSrpn koppelman(m);
+  const Crossbar crossbar(n);
+  const CellularArray cellular(n);
+
+  for (int round = 0; round < 10; ++round) {
+    const Permutation pi = random_perm(n, rng);
+    const auto words = make_words(pi);
+
+    const auto r_bnb = bnb.route_words(words);
+    const auto r_bat = batcher.route_words(words);
+    const auto r_ben = benes.route_words(words);
+    const auto r_kop = koppelman.route_words(words);
+    const auto r_xb = crossbar.route_words(words);
+    const auto r_cell = cellular.route_words(words);
+
+    ASSERT_TRUE(r_bnb.self_routed);
+    ASSERT_TRUE(r_bat.self_routed);
+    ASSERT_TRUE(r_ben.self_routed);
+    ASSERT_TRUE(r_kop.self_routed);
+    ASSERT_TRUE(r_xb.self_routed);
+    ASSERT_TRUE(r_cell.self_routed);
+
+    // Addresses are unique, so all networks must produce identical output
+    // vectors (word w ends at line w.address in each).
+    EXPECT_EQ(r_bnb.outputs, r_bat.outputs);
+    EXPECT_EQ(r_bnb.outputs, r_ben.outputs);
+    EXPECT_EQ(r_bnb.outputs, r_kop.outputs);
+    EXPECT_EQ(r_bnb.outputs, r_xb.outputs);
+    EXPECT_EQ(r_bnb.outputs, r_cell.outputs);
+  }
+}
+
+TEST(Integration, RoundTripThroughInversePermutation) {
+  // Route by pi, then route the outputs by pi^{-1}: every word returns to
+  // its origin line.
+  Rng rng(112);
+  const unsigned m = 6;
+  const BnbNetwork net(m);
+  const Permutation pi = random_perm(64, rng);
+
+  std::vector<Word> words(64);
+  for (std::size_t j = 0; j < 64; ++j) words[j] = Word{pi(j), j};
+  const auto first = net.route_words(words);
+  ASSERT_TRUE(first.self_routed);
+
+  const Permutation inv = pi.inverse();
+  std::vector<Word> back(64);
+  for (std::size_t line = 0; line < 64; ++line) {
+    back[line] = Word{inv(line), first.outputs[line].payload};
+  }
+  const auto second = net.route_words(back);
+  ASSERT_TRUE(second.self_routed);
+  for (std::size_t line = 0; line < 64; ++line) {
+    EXPECT_EQ(second.outputs[line].payload, line);
+  }
+}
+
+TEST(Integration, ComposedPermutationsBehaveAsComposition) {
+  Rng rng(113);
+  const BnbNetwork net(5);
+  const Permutation a = random_perm(32, rng);
+  const Permutation b = random_perm(32, rng);
+  const Permutation ab = b.compose(a);  // apply a, then b
+
+  // Two physical passes: route by a, then route those outputs by b.
+  std::vector<Word> words(32);
+  for (std::size_t j = 0; j < 32; ++j) words[j] = Word{a(j), j};
+  const auto pass1 = net.route_words(words);
+  ASSERT_TRUE(pass1.self_routed);
+  std::vector<Word> stage2(32);
+  for (std::size_t line = 0; line < 32; ++line) {
+    stage2[line] = Word{b(line), pass1.outputs[line].payload};
+  }
+  const auto pass2 = net.route_words(stage2);
+  ASSERT_TRUE(pass2.self_routed);
+
+  // One logical pass with the composed permutation.
+  std::vector<Word> direct(32);
+  for (std::size_t j = 0; j < 32; ++j) direct[j] = Word{ab(j), j};
+  const auto composed = net.route_words(direct);
+  ASSERT_TRUE(composed.self_routed);
+
+  for (std::size_t line = 0; line < 32; ++line) {
+    EXPECT_EQ(pass2.outputs[line].payload, composed.outputs[line].payload);
+  }
+}
+
+TEST(Integration, EveryFamilyOnEveryNetwork) {
+  const unsigned m = 5;
+  const std::size_t n = 32;
+  const BnbNetwork bnb(m);
+  const BatcherNetwork batcher(m);
+  const BenesNetwork benes(m);
+  const KoppelmanSrpn koppelman(m);
+
+  for (const auto f : all_perm_families()) {
+    const Permutation pi = make_perm(f, n, 9);
+    EXPECT_TRUE(bnb.route(pi).self_routed) << perm_family_name(f);
+    EXPECT_TRUE(batcher.route(pi).self_routed) << perm_family_name(f);
+    EXPECT_TRUE(benes.route(pi).self_routed) << perm_family_name(f);
+    EXPECT_TRUE(koppelman.route(pi).self_routed) << perm_family_name(f);
+  }
+}
+
+TEST(Integration, BnbAndBatcherAgreeExhaustivelyN8) {
+  const BnbNetwork bnb(3);
+  const BatcherNetwork batcher(3);
+  Permutation pi(8);
+  do {
+    const auto words = make_words(pi);
+    ASSERT_EQ(bnb.route_words(words).outputs, batcher.route_words(words).outputs);
+  } while (pi.next_lexicographic());
+}
+
+}  // namespace
+}  // namespace bnb

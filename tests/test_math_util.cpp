@@ -1,0 +1,83 @@
+#include "common/math_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+
+namespace bnb {
+namespace {
+
+TEST(MathUtil, IsPowerOfTwo) {
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_TRUE(is_power_of_two(4));
+  EXPECT_FALSE(is_power_of_two(6));
+  EXPECT_TRUE(is_power_of_two(std::uint64_t{1} << 63));
+  EXPECT_FALSE(is_power_of_two((std::uint64_t{1} << 63) + 1));
+}
+
+TEST(MathUtil, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0U);
+  EXPECT_EQ(floor_log2(2), 1U);
+  EXPECT_EQ(floor_log2(3), 1U);
+  EXPECT_EQ(floor_log2(4), 2U);
+  EXPECT_EQ(floor_log2(1023), 9U);
+  EXPECT_EQ(floor_log2(1024), 10U);
+}
+
+TEST(MathUtil, Log2ExactAcceptsPowersOfTwo) {
+  for (unsigned k = 0; k < 40; ++k) {
+    EXPECT_EQ(log2_exact(std::uint64_t{1} << k), k);
+  }
+}
+
+TEST(MathUtil, Log2ExactRejectsNonPowers) {
+  EXPECT_THROW((void)log2_exact(0), contract_violation);
+  EXPECT_THROW((void)log2_exact(3), contract_violation);
+  EXPECT_THROW((void)log2_exact(12), contract_violation);
+}
+
+TEST(MathUtil, Pow2) {
+  EXPECT_EQ(pow2(0), 1ULL);
+  EXPECT_EQ(pow2(10), 1024ULL);
+  EXPECT_EQ(pow2(63), std::uint64_t{1} << 63);
+  EXPECT_THROW((void)pow2(64), contract_violation);
+}
+
+TEST(MathUtil, ReverseBits) {
+  EXPECT_EQ(reverse_bits(0b001, 3), 0b100ULL);
+  EXPECT_EQ(reverse_bits(0b110, 3), 0b011ULL);
+  EXPECT_EQ(reverse_bits(0b1011, 4), 0b1101ULL);
+  EXPECT_EQ(reverse_bits(0, 10), 0ULL);
+  // Involution: reversing twice restores the value.
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    EXPECT_EQ(reverse_bits(reverse_bits(v, 6), 6), v);
+  }
+}
+
+TEST(MathUtil, BitOf) {
+  EXPECT_EQ(bit_of(0b1010, 0), 0U);
+  EXPECT_EQ(bit_of(0b1010, 1), 1U);
+  EXPECT_EQ(bit_of(0b1010, 2), 0U);
+  EXPECT_EQ(bit_of(0b1010, 3), 1U);
+}
+
+TEST(MathUtil, Factorial) {
+  EXPECT_EQ(factorial(0), 1ULL);
+  EXPECT_EQ(factorial(1), 1ULL);
+  EXPECT_EQ(factorial(4), 24ULL);
+  EXPECT_EQ(factorial(8), 40320ULL);
+  EXPECT_EQ(factorial(20), 2432902008176640000ULL);
+  EXPECT_THROW((void)factorial(21), contract_violation);
+}
+
+TEST(MathUtil, Ipow) {
+  EXPECT_EQ(ipow(3, 0), 1ULL);
+  EXPECT_EQ(ipow(3, 4), 81ULL);
+  EXPECT_EQ(ipow(2, 20), 1ULL << 20);
+}
+
+}  // namespace
+}  // namespace bnb

@@ -1,0 +1,119 @@
+// Partial permutations: completion and routing with idle inputs.
+#include "perm/partial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+#include "core/bnb_network.hpp"
+#include "perm/generators.hpp"
+
+namespace bnb {
+namespace {
+
+TEST(Partial, ValidationAcceptsAndRejects) {
+  PartialMapping ok(4);
+  ok[0] = 2;
+  ok[3] = 0;
+  EXPECT_TRUE(is_valid_partial(ok));
+
+  PartialMapping dup(4);
+  dup[0] = 1;
+  dup[2] = 1;
+  EXPECT_FALSE(is_valid_partial(dup));
+
+  PartialMapping range(4);
+  range[1] = 4;
+  EXPECT_FALSE(is_valid_partial(range));
+}
+
+TEST(Partial, CompletionIsBijectiveAndHonorsRequests) {
+  PartialMapping req(8);
+  req[1] = 6;
+  req[4] = 0;
+  req[7] = 3;
+  const auto done = complete_partial(req);
+  EXPECT_EQ(done.full.size(), 8U);
+  EXPECT_EQ(done.full(1), 6U);
+  EXPECT_EQ(done.full(4), 0U);
+  EXPECT_EQ(done.full(7), 3U);
+  for (std::size_t j = 0; j < 8; ++j) {
+    EXPECT_EQ(done.is_dummy[j], !req[j].has_value());
+  }
+}
+
+TEST(Partial, EmptyMappingBecomesIdentityFill) {
+  const auto done = complete_partial(PartialMapping(4));
+  EXPECT_TRUE(done.full.is_identity());
+  for (const bool d : done.is_dummy) EXPECT_TRUE(d);
+}
+
+TEST(Partial, FullMappingHasNoDummies) {
+  PartialMapping req(4);
+  for (std::size_t j = 0; j < 4; ++j) req[j] = static_cast<std::uint32_t>(3 - j);
+  const auto done = complete_partial(req);
+  for (const bool d : done.is_dummy) EXPECT_FALSE(d);
+}
+
+TEST(Partial, InvalidMappingThrows) {
+  PartialMapping bad(3);
+  bad[0] = 5;
+  EXPECT_THROW((void)complete_partial(bad), contract_violation);
+}
+
+TEST(Partial, FromInts) {
+  const std::int64_t raw[] = {-1, 2, -1, 0};
+  const auto req = partial_from_ints(raw);
+  EXPECT_FALSE(req[0].has_value());
+  EXPECT_EQ(*req[1], 2U);
+  EXPECT_FALSE(req[2].has_value());
+  EXPECT_EQ(*req[3], 0U);
+}
+
+TEST(Partial, RoutesThroughBnbWithIdleInputs) {
+  Rng rng(141);
+  const unsigned m = 6;
+  const std::size_t n = 64;
+  const BnbNetwork net(m);
+
+  for (int round = 0; round < 20; ++round) {
+    // Random partial mapping: each input active with probability ~1/2.
+    const Permutation base = random_perm(n, rng);
+    PartialMapping req(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (rng.flip()) req[j] = base(j);
+    }
+    const auto done = complete_partial(req);
+
+    std::vector<Word> words(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      // Dummies carry a sentinel payload to prove they are discardable.
+      words[j] = Word{done.full(j), done.is_dummy[j] ? ~std::uint64_t{0} : j};
+    }
+    const auto r = net.route_words(words);
+    ASSERT_TRUE(r.self_routed);
+
+    // Every ACTIVE request was delivered to its asked-for output with its
+    // own payload; dummy deliveries land only on unrequested outputs.
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!req[j].has_value()) continue;
+      const auto& delivered = r.outputs[*req[j]];
+      EXPECT_EQ(delivered.payload, j);
+    }
+  }
+}
+
+TEST(Partial, SingleActiveInput) {
+  const BnbNetwork net(4);
+  PartialMapping req(16);
+  req[5] = 11;
+  const auto done = complete_partial(req);
+  std::vector<Word> words(16);
+  for (std::size_t j = 0; j < 16; ++j) words[j] = Word{done.full(j), j};
+  const auto r = net.route_words(words);
+  ASSERT_TRUE(r.self_routed);
+  EXPECT_EQ(r.outputs[11].payload, 5U);
+}
+
+}  // namespace
+}  // namespace bnb

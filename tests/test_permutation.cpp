@@ -1,0 +1,102 @@
+#include "perm/permutation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+
+namespace bnb {
+namespace {
+
+TEST(Permutation, IdentityConstruction) {
+  Permutation p(5);
+  EXPECT_EQ(p.size(), 5U);
+  EXPECT_TRUE(p.is_identity());
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(p(i), i);
+}
+
+TEST(Permutation, ExplicitImageValidated) {
+  Permutation p({2, 0, 1});
+  EXPECT_EQ(p(0), 2U);
+  EXPECT_EQ(p(1), 0U);
+  EXPECT_EQ(p(2), 1U);
+  EXPECT_THROW(Permutation({0, 0, 1}), contract_violation);   // duplicate
+  EXPECT_THROW(Permutation({0, 3, 1}), contract_violation);   // out of range
+}
+
+TEST(Permutation, IndexOutOfRangeThrows) {
+  Permutation p(3);
+  EXPECT_THROW((void)p(3), contract_violation);
+}
+
+TEST(Permutation, ComposeAndInverse) {
+  Permutation a({1, 2, 0});
+  Permutation b({2, 1, 0});
+  // (a . b)(i) = a(b(i)).
+  Permutation c = a.compose(b);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(c(i), a(b(i)));
+
+  Permutation inv = a.inverse();
+  EXPECT_TRUE(a.compose(inv).is_identity());
+  EXPECT_TRUE(inv.compose(a).is_identity());
+}
+
+TEST(Permutation, ComposeSizeMismatchThrows) {
+  Permutation a(3);
+  Permutation b(4);
+  EXPECT_THROW(a.compose(b), contract_violation);
+}
+
+TEST(Permutation, FixedPoints) {
+  EXPECT_EQ(Permutation(4).fixed_points(), 4U);
+  EXPECT_EQ(Permutation({1, 0, 2, 3}).fixed_points(), 2U);
+  EXPECT_EQ(Permutation({1, 2, 3, 0}).fixed_points(), 0U);
+}
+
+TEST(Permutation, ApplyMovesElementsToImagePositions) {
+  Permutation p({2, 0, 1});
+  std::vector<int> in{10, 20, 30};
+  const auto out = p.apply(in);
+  // out[p(i)] = in[i].
+  EXPECT_EQ(out[2], 10);
+  EXPECT_EQ(out[0], 20);
+  EXPECT_EQ(out[1], 30);
+}
+
+TEST(Permutation, ApplyThenInverseRestores) {
+  Permutation p({3, 1, 4, 0, 2});
+  std::vector<int> in{5, 6, 7, 8, 9};
+  const auto moved = p.apply(in);
+  const auto back = p.inverse().apply(moved);
+  EXPECT_EQ(back, in);
+}
+
+TEST(Permutation, NextLexicographicEnumeratesAll) {
+  Permutation p(4);
+  std::size_t count = 1;
+  while (p.next_lexicographic()) ++count;
+  EXPECT_EQ(count, factorial(4));
+  EXPECT_TRUE(p.is_identity());  // wrapped back to sorted order
+}
+
+TEST(Permutation, ToString) {
+  EXPECT_EQ(Permutation({1, 0}).to_string(), "[1 0]");
+  EXPECT_EQ(Permutation(1).to_string(), "[0]");
+}
+
+TEST(Permutation, Equality) {
+  EXPECT_EQ(Permutation({0, 1, 2}), Permutation(3));
+  EXPECT_FALSE(Permutation({1, 0}) == Permutation(2));
+}
+
+TEST(Permutation, IsValidImage) {
+  const std::vector<Permutation::value_type> good{2, 1, 0};
+  const std::vector<Permutation::value_type> dup{1, 1, 0};
+  const std::vector<Permutation::value_type> big{0, 1, 3};
+  EXPECT_TRUE(Permutation::is_valid_image(good));
+  EXPECT_FALSE(Permutation::is_valid_image(dup));
+  EXPECT_FALSE(Permutation::is_valid_image(big));
+}
+
+}  // namespace
+}  // namespace bnb

@@ -1,0 +1,133 @@
+// Staged routers and pipelined fabric operation.
+#include "fabric/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "core/bnb_network.hpp"
+#include "core/complexity.hpp"
+#include "fabric/staged_router.hpp"
+#include "perm/generators.hpp"
+
+namespace bnb {
+namespace {
+
+TEST(StagedBnb, ColumnCountIsEq7) {
+  for (unsigned m = 1; m <= 10; ++m) {
+    const StagedBnbRouter r(m);
+    EXPECT_EQ(r.total_columns(), model::bnb_delay_sw_units(pow2(m))) << "m=" << m;
+  }
+}
+
+TEST(StagedBnb, RunToCompletionMatchesBehavioral) {
+  Rng rng(151);
+  for (const unsigned m : {2U, 4U, 7U}) {
+    const StagedBnbRouter staged(m);
+    const BnbNetwork net(m);
+    const std::size_t n = std::size_t{1} << m;
+    const Permutation pi = random_perm(n, rng);
+    std::vector<Word> words(n);
+    for (std::size_t j = 0; j < n; ++j) words[j] = Word{pi(j), j};
+    EXPECT_EQ(staged.run_to_completion(words), net.route_words(words).outputs);
+  }
+}
+
+TEST(StagedBnb, ColumnDelaysSumToEq9) {
+  for (const unsigned m : {2U, 5U, 8U}) {
+    const StagedBnbRouter r(m);
+    sim::DelayUnits total{};
+    for (unsigned c = 0; c < r.total_columns(); ++c) total += r.column_delay(c);
+    const auto d = model::bnb_delay(pow2(m));
+    EXPECT_EQ(total.sw, d.sw);
+    EXPECT_EQ(total.fn, d.fn);
+  }
+}
+
+TEST(StagedBnb, WorstColumnIsTheFirstSplitter) {
+  const StagedBnbRouter r(7);
+  const auto worst = r.max_column_delay();
+  EXPECT_EQ(worst.fn, 2ULL * 7);  // A(7): 2p levels
+  EXPECT_EQ(worst.sw, 1ULL);
+}
+
+TEST(StagedBatcher, ColumnsAndDelays) {
+  const StagedBatcherRouter r(6);
+  EXPECT_EQ(r.total_columns(), model::batcher_stage_count(64));
+  EXPECT_EQ(r.max_column_delay().fn, 6ULL);  // log N-bit comparison
+  EXPECT_EQ(r.max_column_delay().sw, 1ULL);
+}
+
+TEST(StagedBatcher, StepsSortCorrectly) {
+  Rng rng(152);
+  const StagedBatcherRouter r(5);
+  const Permutation pi = random_perm(32, rng);
+  std::vector<Word> words(32);
+  for (std::size_t j = 0; j < 32; ++j) words[j] = Word{pi(j), j};
+  auto job = r.start(words);
+  while (!r.finished(job)) r.step(job);
+  for (std::size_t line = 0; line < 32; ++line) {
+    EXPECT_EQ(job.lines[line].address, line);
+  }
+}
+
+TEST(Pipeline, StreamsDeliverEverythingBnb) {
+  Rng rng(153);
+  const PipelinedFabric fabric(PipelinedFabric::Kind::kBnb, 4);
+  std::vector<Permutation> stream;
+  for (int i = 0; i < 50; ++i) stream.push_back(random_perm(16, rng));
+  const auto stats = fabric.run_stream(stream);
+  EXPECT_TRUE(stats.all_delivered);
+  EXPECT_EQ(stats.permutations, 50U);
+  EXPECT_EQ(stats.words_delivered, 50U * 16);
+  // Drain time: issue 50, pipeline depth 10 -> about 60 cycles.
+  EXPECT_EQ(stats.latency_columns, 10U);
+  EXPECT_GE(stats.cycles, 50U);
+  EXPECT_LE(stats.cycles, 50U + stats.latency_columns + 1);
+}
+
+TEST(Pipeline, StreamsDeliverEverythingBatcher) {
+  Rng rng(154);
+  const PipelinedFabric fabric(PipelinedFabric::Kind::kBatcher, 4);
+  std::vector<Permutation> stream;
+  for (int i = 0; i < 20; ++i) stream.push_back(random_perm(16, rng));
+  const auto stats = fabric.run_stream(stream);
+  EXPECT_TRUE(stats.all_delivered);
+  EXPECT_EQ(stats.words_delivered, 20U * 16);
+}
+
+TEST(Pipeline, BnbCycleTimeBeatsBatcherForLargeM) {
+  // Per-column: BNB's worst column is its biggest arbiter (2m D_FN + D_SW);
+  // Batcher's columns are uniform (m D_FN + D_SW).  Column-registered, BNB
+  // is actually SLOWER per cycle — the win claimed by the paper is
+  // end-to-end combinational delay, not column-pipelined cycle time.  Both
+  // facts should hold in our models.
+  const unsigned m = 8;
+  const PipelinedFabric bnb_fab(PipelinedFabric::Kind::kBnb, m);
+  const PipelinedFabric bat_fab(PipelinedFabric::Kind::kBatcher, m);
+  EXPECT_GT(bnb_fab.cycle_time().evaluate(1.0, 1.0),
+            bat_fab.cycle_time().evaluate(1.0, 1.0));
+  // End-to-end (Eq. 9 vs Eq. 12): BNB wins for m = 8.
+  EXPECT_LT(model::bnb_delay(256).evaluate(),
+            model::batcher_delay(256).evaluate());
+}
+
+TEST(Pipeline, EmptyStream) {
+  const PipelinedFabric fabric(PipelinedFabric::Kind::kBnb, 3);
+  const auto stats = fabric.run_stream({});
+  EXPECT_EQ(stats.cycles, 0U);
+  EXPECT_TRUE(stats.all_delivered);
+}
+
+TEST(Pipeline, SinglePermutationLatency) {
+  Rng rng(155);
+  const PipelinedFabric fabric(PipelinedFabric::Kind::kBnb, 5);
+  std::vector<Permutation> one{random_perm(32, rng)};
+  const auto stats = fabric.run_stream(one);
+  EXPECT_TRUE(stats.all_delivered);
+  // One job: cycles = depth + 1 (issue cycle + depth steps).
+  EXPECT_EQ(stats.cycles, stats.latency_columns + 1);
+}
+
+}  // namespace
+}  // namespace bnb

@@ -1,0 +1,174 @@
+// Parameterized property sweeps: every (network-size, permutation-family,
+// seed) cell must self-route, and structural invariants must hold at every
+// size.  TEST_P instances form the repository's property-test layer.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "baselines/batcher.hpp"
+#include "baselines/benes.hpp"
+#include "baselines/koppelman.hpp"
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "core/bit_sorter.hpp"
+#include "core/bnb_netlist.hpp"
+#include "core/bnb_network.hpp"
+#include "core/complexity.hpp"
+#include "core/splitter.hpp"
+#include "perm/classes.hpp"
+
+namespace bnb {
+namespace {
+
+// ------------------------------------------------------------------------
+// Sweep 1: routing correctness over (m, family, seed).
+
+using RouteParam = std::tuple<unsigned, PermFamily, std::uint64_t>;
+
+class RoutingSweep : public ::testing::TestWithParam<RouteParam> {};
+
+TEST_P(RoutingSweep, BnbSelfRoutes) {
+  const auto [m, family, seed] = GetParam();
+  const BnbNetwork net(m);
+  const Permutation pi = make_perm(family, net.inputs(), seed);
+  const auto r = net.route(pi);
+  EXPECT_TRUE(r.self_routed);
+  for (std::size_t j = 0; j < net.inputs(); ++j) EXPECT_EQ(r.dest[j], pi(j));
+}
+
+TEST_P(RoutingSweep, BaselinesAgreeWithBnb) {
+  const auto [m, family, seed] = GetParam();
+  const Permutation pi = make_perm(family, std::size_t{1} << m, seed);
+  std::vector<Word> words(pi.size());
+  for (std::size_t j = 0; j < pi.size(); ++j) words[j] = Word{pi(j), seed ^ j};
+
+  const auto bnb = BnbNetwork(m).route_words(words);
+  const auto bat = BatcherNetwork(m).route_words(words);
+  const auto kop = KoppelmanSrpn(m).route_words(words);
+  EXPECT_EQ(bnb.outputs, bat.outputs);
+  EXPECT_EQ(bnb.outputs, kop.outputs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndFamilies, RoutingSweep,
+    ::testing::Combine(
+        ::testing::Values(2U, 3U, 4U, 6U, 9U),
+        ::testing::Values(PermFamily::kIdentity, PermFamily::kReversal,
+                          PermFamily::kBitReversal, PermFamily::kPerfectShuffle,
+                          PermFamily::kTranspose, PermFamily::kExchange,
+                          PermFamily::kRandom, PermFamily::kRandomBpc,
+                          PermFamily::kRandomDerangement),
+        ::testing::Values(1ULL, 2ULL)),
+    [](const ::testing::TestParamInfo<RouteParam>& info) {
+      std::string name;
+      name.append("m").append(std::to_string(std::get<0>(info.param)));
+      name.append("_").append(perm_family_name(std::get<1>(info.param)));
+      name.append("_s").append(std::to_string(std::get<2>(info.param)));
+      for (auto& c : name) {
+        if (c == '-' || c == '/') c = '_';
+      }
+      return name;
+    });
+
+// ------------------------------------------------------------------------
+// Sweep 2: splitter balance invariant at every size.
+
+class SplitterSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SplitterSweep, BalancesEveryEvenWeightInput) {
+  const unsigned p = GetParam();
+  const Splitter sp(p);
+  const std::size_t n = sp.inputs();
+  Rng rng(500 + p);
+  for (int round = 0; round < 100; ++round) {
+    std::vector<std::uint8_t> in(n);
+    for (auto& b : in) b = static_cast<std::uint8_t>(rng.flip());
+    if (std::accumulate(in.begin(), in.end(), 0) % 2 != 0) in[0] ^= 1;
+    if (p == 1) {
+      // Definition 3's p = 1 case: inputs {0,1} come out as (0 up, 1 down).
+      in[0] = static_cast<std::uint8_t>(rng.flip());
+      in[1] = static_cast<std::uint8_t>(1 - in[0]);
+      const auto r1 = sp.route(in);
+      EXPECT_EQ(r1.out_bits, (std::vector<std::uint8_t>{0, 1}));
+      continue;
+    }
+    const auto r = sp.route(in);
+    std::size_t even = 0;
+    std::size_t odd = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (r.out_bits[j]) ((j % 2 == 0) ? even : odd)++;
+    }
+    EXPECT_EQ(even, odd);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, SplitterSweep,
+                         ::testing::Values(1U, 2U, 3U, 4U, 5U, 6U, 7U, 8U, 10U, 12U));
+
+// ------------------------------------------------------------------------
+// Sweep 3: analytics vs constructed structure at every m.
+
+class StructureSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(StructureSweep, CensusAndDelayMatchClosedForms) {
+  const unsigned m = GetParam();
+  const std::uint64_t N = pow2(m);
+  const BnbNetlist net(m, 4);
+  const auto c = net.census();
+  const auto predicted = model::bnb_cost_exact(N, 4);
+  EXPECT_EQ(c.switches_2x2, predicted.sw);
+  EXPECT_EQ(c.function_nodes, predicted.fn);
+
+  const auto path = net.critical_path(1.0, 1.0);
+  const auto d = model::bnb_delay(N);
+  EXPECT_EQ(path.units.sw, d.sw);
+  EXPECT_EQ(path.units.fn, d.fn);
+}
+
+TEST_P(StructureSweep, BatcherStructureMatchesEq10To12) {
+  const unsigned m = GetParam();
+  const std::uint64_t N = pow2(m);
+  const BatcherNetwork net(m);
+  EXPECT_EQ(net.comparator_count(), model::batcher_comparator_count(N));
+  EXPECT_EQ(net.depth(), model::batcher_stage_count(N));
+}
+
+TEST_P(StructureSweep, BsnCensusMatchesEq4) {
+  const unsigned m = GetParam();
+  const BitSorter bsn(m);
+  EXPECT_EQ(bsn.census().function_nodes, model::nested_arbiter_cost(pow2(m)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllM, StructureSweep,
+                         ::testing::Values(1U, 2U, 3U, 4U, 5U, 6U, 7U, 8U, 9U, 10U));
+
+// ------------------------------------------------------------------------
+// Sweep 4: Benes routes every family at several sizes (global baseline).
+
+class BenesSweep : public ::testing::TestWithParam<std::tuple<unsigned, PermFamily>> {};
+
+TEST_P(BenesSweep, Routes) {
+  const auto [m, family] = GetParam();
+  const BenesNetwork net(m);
+  EXPECT_TRUE(net.route(make_perm(family, net.inputs(), 11)).self_routed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, BenesSweep,
+    ::testing::Combine(::testing::Values(2U, 4U, 7U),
+                       ::testing::Values(PermFamily::kIdentity, PermFamily::kReversal,
+                                         PermFamily::kBitReversal,
+                                         PermFamily::kTranspose, PermFamily::kRandom)),
+    [](const ::testing::TestParamInfo<std::tuple<unsigned, PermFamily>>& info) {
+      std::string name;
+      name.append("m").append(std::to_string(std::get<0>(info.param)));
+      name.append("_").append(perm_family_name(std::get<1>(info.param)));
+      for (auto& c : name) {
+        if (c == '-' || c == '/') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace bnb

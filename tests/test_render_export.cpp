@@ -1,0 +1,92 @@
+// Trace rendering and Graphviz export.
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+#include "core/dot_export.hpp"
+#include "core/trace_render.hpp"
+#include "perm/generators.hpp"
+
+namespace bnb {
+namespace {
+
+std::size_t count_occurrences(const std::string& hay, const std::string& needle) {
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = hay.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+TEST(TraceRender, ShowsEveryStageAndBlock) {
+  const BnbNetwork net(3);
+  const std::string s = render_trace(net, reversal_perm(8));
+  EXPECT_NE(s.find("main stage 0"), std::string::npos);
+  EXPECT_NE(s.find("main stage 2"), std::string::npos);
+  // Blocks: 1 + 2 + 4 NB headers.
+  EXPECT_EQ(count_occurrences(s, "-- NB("), 7U);
+  EXPECT_NE(s.find("self-routed"), std::string::npos);
+}
+
+TEST(TraceRender, MarksTheSortedBit) {
+  const BnbNetwork net(2);
+  const std::string s = render_trace(net, Permutation({2, 0, 3, 1}));
+  // Stage 0 marks the MSB: address 2 = 10 renders as [1]0.
+  EXPECT_NE(s.find("[1]0"), std::string::npos);
+  EXPECT_NE(s.find("[0]0"), std::string::npos);
+}
+
+TEST(TraceRender, PayloadOption) {
+  const BnbNetwork net(2);
+  TraceRenderOptions opt;
+  opt.show_payloads = true;
+  const std::string s = render_trace(net, Permutation({1, 0, 3, 2}), opt);
+  EXPECT_NE(s.find("payload"), std::string::npos);
+}
+
+TEST(TraceRender, RefusesOversizedNetworks) {
+  const BnbNetwork net(7);  // 128 > default max_lines of 64
+  Rng rng(191);
+  EXPECT_THROW((void)render_trace(net, random_perm(128, rng)), contract_violation);
+}
+
+TEST(DotExport, GbnHasOneNodePerBoxAndEdgePerLine) {
+  const GbnTopology g(3);
+  const std::string dot = gbn_to_dot(g);
+  // Boxes: 1 + 2 + 4 = 7 nodes.
+  EXPECT_EQ(count_occurrences(dot, "[label=\"SB("), 7U);
+  // Edges: 2 connections x 8 lines = 16.
+  EXPECT_EQ(count_occurrences(dot, " -> "), 16U);
+  EXPECT_EQ(dot.rfind("}\n"), dot.size() - 2);
+}
+
+TEST(DotExport, SplitterTreeShape) {
+  const std::string dot = splitter_to_dot(3);
+  EXPECT_EQ(count_occurrences(dot, "[label=\"FN\"]"), 7U);   // A(3) nodes
+  EXPECT_EQ(count_occurrences(dot, "label=\"z_u\""), 6U);    // up edges
+  EXPECT_EQ(count_occurrences(dot, "label=\"flag\""), 4U);   // leaf -> switch
+  EXPECT_EQ(count_occurrences(dot, "sw(1) #"), 4U);
+}
+
+TEST(DotExport, SplitterP1IsJustASwitch) {
+  const std::string dot = splitter_to_dot(1);
+  EXPECT_EQ(count_occurrences(dot, "FN"), 0U);
+  EXPECT_EQ(count_occurrences(dot, "sw(1) #"), 1U);
+}
+
+TEST(DotExport, BnbProfileNodesMatchNesting) {
+  const std::string dot = bnb_profile_to_dot(3);
+  EXPECT_EQ(count_occurrences(dot, "NB("), 7U);  // 1 + 2 + 4
+  // Full per-line edges at small N: 2 connections x 8 lines.
+  EXPECT_EQ(count_occurrences(dot, " -> "), 16U);
+}
+
+TEST(DotExport, LargeProfileSummarizes) {
+  const std::string dot = bnb_profile_to_dot(8);  // 256 lines -> summarized
+  EXPECT_NE(dot.find("lines\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bnb

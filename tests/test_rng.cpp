@@ -1,0 +1,76 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace bnb {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 12345678ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0ULL);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8U);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  // Mean of U(0,1) ~ 0.5; generous tolerance for 10k samples.
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, FlipIsRoughlyFair) {
+  Rng rng(17);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.flip()) ++heads;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / 10000.0, 0.5, 0.03);
+}
+
+TEST(SplitMix, KnownGolden) {
+  // SplitMix64(0) first output is the well-known constant.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xE220A8397B1DCDAFULL);
+}
+
+}  // namespace
+}  // namespace bnb

@@ -1,0 +1,135 @@
+// The 0/1-principle sorting-network verifier, and formal verification of
+// every comparator schedule in the repository.
+#include "verify/sorting_checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/batcher.hpp"
+#include "baselines/bitonic.hpp"
+#include "baselines/cellular.hpp"
+#include "common/expect.hpp"
+
+namespace bnb {
+namespace {
+
+std::vector<std::vector<ComparatorEdge>> batcher_stages(unsigned m) {
+  const BatcherNetwork net(m);
+  std::vector<std::vector<ComparatorEdge>> stages;
+  for (const auto& s : net.stages()) {
+    std::vector<ComparatorEdge> stage;
+    for (const auto& c : s) stage.push_back(ComparatorEdge{c.low, c.high});
+    stages.push_back(std::move(stage));
+  }
+  return stages;
+}
+
+std::vector<std::vector<ComparatorEdge>> bitonic_stages(unsigned m) {
+  const BitonicNetwork net(m);
+  std::vector<std::vector<ComparatorEdge>> stages;
+  for (const auto& s : net.stages()) {
+    std::vector<ComparatorEdge> stage;
+    for (const auto& c : s) stage.push_back(ComparatorEdge{c.low, c.high});
+    stages.push_back(std::move(stage));
+  }
+  return stages;
+}
+
+TEST(SortingChecker, ProvesBatcherOddEvenForAllSizesUpTo64k_Inputs) {
+  // Exhaustive over all 2^N boolean inputs; N = 16 covers 65,536 inputs.
+  for (const unsigned m : {1U, 2U, 3U, 4U}) {
+    const auto result = check_sorting_network(std::size_t{1} << m, batcher_stages(m));
+    EXPECT_TRUE(result.sorts) << "m=" << m;
+    EXPECT_EQ(result.inputs_covered, std::uint64_t{1} << (std::size_t{1} << m));
+  }
+}
+
+TEST(SortingChecker, ProvesBitonicForAllSizesUpTo64k_Inputs) {
+  for (const unsigned m : {1U, 2U, 3U, 4U}) {
+    EXPECT_TRUE(check_sorting_network(std::size_t{1} << m, bitonic_stages(m)).sorts)
+        << "m=" << m;
+  }
+}
+
+TEST(SortingChecker, ProvesOddEvenTranspositionColumns) {
+  // The cellular array's schedule: n columns of nearest-neighbor cells.
+  const std::size_t n = 9;  // also covers non-power-of-two wire counts
+  std::vector<std::vector<ComparatorEdge>> stages;
+  for (std::size_t s = 0; s < n; ++s) {
+    std::vector<ComparatorEdge> stage;
+    for (std::size_t i = s % 2; i + 1 < n; i += 2) {
+      stage.push_back(ComparatorEdge{static_cast<std::uint32_t>(i),
+                                     static_cast<std::uint32_t>(i + 1)});
+    }
+    stages.push_back(std::move(stage));
+  }
+  EXPECT_TRUE(check_sorting_network(n, stages).sorts);
+}
+
+TEST(SortingChecker, DetectsAMissingComparator) {
+  auto stages = batcher_stages(3);
+  // Delete one comparator from the last stage: no longer a sorting network.
+  ASSERT_FALSE(stages.back().empty());
+  stages.back().pop_back();
+  const auto result = check_sorting_network(8, stages);
+  EXPECT_FALSE(result.sorts);
+  ASSERT_TRUE(result.counterexample.has_value());
+
+  // The counterexample must actually fail when simulated directly.
+  std::vector<std::uint8_t> v = *result.counterexample;
+  for (const auto& stage : stages) {
+    for (const auto& c : stage) {
+      if (v[c.low] > v[c.high]) std::swap(v[c.low], v[c.high]);
+    }
+  }
+  bool sorted = true;
+  for (std::size_t i = 0; i + 1 < v.size(); ++i) {
+    if (v[i] > v[i + 1]) sorted = false;
+  }
+  EXPECT_FALSE(sorted);
+}
+
+TEST(SortingChecker, DetectsTooShortTransposition) {
+  // Odd-even transposition with only n-2 columns misses worst cases.
+  const std::size_t n = 6;
+  std::vector<std::vector<ComparatorEdge>> stages;
+  for (std::size_t s = 0; s < n - 2; ++s) {
+    std::vector<ComparatorEdge> stage;
+    for (std::size_t i = s % 2; i + 1 < n; i += 2) {
+      stage.push_back(ComparatorEdge{static_cast<std::uint32_t>(i),
+                                     static_cast<std::uint32_t>(i + 1)});
+    }
+    stages.push_back(std::move(stage));
+  }
+  EXPECT_FALSE(check_sorting_network(n, stages).sorts);
+}
+
+TEST(SortingChecker, EmptyScheduleSortsOnlyTrivially) {
+  EXPECT_TRUE(check_sorting_network(1, {}).sorts);
+  EXPECT_FALSE(check_sorting_network(2, {}).sorts);
+}
+
+TEST(SortingChecker, LimitsEnforced) {
+  EXPECT_THROW((void)check_sorting_network(0, {}), contract_violation);
+  EXPECT_THROW((void)check_sorting_network(25, {}), contract_violation);
+  const std::vector<std::vector<ComparatorEdge>> bad{{ComparatorEdge{0, 5}}};
+  EXPECT_THROW((void)check_sorting_network(4, bad), contract_violation);
+}
+
+TEST(SortingChecker, TwentyWiresStillFeasible) {
+  // 2^20 inputs x 20 wires in one sweep (a million cases, bit-parallel).
+  std::vector<std::vector<ComparatorEdge>> stages;
+  for (std::size_t s = 0; s < 20; ++s) {
+    std::vector<ComparatorEdge> stage;
+    for (std::size_t i = s % 2; i + 1 < 20; i += 2) {
+      stage.push_back(ComparatorEdge{static_cast<std::uint32_t>(i),
+                                     static_cast<std::uint32_t>(i + 1)});
+    }
+    stages.push_back(std::move(stage));
+  }
+  const auto result = check_sorting_network(20, stages);
+  EXPECT_TRUE(result.sorts);
+  EXPECT_EQ(result.inputs_covered, 1ULL << 20);
+}
+
+}  // namespace
+}  // namespace bnb

@@ -1,0 +1,165 @@
+// Definition 3 / Theorem 3 / Lemma 1: the splitter sp(p).
+#include "core/splitter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+
+namespace bnb {
+namespace {
+
+std::vector<std::uint8_t> bits_of(std::uint64_t v, std::size_t n) {
+  std::vector<std::uint8_t> bits(n);
+  for (std::size_t i = 0; i < n; ++i) bits[i] = static_cast<std::uint8_t>((v >> i) & 1U);
+  return bits;
+}
+
+std::size_t ones_even(const std::vector<std::uint8_t>& v) {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < v.size(); i += 2) c += v[i];
+  return c;
+}
+std::size_t ones_odd(const std::vector<std::uint8_t>& v) {
+  std::size_t c = 0;
+  for (std::size_t i = 1; i < v.size(); i += 2) c += v[i];
+  return c;
+}
+
+TEST(Splitter, P1RoutesZeroUpOneDown) {
+  const Splitter sp(1);
+  {
+    const std::vector<std::uint8_t> in{0, 1};
+    const auto r = sp.route(in);
+    EXPECT_EQ(r.out_bits, (std::vector<std::uint8_t>{0, 1}));
+    EXPECT_EQ(r.controls[0], 0);  // straight
+  }
+  {
+    const std::vector<std::uint8_t> in{1, 0};
+    const auto r = sp.route(in);
+    EXPECT_EQ(r.out_bits, (std::vector<std::uint8_t>{0, 1}));
+    EXPECT_EQ(r.controls[0], 1);  // exchange
+  }
+}
+
+TEST(Splitter, P1RejectsEqualInputs) {
+  const Splitter sp(1);
+  const std::vector<std::uint8_t> same{1, 1};
+  EXPECT_THROW((void)sp.route(same), contract_violation);
+}
+
+TEST(Splitter, Theorem3ExhaustiveBalanceP2toP4) {
+  // For every even-weight input, M_e(out) == M_o(out).
+  for (const unsigned p : {2U, 3U, 4U}) {
+    const Splitter sp(p);
+    const std::size_t n = sp.inputs();
+    for (std::uint64_t v = 0; v < pow2(static_cast<unsigned>(n)); ++v) {
+      if (popcount64(v) % 2 != 0) continue;
+      const auto in = bits_of(v, n);
+      const auto r = sp.route(in);
+      EXPECT_EQ(ones_even(r.out_bits), ones_odd(r.out_bits))
+          << "p=" << p << " input=" << v;
+    }
+  }
+}
+
+TEST(Splitter, BalanceOnRandomLargeInputs) {
+  Rng rng(31);
+  for (const unsigned p : {5U, 6U, 8U, 10U}) {
+    const Splitter sp(p);
+    const std::size_t n = sp.inputs();
+    for (int round = 0; round < 50; ++round) {
+      std::vector<std::uint8_t> in(n);
+      for (auto& b : in) b = static_cast<std::uint8_t>(rng.flip());
+      if (std::accumulate(in.begin(), in.end(), 0) % 2 != 0) in[0] ^= 1;
+      const auto r = sp.route(in);
+      EXPECT_EQ(ones_even(r.out_bits), ones_odd(r.out_bits)) << "p=" << p;
+    }
+  }
+}
+
+TEST(Splitter, OutputsArePermutationOfInputs) {
+  // A splitter only permutes: same multiset of bits, and dest is a bijection.
+  Rng rng(33);
+  const Splitter sp(4);
+  const std::size_t n = sp.inputs();
+  for (int round = 0; round < 100; ++round) {
+    std::vector<std::uint8_t> in(n);
+    for (auto& b : in) b = static_cast<std::uint8_t>(rng.flip());
+    if (std::accumulate(in.begin(), in.end(), 0) % 2 != 0) in[0] ^= 1;
+    const auto r = sp.route(in);
+
+    std::vector<bool> hit(n, false);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(r.out_bits[r.dest[j]], in[j]);
+      EXPECT_FALSE(hit[r.dest[j]]);
+      hit[r.dest[j]] = true;
+    }
+  }
+}
+
+TEST(Splitter, SwitchesOnlyExchangeWithinPairs) {
+  // dest must keep each input inside its own 2x2 switch.
+  const Splitter sp(3);
+  const std::vector<std::uint8_t> in{1, 1, 0, 1, 0, 0, 1, 0};
+  const auto r = sp.route(in);
+  for (std::size_t j = 0; j < 8; ++j) {
+    EXPECT_EQ(r.dest[j] / 2, j / 2);
+  }
+}
+
+TEST(Splitter, Lemma1FlagDirectsType2Pairs) {
+  Rng rng(35);
+  const Splitter sp(4);
+  const std::size_t n = sp.inputs();
+  for (int round = 0; round < 100; ++round) {
+    std::vector<std::uint8_t> in(n);
+    for (auto& b : in) b = static_cast<std::uint8_t>(rng.flip());
+    if (std::accumulate(in.begin(), in.end(), 0) % 2 != 0) in[0] ^= 1;
+    const auto r = sp.route(in);
+    for (std::size_t t = 0; t < n / 2; ++t) {
+      const auto b0 = in[2 * t];
+      const auto b1 = in[2 * t + 1];
+      if (b0 == b1) continue;  // type-1
+      const auto flag = r.flags[2 * t];
+      // Lemma 1: flag 0 -> the 1 goes to OL (odd output); flag 1 -> to OU.
+      const std::size_t one_src = (b0 == 1) ? 2 * t : 2 * t + 1;
+      const std::size_t one_dst = r.dest[one_src];
+      if (flag == 0) {
+        EXPECT_EQ(one_dst % 2, 1U);
+      } else {
+        EXPECT_EQ(one_dst % 2, 0U);
+      }
+    }
+  }
+}
+
+TEST(Splitter, OddWeightRejected) {
+  const Splitter sp(2);
+  const std::vector<std::uint8_t> odd{1, 0, 0, 0};
+  EXPECT_THROW((void)sp.route(odd), contract_violation);
+}
+
+TEST(Splitter, CensusCountsFig4Elements) {
+  // Fig. 4: sp(3) = A(3) (7 nodes) + sw(3) (4 switches).
+  const Splitter sp3(3);
+  EXPECT_EQ(sp3.census().switches_2x2, 4U);
+  EXPECT_EQ(sp3.census().function_nodes, 7U);
+  // sp(1): one switch, no nodes.
+  const Splitter sp1(1);
+  EXPECT_EQ(sp1.census().switches_2x2, 1U);
+  EXPECT_EQ(sp1.census().function_nodes, 0U);
+}
+
+TEST(Splitter, ArbiterDelayUnits) {
+  EXPECT_EQ(Splitter(1).arbiter_delay_fn_units(), 0U);
+  EXPECT_EQ(Splitter(2).arbiter_delay_fn_units(), 4U);
+  EXPECT_EQ(Splitter(5).arbiter_delay_fn_units(), 10U);
+}
+
+}  // namespace
+}  // namespace bnb

@@ -1,0 +1,101 @@
+// Large-scale stress: each case runs one big instance end-to-end within a
+// few seconds, exercising allocation paths and index arithmetic that small
+// N never touches (multi-word BitVec planes, >16-bit line indices, deep
+// recursion in Benes set-up).
+#include <gtest/gtest.h>
+
+#include "baselines/batcher.hpp"
+#include "baselines/benes.hpp"
+#include "baselines/koppelman.hpp"
+#include "common/rng.hpp"
+#include "core/bit_sliced.hpp"
+#include "core/bnb_network.hpp"
+#include "core/element_sim.hpp"
+#include "fabric/pipeline.hpp"
+#include "perm/generators.hpp"
+
+namespace bnb {
+namespace {
+
+TEST(Stress, Bnb64kLines) {
+  Rng rng(901);
+  const BnbNetwork net(16);
+  const Permutation pi = random_perm(net.inputs(), rng);
+  const auto r = net.route(pi);
+  EXPECT_TRUE(r.self_routed);
+  // Spot-check destinations across the full range.
+  for (std::size_t j = 0; j < net.inputs(); j += 4097) {
+    EXPECT_EQ(r.dest[j], pi(j));
+  }
+}
+
+TEST(Stress, ElementSim4kLines) {
+  Rng rng(902);
+  const BnbElementSim sim(12);
+  const auto r = sim.route(random_perm(4096, rng));
+  EXPECT_TRUE(r.self_routed);
+}
+
+TEST(Stress, BitSliced1kLinesWideWords) {
+  Rng rng(903);
+  const BitSlicedBnb sliced(10, 32);
+  const std::size_t n = 1024;
+  const Permutation pi = random_perm(n, rng);
+  std::vector<Word> words(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    words[j] = Word{pi(j), rng.next() & 0xFFFFFFFFULL};
+  }
+  const auto r = sliced.route_words(words);
+  ASSERT_TRUE(r.self_routed);
+  const Permutation inv = pi.inverse();
+  for (std::size_t line = 0; line < n; line += 97) {
+    EXPECT_EQ(r.outputs[line].payload, words[inv(line)].payload);
+  }
+}
+
+TEST(Stress, Batcher16kLines) {
+  Rng rng(904);
+  const BatcherNetwork net(14);
+  EXPECT_TRUE(net.route(random_perm(net.inputs(), rng)).self_routed);
+}
+
+TEST(Stress, Benes32kLines) {
+  Rng rng(905);
+  const BenesNetwork net(15);
+  EXPECT_TRUE(net.route(random_perm(net.inputs(), rng)).self_routed);
+}
+
+TEST(Stress, Waksman16kLines) {
+  Rng rng(906);
+  const BenesNetwork net(14, true);
+  EXPECT_TRUE(net.route(random_perm(net.inputs(), rng)).self_routed);
+}
+
+TEST(Stress, Koppelman32kLines) {
+  Rng rng(907);
+  const KoppelmanSrpn net(15);
+  EXPECT_TRUE(net.route(random_perm(net.inputs(), rng)).self_routed);
+}
+
+TEST(Stress, PipelineLongStream) {
+  Rng rng(908);
+  const PipelinedFabric fabric(PipelinedFabric::Kind::kBnb, 6);
+  std::vector<Permutation> stream;
+  stream.reserve(300);
+  for (int i = 0; i < 300; ++i) stream.push_back(random_perm(64, rng));
+  const auto stats = fabric.run_stream(stream);
+  EXPECT_TRUE(stats.all_delivered);
+  EXPECT_EQ(stats.words_delivered, 300U * 64);
+}
+
+TEST(Stress, RepeatedSmallRoutesNoStateLeak) {
+  // The same network object must be reusable indefinitely (const route).
+  Rng rng(909);
+  const BnbNetwork net(6);
+  for (int round = 0; round < 2000; ++round) {
+    ASSERT_TRUE(net.route(random_perm(64, rng)).self_routed);
+  }
+}
+
+}  // namespace
+}  // namespace bnb

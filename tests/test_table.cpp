@@ -1,0 +1,62 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+
+namespace bnb {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  TablePrinter t({"N", "value"});
+  t.add_row({"8", "123"});
+  t.add_row({"16", "456789"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("N"), std::string::npos);
+  EXPECT_NE(s.find("456789"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2U);
+}
+
+TEST(Table, RowArityChecked) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), contract_violation);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), contract_violation);
+}
+
+TEST(Table, EmptyHeadersRejected) {
+  EXPECT_THROW(TablePrinter({}), contract_violation);
+}
+
+TEST(Table, NumberGrouping) {
+  EXPECT_EQ(TablePrinter::num(std::uint64_t{0}), "0");
+  EXPECT_EQ(TablePrinter::num(std::uint64_t{999}), "999");
+  EXPECT_EQ(TablePrinter::num(std::uint64_t{1000}), "1,000");
+  EXPECT_EQ(TablePrinter::num(std::uint64_t{1234567}), "1,234,567");
+  EXPECT_EQ(TablePrinter::num(std::uint64_t{1000000000}), "1,000,000,000");
+}
+
+TEST(Table, DoubleFormatting) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::ratio(0.333333, 3), "0.333");
+}
+
+TEST(Table, ColumnsAligned) {
+  TablePrinter t({"x", "longheader"});
+  t.add_row({"verylongcell", "1"});
+  const std::string s = t.to_string();
+  // Every rendered line has the same length.
+  std::size_t len = std::string::npos;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t nl = s.find('\n', pos);
+    ASSERT_NE(nl, std::string::npos);
+    const std::size_t this_len = nl - pos;
+    if (len == std::string::npos) len = this_len;
+    EXPECT_EQ(this_len, len);
+    pos = nl + 1;
+  }
+}
+
+}  // namespace
+}  // namespace bnb

@@ -1,0 +1,99 @@
+#include "core/unshuffle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+
+namespace bnb {
+namespace {
+
+TEST(Unshuffle, MatchesPaperDefinition) {
+  // U_k^m(b_{m-1}..b_k b_{k-1}..b_1 b_0) = (b_{m-1}..b_k b_0 b_{k-1}..b_1).
+  // m = 3, k = 3: full rotate right.
+  EXPECT_EQ(unshuffle_index(0b000, 3, 3), 0b000ULL);
+  EXPECT_EQ(unshuffle_index(0b001, 3, 3), 0b100ULL);
+  EXPECT_EQ(unshuffle_index(0b010, 3, 3), 0b001ULL);
+  EXPECT_EQ(unshuffle_index(0b011, 3, 3), 0b101ULL);
+  EXPECT_EQ(unshuffle_index(0b100, 3, 3), 0b010ULL);
+  EXPECT_EQ(unshuffle_index(0b111, 3, 3), 0b111ULL);
+}
+
+TEST(Unshuffle, HighBitsUntouched) {
+  // m = 4, k = 2: only the low two bits rotate.
+  EXPECT_EQ(unshuffle_index(0b1101, 2, 4), 0b1110ULL);
+  EXPECT_EQ(unshuffle_index(0b1110, 2, 4), 0b1101ULL);
+  EXPECT_EQ(unshuffle_index(0b1000, 2, 4), 0b1000ULL);
+}
+
+TEST(Unshuffle, KEqualsOneIsIdentity) {
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(unshuffle_index(i, 1, 4), i);
+  }
+}
+
+TEST(Unshuffle, ShuffleIsInverse) {
+  for (unsigned m = 1; m <= 8; ++m) {
+    for (unsigned k = 1; k <= m; ++k) {
+      for (std::uint64_t i = 0; i < pow2(m); ++i) {
+        EXPECT_EQ(shuffle_index(unshuffle_index(i, k, m), k, m), i);
+        EXPECT_EQ(unshuffle_index(shuffle_index(i, k, m), k, m), i);
+      }
+    }
+  }
+}
+
+TEST(Unshuffle, IsBijection) {
+  for (unsigned m = 2; m <= 6; ++m) {
+    for (unsigned k = 1; k <= m; ++k) {
+      std::set<std::uint64_t> image;
+      for (std::uint64_t i = 0; i < pow2(m); ++i) {
+        image.insert(unshuffle_index(i, k, m));
+      }
+      EXPECT_EQ(image.size(), pow2(m));
+    }
+  }
+}
+
+TEST(Unshuffle, EvenLinesGoToUpperHalfOfBlock) {
+  // The radix-sort property: within each 2^k block, even local indices land
+  // in the block's upper half, odd ones in the lower half, order-preserving.
+  const unsigned m = 6;
+  for (unsigned k = 2; k <= m; ++k) {
+    const std::uint64_t block = pow2(k);
+    for (std::uint64_t i = 0; i < pow2(m); ++i) {
+      const std::uint64_t base = i & ~(block - 1);
+      const std::uint64_t local = i & (block - 1);
+      const std::uint64_t out = unshuffle_index(i, k, m);
+      EXPECT_EQ(out & ~(block - 1), base);  // stays in its block
+      const std::uint64_t out_local = out & (block - 1);
+      if (local % 2 == 0) {
+        EXPECT_EQ(out_local, local / 2);               // upper half, in order
+      } else {
+        EXPECT_EQ(out_local, block / 2 + local / 2);   // lower half, in order
+      }
+    }
+  }
+}
+
+TEST(Unshuffle, ConnectionPermutationMatchesIndexFunction) {
+  for (unsigned m = 1; m <= 6; ++m) {
+    for (unsigned k = 1; k <= m; ++k) {
+      const Permutation conn = unshuffle_connection(k, m);
+      for (std::size_t i = 0; i < conn.size(); ++i) {
+        EXPECT_EQ(conn(i), unshuffle_index(i, k, m));
+      }
+    }
+  }
+}
+
+TEST(Unshuffle, PreconditionsEnforced) {
+  EXPECT_THROW((void)unshuffle_index(0, 0, 3), contract_violation);   // k < 1
+  EXPECT_THROW((void)unshuffle_index(0, 4, 3), contract_violation);   // k > m
+  EXPECT_THROW((void)unshuffle_index(8, 3, 3), contract_violation);   // i out of range
+}
+
+}  // namespace
+}  // namespace bnb
