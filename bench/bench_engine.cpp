@@ -1,0 +1,165 @@
+// Machine-readable routing-engine benchmark: seed behavioral router vs the
+// compiled flat engine (single thread, m in {8,10,12,14}) plus batch
+// scaling of CompiledBnb::route_batch at m = 14 across 1/2/4/8 worker
+// threads.  Results are written as JSON (schema "bnb.bench_routing.v1") so
+// the checked-in BENCH_routing.json can be regenerated and diffed; see
+// EXPERIMENTS.md for the schema and regeneration instructions.
+//
+// Usage: bench_engine [output.json]           (default: BENCH_routing.json)
+//        bench_engine --quick [output.json]   (shorter timing budget, for CI)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/bnb_network.hpp"
+#include "core/compiled_bnb.hpp"
+#include "perm/generators.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Time `fn` (one call = one routed permutation) until the measured run is
+/// at least `min_seconds` long; returns nanoseconds per call.
+template <typename F>
+double ns_per_call(F&& fn, double min_seconds) {
+  fn();  // warm-up (first-touch, scratch prepare)
+  std::size_t iters = 1;
+  for (;;) {
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < iters; ++i) fn();
+    const double sec = seconds_since(t0);
+    if (sec >= min_seconds) return sec * 1e9 / static_cast<double>(iters);
+    const double grow = sec > 0 ? min_seconds / sec * 1.3 : 16.0;
+    iters = static_cast<std::size_t>(static_cast<double>(iters) * grow) + 1;
+  }
+}
+
+std::vector<bnb::Permutation> perm_pool(std::size_t n, std::size_t count,
+                                        bnb::Rng& rng) {
+  std::vector<bnb::Permutation> pool;
+  pool.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) pool.push_back(bnb::random_perm(n, rng));
+  return pool;
+}
+
+struct SingleRow {
+  unsigned m = 0;
+  double seed_ns = 0;
+  double compiled_ns = 0;
+};
+
+struct BatchRow {
+  unsigned threads = 0;
+  double ns_per_perm = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double budget = 0.25;  // seconds of measurement per timed quantity
+  std::string out_path = "BENCH_routing.json";
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--quick") == 0) {
+      budget = 0.02;
+    } else {
+      out_path = argv[a];
+    }
+  }
+
+  bnb::Rng rng(0xB16B00);
+
+  std::vector<SingleRow> single;
+  for (const unsigned m : {8U, 10U, 12U, 14U}) {
+    const std::size_t n = std::size_t{1} << m;
+    const bnb::BnbNetwork seed(m);
+    const bnb::CompiledBnb engine(m);
+    bnb::RouteScratch scratch;
+    scratch.prepare(engine);
+    const auto pool = perm_pool(n, 8, rng);
+
+    std::size_t i_seed = 0;
+    const double seed_ns = ns_per_call(
+        [&] {
+          const auto r = seed.route(pool[i_seed++ & 7]);
+          if (!r.self_routed) std::exit(1);
+        },
+        budget);
+    std::size_t i_fast = 0;
+    const double compiled_ns = ns_per_call(
+        [&] {
+          const auto r = engine.route(pool[i_fast++ & 7], scratch);
+          if (!r.self_routed) std::exit(1);
+        },
+        budget);
+    single.push_back({m, seed_ns, compiled_ns});
+    std::printf("m=%2u N=%6zu  seed %10.0f ns/perm  compiled %9.0f ns/perm  speedup %5.2fx\n",
+                m, n, seed_ns, compiled_ns, seed_ns / compiled_ns);
+  }
+
+  // Batch throughput at the largest size: one route_batch call per timing
+  // sample so thread spawn/join cost is included (the honest steady-state
+  // number for callers streaming batches of this size).
+  const unsigned batch_m = 14;
+  const std::size_t batch_perms = 64;
+  const bnb::CompiledBnb engine(batch_m);
+  const auto batch_pool = perm_pool(std::size_t{1} << batch_m, batch_perms, rng);
+  std::vector<BatchRow> batch;
+  for (const unsigned threads : {1U, 2U, 4U, 8U}) {
+    const double ns = ns_per_call(
+                          [&] {
+                            const auto r = engine.route_batch(batch_pool, threads);
+                            if (!r.all_self_routed) std::exit(1);
+                          },
+                          budget) /
+                      static_cast<double>(batch_perms);
+    batch.push_back({threads, ns});
+    std::printf("batch m=%u threads=%u  %9.0f ns/perm  scaling %5.2fx\n", batch_m,
+                threads, ns, batch.front().ns_per_perm / ns);
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"bnb.bench_routing.v1\",\n");
+  std::fprintf(f, "  \"generated_by\": \"bench_engine\",\n");
+  // Batch scaling is bounded by the host: on a 1-core container the
+  // thread rows stay flat regardless of the pool implementation.
+  std::fprintf(f, "  \"hardware_threads\": %u,\n", std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"single_thread\": [\n");
+  for (std::size_t i = 0; i < single.size(); ++i) {
+    const auto& row = single[i];
+    std::fprintf(f,
+                 "    {\"m\": %u, \"n\": %zu, \"seed_ns_per_perm\": %.1f, "
+                 "\"compiled_ns_per_perm\": %.1f, \"speedup\": %.2f}%s\n",
+                 row.m, std::size_t{1} << row.m, row.seed_ns, row.compiled_ns,
+                 row.seed_ns / row.compiled_ns, i + 1 < single.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"batch\": {\n    \"m\": %u,\n    \"permutations\": %zu,\n",
+               batch_m, batch_perms);
+  std::fprintf(f, "    \"results\": [\n");
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto& row = batch[i];
+    std::fprintf(f,
+                 "      {\"threads\": %u, \"ns_per_perm\": %.1f, "
+                 "\"perms_per_sec\": %.0f, \"scaling\": %.2f}%s\n",
+                 row.threads, row.ns_per_perm, 1e9 / row.ns_per_perm,
+                 batch.front().ns_per_perm / row.ns_per_perm,
+                 i + 1 < batch.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -12,12 +12,14 @@
 // clock FASTER, while the BNB wins the unpipelined combinational race —
 // the paper's claims concern the latter, and finer-grained pipelining of
 // the arbiter tree would be needed to carry the BNB's edge into cycle time.
+#include <chrono>
 #include <cstdio>
 
 #include "common/math_util.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "core/complexity.hpp"
+#include "core/compiled_bnb.hpp"
 #include "fabric/pipeline.hpp"
 #include "perm/generators.hpp"
 
@@ -70,11 +72,40 @@ void functional_stream() {
   std::puts(" streams it converges to one cycle time per permutation)");
 }
 
+void software_engine_stream() {
+  // The same 200-permutation streams through the compiled software engine
+  // (CompiledBnb::route_batch) — wall-clock rather than model cycles, as a
+  // reference point for users of the library as a software router.
+  std::puts("\n== Same streams through the compiled software engine (wall clock) ==");
+  TablePrinter t({"N", "threads", "audit", "us/permutation"});
+  bnb::Rng rng(909);
+  for (const unsigned m : {4U, 6U, 8U}) {
+    const std::size_t n = bnb::pow2(m);
+    std::vector<bnb::Permutation> stream;
+    stream.reserve(200);
+    for (int i = 0; i < 200; ++i) stream.push_back(bnb::random_perm(n, rng));
+    const bnb::CompiledBnb engine(m);
+    for (const unsigned threads : {1U, 4U}) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto batch = engine.route_batch(stream, threads);
+      const double us =
+          std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
+              .count() /
+          static_cast<double>(stream.size());
+      t.add_row({TablePrinter::num(static_cast<std::uint64_t>(n)),
+                 TablePrinter::num(std::uint64_t{threads}),
+                 batch.all_self_routed ? "ok" : "FAIL", TablePrinter::num(us, 2)});
+    }
+  }
+  t.print();
+}
+
 }  // namespace
 
 int main() {
   std::puts("BNB network -- pipelined fabric study (extension)\n");
   timing_comparison();
   functional_stream();
+  software_engine_stream();
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "baselines/koppelman.hpp"
 #include "common/rng.hpp"
 #include "core/bnb_network.hpp"
+#include "core/compiled_bnb.hpp"
 #include "perm/generators.hpp"
 
 namespace {
@@ -31,6 +32,39 @@ void BM_BnbRoute(benchmark::State& state) {
                           static_cast<std::int64_t>(net.inputs()));
 }
 BENCHMARK(BM_BnbRoute)->DenseRange(4, 14, 2);
+
+void BM_CompiledBnbRoute(benchmark::State& state) {
+  // The flat engine with a prepared scratch: the zero-allocation fast path.
+  const unsigned m = static_cast<unsigned>(state.range(0));
+  const bnb::CompiledBnb engine(m);
+  const auto pi = test_perm(engine.inputs());
+  bnb::RouteScratch scratch;
+  scratch.prepare(engine);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.route(pi, scratch));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(engine.inputs()));
+}
+BENCHMARK(BM_CompiledBnbRoute)->DenseRange(4, 14, 2);
+
+void BM_CompiledBnbBatch(benchmark::State& state) {
+  // 64-permutation batches through the worker pool; range(1) = threads.
+  const unsigned m = static_cast<unsigned>(state.range(0));
+  const unsigned threads = static_cast<unsigned>(state.range(1));
+  const bnb::CompiledBnb engine(m);
+  bnb::Rng rng(0xBA7C4 ^ m);
+  std::vector<bnb::Permutation> perms;
+  for (int i = 0; i < 64; ++i) perms.push_back(bnb::random_perm(engine.inputs(), rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.route_batch(perms, threads));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(perms.size()) *
+                          static_cast<std::int64_t>(engine.inputs()));
+}
+BENCHMARK(BM_CompiledBnbBatch)
+    ->ArgsProduct({{10, 14}, {1, 2, 4, 8}});
 
 void BM_BatcherRoute(benchmark::State& state) {
   const unsigned m = static_cast<unsigned>(state.range(0));

@@ -6,8 +6,12 @@
 //   route_cli --network=batcher 1 0 3 2
 //   route_cli --trace 3 1 0 2 # print the stage-by-stage radix-sort trace
 //   route_cli --dot 8         # emit the 8-input BNB profile as Graphviz
+//   route_cli --batch 500 --threads 4 256
+//                             # 500 random permutations on 256 lines through
+//                             # the compiled engine's worker pool (N optional,
+//                             # default 16) -- doubles as a throughput smoke test
 //
-// Exit code 0 iff the permutation was routed (always, for valid input).
+// Exit code 0 iff the permutation(s) were routed (always, for valid input).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,6 +24,7 @@
 #include "common/math_util.hpp"
 #include "common/rng.hpp"
 #include "core/bnb_network.hpp"
+#include "core/compiled_bnb.hpp"
 #include "core/dot_export.hpp"
 #include "core/trace_render.hpp"
 #include "perm/generators.hpp"
@@ -29,9 +34,33 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--network=bnb|batcher|benes|koppelman] [--trace] "
-               "[--dot N] [image...]\n",
+               "[--dot N] [--batch COUNT [--threads T]] [image... | N]\n",
                argv0);
   return 2;
+}
+
+// --batch COUNT: route COUNT random permutations of N lines (optional
+// positional N, default 16) through CompiledBnb::route_batch.
+int run_batch(std::size_t count, unsigned threads, std::size_t n) {
+  if (count == 0 || threads == 0 || threads > 256) {
+    std::fputs("--batch needs COUNT >= 1 and 1 <= --threads <= 256\n", stderr);
+    return 2;
+  }
+  if (!bnb::is_power_of_two(n) || n < 2 || n > (std::size_t{1} << 20)) {
+    std::fputs("--batch needs N a power of two in [2, 2^20]\n", stderr);
+    return 2;
+  }
+  bnb::Rng rng(2026);
+  std::vector<bnb::Permutation> perms;
+  perms.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) perms.push_back(bnb::random_perm(n, rng));
+
+  const bnb::CompiledBnb engine(bnb::log2_exact(n));
+  const auto batch = engine.route_batch(perms, threads);
+  std::printf("batch: %zu permutations of %zu lines, %u thread%s: %s\n",
+              batch.permutations, n, threads, threads == 1 ? "" : "s",
+              batch.all_self_routed ? "all routed OK" : "ROUTING FAILED");
+  return batch.all_self_routed ? 0 : 1;
 }
 
 int emit_dot(std::size_t n) {
@@ -48,6 +77,9 @@ int emit_dot(std::size_t n) {
 int main(int argc, char** argv) {
   std::string network = "bnb";
   bool trace = false;
+  bool batch = false;
+  std::size_t batch_count = 0;
+  unsigned threads = 1;
   std::vector<bnb::Permutation::value_type> image;
 
   for (int a = 1; a < argc; ++a) {
@@ -59,12 +91,25 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--dot") == 0) {
       if (a + 1 >= argc) return usage(argv[0]);
       return emit_dot(std::strtoull(argv[a + 1], nullptr, 10));
+    } else if (std::strcmp(arg, "--batch") == 0) {
+      if (a + 1 >= argc) return usage(argv[0]);
+      batch = true;
+      batch_count = std::strtoull(argv[++a], nullptr, 10);
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      if (a + 1 >= argc) return usage(argv[0]);
+      threads = static_cast<unsigned>(std::strtoul(argv[++a], nullptr, 10));
     } else if (arg[0] == '-' && !(arg[1] >= '0' && arg[1] <= '9')) {
       return usage(argv[0]);
     } else {
       image.push_back(static_cast<bnb::Permutation::value_type>(
           std::strtoul(arg, nullptr, 10)));
     }
+  }
+
+  if (batch) {
+    // In batch mode the single optional positional argument is N.
+    if (image.size() > 1) return usage(argv[0]);
+    return run_batch(batch_count, threads, image.empty() ? 16 : image[0]);
   }
 
   bnb::Permutation pi;

@@ -53,11 +53,14 @@ BitSorter::Result BitSorter::route(std::span<const std::uint8_t> bits) const {
     where = std::move(next_where);
 
     if (stage + 1 < k()) {
-      // The GBN's U_{k-stage}^k unshuffle connection to the next stage.
+      // The GBN's U_{k-stage}^k unshuffle connection to the next stage,
+      // via the flat per-stage table precomputed by GbnTopology.
+      const auto table = topo_.stage_unshuffle(stage);
       std::vector<std::uint8_t> shuffled_bits(n);
       std::vector<std::uint32_t> shuffled_where(n);
       for (std::size_t line = 0; line < n; ++line) {
-        const std::size_t nxt = topo_.next_line(stage, line);
+        const std::size_t nxt =
+            table.empty() ? topo_.next_line(stage, line) : table[line];
         shuffled_bits[nxt] = cur[line];
         shuffled_where[nxt] = where[line];
       }

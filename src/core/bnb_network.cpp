@@ -21,14 +21,21 @@ BnbNetwork::Result BnbNetwork::route(const Permutation& pi, bool keep_trace) con
   for (std::size_t j = 0; j < inputs(); ++j) {
     words[j] = Word{pi(j), static_cast<std::uint64_t>(j)};
   }
-  return route_words(words, keep_trace);
+  // The Permutation invariant guarantees the addresses are a bijection of
+  // 0..N-1, so skip the O(N) validity re-check of the public words entry.
+  return route_words_impl(words, keep_trace, /*validate=*/false);
 }
 
 BnbNetwork::Result BnbNetwork::route_words(std::span<const Word> words,
                                            bool keep_trace) const {
+  return route_words_impl(words, keep_trace, /*validate=*/true);
+}
+
+BnbNetwork::Result BnbNetwork::route_words_impl(std::span<const Word> words,
+                                                bool keep_trace, bool validate) const {
   const std::size_t n = inputs();
   BNB_EXPECTS(words.size() == n);
-  {
+  if (validate) {
     // The self-routing guarantee (Theorem 2) assumes the addresses are a
     // permutation of 0..N-1.
     std::vector<Permutation::value_type> addrs(n);
@@ -71,11 +78,14 @@ BnbNetwork::Result BnbNetwork::route_words(std::span<const Word> words,
 
     if (stage + 1 < m_) {
       // Main-network U_{m-stage}^m connection: even lines of each block go
-      // to NB(stage+1, 2b), odd lines to NB(stage+1, 2b+1).
+      // to NB(stage+1, 2b), odd lines to NB(stage+1, 2b+1).  The flat
+      // per-stage table is precomputed by GbnTopology.
+      const auto table = main_.stage_unshuffle(stage);
       std::vector<Word> shuffled(n);
       std::vector<std::uint32_t> shuffled_where(n);
       for (std::size_t line = 0; line < n; ++line) {
-        const std::size_t nxt = main_.next_line(stage, line);
+        const std::size_t nxt =
+            table.empty() ? main_.next_line(stage, line) : table[line];
         shuffled[nxt] = cur[line];
         shuffled_where[nxt] = where[line];
       }

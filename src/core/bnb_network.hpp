@@ -81,6 +81,12 @@ class BnbNetwork {
   [[nodiscard]] std::string describe() const;
 
  private:
+  /// Shared routing body; `validate` re-checks the permutation-of-addresses
+  /// precondition (skipped for route(Permutation) — its invariant already
+  /// guarantees it).
+  [[nodiscard]] Result route_words_impl(std::span<const Word> words, bool keep_trace,
+                                        bool validate) const;
+
   unsigned m_;
   GbnTopology main_;
   std::vector<BitSorter> sorters_;  ///< sorters_[i] = the BSN shape of stage i

@@ -1,0 +1,287 @@
+#include "core/compiled_bnb.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <thread>
+
+#include "common/expect.hpp"
+#include "core/bit_pack.hpp"
+
+namespace bnb {
+
+namespace {
+
+// Work-buffer layout for column_controls: even/odd halves, the arbiter's up
+// and down level stacks (each level rounds up to whole words, hence the
+// +32-word slack for up to 25 levels), and two down-pass temporaries.
+constexpr std::size_t kLevelSlack = 32;
+
+}  // namespace
+
+// ---- RouteScratch -----------------------------------------------------
+
+void RouteScratch::prepare(const CompiledBnb& plan) {
+  const std::size_t n = plan.inputs();
+  if (n_ == n) return;
+  const std::size_t words = bitpack::words_for(n);
+  state_.assign(n, 0);
+  spare_.assign(n, 0);
+  bits_.assign(words, 0);
+  ctl_.assign(plan.control_words(), 0);
+  work_.assign(plan.work_words(), 0);
+  outputs_.assign(n, Word{});
+  dest_.assign(n, 0);
+  n_ = n;
+}
+
+bool RouteScratch::prepared_for(const CompiledBnb& plan) const noexcept {
+  return n_ == plan.inputs();
+}
+
+// ---- CompiledBnb ------------------------------------------------------
+
+CompiledBnb::CompiledBnb(unsigned m) : m_(m) {
+  BNB_EXPECTS(m >= 1 && m < 26);
+  columns_.reserve(static_cast<std::size_t>(m) * (m + 1) / 2);
+  for (unsigned i = 0; i < m; ++i) {
+    const unsigned k = m - i;  // BSN(i, *) spans 2^k lines, k columns
+    for (unsigned j = 0; j < k; ++j) {
+      const unsigned p = k - j;  // column j holds splitters sp(p)
+      const bool update = (j + 1 < k);
+      std::uint32_t group;
+      if (update) {
+        group = std::uint32_t{1} << p;  // intra-BSN U_p^k unshuffle
+      } else if (i + 1 < m) {
+        group = std::uint32_t{1} << k;  // main U_k^m unshuffle
+      } else {
+        group = 2;  // network output column: bare exchange
+      }
+      columns_.push_back(Column{i, j, p, group, update});
+    }
+  }
+}
+
+std::size_t CompiledBnb::control_words() const noexcept {
+  return bitpack::words_for(inputs() / 2);
+}
+
+std::size_t CompiledBnb::work_words() const noexcept {
+  const std::size_t half = bitpack::words_for(inputs() / 2);
+  // e + o + ups + downs + two temporaries.  A level stack holds every tree
+  // level: the leaf level (half words) plus halving word counts below it
+  // (< half words total) plus one word for each level narrower than 64
+  // bits (≤ kLevelSlack of those for any m < 26) — 2*half + slack bounds it.
+  return 4 * half + 2 * (2 * half + kLevelSlack);
+}
+
+void CompiledBnb::column_controls(std::size_t column, std::uint64_t* bits,
+                                  std::uint64_t* ctl, std::uint64_t* work) const {
+  BNB_EXPECTS(column < columns_.size());
+  const Column& col = columns_[column];
+  const std::size_t n = inputs();
+  const std::size_t pairs = n / 2;
+  const std::size_t half_words = bitpack::words_for(pairs);
+  const unsigned p = col.p;
+
+  const std::size_t stack_words = 2 * half_words + kLevelSlack;
+  std::uint64_t* e = work;
+  std::uint64_t* o = e + half_words;
+  std::uint64_t* ups = o + half_words;
+  std::uint64_t* downs = ups + stack_words;
+  std::uint64_t* tmp_a = downs + stack_words;
+  std::uint64_t* tmp_b = tmp_a + half_words;
+
+  bitpack::compress_even(bits, n, e);
+  bitpack::compress_odd(bits, n, o);
+
+  if (p == 1) {
+    // sp(1) has no arbiter (A(1) is wiring): the upper input bit is the
+    // switch signal itself.
+    std::copy(e, e + half_words, ctl);
+  } else {
+    // Level l of the per-splitter arbiter trees, evaluated for all
+    // splitters of the column at once: leaves are level p-1 (one bit per
+    // switch), the per-splitter roots are level 0.
+    std::array<std::uint64_t*, 32> up_lvl{};
+    std::array<std::uint64_t*, 32> down_lvl{};
+    std::array<std::size_t, 32> size{};
+    size[p - 1] = pairs;
+    up_lvl[p - 1] = ups;
+    down_lvl[p - 1] = downs;
+    for (unsigned l = p - 1; l-- > 0;) {
+      size[l] = size[l + 1] / 2;
+      up_lvl[l] = up_lvl[l + 1] + bitpack::words_for(size[l + 1]);
+      down_lvl[l] = down_lvl[l + 1] + bitpack::words_for(size[l + 1]);
+    }
+
+    // Up pass: z_u = XOR of the two child signals.
+    for (std::size_t w = 0; w < half_words; ++w) up_lvl[p - 1][w] = e[w] ^ o[w];
+    for (unsigned l = p - 1; l-- > 0;) {
+      bitpack::pair_xor_compress(up_lvl[l + 1], size[l + 1], up_lvl[l]);
+    }
+
+    // Down pass: each root echoes its own up signal; a node with z_u = 0
+    // generates flags (0 up, 1 down), a node with z_u = 1 forwards its
+    // parent flag: child flags = (u & d, d | ~u) interleaved.
+    std::copy(up_lvl[0], up_lvl[0] + bitpack::words_for(size[0]), down_lvl[0]);
+    for (unsigned l = 0; l + 1 < p; ++l) {
+      const std::size_t lw = bitpack::words_for(size[l]);
+      for (std::size_t w = 0; w < lw; ++w) {
+        tmp_a[w] = up_lvl[l][w] & down_lvl[l][w];
+        tmp_b[w] = down_lvl[l][w] | ~up_lvl[l][w];
+      }
+      bitpack::interleave_bits(tmp_a, tmp_b, size[l], down_lvl[l + 1]);
+    }
+
+    // Switch setting = s^I(2t) XOR f(2t); the flag of an even input is
+    // z_u AND z_d of its leaf node.
+    for (std::size_t w = 0; w < half_words; ++w) {
+      ctl[w] = e[w] ^ (up_lvl[p - 1][w] & down_lvl[p - 1][w]);
+    }
+  }
+
+  if (col.update_bits) {
+    // Advance the packed bits through the switch column and the U_p^k
+    // unshuffle in one step: exchanged pairs swap their even/odd halves,
+    // then even outputs fill each splitter's upper half, odd its lower.
+    for (std::size_t w = 0; w < half_words; ++w) {
+      const std::uint64_t t = (e[w] ^ o[w]) & ctl[w];
+      e[w] ^= t;
+      o[w] ^= t;
+    }
+    bitpack::chunk_concat(e, o, pairs, col.group / 2, bits);
+  }
+}
+
+CompiledBnb::Output CompiledBnb::route_impl(RouteScratch& s, ControlTrace* trace,
+                                            std::span<const Word> payload_source) const {
+  const std::size_t n = inputs();
+  const std::size_t words = bitpack::words_for(n);
+  std::uint64_t* state = s.state_.data();
+  std::uint64_t* spare = s.spare_.data();
+  if (trace != nullptr) {
+    trace->column_controls.clear();
+    trace->column_controls.reserve(columns_.size());
+  }
+
+  std::size_t col_idx = 0;
+  for (unsigned stage = 0; stage < m_; ++stage) {
+    // Paper bit `stage` (bit 0 = MSB) of an m-bit address is integer bit
+    // m-1-stage; pack it for all lines, 64 lines per word.
+    const unsigned addr_bit = m_ - 1 - stage;
+    for (std::size_t w = 0; w < words; ++w) {
+      const std::size_t lo = w * 64;
+      const std::size_t hi = std::min(n, lo + 64);
+      std::uint64_t packed = 0;
+      for (std::size_t t = lo; t < hi; ++t) {
+        packed |= ((state[t] >> addr_bit) & 1ULL) << (t - lo);
+      }
+      s.bits_[w] = packed;
+    }
+
+    const unsigned k = m_ - stage;
+    for (unsigned j = 0; j < k; ++j, ++col_idx) {
+      const Column& col = columns_[col_idx];
+      column_controls(col_idx, s.bits_.data(), s.ctl_.data(), s.work_.data());
+      if (trace != nullptr) {
+        trace->column_controls.emplace_back(s.ctl_.begin(),
+                                            s.ctl_.begin() +
+                                                static_cast<std::ptrdiff_t>(control_words()));
+      }
+      apply_column_to_lines<std::uint64_t>(s.ctl_.data(), {state, n}, {spare, n}, col.group);
+      std::swap(state, spare);
+    }
+  }
+
+  bool self_routed = true;
+  const bool payload_is_input_index = payload_source.empty();
+  for (std::size_t line = 0; line < n; ++line) {
+    const std::uint64_t sv = state[line];
+    const auto address = static_cast<std::uint32_t>(sv);
+    const auto input = static_cast<std::uint32_t>(sv >> 32);
+    s.dest_[input] = static_cast<std::uint32_t>(line);
+    s.outputs_[line] =
+        Word{address, payload_is_input_index ? std::uint64_t{input}
+                                             : payload_source[input].payload};
+    self_routed &= (address == line);
+  }
+  return Output{{s.outputs_.data(), n}, {s.dest_.data(), n}, self_routed};
+}
+
+CompiledBnb::Output CompiledBnb::route(const Permutation& pi, RouteScratch& scratch,
+                                       ControlTrace* trace) const {
+  const std::size_t n = inputs();
+  BNB_EXPECTS(pi.size() == n);
+  scratch.prepare(*this);
+  // The Permutation invariant already guarantees the addresses are a
+  // bijection — no O(N) validity re-check on this entry point.
+  for (std::size_t j = 0; j < n; ++j) {
+    scratch.state_[j] = (std::uint64_t{j} << 32) | pi(j);
+  }
+  return route_impl(scratch, trace, {});
+}
+
+CompiledBnb::Output CompiledBnb::route_words(std::span<const Word> words,
+                                             RouteScratch& scratch,
+                                             ControlTrace* trace) const {
+  const std::size_t n = inputs();
+  BNB_EXPECTS(words.size() == n);
+  scratch.prepare(*this);
+  // Self-routing (Theorem 2) assumes the addresses are a permutation of
+  // 0..N-1; verify with the packed-bit buffer as a seen-set (no allocation).
+  std::fill(scratch.bits_.begin(), scratch.bits_.end(), 0);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint32_t a = words[j].address;
+    BNB_EXPECTS(a < n);
+    BNB_EXPECTS(bitpack::get_bit(scratch.bits_.data(), a) == 0);
+    scratch.bits_[a >> 6] |= std::uint64_t{1} << (a & 63);
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    scratch.state_[j] = (std::uint64_t{j} << 32) | words[j].address;
+  }
+  return route_impl(scratch, trace, words);
+}
+
+BatchResult CompiledBnb::route_batch(std::span<const Permutation> perms,
+                                     unsigned threads) const {
+  BNB_EXPECTS(threads >= 1 && threads <= 256);
+  const std::size_t n = inputs();
+  for (const auto& pi : perms) BNB_EXPECTS(pi.size() == n);
+
+  BatchResult result;
+  result.permutations = perms.size();
+  result.dest.resize(perms.size() * n);
+  if (perms.empty()) {
+    result.all_self_routed = true;
+    return result;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> all_ok{true};
+  auto drain = [&]() {
+    RouteScratch scratch;
+    scratch.prepare(*this);
+    for (;;) {
+      const std::size_t idx = next.fetch_add(1, std::memory_order_relaxed);
+      if (idx >= perms.size()) break;
+      const Output out = route(perms[idx], scratch);
+      if (!out.self_routed) all_ok.store(false, std::memory_order_relaxed);
+      std::copy(out.dest.begin(), out.dest.end(),
+                result.dest.begin() + static_cast<std::ptrdiff_t>(idx * n));
+    }
+  };
+
+  const auto workers =
+      static_cast<unsigned>(std::min<std::size_t>(threads, perms.size()));
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (unsigned t = 1; t < workers; ++t) pool.emplace_back(drain);
+  drain();
+  for (auto& th : pool) th.join();
+
+  result.all_self_routed = all_ok.load();
+  return result;
+}
+
+}  // namespace bnb

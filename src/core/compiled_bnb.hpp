@@ -1,0 +1,172 @@
+// Flat, zero-allocation BNB routing engine.
+//
+// BnbNetwork (core/bnb_network.hpp) is the readable behavioral model: it
+// rebuilds per-box bit vectors and trace-grade splitter results for every
+// stage of every call.  CompiledBnb is the throughput engine: it compiles
+// the same network ONCE into a flat table of the m(m+1)/2 splitter columns
+// (sizes, regroup spans, unshuffle chunk widths) and then routes with
+//
+//   * one address bit per line, packed 64 lines per uint64_t;
+//   * the tree arbiter of every splitter of a column evaluated word-
+//     parallel (compress/interleave passes over packed words), emitting the
+//     switch controls of the whole column as mask words;
+//   * a single fused pass per column that applies the switch exchanges and
+//     the following unshuffle wiring to the line state;
+//   * a caller-owned RouteScratch so the steady state performs ZERO heap
+//     allocations (first use of a scratch sizes its buffers).
+//
+// Controls/trace capture is opt-in (ControlTrace) and off the fast path:
+// plain route() computes only destinations and delivered words.
+// route_batch() adds a multi-threaded sustained-throughput API on top: a
+// small worker pool with one scratch per worker drains a span of
+// permutations.  Results are bit-identical to BnbNetwork::route_words
+// (tests/test_engine.cpp proves it exhaustively for m <= 3).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/bnb_network.hpp"
+#include "perm/permutation.hpp"
+
+namespace bnb {
+
+class CompiledBnb;
+
+/// Reusable routing workspace.  prepare() (or the first route with this
+/// scratch) performs every allocation; after that, routing through the
+/// owning plan's shape allocates nothing.  A scratch serves one thread.
+class RouteScratch {
+ public:
+  RouteScratch() = default;
+
+  /// Size all buffers for `plan`.  Idempotent for the same shape.
+  void prepare(const CompiledBnb& plan);
+
+  [[nodiscard]] bool prepared_for(const CompiledBnb& plan) const noexcept;
+
+ private:
+  friend class CompiledBnb;
+  std::size_t n_ = 0;  ///< 0 = unprepared
+
+  std::vector<std::uint64_t> state_;   ///< per line: input index << 32 | address
+  std::vector<std::uint64_t> spare_;   ///< double buffer for state_
+  std::vector<std::uint64_t> bits_;    ///< packed current address bit per line
+  std::vector<std::uint64_t> ctl_;     ///< packed controls of the current column
+  std::vector<std::uint64_t> work_;    ///< arbiter up/down levels + temporaries
+  std::vector<Word> outputs_;
+  std::vector<std::uint32_t> dest_;
+};
+
+/// Routed batch: destinations flattened permutation-major.
+struct BatchResult {
+  std::vector<std::uint32_t> dest;  ///< dest[perm * N + input] = output line
+  std::size_t permutations = 0;
+  bool all_self_routed = false;
+};
+
+/// Opt-in capture of the engine's switch settings (off the fast path).
+struct ControlTrace {
+  /// column_controls[c] = packed controls of column c: bit t of word w is
+  /// the setting of switch 64*w + t, switches numbered top to bottom across
+  /// the whole column (0 straight, 1 exchange).  Columns enumerate main
+  /// stage 0's BSN columns first, then main stage 1's, and so on — the same
+  /// order as CompiledBnb::columns() and StagedBnbRouter.
+  std::vector<std::vector<std::uint64_t>> column_controls;
+};
+
+class CompiledBnb {
+ public:
+  /// Compile the N = 2^m BNB network.  Requires 1 <= m < 26.
+  explicit CompiledBnb(unsigned m);
+
+  [[nodiscard]] unsigned m() const noexcept { return m_; }
+  [[nodiscard]] std::size_t inputs() const noexcept { return std::size_t{1} << m_; }
+
+  /// One splitter column of the flattened network.
+  struct Column {
+    std::uint32_t main_stage;   ///< i: owning main stage
+    std::uint32_t nested_stage; ///< j: BSN column within the stage
+    std::uint32_t p;            ///< splitters are sp(p), 2^p lines each
+    std::uint32_t group;        ///< even/odd regroup span in lines: the
+                                ///< splitter size while inside the BSN, the
+                                ///< main block size when the main unshuffle
+                                ///< follows, 2 for the network's last column
+    bool update_bits;           ///< false for the last column of each BSN
+                                ///< (the sorted bit is dropped there)
+  };
+
+  /// All m(m+1)/2 columns in signal order.
+  [[nodiscard]] std::span<const Column> columns() const noexcept { return columns_; }
+
+  /// Views into `scratch`; valid until its next use.
+  struct Output {
+    std::span<const Word> outputs;        ///< outputs[line] = delivered word
+    std::span<const std::uint32_t> dest;  ///< dest[input] = output line
+    bool self_routed = false;
+  };
+
+  /// Route a permutation: input j carries address pi(j), payload j.
+  /// Zero allocations once `scratch` is prepared (unless `trace` is given).
+  [[nodiscard]] Output route(const Permutation& pi, RouteScratch& scratch,
+                             ControlTrace* trace = nullptr) const;
+
+  /// Route explicit words.  The public span entry validates that the
+  /// addresses form a permutation of 0..N-1 (the route(Permutation) path
+  /// skips that O(N) re-check — the Permutation invariant guarantees it).
+  [[nodiscard]] Output route_words(std::span<const Word> words, RouteScratch& scratch,
+                                   ControlTrace* trace = nullptr) const;
+
+  /// Sustained-throughput API: route every permutation of `perms` on a
+  /// small worker pool of `threads` workers (one RouteScratch each).
+  /// Requires 1 <= threads <= 256; every permutation must have size N.
+  [[nodiscard]] BatchResult route_batch(std::span<const Permutation> perms,
+                                        unsigned threads = 1) const;
+
+  // -- column-level access (shared with fabric/staged_router) -------------
+
+  /// Words needed for the packed controls of one column (N/2 bits).
+  [[nodiscard]] std::size_t control_words() const noexcept;
+  /// Words needed for the `work` buffer of column_controls().
+  [[nodiscard]] std::size_t work_words() const noexcept;
+
+  /// Compute the packed switch controls of `column` from the packed address
+  /// bits, and advance `bits` through the column's switches and its
+  /// intra-BSN unshuffle (no-op for a BSN's last column).  `work` must hold
+  /// work_words() words; `ctl` control_words().  Allocation-free.
+  void column_controls(std::size_t column, std::uint64_t* bits, std::uint64_t* ctl,
+                       std::uint64_t* work) const;
+
+ private:
+  [[nodiscard]] Output route_impl(RouteScratch& scratch, ControlTrace* trace,
+                                  std::span<const Word> payload_source) const;
+
+  unsigned m_;
+  std::vector<Column> columns_;
+};
+
+/// Apply one column's switch exchanges plus its following wiring to a line
+/// array: within every `group`-line block, pair (2t, 2t+1) is exchanged iff
+/// its control bit is set, then even outputs go to the block's upper half
+/// and odd outputs to the lower half.  `group == 2` degenerates to the bare
+/// exchange.  cur and nxt must be distinct spans of equal size.
+template <typename T>
+void apply_column_to_lines(const std::uint64_t* ctl, std::span<const T> cur,
+                           std::span<T> nxt, std::size_t group) {
+  const std::size_t n = cur.size();
+  const std::size_t half = group / 2;
+  for (std::size_t base = 0; base < n; base += group) {
+    const std::size_t pair0 = base / 2;
+    for (std::size_t j = 0; j < half; ++j) {
+      const std::size_t pair = pair0 + j;
+      const bool c = ((ctl[pair >> 6] >> (pair & 63)) & 1U) != 0;
+      const T a = cur[base + 2 * j];
+      const T b = cur[base + 2 * j + 1];
+      nxt[base + j] = c ? b : a;
+      nxt[base + half + j] = c ? a : b;
+    }
+  }
+}
+
+}  // namespace bnb

@@ -8,7 +8,26 @@
 
 namespace bnb {
 
-GbnTopology::GbnTopology(unsigned m) : m_(m) { BNB_EXPECTS(m >= 1 && m < 32); }
+GbnTopology::GbnTopology(unsigned m) : m_(m) {
+  BNB_EXPECTS(m >= 1 && m < 32);
+  if (m >= 2 && m <= kUnshuffleCacheMaxM) {
+    unshuffle_cache_.resize(m - 1);
+    for (unsigned stage = 0; stage + 1 < m; ++stage) {
+      auto& table = unshuffle_cache_[stage];
+      table.resize(inputs());
+      for (std::size_t line = 0; line < inputs(); ++line) {
+        table[line] =
+            static_cast<std::uint32_t>(unshuffle_index(line, m_ - stage, m_));
+      }
+    }
+  }
+}
+
+std::span<const std::uint32_t> GbnTopology::stage_unshuffle(unsigned stage) const {
+  BNB_EXPECTS(stage + 1 < m_);
+  if (unshuffle_cache_.empty()) return {};
+  return unshuffle_cache_[stage];
+}
 
 std::size_t GbnTopology::boxes_in_stage(unsigned stage) const {
   BNB_EXPECTS(stage < m_);

@@ -14,7 +14,9 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "perm/permutation.hpp"
 
@@ -51,6 +53,18 @@ class GbnTopology {
   /// (the U_{m-stage}^m connection).  Requires stage < m-1.
   [[nodiscard]] std::size_t next_line(unsigned stage, std::size_t line) const;
 
+  /// The whole stage->stage+1 unshuffle as a flat table:
+  /// stage_unshuffle(stage)[line] == next_line(stage, line).  Precomputed
+  /// once at construction for m <= kUnshuffleCacheMaxM so that bulk routing
+  /// loops (BnbNetwork, BitSorter, the compiled engine) never rederive the
+  /// index arithmetic per line per call; the span is empty above the cache
+  /// bound (callers fall back to next_line).  Requires stage < m-1.
+  [[nodiscard]] std::span<const std::uint32_t> stage_unshuffle(unsigned stage) const;
+
+  /// Largest m for which the per-stage unshuffle tables are materialized
+  /// ((m-1) * 2^m entries; ~18 MB of tables at the bound).
+  static constexpr unsigned kUnshuffleCacheMaxM = 18;
+
   /// The full stage->stage+1 connection as a permutation of lines.
   [[nodiscard]] Permutation connection(unsigned stage) const;
 
@@ -63,6 +77,9 @@ class GbnTopology {
 
  private:
   unsigned m_;
+  /// unshuffle_cache_[stage][line] = next_line(stage, line); empty when
+  /// m exceeds kUnshuffleCacheMaxM (or m == 1, which has no connections).
+  std::vector<std::vector<std::uint32_t>> unshuffle_cache_;
 };
 
 }  // namespace bnb

@@ -1,24 +1,21 @@
 #include "fabric/staged_router.hpp"
 
+#include <algorithm>
+
 #include "common/expect.hpp"
 #include "common/math_util.hpp"
 #include "core/arbiter.hpp"
-#include "core/unshuffle.hpp"
+#include "core/bit_pack.hpp"
 
 namespace bnb {
 
-StagedBnbRouter::StagedBnbRouter(unsigned m) : m_(m) {
+StagedBnbRouter::StagedBnbRouter(unsigned m) : m_(m), plan_(m) {
   BNB_EXPECTS(m >= 1 && m < 22);
-  for (unsigned i = 0; i < m; ++i) {
-    for (unsigned j = 0; j < m - i; ++j) {
-      columns_.push_back(Column{i, j, m - i - j});
-    }
-  }
 }
 
 sim::DelayUnits StagedBnbRouter::column_delay(unsigned column) const {
   BNB_EXPECTS(column < total_columns());
-  const unsigned p = columns_[column].p;
+  const unsigned p = plan_.columns()[column].p;
   return sim::DelayUnits{1, Arbiter::delay_fn_units(p), 0};
 }
 
@@ -36,49 +33,52 @@ StagedJob StagedBnbRouter::start(std::span<const Word> words, std::uint64_t tag)
   StagedJob job;
   job.lines.assign(words.begin(), words.end());
   job.tag = tag;
+  job.spare.resize(inputs());
+  job.bits.resize(bitpack::words_for(inputs()));
+  job.ctl.resize(plan_.control_words());
+  job.work.resize(plan_.work_words());
   return job;
 }
 
 void StagedBnbRouter::step(StagedJob& job) const {
   BNB_EXPECTS(!finished(job));
   BNB_EXPECTS(job.lines.size() == inputs());
-  const Column& col = columns_[job.column];
+  const CompiledBnb::Column& col = plan_.columns()[job.column];
   const std::size_t n = inputs();
-  const unsigned p_log = m_ - col.main_stage;
-  const std::size_t nested_size = std::size_t{1} << p_log;
-  const std::size_t sp_size = std::size_t{1} << col.p;
-  const unsigned addr_bit = m_ - 1 - col.main_stage;
-  const Arbiter arbiter(col.p);
 
-  std::vector<std::uint8_t> bits(sp_size);
-  for (std::size_t base = 0; base < n; base += sp_size) {
-    for (std::size_t l = 0; l < sp_size; ++l) {
-      bits[l] = static_cast<std::uint8_t>(bit_of(job.lines[base + l].address, addr_bit));
-    }
-    const auto flags = arbiter.compute_flags(bits);
-    for (std::size_t t = 0; t < sp_size / 2; ++t) {
-      if ((bits[2 * t] ^ flags[2 * t]) != 0) {
-        std::swap(job.lines[base + 2 * t], job.lines[base + 2 * t + 1]);
+  // Jobs may be built by hand (the pipelined fabric does); size the
+  // per-job scratch on first use, after which stepping is allocation-free.
+  if (job.spare.size() != n) {
+    job.spare.resize(n);
+    job.bits.resize(bitpack::words_for(n));
+    job.ctl.resize(plan_.control_words());
+    job.work.resize(plan_.work_words());
+  }
+
+  if (col.nested_stage == 0) {
+    // Entering a new main stage: pack its address bit for every line.  The
+    // later columns of the stage reuse the bits advanced by the plan.
+    const unsigned addr_bit = m_ - 1 - col.main_stage;
+    const std::size_t words = bitpack::words_for(n);
+    for (std::size_t w = 0; w < words; ++w) {
+      const std::size_t lo = w * 64;
+      const std::size_t hi = std::min(n, lo + 64);
+      std::uint64_t packed = 0;
+      for (std::size_t t = lo; t < hi; ++t) {
+        packed |= static_cast<std::uint64_t>(
+                      bit_of(job.lines[t].address, addr_bit))
+                  << (t - lo);
       }
+      job.bits[w] = packed;
     }
   }
 
-  // Wiring after this column.
-  if (col.nested_stage + 1 < p_log) {
-    std::vector<Word> next(n);
-    for (std::size_t nb = 0; nb < n; nb += nested_size) {
-      for (std::size_t local = 0; local < nested_size; ++local) {
-        next[nb + unshuffle_index(local, col.p, p_log)] = job.lines[nb + local];
-      }
-    }
-    job.lines = std::move(next);
-  } else if (col.main_stage + 1 < m_) {
-    std::vector<Word> next(n);
-    for (std::size_t line = 0; line < n; ++line) {
-      next[unshuffle_index(line, p_log, m_)] = job.lines[line];
-    }
-    job.lines = std::move(next);
-  }
+  // One column of the compiled plan: packed arbiters decide the switch
+  // settings; the words follow them through the column's wiring.
+  plan_.column_controls(job.column, job.bits.data(), job.ctl.data(), job.work.data());
+  apply_column_to_lines<Word>(job.ctl.data(), {job.lines.data(), n},
+                              {job.spare.data(), n}, col.group);
+  job.lines.swap(job.spare);
   ++job.column;
 }
 

@@ -16,19 +16,30 @@
 
 #include "baselines/batcher.hpp"
 #include "core/bnb_network.hpp"  // Word
+#include "core/compiled_bnb.hpp"
 #include "sim/delay_graph.hpp"
 
 namespace bnb {
 
-/// One in-flight permutation: its line contents and its progress.
+/// One in-flight permutation: its line contents and its progress.  The
+/// packed-bit buffers are the job's private workspace (sized by start()),
+/// so stepping a job never allocates and jobs stay independent state blobs.
 struct StagedJob {
   std::vector<Word> lines;
   unsigned column = 0;
   std::uint64_t tag = 0;  ///< caller-assigned id (e.g. issue cycle)
+
+  std::vector<Word> spare;            ///< double buffer for lines
+  std::vector<std::uint64_t> bits;    ///< packed address bit per line
+  std::vector<std::uint64_t> ctl;     ///< packed controls of one column
+  std::vector<std::uint64_t> work;    ///< arbiter workspace
 };
 
 /// Column-steppable BNB network.  Columns enumerate the m(m+1)/2 splitter
 /// columns in signal order: main stage 0's BSN columns first, and so on.
+/// Routing decisions are made by the shared CompiledBnb plan: step()
+/// evaluates one column's packed arbiters and applies the resulting switch
+/// controls (plus the following wiring) to the job's words.
 class StagedBnbRouter {
  public:
   explicit StagedBnbRouter(unsigned m);
@@ -36,8 +47,9 @@ class StagedBnbRouter {
   [[nodiscard]] unsigned m() const noexcept { return m_; }
   [[nodiscard]] std::size_t inputs() const noexcept { return std::size_t{1} << m_; }
   [[nodiscard]] unsigned total_columns() const noexcept {
-    return static_cast<unsigned>(columns_.size());
+    return static_cast<unsigned>(plan_.columns().size());
   }
+  [[nodiscard]] const CompiledBnb& plan() const noexcept { return plan_; }
 
   /// Per-column settle time (register-to-register) under unit delays: the
   /// column's arbiter (2p D_FN) plus its switch (1 D_SW).
@@ -57,13 +69,8 @@ class StagedBnbRouter {
   [[nodiscard]] std::vector<Word> run_to_completion(std::span<const Word> words) const;
 
  private:
-  struct Column {
-    unsigned main_stage;    // i
-    unsigned nested_stage;  // j
-    unsigned p;             // splitter size 2^p
-  };
   unsigned m_;
-  std::vector<Column> columns_;
+  CompiledBnb plan_;
 };
 
 /// Column-steppable Batcher network (one comparator stage per column).

@@ -1,0 +1,20 @@
+// Test-only global allocation counter.
+//
+// Linking alloc_count_hook.cpp into a test binary replaces the global
+// operator new/delete with counting versions, so a test can assert that a
+// code region performs zero heap allocations (the steady-state guarantee
+// of the compiled routing engine).  The counter covers every thread of the
+// process; take samples around single-threaded regions only.
+#pragma once
+
+#include <cstddef>
+
+namespace bnb::testhook {
+
+/// Number of operator new / new[] calls since process start (or last reset).
+[[nodiscard]] std::size_t allocation_count() noexcept;
+
+/// Reset the counter to zero.
+void reset_allocation_count() noexcept;
+
+}  // namespace bnb::testhook

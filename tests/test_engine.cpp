@@ -1,0 +1,277 @@
+// The compiled flat routing engine must be bit-identical to the reference
+// behavioral router — exhaustively over all N! permutations for m <= 3,
+// and over large random samples up to m = 12 — while performing ZERO heap
+// allocations in steady state (verified through the counting operator new
+// of alloc_count_hook.cpp) and scaling across the batch worker pool.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "alloc_count_hook.hpp"
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "core/bit_pack.hpp"
+#include "core/bnb_network.hpp"
+#include "core/compiled_bnb.hpp"
+#include "core/splitter.hpp"
+#include "fabric/staged_router.hpp"
+#include "perm/generators.hpp"
+
+namespace bnb {
+namespace {
+
+void expect_equal_routing(const BnbNetwork& ref, const CompiledBnb& engine,
+                          RouteScratch& scratch, const Permutation& pi) {
+  const auto expected = ref.route(pi);
+  const auto got = engine.route(pi, scratch);
+  ASSERT_EQ(expected.self_routed, got.self_routed) << pi.to_string();
+  ASSERT_EQ(expected.dest.size(), got.dest.size());
+  for (std::size_t j = 0; j < expected.dest.size(); ++j) {
+    ASSERT_EQ(expected.dest[j], got.dest[j]) << "input " << j << " of " << pi.to_string();
+  }
+  for (std::size_t line = 0; line < expected.outputs.size(); ++line) {
+    ASSERT_EQ(expected.outputs[line], got.outputs[line])
+        << "line " << line << " of " << pi.to_string();
+  }
+}
+
+TEST(CompiledBnb, ExhaustiveAllPermutationsUpToM3) {
+  for (unsigned m = 1; m <= 3; ++m) {
+    const BnbNetwork ref(m);
+    const CompiledBnb engine(m);
+    RouteScratch scratch;
+    Permutation pi(std::size_t{1} << m);
+    std::size_t count = 0;
+    do {
+      expect_equal_routing(ref, engine, scratch, pi);
+      ++count;
+    } while (pi.next_lexicographic());
+    std::uint64_t expected_count = 1;
+    for (std::size_t v = 2; v <= (std::size_t{1} << m); ++v) expected_count *= v;
+    EXPECT_EQ(count, expected_count) << "m=" << m;
+  }
+}
+
+TEST(CompiledBnb, RandomPermutationsMediumSizes) {
+  // m = 14 rides along with fewer rounds: its arbiter level stacks are the
+  // deepest exercised anywhere and once hid a scratch-sizing overflow.
+  constexpr std::pair<unsigned, int> kCases[] = {{6, 1000}, {10, 1000}, {12, 1000}, {14, 40}};
+  for (const auto [m, rounds] : kCases) {
+    const BnbNetwork ref(m);
+    const CompiledBnb engine(m);
+    RouteScratch scratch;
+    Rng rng(0xE0E0 + m);
+    for (int round = 0; round < rounds; ++round) {
+      const Permutation pi = random_perm(std::size_t{1} << m, rng);
+      const auto expected = ref.route(pi);
+      const auto got = engine.route(pi, scratch);
+      ASSERT_TRUE(got.self_routed) << "m=" << m << " round " << round;
+      ASSERT_EQ(expected.self_routed, got.self_routed);
+      for (std::size_t j = 0; j < expected.dest.size(); ++j) {
+        ASSERT_EQ(expected.dest[j], got.dest[j]) << "m=" << m << " round " << round;
+      }
+      for (std::size_t line = 0; line < expected.outputs.size(); ++line) {
+        ASSERT_EQ(expected.outputs[line], got.outputs[line]) << "m=" << m;
+      }
+    }
+  }
+}
+
+TEST(CompiledBnb, RouteWordsCarriesPayloads) {
+  Rng rng(0xABCD);
+  for (const unsigned m : {2U, 5U, 8U}) {
+    const std::size_t n = std::size_t{1} << m;
+    const BnbNetwork ref(m);
+    const CompiledBnb engine(m);
+    RouteScratch scratch;
+    for (int round = 0; round < 20; ++round) {
+      const Permutation pi = random_perm(n, rng);
+      std::vector<Word> words(n);
+      for (std::size_t j = 0; j < n; ++j) words[j] = Word{pi(j), rng.next()};
+      const auto expected = ref.route_words(words);
+      const auto got = engine.route_words(words, scratch);
+      ASSERT_EQ(expected.self_routed, got.self_routed);
+      for (std::size_t line = 0; line < n; ++line) {
+        ASSERT_EQ(expected.outputs[line], got.outputs[line]) << "m=" << m;
+      }
+    }
+  }
+}
+
+TEST(CompiledBnb, RouteWordsValidatesAddresses) {
+  const CompiledBnb engine(3);
+  RouteScratch scratch;
+  std::vector<Word> words(8);
+  for (std::size_t j = 0; j < 8; ++j) words[j] = Word{static_cast<std::uint32_t>(j), 0};
+  words[3].address = 5;  // duplicate 5, missing 3
+  EXPECT_THROW((void)engine.route_words(words, scratch), contract_violation);
+  words[3].address = 99;  // out of range
+  EXPECT_THROW((void)engine.route_words(words, scratch), contract_violation);
+}
+
+TEST(CompiledBnb, SteadyStateRoutingAllocatesNothing) {
+  const unsigned m = 10;
+  const CompiledBnb engine(m);
+  RouteScratch scratch;
+  scratch.prepare(engine);
+  ASSERT_TRUE(scratch.prepared_for(engine));
+
+  Rng rng(0x5EED);
+  std::vector<Permutation> perms;
+  for (int i = 0; i < 8; ++i) perms.push_back(random_perm(engine.inputs(), rng));
+  std::vector<Word> words(engine.inputs());
+  for (std::size_t j = 0; j < engine.inputs(); ++j) words[j] = Word{perms[0](j), j};
+
+  // Warm-up (first call may still touch lazily prepared state).
+  (void)engine.route(perms[0], scratch);
+
+  testhook::reset_allocation_count();
+  for (const auto& pi : perms) {
+    const auto out = engine.route(pi, scratch);
+    ASSERT_TRUE(out.self_routed);
+  }
+  const auto out = engine.route_words(words, scratch);
+  ASSERT_TRUE(out.self_routed);
+  EXPECT_EQ(testhook::allocation_count(), 0U)
+      << "steady-state route must not touch the heap";
+}
+
+TEST(CompiledBnb, ScratchPreparesLazilyOnFirstRoute) {
+  const CompiledBnb engine(6);
+  RouteScratch scratch;
+  EXPECT_FALSE(scratch.prepared_for(engine));
+  Rng rng(7);
+  const auto out = engine.route(random_perm(engine.inputs(), rng), scratch);
+  EXPECT_TRUE(out.self_routed);
+  EXPECT_TRUE(scratch.prepared_for(engine));
+}
+
+TEST(CompiledBnb, FirstColumnControlsMatchSplitterReference) {
+  // Column 0 is the single sp(m) of main stage 0: its packed controls must
+  // equal the scalar Splitter's, which exercises the word-parallel arbiter
+  // against the independent tree implementation.
+  Rng rng(0xC0117);
+  for (const unsigned m : {2U, 3U, 5U, 7U, 9U}) {
+    const std::size_t n = std::size_t{1} << m;
+    const CompiledBnb engine(m);
+    const Splitter sp(m);
+    for (int round = 0; round < 25; ++round) {
+      const Permutation pi = random_perm(n, rng);
+      RouteScratch scratch;
+      ControlTrace trace;
+      (void)engine.route(pi, scratch, &trace);
+      ASSERT_EQ(trace.column_controls.size(), m * (m + 1) / 2);
+
+      std::vector<std::uint8_t> bits(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        bits[j] = static_cast<std::uint8_t>(bit_of(pi(j), m - 1));
+      }
+      const auto ref = sp.route(bits);
+      for (std::size_t t = 0; t < n / 2; ++t) {
+        ASSERT_EQ(ref.controls[t], bitpack::get_bit(trace.column_controls[0].data(), t))
+            << "m=" << m << " switch " << t;
+      }
+    }
+  }
+}
+
+TEST(CompiledBnb, BatchMatchesSequentialRouting) {
+  const unsigned m = 8;
+  const CompiledBnb engine(m);
+  const std::size_t n = engine.inputs();
+  Rng rng(0xBA7C);
+  std::vector<Permutation> perms;
+  for (int i = 0; i < 33; ++i) perms.push_back(random_perm(n, rng));
+
+  RouteScratch scratch;
+  for (const unsigned threads : {1U, 2U, 4U}) {
+    const auto batch = engine.route_batch(perms, threads);
+    EXPECT_TRUE(batch.all_self_routed);
+    EXPECT_EQ(batch.permutations, perms.size());
+    ASSERT_EQ(batch.dest.size(), perms.size() * n);
+    for (std::size_t i = 0; i < perms.size(); ++i) {
+      const auto expected = engine.route(perms[i], scratch);
+      for (std::size_t j = 0; j < n; ++j) {
+        ASSERT_EQ(batch.dest[i * n + j], expected.dest[j])
+            << "threads=" << threads << " perm " << i;
+      }
+    }
+  }
+}
+
+TEST(CompiledBnb, BatchValidatesInput) {
+  const CompiledBnb engine(4);
+  std::vector<Permutation> perms{Permutation(16), Permutation(8)};  // size mismatch
+  EXPECT_THROW((void)engine.route_batch(perms, 2), contract_violation);
+  const std::vector<Permutation> none;
+  EXPECT_THROW((void)engine.route_batch(none, 0), contract_violation);
+
+  const auto empty = engine.route_batch(none, 4);
+  EXPECT_TRUE(empty.all_self_routed);
+  EXPECT_EQ(empty.permutations, 0U);
+}
+
+TEST(CompiledBnb, StagedRouterSharesThePlan) {
+  // The column-steppable router must deliver the exact words of both the
+  // behavioral reference and the compiled engine, and its per-column shape
+  // must match the plan it now runs on.
+  Rng rng(0x57A6ED);
+  for (const unsigned m : {1U, 3U, 5U, 7U}) {
+    const std::size_t n = std::size_t{1} << m;
+    const StagedBnbRouter staged(m);
+    const BnbNetwork ref(m);
+    EXPECT_EQ(staged.total_columns(), m * (m + 1) / 2);
+    EXPECT_EQ(staged.plan().columns().size(), staged.total_columns());
+    for (int round = 0; round < 30; ++round) {
+      const Permutation pi = random_perm(n, rng);
+      std::vector<Word> words(n);
+      for (std::size_t j = 0; j < n; ++j) words[j] = Word{pi(j), j};
+      const auto lines = staged.run_to_completion(words);
+      const auto expected = ref.route_words(words);
+      ASSERT_EQ(lines.size(), n);
+      for (std::size_t line = 0; line < n; ++line) {
+        ASSERT_EQ(lines[line], expected.outputs[line]) << "m=" << m;
+      }
+    }
+  }
+}
+
+TEST(CompiledBnb, ColumnTableShape) {
+  const unsigned m = 5;
+  const CompiledBnb engine(m);
+  const auto cols = engine.columns();
+  ASSERT_EQ(cols.size(), m * (m + 1) / 2);
+  std::size_t idx = 0;
+  for (unsigned i = 0; i < m; ++i) {
+    for (unsigned j = 0; j < m - i; ++j, ++idx) {
+      EXPECT_EQ(cols[idx].main_stage, i);
+      EXPECT_EQ(cols[idx].nested_stage, j);
+      EXPECT_EQ(cols[idx].p, m - i - j);
+      if (j + 1 < m - i) {
+        EXPECT_TRUE(cols[idx].update_bits);
+        EXPECT_EQ(cols[idx].group, 1U << (m - i - j));
+      } else {
+        EXPECT_FALSE(cols[idx].update_bits);
+        EXPECT_EQ(cols[idx].group, i + 1 < m ? 1U << (m - i) : 2U);
+      }
+    }
+  }
+}
+
+TEST(GbnTopology, StageUnshuffleTableMatchesNextLine) {
+  for (const unsigned m : {2U, 3U, 6U, 9U}) {
+    const GbnTopology topo(m);
+    for (unsigned stage = 0; stage + 1 < m; ++stage) {
+      const auto table = topo.stage_unshuffle(stage);
+      ASSERT_EQ(table.size(), topo.inputs()) << "m=" << m;
+      for (std::size_t line = 0; line < topo.inputs(); ++line) {
+        ASSERT_EQ(table[line], topo.next_line(stage, line))
+            << "m=" << m << " stage " << stage;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bnb
