@@ -10,8 +10,20 @@
 //                             # 500 random permutations on 256 lines through
 //                             # the compiled engine's worker pool (N optional,
 //                             # default 16) -- doubles as a throughput smoke test
+//   route_cli --inject random:3 --rounds 20 64
+//                             # damage a 64-line fabric with 3 random faults
+//                             # and stream 20 random permutations through the
+//                             # RobustRouter (audit + retry + fallback)
+//   route_cli --inject stuck1:0.0.0.0 16
+//                             # one stuck-at-1 switch control at main stage 0,
+//                             # BSN column 0, splitter 0, switch 0
 //
-// Exit code 0 iff the permutation(s) were routed (always, for valid input).
+// --inject SPECs: random:K, stuck0|stuck1|flag0|flag1:i.j.s.e,
+//                 dead:i.j.s.e.in.out, flip:i.j.s.line  (see docs/FAULTS.md)
+//
+// Exit code 0 iff the permutation(s) were routed (always, for valid input);
+// under --inject, 0 iff no route ended in a SILENT misroute — caught-and-
+// healed faults still exit 0, that is the point of the robust layer.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,12 +33,15 @@
 #include "baselines/batcher.hpp"
 #include "baselines/benes.hpp"
 #include "baselines/koppelman.hpp"
+#include "common/expect.hpp"
 #include "common/math_util.hpp"
 #include "common/rng.hpp"
 #include "core/bnb_network.hpp"
 #include "core/compiled_bnb.hpp"
 #include "core/dot_export.hpp"
 #include "core/trace_render.hpp"
+#include "fault/fault_model.hpp"
+#include "fault/robust_router.hpp"
 #include "perm/generators.hpp"
 
 namespace {
@@ -34,9 +49,148 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--network=bnb|batcher|benes|koppelman] [--trace] "
-               "[--dot N] [--batch COUNT [--threads T]] [image... | N]\n",
+               "[--dot N] [--batch COUNT [--threads T]] "
+               "[--inject SPEC [--rounds R] [--seed S]] [image... | N]\n",
                argv0);
   return 2;
+}
+
+// Parse one --inject spec into `model`.  Returns false on a malformed or
+// out-of-shape spec (FaultModel::add validates coordinates).
+bool parse_inject_spec(const std::string& spec, std::uint64_t seed,
+                       bnb::FaultModel& model) {
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) return false;
+  const std::string kind = spec.substr(0, colon);
+  const std::string args = spec.substr(colon + 1);
+  try {
+    if (kind == "random") {
+      char* end = nullptr;
+      const std::uint64_t count = std::strtoull(args.c_str(), &end, 10);
+      if (end == args.c_str() || *end != '\0' || count == 0 || count > 64) {
+        return false;
+      }
+      bnb::Rng rng(seed);
+      for (const auto& f :
+           bnb::FaultModel::random_campaign(model.m(), count, rng)) {
+        model.add(f);
+      }
+      return true;
+    }
+    bnb::FaultSpec fault;
+    unsigned fields[6] = {0, 0, 0, 0, 0, 0};
+    int want = 4;
+    if (kind == "stuck0" || kind == "stuck1") {
+      fault.kind = bnb::FaultKind::kStuckControl;
+      fault.value = kind == "stuck1";
+    } else if (kind == "flag0" || kind == "flag1") {
+      fault.kind = bnb::FaultKind::kStuckFlag;
+      fault.value = kind == "flag1";
+    } else if (kind == "flip") {
+      fault.kind = bnb::FaultKind::kLinkFlip;
+    } else if (kind == "dead") {
+      fault.kind = bnb::FaultKind::kDeadCrosspoint;
+      want = 6;
+    } else {
+      return false;
+    }
+    int got = 0;
+    const char* cursor = args.c_str();
+    while (got < want) {
+      char* end = nullptr;
+      fields[got] = static_cast<unsigned>(std::strtoul(cursor, &end, 10));
+      if (end == cursor) return false;
+      ++got;
+      cursor = end;
+      if (*cursor == '.') {
+        ++cursor;
+      } else {
+        break;
+      }
+    }
+    if (got != want || *cursor != '\0') return false;
+    fault.at = {fields[0], fields[1], fields[2], fields[3]};
+    fault.in_port = static_cast<std::uint8_t>(fields[4]);
+    fault.out_port = static_cast<std::uint8_t>(fields[5]);
+    model.add(fault);
+    return true;
+  } catch (const bnb::contract_violation&) {
+    return false;  // in-grammar but out-of-shape coordinates
+  }
+}
+
+// --inject SPEC: damage the fabric, then stream random permutations
+// through the RobustRouter and report the recovery ladder's work.
+int run_inject(const std::string& spec, std::uint64_t seed, std::size_t rounds,
+               std::size_t n) {
+  if (!bnb::is_power_of_two(n) || n < 2 || n > (std::size_t{1} << 14)) {
+    std::fputs("--inject needs N a power of two in [2, 2^14]\n", stderr);
+    return 2;
+  }
+  if (rounds == 0 || rounds > 100000) {
+    std::fputs("--rounds must be in [1, 100000]\n", stderr);
+    return 2;
+  }
+  const unsigned m = bnb::log2_exact(n);
+  bnb::FaultModel model(m);
+  if (!parse_inject_spec(spec, seed, model)) {
+    std::fprintf(stderr, "bad --inject spec '%s' for N=%zu\n", spec.c_str(), n);
+    return 2;
+  }
+
+  bnb::RobustRouter router(m);
+  router.inject(model);
+  std::printf("injected %zu fault%s into the %zu-line fabric:\n", model.size(),
+              model.size() == 1 ? "" : "s", n);
+  for (const auto& f : model.faults()) {
+    std::printf("  %s\n", bnb::to_string(f).c_str());
+  }
+
+  bnb::Rng rng(seed);
+  std::size_t outcome_counts[4] = {0, 0, 0, 0};
+  bool silent_misroute = false;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const bnb::Permutation pi = bnb::random_perm(n, rng);
+    const bnb::RobustReport report = router.route(pi);
+    ++outcome_counts[static_cast<std::size_t>(report.outcome)];
+    if (report.delivered()) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (report.dest[j] != pi(j)) {
+          std::printf("SILENT MISROUTE on round %zu (input %zu)\n", round, j);
+          silent_misroute = true;
+        }
+      }
+    } else if (report.diagnosis.located) {
+      std::printf(
+          "round %zu failed; diagnosis: column %u = main stage %u, BSN column "
+          "%u, splitter %u\n",
+          round, report.diagnosis.column, report.diagnosis.main_stage,
+          report.diagnosis.nested_stage, report.diagnosis.splitter);
+    }
+  }
+
+  const auto& stats = router.stats();
+  std::printf(
+      "%zu rounds: %zu clean, %zu healed by retry, %zu by fallback, %zu "
+      "failed\n",
+      rounds,
+      outcome_counts[static_cast<std::size_t>(bnb::RouteOutcome::kDelivered)],
+      outcome_counts[static_cast<std::size_t>(
+          bnb::RouteOutcome::kDeliveredAfterRetry)],
+      outcome_counts[static_cast<std::size_t>(
+          bnb::RouteOutcome::kDeliveredByFallback)],
+      outcome_counts[static_cast<std::size_t>(bnb::RouteOutcome::kFailed)]);
+  std::printf(
+      "audit: %llu misroutes caught, %llu retries, %llu fallback routes\n",
+      static_cast<unsigned long long>(stats.misroutes_caught),
+      static_cast<unsigned long long>(stats.retries),
+      static_cast<unsigned long long>(stats.fallback_routes));
+  if (silent_misroute) {
+    std::puts("RESULT: SILENT MISROUTE — the robustness contract is broken");
+    return 1;
+  }
+  std::puts("RESULT: no silent misroutes");
+  return 0;
 }
 
 // --batch COUNT: route COUNT random permutations of N lines (optional
@@ -80,6 +234,9 @@ int main(int argc, char** argv) {
   bool batch = false;
   std::size_t batch_count = 0;
   unsigned threads = 1;
+  std::string inject_spec;
+  std::size_t rounds = 20;
+  std::uint64_t seed = 2026;
   std::vector<bnb::Permutation::value_type> image;
 
   for (int a = 1; a < argc; ++a) {
@@ -98,12 +255,27 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--threads") == 0) {
       if (a + 1 >= argc) return usage(argv[0]);
       threads = static_cast<unsigned>(std::strtoul(argv[++a], nullptr, 10));
+    } else if (std::strcmp(arg, "--inject") == 0) {
+      if (a + 1 >= argc) return usage(argv[0]);
+      inject_spec = argv[++a];
+    } else if (std::strcmp(arg, "--rounds") == 0) {
+      if (a + 1 >= argc) return usage(argv[0]);
+      rounds = std::strtoull(argv[++a], nullptr, 10);
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      if (a + 1 >= argc) return usage(argv[0]);
+      seed = std::strtoull(argv[++a], nullptr, 10);
     } else if (arg[0] == '-' && !(arg[1] >= '0' && arg[1] <= '9')) {
       return usage(argv[0]);
     } else {
       image.push_back(static_cast<bnb::Permutation::value_type>(
           std::strtoul(arg, nullptr, 10)));
     }
+  }
+
+  if (!inject_spec.empty()) {
+    // In inject mode the single optional positional argument is N.
+    if (batch || image.size() > 1) return usage(argv[0]);
+    return run_inject(inject_spec, seed, rounds, image.empty() ? 16 : image[0]);
   }
 
   if (batch) {

@@ -13,15 +13,49 @@ BitSorter::BitSorter(unsigned k) : topo_(k) {
   }
 }
 
-BitSorter::Result BitSorter::route(std::span<const std::uint8_t> bits) const {
+namespace {
+
+/// Slice the box-local faults of one BSN column down to one splitter's
+/// local coordinate frame (splitter `box` spans lines [base, base+size)).
+SplitterFaults splitter_slice(const BsnColumnFaults& col, std::size_t base,
+                              std::size_t size) {
+  SplitterFaults out;
+  const std::size_t sw_base = base / 2;
+  const std::size_t sw_count = size / 2;
+  for (const StuckBit& c : col.controls) {
+    if (c.index >= sw_base && c.index < sw_base + sw_count) {
+      out.controls.push_back({static_cast<std::uint32_t>(c.index - sw_base), c.value});
+    }
+  }
+  for (const StuckBit& f : col.flags) {
+    if (f.index >= sw_base && f.index < sw_base + sw_count) {
+      out.flags.push_back({static_cast<std::uint32_t>(f.index - sw_base), f.value});
+    }
+  }
+  for (const std::uint32_t line : col.input_flips) {
+    if (line >= base && line < base + size) {
+      out.input_flips.push_back(static_cast<std::uint32_t>(line - base));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BitSorter::Result BitSorter::route(std::span<const std::uint8_t> bits,
+                                   const BsnFaults* faults) const {
   const std::size_t n = inputs();
   BNB_EXPECTS(bits.size() == n);
+  if (faults != nullptr && !faults->columns.empty()) {
+    BNB_EXPECTS(faults->columns.size() == k());
+  }
   std::size_t ones = 0;
   for (auto b : bits) {
     BNB_EXPECTS(b <= 1);
     ones += b;
   }
-  BNB_EXPECTS(ones * 2 == n);  // Theorem 1 hypothesis: exactly half are 1
+  // Theorem 1 hypothesis: exactly half are 1.  Void under injected faults.
+  if (faults == nullptr) BNB_EXPECTS(ones * 2 == n);
 
   Result r;
   r.controls.resize(k());
@@ -33,6 +67,17 @@ BitSorter::Result BitSorter::route(std::span<const std::uint8_t> bits) const {
   std::iota(where.begin(), where.end(), 0U);
 
   for (unsigned stage = 0; stage < k(); ++stage) {
+    const BsnColumnFaults* col_faults =
+        (faults != nullptr && !faults->columns.empty()) ? &faults->columns[stage]
+                                                        : nullptr;
+    if (col_faults != nullptr) {
+      // Broken bit-slice links into this column: the arbiter and the slice
+      // both see the inverted bit (the word path is untouched).
+      for (const std::uint32_t line : col_faults->input_flips) {
+        BNB_EXPECTS(line < n);
+        cur[line] ^= 1U;
+      }
+    }
     r.line_bits.push_back(cur);
     const std::size_t box_size = topo_.box_size(stage);
     const Splitter& sp = splitters_[stage];
@@ -42,7 +87,16 @@ BitSorter::Result BitSorter::route(std::span<const std::uint8_t> bits) const {
     std::vector<std::uint32_t> next_where(n);
     for (std::size_t box = 0; box < topo_.boxes_in_stage(stage); ++box) {
       const std::size_t base = topo_.box_base(stage, box);
-      const auto res = sp.route(std::span<const std::uint8_t>(cur).subspan(base, box_size));
+      SplitterFaults local;
+      if (faults != nullptr && col_faults != nullptr) {
+        local = splitter_slice(*col_faults, base, box_size);
+        local.input_flips.clear();  // already applied to `cur` above
+      }
+      // Any non-null faults pointer relaxes the splitter's balance check —
+      // upstream faults feed unbalanced slices to clean splitters too.
+      const auto res =
+          sp.route(std::span<const std::uint8_t>(cur).subspan(base, box_size),
+                   faults != nullptr ? &local : nullptr);
       for (auto c : res.controls) r.controls[stage].push_back(c);
       for (std::size_t j = 0; j < box_size; ++j) {
         next_bits[base + res.dest[j]] = cur[base + j];

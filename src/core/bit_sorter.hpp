@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "core/fault_hooks.hpp"
 #include "core/gbn.hpp"
 #include "core/splitter.hpp"
 #include "sim/census.hpp"
@@ -47,7 +48,14 @@ class BitSorter {
 
   /// Route one bit slice.  Precondition: exactly half the bits are 1
   /// (Theorem 1's hypothesis; guaranteed inside the BNB network).
-  [[nodiscard]] Result route(std::span<const std::uint8_t> bits) const;
+  ///
+  /// Fault-injection hook: a non-null `faults` applies the box-local
+  /// overlay (faults->columns[j] acts on BSN stage j; an empty columns
+  /// vector injects nothing) and relaxes the balance precondition — fault
+  /// mode must stay well-defined on the unbalanced slices broken hardware
+  /// produces.  The reported controls/dest reflect the faulty settings.
+  [[nodiscard]] Result route(std::span<const std::uint8_t> bits,
+                             const BsnFaults* faults = nullptr) const;
 
   /// Total hardware of the one-bit slice: switches of every splitter plus
   /// all arbiter function nodes (Eq. 4's census for this slice).

@@ -109,6 +109,152 @@ BnbNetwork::Result BnbNetwork::route_words_impl(std::span<const Word> words,
   return r;
 }
 
+BnbNetwork::Result BnbNetwork::route_with_faults(const Permutation& pi,
+                                                 const NetworkFaults& faults) const {
+  BNB_EXPECTS(pi.size() == inputs());
+  std::vector<Word> words(inputs());
+  for (std::size_t j = 0; j < inputs(); ++j) {
+    words[j] = Word{pi(j), static_cast<std::uint64_t>(j)};
+  }
+  return route_words_with_faults(words, faults);
+}
+
+BnbNetwork::Result BnbNetwork::route_words_with_faults(
+    std::span<const Word> words, const NetworkFaults& faults) const {
+  const std::size_t n = inputs();
+  BNB_EXPECTS(words.size() == n);
+  if (faults.empty()) return route_words_impl(words, /*keep_trace=*/false,
+                                              /*validate=*/true);
+  BNB_EXPECTS(faults.stages.size() == m_);
+  for (unsigned i = 0; i < m_; ++i) BNB_EXPECTS(faults.stages[i].size() == m_ - i);
+  {
+    // The request is still a permutation — only the fabric is broken.
+    std::vector<Permutation::value_type> addrs(n);
+    for (std::size_t j = 0; j < n; ++j) addrs[j] = words[j].address;
+    BNB_EXPECTS(Permutation::is_valid_image(addrs));
+  }
+
+  const std::uint32_t poison = static_cast<std::uint32_t>(dead_crosspoint_poison(n));
+  std::vector<Word> cur(words.begin(), words.end());
+  std::vector<std::uint32_t> where(n);  // where[line] = original input index
+  for (std::size_t j = 0; j < n; ++j) where[j] = static_cast<std::uint32_t>(j);
+
+  std::vector<std::uint8_t> bits(n);
+  std::vector<Word> next(n);
+  std::vector<std::uint32_t> next_where(n);
+  // Stage-global controls of one column, concatenated across the stage's
+  // boxes in line order (box b's switch t is global switch base/2 + t).
+  std::vector<std::vector<std::uint8_t>> stage_controls;
+
+  for (unsigned stage = 0; stage < m_; ++stage) {
+    const unsigned k = m_ - stage;
+    const std::size_t block = main_.box_size(stage);
+    const BitSorter& bsn = sorters_[stage];
+    const unsigned addr_bit = m_ - 1 - stage;
+    const auto& stage_faults = faults.stages[stage];
+
+    // 1) Bit-slice pass: every box's BSN decides its switch settings under
+    // the stage's bit-slice faults (stuck flags/controls, link flips).
+    stage_controls.assign(k, {});
+    for (auto& c : stage_controls) c.reserve(n / 2);
+    for (std::size_t b = 0; b < main_.boxes_in_stage(stage); ++b) {
+      const std::size_t base = main_.box_base(stage, b);
+      for (std::size_t j = 0; j < block; ++j) {
+        bits[j] = static_cast<std::uint8_t>(bit_of(cur[base + j].address, addr_bit));
+      }
+      // Box-local overlay: shift the stage-global indices into this box.
+      BsnFaults box_faults;
+      box_faults.columns.resize(k);
+      const std::size_t sw_base = base / 2;
+      for (unsigned j = 0; j < k; ++j) {
+        const NetworkColumnFaults& col = stage_faults[j];
+        for (const StuckBit& c : col.controls) {
+          if (c.index >= sw_base && c.index < sw_base + block / 2) {
+            box_faults.columns[j].controls.push_back(
+                {static_cast<std::uint32_t>(c.index - sw_base), c.value});
+          }
+        }
+        for (const StuckBit& f : col.flags) {
+          if (f.index >= sw_base && f.index < sw_base + block / 2) {
+            box_faults.columns[j].flags.push_back(
+                {static_cast<std::uint32_t>(f.index - sw_base), f.value});
+          }
+        }
+        for (const std::uint32_t line : col.input_flips) {
+          if (line >= base && line < base + block) {
+            box_faults.columns[j].input_flips.push_back(
+                static_cast<std::uint32_t>(line - base));
+          }
+        }
+      }
+      const auto sorted =
+          bsn.route(std::span<const std::uint8_t>(bits).first(block), &box_faults);
+      for (unsigned j = 0; j < k; ++j) {
+        for (auto c : sorted.controls[j]) stage_controls[j].push_back(c);
+      }
+    }
+
+    // 2) Word pass: move the words column by column under those settings so
+    // dead crosspoints can corrupt the exact traversal that uses them.
+    for (unsigned j = 0; j < k; ++j) {
+      // Fused exchange + following wiring, exactly the compiled engine's
+      // column groups: the intra-BSN unshuffle for j < k-1, a bare exchange
+      // for the BSN's last column (the main unshuffle is applied below).
+      const std::size_t group = (j + 1 < k) ? (std::size_t{1} << (k - j)) : 2;
+      const std::size_t half = group / 2;
+      const auto& ctl = stage_controls[j];
+      for (const DeadCrosspoint& d : stage_faults[j].dead) {
+        BNB_EXPECTS(d.sw < n / 2 && d.in_port <= 1 && d.out_port <= 1);
+        if (ctl[d.sw] != static_cast<std::uint8_t>(d.in_port ^ d.out_port)) continue;
+        // Switch d.sw's inputs are lines 2*sw and 2*sw+1 in every column.
+        cur[2 * d.sw + d.in_port].address ^= poison;
+      }
+      for (std::size_t base = 0; base < n; base += group) {
+        const std::size_t pair0 = base / 2;
+        for (std::size_t t = 0; t < half; ++t) {
+          const bool c = ctl[pair0 + t] != 0;
+          const Word a = cur[base + 2 * t];
+          const Word b = cur[base + 2 * t + 1];
+          next[base + t] = c ? b : a;
+          next[base + half + t] = c ? a : b;
+          next_where[base + t] = c ? where[base + 2 * t + 1] : where[base + 2 * t];
+          next_where[base + half + t] =
+              c ? where[base + 2 * t] : where[base + 2 * t + 1];
+        }
+      }
+      cur.swap(next);
+      where.swap(next_where);
+    }
+
+    if (stage + 1 < m_) {
+      const auto table = main_.stage_unshuffle(stage);
+      for (std::size_t line = 0; line < n; ++line) {
+        const std::size_t nxt =
+            table.empty() ? main_.next_line(stage, line) : table[line];
+        next[nxt] = cur[line];
+        next_where[nxt] = where[line];
+      }
+      cur.swap(next);
+      where.swap(next_where);
+    }
+  }
+
+  Result r;
+  r.dest.assign(n, 0);
+  for (std::size_t line = 0; line < n; ++line) {
+    r.dest[where[line]] = static_cast<std::uint32_t>(line);
+  }
+  r.self_routed = true;
+  for (std::size_t line = 0; line < n; ++line) {
+    if (cur[line].address != line) {
+      r.self_routed = false;
+      break;
+    }
+  }
+  r.outputs = std::move(cur);
+  return r;
+}
+
 std::string BnbNetwork::describe() const {
   std::ostringstream os;
   const std::size_t n = inputs();

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/bit_sorter.hpp"
+#include "core/fault_hooks.hpp"
 #include "core/gbn.hpp"
 #include "perm/permutation.hpp"
 
@@ -71,6 +72,19 @@ class BnbNetwork {
   /// the paper's standing assumption; checked).
   [[nodiscard]] Result route_words(std::span<const Word> words,
                                    bool keep_trace = false) const;
+
+  /// Fault-injection hook: route with the behavioral overlay applied.
+  /// The request must still be a valid permutation of addresses (that is
+  /// what the traffic asks for); the *network* is what breaks.  The result
+  /// reports whatever the damaged hardware delivered: `self_routed` is
+  /// false whenever any word missed its addressed line, and delivered
+  /// addresses may be corrupted (dead crosspoints flip them).  Semantics
+  /// are identical to CompiledBnb's mask-overlay injection; an empty
+  /// overlay routes exactly like route()/route_words().
+  [[nodiscard]] Result route_with_faults(const Permutation& pi,
+                                         const NetworkFaults& faults) const;
+  [[nodiscard]] Result route_words_with_faults(std::span<const Word> words,
+                                               const NetworkFaults& faults) const;
 
   /// Identify nested network NB(i,l): the main-stage box owning a line.
   [[nodiscard]] GbnTopology::BoxRef nested_of(unsigned stage, std::size_t line) const {

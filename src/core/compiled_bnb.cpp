@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <mutex>
+#include <string>
 #include <thread>
 
 #include "common/expect.hpp"
@@ -76,8 +78,10 @@ std::size_t CompiledBnb::work_words() const noexcept {
 }
 
 void CompiledBnb::column_controls(std::size_t column, std::uint64_t* bits,
-                                  std::uint64_t* ctl, std::uint64_t* work) const {
+                                  std::uint64_t* ctl, std::uint64_t* work,
+                                  const ColumnFaultMasks* faults) const {
   BNB_EXPECTS(column < columns_.size());
+  BNB_EXPECTS(bits != nullptr && ctl != nullptr && work != nullptr);
   const Column& col = columns_[column];
   const std::size_t n = inputs();
   const std::size_t pairs = n / 2;
@@ -91,6 +95,14 @@ void CompiledBnb::column_controls(std::size_t column, std::uint64_t* bits,
   std::uint64_t* downs = ups + stack_words;
   std::uint64_t* tmp_a = downs + stack_words;
   std::uint64_t* tmp_b = tmp_a + half_words;
+
+  if (faults != nullptr && !faults->bit_flip.empty()) {
+    // Broken bit-slice links into this column: arbiter and slice data both
+    // see the inverted bit (the words — the other slices — do not).
+    const std::size_t words = bitpack::words_for(n);
+    BNB_EXPECTS(faults->bit_flip.size() == words);
+    for (std::size_t w = 0; w < words; ++w) bits[w] ^= faults->bit_flip[w];
+  }
 
   bitpack::compress_even(bits, n, e);
   bitpack::compress_odd(bits, n, o);
@@ -141,6 +153,28 @@ void CompiledBnb::column_controls(std::size_t column, std::uint64_t* bits,
     }
   }
 
+  if (faults != nullptr) {
+    // Stuck flag wires first (the switch then computes e XOR v there), then
+    // stuck setting signals — the control is the last wire before the
+    // switch, so it overrides everything upstream.
+    if (!faults->flag_mask.empty()) {
+      BNB_EXPECTS(p >= 2);  // sp(1) has no arbiter flags to freeze
+      BNB_EXPECTS(faults->flag_mask.size() == half_words &&
+                  faults->flag_val.size() == half_words);
+      for (std::size_t w = 0; w < half_words; ++w) {
+        ctl[w] = (ctl[w] & ~faults->flag_mask[w]) |
+                 ((e[w] ^ faults->flag_val[w]) & faults->flag_mask[w]);
+      }
+    }
+    if (!faults->ctl_and.empty()) {
+      BNB_EXPECTS(faults->ctl_and.size() == half_words &&
+                  faults->ctl_or.size() == half_words);
+      for (std::size_t w = 0; w < half_words; ++w) {
+        ctl[w] = (ctl[w] & faults->ctl_and[w]) | faults->ctl_or[w];
+      }
+    }
+  }
+
   if (col.update_bits) {
     // Advance the packed bits through the switch column and the U_p^k
     // unshuffle in one step: exchanged pairs swap their even/odd halves,
@@ -155,9 +189,15 @@ void CompiledBnb::column_controls(std::size_t column, std::uint64_t* bits,
 }
 
 CompiledBnb::Output CompiledBnb::route_impl(RouteScratch& s, ControlTrace* trace,
-                                            std::span<const Word> payload_source) const {
+                                            std::span<const Word> payload_source,
+                                            const EngineFaults* faults) const {
   const std::size_t n = inputs();
+  BNB_EXPECTS(s.prepared_for(*this));
+  if (faults != nullptr && !faults->empty()) {
+    BNB_EXPECTS(faults->columns.size() == columns_.size());
+  }
   const std::size_t words = bitpack::words_for(n);
+  const std::uint64_t poison = dead_crosspoint_poison(n);
   std::uint64_t* state = s.state_.data();
   std::uint64_t* spare = s.spare_.data();
   if (trace != nullptr) {
@@ -183,11 +223,19 @@ CompiledBnb::Output CompiledBnb::route_impl(RouteScratch& s, ControlTrace* trace
     const unsigned k = m_ - stage;
     for (unsigned j = 0; j < k; ++j, ++col_idx) {
       const Column& col = columns_[col_idx];
-      column_controls(col_idx, s.bits_.data(), s.ctl_.data(), s.work_.data());
+      const ColumnFaultMasks* fcol =
+          faults != nullptr ? faults->column(col_idx) : nullptr;
+      column_controls(col_idx, s.bits_.data(), s.ctl_.data(), s.work_.data(), fcol);
       if (trace != nullptr) {
         trace->column_controls.emplace_back(s.ctl_.begin(),
                                             s.ctl_.begin() +
                                                 static_cast<std::ptrdiff_t>(control_words()));
+      }
+      if (fcol != nullptr && !fcol->dead.empty()) {
+        // A word crossing a dead path arrives with every address bit
+        // flipped; the audit layer is guaranteed to see the damage.
+        visit_dead_crosspoint_hits(*fcol, s.ctl_.data(),
+                                   [&](std::size_t line) { state[line] ^= poison; });
       }
       apply_column_to_lines<std::uint64_t>(s.ctl_.data(), {state, n}, {spare, n}, col.group);
       std::swap(state, spare);
@@ -210,7 +258,8 @@ CompiledBnb::Output CompiledBnb::route_impl(RouteScratch& s, ControlTrace* trace
 }
 
 CompiledBnb::Output CompiledBnb::route(const Permutation& pi, RouteScratch& scratch,
-                                       ControlTrace* trace) const {
+                                       ControlTrace* trace,
+                                       const EngineFaults* faults) const {
   const std::size_t n = inputs();
   BNB_EXPECTS(pi.size() == n);
   scratch.prepare(*this);
@@ -219,17 +268,19 @@ CompiledBnb::Output CompiledBnb::route(const Permutation& pi, RouteScratch& scra
   for (std::size_t j = 0; j < n; ++j) {
     scratch.state_[j] = (std::uint64_t{j} << 32) | pi(j);
   }
-  return route_impl(scratch, trace, {});
+  return route_impl(scratch, trace, {}, faults);
 }
 
 CompiledBnb::Output CompiledBnb::route_words(std::span<const Word> words,
                                              RouteScratch& scratch,
-                                             ControlTrace* trace) const {
+                                             ControlTrace* trace,
+                                             const EngineFaults* faults) const {
   const std::size_t n = inputs();
   BNB_EXPECTS(words.size() == n);
   scratch.prepare(*this);
   // Self-routing (Theorem 2) assumes the addresses are a permutation of
   // 0..N-1; verify with the packed-bit buffer as a seen-set (no allocation).
+  // Faults break the network, never the request, so this always holds.
   std::fill(scratch.bits_.begin(), scratch.bits_.end(), 0);
   for (std::size_t j = 0; j < n; ++j) {
     const std::uint32_t a = words[j].address;
@@ -240,14 +291,14 @@ CompiledBnb::Output CompiledBnb::route_words(std::span<const Word> words,
   for (std::size_t j = 0; j < n; ++j) {
     scratch.state_[j] = (std::uint64_t{j} << 32) | words[j].address;
   }
-  return route_impl(scratch, trace, words);
+  return route_impl(scratch, trace, words, faults);
 }
 
 BatchResult CompiledBnb::route_batch(std::span<const Permutation> perms,
-                                     unsigned threads) const {
+                                     unsigned threads,
+                                     const EngineFaults* faults) const {
   BNB_EXPECTS(threads >= 1 && threads <= 256);
   const std::size_t n = inputs();
-  for (const auto& pi : perms) BNB_EXPECTS(pi.size() == n);
 
   BatchResult result;
   result.permutations = perms.size();
@@ -259,16 +310,52 @@ BatchResult CompiledBnb::route_batch(std::span<const Permutation> perms,
 
   std::atomic<std::size_t> next{0};
   std::atomic<bool> all_ok{true};
+  // First worker exception wins; the stop flag drains the remaining work so
+  // every thread joins cleanly and the error surfaces on the calling thread
+  // instead of std::terminate-ing the process.
+  std::atomic<bool> stop{false};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::size_t first_error_index = 0;
+
   auto drain = [&]() {
     RouteScratch scratch;
-    scratch.prepare(*this);
+    try {
+      scratch.prepare(*this);
+    } catch (...) {
+      // Treat a scratch failure (bad_alloc) like a fault of the first item
+      // this worker would have claimed.
+      const std::size_t idx = next.load(std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) {
+        first_error = std::current_exception();
+        first_error_index = std::min(idx, perms.size() - 1);
+      }
+      stop.store(true, std::memory_order_relaxed);
+      return;
+    }
     for (;;) {
+      if (stop.load(std::memory_order_relaxed)) break;
       const std::size_t idx = next.fetch_add(1, std::memory_order_relaxed);
       if (idx >= perms.size()) break;
-      const Output out = route(perms[idx], scratch);
-      if (!out.self_routed) all_ok.store(false, std::memory_order_relaxed);
-      std::copy(out.dest.begin(), out.dest.end(),
-                result.dest.begin() + static_cast<std::ptrdiff_t>(idx * n));
+      try {
+        // Per-item validation happens here, inside the worker, so a bad
+        // permutation is reported with its batch index rather than tearing
+        // the whole call down before any routing starts.
+        BNB_EXPECTS(perms[idx].size() == n);
+        const Output out = route(perms[idx], scratch, nullptr, faults);
+        if (!out.self_routed) all_ok.store(false, std::memory_order_relaxed);
+        std::copy(out.dest.begin(), out.dest.end(),
+                  result.dest.begin() + static_cast<std::ptrdiff_t>(idx * n));
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) {
+          first_error = std::current_exception();
+          first_error_index = idx;
+        }
+        stop.store(true, std::memory_order_relaxed);
+        break;
+      }
     }
   };
 
@@ -279,6 +366,21 @@ BatchResult CompiledBnb::route_batch(std::span<const Permutation> perms,
   for (unsigned t = 1; t < workers; ++t) pool.emplace_back(drain);
   drain();
   for (auto& th : pool) th.join();
+
+  if (first_error) {
+    std::string what = "route_batch: permutation " +
+                       std::to_string(first_error_index) + " of " +
+                       std::to_string(perms.size()) + " threw";
+    try {
+      std::rethrow_exception(first_error);
+    } catch (const std::exception& e) {
+      what += ": ";
+      what += e.what();
+    } catch (...) {
+      // Non-std exception: the index and cause() still identify it.
+    }
+    throw batch_route_error(first_error_index, first_error, what);
+  }
 
   result.all_self_routed = all_ok.load();
   return result;

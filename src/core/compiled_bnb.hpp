@@ -24,10 +24,14 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
+#include "common/expect.hpp"
 #include "core/bnb_network.hpp"
+#include "core/fault_hooks.hpp"
 #include "perm/permutation.hpp"
 
 namespace bnb {
@@ -64,6 +68,25 @@ struct BatchResult {
   std::vector<std::uint32_t> dest;  ///< dest[perm * N + input] = output line
   std::size_t permutations = 0;
   bool all_self_routed = false;
+};
+
+/// An exception escaped a route_batch worker thread.  The worker captures
+/// it and the pool rethrows it on the calling thread as this type, naming
+/// the batch index that failed; the original exception is in cause().
+class batch_route_error : public std::runtime_error {
+ public:
+  batch_route_error(std::size_t index, std::exception_ptr cause,
+                    const std::string& what_arg)
+      : std::runtime_error(what_arg), index_(index), cause_(std::move(cause)) {}
+
+  /// Index into the batch of the permutation whose route threw.
+  [[nodiscard]] std::size_t index() const noexcept { return index_; }
+  /// The original exception; std::rethrow_exception to recover its type.
+  [[nodiscard]] std::exception_ptr cause() const noexcept { return cause_; }
+
+ private:
+  std::size_t index_;
+  std::exception_ptr cause_;
 };
 
 /// Opt-in capture of the engine's switch settings (off the fast path).
@@ -109,20 +132,31 @@ class CompiledBnb {
 
   /// Route a permutation: input j carries address pi(j), payload j.
   /// Zero allocations once `scratch` is prepared (unless `trace` is given).
+  ///
+  /// A non-null `faults` overlays the engine with injected hardware faults
+  /// (compiled from a FaultModel by fault/injection.hpp): per-column mask
+  /// words patch the packed controls/flags/bits, dead crosspoints corrupt
+  /// traversing words.  The clean path pays one pointer test per column.
   [[nodiscard]] Output route(const Permutation& pi, RouteScratch& scratch,
-                             ControlTrace* trace = nullptr) const;
+                             ControlTrace* trace = nullptr,
+                             const EngineFaults* faults = nullptr) const;
 
   /// Route explicit words.  The public span entry validates that the
   /// addresses form a permutation of 0..N-1 (the route(Permutation) path
   /// skips that O(N) re-check — the Permutation invariant guarantees it).
   [[nodiscard]] Output route_words(std::span<const Word> words, RouteScratch& scratch,
-                                   ControlTrace* trace = nullptr) const;
+                                   ControlTrace* trace = nullptr,
+                                   const EngineFaults* faults = nullptr) const;
 
   /// Sustained-throughput API: route every permutation of `perms` on a
   /// small worker pool of `threads` workers (one RouteScratch each).
-  /// Requires 1 <= threads <= 256; every permutation must have size N.
+  /// Requires 1 <= threads <= 256.  An exception escaping a worker (e.g. a
+  /// contract_violation for a wrong-size permutation) is captured, the pool
+  /// drains, and it is rethrown here as batch_route_error with the failing
+  /// batch index — a worker exception never std::terminates the process.
   [[nodiscard]] BatchResult route_batch(std::span<const Permutation> perms,
-                                        unsigned threads = 1) const;
+                                        unsigned threads = 1,
+                                        const EngineFaults* faults = nullptr) const;
 
   // -- column-level access (shared with fabric/staged_router) -------------
 
@@ -135,12 +169,31 @@ class CompiledBnb {
   /// bits, and advance `bits` through the column's switches and its
   /// intra-BSN unshuffle (no-op for a BSN's last column).  `work` must hold
   /// work_words() words; `ctl` control_words().  Allocation-free.
+  ///
+  /// A non-null `faults` patches this column: incoming packed bits are
+  /// XORed with bit_flip, stuck flag wires replace f(2t) (ctl bit becomes
+  /// e XOR v there), and stuck controls force their bits last — the faulty
+  /// settings also steer the column's own bit-slice update, exactly as the
+  /// broadcast hardware would.  (Dead crosspoints are word-path faults;
+  /// apply them with visit_dead_crosspoint_hits before moving the lines.)
   void column_controls(std::size_t column, std::uint64_t* bits, std::uint64_t* ctl,
-                       std::uint64_t* work) const;
+                       std::uint64_t* work,
+                       const ColumnFaultMasks* faults = nullptr) const;
+
+  /// Corrupt every line whose word crosses a dead crosspoint of `column`
+  /// under the packed settings `ctl`: per hit, fn(line) is invoked so the
+  /// caller can poison its own line representation (uint64 state word,
+  /// Word, ...).  Shared by route(), the staged router, and diagnosis.
+  template <typename F>
+  void visit_dead_crosspoint_hits(const ColumnFaultMasks& faults,
+                                  const std::uint64_t* ctl, F&& fn) const {
+    for_each_dead_hit(faults.dead, ctl, static_cast<F&&>(fn));
+  }
 
  private:
   [[nodiscard]] Output route_impl(RouteScratch& scratch, ControlTrace* trace,
-                                  std::span<const Word> payload_source) const;
+                                  std::span<const Word> payload_source,
+                                  const EngineFaults* faults) const;
 
   unsigned m_;
   std::vector<Column> columns_;
@@ -151,9 +204,15 @@ class CompiledBnb {
 /// its control bit is set, then even outputs go to the block's upper half
 /// and odd outputs to the lower half.  `group == 2` degenerates to the bare
 /// exchange.  cur and nxt must be distinct spans of equal size.
+/// Shape misuse throws contract_violation (checked once per call, not per
+/// element — the checks stay off the inner loop).
 template <typename T>
 void apply_column_to_lines(const std::uint64_t* ctl, std::span<const T> cur,
                            std::span<T> nxt, std::size_t group) {
+  BNB_EXPECTS(ctl != nullptr);
+  BNB_EXPECTS(cur.size() == nxt.size() && cur.data() != nxt.data());
+  BNB_EXPECTS(group >= 2 && (group & (group - 1)) == 0 &&
+              cur.size() % group == 0);
   const std::size_t n = cur.size();
   const std::size_t half = group / 2;
   for (std::size_t base = 0; base < n; base += group) {

@@ -1,0 +1,162 @@
+// Fault-injection hook types shared by the behavioral routers and the
+// compiled engine.
+//
+// These are plain-data overlays, already resolved to the coordinate system
+// of the component that consumes them:
+//
+//   * SplitterFaults      — splitter-local wire indices (one sp(p));
+//   * BsnFaults           — box-local indices, grouped by BSN column;
+//   * NetworkFaults       — stage-global indices, [main stage][BSN column];
+//   * EngineFaults        — packed mask words per CompiledBnb column.
+//
+// The semantic model, identical in every engine (see docs/FAULTS.md):
+//
+//   * a STUCK CONTROL freezes a 2x2 switch's setting signal to 0/1 — every
+//     slice of the nested network follows the frozen setting;
+//   * a STUCK FLAG freezes the arbiter leaf wire f(2t), so the switch
+//     computes s^I(2t) XOR v instead of s^I(2t) XOR f(2t) (only splitters
+//     with p >= 2 have function nodes — sp(1) has no arbiter to break);
+//   * a LINK FLIP inverts the bit-slice wire entering one line of one
+//     column: the arbiter and the bit slice both see the wrong bit, but the
+//     word (the other q-1 slices) is untouched;
+//   * a DEAD CROSSPOINT kills one input->output path through a 2x2 switch.
+//     When the (possibly faulty) setting selects that path, the traversing
+//     word is delivered corrupted: every address bit flips (XOR with N-1),
+//     which guarantees the word can no longer rest on the line its original
+//     address named, so a delivery audit always has something to see.  The
+//     in-flight bit slice of the current stage is NOT re-corrupted — it was
+//     tapped at the stage entry, exactly like the hardware broadcast.
+//
+// A null/empty overlay must cost nothing: every consumer checks one pointer
+// (or one empty() bit) per column before touching any of this.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bnb {
+
+/// One frozen wire: `index` names the wire inside the owning scope.
+struct StuckBit {
+  std::uint32_t index = 0;
+  bool value = false;
+};
+
+/// One dead input->output path of a 2x2 switch.  Port 0 is the upper
+/// input/output, port 1 the lower.  The path is exercised when the switch
+/// setting c satisfies c == (in_port XOR out_port).
+struct DeadCrosspoint {
+  std::uint32_t sw = 0;  ///< switch index inside the owning scope
+  std::uint8_t in_port = 0;
+  std::uint8_t out_port = 0;
+};
+
+/// Faults local to one splitter sp(p); switch indices in [0, 2^{p-1}),
+/// line indices in [0, 2^p).  Dead crosspoints are word-path faults and are
+/// handled by the word-moving layer, not by the bit-slice splitter.
+struct SplitterFaults {
+  std::vector<StuckBit> controls;
+  std::vector<StuckBit> flags;
+  std::vector<std::uint32_t> input_flips;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return controls.empty() && flags.empty() && input_flips.empty();
+  }
+};
+
+/// Bit-slice faults of one BSN column; indices are box-local (switch
+/// indices in [0, 2^{k-1}), line indices in [0, 2^k) for a 2^k-line BSN).
+struct BsnColumnFaults {
+  std::vector<StuckBit> controls;
+  std::vector<StuckBit> flags;
+  std::vector<std::uint32_t> input_flips;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return controls.empty() && flags.empty() && input_flips.empty();
+  }
+};
+
+/// Bit-slice faults of a whole BSN: columns[j] belongs to BSN stage j.
+/// An empty `columns` vector means the BSN is clean.
+struct BsnFaults {
+  std::vector<BsnColumnFaults> columns;
+
+  [[nodiscard]] bool empty() const noexcept { return columns.empty(); }
+};
+
+/// Faults of one column of the full network, in stage-global coordinates
+/// (switch indices in [0, N/2), line indices in [0, N)).
+struct NetworkColumnFaults {
+  std::vector<StuckBit> controls;
+  std::vector<StuckBit> flags;
+  std::vector<std::uint32_t> input_flips;
+  std::vector<DeadCrosspoint> dead;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return controls.empty() && flags.empty() && input_flips.empty() && dead.empty();
+  }
+};
+
+/// Behavioral overlay for a whole BnbNetwork: stages[i][j] holds the faults
+/// of main stage i, BSN column j.  Empty `stages` = clean network.
+struct NetworkFaults {
+  std::vector<std::vector<NetworkColumnFaults>> stages;
+
+  [[nodiscard]] bool empty() const noexcept { return stages.empty(); }
+};
+
+/// Mask overlay for one CompiledBnb column.  All vectors are either empty
+/// (that fault class absent) or exactly the column's packed width:
+/// control_words() for ctl_*/flag_*, words_for(N) for bit_flip.
+struct ColumnFaultMasks {
+  std::vector<std::uint64_t> ctl_and;    ///< stuck-at-0 controls: bit cleared
+  std::vector<std::uint64_t> ctl_or;     ///< stuck-at-1 controls: bit set
+  std::vector<std::uint64_t> flag_mask;  ///< switches with a stuck flag wire
+  std::vector<std::uint64_t> flag_val;   ///< the stuck flag values
+  std::vector<std::uint64_t> bit_flip;   ///< XOR onto the incoming packed bits
+  std::vector<DeadCrosspoint> dead;      ///< column-global switch indices
+
+  [[nodiscard]] bool any() const noexcept {
+    return !ctl_and.empty() || !ctl_or.empty() || !flag_mask.empty() ||
+           !bit_flip.empty() || !dead.empty();
+  }
+};
+
+/// Compiled-engine overlay: one ColumnFaultMasks per plan column, or empty
+/// for a clean engine.  Built from a FaultModel by fault/injection.hpp.
+struct EngineFaults {
+  std::vector<ColumnFaultMasks> columns;
+
+  [[nodiscard]] bool empty() const noexcept { return columns.empty(); }
+
+  /// The masks of column `c`, or nullptr when that column is clean.
+  [[nodiscard]] const ColumnFaultMasks* column(std::size_t c) const noexcept {
+    if (columns.empty() || c >= columns.size() || !columns[c].any()) return nullptr;
+    return &columns[c];
+  }
+};
+
+/// Poison XORed into the address of a word that crossed a dead crosspoint:
+/// flipping every address bit guarantees the delivered address mismatches
+/// the line the original address named.
+[[nodiscard]] constexpr std::uint64_t dead_crosspoint_poison(std::size_t n) noexcept {
+  return static_cast<std::uint64_t>(n - 1);
+}
+
+/// Visit every dead crosspoint of `dead` that the packed switch settings
+/// `ctl` exercise, calling fn(input line index) for the line whose word is
+/// corrupted.  Switch pr's inputs are lines 2*pr and 2*pr+1 in every
+/// column, whatever wiring group follows the switches.
+template <typename F>
+void for_each_dead_hit(const std::vector<DeadCrosspoint>& dead,
+                       const std::uint64_t* ctl, F&& fn) {
+  for (const DeadCrosspoint& d : dead) {
+    const std::size_t pr = d.sw;
+    const unsigned c = static_cast<unsigned>((ctl[pr >> 6] >> (pr & 63)) & 1U);
+    if (c != static_cast<unsigned>(d.in_port ^ d.out_port)) continue;
+    fn(2 * pr + d.in_port);
+  }
+}
+
+}  // namespace bnb

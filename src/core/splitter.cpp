@@ -8,7 +8,8 @@ namespace bnb {
 
 Splitter::Splitter(unsigned p) : p_(p), arbiter_(p) { BNB_EXPECTS(p >= 1 && p < 32); }
 
-Splitter::Result Splitter::route(std::span<const std::uint8_t> bits) const {
+Splitter::Result Splitter::route(std::span<const std::uint8_t> bits,
+                                 const SplitterFaults* faults) const {
   const std::size_t n = inputs();
   BNB_EXPECTS(bits.size() == n);
 
@@ -19,24 +20,56 @@ Splitter::Result Splitter::route(std::span<const std::uint8_t> bits) const {
   }
   // Standing assumption from the paper: even number of 1s (p >= 2), or one
   // 0 and one 1 (p = 1).  In the BNB network this always holds because the
-  // inputs are a permutation of 0..N-1.
-  BNB_EXPECTS(ones % 2 == 0 || p_ == 1);
-  if (p_ == 1) BNB_EXPECTS(ones == 1);
+  // inputs are a permutation of 0..N-1 — but a fault overlay voids the
+  // theorem's hypothesis, so fault-mode routing is defined for any input.
+  if (faults == nullptr) {
+    BNB_EXPECTS(ones % 2 == 0 || p_ == 1);
+    if (p_ == 1) BNB_EXPECTS(ones == 1);
+  }
+
+  std::vector<std::uint8_t> flipped;
+  if (faults != nullptr && !faults->input_flips.empty()) {
+    flipped.assign(bits.begin(), bits.end());
+    for (const std::uint32_t line : faults->input_flips) {
+      BNB_EXPECTS(line < n);
+      flipped[line] ^= 1U;
+    }
+    bits = flipped;
+  }
 
   Result r;
   r.flags = arbiter_.compute_flags(bits);
+  if (faults != nullptr) {
+    // A stuck function-node flag freezes the f(2t) wire into switch t.
+    // sp(1) has no arbiter nodes, so there is no flag wire to break there.
+    for (const StuckBit& f : faults->flags) {
+      BNB_EXPECTS(p_ >= 2 && f.index < n / 2);
+      r.flags[2 * f.index] = static_cast<std::uint8_t>(f.value);
+    }
+  }
   r.out_bits.assign(n, 0);
   r.controls.assign(n / 2, 0);
   r.dest.assign(n, 0);
 
   for (std::size_t t = 0; t < n / 2; ++t) {
-    const std::size_t i0 = 2 * t;      // upper input
-    const std::size_t i1 = 2 * t + 1;  // lower input
     // Switch setting: s^I XOR f; 0 = to OU (even output), 1 = to OL (odd).
     // The pair's two XORs are always complementary, so the upper input's
     // signal alone determines the switch (the paper uses one of the two).
-    const std::uint8_t control = static_cast<std::uint8_t>(bits[i0] ^ r.flags[i0]);
-    r.controls[t] = control;
+    r.controls[t] = static_cast<std::uint8_t>(bits[2 * t] ^ r.flags[2 * t]);
+  }
+  if (faults != nullptr) {
+    // A stuck setting signal overrides whatever the (possibly already
+    // faulty) arbiter computed — it is the last wire before the switch.
+    for (const StuckBit& c : faults->controls) {
+      BNB_EXPECTS(c.index < n / 2);
+      r.controls[c.index] = static_cast<std::uint8_t>(c.value);
+    }
+  }
+
+  for (std::size_t t = 0; t < n / 2; ++t) {
+    const std::size_t i0 = 2 * t;      // upper input
+    const std::size_t i1 = 2 * t + 1;  // lower input
+    const std::uint8_t control = r.controls[t];
     if (control == 0) {  // straight
       r.out_bits[i0] = bits[i0];
       r.out_bits[i1] = bits[i1];

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/arbiter.hpp"
+#include "core/fault_hooks.hpp"
 #include "sim/census.hpp"
 
 namespace bnb {
@@ -45,7 +46,14 @@ class Splitter {
   /// Route one bit slice.  Precondition (paper's standing assumption): the
   /// number of 1 inputs is even for p >= 2; for p = 1 the two inputs must
   /// differ.  Violations throw bnb::contract_violation.
-  [[nodiscard]] Result route(std::span<const std::uint8_t> bits) const;
+  ///
+  /// Fault-injection hook: a non-null `faults` applies the overlay (link
+  /// flips on the inputs, stuck arbiter flags, stuck switch controls) AND
+  /// relaxes the balance precondition — a broken upstream splitter feeds
+  /// unbalanced bits downstream, and the simulation must stay well-defined
+  /// for any fault set (pass an empty SplitterFaults to relax only).
+  [[nodiscard]] Result route(std::span<const std::uint8_t> bits,
+                             const SplitterFaults* faults = nullptr) const;
 
   /// Hardware of one sp(p): 2^{p-1} switches + (2^p - 1) function nodes
   /// (0 nodes for p = 1).

@@ -1,6 +1,7 @@
 #include "fabric/pipeline.hpp"
 
 #include <deque>
+#include <type_traits>
 
 #include "common/expect.hpp"
 
@@ -53,7 +54,11 @@ sim::DelayUnits PipelinedFabric::cycle_time() const {
 }
 
 PipelinedFabric::StreamStats PipelinedFabric::run_stream(
-    std::span<const Permutation> perms) const {
+    std::span<const Permutation> perms, const InjectionWindow* inject,
+    unsigned max_retries) const {
+  // Fault injection drives StagedBnbRouter's overlay hooks; the Batcher
+  // baseline has none.
+  BNB_EXPECTS(inject == nullptr || kind_ == Kind::kBnb);
   StreamStats stats;
   stats.permutations = perms.size();
   stats.latency_columns = depth_columns();
@@ -61,30 +66,59 @@ PipelinedFabric::StreamStats PipelinedFabric::run_stream(
   stats.all_delivered = true;
   if (perms.empty()) return stats;
 
+  const EngineFaults* overlay =
+      (inject != nullptr && !inject->faults.empty()) ? &inject->faults : nullptr;
+
   return std::visit(
       [&](const auto& router) {
         StreamStats s = stats;
         std::deque<StagedJob> in_flight;
-        std::size_t next = 0;
+        // Issue queue of permutation indices: the initial stream in order,
+        // with audited-bad permutations reissued at the back.
+        std::deque<std::size_t> pending;
+        for (std::size_t i = 0; i < perms.size(); ++i) pending.push_back(i);
+        std::vector<unsigned> attempts(perms.size(), 0);
         std::uint64_t cycle = 0;
 
-        while (next < perms.size() || !in_flight.empty()) {
+        while (!pending.empty() || !in_flight.empty()) {
+          const EngineFaults* live =
+              (overlay != nullptr && cycle < inject->until_cycle) ? overlay
+                                                                  : nullptr;
+          if (live != nullptr) ++s.degraded_cycles;
           // Advance every in-flight job by one column.
-          for (auto& job : in_flight) router.step(job);
+          for (auto& job : in_flight) {
+            if constexpr (std::is_same_v<std::decay_t<decltype(router)>,
+                                         StagedBnbRouter>) {
+              router.step(job, live);
+            } else {
+              router.step(job);
+            }
+          }
           // Retire deliveries (oldest jobs are furthest along).
           while (!in_flight.empty() && router.finished(in_flight.front())) {
             const StagedJob& done = in_flight.front();
-            if (!audit(done, perms[static_cast<std::size_t>(done.tag)])) {
-              s.all_delivered = false;
+            const auto idx = static_cast<std::size_t>(done.tag);
+            if (audit(done, perms[idx])) {
+              s.words_delivered += done.lines.size();
+            } else {
+              ++s.misroutes_caught;
+              if (attempts[idx] < max_retries) {
+                ++attempts[idx];
+                ++s.retries;
+                pending.push_back(idx);
+              } else {
+                ++s.failed_permutations;
+                s.all_delivered = false;
+              }
             }
-            s.words_delivered += done.lines.size();
             in_flight.pop_front();
           }
           // Issue the next permutation into the freed input column.
-          if (next < perms.size()) {
-            BNB_EXPECTS(perms[next].size() == router.inputs());
-            in_flight.push_back(make_job(perms[next], next));
-            ++next;
+          if (!pending.empty()) {
+            const std::size_t idx = pending.front();
+            pending.pop_front();
+            BNB_EXPECTS(perms[idx].size() == router.inputs());
+            in_flight.push_back(make_job(perms[idx], idx));
           }
           ++cycle;
         }

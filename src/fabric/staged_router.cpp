@@ -40,9 +40,12 @@ StagedJob StagedBnbRouter::start(std::span<const Word> words, std::uint64_t tag)
   return job;
 }
 
-void StagedBnbRouter::step(StagedJob& job) const {
+void StagedBnbRouter::step(StagedJob& job, const EngineFaults* faults) const {
   BNB_EXPECTS(!finished(job));
   BNB_EXPECTS(job.lines.size() == inputs());
+  if (faults != nullptr && !faults->empty()) {
+    BNB_EXPECTS(faults->columns.size() == plan_.columns().size());
+  }
   const CompiledBnb::Column& col = plan_.columns()[job.column];
   const std::size_t n = inputs();
 
@@ -75,7 +78,17 @@ void StagedBnbRouter::step(StagedJob& job) const {
 
   // One column of the compiled plan: packed arbiters decide the switch
   // settings; the words follow them through the column's wiring.
-  plan_.column_controls(job.column, job.bits.data(), job.ctl.data(), job.work.data());
+  const ColumnFaultMasks* fcol =
+      faults != nullptr ? faults->column(job.column) : nullptr;
+  plan_.column_controls(job.column, job.bits.data(), job.ctl.data(),
+                        job.work.data(), fcol);
+  if (fcol != nullptr && !fcol->dead.empty()) {
+    const std::uint32_t poison =
+        static_cast<std::uint32_t>(dead_crosspoint_poison(n));
+    plan_.visit_dead_crosspoint_hits(*fcol, job.ctl.data(), [&](std::size_t line) {
+      job.lines[line].address ^= poison;
+    });
+  }
   apply_column_to_lines<Word>(job.ctl.data(), {job.lines.data(), n},
                               {job.spare.data(), n}, col.group);
   job.lines.swap(job.spare);

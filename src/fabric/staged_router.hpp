@@ -60,7 +60,11 @@ class StagedBnbRouter {
 
   [[nodiscard]] StagedJob start(std::span<const Word> words,
                                 std::uint64_t tag = 0) const;
-  void step(StagedJob& job) const;
+  /// Advance one column.  A non-null `faults` overlays injected hardware
+  /// faults on the column being stepped (same masks the compiled engine
+  /// applies in route(); dead crosspoints corrupt the job's words) — the
+  /// pipelined fabric uses it to damage in-flight traffic mid-stream.
+  void step(StagedJob& job, const EngineFaults* faults = nullptr) const;
   [[nodiscard]] bool finished(const StagedJob& job) const {
     return job.column >= total_columns();
   }

@@ -1,0 +1,101 @@
+#include "fault/delivery_audit.hpp"
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+
+namespace bnb {
+
+namespace {
+
+// Mix address and payload through independent SplitMix64 streams and SUM
+// over the slice: order-independent, and — because the two components are
+// summed separately — the clean-delivery value depends only on N, not on
+// which permutation was routed (addresses and payloads are each exactly
+// 0..N-1 then).
+std::uint64_t mix_address(std::uint32_t a) {
+  return SplitMix64(0xADD2E55ULL ^ a).next();
+}
+std::uint64_t mix_payload(std::uint64_t p) {
+  return SplitMix64(0x9E3779B97F4A7C15ULL ^ p).next();
+}
+
+}  // namespace
+
+const char* to_string(RouteErrorKind kind) noexcept {
+  switch (kind) {
+    case RouteErrorKind::kNone: return "none";
+    case RouteErrorKind::kCorruptedAddress: return "corrupted-address";
+    case RouteErrorKind::kWrongDestination: return "wrong-destination";
+    case RouteErrorKind::kPayloadMismatch: return "payload-mismatch";
+    case RouteErrorKind::kBrokenBijection: return "broken-bijection";
+    case RouteErrorKind::kChecksumMismatch: return "checksum-mismatch";
+  }
+  return "?";
+}
+
+DeliveryAudit::DeliveryAudit(unsigned m) : m_(m), expected_checksum_(0) {
+  BNB_EXPECTS(m >= 1 && m < 26);
+  const std::size_t n = inputs();
+  for (std::size_t j = 0; j < n; ++j) {
+    expected_checksum_ +=
+        mix_address(static_cast<std::uint32_t>(j)) + mix_payload(j);
+  }
+  seen_.assign(n, 0);
+}
+
+std::uint64_t DeliveryAudit::slice_checksum(std::span<const Word> words) {
+  std::uint64_t sum = 0;
+  for (const Word& w : words) sum += mix_address(w.address) + mix_payload(w.payload);
+  return sum;
+}
+
+AuditReport DeliveryAudit::audit(const Permutation& pi,
+                                 std::span<const Word> outputs) const {
+  const std::size_t n = inputs();
+  BNB_EXPECTS(pi.size() == n && outputs.size() == n);
+  AuditReport report;
+  seen_.assign(n, 0);
+
+  auto flag = [&](RouteErrorKind kind, std::size_t line) {
+    report.ok = false;
+    ++report.errors;
+    if (report.findings.size() < kMaxFindings) {
+      report.findings.push_back({kind, static_cast<std::uint32_t>(line),
+                                 outputs[line].address, outputs[line].payload});
+    }
+  };
+
+  for (std::size_t line = 0; line < n; ++line) {
+    const Word& w = outputs[line];
+    // Provenance first: the payload names the input the word entered on.
+    if (w.payload >= n) {
+      flag(RouteErrorKind::kPayloadMismatch, line);
+      continue;
+    }
+    const auto j = static_cast<std::size_t>(w.payload);
+    if (seen_[j] != 0) {
+      flag(RouteErrorKind::kBrokenBijection, line);
+      continue;
+    }
+    seen_[j] = 1;
+    const std::uint32_t requested = pi(j);
+    if (w.address != requested) {
+      // The word no longer carries the address it entered with — it was
+      // damaged in transit, not merely mis-switched.
+      flag(RouteErrorKind::kCorruptedAddress, line);
+    } else if (line != requested) {
+      flag(RouteErrorKind::kWrongDestination, line);
+    }
+  }
+
+  if (slice_checksum(outputs) != expected_checksum_) {
+    report.ok = false;
+    ++report.errors;
+    if (report.findings.size() < kMaxFindings) {
+      report.findings.push_back({RouteErrorKind::kChecksumMismatch, 0, 0, 0});
+    }
+  }
+  return report;
+}
+
+}  // namespace bnb

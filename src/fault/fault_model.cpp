@@ -1,0 +1,138 @@
+#include "fault/fault_model.hpp"
+
+#include <sstream>
+
+#include "common/expect.hpp"
+
+namespace bnb {
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kStuckControl: return "stuck-control";
+    case FaultKind::kStuckFlag: return "stuck-flag";
+    case FaultKind::kDeadCrosspoint: return "dead-crosspoint";
+    case FaultKind::kLinkFlip: return "link-flip";
+  }
+  return "?";
+}
+
+std::string to_string(const FaultSpec& spec) {
+  std::ostringstream os;
+  os << to_string(spec.kind) << "@(" << spec.at.main_stage << ','
+     << spec.at.nested_column << ',' << spec.at.splitter << ','
+     << spec.at.element << ')';
+  switch (spec.kind) {
+    case FaultKind::kStuckControl:
+    case FaultKind::kStuckFlag:
+      os << "=" << (spec.value ? 1 : 0);
+      break;
+    case FaultKind::kDeadCrosspoint:
+      os << " port " << int{spec.in_port} << "->" << int{spec.out_port};
+      break;
+    case FaultKind::kLinkFlip:
+      break;
+  }
+  return os.str();
+}
+
+FaultModel::FaultModel(unsigned m) : m_(m) { BNB_EXPECTS(m >= 1 && m < 26); }
+
+unsigned FaultModel::splitter_order(std::uint32_t main_stage,
+                                    std::uint32_t nested_column) const {
+  BNB_EXPECTS(main_stage < m_);
+  BNB_EXPECTS(nested_column < m_ - main_stage);
+  return m_ - main_stage - nested_column;
+}
+
+FaultModel& FaultModel::add(const FaultSpec& spec) {
+  const unsigned p = splitter_order(spec.at.main_stage, spec.at.nested_column);
+  const std::uint32_t splitters =
+      std::uint32_t{1} << (spec.at.main_stage + spec.at.nested_column);
+  BNB_EXPECTS(spec.at.splitter < splitters);
+  switch (spec.kind) {
+    case FaultKind::kStuckControl:
+      BNB_EXPECTS(spec.at.element < (std::uint32_t{1} << (p - 1)));
+      break;
+    case FaultKind::kStuckFlag:
+      // sp(1) has no arbiter: nothing to freeze there.
+      BNB_EXPECTS(p >= 2);
+      BNB_EXPECTS(spec.at.element < (std::uint32_t{1} << (p - 1)));
+      break;
+    case FaultKind::kDeadCrosspoint:
+      BNB_EXPECTS(spec.at.element < (std::uint32_t{1} << (p - 1)));
+      BNB_EXPECTS(spec.in_port <= 1 && spec.out_port <= 1);
+      break;
+    case FaultKind::kLinkFlip:
+      BNB_EXPECTS(spec.at.element < (std::uint32_t{1} << p));
+      break;
+  }
+  faults_.push_back(spec);
+  return *this;
+}
+
+std::vector<FaultSpec> FaultModel::all_single_faults(unsigned m) {
+  BNB_EXPECTS(m >= 1 && m < 26);
+  std::vector<FaultSpec> out;
+  for (std::uint32_t i = 0; i < m; ++i) {
+    for (std::uint32_t j = 0; j < m - i; ++j) {
+      const unsigned p = m - i - j;
+      const std::uint32_t splitters = std::uint32_t{1} << (i + j);
+      const std::uint32_t switches = std::uint32_t{1} << (p - 1);
+      const std::uint32_t lines = std::uint32_t{1} << p;
+      for (std::uint32_t s = 0; s < splitters; ++s) {
+        for (std::uint32_t t = 0; t < switches; ++t) {
+          const FaultAddress at{i, j, s, t};
+          for (const bool v : {false, true}) {
+            out.push_back({FaultKind::kStuckControl, at, v, 0, 0});
+            if (p >= 2) out.push_back({FaultKind::kStuckFlag, at, v, 0, 0});
+          }
+          for (std::uint8_t in = 0; in <= 1; ++in) {
+            for (std::uint8_t op = 0; op <= 1; ++op) {
+              out.push_back({FaultKind::kDeadCrosspoint, at, false, in, op});
+            }
+          }
+        }
+        for (std::uint32_t l = 0; l < lines; ++l) {
+          out.push_back({FaultKind::kLinkFlip, {i, j, s, l}, false, 0, 0});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<FaultSpec> FaultModel::random_campaign(unsigned m, std::size_t count,
+                                                   Rng& rng) {
+  BNB_EXPECTS(m >= 1 && m < 26);
+  std::vector<FaultSpec> out;
+  out.reserve(count);
+  for (std::size_t f = 0; f < count; ++f) {
+    FaultSpec spec;
+    spec.at.main_stage = static_cast<std::uint32_t>(rng.below(m));
+    spec.at.nested_column =
+        static_cast<std::uint32_t>(rng.below(m - spec.at.main_stage));
+    const unsigned p = m - spec.at.main_stage - spec.at.nested_column;
+    spec.at.splitter = static_cast<std::uint32_t>(
+        rng.below(std::uint64_t{1} << (spec.at.main_stage + spec.at.nested_column)));
+    // Pick the kind first so the element space matches it (flags need p>=2).
+    for (;;) {
+      spec.kind = static_cast<FaultKind>(rng.below(4));
+      if (spec.kind != FaultKind::kStuckFlag || p >= 2) break;
+    }
+    if (spec.kind == FaultKind::kLinkFlip) {
+      spec.at.element = static_cast<std::uint32_t>(rng.below(std::uint64_t{1} << p));
+    } else {
+      spec.at.element =
+          static_cast<std::uint32_t>(rng.below(std::uint64_t{1} << (p - 1)));
+    }
+    spec.value = rng.flip();
+    if (spec.kind == FaultKind::kDeadCrosspoint) {
+      spec.in_port = static_cast<std::uint8_t>(rng.below(2));
+      spec.out_port = static_cast<std::uint8_t>(rng.below(2));
+    }
+    out.push_back(spec);
+  }
+  return out;
+}
+
+}  // namespace bnb

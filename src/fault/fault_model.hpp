@@ -1,0 +1,108 @@
+// FaultModel — the user-facing description of injectable hardware faults.
+//
+// Faults are addressed the way the paper names hardware: main stage i
+// (0-based, i < m), nested BSN column j (j < m-i, holding splitters sp(p)
+// with p = m-i-j), splitter index within the column (2^{i+j} of them), and
+// an element inside the splitter (a 2x2 switch for control/flag/crosspoint
+// faults, a line for link faults).  A FaultModel validates every spec
+// against the network shape on add() and stays a plain list; the injection
+// compiler (fault/injection.hpp) resolves it into the engine overlays of
+// core/fault_hooks.hpp.
+//
+// The four fault classes (semantics in core/fault_hooks.hpp and
+// docs/FAULTS.md):
+//
+//   kStuckControl   — a switch's setting signal frozen at `value`;
+//   kStuckFlag      — an arbiter leaf flag wire f(2t) frozen at `value`
+//                     (splitters sp(p>=2) only — sp(1) has no arbiter);
+//   kDeadCrosspoint — the in_port->out_port path of a switch corrupts the
+//                     word that crosses it;
+//   kLinkFlip       — the bit-slice wire into one line of the column is
+//                     inverted.
+//
+// Deterministic campaigns: all_single_faults() enumerates every injectable
+// fault of a network, random_campaign() samples with the repo's seeded Rng
+// so experiments replay from a single 64-bit seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace bnb {
+
+enum class FaultKind : std::uint8_t {
+  kStuckControl,
+  kStuckFlag,
+  kDeadCrosspoint,
+  kLinkFlip,
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind) noexcept;
+
+/// Where a fault lives, in paper coordinates.
+struct FaultAddress {
+  std::uint32_t main_stage = 0;     ///< i in [0, m)
+  std::uint32_t nested_column = 0;  ///< j in [0, m-i); splitters are sp(m-i-j)
+  std::uint32_t splitter = 0;       ///< in [0, 2^{i+j})
+  std::uint32_t element = 0;        ///< switch in [0, 2^{p-1}) or line in [0, 2^p)
+
+  friend bool operator==(const FaultAddress&, const FaultAddress&) = default;
+};
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kStuckControl;
+  FaultAddress at;
+  bool value = false;          ///< stuck-at value (controls and flags)
+  std::uint8_t in_port = 0;    ///< dead crosspoint input port (0 up, 1 down)
+  std::uint8_t out_port = 0;   ///< dead crosspoint output port
+
+  friend bool operator==(const FaultSpec&, const FaultSpec&) = default;
+};
+
+[[nodiscard]] std::string to_string(const FaultSpec& spec);
+
+/// A validated set of faults for one N = 2^m network.
+class FaultModel {
+ public:
+  /// Requires 1 <= m < 26 (the network constructors' own bound).
+  explicit FaultModel(unsigned m);
+
+  [[nodiscard]] unsigned m() const noexcept { return m_; }
+  [[nodiscard]] bool empty() const noexcept { return faults_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return faults_.size(); }
+  [[nodiscard]] const std::vector<FaultSpec>& faults() const noexcept {
+    return faults_;
+  }
+
+  /// Add one fault.  Out-of-shape coordinates (bad stage/column/splitter/
+  /// element, a flag fault on sp(1), a port > 1) throw contract_violation.
+  FaultModel& add(const FaultSpec& spec);
+
+  void clear() noexcept { faults_.clear(); }
+
+  /// splitters sp(p) of column (i, j) have p = m - i - j.
+  [[nodiscard]] unsigned splitter_order(std::uint32_t main_stage,
+                                        std::uint32_t nested_column) const;
+
+  /// Every injectable single fault of the network, in deterministic order
+  /// (stages, then columns, then splitters, then elements, then kinds).
+  /// Stuck faults appear with both values, dead crosspoints with all four
+  /// port pairs.  Exhaustive single-fault campaigns iterate this.
+  [[nodiscard]] static std::vector<FaultSpec> all_single_faults(unsigned m);
+
+  /// `count` faults sampled uniformly from the injectable space with the
+  /// repo's deterministic Rng (duplicates possible — real campaigns allow
+  /// coincident damage).
+  [[nodiscard]] static std::vector<FaultSpec> random_campaign(unsigned m,
+                                                              std::size_t count,
+                                                              Rng& rng);
+
+ private:
+  unsigned m_;
+  std::vector<FaultSpec> faults_;
+};
+
+}  // namespace bnb

@@ -1,0 +1,109 @@
+#include "fault/injection.hpp"
+
+#include "common/expect.hpp"
+#include "core/bit_pack.hpp"
+
+namespace bnb {
+
+namespace {
+
+void set_mask_bit(std::vector<std::uint64_t>& mask, std::size_t words,
+                  std::size_t bit, bool value) {
+  if (mask.empty()) mask.assign(words, 0);
+  if (value) {
+    mask[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+  } else {
+    mask[bit >> 6] &= ~(std::uint64_t{1} << (bit & 63));
+  }
+}
+
+}  // namespace
+
+std::size_t flat_column_index(unsigned m, std::uint32_t main_stage,
+                              std::uint32_t nested_column) {
+  BNB_EXPECTS(main_stage < m && nested_column < m - main_stage);
+  std::size_t base = 0;
+  for (std::uint32_t a = 0; a < main_stage; ++a) base += m - a;
+  return base + nested_column;
+}
+
+EngineFaults compile_engine_faults(const FaultModel& model) {
+  EngineFaults out;
+  if (model.empty()) return out;
+  const unsigned m = model.m();
+  const std::size_t n = std::size_t{1} << m;
+  const std::size_t ctl_words = bitpack::words_for(n / 2);
+  const std::size_t line_words = bitpack::words_for(n);
+  out.columns.resize(static_cast<std::size_t>(m) * (m + 1) / 2);
+
+  for (const FaultSpec& f : model.faults()) {
+    const unsigned p = model.splitter_order(f.at.main_stage, f.at.nested_column);
+    ColumnFaultMasks& col =
+        out.columns[flat_column_index(m, f.at.main_stage, f.at.nested_column)];
+    const std::size_t sw =
+        (std::size_t{f.at.splitter} << (p - (f.kind == FaultKind::kLinkFlip ? 0 : 1))) +
+        f.at.element;
+    switch (f.kind) {
+      case FaultKind::kStuckControl:
+        // ctl' = (ctl AND ctl_and) OR ctl_or: clear the bit in ctl_and for
+        // stuck-at-0, set it in ctl_or for stuck-at-1.
+        if (col.ctl_and.empty()) {
+          col.ctl_and.assign(ctl_words, ~std::uint64_t{0});
+          col.ctl_or.assign(ctl_words, 0);
+        }
+        set_mask_bit(col.ctl_and, ctl_words, sw, false);
+        set_mask_bit(col.ctl_or, ctl_words, sw, f.value);
+        break;
+      case FaultKind::kStuckFlag:
+        if (col.flag_mask.empty()) {
+          col.flag_mask.assign(ctl_words, 0);
+          col.flag_val.assign(ctl_words, 0);
+        }
+        set_mask_bit(col.flag_mask, ctl_words, sw, true);
+        set_mask_bit(col.flag_val, ctl_words, sw, f.value);
+        break;
+      case FaultKind::kDeadCrosspoint:
+        col.dead.push_back({static_cast<std::uint32_t>(sw), f.in_port, f.out_port});
+        break;
+      case FaultKind::kLinkFlip:
+        // sw is the stage-global LINE here (shift by p, not p-1).
+        if (col.bit_flip.empty()) col.bit_flip.assign(line_words, 0);
+        col.bit_flip[sw >> 6] ^= std::uint64_t{1} << (sw & 63);
+        break;
+    }
+  }
+  return out;
+}
+
+NetworkFaults compile_network_faults(const FaultModel& model) {
+  NetworkFaults out;
+  if (model.empty()) return out;
+  const unsigned m = model.m();
+  out.stages.resize(m);
+  for (unsigned i = 0; i < m; ++i) out.stages[i].resize(m - i);
+
+  for (const FaultSpec& f : model.faults()) {
+    const unsigned p = model.splitter_order(f.at.main_stage, f.at.nested_column);
+    NetworkColumnFaults& col = out.stages[f.at.main_stage][f.at.nested_column];
+    const auto sw = static_cast<std::uint32_t>(
+        (std::size_t{f.at.splitter} << (p - 1)) + f.at.element);
+    switch (f.kind) {
+      case FaultKind::kStuckControl:
+        col.controls.push_back({sw, f.value});
+        break;
+      case FaultKind::kStuckFlag:
+        col.flags.push_back({sw, f.value});
+        break;
+      case FaultKind::kDeadCrosspoint:
+        col.dead.push_back({sw, f.in_port, f.out_port});
+        break;
+      case FaultKind::kLinkFlip:
+        col.input_flips.push_back(static_cast<std::uint32_t>(
+            (std::size_t{f.at.splitter} << p) + f.at.element));
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace bnb

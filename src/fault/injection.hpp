@@ -1,0 +1,32 @@
+// Injection compiler: FaultModel (paper coordinates) -> engine overlays.
+//
+// The behavioral BnbNetwork consumes NetworkFaults (stage-global element
+// indices per [main stage][BSN column]); the compiled engine and the staged
+// router consume EngineFaults (packed mask words per flat plan column).
+// Both are compiled from the same FaultModel, so the two engines exhibit
+// IDENTICAL faulty behavior — tests/test_fault.cpp proves it differentially.
+//
+// Coordinate resolution for a fault at (i, j, splitter, element), p = m-i-j:
+//
+//   flat column index  c  = sum_{a<i} (m - a) + j
+//   stage-global switch   = splitter * 2^{p-1} + element
+//   stage-global line     = splitter * 2^p     + element
+#pragma once
+
+#include "core/fault_hooks.hpp"
+#include "fault/fault_model.hpp"
+
+namespace bnb {
+
+/// Flat CompiledBnb column index of BSN column (main_stage, nested_column).
+[[nodiscard]] std::size_t flat_column_index(unsigned m, std::uint32_t main_stage,
+                                            std::uint32_t nested_column);
+
+/// Compile the model into the compiled engine's per-column mask overlay.
+/// An empty model compiles to an empty overlay (the engine's free path).
+[[nodiscard]] EngineFaults compile_engine_faults(const FaultModel& model);
+
+/// Compile the model into the behavioral network's overlay.
+[[nodiscard]] NetworkFaults compile_network_faults(const FaultModel& model);
+
+}  // namespace bnb

@@ -1,0 +1,269 @@
+#include "fault/robust_router.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/expect.hpp"
+#include "core/bit_pack.hpp"
+#include "fault/injection.hpp"
+#include "perm/generators.hpp"
+
+namespace bnb {
+
+namespace {
+
+/// Replays the compiled plan column by column on a private line state so
+/// diagnosis can compare a faulty and a clean fabric at any prefix depth.
+/// Off the hot path: allocation is fine here.
+class PrefixRunner {
+ public:
+  explicit PrefixRunner(const CompiledBnb& plan)
+      : plan_(plan),
+        n_(plan.inputs()),
+        state_(n_),
+        spare_(n_),
+        bits_(bitpack::words_for(n_)),
+        ctl_(plan.control_words()),
+        work_(plan.work_words()) {}
+
+  void reset(const Permutation& pi) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      state_[j] = (std::uint64_t{j} << 32) | pi(j);
+    }
+    column_ = 0;
+  }
+
+  [[nodiscard]] std::size_t column() const noexcept { return column_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& state() const noexcept {
+    return state_;
+  }
+
+  /// Advance exactly one column under `faults`.
+  void step(const EngineFaults* faults) {
+    const CompiledBnb::Column& col = plan_.columns()[column_];
+    if (col.nested_stage == 0) repack_bits(col.main_stage);
+    const ColumnFaultMasks* fcol =
+        faults != nullptr ? faults->column(column_) : nullptr;
+    plan_.column_controls(column_, bits_.data(), ctl_.data(), work_.data(), fcol);
+    if (fcol != nullptr && !fcol->dead.empty()) {
+      const std::uint64_t poison = dead_crosspoint_poison(n_);
+      plan_.visit_dead_crosspoint_hits(*fcol, ctl_.data(), [&](std::size_t line) {
+        state_[line] ^= poison;
+      });
+    }
+    apply_column_to_lines<std::uint64_t>(ctl_.data(), {state_.data(), n_},
+                                         {spare_.data(), n_}, col.group);
+    state_.swap(spare_);
+    ++column_;
+  }
+
+  /// Switch controls the CURRENT column would use, without advancing (the
+  /// bit-slice buffer is copied — column_controls advances it in place).
+  void peek_controls(const EngineFaults* faults,
+                     std::vector<std::uint64_t>& ctl_out) {
+    const CompiledBnb::Column& col = plan_.columns()[column_];
+    if (col.nested_stage == 0) repack_bits(col.main_stage);
+    std::vector<std::uint64_t> bits_copy = bits_;
+    ctl_out.assign(plan_.control_words(), 0);
+    plan_.column_controls(column_, bits_copy.data(), ctl_out.data(), work_.data(),
+                          faults != nullptr ? faults->column(column_) : nullptr);
+  }
+
+ private:
+  void repack_bits(unsigned main_stage) {
+    const unsigned addr_bit = plan_.m() - 1 - main_stage;
+    const std::size_t words = bitpack::words_for(n_);
+    for (std::size_t w = 0; w < words; ++w) {
+      const std::size_t lo = w * 64;
+      const std::size_t hi = std::min(n_, lo + 64);
+      std::uint64_t packed = 0;
+      for (std::size_t t = lo; t < hi; ++t) {
+        packed |= ((state_[t] >> addr_bit) & 1ULL) << (t - lo);
+      }
+      bits_[w] = packed;
+    }
+  }
+
+  const CompiledBnb& plan_;
+  std::size_t n_;
+  std::vector<std::uint64_t> state_, spare_, bits_, ctl_, work_;
+  std::size_t column_ = 0;
+};
+
+}  // namespace
+
+const char* to_string(RouteOutcome outcome) noexcept {
+  switch (outcome) {
+    case RouteOutcome::kDelivered: return "delivered";
+    case RouteOutcome::kDeliveredAfterRetry: return "delivered-after-retry";
+    case RouteOutcome::kDeliveredByFallback: return "delivered-by-fallback";
+    case RouteOutcome::kFailed: return "failed";
+  }
+  return "?";
+}
+
+RobustRouter::RobustRouter(unsigned m, RobustPolicy policy)
+    : engine_(m), fallback_(m), audit_(m), policy_(policy) {
+  scratch_.prepare(engine_);
+}
+
+void RobustRouter::inject(const FaultModel& model) {
+  BNB_EXPECTS(model.m() == m());
+  overlay_ = compile_engine_faults(model);
+  permanent_ = true;
+  transient_remaining_ = 0;
+}
+
+void RobustRouter::inject_transient(const FaultModel& model, unsigned attempts) {
+  BNB_EXPECTS(model.m() == m());
+  overlay_ = compile_engine_faults(model);
+  permanent_ = false;
+  transient_remaining_ = attempts;
+}
+
+void RobustRouter::clear_faults() {
+  overlay_ = EngineFaults{};
+  permanent_ = false;
+  transient_remaining_ = 0;
+}
+
+const EngineFaults* RobustRouter::overlay_for_attempt() {
+  if (overlay_.empty()) return nullptr;
+  if (permanent_) return &overlay_;
+  if (transient_remaining_ == 0) return nullptr;
+  --transient_remaining_;
+  return &overlay_;
+}
+
+RobustReport RobustRouter::route(const Permutation& pi) {
+  BNB_EXPECTS(pi.size() == inputs());
+  RobustReport report;
+
+  const unsigned attempts_allowed = policy_.max_retries + 1;
+  for (unsigned attempt = 0; attempt < attempts_allowed; ++attempt) {
+    const EngineFaults* overlay = overlay_for_attempt();
+    const CompiledBnb::Output out = engine_.route(pi, scratch_, nullptr, overlay);
+    ++report.attempts;
+    report.audit = audit_.audit(pi, out.outputs);
+    if (report.audit.ok) {
+      report.outcome = attempt == 0 ? RouteOutcome::kDelivered
+                                    : RouteOutcome::kDeliveredAfterRetry;
+      report.dest.assign(out.dest.begin(), out.dest.end());
+      ++stats_.routed;
+      return report;
+    }
+    ++stats_.misroutes_caught;
+    if (attempt + 1 < attempts_allowed) ++stats_.retries;
+  }
+
+  // The primary path persistently misroutes: localize the damage, then try
+  // the spare plane.
+  if (policy_.diagnose_on_failure) report.diagnosis = diagnose(pi);
+  if (policy_.fallback_to_behavioral) {
+    const BnbNetwork::Result spare = fallback_.route(pi);
+    report.audit = audit_.audit(pi, spare.outputs);
+    if (report.audit.ok) {
+      report.outcome = RouteOutcome::kDeliveredByFallback;
+      report.dest = spare.dest;
+      ++stats_.routed;
+      ++stats_.fallback_routes;
+      return report;
+    }
+  }
+  report.outcome = RouteOutcome::kFailed;
+  ++stats_.failures;
+  return report;
+}
+
+Diagnosis RobustRouter::diagnose(const Permutation& pi) const {
+  Diagnosis diagnosis;
+  const bool active = permanent_ || transient_remaining_ > 0;
+  if (overlay_.empty() || !active) return diagnosis;
+  const EngineFaults* faults = &overlay_;
+  const std::size_t total = engine_.columns().size();
+
+  PrefixRunner faulty(engine_);
+  PrefixRunner clean(engine_);
+  // State equality after stepping `c` columns both ways; recomputed from
+  // column 0 per query so every probe of the binary search is independent.
+  auto diverged_after = [&](const Permutation& probe, std::size_t c) {
+    faulty.reset(probe);
+    clean.reset(probe);
+    for (std::size_t s = 0; s < c; ++s) {
+      faulty.step(faults);
+      clean.step(nullptr);
+    }
+    return faulty.state() != clean.state();
+  };
+
+  Rng rng(policy_.probe_seed);
+  std::size_t best_column = total;  // sentinel: nothing located yet
+  Permutation best_probe = pi;
+  const unsigned probes = std::max(1U, policy_.diagnosis_probes);
+  for (unsigned q = 0; q < probes; ++q) {
+    const Permutation probe = (q == 0) ? pi : random_perm(inputs(), rng);
+    if (!diverged_after(probe, total)) continue;
+    // Binary search the false->true boundary: P(lo) false, P(hi) true.
+    // Stepping the boundary column diverges two equal states, so that
+    // column carries active fault masks — it IS the faulty column.
+    std::size_t lo = 0;
+    std::size_t hi = total;
+    while (hi - lo > 1) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (diverged_after(probe, mid)) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    if (hi - 1 < best_column) {
+      best_column = hi - 1;
+      best_probe = probe;
+    }
+  }
+  if (best_column >= total) return diagnosis;  // no probe excited the fault
+
+  const CompiledBnb::Column& col = engine_.columns()[best_column];
+  diagnosis.located = true;
+  diagnosis.column = static_cast<std::uint32_t>(best_column);
+  diagnosis.main_stage = col.main_stage;
+  diagnosis.nested_stage = col.nested_stage;
+
+  // Localize the splitter: first switch whose setting differs between the
+  // faulty and clean fabrics fed the same (pre-divergence) state; if the
+  // settings agree, the damage is on the word path (a dead crosspoint).
+  faulty.reset(best_probe);
+  clean.reset(best_probe);
+  for (std::size_t s = 0; s < best_column; ++s) {
+    faulty.step(faults);
+    clean.step(nullptr);
+  }
+  std::vector<std::uint64_t> ctl_faulty;
+  std::vector<std::uint64_t> ctl_clean;
+  faulty.peek_controls(faults, ctl_faulty);
+  clean.peek_controls(nullptr, ctl_clean);
+  const unsigned switch_shift = col.p - 1;  // sp(p): 2^{p-1} switches each
+  for (std::size_t w = 0; w < ctl_faulty.size(); ++w) {
+    const std::uint64_t diff = ctl_faulty[w] ^ ctl_clean[w];
+    if (diff != 0) {
+      const std::size_t sw = w * 64 + static_cast<std::size_t>(std::countr_zero(diff));
+      diagnosis.splitter = static_cast<std::uint32_t>(sw >> switch_shift);
+      return diagnosis;
+    }
+  }
+  if (const ColumnFaultMasks* fcol = faults->column(best_column)) {
+    bool first = true;
+    engine_.visit_dead_crosspoint_hits(*fcol, ctl_faulty.data(),
+                                       [&](std::size_t line) {
+                                         if (first) {
+                                           diagnosis.splitter =
+                                               static_cast<std::uint32_t>(
+                                                   line >> col.p);
+                                           first = false;
+                                         }
+                                       });
+  }
+  return diagnosis;
+}
+
+}  // namespace bnb

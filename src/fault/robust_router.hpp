@@ -1,0 +1,125 @@
+// RobustRouter — self-healing routing on a possibly-faulty BNB fabric.
+//
+// The primary data path is the compiled engine with an injected fault
+// overlay (simulating broken hardware); the behavioral BnbNetwork is the
+// clean spare plane.  Every delivery is audited (fault/delivery_audit.hpp);
+// the recovery ladder on an audit failure is
+//
+//   1. RETRY on the primary up to policy.max_retries times — transient
+//      faults (inject_transient) expire between attempts, so a glitch
+//      window heals by re-routing;
+//   2. DIAGNOSE a persistent failure: binary-search the first plan column
+//      where the faulty fabric's line state diverges from the clean plan's
+//      (recomputing from column 0 per probe), then localize the splitter
+//      from the first differing switch control — the report names the
+//      paper coordinates (main stage, BSN column, splitter) to replace;
+//   3. FALL BACK to the behavioral spare plane (policy.fallback_to_
+//      behavioral), still audited — never trusted blindly.
+//
+// The contract the campaign tests enforce: a RobustRouter NEVER silently
+// misroutes.  Every route() ends kDelivered / kDeliveredAfterRetry /
+// kDeliveredByFallback with a clean audit, or kFailed with the diagnosis
+// attached.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/bnb_network.hpp"
+#include "core/compiled_bnb.hpp"
+#include "fault/delivery_audit.hpp"
+#include "fault/fault_model.hpp"
+#include "perm/permutation.hpp"
+
+namespace bnb {
+
+enum class RouteOutcome : std::uint8_t {
+  kDelivered,           ///< primary path, first attempt, audit clean
+  kDeliveredAfterRetry, ///< primary path healed by re-routing
+  kDeliveredByFallback, ///< spare plane delivered after primary persisted
+  kFailed,              ///< no path delivered; see diagnosis
+};
+
+[[nodiscard]] const char* to_string(RouteOutcome outcome) noexcept;
+
+struct RobustPolicy {
+  unsigned max_retries = 1;            ///< extra primary attempts after the first
+  bool fallback_to_behavioral = true;  ///< use the clean spare plane
+  bool diagnose_on_failure = true;     ///< localize persistent faults
+  unsigned diagnosis_probes = 3;       ///< failing perm + this-1 random probes
+  std::uint64_t probe_seed = 0x9E3779B9ULL;
+};
+
+/// Where the fault was localized, in paper coordinates.
+struct Diagnosis {
+  bool located = false;
+  std::uint32_t column = 0;        ///< flat plan column index
+  std::uint32_t main_stage = 0;    ///< i of the faulty column
+  std::uint32_t nested_stage = 0;  ///< j of the faulty column
+  std::uint32_t splitter = 0;      ///< splitter index within the column
+};
+
+struct RobustReport {
+  RouteOutcome outcome = RouteOutcome::kFailed;
+  unsigned attempts = 0;               ///< primary-path attempts made
+  AuditReport audit;                   ///< of the accepted (or last) delivery
+  Diagnosis diagnosis;                 ///< filled for persistent failures
+  std::vector<std::uint32_t> dest;     ///< dest[input] = line, when delivered
+
+  [[nodiscard]] bool delivered() const noexcept {
+    return outcome != RouteOutcome::kFailed;
+  }
+};
+
+class RobustRouter {
+ public:
+  explicit RobustRouter(unsigned m, RobustPolicy policy = {});
+
+  [[nodiscard]] unsigned m() const noexcept { return engine_.m(); }
+  [[nodiscard]] std::size_t inputs() const noexcept { return engine_.inputs(); }
+  [[nodiscard]] const RobustPolicy& policy() const noexcept { return policy_; }
+  [[nodiscard]] const CompiledBnb& engine() const noexcept { return engine_; }
+
+  /// Overlay `model` on the primary path until clear_faults().
+  void inject(const FaultModel& model);
+
+  /// Overlay `model` on the primary path for the next `attempts` route
+  /// attempts only — a transient glitch window that retrying outlives.
+  void inject_transient(const FaultModel& model, unsigned attempts);
+
+  void clear_faults();
+  [[nodiscard]] bool has_faults() const noexcept { return !overlay_.empty(); }
+
+  /// Route with the full retry/fallback/diagnosis ladder.
+  [[nodiscard]] RobustReport route(const Permutation& pi);
+
+  /// Localize the first fabric fault that misroutes `pi` (no-op Diagnosis
+  /// when the faulty and clean fabrics agree on every probe).
+  [[nodiscard]] Diagnosis diagnose(const Permutation& pi) const;
+
+  struct Stats {
+    std::uint64_t routed = 0;           ///< deliveries (any path)
+    std::uint64_t misroutes_caught = 0; ///< audits that failed
+    std::uint64_t retries = 0;          ///< extra primary attempts
+    std::uint64_t fallback_routes = 0;  ///< spare-plane deliveries
+    std::uint64_t failures = 0;         ///< kFailed routes
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+ private:
+  [[nodiscard]] const EngineFaults* overlay_for_attempt();
+
+  CompiledBnb engine_;
+  BnbNetwork fallback_;
+  DeliveryAudit audit_;
+  RobustPolicy policy_;
+  RouteScratch scratch_;
+  EngineFaults overlay_;
+  bool permanent_ = false;
+  unsigned transient_remaining_ = 0;
+  Stats stats_;
+};
+
+}  // namespace bnb

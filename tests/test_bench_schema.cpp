@@ -1,0 +1,287 @@
+// BENCH_routing.json is the repo's recorded perf baseline; EXPERIMENTS.md
+// documents its schema (bnb.bench_routing.v1).  This test parses the
+// checked-in file with a minimal JSON reader and validates the schema, so
+// a bench_engine change that drifts the emitted shape fails CI instead of
+// silently invalidating the regression baseline.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace {
+
+// ---- A deliberately small JSON reader (objects/arrays/strings/numbers/
+// bools/null; no \u escapes — the bench file needs none). ----------------
+
+struct JsonValue;
+using JsonObject = std::map<std::string, std::shared_ptr<JsonValue>>;
+using JsonArray = std::vector<std::shared_ptr<JsonValue>>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject>
+      value;
+
+  [[nodiscard]] bool is_object() const { return value.index() == 5; }
+  [[nodiscard]] bool is_array() const { return value.index() == 4; }
+  [[nodiscard]] bool is_string() const { return value.index() == 3; }
+  [[nodiscard]] bool is_number() const { return value.index() == 2; }
+  [[nodiscard]] const JsonObject& object() const { return std::get<JsonObject>(value); }
+  [[nodiscard]] const JsonArray& array() const { return std::get<JsonArray>(value); }
+  [[nodiscard]] const std::string& str() const { return std::get<std::string>(value); }
+  [[nodiscard]] double num() const { return std::get<double>(value); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text) : text_(std::move(text)) {}
+
+  std::shared_ptr<JsonValue> parse() {
+    auto v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("JSON error at offset " + std::to_string(pos_) +
+                             ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  std::shared_ptr<JsonValue> parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      return std::make_shared<JsonValue>(JsonValue{parse_string()});
+    }
+    if (c == 't' || c == 'f') return parse_bool();
+    if (c == 'n') return parse_null();
+    return parse_number();
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("bad escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          default: fail("unsupported escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  std::shared_ptr<JsonValue> parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected number");
+    return std::make_shared<JsonValue>(
+        JsonValue{std::stod(text_.substr(start, pos_ - start))});
+  }
+
+  std::shared_ptr<JsonValue> parse_bool() {
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return std::make_shared<JsonValue>(JsonValue{true});
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return std::make_shared<JsonValue>(JsonValue{false});
+    }
+    fail("expected bool");
+  }
+
+  std::shared_ptr<JsonValue> parse_null() {
+    if (text_.compare(pos_, 4, "null") != 0) fail("expected null");
+    pos_ += 4;
+    return std::make_shared<JsonValue>(JsonValue{nullptr});
+  }
+
+  std::shared_ptr<JsonValue> parse_object() {
+    expect('{');
+    JsonObject obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return std::make_shared<JsonValue>(JsonValue{std::move(obj)});
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj[std::move(key)] = parse_value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return std::make_shared<JsonValue>(JsonValue{std::move(obj)});
+    }
+  }
+
+  std::shared_ptr<JsonValue> parse_array() {
+    expect('[');
+    JsonArray arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return std::make_shared<JsonValue>(JsonValue{std::move(arr)});
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return std::make_shared<JsonValue>(JsonValue{std::move(arr)});
+    }
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+std::shared_ptr<JsonValue> load_bench_json() {
+  const std::string path = std::string(BNB_REPO_ROOT) + "/BENCH_routing.json";
+  std::ifstream in(path);
+  if (!in) {
+    ADD_FAILURE() << "cannot open " << path;
+    return nullptr;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return JsonParser(buffer.str()).parse();
+}
+
+const JsonValue& field(const JsonObject& obj, const std::string& key) {
+  const auto it = obj.find(key);
+  EXPECT_TRUE(it != obj.end()) << "missing field \"" << key << "\"";
+  if (it == obj.end()) {
+    static const JsonValue null_value{nullptr};
+    return null_value;
+  }
+  return *it->second;
+}
+
+TEST(BenchRoutingJson, MatchesTheDocumentedSchema) {
+  const auto root = load_bench_json();
+  ASSERT_TRUE(root != nullptr);
+  ASSERT_TRUE(root->is_object());
+  const JsonObject& top = root->object();
+
+  // Header.
+  ASSERT_TRUE(field(top, "schema").is_string());
+  EXPECT_EQ(field(top, "schema").str(), "bnb.bench_routing.v1");
+  ASSERT_TRUE(field(top, "generated_by").is_string());
+  ASSERT_TRUE(field(top, "hardware_threads").is_number());
+  EXPECT_GE(field(top, "hardware_threads").num(), 1.0);
+
+  // single_thread: rows of {m, n, seed_ns_per_perm, compiled_ns_per_perm,
+  // speedup}, n = 2^m, speedup consistent with the two timings.
+  ASSERT_TRUE(field(top, "single_thread").is_array());
+  const JsonArray& rows = field(top, "single_thread").array();
+  ASSERT_FALSE(rows.empty());
+  double prev_m = 0;
+  for (const auto& row_value : rows) {
+    ASSERT_TRUE(row_value->is_object());
+    const JsonObject& row = row_value->object();
+    for (const char* key :
+         {"m", "n", "seed_ns_per_perm", "compiled_ns_per_perm", "speedup"}) {
+      ASSERT_TRUE(field(row, key).is_number()) << key;
+    }
+    const double m = field(row, "m").num();
+    const double n = field(row, "n").num();
+    EXPECT_GT(m, prev_m) << "rows must be sorted by m, strictly increasing";
+    prev_m = m;
+    EXPECT_EQ(n, static_cast<double>(1ULL << static_cast<unsigned>(m)));
+    const double seed_ns = field(row, "seed_ns_per_perm").num();
+    const double compiled_ns = field(row, "compiled_ns_per_perm").num();
+    const double speedup = field(row, "speedup").num();
+    EXPECT_GT(seed_ns, 0.0);
+    EXPECT_GT(compiled_ns, 0.0);
+    EXPECT_NEAR(speedup, seed_ns / compiled_ns, 0.05)
+        << "speedup column inconsistent at m=" << m;
+  }
+
+  // batch: {m, permutations, results: [{threads, ns_per_perm,
+  // perms_per_sec, scaling}]}, threads strictly increasing, scaling
+  // anchored at 1.0 for the first row.
+  ASSERT_TRUE(field(top, "batch").is_object());
+  const JsonObject& batch = field(top, "batch").object();
+  ASSERT_TRUE(field(batch, "m").is_number());
+  ASSERT_TRUE(field(batch, "permutations").is_number());
+  EXPECT_GE(field(batch, "permutations").num(), 1.0);
+  ASSERT_TRUE(field(batch, "results").is_array());
+  const JsonArray& results = field(batch, "results").array();
+  ASSERT_FALSE(results.empty());
+  double prev_threads = 0;
+  double base_ns = 0;
+  for (const auto& row_value : results) {
+    ASSERT_TRUE(row_value->is_object());
+    const JsonObject& row = row_value->object();
+    for (const char* key : {"threads", "ns_per_perm", "perms_per_sec", "scaling"}) {
+      ASSERT_TRUE(field(row, key).is_number()) << key;
+    }
+    const double threads = field(row, "threads").num();
+    EXPECT_GT(threads, prev_threads) << "thread counts must increase";
+    prev_threads = threads;
+    const double ns = field(row, "ns_per_perm").num();
+    EXPECT_GT(ns, 0.0);
+    if (base_ns == 0) {
+      base_ns = ns;
+      EXPECT_NEAR(field(row, "scaling").num(), 1.0, 0.005);
+    } else {
+      EXPECT_NEAR(field(row, "scaling").num(), base_ns / ns, 0.05);
+    }
+  }
+}
+
+}  // namespace

@@ -202,8 +202,29 @@ TEST(CompiledBnb, BatchMatchesSequentialRouting) {
 
 TEST(CompiledBnb, BatchValidatesInput) {
   const CompiledBnb engine(4);
+  // A wrong-size permutation trips a contract check inside a worker; the
+  // pool must capture it and rethrow batch_route_error naming the index —
+  // never std::terminate the process.
   std::vector<Permutation> perms{Permutation(16), Permutation(8)};  // size mismatch
-  EXPECT_THROW((void)engine.route_batch(perms, 2), contract_violation);
+  bool threw = false;
+  try {
+    (void)engine.route_batch(perms, 2);
+  } catch (const batch_route_error& e) {
+    threw = true;
+    EXPECT_EQ(e.index(), 1U);
+    EXPECT_TRUE(e.cause() != nullptr);
+    bool cause_is_contract = false;
+    try {
+      std::rethrow_exception(e.cause());
+    } catch (const contract_violation&) {
+      cause_is_contract = true;
+    } catch (...) {
+    }
+    EXPECT_TRUE(cause_is_contract);
+    EXPECT_TRUE(std::string(e.what()).find("permutation 1") != std::string::npos);
+  }
+  EXPECT_TRUE(threw);
+
   const std::vector<Permutation> none;
   EXPECT_THROW((void)engine.route_batch(none, 0), contract_violation);
 
