@@ -1,12 +1,21 @@
 // Machine-readable routing-engine benchmark: seed behavioral router vs the
-// compiled flat engine (single thread, m in {8,10,12,14}) plus batch
-// scaling of CompiledBnb::route_batch at m = 14 across 1/2/4/8 worker
-// threads.  Results are written as JSON (schema "bnb.bench_routing.v1") so
-// the checked-in BENCH_routing.json can be regenerated and diffed; see
-// EXPERIMENTS.md for the schema and regeneration instructions.
+// compiled flat engine (single thread, m in {8,10,12,14}), per-kernel-tier
+// microbenchmarks of the compiled engine at m = 12, and batch scaling of
+// CompiledBnb::route_batch at m = 14 across worker-thread counts.  Results
+// are written as JSON (schema "bnb.bench_routing.v2") so the checked-in
+// BENCH_routing.json can be regenerated and diffed; see docs/PERF.md for
+// the schema and EXPERIMENTS.md for regeneration instructions.
 //
-// Usage: bench_engine [output.json]           (default: BENCH_routing.json)
-//        bench_engine --quick [output.json]   (shorter timing budget, for CI)
+// The batch section only times thread counts the host can actually run in
+// parallel (threads <= hardware_threads); --force-threads times the full
+// ladder anyway and marks the rows beyond the core count
+// "oversubscribed": true so a reader never mistakes a contended number for
+// a scaling number.
+//
+// Usage: bench_engine [--quick] [--force-threads] [output.json]
+//        (default output: BENCH_routing.json; --quick shortens the timing
+//        budget for CI)
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -17,6 +26,7 @@
 #include "common/rng.hpp"
 #include "core/bnb_network.hpp"
 #include "core/compiled_bnb.hpp"
+#include "core/kernels/kernel_set.hpp"
 #include "perm/generators.hpp"
 
 namespace {
@@ -57,25 +67,64 @@ struct SingleRow {
   double compiled_ns = 0;
 };
 
+struct TierRow {
+  const bnb::kernels::KernelSet* set = nullptr;
+  double ns_per_perm = 0;
+};
+
 struct BatchRow {
   unsigned threads = 0;
   double ns_per_perm = 0;
+  bool oversubscribed = false;
 };
 
 }  // namespace
 
 int main(int argc, char** argv) {
   double budget = 0.25;  // seconds of measurement per timed quantity
+  bool force_threads = false;
   std::string out_path = "BENCH_routing.json";
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--quick") == 0) {
       budget = 0.02;
+    } else if (std::strcmp(argv[a], "--force-threads") == 0) {
+      force_threads = true;
     } else {
       out_path = argv[a];
     }
   }
 
   bnb::Rng rng(0xB16B00);
+  const unsigned hardware_threads =
+      std::max(1U, std::thread::hardware_concurrency());
+  const bnb::kernels::KernelSet& selected = bnb::kernels::active_kernels();
+  std::printf("kernel dispatch: %s (wide_datapath=%d)\n", selected.name,
+              selected.wide_datapath ? 1 : 0);
+
+  // Per-kernel-tier microbenchmark at a fixed mid size: one plan per
+  // supported tier, identical permutation pool, so the rows isolate the
+  // kernel implementation (and the scalar row tracks the pre-kernel
+  // engine's per-line baseline).
+  const unsigned tier_m = 12;
+  std::vector<TierRow> tiers;
+  {
+    const auto pool = perm_pool(std::size_t{1} << tier_m, 8, rng);
+    for (const bnb::kernels::KernelSet* set : bnb::kernels::supported_kernel_sets()) {
+      const bnb::CompiledBnb plan(tier_m, set);
+      bnb::RouteScratch scratch;
+      scratch.prepare(plan);
+      std::size_t i = 0;
+      const double ns = ns_per_call(
+          [&] {
+            const auto r = plan.route(pool[i++ & 7], scratch);
+            if (!r.self_routed) std::exit(1);
+          },
+          budget);
+      tiers.push_back({set, ns});
+      std::printf("kernels m=%u %-7s %9.0f ns/perm  vs scalar %5.2fx\n", tier_m,
+                  set->name, ns, tiers.front().ns_per_perm / ns);
+    }
+  }
 
   std::vector<SingleRow> single;
   for (const unsigned m : {8U, 10U, 12U, 14U}) {
@@ -114,6 +163,13 @@ int main(int argc, char** argv) {
   const auto batch_pool = perm_pool(std::size_t{1} << batch_m, batch_perms, rng);
   std::vector<BatchRow> batch;
   for (const unsigned threads : {1U, 2U, 4U, 8U}) {
+    const bool oversubscribed = threads > hardware_threads;
+    if (oversubscribed && !force_threads) {
+      std::printf("batch m=%u threads=%u  skipped (host has %u hardware threads; "
+                  "--force-threads to time anyway)\n",
+                  batch_m, threads, hardware_threads);
+      continue;
+    }
     const double ns = ns_per_call(
                           [&] {
                             const auto r = engine.route_batch(batch_pool, threads);
@@ -121,9 +177,10 @@ int main(int argc, char** argv) {
                           },
                           budget) /
                       static_cast<double>(batch_perms);
-    batch.push_back({threads, ns});
-    std::printf("batch m=%u threads=%u  %9.0f ns/perm  scaling %5.2fx\n", batch_m,
-                threads, ns, batch.front().ns_per_perm / ns);
+    batch.push_back({threads, ns, oversubscribed});
+    std::printf("batch m=%u threads=%u  %9.0f ns/perm  scaling %5.2fx%s\n", batch_m,
+                threads, ns, batch.front().ns_per_perm / ns,
+                oversubscribed ? "  (oversubscribed)" : "");
   }
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
@@ -131,11 +188,35 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"schema\": \"bnb.bench_routing.v1\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"bnb.bench_routing.v2\",\n");
   std::fprintf(f, "  \"generated_by\": \"bench_engine\",\n");
   // Batch scaling is bounded by the host: on a 1-core container the
   // thread rows stay flat regardless of the pool implementation.
-  std::fprintf(f, "  \"hardware_threads\": %u,\n", std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"hardware_threads\": %u,\n", hardware_threads);
+  std::fprintf(f, "  \"kernels\": {\n");
+  std::fprintf(f, "    \"selected\": \"%s\",\n", selected.name);
+  std::fprintf(f, "    \"wide_datapath\": %s,\n",
+               selected.wide_datapath ? "true" : "false");
+  std::fprintf(f, "    \"available\": [");
+  {
+    bool first = true;
+    for (const bnb::kernels::KernelSet* set : bnb::kernels::supported_kernel_sets()) {
+      std::fprintf(f, "%s\"%s\"", first ? "" : ", ", set->name);
+      first = false;
+    }
+  }
+  std::fprintf(f, "],\n");
+  std::fprintf(f, "    \"m\": %u,\n    \"tiers\": [\n", tier_m);
+  for (std::size_t i = 0; i < tiers.size(); ++i) {
+    const auto& row = tiers[i];
+    std::fprintf(f,
+                 "      {\"name\": \"%s\", \"wide_datapath\": %s, "
+                 "\"ns_per_perm\": %.1f, \"speedup_vs_scalar\": %.2f}%s\n",
+                 row.set->name, row.set->wide_datapath ? "true" : "false",
+                 row.ns_per_perm, tiers.front().ns_per_perm / row.ns_per_perm,
+                 i + 1 < tiers.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  },\n");
   std::fprintf(f, "  \"single_thread\": [\n");
   for (std::size_t i = 0; i < single.size(); ++i) {
     const auto& row = single[i];
@@ -153,9 +234,11 @@ int main(int argc, char** argv) {
     const auto& row = batch[i];
     std::fprintf(f,
                  "      {\"threads\": %u, \"ns_per_perm\": %.1f, "
-                 "\"perms_per_sec\": %.0f, \"scaling\": %.2f}%s\n",
+                 "\"perms_per_sec\": %.0f, \"scaling\": %.2f, "
+                 "\"oversubscribed\": %s}%s\n",
                  row.threads, row.ns_per_perm, 1e9 / row.ns_per_perm,
                  batch.front().ns_per_perm / row.ns_per_perm,
+                 row.oversubscribed ? "true" : "false",
                  i + 1 < batch.size() ? "," : "");
   }
   std::fprintf(f, "    ]\n  }\n}\n");

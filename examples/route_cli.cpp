@@ -38,6 +38,7 @@
 #include "common/rng.hpp"
 #include "core/bnb_network.hpp"
 #include "core/compiled_bnb.hpp"
+#include "core/kernels/kernel_set.hpp"
 #include "core/dot_export.hpp"
 #include "core/trace_render.hpp"
 #include "fault/fault_model.hpp"
@@ -229,6 +230,15 @@ int emit_dot(std::size_t n) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  try {
+    // Surface a bad BNB_KERNELS override as a clean usage error up front,
+    // not a terminate() from whichever mode first builds a CompiledBnb.
+    (void)bnb::kernels::kernels_from_env();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
   std::string network = "bnb";
   bool trace = false;
   bool batch = false;

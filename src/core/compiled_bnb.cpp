@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <deque>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "common/expect.hpp"
 #include "core/bit_pack.hpp"
@@ -24,26 +27,38 @@ constexpr std::size_t kLevelSlack = 32;
 // ---- RouteScratch -----------------------------------------------------
 
 void RouteScratch::prepare(const CompiledBnb& plan) {
+  if (prepared_for(plan)) return;
+  const unsigned m = plan.m();
   const std::size_t n = plan.inputs();
-  if (n_ == n) return;
   const std::size_t words = bitpack::words_for(n);
   state_.assign(n, 0);
   spare_.assign(n, 0);
   bits_.assign(words, 0);
   ctl_.assign(plan.control_words(), 0);
   work_.assign(plan.work_words(), 0);
+  // Wide-datapath buffers are sized unconditionally: they cost q*N/8 bytes
+  // (less than one line buffer) and make every same-shape plan scratch-
+  // compatible regardless of which kernel tier it is bound to.
+  const std::size_t q = 2 * static_cast<std::size_t>(m);
+  slices_.assign(q * words, 0);
+  spare_slices_.assign(q * words, 0);
+  slice_tmp_.assign(words, 0);
   outputs_.assign(n, Word{});
   dest_.assign(n, 0);
+  m_ = m;
   n_ = n;
+  words_ = words;
 }
 
 bool RouteScratch::prepared_for(const CompiledBnb& plan) const noexcept {
-  return n_ == plan.inputs();
+  return m_ == plan.m() && m_ != 0 &&
+         words_ == bitpack::words_for(plan.inputs());
 }
 
 // ---- CompiledBnb ------------------------------------------------------
 
-CompiledBnb::CompiledBnb(unsigned m) : m_(m) {
+CompiledBnb::CompiledBnb(unsigned m, const kernels::KernelSet* kernels)
+    : m_(m), ks_(kernels != nullptr ? kernels : &kernels::active_kernels()) {
   BNB_EXPECTS(m >= 1 && m < 26);
   columns_.reserve(static_cast<std::size_t>(m) * (m + 1) / 2);
   for (unsigned i = 0; i < m; ++i) {
@@ -101,11 +116,11 @@ void CompiledBnb::column_controls(std::size_t column, std::uint64_t* bits,
     // see the inverted bit (the words — the other slices — do not).
     const std::size_t words = bitpack::words_for(n);
     BNB_EXPECTS(faults->bit_flip.size() == words);
-    for (std::size_t w = 0; w < words; ++w) bits[w] ^= faults->bit_flip[w];
+    ks_->xor_words(bits, faults->bit_flip.data(), words);
   }
 
-  bitpack::compress_even(bits, n, e);
-  bitpack::compress_odd(bits, n, o);
+  ks_->compress_even(bits, n, e);
+  ks_->compress_odd(bits, n, o);
 
   if (p == 1) {
     // sp(1) has no arbiter (A(1) is wiring): the upper input bit is the
@@ -130,7 +145,7 @@ void CompiledBnb::column_controls(std::size_t column, std::uint64_t* bits,
     // Up pass: z_u = XOR of the two child signals.
     for (std::size_t w = 0; w < half_words; ++w) up_lvl[p - 1][w] = e[w] ^ o[w];
     for (unsigned l = p - 1; l-- > 0;) {
-      bitpack::pair_xor_compress(up_lvl[l + 1], size[l + 1], up_lvl[l]);
+      ks_->pair_xor_compress(up_lvl[l + 1], size[l + 1], up_lvl[l]);
     }
 
     // Down pass: each root echoes its own up signal; a node with z_u = 0
@@ -143,7 +158,7 @@ void CompiledBnb::column_controls(std::size_t column, std::uint64_t* bits,
         tmp_a[w] = up_lvl[l][w] & down_lvl[l][w];
         tmp_b[w] = down_lvl[l][w] | ~up_lvl[l][w];
       }
-      bitpack::interleave_bits(tmp_a, tmp_b, size[l], down_lvl[l + 1]);
+      ks_->interleave_bits(tmp_a, tmp_b, size[l], down_lvl[l + 1]);
     }
 
     // Switch setting = s^I(2t) XOR f(2t); the flag of an even input is
@@ -179,31 +194,18 @@ void CompiledBnb::column_controls(std::size_t column, std::uint64_t* bits,
     // Advance the packed bits through the switch column and the U_p^k
     // unshuffle in one step: exchanged pairs swap their even/odd halves,
     // then even outputs fill each splitter's upper half, odd its lower.
-    for (std::size_t w = 0; w < half_words; ++w) {
-      const std::uint64_t t = (e[w] ^ o[w]) & ctl[w];
-      e[w] ^= t;
-      o[w] ^= t;
-    }
-    bitpack::chunk_concat(e, o, pairs, col.group / 2, bits);
+    ks_->masked_exchange(e, o, ctl, half_words);
+    ks_->chunk_concat(e, o, pairs, col.group / 2, bits);
   }
 }
 
-CompiledBnb::Output CompiledBnb::route_impl(RouteScratch& s, ControlTrace* trace,
-                                            std::span<const Word> payload_source,
-                                            const EngineFaults* faults) const {
+const std::uint64_t* CompiledBnb::route_lines(RouteScratch& s, ControlTrace* trace,
+                                              const EngineFaults* faults) const {
   const std::size_t n = inputs();
-  BNB_EXPECTS(s.prepared_for(*this));
-  if (faults != nullptr && !faults->empty()) {
-    BNB_EXPECTS(faults->columns.size() == columns_.size());
-  }
   const std::size_t words = bitpack::words_for(n);
   const std::uint64_t poison = dead_crosspoint_poison(n);
   std::uint64_t* state = s.state_.data();
   std::uint64_t* spare = s.spare_.data();
-  if (trace != nullptr) {
-    trace->column_controls.clear();
-    trace->column_controls.reserve(columns_.size());
-  }
 
   std::size_t col_idx = 0;
   for (unsigned stage = 0; stage < m_; ++stage) {
@@ -241,6 +243,105 @@ CompiledBnb::Output CompiledBnb::route_impl(RouteScratch& s, ControlTrace* trace
       std::swap(state, spare);
     }
   }
+  return state;
+}
+
+const std::uint64_t* CompiledBnb::route_sliced(RouteScratch& s, ControlTrace* trace,
+                                               const EngineFaults* faults) const {
+  const std::size_t n = inputs();
+  const std::size_t W = s.words_;
+  const unsigned q = 2 * m_;  // m address slices, then m input-index slices
+  std::uint64_t* sl = s.slices_.data();
+  std::uint64_t* sp = s.spare_slices_.data();
+  std::uint64_t* tmp = s.slice_tmp_.data();
+
+  // Fill: one 64x64 bit-matrix transpose per block of 64 lines turns the
+  // line-major state words into the q packed slices.  Slice b of the block
+  // transpose is bit b across the 64 lines, so address bit a is row a and
+  // input-index bit a is row 32 + a.  Lines past n stay zero (zero tails).
+  std::uint64_t blk[64];
+  for (std::size_t b = 0; b < W; ++b) {
+    const std::size_t lines = std::min<std::size_t>(64, n - 64 * b);
+    for (std::size_t j = 0; j < lines; ++j) blk[j] = s.state_[64 * b + j];
+    for (std::size_t j = lines; j < 64; ++j) blk[j] = 0;
+    bitpack::transpose_64x64(blk);
+    for (unsigned a = 0; a < m_; ++a) {
+      sl[a * W + b] = blk[a];
+      sl[(m_ + a) * W + b] = blk[32 + a];
+    }
+  }
+
+  std::size_t col_idx = 0;
+  for (unsigned stage = 0; stage < m_; ++stage) {
+    // The slices travel with the lines, so the stage's sorting bit is
+    // already packed: seed the arbiter's working copy from its slice.  The
+    // copy matters — column_controls advances (and faults may invert) its
+    // bits without touching the payload slices.
+    const unsigned addr_bit = m_ - 1 - stage;
+    std::copy(sl + addr_bit * W, sl + addr_bit * W + W, s.bits_.data());
+
+    const unsigned k = m_ - stage;
+    for (unsigned j = 0; j < k; ++j, ++col_idx) {
+      const Column& col = columns_[col_idx];
+      const ColumnFaultMasks* fcol =
+          faults != nullptr ? faults->column(col_idx) : nullptr;
+      column_controls(col_idx, s.bits_.data(), s.ctl_.data(), s.work_.data(), fcol);
+      if (trace != nullptr) {
+        trace->column_controls.emplace_back(s.ctl_.begin(),
+                                            s.ctl_.begin() +
+                                                static_cast<std::ptrdiff_t>(control_words()));
+      }
+      if (fcol != nullptr && !fcol->dead.empty()) {
+        // Poison = every ADDRESS bit flipped (dead_crosspoint_poison):
+        // bit-sliced, that is bit `line` of each of the m address slices.
+        visit_dead_crosspoint_hits(*fcol, s.ctl_.data(), [&](std::size_t line) {
+          const std::size_t w = line >> 6;
+          const std::uint64_t bit = std::uint64_t{1} << (line & 63);
+          for (unsigned a = 0; a < m_; ++a) sl[a * W + w] ^= bit;
+        });
+      }
+      // The fused column pass — switch exchange under ctl_ plus the
+      // `group`-line unshuffle — applied to every slice with the SAME
+      // control masks: O(q * N/64) masked word ops instead of O(N) moves.
+      const std::size_t chunk = col.group / 2;
+      for (unsigned slice = 0; slice < q; ++slice) {
+        ks_->slice_pass(sl + slice * W, n, s.ctl_.data(), chunk, tmp, sp + slice * W);
+      }
+      std::swap(sl, sp);
+    }
+  }
+
+  // Reconstruct line-major state words: the same transpose in reverse
+  // (transpose_64x64 is an involution under this orientation).
+  for (std::size_t b = 0; b < W; ++b) {
+    for (std::size_t j = 0; j < 64; ++j) blk[j] = 0;
+    for (unsigned a = 0; a < m_; ++a) {
+      blk[a] = sl[a * W + b];
+      blk[32 + a] = sl[(m_ + a) * W + b];
+    }
+    bitpack::transpose_64x64(blk);
+    const std::size_t lines = std::min<std::size_t>(64, n - 64 * b);
+    for (std::size_t j = 0; j < lines; ++j) s.state_[64 * b + j] = blk[j];
+  }
+  return s.state_.data();
+}
+
+CompiledBnb::Output CompiledBnb::route_impl(RouteScratch& s, ControlTrace* trace,
+                                            std::span<const Word> payload_source,
+                                            const EngineFaults* faults) const {
+  const std::size_t n = inputs();
+  BNB_EXPECTS(s.prepared_for(*this));
+  if (faults != nullptr && !faults->empty()) {
+    BNB_EXPECTS(faults->columns.size() == columns_.size());
+  }
+  if (trace != nullptr) {
+    trace->column_controls.clear();
+    trace->column_controls.reserve(columns_.size());
+  }
+
+  const std::uint64_t* state = ks_->wide_datapath
+                                   ? route_sliced(s, trace, faults)
+                                   : route_lines(s, trace, faults);
 
   bool self_routed = true;
   const bool payload_is_input_index = payload_source.empty();
@@ -308,7 +409,48 @@ BatchResult CompiledBnb::route_batch(std::span<const Permutation> perms,
     return result;
   }
 
-  std::atomic<std::size_t> next{0};
+  // Work-stealing chunked scheduler.  The batch is cut into contiguous
+  // chunks (several per worker so stealing has something to take); each
+  // worker owns a deque seeded with a contiguous span of chunks, pops its
+  // own work from the FRONT (cache-friendly in-order progress) and, when
+  // empty, steals a victim's BACK chunk (the furthest from where the victim
+  // is working).  Spawning more workers than chunks is pointless, so the
+  // pool size is clamped to the chunk count — the oversubscription guard.
+  using ChunkRange = std::pair<std::size_t, std::size_t>;  // [begin, end)
+  struct ChunkQueue {
+    std::mutex mu;
+    std::deque<ChunkRange> chunks;
+  };
+
+  const std::size_t chunk_size =
+      std::max<std::size_t>(1, perms.size() / (std::size_t{8} * threads));
+  const std::size_t nchunks = (perms.size() + chunk_size - 1) / chunk_size;
+  const auto workers =
+      static_cast<unsigned>(std::min<std::size_t>(threads, nchunks));
+
+  std::vector<ChunkQueue> queues(workers);
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    const std::size_t begin = c * chunk_size;
+    const std::size_t end = std::min(perms.size(), begin + chunk_size);
+    queues[static_cast<std::size_t>(c * workers / nchunks)].chunks.push_back(
+        {begin, end});
+  }
+
+  auto take = [&](unsigned victim, bool from_back) -> std::optional<ChunkRange> {
+    ChunkQueue& q = queues[victim];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (q.chunks.empty()) return std::nullopt;
+    ChunkRange r;
+    if (from_back) {
+      r = q.chunks.back();
+      q.chunks.pop_back();
+    } else {
+      r = q.chunks.front();
+      q.chunks.pop_front();
+    }
+    return r;
+  };
+
   std::atomic<bool> all_ok{true};
   // First worker exception wins; the stop flag drains the remaining work so
   // every thread joins cleanly and the error surfaces on the calling thread
@@ -318,53 +460,60 @@ BatchResult CompiledBnb::route_batch(std::span<const Permutation> perms,
   std::exception_ptr first_error;
   std::size_t first_error_index = 0;
 
-  auto drain = [&]() {
+  auto record_error = [&](std::size_t idx) {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (!first_error) {
+      first_error = std::current_exception();
+      first_error_index = idx;
+    }
+    stop.store(true, std::memory_order_relaxed);
+  };
+
+  auto drain = [&](unsigned self) {
     RouteScratch scratch;
     try {
       scratch.prepare(*this);
     } catch (...) {
       // Treat a scratch failure (bad_alloc) like a fault of the first item
       // this worker would have claimed.
-      const std::size_t idx = next.load(std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lock(error_mutex);
-      if (!first_error) {
-        first_error = std::current_exception();
-        first_error_index = std::min(idx, perms.size() - 1);
+      std::size_t idx = 0;
+      {
+        std::lock_guard<std::mutex> lock(queues[self].mu);
+        if (!queues[self].chunks.empty()) idx = queues[self].chunks.front().first;
       }
-      stop.store(true, std::memory_order_relaxed);
+      record_error(idx);
       return;
     }
     for (;;) {
-      if (stop.load(std::memory_order_relaxed)) break;
-      const std::size_t idx = next.fetch_add(1, std::memory_order_relaxed);
-      if (idx >= perms.size()) break;
-      try {
-        // Per-item validation happens here, inside the worker, so a bad
-        // permutation is reported with its batch index rather than tearing
-        // the whole call down before any routing starts.
-        BNB_EXPECTS(perms[idx].size() == n);
-        const Output out = route(perms[idx], scratch, nullptr, faults);
-        if (!out.self_routed) all_ok.store(false, std::memory_order_relaxed);
-        std::copy(out.dest.begin(), out.dest.end(),
-                  result.dest.begin() + static_cast<std::ptrdiff_t>(idx * n));
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) {
-          first_error = std::current_exception();
-          first_error_index = idx;
+      if (stop.load(std::memory_order_relaxed)) return;
+      std::optional<ChunkRange> range = take(self, /*from_back=*/false);
+      for (unsigned d = 1; !range && d < workers; ++d) {
+        range = take((self + d) % workers, /*from_back=*/true);
+      }
+      if (!range) return;  // every queue drained
+      for (std::size_t idx = range->first; idx < range->second; ++idx) {
+        if (stop.load(std::memory_order_relaxed)) return;
+        try {
+          // Per-item validation happens here, inside the worker, so a bad
+          // permutation is reported with its batch index rather than tearing
+          // the whole call down before any routing starts.
+          BNB_EXPECTS(perms[idx].size() == n);
+          const Output out = route(perms[idx], scratch, nullptr, faults);
+          if (!out.self_routed) all_ok.store(false, std::memory_order_relaxed);
+          std::copy(out.dest.begin(), out.dest.end(),
+                    result.dest.begin() + static_cast<std::ptrdiff_t>(idx * n));
+        } catch (...) {
+          record_error(idx);
+          return;
         }
-        stop.store(true, std::memory_order_relaxed);
-        break;
       }
     }
   };
 
-  const auto workers =
-      static_cast<unsigned>(std::min<std::size_t>(threads, perms.size()));
   std::vector<std::thread> pool;
   pool.reserve(workers - 1);
-  for (unsigned t = 1; t < workers; ++t) pool.emplace_back(drain);
-  drain();
+  for (unsigned t = 1; t < workers; ++t) pool.emplace_back(drain, t);
+  drain(0);
   for (auto& th : pool) th.join();
 
   if (first_error) {

@@ -15,12 +15,23 @@
 //   * a caller-owned RouteScratch so the steady state performs ZERO heap
 //     allocations (first use of a scratch sizes its buffers).
 //
+// Every word-parallel pass above is reached through a kernels::KernelSet
+// (core/kernels/kernel_set.hpp): function pointers bound once at plan
+// construction to the best tier the host can execute (scalar, avx2, avx512,
+// neon; BNB_KERNELS overrides).  Tiers with wide_datapath move the payload
+// BIT-SLICED: instead of permuting N 64-bit state words per column, the
+// q = 2m address+index bit-slices are each moved as packed words by the
+// same fused exchange+unshuffle pass that already drives the address bits —
+// O(N * q / 64) masked word operations per column instead of O(N) word
+// moves, and the whole working set shrinks from 8N bytes to qN/8.
+//
 // Controls/trace capture is opt-in (ControlTrace) and off the fast path:
 // plain route() computes only destinations and delivered words.
 // route_batch() adds a multi-threaded sustained-throughput API on top: a
-// small worker pool with one scratch per worker drains a span of
-// permutations.  Results are bit-identical to BnbNetwork::route_words
-// (tests/test_engine.cpp proves it exhaustively for m <= 3).
+// work-stealing pool of chunked workers with one scratch each drains a span
+// of permutations.  Results are bit-identical to BnbNetwork::route_words
+// (tests/test_engine.cpp proves it exhaustively for m <= 3), on every
+// kernel tier (tests/test_kernels.cpp).
 #pragma once
 
 #include <cstdint>
@@ -32,6 +43,7 @@
 #include "common/expect.hpp"
 #include "core/bnb_network.hpp"
 #include "core/fault_hooks.hpp"
+#include "core/kernels/kernel_set.hpp"
 #include "perm/permutation.hpp"
 
 namespace bnb {
@@ -39,8 +51,12 @@ namespace bnb {
 class CompiledBnb;
 
 /// Reusable routing workspace.  prepare() (or the first route with this
-/// scratch) performs every allocation; after that, routing through the
-/// owning plan's shape allocates nothing.  A scratch serves one thread.
+/// scratch) performs every allocation; after that, routing through any plan
+/// of the SAME SHAPE allocates nothing.  Shape = (m, packed word width):
+/// two plans of equal m are scratch-compatible regardless of kernel tier —
+/// a scratch always carries both the per-line and the bit-sliced buffers —
+/// while a plan of different m re-prepares on first use.  A scratch serves
+/// one thread.
 class RouteScratch {
  public:
   RouteScratch() = default;
@@ -48,17 +64,27 @@ class RouteScratch {
   /// Size all buffers for `plan`.  Idempotent for the same shape.
   void prepare(const CompiledBnb& plan);
 
+  /// True when this scratch's buffers fit `plan` exactly: same m and the
+  /// same packed word width (words_for(2^m)).  route() re-prepares
+  /// automatically when this is false; the explicit check exists for
+  /// callers that must guarantee the zero-allocation steady state.
   [[nodiscard]] bool prepared_for(const CompiledBnb& plan) const noexcept;
 
  private:
   friend class CompiledBnb;
-  std::size_t n_ = 0;  ///< 0 = unprepared
+  unsigned m_ = 0;      ///< 0 = unprepared
+  std::size_t n_ = 0;   ///< 2^m_ (cached)
+  std::size_t words_ = 0;  ///< bitpack::words_for(n_): packed word width
 
   std::vector<std::uint64_t> state_;   ///< per line: input index << 32 | address
   std::vector<std::uint64_t> spare_;   ///< double buffer for state_
   std::vector<std::uint64_t> bits_;    ///< packed current address bit per line
   std::vector<std::uint64_t> ctl_;     ///< packed controls of the current column
   std::vector<std::uint64_t> work_;    ///< arbiter up/down levels + temporaries
+  std::vector<std::uint64_t> slices_;  ///< wide datapath: q = 2m bit-slices,
+                                       ///< slice s at [s * words_, ...)
+  std::vector<std::uint64_t> spare_slices_;  ///< double buffer for slices_
+  std::vector<std::uint64_t> slice_tmp_;     ///< slice_pass staging scratch
   std::vector<Word> outputs_;
   std::vector<std::uint32_t> dest_;
 };
@@ -101,11 +127,19 @@ struct ControlTrace {
 
 class CompiledBnb {
  public:
-  /// Compile the N = 2^m BNB network.  Requires 1 <= m < 26.
-  explicit CompiledBnb(unsigned m);
+  /// Compile the N = 2^m BNB network.  Requires 1 <= m < 26.  The plan
+  /// binds `kernels` for the life of the object; nullptr (the default)
+  /// binds kernels::active_kernels() — the best tier the host can execute,
+  /// or the BNB_KERNELS override.  Passing an explicit set pins a tier for
+  /// testing or comparison (the equivalence suite routes the same
+  /// permutations through one plan per supported tier).
+  explicit CompiledBnb(unsigned m, const kernels::KernelSet* kernels = nullptr);
 
   [[nodiscard]] unsigned m() const noexcept { return m_; }
   [[nodiscard]] std::size_t inputs() const noexcept { return std::size_t{1} << m_; }
+
+  /// The kernel tier this plan routes with.
+  [[nodiscard]] const kernels::KernelSet& kernel_set() const noexcept { return *ks_; }
 
   /// One splitter column of the flattened network.
   struct Column {
@@ -194,8 +228,16 @@ class CompiledBnb {
   [[nodiscard]] Output route_impl(RouteScratch& scratch, ControlTrace* trace,
                                   std::span<const Word> payload_source,
                                   const EngineFaults* faults) const;
+  /// Both return a pointer to the final line-state array (state_ or spare_).
+  [[nodiscard]] const std::uint64_t* route_lines(RouteScratch& scratch,
+                                                 ControlTrace* trace,
+                                                 const EngineFaults* faults) const;
+  [[nodiscard]] const std::uint64_t* route_sliced(RouteScratch& scratch,
+                                                  ControlTrace* trace,
+                                                  const EngineFaults* faults) const;
 
   unsigned m_;
+  const kernels::KernelSet* ks_;
   std::vector<Column> columns_;
 };
 

@@ -1,0 +1,25 @@
+// Internal registry of the kernel-set instances each translation unit
+// defines.  Which SIMD TUs exist in the build is a compile-time fact
+// (BNB_KERNELS_HAVE_* definitions set by src/core/CMakeLists.txt from the
+// BNB_SIMD option); whether the host can run them is decided at runtime by
+// kernel_set.cpp.  Not installed; include kernels/kernel_set.hpp instead.
+#pragma once
+
+#include "core/kernels/kernel_set.hpp"
+
+namespace bnb::kernels::detail {
+
+extern const KernelSet kScalarSet;  // per-line datapath, portable words
+extern const KernelSet kWideSet;    // scalar kernels, bit-sliced datapath
+
+#if defined(BNB_KERNELS_HAVE_AVX2)
+extern const KernelSet kAvx2Set;
+#endif
+#if defined(BNB_KERNELS_HAVE_AVX512)
+extern const KernelSet kAvx512Set;
+#endif
+#if defined(BNB_KERNELS_HAVE_NEON)
+extern const KernelSet kNeonSet;
+#endif
+
+}  // namespace bnb::kernels::detail

@@ -1,0 +1,89 @@
+// Scalar kernel tier: the portable 64-bit reference implementations from
+// core/bit_pack.hpp (single PEXT instructions when compiled with BMI2),
+// exported twice — as the `scalar` set that keeps the engine's original
+// per-line datapath, and as the `wide` set that drives the bit-sliced wide
+// datapath with the identical word arithmetic.  Every SIMD tier is tested
+// bit-for-bit against these.
+#include "core/bit_pack.hpp"
+#include "core/kernels/kernel_impl.hpp"
+#include "core/kernels/scalar_core.hpp"
+
+namespace bnb::kernels {
+namespace {
+
+void compress_even_k(const std::uint64_t* in, std::size_t nbits, std::uint64_t* out) {
+  bitpack::compress_even(in, nbits, out);
+}
+
+void compress_odd_k(const std::uint64_t* in, std::size_t nbits, std::uint64_t* out) {
+  bitpack::compress_odd(in, nbits, out);
+}
+
+void pair_xor_compress_k(const std::uint64_t* in, std::size_t nbits, std::uint64_t* out) {
+  bitpack::pair_xor_compress(in, nbits, out);
+}
+
+void interleave_bits_k(const std::uint64_t* a, const std::uint64_t* b,
+                       std::size_t nbits_each, std::uint64_t* out) {
+  bitpack::interleave_bits(a, b, nbits_each, out);
+}
+
+void chunk_concat_k(const std::uint64_t* even, const std::uint64_t* odd,
+                    std::size_t nbits_each, std::size_t chunk_bits,
+                    std::uint64_t* out) {
+  bitpack::chunk_concat(even, odd, nbits_each, chunk_bits, out);
+}
+
+void masked_exchange_k(std::uint64_t* e, std::uint64_t* o, const std::uint64_t* ctl,
+                       std::size_t words) {
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::uint64_t t = (e[w] ^ o[w]) & ctl[w];
+    e[w] ^= t;
+    o[w] ^= t;
+  }
+}
+
+void xor_words_k(std::uint64_t* dst, const std::uint64_t* src, std::size_t words) {
+  for (std::size_t w = 0; w < words; ++w) dst[w] ^= src[w];
+}
+
+// Fused column pass for one packed slice: exchange + unshuffle without
+// materializing the compressed halves.  Both shapes keep every output word
+// a pure function of one or two input words plus its ctl bits; the loops
+// live in scalar_core.hpp because the SIMD tiers reuse them for tails.
+void slice_pass_k(const std::uint64_t* in, std::size_t nbits, const std::uint64_t* ctl,
+                  std::size_t chunk_bits, std::uint64_t* /*tmp*/, std::uint64_t* out) {
+  if (chunk_bits <= 32) {
+    // Groups fit in a word: out[w] depends on in[w] and ctl half-word w.
+    detail::slice_pass_small_scalar(in, 0, bitpack::words_for(nbits), ctl,
+                                    static_cast<unsigned>(chunk_bits), out);
+    return;
+  }
+  // Whole-word chunks: compressed word i (pairs 64i..64i+63) lands in run
+  // r = i % run of chunk g = i / run; evens fill the group's first run,
+  // odds the second.  nbits % (2 * chunk_bits) == 0 makes every run whole.
+  detail::slice_pass_runs_scalar(in, 0, nbits / 128, ctl, chunk_bits / 64, out);
+}
+
+constexpr KernelSet make_set(const char* name, Tier tier, bool wide) {
+  return KernelSet{name,
+                   tier,
+                   wide,
+                   &compress_even_k,
+                   &compress_odd_k,
+                   &pair_xor_compress_k,
+                   &interleave_bits_k,
+                   &chunk_concat_k,
+                   &masked_exchange_k,
+                   &xor_words_k,
+                   &slice_pass_k};
+}
+
+}  // namespace
+
+namespace detail {
+const KernelSet kScalarSet = make_set("scalar", Tier::kScalar, false);
+const KernelSet kWideSet = make_set("wide", Tier::kWide, true);
+}  // namespace detail
+
+}  // namespace bnb::kernels

@@ -1,0 +1,52 @@
+// Shared scalar word loops for slice_pass: the SIMD tiers reuse these for
+// their sub-vector tails so the tail arithmetic can never diverge from the
+// scalar tier (tests would catch it, but sharing removes the possibility).
+// Internal to src/core/kernels/.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/bit_pack.hpp"
+
+namespace bnb::kernels::detail {
+
+/// Fused exchange+unshuffle over whole in-words [w_begin, w_end) for
+/// chunk_bits <= 32 (groups never straddle a word).
+inline void slice_pass_small_scalar(const std::uint64_t* in, std::size_t w_begin,
+                                    std::size_t w_end, const std::uint64_t* ctl,
+                                    unsigned chunk, std::uint64_t* out) {
+  for (std::size_t w = w_begin; w < w_end; ++w) {
+    const std::uint64_t x = in[w];
+    const std::uint64_t cw = (ctl[w >> 1] >> ((w & 1U) * 32)) & 0xFFFFFFFFULL;
+    std::uint64_t e = bitpack::compress_even64(x);
+    std::uint64_t o = bitpack::compress_even64(x >> 1);
+    const std::uint64_t t = (e ^ o) & cw;
+    e ^= t;
+    o ^= t;
+    out[w] = bitpack::interleave_chunks64(e, o, chunk);
+  }
+}
+
+/// Fused exchange+unshuffle over compressed-pair words [i_begin, i_end) for
+/// chunk_bits >= 64 (chunks are whole runs of `run` words).
+inline void slice_pass_runs_scalar(const std::uint64_t* in, std::size_t i_begin,
+                                   std::size_t i_end, const std::uint64_t* ctl,
+                                   std::size_t run, std::uint64_t* out) {
+  for (std::size_t i = i_begin; i < i_end; ++i) {
+    const std::uint64_t lo = in[2 * i];
+    const std::uint64_t hi = in[2 * i + 1];
+    std::uint64_t e = bitpack::compress_even64(lo) | (bitpack::compress_even64(hi) << 32);
+    std::uint64_t o =
+        bitpack::compress_even64(lo >> 1) | (bitpack::compress_even64(hi >> 1) << 32);
+    const std::uint64_t t = (e ^ o) & ctl[i];
+    e ^= t;
+    o ^= t;
+    const std::size_t g = i / run;
+    const std::size_t r = i % run;
+    out[g * 2 * run + r] = e;
+    out[g * 2 * run + run + r] = o;
+  }
+}
+
+}  // namespace bnb::kernels::detail

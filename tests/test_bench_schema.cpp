@@ -1,10 +1,11 @@
-// BENCH_routing.json is the repo's recorded perf baseline; EXPERIMENTS.md
-// documents its schema (bnb.bench_routing.v1).  This test parses the
+// BENCH_routing.json is the repo's recorded perf baseline; docs/PERF.md
+// documents its schema (bnb.bench_routing.v2).  This test parses the
 // checked-in file with a minimal JSON reader and validates the schema, so
 // a bench_engine change that drifts the emitted shape fails CI instead of
 // silently invalidating the regression baseline.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
 #include <fstream>
 #include <map>
@@ -31,6 +32,8 @@ struct JsonValue {
   [[nodiscard]] bool is_array() const { return value.index() == 4; }
   [[nodiscard]] bool is_string() const { return value.index() == 3; }
   [[nodiscard]] bool is_number() const { return value.index() == 2; }
+  [[nodiscard]] bool is_bool() const { return value.index() == 1; }
+  [[nodiscard]] bool boolean() const { return std::get<bool>(value); }
   [[nodiscard]] const JsonObject& object() const { return std::get<JsonObject>(value); }
   [[nodiscard]] const JsonArray& array() const { return std::get<JsonArray>(value); }
   [[nodiscard]] const std::string& str() const { return std::get<std::string>(value); }
@@ -219,10 +222,58 @@ TEST(BenchRoutingJson, MatchesTheDocumentedSchema) {
 
   // Header.
   ASSERT_TRUE(field(top, "schema").is_string());
-  EXPECT_EQ(field(top, "schema").str(), "bnb.bench_routing.v1");
+  EXPECT_EQ(field(top, "schema").str(), "bnb.bench_routing.v2");
   ASSERT_TRUE(field(top, "generated_by").is_string());
   ASSERT_TRUE(field(top, "hardware_threads").is_number());
-  EXPECT_GE(field(top, "hardware_threads").num(), 1.0);
+  const double hardware_threads = field(top, "hardware_threads").num();
+  EXPECT_GE(hardware_threads, 1.0);
+
+  // kernels: the dispatch report — which tier the run selected, every tier
+  // the host could run, and the per-tier microbenchmark rows at one fixed
+  // m.  "scalar" leads the available list and anchors speedup_vs_scalar.
+  ASSERT_TRUE(field(top, "kernels").is_object());
+  const JsonObject& kernels = field(top, "kernels").object();
+  ASSERT_TRUE(field(kernels, "selected").is_string());
+  ASSERT_TRUE(field(kernels, "wide_datapath").is_bool());
+  ASSERT_TRUE(field(kernels, "m").is_number());
+  ASSERT_TRUE(field(kernels, "available").is_array());
+  const JsonArray& available = field(kernels, "available").array();
+  ASSERT_FALSE(available.empty());
+  std::vector<std::string> tier_names;
+  for (const auto& name_value : available) {
+    ASSERT_TRUE(name_value->is_string());
+    tier_names.push_back(name_value->str());
+  }
+  EXPECT_EQ(tier_names.front(), "scalar") << "scalar reference must lead";
+  EXPECT_TRUE(std::find(tier_names.begin(), tier_names.end(),
+                        field(kernels, "selected").str()) != tier_names.end())
+      << "selected tier must be one of \"available\"";
+  ASSERT_TRUE(field(kernels, "tiers").is_array());
+  const JsonArray& tier_rows = field(kernels, "tiers").array();
+  ASSERT_EQ(tier_rows.size(), tier_names.size())
+      << "one microbenchmark row per available tier";
+  double scalar_ns = 0;
+  for (std::size_t i = 0; i < tier_rows.size(); ++i) {
+    ASSERT_TRUE(tier_rows[i]->is_object());
+    const JsonObject& row = tier_rows[i]->object();
+    ASSERT_TRUE(field(row, "name").is_string());
+    EXPECT_EQ(field(row, "name").str(), tier_names[i])
+        << "tiers rows must follow the \"available\" order";
+    ASSERT_TRUE(field(row, "wide_datapath").is_bool());
+    ASSERT_TRUE(field(row, "ns_per_perm").is_number());
+    ASSERT_TRUE(field(row, "speedup_vs_scalar").is_number());
+    const double ns = field(row, "ns_per_perm").num();
+    EXPECT_GT(ns, 0.0);
+    if (i == 0) {
+      scalar_ns = ns;
+      EXPECT_FALSE(field(row, "wide_datapath").boolean())
+          << "the scalar reference routes per-line";
+      EXPECT_NEAR(field(row, "speedup_vs_scalar").num(), 1.0, 0.005);
+    } else {
+      EXPECT_NEAR(field(row, "speedup_vs_scalar").num(), scalar_ns / ns, 0.05)
+          << "speedup_vs_scalar inconsistent for " << tier_names[i];
+    }
+  }
 
   // single_thread: rows of {m, n, seed_ns_per_perm, compiled_ns_per_perm,
   // speedup}, n = 2^m, speedup consistent with the two timings.
@@ -252,8 +303,10 @@ TEST(BenchRoutingJson, MatchesTheDocumentedSchema) {
   }
 
   // batch: {m, permutations, results: [{threads, ns_per_perm,
-  // perms_per_sec, scaling}]}, threads strictly increasing, scaling
-  // anchored at 1.0 for the first row.
+  // perms_per_sec, scaling, oversubscribed}]}, threads strictly increasing,
+  // scaling anchored at 1.0 for the first row.  A row may exceed the host's
+  // hardware threads only when it says so (oversubscribed = true, emitted
+  // under --force-threads).
   ASSERT_TRUE(field(top, "batch").is_object());
   const JsonObject& batch = field(top, "batch").object();
   ASSERT_TRUE(field(batch, "m").is_number());
@@ -270,9 +323,14 @@ TEST(BenchRoutingJson, MatchesTheDocumentedSchema) {
     for (const char* key : {"threads", "ns_per_perm", "perms_per_sec", "scaling"}) {
       ASSERT_TRUE(field(row, key).is_number()) << key;
     }
+    ASSERT_TRUE(field(row, "oversubscribed").is_bool());
     const double threads = field(row, "threads").num();
     EXPECT_GT(threads, prev_threads) << "thread counts must increase";
     prev_threads = threads;
+    if (!field(row, "oversubscribed").boolean()) {
+      EXPECT_LE(threads, hardware_threads)
+          << "a non-oversubscribed row cannot exceed the host's cores";
+    }
     const double ns = field(row, "ns_per_perm").num();
     EXPECT_GT(ns, 0.0);
     if (base_ns == 0) {

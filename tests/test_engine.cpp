@@ -21,6 +21,13 @@
 namespace bnb {
 namespace {
 
+/// Route one random permutation through `engine` with `scratch`; true iff
+/// it self-routed (shape mismatches would throw or mis-route).
+bool engine_route_ok(const CompiledBnb& engine, RouteScratch& scratch, Rng& rng) {
+  const auto out = engine.route(random_perm(engine.inputs(), rng), scratch);
+  return out.self_routed;
+}
+
 void expect_equal_routing(const BnbNetwork& ref, const CompiledBnb& engine,
                           RouteScratch& scratch, const Permutation& pi) {
   const auto expected = ref.route(pi);
@@ -147,6 +154,37 @@ TEST(CompiledBnb, ScratchPreparesLazilyOnFirstRoute) {
   EXPECT_TRUE(scratch.prepared_for(engine));
 }
 
+TEST(CompiledBnb, ScratchReuseAcrossPlansReChecksShape) {
+  // Regression: prepared_for must compare the SHAPE (m and packed word
+  // width), not object identity — and a scratch carried to a plan of a
+  // different shape must re-prepare instead of routing through stale-sized
+  // buffers.
+  Rng rng(0x5CA7C);
+  const CompiledBnb small(5);
+  const CompiledBnb same_shape(5, &kernels::scalar_kernels());
+  const CompiledBnb large(9);
+
+  RouteScratch scratch;
+  scratch.prepare(small);
+  ASSERT_TRUE(scratch.prepared_for(small));
+  // Same m, different kernel tier: one scratch serves both plans with no
+  // reallocation (it always carries the per-line AND the sliced buffers).
+  EXPECT_TRUE(scratch.prepared_for(same_shape));
+  EXPECT_TRUE(engine_route_ok(same_shape, scratch, rng));
+  EXPECT_TRUE(engine_route_ok(small, scratch, rng));
+
+  // Different m: the shape check must fail and the next route re-prepare.
+  EXPECT_FALSE(scratch.prepared_for(large));
+  EXPECT_TRUE(engine_route_ok(large, scratch, rng));
+  EXPECT_TRUE(scratch.prepared_for(large));
+  EXPECT_FALSE(scratch.prepared_for(small));
+
+  // And back down: shrinking is a re-prepare too, not an out-of-bounds ride
+  // on the larger buffers.
+  EXPECT_TRUE(engine_route_ok(small, scratch, rng));
+  EXPECT_TRUE(scratch.prepared_for(small));
+}
+
 TEST(CompiledBnb, FirstColumnControlsMatchSplitterReference) {
   // Column 0 is the single sp(m) of main stage 0: its packed controls must
   // equal the scalar Splitter's, which exercises the word-parallel arbiter
@@ -231,6 +269,43 @@ TEST(CompiledBnb, BatchValidatesInput) {
   const auto empty = engine.route_batch(none, 4);
   EXPECT_TRUE(empty.all_self_routed);
   EXPECT_EQ(empty.permutations, 0U);
+}
+
+TEST(CompiledBnb, BatchWorkStealingCoversEveryChunkShape) {
+  // The chunked work-stealing scheduler must produce the same destinations
+  // as sequential routing whatever the chunk geometry: more threads than
+  // permutations (the oversubscription guard clamps the pool), prime batch
+  // sizes that leave ragged final chunks, and enough chunks per worker that
+  // idle workers actually steal.
+  const unsigned m = 5;
+  const CompiledBnb engine(m);
+  const std::size_t n = engine.inputs();
+  Rng rng(0x57EA1);
+  std::vector<Permutation> perms;
+  for (int i = 0; i < 101; ++i) perms.push_back(random_perm(n, rng));
+
+  RouteScratch scratch;
+  std::vector<std::uint32_t> expected;
+  expected.reserve(perms.size() * n);
+  for (const auto& pi : perms) {
+    const auto out = engine.route(pi, scratch);
+    expected.insert(expected.end(), out.dest.begin(), out.dest.end());
+  }
+
+  for (const unsigned threads : {1U, 2U, 3U, 7U, 64U, 256U}) {
+    const auto batch = engine.route_batch(perms, threads);
+    EXPECT_TRUE(batch.all_self_routed) << "threads=" << threads;
+    ASSERT_EQ(batch.dest, expected) << "threads=" << threads;
+  }
+
+  // Tiny batch, huge pool request: must still name the right failure index.
+  std::vector<Permutation> tiny{perms[0], Permutation(n / 2), perms[1]};
+  try {
+    (void)engine.route_batch(tiny, 32);
+    FAIL() << "expected batch_route_error";
+  } catch (const batch_route_error& e) {
+    EXPECT_EQ(e.index(), 1U);
+  }
 }
 
 TEST(CompiledBnb, StagedRouterSharesThePlan) {
