@@ -1,16 +1,21 @@
 // Machine-readable routing-engine benchmark: seed behavioral router vs the
 // compiled flat engine (single thread, m in {8,10,12,14}), per-kernel-tier
-// microbenchmarks of the compiled engine at m = 12, and batch scaling of
-// CompiledBnb::route_batch at m = 14 across worker-thread counts.  Results
-// are written as JSON (schema "bnb.bench_routing.v2") so the checked-in
-// BENCH_routing.json can be regenerated and diffed; see docs/PERF.md for
-// the schema and EXPERIMENTS.md for regeneration instructions.
+// microbenchmarks of the compiled engine at m = 12, batch scaling of
+// CompiledBnb::route_batch at m = 14 across worker-thread counts, the
+// ScheduleCache cold-vs-warm economics (repeated traffic replays a solved
+// schedule instead of re-running the arbiter trees), and StreamEngine
+// throughput (inline vs solver/applier-pipelined, with and without a warm
+// cache).  Results are written as JSON (schema "bnb.bench_routing.v3") so
+// the checked-in BENCH_routing.json can be regenerated and diffed; see
+// docs/PERF.md for the schema and EXPERIMENTS.md for regeneration
+// instructions.
 //
 // The batch section only times thread counts the host can actually run in
-// parallel (threads <= hardware_threads); --force-threads times the full
-// ladder anyway and marks the rows beyond the core count
-// "oversubscribed": true so a reader never mistakes a contended number for
-// a scaling number.
+// parallel (threads <= hardware_threads) — except threads=2, which is
+// always timed so the checked-in file keeps a scaling curve even when
+// generated on a 1-core container; --force-threads times the full ladder.
+// Rows beyond the core count carry "oversubscribed": true so a reader
+// never mistakes a contended number for a scaling number.
 //
 // Usage: bench_engine [--quick] [--force-threads] [output.json]
 //        (default output: BENCH_routing.json; --quick shortens the timing
@@ -27,6 +32,8 @@
 #include "core/bnb_network.hpp"
 #include "core/compiled_bnb.hpp"
 #include "core/kernels/kernel_set.hpp"
+#include "core/schedule_cache.hpp"
+#include "fabric/stream_engine.hpp"
 #include "perm/generators.hpp"
 
 namespace {
@@ -76,6 +83,14 @@ struct BatchRow {
   unsigned threads = 0;
   double ns_per_perm = 0;
   bool oversubscribed = false;
+};
+
+struct StreamRow {
+  unsigned threads = 0;
+  bool pipelined = false;
+  bool cached = false;
+  bool oversubscribed = false;
+  double ns_per_perm = 0;
 };
 
 }  // namespace
@@ -164,7 +179,9 @@ int main(int argc, char** argv) {
   std::vector<BatchRow> batch;
   for (const unsigned threads : {1U, 2U, 4U, 8U}) {
     const bool oversubscribed = threads > hardware_threads;
-    if (oversubscribed && !force_threads) {
+    // threads=2 is always timed (oversubscribed or not): the checked-in
+    // JSON must keep a scaling curve even when generated on a 1-core host.
+    if (oversubscribed && !force_threads && threads != 2) {
       std::printf("batch m=%u threads=%u  skipped (host has %u hardware threads; "
                   "--force-threads to time anyway)\n",
                   batch_m, threads, hardware_threads);
@@ -183,12 +200,90 @@ int main(int argc, char** argv) {
                 oversubscribed ? "  (oversubscribed)" : "");
   }
 
+  // Schedule-cache economics at the tier benchmark size: cold = a fresh
+  // solve+apply per call (what any unseen permutation costs), warm = the
+  // all-hit replay of a pre-filled cache.  The ratio is the payoff for
+  // repeated traffic on the selected tier.
+  const unsigned cache_m = 12;
+  const std::size_t cache_pool_size = 8;
+  const std::size_t cache_capacity = 64;
+  double cache_cold_ns = 0;
+  double cache_warm_ns = 0;
+  bnb::ScheduleCacheStats cache_stats;
+  {
+    const bnb::CompiledBnb plan(cache_m);
+    bnb::RouteScratch scratch;
+    scratch.prepare(plan);
+    const auto pool = perm_pool(std::size_t{1} << cache_m, cache_pool_size, rng);
+
+    bnb::ControlSchedule schedule;
+    std::size_t i_cold = 0;
+    cache_cold_ns = ns_per_call(
+        [&] {
+          const auto& pi = pool[i_cold++ & (cache_pool_size - 1)];
+          plan.solve(pi, scratch, schedule);
+          const auto r = plan.apply(schedule, pi, scratch);
+          if (!r.self_routed) std::exit(1);
+        },
+        budget);
+
+    bnb::ScheduleCache cache(cache_capacity);
+    for (const auto& pi : pool) (void)cache.route(plan, pi, scratch);
+    std::size_t i_warm = 0;
+    cache_warm_ns = ns_per_call(
+        [&] {
+          const auto r =
+              cache.route(plan, pool[i_warm++ & (cache_pool_size - 1)], scratch);
+          if (!r.self_routed) std::exit(1);
+        },
+        budget);
+    cache_stats = cache.stats();
+    std::printf("cache m=%u cold %9.0f ns/perm  warm %9.0f ns/perm  speedup %5.2fx  "
+                "(hits=%llu misses=%llu)\n",
+                cache_m, cache_cold_ns, cache_warm_ns, cache_cold_ns / cache_warm_ns,
+                static_cast<unsigned long long>(cache_stats.hits),
+                static_cast<unsigned long long>(cache_stats.misses));
+  }
+
+  // Stream throughput: the same 64-permutation stream through every
+  // StreamEngine shape.  Cached rows time the warm steady state (the
+  // engine's first run fills the shared cache).
+  const unsigned stream_m = 12;
+  const std::size_t stream_perms = 64;
+  std::vector<StreamRow> stream;
+  {
+    const bnb::CompiledBnb plan(stream_m);
+    const auto pool = perm_pool(std::size_t{1} << stream_m, stream_perms, rng);
+    for (const bool cached : {false, true}) {
+      for (const unsigned threads : {1U, 2U}) {
+        bnb::ScheduleCache cache(128);
+        bnb::StreamEngine::Options options;
+        options.threads = threads;
+        options.cache = cached ? &cache : nullptr;
+        const bnb::StreamEngine stream_engine(plan, options);
+        const double ns = ns_per_call(
+                              [&] {
+                                const auto r = stream_engine.run(pool);
+                                if (!r.stats.all_self_routed) std::exit(1);
+                              },
+                              budget) /
+                          static_cast<double>(stream_perms);
+        const bool oversubscribed = threads > hardware_threads;
+        stream.push_back({threads, threads >= 2, cached, oversubscribed, ns});
+        std::printf("stream m=%u threads=%u %-9s %-6s %9.0f ns/perm  %12.3f perms/sec%s\n",
+                    stream_m, threads, threads >= 2 ? "pipelined" : "inline",
+                    cached ? "cached" : "cold", ns, 1e9 / ns,
+                    oversubscribed ? "  (oversubscribed)" : "");
+      }
+    }
+  }
+
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"schema\": \"bnb.bench_routing.v2\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"bnb.bench_routing.v3\",\n");
   std::fprintf(f, "  \"generated_by\": \"bench_engine\",\n");
   // Batch scaling is bounded by the host: on a 1-core container the
   // thread rows stay flat regardless of the pool implementation.
@@ -234,12 +329,40 @@ int main(int argc, char** argv) {
     const auto& row = batch[i];
     std::fprintf(f,
                  "      {\"threads\": %u, \"ns_per_perm\": %.1f, "
-                 "\"perms_per_sec\": %.0f, \"scaling\": %.2f, "
+                 "\"perms_per_sec\": %.3f, \"scaling\": %.2f, "
                  "\"oversubscribed\": %s}%s\n",
                  row.threads, row.ns_per_perm, 1e9 / row.ns_per_perm,
                  batch.front().ns_per_perm / row.ns_per_perm,
                  row.oversubscribed ? "true" : "false",
                  i + 1 < batch.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  },\n");
+  std::fprintf(f, "  \"cache\": {\n");
+  std::fprintf(f, "    \"m\": %u,\n    \"capacity\": %zu,\n    \"pool\": %zu,\n",
+               cache_m, cache_capacity, cache_pool_size);
+  std::fprintf(f, "    \"cold_ns_per_perm\": %.1f,\n", cache_cold_ns);
+  std::fprintf(f, "    \"warm_ns_per_perm\": %.1f,\n", cache_warm_ns);
+  std::fprintf(f, "    \"warm_speedup\": %.2f,\n", cache_cold_ns / cache_warm_ns);
+  std::fprintf(f, "    \"hits\": %llu,\n    \"misses\": %llu,\n",
+               static_cast<unsigned long long>(cache_stats.hits),
+               static_cast<unsigned long long>(cache_stats.misses));
+  std::fprintf(f, "    \"evictions\": %llu,\n    \"bypasses\": %llu\n",
+               static_cast<unsigned long long>(cache_stats.evictions),
+               static_cast<unsigned long long>(cache_stats.bypasses));
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"stream\": {\n    \"m\": %u,\n    \"permutations\": %zu,\n",
+               stream_m, stream_perms);
+  std::fprintf(f, "    \"results\": [\n");
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const auto& row = stream[i];
+    std::fprintf(f,
+                 "      {\"threads\": %u, \"pipelined\": %s, \"cached\": %s, "
+                 "\"ns_per_perm\": %.1f, \"perms_per_sec\": %.3f, "
+                 "\"oversubscribed\": %s}%s\n",
+                 row.threads, row.pipelined ? "true" : "false",
+                 row.cached ? "true" : "false", row.ns_per_perm,
+                 1e9 / row.ns_per_perm, row.oversubscribed ? "true" : "false",
+                 i + 1 < stream.size() ? "," : "");
   }
   std::fprintf(f, "    ]\n  }\n}\n");
   std::fclose(f);

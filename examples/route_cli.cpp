@@ -17,6 +17,16 @@
 //   route_cli --inject stuck1:0.0.0.0 16
 //                             # one stuck-at-1 switch control at main stage 0,
 //                             # BSN column 0, splitter 0, switch 0
+//   route_cli --repeat 1000 3 0 1 2
+//                             # route [3 0 1 2] 1000 times through a
+//                             # ScheduleCache (1 miss, 999 schedule replays)
+//                             # and print the hit/miss counters
+//   route_cli --stream --batch 200 --repeat 5 --threads 2 64
+//                             # stream 200 random 64-line permutations 5 times
+//                             # through the StreamEngine (solver/applier
+//                             # pipeline at --threads >= 2, inline at 1) over a
+//                             # shared ScheduleCache; passes after the first
+//                             # are pure cache hits
 //
 // --inject SPECs: random:K, stuck0|stuck1|flag0|flag1:i.j.s.e,
 //                 dead:i.j.s.e.in.out, flip:i.j.s.line  (see docs/FAULTS.md)
@@ -40,7 +50,9 @@
 #include "core/compiled_bnb.hpp"
 #include "core/kernels/kernel_set.hpp"
 #include "core/dot_export.hpp"
+#include "core/schedule_cache.hpp"
 #include "core/trace_render.hpp"
+#include "fabric/stream_engine.hpp"
 #include "fault/fault_model.hpp"
 #include "fault/robust_router.hpp"
 #include "perm/generators.hpp"
@@ -50,8 +62,9 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--network=bnb|batcher|benes|koppelman] [--trace] "
-               "[--dot N] [--batch COUNT [--threads T]] "
-               "[--inject SPEC [--rounds R] [--seed S]] [image... | N]\n",
+               "[--dot N] [--batch COUNT [--threads T] [--stream]] "
+               "[--repeat K] [--inject SPEC [--rounds R] [--seed S]] "
+               "[image... | N]\n",
                argv0);
   return 2;
 }
@@ -218,6 +231,80 @@ int run_batch(std::size_t count, unsigned threads, std::size_t n) {
   return batch.all_self_routed ? 0 : 1;
 }
 
+// --stream --batch COUNT: stream COUNT random permutations through the
+// StreamEngine `repeat` times over one shared ScheduleCache — the first
+// pass solves (cold misses), every later pass replays cached schedules.
+int run_stream(std::size_t count, unsigned threads, std::size_t repeat,
+               std::size_t n) {
+  if (count == 0 || threads == 0 || threads > 256) {
+    std::fputs("--batch needs COUNT >= 1 and 1 <= --threads <= 256\n", stderr);
+    return 2;
+  }
+  if (!bnb::is_power_of_two(n) || n < 2 || n > (std::size_t{1} << 20)) {
+    std::fputs("--batch needs N a power of two in [2, 2^20]\n", stderr);
+    return 2;
+  }
+  bnb::Rng rng(2026);
+  std::vector<bnb::Permutation> perms;
+  perms.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) perms.push_back(bnb::random_perm(n, rng));
+
+  const bnb::CompiledBnb engine(bnb::log2_exact(n));
+  bnb::ScheduleCache cache(256);
+  bnb::StreamEngine::Options options;
+  options.threads = threads;
+  options.cache = &cache;
+  const bnb::StreamEngine stream(engine, options);
+
+  bool all_ok = true;
+  std::uint64_t solved = 0;
+  std::uint64_t hits = 0;
+  bool pipelined = false;
+  for (std::size_t pass = 0; pass < repeat; ++pass) {
+    const auto result = stream.run(perms);
+    all_ok &= result.stats.all_self_routed;
+    solved += result.stats.solved;
+    hits += result.stats.cache_hits;
+    pipelined = result.stats.pipelined;
+  }
+  const auto stats = cache.stats();
+  std::printf("stream: %zu permutations x %zu pass%s of %zu lines, %s: %s\n",
+              count, repeat, repeat == 1 ? "" : "es", n,
+              pipelined ? "solver/applier pipelined" : "inline",
+              all_ok ? "all routed OK" : "ROUTING FAILED");
+  std::printf("stream: %llu cold solves, %llu schedule replays\n",
+              static_cast<unsigned long long>(solved),
+              static_cast<unsigned long long>(hits));
+  std::printf("cache: %llu hits, %llu misses, %llu evictions, %llu bypasses "
+              "(%zu entries)\n",
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses),
+              static_cast<unsigned long long>(stats.evictions),
+              static_cast<unsigned long long>(stats.bypasses), stats.entries);
+  return all_ok ? 0 : 1;
+}
+
+// --repeat K on a single permutation: route it K times through a
+// ScheduleCache (one arbiter-tree solve, K-1 schedule replays).
+int run_repeat(const bnb::Permutation& pi, std::size_t repeat) {
+  const bnb::CompiledBnb engine(bnb::log2_exact(pi.size()));
+  bnb::RouteScratch scratch;
+  bnb::ScheduleCache cache(16);
+  bool all_ok = true;
+  for (std::size_t k = 0; k < repeat; ++k) {
+    all_ok &= cache.route(engine, pi, scratch).self_routed;
+  }
+  const auto stats = cache.stats();
+  std::printf("repeat: %s routed %zu time%s: %s\n", pi.to_string().c_str(),
+              repeat, repeat == 1 ? "" : "s", all_ok ? "OK" : "FAILED");
+  std::printf("cache: %llu hits, %llu misses, %llu evictions, %llu bypasses\n",
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses),
+              static_cast<unsigned long long>(stats.evictions),
+              static_cast<unsigned long long>(stats.bypasses));
+  return all_ok ? 0 : 1;
+}
+
 int emit_dot(std::size_t n) {
   if (!bnb::is_power_of_two(n) || n < 2 || n > 2048) {
     std::fputs("--dot needs a power of two in [2, 2048]\n", stderr);
@@ -242,8 +329,11 @@ int main(int argc, char** argv) {
   std::string network = "bnb";
   bool trace = false;
   bool batch = false;
+  bool stream = false;
   std::size_t batch_count = 0;
   unsigned threads = 1;
+  bool repeat_given = false;
+  std::size_t repeat = 1;
   std::string inject_spec;
   std::size_t rounds = 20;
   std::uint64_t seed = 2026;
@@ -265,6 +355,12 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--threads") == 0) {
       if (a + 1 >= argc) return usage(argv[0]);
       threads = static_cast<unsigned>(std::strtoul(argv[++a], nullptr, 10));
+    } else if (std::strcmp(arg, "--stream") == 0) {
+      stream = true;
+    } else if (std::strcmp(arg, "--repeat") == 0) {
+      if (a + 1 >= argc) return usage(argv[0]);
+      repeat_given = true;
+      repeat = std::strtoull(argv[++a], nullptr, 10);
     } else if (std::strcmp(arg, "--inject") == 0) {
       if (a + 1 >= argc) return usage(argv[0]);
       inject_spec = argv[++a];
@@ -282,6 +378,23 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (repeat_given && (repeat == 0 || repeat > 1000000)) {
+    std::fputs("--repeat must be in [1, 1000000]\n", stderr);
+    return 2;
+  }
+  if (stream && !batch) {
+    std::fputs("--stream needs --batch COUNT (it streams a random pool)\n",
+               stderr);
+    return 2;
+  }
+  if (repeat_given && !inject_spec.empty()) return usage(argv[0]);
+  if (repeat_given && trace) {
+    std::fputs("--repeat exercises the schedule cache, which --trace bypasses; "
+               "drop one of them\n",
+               stderr);
+    return 2;
+  }
+
   if (!inject_spec.empty()) {
     // In inject mode the single optional positional argument is N.
     if (batch || image.size() > 1) return usage(argv[0]);
@@ -291,6 +404,15 @@ int main(int argc, char** argv) {
   if (batch) {
     // In batch mode the single optional positional argument is N.
     if (image.size() > 1) return usage(argv[0]);
+    if (stream) {
+      return run_stream(batch_count, threads, repeat, image.empty() ? 16 : image[0]);
+    }
+    if (repeat_given) {
+      std::fputs("--repeat with --batch needs --stream (route_batch has no "
+                 "cache to repeat into)\n",
+                 stderr);
+      return 2;
+    }
     return run_batch(batch_count, threads, image.empty() ? 16 : image[0]);
   }
 
@@ -315,6 +437,16 @@ int main(int argc, char** argv) {
     const bnb::BnbNetwork net(m);
     std::fputs(bnb::render_trace(net, pi).c_str(), stdout);
     return 0;
+  }
+
+  if (repeat_given) {
+    if (network != "bnb") {
+      std::fputs("--repeat replays compiled BNB schedules; it needs "
+                 "--network=bnb\n",
+                 stderr);
+      return 2;
+    }
+    return run_repeat(pi, repeat);
   }
 
   bool routed = false;

@@ -24,6 +24,25 @@ constexpr std::size_t kLevelSlack = 32;
 
 }  // namespace
 
+// ---- ControlSchedule --------------------------------------------------
+
+void ControlSchedule::prepare(const CompiledBnb& plan) {
+  if (prepared_for(plan)) {
+    solved_ = false;
+    return;
+  }
+  m_ = plan.m();
+  columns_ = plan.columns().size();
+  control_words_ = plan.control_words();
+  ctl_.assign(columns_ * control_words_, 0);
+  line_of_input_.assign(plan.inputs(), 0);
+  solved_ = false;
+}
+
+bool ControlSchedule::prepared_for(const CompiledBnb& plan) const noexcept {
+  return m_ == plan.m() && m_ != 0 && control_words_ == plan.control_words();
+}
+
 // ---- RouteScratch -----------------------------------------------------
 
 void RouteScratch::prepare(const CompiledBnb& plan) {
@@ -45,6 +64,7 @@ void RouteScratch::prepare(const CompiledBnb& plan) {
   slice_tmp_.assign(words, 0);
   outputs_.assign(n, Word{});
   dest_.assign(n, 0);
+  schedule_.prepare(plan);
   m_ = m;
   n_ = n;
   words_ = words;
@@ -200,7 +220,8 @@ void CompiledBnb::column_controls(std::size_t column, std::uint64_t* bits,
 }
 
 const std::uint64_t* CompiledBnb::route_lines(RouteScratch& s, ControlTrace* trace,
-                                              const EngineFaults* faults) const {
+                                              const EngineFaults* faults,
+                                              ControlSchedule* capture) const {
   const std::size_t n = inputs();
   const std::size_t words = bitpack::words_for(n);
   const std::uint64_t poison = dead_crosspoint_poison(n);
@@ -227,19 +248,23 @@ const std::uint64_t* CompiledBnb::route_lines(RouteScratch& s, ControlTrace* tra
       const Column& col = columns_[col_idx];
       const ColumnFaultMasks* fcol =
           faults != nullptr ? faults->column(col_idx) : nullptr;
-      column_controls(col_idx, s.bits_.data(), s.ctl_.data(), s.work_.data(), fcol);
+      // A capturing route decides each column straight into the schedule's
+      // slot — the capture costs no extra pass over the controls.
+      std::uint64_t* ctl = capture != nullptr
+                               ? capture->ctl_.data() + col_idx * capture->control_words_
+                               : s.ctl_.data();
+      column_controls(col_idx, s.bits_.data(), ctl, s.work_.data(), fcol);
       if (trace != nullptr) {
-        trace->column_controls.emplace_back(s.ctl_.begin(),
-                                            s.ctl_.begin() +
-                                                static_cast<std::ptrdiff_t>(control_words()));
+        trace->column_controls.emplace_back(
+            ctl, ctl + static_cast<std::ptrdiff_t>(control_words()));
       }
       if (fcol != nullptr && !fcol->dead.empty()) {
         // A word crossing a dead path arrives with every address bit
         // flipped; the audit layer is guaranteed to see the damage.
-        visit_dead_crosspoint_hits(*fcol, s.ctl_.data(),
+        visit_dead_crosspoint_hits(*fcol, ctl,
                                    [&](std::size_t line) { state[line] ^= poison; });
       }
-      apply_column_to_lines<std::uint64_t>(s.ctl_.data(), {state, n}, {spare, n}, col.group);
+      apply_column_to_lines<std::uint64_t>(ctl, {state, n}, {spare, n}, col.group);
       std::swap(state, spare);
     }
   }
@@ -247,7 +272,8 @@ const std::uint64_t* CompiledBnb::route_lines(RouteScratch& s, ControlTrace* tra
 }
 
 const std::uint64_t* CompiledBnb::route_sliced(RouteScratch& s, ControlTrace* trace,
-                                               const EngineFaults* faults) const {
+                                               const EngineFaults* faults,
+                                               ControlSchedule* capture) const {
   const std::size_t n = inputs();
   const std::size_t W = s.words_;
   const unsigned q = 2 * m_;  // m address slices, then m input-index slices
@@ -285,27 +311,29 @@ const std::uint64_t* CompiledBnb::route_sliced(RouteScratch& s, ControlTrace* tr
       const Column& col = columns_[col_idx];
       const ColumnFaultMasks* fcol =
           faults != nullptr ? faults->column(col_idx) : nullptr;
-      column_controls(col_idx, s.bits_.data(), s.ctl_.data(), s.work_.data(), fcol);
+      std::uint64_t* ctl = capture != nullptr
+                               ? capture->ctl_.data() + col_idx * capture->control_words_
+                               : s.ctl_.data();
+      column_controls(col_idx, s.bits_.data(), ctl, s.work_.data(), fcol);
       if (trace != nullptr) {
-        trace->column_controls.emplace_back(s.ctl_.begin(),
-                                            s.ctl_.begin() +
-                                                static_cast<std::ptrdiff_t>(control_words()));
+        trace->column_controls.emplace_back(
+            ctl, ctl + static_cast<std::ptrdiff_t>(control_words()));
       }
       if (fcol != nullptr && !fcol->dead.empty()) {
         // Poison = every ADDRESS bit flipped (dead_crosspoint_poison):
         // bit-sliced, that is bit `line` of each of the m address slices.
-        visit_dead_crosspoint_hits(*fcol, s.ctl_.data(), [&](std::size_t line) {
+        visit_dead_crosspoint_hits(*fcol, ctl, [&](std::size_t line) {
           const std::size_t w = line >> 6;
           const std::uint64_t bit = std::uint64_t{1} << (line & 63);
           for (unsigned a = 0; a < m_; ++a) sl[a * W + w] ^= bit;
         });
       }
-      // The fused column pass — switch exchange under ctl_ plus the
+      // The fused column pass — switch exchange under ctl plus the
       // `group`-line unshuffle — applied to every slice with the SAME
       // control masks: O(q * N/64) masked word ops instead of O(N) moves.
       const std::size_t chunk = col.group / 2;
       for (unsigned slice = 0; slice < q; ++slice) {
-        ks_->slice_pass(sl + slice * W, n, s.ctl_.data(), chunk, tmp, sp + slice * W);
+        ks_->slice_pass(sl + slice * W, n, ctl, chunk, tmp, sp + slice * W);
       }
       std::swap(sl, sp);
     }
@@ -328,7 +356,8 @@ const std::uint64_t* CompiledBnb::route_sliced(RouteScratch& s, ControlTrace* tr
 
 CompiledBnb::Output CompiledBnb::route_impl(RouteScratch& s, ControlTrace* trace,
                                             std::span<const Word> payload_source,
-                                            const EngineFaults* faults) const {
+                                            const EngineFaults* faults,
+                                            ControlSchedule* capture) const {
   const std::size_t n = inputs();
   BNB_EXPECTS(s.prepared_for(*this));
   if (faults != nullptr && !faults->empty()) {
@@ -338,10 +367,18 @@ CompiledBnb::Output CompiledBnb::route_impl(RouteScratch& s, ControlTrace* trace
     trace->column_controls.clear();
     trace->column_controls.reserve(columns_.size());
   }
+  if (capture != nullptr) {
+    BNB_EXPECTS(capture->prepared_for(*this));
+    // A schedule must describe the CLEAN fabric: replaying it bypasses the
+    // per-column fault hooks, so capturing faulty controls would let fault
+    // semantics be served from a schedule (or a cache) later.
+    BNB_EXPECTS(faults == nullptr || faults->empty());
+    capture->solved_ = false;
+  }
 
   const std::uint64_t* state = ks_->wide_datapath
-                                   ? route_sliced(s, trace, faults)
-                                   : route_lines(s, trace, faults);
+                                   ? route_sliced(s, trace, faults, capture)
+                                   : route_lines(s, trace, faults, capture);
 
   bool self_routed = true;
   const bool payload_is_input_index = payload_source.empty();
@@ -354,6 +391,12 @@ CompiledBnb::Output CompiledBnb::route_impl(RouteScratch& s, ControlTrace* trace
         Word{address, payload_is_input_index ? std::uint64_t{input}
                                              : payload_source[input].payload};
     self_routed &= (address == line);
+  }
+  if (capture != nullptr) {
+    // The composed effect of the captured settings, read off the delivered
+    // state: input j landed on line dest_[j].
+    std::copy(s.dest_.begin(), s.dest_.end(), capture->line_of_input_.begin());
+    capture->solved_ = true;
   }
   return Output{{s.outputs_.data(), n}, {s.dest_.data(), n}, self_routed};
 }
@@ -369,7 +412,72 @@ CompiledBnb::Output CompiledBnb::route(const Permutation& pi, RouteScratch& scra
   for (std::size_t j = 0; j < n; ++j) {
     scratch.state_[j] = (std::uint64_t{j} << 32) | pi(j);
   }
+  if (trace == nullptr && (faults == nullptr || faults->empty())) {
+    // The clean hot path IS the solve/apply split: decide the switches into
+    // the scratch-owned schedule, then deliver from it.  route_impl already
+    // produced the delivered words while solving, so "apply" here is the
+    // mapping copy route_impl performs for the capture — output identical
+    // to the historic fused path by construction.
+    return route_impl(scratch, trace, {}, faults, &scratch.schedule_);
+  }
   return route_impl(scratch, trace, {}, faults);
+}
+
+void CompiledBnb::solve(const Permutation& pi, RouteScratch& scratch,
+                        ControlSchedule& schedule) const {
+  const std::size_t n = inputs();
+  BNB_EXPECTS(pi.size() == n);
+  scratch.prepare(*this);
+  schedule.prepare(*this);
+  for (std::size_t j = 0; j < n; ++j) {
+    scratch.state_[j] = (std::uint64_t{j} << 32) | pi(j);
+  }
+  (void)route_impl(scratch, nullptr, {}, nullptr, &schedule);
+}
+
+CompiledBnb::Output CompiledBnb::apply(const ControlSchedule& schedule,
+                                       const Permutation& pi,
+                                       RouteScratch& scratch) const {
+  const std::size_t n = inputs();
+  BNB_EXPECTS(pi.size() == n);
+  BNB_EXPECTS(schedule.prepared_for(*this) && schedule.solved());
+  scratch.prepare(*this);
+  // Replay: input j's word (address pi(j), payload j) appears on the line
+  // the solved switch settings compose to.  Addresses travel with their
+  // words, so the delivered address on that line is pi(j) — exactly the
+  // value the fused datapath would have moved there bit for bit.
+  bool self_routed = true;
+  const std::uint32_t* line_of = schedule.line_of_input_.data();
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint32_t line = line_of[j];
+    const std::uint32_t address = pi(j);
+    scratch.dest_[j] = line;
+    scratch.outputs_[line] = Word{address, std::uint64_t{j}};
+    self_routed &= (address == line);
+  }
+  return Output{{scratch.outputs_.data(), n}, {scratch.dest_.data(), n}, self_routed};
+}
+
+CompiledBnb::Output CompiledBnb::apply_words(const ControlSchedule& schedule,
+                                             std::span<const Word> words,
+                                             RouteScratch& scratch) const {
+  const std::size_t n = inputs();
+  BNB_EXPECTS(words.size() == n);
+  BNB_EXPECTS(schedule.prepared_for(*this) && schedule.solved());
+  scratch.prepare(*this);
+  // Preset switches do not look at addresses: word j lands wherever the
+  // schedule's composition sends input j, carrying whatever address field
+  // it arrived with.  self_routed then reports whether this payload's
+  // addresses agree with the schedule it crossed.
+  bool self_routed = true;
+  const std::uint32_t* line_of = schedule.line_of_input_.data();
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint32_t line = line_of[j];
+    scratch.dest_[j] = line;
+    scratch.outputs_[line] = Word{words[j].address, words[j].payload};
+    self_routed &= (words[j].address == line);
+  }
+  return Output{{scratch.outputs_.data(), n}, {scratch.dest_.data(), n}, self_routed};
 }
 
 CompiledBnb::Output CompiledBnb::route_words(std::span<const Word> words,

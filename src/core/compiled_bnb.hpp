@@ -32,6 +32,14 @@
 // of permutations.  Results are bit-identical to BnbNetwork::route_words
 // (tests/test_engine.cpp proves it exhaustively for m <= 3), on every
 // kernel tier (tests/test_kernels.cpp).
+//
+// The control plane and the datapath are split: solve() runs the arbiter
+// trees once and materializes a ControlSchedule (every column's packed
+// controls plus their composed input->line mapping); apply() replays a
+// schedule against any payload in O(N) with no arbiter work.  route() is
+// exactly solve+apply on the clean path, so a repeated permutation served
+// from a ScheduleCache (core/schedule_cache.hpp) skips the entire control
+// solve; fault/trace routes take the fused path and never touch schedules.
 #pragma once
 
 #include <cstdint>
@@ -49,6 +57,60 @@
 namespace bnb {
 
 class CompiledBnb;
+
+/// A solved control plane: the packed switch settings of every column of
+/// one plan for ONE permutation, plus the composed delivery mapping those
+/// settings induce.  This is the software analogue of a fabric whose
+/// switches are already set: solve() materializes it once (running the
+/// kernel datapath to both decide every arbiter and record where each
+/// input lands), and apply() replays it against any payload without
+/// touching an arbiter tree again.  Schedules are plain data — safe to
+/// share read-only across threads, cacheable (core/schedule_cache.hpp),
+/// and replayable column-by-column (StagedBnbRouter::step_replay).
+class ControlSchedule {
+ public:
+  ControlSchedule() = default;
+
+  /// Size the schedule for `plan`.  Idempotent for the same shape.
+  void prepare(const CompiledBnb& plan);
+
+  /// True when this schedule's buffers fit `plan` (same m, same packed
+  /// control width).  Says nothing about whether solve() has run.
+  [[nodiscard]] bool prepared_for(const CompiledBnb& plan) const noexcept;
+
+  [[nodiscard]] unsigned m() const noexcept { return m_; }
+  /// True once solve() has populated the controls and the mapping.
+  [[nodiscard]] bool solved() const noexcept { return solved_; }
+
+  /// Packed controls of `column` (control_words() words): bit t of word w
+  /// is the setting of switch 64*w + t, same layout as ControlTrace.
+  [[nodiscard]] const std::uint64_t* column(std::size_t column) const noexcept {
+    return ctl_.data() + column * control_words_;
+  }
+  [[nodiscard]] std::size_t columns() const noexcept { return columns_; }
+  [[nodiscard]] std::size_t control_words() const noexcept { return control_words_; }
+
+  /// The composed effect of the stored settings: the word entering input j
+  /// is delivered on output line line_of_input()[j].
+  [[nodiscard]] std::span<const std::uint32_t> line_of_input() const noexcept {
+    return line_of_input_;
+  }
+
+  /// Heap bytes a prepared schedule of this shape occupies (cache sizing).
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept {
+    return ctl_.size() * sizeof(std::uint64_t) +
+           line_of_input_.size() * sizeof(std::uint32_t);
+  }
+
+ private:
+  friend class CompiledBnb;
+  unsigned m_ = 0;  ///< 0 = unprepared
+  bool solved_ = false;
+  std::size_t columns_ = 0;
+  std::size_t control_words_ = 0;
+  std::vector<std::uint64_t> ctl_;  ///< columns_ * control_words_, column-major
+  std::vector<std::uint32_t> line_of_input_;
+};
 
 /// Reusable routing workspace.  prepare() (or the first route with this
 /// scratch) performs every allocation; after that, routing through any plan
@@ -87,6 +149,7 @@ class RouteScratch {
   std::vector<std::uint64_t> slice_tmp_;     ///< slice_pass staging scratch
   std::vector<Word> outputs_;
   std::vector<std::uint32_t> dest_;
+  ControlSchedule schedule_;  ///< route() = solve into here + apply
 };
 
 /// Routed batch: destinations flattened permutation-major.
@@ -167,13 +230,46 @@ class CompiledBnb {
   /// Route a permutation: input j carries address pi(j), payload j.
   /// Zero allocations once `scratch` is prepared (unless `trace` is given).
   ///
-  /// A non-null `faults` overlays the engine with injected hardware faults
+  /// The clean path is an explicit solve+apply: solve() materializes the
+  /// permutation's ControlSchedule in the scratch and apply() delivers from
+  /// it — bit-identical to the historic fused route (tests prove it).  A
+  /// non-null `faults` overlays the engine with injected hardware faults
   /// (compiled from a FaultModel by fault/injection.hpp): per-column mask
   /// words patch the packed controls/flags/bits, dead crosspoints corrupt
-  /// traversing words.  The clean path pays one pointer test per column.
+  /// traversing words.  Fault and trace routes take the fused engine path —
+  /// their semantics are never served from (or recorded into) a schedule.
   [[nodiscard]] Output route(const Permutation& pi, RouteScratch& scratch,
                              ControlTrace* trace = nullptr,
                              const EngineFaults* faults = nullptr) const;
+
+  // -- solve/apply split (the streaming control plane) --------------------
+
+  /// Decide every switch of the network for `pi` and materialize the
+  /// result: all m(m+1)/2 columns' packed controls plus the composed
+  /// input->output-line mapping they induce.  Runs the full kernel datapath
+  /// once (arbiter trees and payload movement); afterwards the schedule
+  /// replays without any arbiter work.  Clean fabric only — fault overlays
+  /// must go through route(), which never touches a schedule.
+  /// Zero allocations once `scratch` and `schedule` are prepared.
+  void solve(const Permutation& pi, RouteScratch& scratch,
+             ControlSchedule& schedule) const;
+
+  /// Replay a solved schedule for the permutation it was solved for:
+  /// delivers input j (address pi(j), payload j) on line
+  /// schedule.line_of_input()[j].  Bit-identical to route(pi) when
+  /// `schedule` was solved for `pi` on any kernel tier (controls are
+  /// tier-invariant).  O(N) — no arbiter trees, no column passes.
+  [[nodiscard]] Output apply(const ControlSchedule& schedule, const Permutation& pi,
+                             RouteScratch& scratch) const;
+
+  /// Replay a solved schedule against arbitrary payload words: word j
+  /// lands on line schedule.line_of_input()[j] REGARDLESS of its address
+  /// field — exactly what a hardware fabric with preset switches does to
+  /// whatever stream crosses it.  Addresses are delivered as carried, so
+  /// self_routed reports whether this payload matches the schedule.
+  [[nodiscard]] Output apply_words(const ControlSchedule& schedule,
+                                   std::span<const Word> words,
+                                   RouteScratch& scratch) const;
 
   /// Route explicit words.  The public span entry validates that the
   /// addresses form a permutation of 0..N-1 (the route(Permutation) path
@@ -227,14 +323,19 @@ class CompiledBnb {
  private:
   [[nodiscard]] Output route_impl(RouteScratch& scratch, ControlTrace* trace,
                                   std::span<const Word> payload_source,
-                                  const EngineFaults* faults) const;
+                                  const EngineFaults* faults,
+                                  ControlSchedule* capture = nullptr) const;
   /// Both return a pointer to the final line-state array (state_ or spare_).
+  /// A non-null `capture` receives every column's packed controls (flat,
+  /// allocation-free) as they are decided.
   [[nodiscard]] const std::uint64_t* route_lines(RouteScratch& scratch,
                                                  ControlTrace* trace,
-                                                 const EngineFaults* faults) const;
+                                                 const EngineFaults* faults,
+                                                 ControlSchedule* capture) const;
   [[nodiscard]] const std::uint64_t* route_sliced(RouteScratch& scratch,
                                                   ControlTrace* trace,
-                                                  const EngineFaults* faults) const;
+                                                  const EngineFaults* faults,
+                                                  ControlSchedule* capture) const;
 
   unsigned m_;
   const kernels::KernelSet* ks_;

@@ -1,0 +1,131 @@
+#include "core/schedule_cache.hpp"
+
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace bnb {
+namespace {
+
+// splitmix64 finalizer: full-avalanche 64-bit mix.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+PermutationDigest digest_permutation(const Permutation& pi) noexcept {
+  const auto image = pi.image();
+  const std::size_t n = image.size();
+  // Two independently-seeded lanes, each mixing every image element packed
+  // two-at-a-time into 64-bit chunks; the lane seeds differ so lo/hi are
+  // uncorrelated and the pair behaves as one 128-bit fingerprint.
+  std::uint64_t lo = mix64(0x243F6A8885A308D3ULL ^ n);
+  std::uint64_t hi = mix64(0x452821E638D01377ULL ^ (n * 0x9E3779B97F4A7C15ULL));
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    const std::uint64_t chunk =
+        static_cast<std::uint64_t>(image[j]) | (static_cast<std::uint64_t>(image[j + 1]) << 32);
+    lo = mix64(lo ^ chunk);
+    hi = mix64(hi ^ (chunk + 0x9E3779B97F4A7C15ULL));
+  }
+  if (j < n) {
+    const auto tail = static_cast<std::uint64_t>(image[j]);
+    lo = mix64(lo ^ (tail | 0x8000000000000000ULL));
+    hi = mix64(hi ^ (tail + 0xD1B54A32D192ED03ULL));
+  }
+  return PermutationDigest{lo, hi};
+}
+
+ScheduleCache::ScheduleCache(std::size_t capacity, std::size_t shards) : capacity_(capacity) {
+  BNB_EXPECTS(capacity >= 1);
+  BNB_EXPECTS(shards >= 1 && shards <= 256);
+  if (shards > capacity) shards = capacity;  // never hand a shard zero slots
+  shard_capacity_ = (capacity + shards - 1) / shards;
+  shards_ = std::vector<Shard>(shards);
+}
+
+CompiledBnb::Output ScheduleCache::route(const CompiledBnb& plan, const Permutation& pi,
+                                         RouteScratch& scratch, ControlTrace* trace,
+                                         const EngineFaults* faults) {
+  if (trace != nullptr || (faults != nullptr && !faults->empty())) {
+    record_bypass();
+    return plan.route(pi, scratch, trace, faults);
+  }
+  const PermutationDigest digest = digest_permutation(pi);
+  if (auto cached = find(digest)) {
+    BNB_EXPECTS(cached->prepared_for(plan));
+    return plan.apply(*cached, pi, scratch);
+  }
+  auto schedule = std::make_shared<ControlSchedule>();
+  plan.solve(pi, scratch, *schedule);
+  CompiledBnb::Output out = plan.apply(*schedule, pi, scratch);
+  insert(digest, std::move(schedule));
+  return out;
+}
+
+std::shared_ptr<const ControlSchedule> ScheduleCache::find(const PermutationDigest& digest) {
+  Shard& shard = shard_for(digest);
+  std::scoped_lock lock(shard.mu);
+  const auto it = shard.index.find(digest);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // promote to MRU
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->schedule;
+}
+
+void ScheduleCache::insert(const PermutationDigest& digest,
+                           std::shared_ptr<const ControlSchedule> schedule) {
+  BNB_EXPECTS(schedule != nullptr && schedule->solved());
+  Shard& shard = shard_for(digest);
+  std::scoped_lock lock(shard.mu);
+  if (const auto it = shard.index.find(digest); it != shard.index.end()) {
+    it->second->schedule = std::move(schedule);  // racing miss: keep the newest solve
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  while (shard.lru.size() >= shard_capacity_) {
+    shard.index.erase(shard.lru.back().digest);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.lru.push_front(Entry{digest, std::move(schedule)});
+  shard.index.emplace(digest, shard.lru.begin());
+}
+
+ScheduleCacheStats ScheduleCache::stats() const {
+  ScheduleCacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.bypasses = bypasses_.load(std::memory_order_relaxed);
+  out.entries = size();
+  return out;
+}
+
+std::size_t ScheduleCache::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::scoped_lock lock(shard.mu);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+void ScheduleCache::clear() {
+  for (Shard& shard : shards_) {
+    std::scoped_lock lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+  }
+}
+
+}  // namespace bnb

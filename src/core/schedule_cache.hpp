@@ -1,0 +1,134 @@
+// Sharded, thread-safe LRU cache of solved ControlSchedules.
+//
+// The paper's fabric re-arbitrates every permutation from scratch; real
+// traffic repeats.  A ScheduleCache keys solved schedules by a strong
+// 128-bit permutation digest so a repeated permutation skips the entire
+// control solve (arbiter trees, column passes) and pays only the O(N)
+// schedule apply.  Design:
+//
+//   * SHARDED: the digest picks one of `shards` independent LRU shards,
+//     each with its own mutex, so concurrent hit/miss traffic from a
+//     worker pool does not serialize on one lock.
+//   * LRU per shard: capacity is divided evenly across shards; inserting
+//     into a full shard evicts its least-recently-used entry (counted).
+//   * Entries are shared_ptr<const ControlSchedule>: a hit is usable
+//     lock-free after lookup even while other threads evict, and schedules
+//     are tier-invariant (controls are proven bit-identical across kernel
+//     tiers), so plans on different tiers may share one cache.
+//   * FAULT/TRACE BYPASS: route() forwards any call with a ControlTrace or
+//     a non-empty EngineFaults overlay straight to the fused engine path —
+//     fault semantics are never served from, or recorded into, the cache
+//     (counted in `bypasses`).
+//
+// The digest is 128 bits of splitmix-style mixing over (size, image); the
+// cache trusts it without a full image compare — a false hit needs a
+// 2^-128-scale collision.  Hit/miss/eviction/bypass counters are relaxed
+// atomics: exact under quiescence, approximate during concurrent traffic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/compiled_bnb.hpp"
+#include "perm/permutation.hpp"
+
+namespace bnb {
+
+/// Strong 128-bit permutation fingerprint (mixes the size and every image
+/// element); the ScheduleCache key.
+struct PermutationDigest {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const PermutationDigest&, const PermutationDigest&) = default;
+};
+
+[[nodiscard]] PermutationDigest digest_permutation(const Permutation& pi) noexcept;
+
+/// Counter snapshot; `entries` is the live entry count across all shards.
+struct ScheduleCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t bypasses = 0;
+  std::size_t entries = 0;
+};
+
+class ScheduleCache {
+ public:
+  /// Cache at most `capacity` schedules, spread over `shards` LRU shards
+  /// (each shard holds ceil(capacity / shards)).  Requires capacity >= 1
+  /// and 1 <= shards <= 256; one shard gives a single global LRU order
+  /// (deterministic eviction, useful for tests).
+  explicit ScheduleCache(std::size_t capacity, std::size_t shards = 8);
+
+  ScheduleCache(const ScheduleCache&) = delete;
+  ScheduleCache& operator=(const ScheduleCache&) = delete;
+
+  /// The cache-aware routing front door: a hit replays the cached schedule
+  /// (no arbiter work), a miss solves, routes, and caches the result.  A
+  /// non-null `trace` or non-empty `faults` bypasses the cache entirely and
+  /// takes the fused CompiledBnb::route path.  Output is bit-identical to
+  /// plan.route(pi, scratch, trace, faults) in every case.  Steady-state
+  /// hits allocate nothing; misses allocate the new schedule.
+  [[nodiscard]] CompiledBnb::Output route(const CompiledBnb& plan, const Permutation& pi,
+                                          RouteScratch& scratch,
+                                          ControlTrace* trace = nullptr,
+                                          const EngineFaults* faults = nullptr);
+
+  /// Look up a digest: the schedule (promoted to MRU), or nullptr.
+  /// Counts a hit or a miss.
+  [[nodiscard]] std::shared_ptr<const ControlSchedule> find(const PermutationDigest& digest);
+
+  /// Insert (or refresh) a solved schedule, evicting the shard's LRU tail
+  /// when it is full.  Does not touch the hit/miss counters.
+  void insert(const PermutationDigest& digest,
+              std::shared_ptr<const ControlSchedule> schedule);
+
+  /// Count one fault/trace bypass (route() calls this automatically).
+  void record_bypass() noexcept {
+    bypasses_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] ScheduleCacheStats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Drop every entry (counters are kept).
+  void clear();
+
+ private:
+  struct DigestHash {
+    std::size_t operator()(const PermutationDigest& d) const noexcept {
+      return static_cast<std::size_t>(d.lo ^ (d.hi * 0x9E3779B97F4A7C15ULL));
+    }
+  };
+  struct Entry {
+    PermutationDigest digest;
+    std::shared_ptr<const ControlSchedule> schedule;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<PermutationDigest, std::list<Entry>::iterator, DigestHash> index;
+  };
+
+  [[nodiscard]] Shard& shard_for(const PermutationDigest& d) {
+    return shards_[static_cast<std::size_t>(d.hi) % shards_.size()];
+  }
+
+  std::size_t capacity_;
+  std::size_t shard_capacity_;
+  std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> bypasses_{0};
+};
+
+}  // namespace bnb

@@ -60,6 +60,12 @@ class PipelinedFabric {
   /// Issue one permutation per cycle, step all in-flight jobs each cycle,
   /// audit every delivery (addresses AND payload provenance).
   ///
+  /// Clean BNB streams (no injection window) run split-phase: each job's
+  /// control schedule is solved once at issue and its columns are then
+  /// replayed through preset switches (StagedBnbRouter::step_replay) —
+  /// functionally identical to per-column arbitration, proven by the
+  /// equivalence tests.  Any injection window keeps the arbiter path.
+  ///
   /// A non-null `inject` damages the fabric for the window's cycles
   /// (requires Kind::kBnb).  A delivery that fails the audit is counted in
   /// misroutes_caught and its permutation reissued up to `max_retries`

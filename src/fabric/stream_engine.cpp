@@ -1,0 +1,250 @@
+#include "fabric/stream_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace bnb {
+namespace {
+
+/// Single-producer single-consumer ring of solved schedules.  Monotonic
+/// head/tail counters masked into a power-of-two slot array; the producer
+/// publishes with a release store of head_, the consumer with a release
+/// store of tail_ — the classic two-index SPSC queue, wait-free on both
+/// sides (callers spin with yield on full/empty).
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t pow2 = 2;
+    while (pow2 < capacity) pow2 <<= 1;
+    mask_ = pow2 - 1;
+    slots_.resize(pow2);
+  }
+
+  [[nodiscard]] bool try_push(T&& value) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head - tail_.load(std::memory_order_acquire) > mask_) return false;
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  [[nodiscard]] bool try_pop(T& out) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return false;
+    out = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::uint64_t mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+/// One solved permutation in flight between the solver and applier stages.
+struct StreamSlot {
+  std::size_t index = 0;
+  std::shared_ptr<const ControlSchedule> schedule;
+};
+
+/// First-error-wins capture shared by the two stages (route_batch semantics).
+struct ErrorLatch {
+  std::mutex mu;
+  std::exception_ptr error;
+  std::size_t index = 0;
+
+  void record(std::size_t at, std::atomic<bool>& stop) {
+    {
+      std::scoped_lock lock(mu);
+      if (!error) {
+        error = std::current_exception();
+        index = at;
+      }
+    }
+    stop.store(true, std::memory_order_release);
+  }
+
+  [[noreturn]] void rethrow(std::size_t total) const {
+    std::string what = "stream_engine: permutation " + std::to_string(index) + " of " +
+                       std::to_string(total) + " threw";
+    try {
+      std::rethrow_exception(error);
+    } catch (const std::exception& e) {
+      what += ": ";
+      what += e.what();
+    } catch (...) {
+      // Non-std exception: the index and cause() still identify it.
+    }
+    throw batch_route_error(index, error, what);
+  }
+};
+
+}  // namespace
+
+StreamEngine::StreamEngine(const CompiledBnb& plan, Options options)
+    : plan_(plan),
+      threads_(options.threads),
+      ring_depth_(std::max<std::size_t>(options.ring_depth, 2)),
+      cache_(options.cache) {
+  BNB_EXPECTS(options.threads <= 256);
+  if (threads_ == 0) {
+    threads_ = std::thread::hardware_concurrency() > 1 ? 2 : 1;
+  }
+}
+
+StreamEngine::Result StreamEngine::run(std::span<const Permutation> perms) const {
+  return threads_ >= 2 ? run_pipelined(perms) : run_inline(perms);
+}
+
+StreamEngine::Result StreamEngine::run_inline(std::span<const Permutation> perms) const {
+  const std::size_t n = plan_.inputs();
+  Result result;
+  result.stats.permutations = perms.size();
+  result.stats.threads_used = 1;
+  result.stats.pipelined = false;
+  result.dest.resize(perms.size() * n);
+
+  RouteScratch scratch;
+  ControlSchedule local;  // reused across cold solves when no cache is attached
+  bool all_ok = true;
+  for (std::size_t i = 0; i < perms.size(); ++i) {
+    try {
+      CompiledBnb::Output out{};
+      if (cache_ != nullptr) {
+        const PermutationDigest digest = digest_permutation(perms[i]);
+        std::shared_ptr<const ControlSchedule> schedule = cache_->find(digest);
+        if (schedule != nullptr) {
+          ++result.stats.cache_hits;
+        } else {
+          auto solved = std::make_shared<ControlSchedule>();
+          plan_.solve(perms[i], scratch, *solved);
+          ++result.stats.solved;
+          cache_->insert(digest, solved);
+          schedule = std::move(solved);
+        }
+        out = plan_.apply(*schedule, perms[i], scratch);
+      } else {
+        plan_.solve(perms[i], scratch, local);
+        ++result.stats.solved;
+        out = plan_.apply(local, perms[i], scratch);
+      }
+      all_ok &= out.self_routed;
+      std::copy(out.dest.begin(), out.dest.end(), result.dest.begin() + i * n);
+    } catch (...) {
+      ErrorLatch latch;
+      std::atomic<bool> unused{false};
+      latch.record(i, unused);
+      latch.rethrow(perms.size());
+    }
+  }
+  result.stats.all_self_routed = all_ok;
+  return result;
+}
+
+StreamEngine::Result StreamEngine::run_pipelined(std::span<const Permutation> perms) const {
+  const std::size_t n = plan_.inputs();
+  Result result;
+  result.stats.permutations = perms.size();
+  result.stats.threads_used = 2;  // one solver + one applier, regardless of asked-for extras
+  result.stats.pipelined = true;
+  result.dest.resize(perms.size() * n);
+  if (perms.empty()) {
+    result.stats.all_self_routed = true;
+    return result;
+  }
+
+  SpscRing<StreamSlot> ring(ring_depth_);
+  std::atomic<bool> stop{false};
+  ErrorLatch latch;
+  std::atomic<std::uint64_t> solver_solved{0};
+  std::atomic<std::uint64_t> solver_hits{0};
+
+  // SOLVER stage (spawned): control-solve permutation k+1 while the applier
+  // is still delivering permutation k.
+  std::thread solver([&] {
+    RouteScratch scratch;
+    std::uint64_t solved = 0;
+    std::uint64_t hits = 0;
+    for (std::size_t i = 0; i < perms.size(); ++i) {
+      if (stop.load(std::memory_order_acquire)) break;
+      StreamSlot slot;
+      slot.index = i;
+      try {
+        if (cache_ != nullptr) {
+          const PermutationDigest digest = digest_permutation(perms[i]);
+          slot.schedule = cache_->find(digest);
+          if (slot.schedule != nullptr) {
+            ++hits;
+          } else {
+            auto fresh = std::make_shared<ControlSchedule>();
+            plan_.solve(perms[i], scratch, *fresh);
+            ++solved;
+            cache_->insert(digest, fresh);
+            slot.schedule = std::move(fresh);
+          }
+        } else {
+          auto fresh = std::make_shared<ControlSchedule>();
+          plan_.solve(perms[i], scratch, *fresh);
+          ++solved;
+          slot.schedule = std::move(fresh);
+        }
+      } catch (...) {
+        latch.record(i, stop);
+        break;
+      }
+      while (!ring.try_push(std::move(slot))) {
+        if (stop.load(std::memory_order_acquire)) {
+          solver_solved.store(solved, std::memory_order_relaxed);
+          solver_hits.store(hits, std::memory_order_relaxed);
+          return;
+        }
+        std::this_thread::yield();
+      }
+    }
+    solver_solved.store(solved, std::memory_order_relaxed);
+    solver_hits.store(hits, std::memory_order_relaxed);
+  });
+
+  // APPLIER stage (calling thread): replay solved schedules in stream order.
+  RouteScratch scratch;
+  bool all_ok = true;
+  std::size_t applied = 0;
+  while (applied < perms.size()) {
+    StreamSlot slot;
+    if (!ring.try_pop(slot)) {
+      if (stop.load(std::memory_order_acquire)) break;
+      std::this_thread::yield();
+      continue;
+    }
+    try {
+      const CompiledBnb::Output out = plan_.apply(*slot.schedule, perms[slot.index], scratch);
+      all_ok &= out.self_routed;
+      std::copy(out.dest.begin(), out.dest.end(), result.dest.begin() + slot.index * n);
+    } catch (...) {
+      latch.record(slot.index, stop);
+      break;
+    }
+    ++applied;
+  }
+  stop.store(true, std::memory_order_release);  // release a solver blocked on a full ring
+  solver.join();
+
+  if (latch.error) latch.rethrow(perms.size());
+  result.stats.solved = solver_solved.load(std::memory_order_relaxed);
+  result.stats.cache_hits = solver_hits.load(std::memory_order_relaxed);
+  result.stats.all_self_routed = all_ok;
+  return result;
+}
+
+}  // namespace bnb

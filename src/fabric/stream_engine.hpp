@@ -1,0 +1,90 @@
+// Stage-overlapped streaming front end for the compiled engine.
+//
+// route_batch() parallelizes across whole permutations; StreamEngine instead
+// pipelines WITHIN the route the way the paper's fabric does (Eq. 9 assumes
+// the switches for frame k+1 settle while frame k drains): a SOLVER role
+// runs the arbiter-tree control solve for permutation k+1 while an APPLIER
+// role replays the already-solved schedule of permutation k, the two
+// connected by a lock-free SPSC ring buffer of solved schedules.
+//
+//   * threads = 2 (or Options::threads >= 2): the solver runs on a spawned
+//     worker, the applier on the calling thread; throughput approaches the
+//     slower of the two stages instead of their sum.
+//   * threads = 1 (or a 1-core host with threads=0 auto): graceful
+//     degeneration to an in-order solve+apply loop on the calling thread —
+//     same results, no ring, no spawn.
+//   * Options::cache: an optional ScheduleCache consulted before solving;
+//     hits skip the solve stage entirely (repeated traffic streams at
+//     apply-only speed) and misses populate the cache.
+//   * Errors: first-error-wins exactly like route_batch — the first stage
+//     to throw records its permutation index, both stages drain, and the
+//     error is rethrown on the calling thread as batch_route_error.
+//
+// Results are bit-identical to CompiledBnb::route_batch on the same span
+// (tests/test_stream_engine.cpp proves it), and an engine is immutable
+// after construction: run() keeps all mutable state on its own stack, so
+// one StreamEngine may serve concurrent run() calls.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/compiled_bnb.hpp"
+#include "core/schedule_cache.hpp"
+#include "perm/permutation.hpp"
+
+namespace bnb {
+
+class StreamEngine {
+ public:
+  struct Options {
+    /// 0 = auto (2 when the host has more than one hardware thread, else 1);
+    /// 1 = in-order inline loop; >= 2 = solver + applier pipeline (always
+    /// exactly one spawned worker — the pipeline has two stages).
+    unsigned threads = 0;
+    /// SPSC ring capacity in solved schedules (rounded up to a power of
+    /// two, min 2).  Depth bounds how far the solver may run ahead.
+    std::size_t ring_depth = 8;
+    /// Optional schedule cache consulted before each solve; nullptr = every
+    /// permutation is solved cold.  Shared across engines/threads is fine.
+    ScheduleCache* cache = nullptr;
+  };
+
+  struct Stats {
+    std::uint64_t permutations = 0;
+    std::uint64_t solved = 0;       ///< cold arbiter-tree solves run
+    std::uint64_t cache_hits = 0;   ///< schedules served from Options::cache
+    unsigned threads_used = 1;
+    bool pipelined = false;         ///< true when solver/applier overlapped
+    bool all_self_routed = false;
+  };
+
+  /// dest[perm * N + input] = output line, same layout as BatchResult.
+  struct Result {
+    std::vector<std::uint32_t> dest;
+    Stats stats;
+  };
+
+  explicit StreamEngine(const CompiledBnb& plan) : StreamEngine(plan, Options()) {}
+  StreamEngine(const CompiledBnb& plan, Options options);
+
+  /// Route the whole stream; throws batch_route_error naming the first
+  /// failing permutation index (results are then unspecified).
+  [[nodiscard]] Result run(std::span<const Permutation> perms) const;
+
+  [[nodiscard]] const CompiledBnb& plan() const noexcept { return plan_; }
+  [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+
+ private:
+  Result run_inline(std::span<const Permutation> perms) const;
+  Result run_pipelined(std::span<const Permutation> perms) const;
+
+  const CompiledBnb& plan_;
+  unsigned threads_;
+  std::size_t ring_depth_;
+  ScheduleCache* cache_;
+};
+
+}  // namespace bnb

@@ -1,5 +1,5 @@
 // BENCH_routing.json is the repo's recorded perf baseline; docs/PERF.md
-// documents its schema (bnb.bench_routing.v2).  This test parses the
+// documents its schema (bnb.bench_routing.v3).  This test parses the
 // checked-in file with a minimal JSON reader and validates the schema, so
 // a bench_engine change that drifts the emitted shape fails CI instead of
 // silently invalidating the regression baseline.
@@ -222,7 +222,7 @@ TEST(BenchRoutingJson, MatchesTheDocumentedSchema) {
 
   // Header.
   ASSERT_TRUE(field(top, "schema").is_string());
-  EXPECT_EQ(field(top, "schema").str(), "bnb.bench_routing.v2");
+  EXPECT_EQ(field(top, "schema").str(), "bnb.bench_routing.v3");
   ASSERT_TRUE(field(top, "generated_by").is_string());
   ASSERT_TRUE(field(top, "hardware_threads").is_number());
   const double hardware_threads = field(top, "hardware_threads").num();
@@ -314,7 +314,9 @@ TEST(BenchRoutingJson, MatchesTheDocumentedSchema) {
   EXPECT_GE(field(batch, "permutations").num(), 1.0);
   ASSERT_TRUE(field(batch, "results").is_array());
   const JsonArray& results = field(batch, "results").array();
-  ASSERT_FALSE(results.empty());
+  // v3: bench_engine always times threads=2 (flagged oversubscribed on a
+  // 1-core host), so the checked-in file always keeps a scaling curve.
+  ASSERT_GE(results.size(), 2U) << "batch section must hold a scaling curve";
   double prev_threads = 0;
   double base_ns = 0;
   for (const auto& row_value : results) {
@@ -339,7 +341,69 @@ TEST(BenchRoutingJson, MatchesTheDocumentedSchema) {
     } else {
       EXPECT_NEAR(field(row, "scaling").num(), base_ns / ns, 0.05);
     }
+    EXPECT_NEAR(field(row, "perms_per_sec").num(), 1e9 / ns,
+                1e9 / ns * 0.01)
+        << "perms_per_sec must be the double 1e9 / ns_per_perm";
   }
+
+  // cache (v3): ScheduleCache cold-vs-warm economics.  warm_speedup is the
+  // recorded repeated-traffic payoff and must be consistent with the two
+  // timings; the recorded run itself must be hit-dominated and bypass-free.
+  ASSERT_TRUE(field(top, "cache").is_object());
+  const JsonObject& cache = field(top, "cache").object();
+  for (const char* key : {"m", "capacity", "pool", "cold_ns_per_perm",
+                          "warm_ns_per_perm", "warm_speedup", "hits", "misses",
+                          "evictions", "bypasses"}) {
+    ASSERT_TRUE(field(cache, key).is_number()) << key;
+  }
+  const double cold_ns = field(cache, "cold_ns_per_perm").num();
+  const double warm_ns = field(cache, "warm_ns_per_perm").num();
+  EXPECT_GT(cold_ns, 0.0);
+  EXPECT_GT(warm_ns, 0.0);
+  EXPECT_NEAR(field(cache, "warm_speedup").num(), cold_ns / warm_ns, 0.05)
+      << "warm_speedup inconsistent with its timings";
+  EXPECT_GE(field(cache, "warm_speedup").num(), 1.0)
+      << "a cache hit can never be slower than the cold solve it skips";
+  EXPECT_GE(field(cache, "capacity").num(), field(cache, "pool").num())
+      << "the recorded warm run must fit its pool in the cache";
+  EXPECT_GT(field(cache, "hits").num(), field(cache, "misses").num())
+      << "the recorded warm run is hit-dominated by construction";
+  EXPECT_EQ(field(cache, "bypasses").num(), 0.0)
+      << "no fault/trace traffic in the recorded run";
+
+  // stream (v3): StreamEngine rows {threads, pipelined, cached,
+  // ns_per_perm, perms_per_sec, oversubscribed}.
+  ASSERT_TRUE(field(top, "stream").is_object());
+  const JsonObject& stream = field(top, "stream").object();
+  ASSERT_TRUE(field(stream, "m").is_number());
+  ASSERT_TRUE(field(stream, "permutations").is_number());
+  EXPECT_GE(field(stream, "permutations").num(), 1.0);
+  ASSERT_TRUE(field(stream, "results").is_array());
+  const JsonArray& stream_rows = field(stream, "results").array();
+  ASSERT_GE(stream_rows.size(), 2U)
+      << "stream section must compare at least inline vs pipelined";
+  bool saw_pipelined = false;
+  bool saw_cached = false;
+  for (const auto& row_value : stream_rows) {
+    ASSERT_TRUE(row_value->is_object());
+    const JsonObject& row = row_value->object();
+    for (const char* key : {"threads", "ns_per_perm", "perms_per_sec"}) {
+      ASSERT_TRUE(field(row, key).is_number()) << key;
+    }
+    for (const char* key : {"pipelined", "cached", "oversubscribed"}) {
+      ASSERT_TRUE(field(row, key).is_bool()) << key;
+    }
+    const double ns = field(row, "ns_per_perm").num();
+    EXPECT_GT(ns, 0.0);
+    EXPECT_NEAR(field(row, "perms_per_sec").num(), 1e9 / ns, 1e9 / ns * 0.01);
+    saw_pipelined |= field(row, "pipelined").boolean();
+    saw_cached |= field(row, "cached").boolean();
+    if (!field(row, "oversubscribed").boolean()) {
+      EXPECT_LE(field(row, "threads").num(), hardware_threads);
+    }
+  }
+  EXPECT_TRUE(saw_pipelined) << "stream section must time the pipelined engine";
+  EXPECT_TRUE(saw_cached) << "stream section must time the cached engine";
 }
 
 }  // namespace

@@ -14,6 +14,8 @@
 #include "core/bit_pack.hpp"
 #include "core/bnb_network.hpp"
 #include "core/compiled_bnb.hpp"
+#include "core/kernels/kernel_set.hpp"
+#include "core/schedule_cache.hpp"
 #include "core/splitter.hpp"
 #include "fabric/staged_router.hpp"
 #include "perm/generators.hpp"
@@ -352,6 +354,206 @@ TEST(CompiledBnb, ColumnTableShape) {
         EXPECT_EQ(cols[idx].group, i + 1 < m ? 1U << (m - i) : 2U);
       }
     }
+  }
+}
+
+// ---- solve/apply split -------------------------------------------------
+
+/// solve() + apply() must equal the fused route() bit for bit, and the
+/// materialized schedule's packed per-column controls must equal what
+/// ControlTrace observes on the arbiter path.
+void expect_solve_apply_equivalence(const CompiledBnb& engine, const Permutation& pi,
+                                    const char* label) {
+  RouteScratch route_scratch;
+  ControlTrace trace;
+  const auto want = engine.route(pi, route_scratch, &trace);
+
+  RouteScratch scratch;
+  ControlSchedule schedule;
+  engine.solve(pi, scratch, schedule);
+  ASSERT_TRUE(schedule.solved()) << label;
+  ASSERT_TRUE(schedule.prepared_for(engine)) << label;
+  ASSERT_EQ(schedule.columns(), engine.columns().size()) << label;
+
+  ASSERT_EQ(trace.column_controls.size(), schedule.columns()) << label;
+  for (std::size_t c = 0; c < schedule.columns(); ++c) {
+    ASSERT_EQ(trace.column_controls[c].size(), schedule.control_words()) << label;
+    for (std::size_t w = 0; w < schedule.control_words(); ++w) {
+      ASSERT_EQ(schedule.column(c)[w], trace.column_controls[c][w])
+          << label << ": schedule controls diverge from the arbiter path at column "
+          << c << " word " << w;
+    }
+  }
+
+  const auto got = engine.apply(schedule, pi, scratch);
+  ASSERT_EQ(got.self_routed, want.self_routed) << label;
+  for (std::size_t j = 0; j < engine.inputs(); ++j) {
+    ASSERT_EQ(got.dest[j], want.dest[j]) << label << " dest[" << j << "]";
+    ASSERT_EQ(got.outputs[j], want.outputs[j]) << label << " line " << j;
+  }
+}
+
+TEST(CompiledBnb, SolveApplyMatchesRouteExhaustiveSmallM) {
+  for (unsigned m = 1; m <= 3; ++m) {
+    const CompiledBnb engine(m);
+    Permutation pi(std::size_t{1} << m);
+    do {
+      expect_solve_apply_equivalence(engine, pi, "exhaustive");
+    } while (pi.next_lexicographic());
+  }
+}
+
+TEST(CompiledBnb, SolveApplyMatchesRouteRandomizedAcrossTiersUpToM12) {
+  Rng rng(0x501E);
+  for (const unsigned m : {4U, 6U, 8U, 12U}) {
+    const Permutation pi = random_perm(std::size_t{1} << m, rng);
+    for (const kernels::KernelSet* set : kernels::supported_kernel_sets()) {
+      const CompiledBnb engine(m, set);
+      expect_solve_apply_equivalence(engine, pi, set->name);
+    }
+  }
+}
+
+TEST(CompiledBnb, ScheduleIsTierInvariant) {
+  // A schedule solved on one tier applies on a plan pinned to any other:
+  // the control plane is tier-independent even though the datapaths differ.
+  Rng rng(0x501F);
+  const unsigned m = 8;
+  const Permutation pi = random_perm(std::size_t{1} << m, rng);
+  const auto sets = kernels::supported_kernel_sets();
+
+  const CompiledBnb ref(m, sets.front());
+  RouteScratch ref_scratch;
+  const auto want = ref.route(pi, ref_scratch);
+
+  for (const kernels::KernelSet* solver_set : sets) {
+    const CompiledBnb solver(m, solver_set);
+    RouteScratch scratch;
+    ControlSchedule schedule;
+    solver.solve(pi, scratch, schedule);
+    for (const kernels::KernelSet* applier_set : sets) {
+      const CompiledBnb applier(m, applier_set);
+      RouteScratch apply_scratch;
+      const auto got = applier.apply(schedule, pi, apply_scratch);
+      ASSERT_TRUE(got.self_routed) << solver_set->name << "->" << applier_set->name;
+      for (std::size_t j = 0; j < ref.inputs(); ++j) {
+        ASSERT_EQ(got.dest[j], want.dest[j])
+            << solver_set->name << "->" << applier_set->name << " dest[" << j << "]";
+      }
+    }
+  }
+}
+
+TEST(CompiledBnb, ApplyWordsMatchesRouteWords) {
+  Rng rng(0x5020);
+  for (const unsigned m : {3U, 6U, 9U}) {
+    const std::size_t n = std::size_t{1} << m;
+    const CompiledBnb engine(m);
+    RouteScratch scratch;
+    for (int round = 0; round < 10; ++round) {
+      const Permutation pi = random_perm(n, rng);
+      std::vector<Word> words(n);
+      for (std::size_t j = 0; j < n; ++j) words[j] = Word{pi(j), rng.next()};
+
+      const auto want = engine.route_words(words, scratch);
+      std::vector<Word> want_out(want.outputs.begin(), want.outputs.end());
+
+      ControlSchedule schedule;
+      engine.solve(pi, scratch, schedule);
+      const auto got = engine.apply_words(schedule, words, scratch);
+      ASSERT_EQ(got.self_routed, want.self_routed) << "m=" << m;
+      for (std::size_t line = 0; line < n; ++line) {
+        ASSERT_EQ(got.outputs[line], want_out[line]) << "m=" << m << " line " << line;
+      }
+    }
+  }
+}
+
+TEST(CompiledBnb, SolveRefusesFaultOverlaysAndApplyRefusesUnsolved) {
+  // A schedule describes the CLEAN fabric: route() under a fault overlay
+  // must not capture one (enforced structurally — solve has no faults
+  // parameter), and apply() of a never-solved schedule must trip its
+  // contract rather than replay garbage.
+  const CompiledBnb engine(4);
+  RouteScratch scratch;
+  Rng rng(0x5021);
+  const Permutation pi = random_perm(16, rng);
+
+  ControlSchedule unsolved;
+  unsolved.prepare(engine);
+  EXPECT_THROW((void)engine.apply(unsolved, pi, scratch), contract_violation);
+
+  ControlSchedule stale;
+  engine.solve(pi, scratch, stale);
+  // Re-preparing for a different shape invalidates the solved bit.
+  const CompiledBnb larger(5);
+  stale.prepare(larger);
+  EXPECT_FALSE(stale.solved());
+  EXPECT_THROW((void)larger.apply(stale, random_perm(32, rng), scratch),
+               contract_violation);
+}
+
+TEST(CompiledBnb, SteadyStateSolveApplyAndCacheHitsAllocateNothing) {
+  // The solve/apply split and the cache-hit replay inherit the engine's
+  // zero-allocation guarantee: after warm-up, neither path touches the
+  // heap (cache MISSES allocate the new schedule by design).
+  const unsigned m = 10;
+  const CompiledBnb engine(m);
+  RouteScratch scratch;
+  ControlSchedule schedule;
+  ScheduleCache cache(16, /*shards=*/1);  // one shard: no cross-shard eviction skew
+
+  Rng rng(0x5EED5);
+  std::vector<Permutation> perms;
+  for (int i = 0; i < 4; ++i) perms.push_back(random_perm(engine.inputs(), rng));
+
+  // Warm-up: size the scratch + schedule, fill the cache.
+  engine.solve(perms[0], scratch, schedule);
+  (void)engine.apply(schedule, perms[0], scratch);
+  for (const auto& pi : perms) (void)cache.route(engine, pi, scratch);
+
+  testhook::reset_allocation_count();
+  for (const auto& pi : perms) {
+    engine.solve(pi, scratch, schedule);
+    const auto out = engine.apply(schedule, pi, scratch);
+    ASSERT_TRUE(out.self_routed);
+  }
+  for (const auto& pi : perms) {
+    const auto out = cache.route(engine, pi, scratch);
+    ASSERT_TRUE(out.self_routed);
+  }
+  EXPECT_EQ(testhook::allocation_count(), 0U)
+      << "steady-state solve/apply and cache hits must not touch the heap";
+  EXPECT_EQ(cache.stats().hits, static_cast<std::uint64_t>(perms.size()));
+}
+
+TEST(StagedBnbRouter, ReplayMatchesArbiterStepColumnByColumn) {
+  // step_replay under a solved schedule must move the words exactly as the
+  // arbiter-evaluating step() does, at every intermediate column.
+  Rng rng(0x5022);
+  for (const unsigned m : {2U, 4U, 6U}) {
+    const std::size_t n = std::size_t{1} << m;
+    const StagedBnbRouter router(m);
+    const Permutation pi = random_perm(n, rng);
+    std::vector<Word> words(n);
+    for (std::size_t j = 0; j < n; ++j) words[j] = Word{pi(j), std::uint64_t{j}};
+
+    RouteScratch scratch;
+    ControlSchedule schedule;
+    router.plan().solve(pi, scratch, schedule);
+
+    StagedJob stepped = router.start(words);
+    StagedJob replayed = router.start(words);
+    while (!router.finished(stepped)) {
+      router.step(stepped);
+      router.step_replay(replayed, schedule);
+      ASSERT_EQ(stepped.column, replayed.column) << "m=" << m;
+      for (std::size_t line = 0; line < n; ++line) {
+        ASSERT_EQ(stepped.lines[line], replayed.lines[line])
+            << "m=" << m << " column " << stepped.column << " line " << line;
+      }
+    }
+    ASSERT_TRUE(router.finished(replayed));
   }
 }
 

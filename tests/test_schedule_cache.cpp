@@ -1,0 +1,313 @@
+// ScheduleCache correctness: cached-hit routes must be BIT-IDENTICAL to
+// cold routes (exhaustive m <= 3, randomized to m = 12, across every
+// kernel tier this host supports — schedules are tier-invariant, so one
+// cache may even serve plans pinned to different tiers), fault overlays
+// and ControlTrace capture must BYPASS the cache (fault semantics are
+// never served from, or recorded into, it), LRU eviction must be
+// deterministic with one shard, and one cache must stay coherent under
+// concurrent mixed hit/miss traffic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/compiled_bnb.hpp"
+#include "core/kernels/kernel_set.hpp"
+#include "core/schedule_cache.hpp"
+#include "fault/fault_model.hpp"
+#include "fault/injection.hpp"
+#include "perm/generators.hpp"
+
+namespace {
+
+using namespace bnb;
+using kernels::KernelSet;
+
+void expect_same_output(const CompiledBnb::Output& got, const CompiledBnb::Output& want,
+                        std::size_t n, const char* label) {
+  ASSERT_EQ(got.self_routed, want.self_routed) << label;
+  for (std::size_t line = 0; line < n; ++line) {
+    ASSERT_EQ(got.dest[line], want.dest[line]) << label << " dest[" << line << "]";
+    ASSERT_EQ(got.outputs[line].address, want.outputs[line].address)
+        << label << " address at line " << line;
+    ASSERT_EQ(got.outputs[line].payload, want.outputs[line].payload)
+        << label << " payload at line " << line;
+  }
+}
+
+/// Route `pi` cold, then twice through the cache (miss-fill, then hit) on
+/// every supported tier, demanding bit-identical output each time.  The
+/// cache is shared across the tiers, so a hit may replay a schedule that a
+/// DIFFERENT tier solved — the strongest form of the tier-invariance claim.
+void expect_cached_equivalence(unsigned m, const Permutation& pi) {
+  const std::size_t n = std::size_t{1} << m;
+  ScheduleCache cache(64);
+  for (const KernelSet* set : kernels::supported_kernel_sets()) {
+    const CompiledBnb plan(m, set);
+    RouteScratch scratch;
+    const auto cold = plan.route(pi, scratch);
+    std::vector<std::uint32_t> cold_dest(cold.dest.begin(), cold.dest.end());
+    std::vector<Word> cold_out(cold.outputs.begin(), cold.outputs.end());
+
+    const auto before = cache.stats();
+    const auto first = cache.route(plan, pi, scratch);
+    ASSERT_EQ(first.self_routed, cold.self_routed) << set->name;
+    for (std::size_t line = 0; line < n; ++line) {
+      ASSERT_EQ(first.dest[line], cold_dest[line]) << set->name;
+      ASSERT_EQ(first.outputs[line].address, cold_out[line].address) << set->name;
+      ASSERT_EQ(first.outputs[line].payload, cold_out[line].payload) << set->name;
+    }
+
+    const auto mid = cache.stats();
+    const auto warm = cache.route(plan, pi, scratch);
+    const auto after = cache.stats();
+    ASSERT_EQ(after.hits, mid.hits + 1)
+        << set->name << ": second identical route must be a cache hit";
+    ASSERT_EQ(after.misses, mid.misses) << set->name;
+    // The first tier misses; every later tier hits the shared schedule.
+    ASSERT_EQ(mid.misses + mid.hits, before.misses + before.hits + 1) << set->name;
+
+    ASSERT_EQ(warm.self_routed, cold.self_routed) << set->name;
+    for (std::size_t line = 0; line < n; ++line) {
+      ASSERT_EQ(warm.dest[line], cold_dest[line])
+          << set->name << " warm dest[" << line << "]";
+      ASSERT_EQ(warm.outputs[line].address, cold_out[line].address)
+          << set->name << " warm address at line " << line;
+      ASSERT_EQ(warm.outputs[line].payload, cold_out[line].payload)
+          << set->name << " warm payload at line " << line;
+    }
+  }
+}
+
+// ---- digest ------------------------------------------------------------
+
+TEST(ScheduleCache, DigestIsDeterministicAndDiscriminates) {
+  Rng rng(0xCAC4E01);
+  const Permutation a = random_perm(256, rng);
+  EXPECT_EQ(digest_permutation(a), digest_permutation(a));
+
+  // Every lexicographic m=3 permutation gets a distinct digest, and so do
+  // identity permutations of different sizes (the size is mixed in).
+  std::vector<PermutationDigest> seen;
+  Permutation pi = identity_perm(8);
+  do {
+    seen.push_back(digest_permutation(pi));
+  } while (pi.next_lexicographic());
+  ASSERT_EQ(seen.size(), 40320U);
+  std::sort(seen.begin(), seen.end(), [](const auto& x, const auto& y) {
+    return x.hi != y.hi ? x.hi < y.hi : x.lo < y.lo;
+  });
+  EXPECT_TRUE(std::adjacent_find(seen.begin(), seen.end()) == seen.end());
+  EXPECT_FALSE(digest_permutation(identity_perm(8)) ==
+               digest_permutation(identity_perm(16)));
+}
+
+// ---- hit equivalence ---------------------------------------------------
+
+TEST(ScheduleCache, CachedRoutesBitIdenticalExhaustiveSmallM) {
+  for (unsigned m = 1; m <= 3; ++m) {
+    Permutation pi = identity_perm(std::size_t{1} << m);
+    do {
+      expect_cached_equivalence(m, pi);
+    } while (pi.next_lexicographic());
+  }
+}
+
+TEST(ScheduleCache, CachedRoutesBitIdenticalRandomizedUpToM12) {
+  Rng rng(0xCAC4E02);
+  for (const unsigned m : {4U, 6U, 8U, 10U, 12U}) {
+    const int reps = m <= 8 ? 3 : 2;
+    for (int r = 0; r < reps; ++r) {
+      expect_cached_equivalence(m, random_perm(std::size_t{1} << m, rng));
+    }
+  }
+}
+
+// ---- fault / trace bypass ----------------------------------------------
+
+TEST(ScheduleCache, FaultRoutesBypassAndNeverPolluteTheCache) {
+  Rng rng(0xCAC4E03);
+  const unsigned m = 4;
+  const std::size_t n = std::size_t{1} << m;
+  const Permutation pi = random_perm(n, rng);
+
+  for (const FaultSpec& spec : FaultModel::all_single_faults(m)) {
+    FaultModel model(m);
+    model.add(spec);
+    const EngineFaults overlay = compile_engine_faults(model);
+    if (overlay.empty()) continue;
+
+    ScheduleCache cache(16);
+    const CompiledBnb plan(m);
+    RouteScratch scratch;
+
+    // Reference: the fused engine under the same overlay.
+    const auto want = plan.route(pi, scratch, nullptr, &overlay);
+    std::vector<std::uint32_t> want_dest(want.dest.begin(), want.dest.end());
+    std::vector<Word> want_out(want.outputs.begin(), want.outputs.end());
+
+    const auto got = cache.route(plan, pi, scratch, nullptr, &overlay);
+    ASSERT_EQ(got.self_routed, want.self_routed);
+    for (std::size_t line = 0; line < n; ++line) {
+      ASSERT_EQ(got.dest[line], want_dest[line]);
+      ASSERT_EQ(got.outputs[line].address, want_out[line].address);
+      ASSERT_EQ(got.outputs[line].payload, want_out[line].payload);
+    }
+
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.bypasses, 1U) << "a faulty route must bypass the cache";
+    EXPECT_EQ(stats.hits + stats.misses, 0U);
+    EXPECT_EQ(stats.entries, 0U) << "a faulty route must never be cached";
+
+    // The clean route afterwards must be a genuine miss (no pollution) and
+    // must match the clean fused engine, not the faulty delivery.
+    RouteScratch clean_scratch;
+    const auto clean_want = plan.route(pi, clean_scratch);
+    std::vector<std::uint32_t> clean_dest(clean_want.dest.begin(), clean_want.dest.end());
+    const auto clean_got = cache.route(plan, pi, scratch);
+    EXPECT_EQ(cache.stats().misses, 1U);
+    for (std::size_t line = 0; line < n; ++line) {
+      ASSERT_EQ(clean_got.dest[line], clean_dest[line]);
+    }
+
+    // ... and the faulty route after THAT still bypasses the now-warm cache.
+    const auto faulty_again = cache.route(plan, pi, scratch, nullptr, &overlay);
+    for (std::size_t line = 0; line < n; ++line) {
+      ASSERT_EQ(faulty_again.dest[line], want_dest[line])
+          << "fault semantics served from the cache";
+    }
+    EXPECT_EQ(cache.stats().bypasses, 2U);
+  }
+}
+
+TEST(ScheduleCache, TraceRoutesBypassTheCache) {
+  Rng rng(0xCAC4E04);
+  const unsigned m = 5;
+  const Permutation pi = random_perm(std::size_t{1} << m, rng);
+  const CompiledBnb plan(m);
+  ScheduleCache cache(16);
+  RouteScratch scratch;
+
+  ControlTrace want_trace;
+  (void)plan.route(pi, scratch, &want_trace);
+
+  ControlTrace got_trace;
+  (void)cache.route(plan, pi, scratch, &got_trace);
+  EXPECT_EQ(got_trace.column_controls, want_trace.column_controls);
+  EXPECT_EQ(cache.stats().bypasses, 1U);
+  EXPECT_EQ(cache.stats().entries, 0U);
+
+  // Even with the schedule already cached, a trace request bypasses: the
+  // replay path has no arbiters to observe.
+  (void)cache.route(plan, pi, scratch);
+  ASSERT_EQ(cache.stats().entries, 1U);
+  ControlTrace after_warm;
+  (void)cache.route(plan, pi, scratch, &after_warm);
+  EXPECT_EQ(after_warm.column_controls, want_trace.column_controls);
+  EXPECT_EQ(cache.stats().bypasses, 2U);
+}
+
+// ---- LRU / sharding ----------------------------------------------------
+
+TEST(ScheduleCache, SingleShardLruEvictsOldestAndKeepsTouched) {
+  Rng rng(0xCAC4E05);
+  const unsigned m = 4;
+  const CompiledBnb plan(m);
+  RouteScratch scratch;
+  std::vector<Permutation> pool;
+  for (int i = 0; i < 5; ++i) pool.push_back(random_perm(std::size_t{1} << m, rng));
+
+  ScheduleCache cache(4, /*shards=*/1);
+  for (int i = 0; i < 4; ++i) (void)cache.route(plan, pool[i], scratch);
+  ASSERT_EQ(cache.size(), 4U);
+  ASSERT_EQ(cache.stats().evictions, 0U);
+
+  // Touch pool[0] so pool[1] is the LRU entry, then overflow with pool[4].
+  (void)cache.route(plan, pool[0], scratch);
+  EXPECT_EQ(cache.stats().hits, 1U);
+  (void)cache.route(plan, pool[4], scratch);
+  EXPECT_EQ(cache.stats().evictions, 1U);
+  EXPECT_EQ(cache.size(), 4U);
+
+  // pool[0] survived its touch; pool[1] was evicted and must miss again.
+  const auto before = cache.stats();
+  (void)cache.route(plan, pool[0], scratch);
+  EXPECT_EQ(cache.stats().hits, before.hits + 1);
+  (void)cache.route(plan, pool[1], scratch);
+  EXPECT_EQ(cache.stats().misses, before.misses + 1);
+}
+
+TEST(ScheduleCache, ClearDropsEntriesAndKeepsCounters) {
+  Rng rng(0xCAC4E06);
+  const unsigned m = 4;
+  const CompiledBnb plan(m);
+  RouteScratch scratch;
+  ScheduleCache cache(8, /*shards=*/1);
+  for (int i = 0; i < 3; ++i) (void)cache.route(plan, random_perm(16, rng), scratch);
+  ASSERT_EQ(cache.size(), 3U);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0U);
+  EXPECT_EQ(cache.stats().misses, 3U);
+  EXPECT_EQ(cache.capacity(), 8U);
+}
+
+// ---- concurrency -------------------------------------------------------
+
+TEST(ScheduleCache, ConcurrentMixedHitMissTrafficStaysCoherent) {
+  // One small sharded cache, several threads hammering an overlapping pool
+  // larger than capacity: constant hits, misses, racing inserts of the
+  // same digest, and evictions — every delivered result must still equal
+  // the cold reference.  Run under the tsan preset, this is the data-race
+  // proof for the sharded LRU.
+  Rng rng(0xCAC4E07);
+  const unsigned m = 6;
+  const std::size_t n = std::size_t{1} << m;
+  const CompiledBnb plan(m);
+  const std::size_t pool_size = 24;
+  std::vector<Permutation> pool;
+  std::vector<std::vector<std::uint32_t>> want;
+  {
+    RouteScratch scratch;
+    for (std::size_t i = 0; i < pool_size; ++i) {
+      pool.push_back(random_perm(n, rng));
+      const auto out = plan.route(pool.back(), scratch);
+      want.emplace_back(out.dest.begin(), out.dest.end());
+    }
+  }
+
+  ScheduleCache cache(8, /*shards=*/4);  // far smaller than the pool: evict constantly
+  constexpr int kThreads = 4;
+  constexpr int kIters = 400;
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      RouteScratch scratch;
+      for (int i = 0; i < kIters; ++i) {
+        const std::size_t idx = (static_cast<std::size_t>(t) * 7 + i * 13) % pool_size;
+        const auto out = cache.route(plan, pool[idx], scratch);
+        for (std::size_t j = 0; j < n; ++j) {
+          if (out.dest[j] != want[idx][j]) {
+            ++mismatches[t];
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_GT(stats.hits, 0U);
+  EXPECT_GT(stats.misses, 0U);
+  EXPECT_GT(stats.evictions, 0U) << "capacity 8 over a 24-perm pool must evict";
+  EXPECT_LE(cache.size(), cache.capacity());
+}
+
+}  // namespace

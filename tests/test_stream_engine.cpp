@@ -1,0 +1,173 @@
+// StreamEngine correctness: the stage-overlapped solver/applier pipeline
+// must deliver the same bits as CompiledBnb::route_batch — in-order inline
+// degeneration, the two-thread SPSC pipeline, and both again with a
+// ScheduleCache attached (repeated traffic streams as hits) — and must
+// preserve route_batch's first-error-wins contract (the failing stream
+// index survives the pipeline).  The threaded cases double as the tsan
+// targets for the ring buffer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/compiled_bnb.hpp"
+#include "core/schedule_cache.hpp"
+#include "fabric/stream_engine.hpp"
+#include "perm/generators.hpp"
+
+namespace {
+
+using namespace bnb;
+
+std::vector<Permutation> random_pool(unsigned m, std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Permutation> pool;
+  for (std::size_t i = 0; i < count; ++i) {
+    pool.push_back(random_perm(std::size_t{1} << m, rng));
+  }
+  return pool;
+}
+
+void expect_matches_route_batch(unsigned m, std::span<const Permutation> perms,
+                                const StreamEngine::Options& options) {
+  const CompiledBnb plan(m);
+  const BatchResult want = plan.route_batch(perms);
+  const StreamEngine engine(plan, options);
+  const StreamEngine::Result got = engine.run(perms);
+  EXPECT_EQ(got.dest, want.dest);
+  EXPECT_EQ(got.stats.all_self_routed, want.all_self_routed);
+  EXPECT_EQ(got.stats.permutations, perms.size());
+}
+
+TEST(StreamEngine, InlineModeMatchesRouteBatch) {
+  const auto pool = random_pool(6, 24, 0x57E01);
+  StreamEngine::Options options;
+  options.threads = 1;
+  expect_matches_route_batch(6, pool, options);
+}
+
+TEST(StreamEngine, PipelinedModeMatchesRouteBatch) {
+  for (const unsigned m : {3U, 6U, 8U}) {
+    const auto pool = random_pool(m, 32, 0x57E02 + m);
+    StreamEngine::Options options;
+    options.threads = 2;
+    options.ring_depth = 4;
+    expect_matches_route_batch(m, pool, options);
+  }
+}
+
+TEST(StreamEngine, PipelinedSurvivesTinyAndDeepRings) {
+  const auto pool = random_pool(5, 40, 0x57E03);
+  for (const std::size_t depth : {1UL, 2UL, 64UL}) {  // 1 rounds up to 2
+    StreamEngine::Options options;
+    options.threads = 2;
+    options.ring_depth = depth;
+    expect_matches_route_batch(5, pool, options);
+  }
+}
+
+TEST(StreamEngine, ThreadPolicyAndStatsAreReported) {
+  const CompiledBnb plan(4);
+  const auto pool = random_pool(4, 8, 0x57E04);
+
+  StreamEngine inline_engine(plan, {.threads = 1});
+  const auto inline_result = inline_engine.run(pool);
+  EXPECT_EQ(inline_engine.threads(), 1U);
+  EXPECT_FALSE(inline_result.stats.pipelined);
+  EXPECT_EQ(inline_result.stats.threads_used, 1U);
+  EXPECT_EQ(inline_result.stats.solved, pool.size());
+  EXPECT_EQ(inline_result.stats.cache_hits, 0U);
+
+  // Asking for more threads than the pipeline has stages still yields the
+  // two-stage solver/applier split.
+  StreamEngine wide_engine(plan, {.threads = 8});
+  const auto wide_result = wide_engine.run(pool);
+  EXPECT_TRUE(wide_result.stats.pipelined);
+  EXPECT_EQ(wide_result.stats.threads_used, 2U);
+  EXPECT_EQ(wide_result.stats.solved, pool.size());
+
+  // Auto (threads = 0) resolves to 1 or 2 depending on the host; either
+  // way the stream must route.
+  StreamEngine auto_engine(plan);
+  EXPECT_GE(auto_engine.threads(), 1U);
+  EXPECT_LE(auto_engine.threads(), 2U);
+  EXPECT_EQ(auto_engine.run(pool).stats.permutations, pool.size());
+}
+
+TEST(StreamEngine, EmptyStreamIsTriviallyClean) {
+  const CompiledBnb plan(4);
+  for (const unsigned threads : {1U, 2U}) {
+    StreamEngine engine(plan, {.threads = threads});
+    const auto result = engine.run({});
+    EXPECT_TRUE(result.stats.all_self_routed);
+    EXPECT_TRUE(result.dest.empty());
+  }
+}
+
+TEST(StreamEngine, CacheTurnsRepeatedTrafficIntoHits) {
+  const unsigned m = 6;
+  const CompiledBnb plan(m);
+  const auto pool = random_pool(m, 16, 0x57E05);
+  const BatchResult want = plan.route_batch(pool);
+
+  for (const unsigned threads : {1U, 2U}) {
+    ScheduleCache cache(64);
+    StreamEngine::Options options;
+    options.threads = threads;
+    options.cache = &cache;
+    const StreamEngine engine(plan, options);
+
+    const auto cold = engine.run(pool);
+    EXPECT_EQ(cold.dest, want.dest) << "threads=" << threads;
+    EXPECT_EQ(cold.stats.solved, pool.size());
+    EXPECT_EQ(cold.stats.cache_hits, 0U);
+
+    const auto warm = engine.run(pool);
+    EXPECT_EQ(warm.dest, want.dest) << "threads=" << threads;
+    EXPECT_EQ(warm.stats.solved, 0U) << "warm stream must not re-solve";
+    EXPECT_EQ(warm.stats.cache_hits, pool.size());
+    EXPECT_EQ(warm.stats.all_self_routed, want.all_self_routed);
+  }
+}
+
+TEST(StreamEngine, FirstErrorWinsNamesTheFailingIndex) {
+  const unsigned m = 5;
+  const CompiledBnb plan(m);
+  auto pool = random_pool(m, 12, 0x57E06);
+  pool[7] = identity_perm(8);  // wrong size: the solver's contract trips
+
+  for (const unsigned threads : {1U, 2U}) {
+    StreamEngine engine(plan, {.threads = threads});
+    try {
+      (void)engine.run(pool);
+      FAIL() << "wrong-size permutation must throw (threads=" << threads << ")";
+    } catch (const batch_route_error& e) {
+      EXPECT_EQ(e.index(), 7U) << "threads=" << threads;
+      EXPECT_NE(e.cause(), nullptr);
+      EXPECT_THROW(std::rethrow_exception(e.cause()), contract_violation);
+    }
+  }
+}
+
+TEST(StreamEngine, SharedCacheAcrossEnginesAndRuns) {
+  // Two engines (inline and pipelined) over one cache: whichever runs
+  // first fills it, the other streams pure hits — and the outputs agree.
+  const unsigned m = 7;
+  const CompiledBnb plan(m);
+  const auto pool = random_pool(m, 10, 0x57E07);
+  const BatchResult want = plan.route_batch(pool);
+
+  ScheduleCache cache(32);
+  StreamEngine first(plan, {.threads = 2, .cache = &cache});
+  StreamEngine second(plan, {.threads = 1, .cache = &cache});
+
+  const auto cold = first.run(pool);
+  const auto warm = second.run(pool);
+  EXPECT_EQ(cold.dest, want.dest);
+  EXPECT_EQ(warm.dest, want.dest);
+  EXPECT_EQ(warm.stats.cache_hits, pool.size());
+  EXPECT_EQ(cache.stats().entries, pool.size());
+}
+
+}  // namespace
