@@ -3,12 +3,13 @@
 // microbenchmarks of the compiled engine at m = 12, batch scaling of
 // CompiledBnb::route_batch at m = 14 across worker-thread counts, the
 // ScheduleCache cold-vs-warm economics (repeated traffic replays a solved
-// schedule instead of re-running the arbiter trees), and StreamEngine
+// schedule instead of re-running the arbiter trees), StreamEngine
 // throughput (inline vs solver/applier-pipelined, with and without a warm
-// cache).  Results are written as JSON (schema "bnb.bench_routing.v3") so
-// the checked-in BENCH_routing.json can be regenerated and diffed; see
-// docs/PERF.md for the schema and EXPERIMENTS.md for regeneration
-// instructions.
+// cache), and the telemetry overhead of the obs spans (each m=12 phase
+// timed with spans runtime-enabled vs runtime-disabled).  Results are
+// written as JSON (schema "bnb.bench_routing.v4") so the checked-in
+// BENCH_routing.json can be regenerated and diffed; see docs/PERF.md for
+// the schema and EXPERIMENTS.md for regeneration instructions.
 //
 // The batch section only times thread counts the host can actually run in
 // parallel (threads <= hardware_threads) — except threads=2, which is
@@ -34,6 +35,7 @@
 #include "core/kernels/kernel_set.hpp"
 #include "core/schedule_cache.hpp"
 #include "fabric/stream_engine.hpp"
+#include "obs/span.hpp"
 #include "perm/generators.hpp"
 
 namespace {
@@ -91,6 +93,12 @@ struct StreamRow {
   bool cached = false;
   bool oversubscribed = false;
   double ns_per_perm = 0;
+};
+
+struct ObsRow {
+  const char* phase = nullptr;
+  double enabled_ns = 0;   ///< spans live (histogram record per phase)
+  double disabled_ns = 0;  ///< runtime-disabled (one relaxed load left)
 };
 
 }  // namespace
@@ -278,12 +286,62 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Telemetry overhead: identical m=12 phase work timed with the spans
+  // runtime-enabled (two clock reads + a lock-free histogram record per
+  // phase) vs runtime-disabled (one relaxed atomic load).  The acceptance
+  // bar is <3% on route and warm apply; clock reads are ~tens of ns
+  // against routes in the hundreds of microseconds, so measured deltas sit
+  // inside timing noise (small negative percentages are noise, not gain).
+  const unsigned obs_m = 12;
+  std::vector<ObsRow> obs_rows;
+  {
+    const bnb::CompiledBnb plan(obs_m);
+    bnb::RouteScratch scratch;
+    scratch.prepare(plan);
+    const auto pool = perm_pool(std::size_t{1} << obs_m, 8, rng);
+    bnb::ControlSchedule solve_out;
+    bnb::ControlSchedule applied;  // solved once for the fixed apply perm
+    plan.solve(pool[0], scratch, applied);
+
+    const auto measure = [&](const char* phase, auto&& fn) {
+      // Interleaved best-of-9: alternate disabled/enabled reps and keep
+      // each mode's minimum, so slow noise (scheduler bursts, frequency
+      // drift, VM steal time) lands on both modes instead of biasing
+      // whichever ran second; many short windows give the min a clean shot.
+      double disabled_ns = 0;
+      double enabled_ns = 0;
+      for (int rep = 0; rep < 9; ++rep) {
+        bnb::obs::set_enabled(false);
+        const double off = ns_per_call(fn, budget / 8);
+        bnb::obs::set_enabled(true);
+        const double on = ns_per_call(fn, budget / 8);
+        disabled_ns = rep == 0 ? off : std::min(disabled_ns, off);
+        enabled_ns = rep == 0 ? on : std::min(enabled_ns, on);
+      }
+      obs_rows.push_back({phase, enabled_ns, disabled_ns});
+      std::printf("obs m=%u %-6s enabled %9.0f ns  disabled %9.0f ns  overhead %+6.2f%%\n",
+                  obs_m, phase, enabled_ns, disabled_ns,
+                  (enabled_ns - disabled_ns) / disabled_ns * 100.0);
+    };
+    std::size_t i_route = 0;
+    measure("route", [&] {
+      const auto r = plan.route(pool[i_route++ & 7], scratch);
+      if (!r.self_routed) std::exit(1);
+    });
+    std::size_t i_solve = 0;
+    measure("solve", [&] { plan.solve(pool[i_solve++ & 7], scratch, solve_out); });
+    measure("apply", [&] {
+      const auto r = plan.apply(applied, pool[0], scratch);
+      if (!r.self_routed) std::exit(1);
+    });
+  }
+
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"schema\": \"bnb.bench_routing.v3\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"bnb.bench_routing.v4\",\n");
   std::fprintf(f, "  \"generated_by\": \"bench_engine\",\n");
   // Batch scaling is bounded by the host: on a 1-core container the
   // thread rows stay flat regardless of the pool implementation.
@@ -363,6 +421,17 @@ int main(int argc, char** argv) {
                  row.cached ? "true" : "false", row.ns_per_perm,
                  1e9 / row.ns_per_perm, row.oversubscribed ? "true" : "false",
                  i + 1 < stream.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  },\n");
+  std::fprintf(f, "  \"obs\": {\n    \"m\": %u,\n    \"phases\": [\n", obs_m);
+  for (std::size_t i = 0; i < obs_rows.size(); ++i) {
+    const auto& row = obs_rows[i];
+    std::fprintf(f,
+                 "      {\"phase\": \"%s\", \"enabled_ns_per_call\": %.1f, "
+                 "\"disabled_ns_per_call\": %.1f, \"overhead_pct\": %.3f}%s\n",
+                 row.phase, row.enabled_ns, row.disabled_ns,
+                 (row.enabled_ns - row.disabled_ns) / row.disabled_ns * 100.0,
+                 i + 1 < obs_rows.size() ? "," : "");
   }
   std::fprintf(f, "    ]\n  }\n}\n");
   std::fclose(f);

@@ -27,6 +27,11 @@
 //                             # pipeline at --threads >= 2, inline at 1) over a
 //                             # shared ScheduleCache; passes after the first
 //                             # are pure cache hits
+//   route_cli --metrics=prom --repeat 100 3 0 1 2
+//                             # any mode + --metrics[=json|prom] dumps the
+//                             # global MetricsRegistry (counters, gauges,
+//                             # per-phase latency histograms) after the run;
+//                             # bare --metrics means Prometheus text
 //
 // --inject SPECs: random:K, stuck0|stuck1|flag0|flag1:i.j.s.e,
 //                 dead:i.j.s.e.in.out, flip:i.j.s.line  (see docs/FAULTS.md)
@@ -55,6 +60,8 @@
 #include "fabric/stream_engine.hpp"
 #include "fault/fault_model.hpp"
 #include "fault/robust_router.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "perm/generators.hpp"
 
 namespace {
@@ -64,9 +71,18 @@ int usage(const char* argv0) {
                "usage: %s [--network=bnb|batcher|benes|koppelman] [--trace] "
                "[--dot N] [--batch COUNT [--threads T] [--stream]] "
                "[--repeat K] [--inject SPEC [--rounds R] [--seed S]] "
-               "[image... | N]\n",
+               "[--metrics[=json|prom]] [image... | N]\n",
                argv0);
   return 2;
+}
+
+// --metrics: dump the global registry after the selected mode ran.
+void dump_metrics(const std::string& format) {
+  const bnb::obs::RegistrySnapshot snap = bnb::obs::MetricsRegistry::global().snapshot();
+  const std::string text =
+      format == "json" ? bnb::obs::to_json(snap) : bnb::obs::to_prometheus(snap);
+  std::fputs(text.c_str(), stdout);
+  if (!text.empty() && text.back() != '\n') std::fputc('\n', stdout);
 }
 
 // Parse one --inject spec into `model`.  Returns false on a malformed or
@@ -267,7 +283,6 @@ int run_stream(std::size_t count, unsigned threads, std::size_t repeat,
     hits += result.stats.cache_hits;
     pipelined = result.stats.pipelined;
   }
-  const auto stats = cache.stats();
   std::printf("stream: %zu permutations x %zu pass%s of %zu lines, %s: %s\n",
               count, repeat, repeat == 1 ? "" : "es", n,
               pipelined ? "solver/applier pipelined" : "inline",
@@ -275,12 +290,23 @@ int run_stream(std::size_t count, unsigned threads, std::size_t repeat,
   std::printf("stream: %llu cold solves, %llu schedule replays\n",
               static_cast<unsigned long long>(solved),
               static_cast<unsigned long long>(hits));
+  // Report from the registry: the one coherent view the stream engine and
+  // the cache both publish into.
+  const auto snap = bnb::obs::MetricsRegistry::global().snapshot();
+  const auto counter_of = [&](const char* name) -> unsigned long long {
+    const auto* metric = snap.find(name);
+    return metric != nullptr ? metric->counter : 0;
+  };
+  const auto* high_water = snap.find("bnb_stream_ring_high_water");
+  std::printf("ring: high-water %lld solved schedule%s queued (depth %zu)\n",
+              high_water != nullptr ? static_cast<long long>(high_water->gauge) : 0,
+              high_water != nullptr && high_water->gauge == 1 ? "" : "s",
+              options.ring_depth);
   std::printf("cache: %llu hits, %llu misses, %llu evictions, %llu bypasses "
               "(%zu entries)\n",
-              static_cast<unsigned long long>(stats.hits),
-              static_cast<unsigned long long>(stats.misses),
-              static_cast<unsigned long long>(stats.evictions),
-              static_cast<unsigned long long>(stats.bypasses), stats.entries);
+              counter_of("bnb_cache_hits_total"), counter_of("bnb_cache_misses_total"),
+              counter_of("bnb_cache_evictions_total"),
+              counter_of("bnb_cache_bypasses_total"), cache.size());
   return all_ok ? 0 : 1;
 }
 
@@ -337,12 +363,24 @@ int main(int argc, char** argv) {
   std::string inject_spec;
   std::size_t rounds = 20;
   std::uint64_t seed = 2026;
+  bool metrics = false;
+  std::string metrics_format = "prom";
   std::vector<bnb::Permutation::value_type> image;
 
   for (int a = 1; a < argc; ++a) {
     const char* arg = argv[a];
     if (std::strncmp(arg, "--network=", 10) == 0) {
       network = arg + 10;
+    } else if (std::strcmp(arg, "--metrics") == 0) {
+      metrics = true;
+    } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
+      metrics = true;
+      metrics_format = arg + 10;
+      if (metrics_format != "json" && metrics_format != "prom") {
+        std::fprintf(stderr, "--metrics wants json or prom, not '%s'\n",
+                     metrics_format.c_str());
+        return 2;
+      }
     } else if (std::strcmp(arg, "--trace") == 0) {
       trace = true;
     } else if (std::strcmp(arg, "--dot") == 0) {
@@ -378,6 +416,13 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Modes below route real traffic; finish() appends the registry dump
+  // --metrics asked for once the selected mode has run.
+  const auto finish = [&](int code) {
+    if (metrics) dump_metrics(metrics_format);
+    return code;
+  };
+
   if (repeat_given && (repeat == 0 || repeat > 1000000)) {
     std::fputs("--repeat must be in [1, 1000000]\n", stderr);
     return 2;
@@ -398,14 +443,16 @@ int main(int argc, char** argv) {
   if (!inject_spec.empty()) {
     // In inject mode the single optional positional argument is N.
     if (batch || image.size() > 1) return usage(argv[0]);
-    return run_inject(inject_spec, seed, rounds, image.empty() ? 16 : image[0]);
+    return finish(
+        run_inject(inject_spec, seed, rounds, image.empty() ? 16 : image[0]));
   }
 
   if (batch) {
     // In batch mode the single optional positional argument is N.
     if (image.size() > 1) return usage(argv[0]);
     if (stream) {
-      return run_stream(batch_count, threads, repeat, image.empty() ? 16 : image[0]);
+      return finish(
+          run_stream(batch_count, threads, repeat, image.empty() ? 16 : image[0]));
     }
     if (repeat_given) {
       std::fputs("--repeat with --batch needs --stream (route_batch has no "
@@ -413,7 +460,7 @@ int main(int argc, char** argv) {
                  stderr);
       return 2;
     }
-    return run_batch(batch_count, threads, image.empty() ? 16 : image[0]);
+    return finish(run_batch(batch_count, threads, image.empty() ? 16 : image[0]));
   }
 
   bnb::Permutation pi;
@@ -446,12 +493,20 @@ int main(int argc, char** argv) {
                  stderr);
       return 2;
     }
-    return run_repeat(pi, repeat);
+    return finish(run_repeat(pi, repeat));
   }
 
   bool routed = false;
   if (network == "bnb") {
-    routed = bnb::BnbNetwork(m).route(pi).self_routed;
+    if (metrics) {
+      // Route through the compiled engine so the dump carries the engine's
+      // phase histograms, not just an empty registry.
+      const bnb::CompiledBnb engine(m);
+      bnb::RouteScratch scratch;
+      routed = engine.route(pi, scratch).self_routed;
+    } else {
+      routed = bnb::BnbNetwork(m).route(pi).self_routed;
+    }
   } else if (network == "batcher") {
     routed = bnb::BatcherNetwork(m).route(pi).self_routed;
   } else if (network == "benes") {
@@ -464,5 +519,5 @@ int main(int argc, char** argv) {
 
   std::printf("%s: %s routed %s\n", network.c_str(), pi.to_string().c_str(),
               routed ? "OK" : "FAILED");
-  return routed ? 0 : 1;
+  return finish(routed ? 0 : 1);
 }

@@ -12,6 +12,8 @@
 
 #include "common/expect.hpp"
 #include "core/bit_pack.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace bnb {
 
@@ -97,6 +99,13 @@ CompiledBnb::CompiledBnb(unsigned m, const kernels::KernelSet* kernels)
       columns_.push_back(Column{i, j, p, group, update});
     }
   }
+  // Kernel-tier dispatch accounting: which tier every plan bound (CPUID
+  // dispatch or explicit pin).  Plan construction is cold — the registry
+  // lookup is off every route path.
+  obs::MetricsRegistry::global()
+      .counter(std::string("bnb_kernel_plans_total_") + ks_->name,
+               "CompiledBnb plans bound to this kernel tier")
+      .inc();
 }
 
 std::size_t CompiledBnb::control_words() const noexcept {
@@ -404,6 +413,7 @@ CompiledBnb::Output CompiledBnb::route_impl(RouteScratch& s, ControlTrace* trace
 CompiledBnb::Output CompiledBnb::route(const Permutation& pi, RouteScratch& scratch,
                                        ControlTrace* trace,
                                        const EngineFaults* faults) const {
+  BNB_OBS_SPAN(obs_span, obs::Phase::kRoute);
   const std::size_t n = inputs();
   BNB_EXPECTS(pi.size() == n);
   scratch.prepare(*this);
@@ -425,6 +435,7 @@ CompiledBnb::Output CompiledBnb::route(const Permutation& pi, RouteScratch& scra
 
 void CompiledBnb::solve(const Permutation& pi, RouteScratch& scratch,
                         ControlSchedule& schedule) const {
+  BNB_OBS_SPAN(obs_span, obs::Phase::kSolve);
   const std::size_t n = inputs();
   BNB_EXPECTS(pi.size() == n);
   scratch.prepare(*this);
@@ -438,6 +449,7 @@ void CompiledBnb::solve(const Permutation& pi, RouteScratch& scratch,
 CompiledBnb::Output CompiledBnb::apply(const ControlSchedule& schedule,
                                        const Permutation& pi,
                                        RouteScratch& scratch) const {
+  BNB_OBS_SPAN(obs_span, obs::Phase::kApply);
   const std::size_t n = inputs();
   BNB_EXPECTS(pi.size() == n);
   BNB_EXPECTS(schedule.prepared_for(*this) && schedule.solved());
@@ -461,6 +473,7 @@ CompiledBnb::Output CompiledBnb::apply(const ControlSchedule& schedule,
 CompiledBnb::Output CompiledBnb::apply_words(const ControlSchedule& schedule,
                                              std::span<const Word> words,
                                              RouteScratch& scratch) const {
+  BNB_OBS_SPAN(obs_span, obs::Phase::kApply);
   const std::size_t n = inputs();
   BNB_EXPECTS(words.size() == n);
   BNB_EXPECTS(schedule.prepared_for(*this) && schedule.solved());
@@ -484,6 +497,7 @@ CompiledBnb::Output CompiledBnb::route_words(std::span<const Word> words,
                                              RouteScratch& scratch,
                                              ControlTrace* trace,
                                              const EngineFaults* faults) const {
+  BNB_OBS_SPAN(obs_span, obs::Phase::kRoute);
   const std::size_t n = inputs();
   BNB_EXPECTS(words.size() == n);
   scratch.prepare(*this);

@@ -42,12 +42,40 @@ PermutationDigest digest_permutation(const Permutation& pi) noexcept {
   return PermutationDigest{lo, hi};
 }
 
-ScheduleCache::ScheduleCache(std::size_t capacity, std::size_t shards) : capacity_(capacity) {
+ScheduleCache::ScheduleCache(std::size_t capacity, std::size_t shards,
+                             obs::MetricsRegistry* registry)
+    : capacity_(capacity),
+      registry_(registry != nullptr ? registry : &obs::MetricsRegistry::global()) {
   BNB_EXPECTS(capacity >= 1);
   BNB_EXPECTS(shards >= 1 && shards <= 256);
   if (shards > capacity) shards = capacity;  // never hand a shard zero slots
   shard_capacity_ = (capacity + shards - 1) / shards;
   shards_ = std::vector<Shard>(shards);
+  registry_->attach_counter("bnb_cache_hits_total", &hits_,
+                            "schedule cache hits (replays without a solve)");
+  registry_->attach_counter("bnb_cache_misses_total", &misses_,
+                            "schedule cache misses (cold solves)");
+  registry_->attach_counter("bnb_cache_evictions_total", &evictions_,
+                            "LRU evictions across all shards");
+  registry_->attach_counter("bnb_cache_bypasses_total", &bypasses_,
+                            "fault/trace routes that bypassed the cache");
+  registry_->attach_gauge("bnb_cache_entries", &entries_,
+                          "live cached schedules across all shards");
+}
+
+ScheduleCache::~ScheduleCache() {
+  registry_->detach_counter("bnb_cache_hits_total", &hits_);
+  registry_->detach_counter("bnb_cache_misses_total", &misses_);
+  registry_->detach_counter("bnb_cache_evictions_total", &evictions_);
+  registry_->detach_counter("bnb_cache_bypasses_total", &bypasses_);
+  registry_->detach_gauge("bnb_cache_entries", &entries_);
+  // Fold the final totals into the registry's owned counters: the
+  // fabric-wide counters stay monotonic across cache lifetimes (the
+  // entries gauge is a level, so a dead cache's entries just vanish).
+  registry_->counter("bnb_cache_hits_total").inc(hits_.value());
+  registry_->counter("bnb_cache_misses_total").inc(misses_.value());
+  registry_->counter("bnb_cache_evictions_total").inc(evictions_.value());
+  registry_->counter("bnb_cache_bypasses_total").inc(bypasses_.value());
 }
 
 CompiledBnb::Output ScheduleCache::route(const CompiledBnb& plan, const Permutation& pi,
@@ -74,11 +102,11 @@ std::shared_ptr<const ControlSchedule> ScheduleCache::find(const PermutationDige
   std::scoped_lock lock(shard.mu);
   const auto it = shard.index.find(digest);
   if (it == shard.index.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_.inc();
     return nullptr;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // promote to MRU
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  hits_.inc();
   return it->second->schedule;
 }
 
@@ -95,18 +123,20 @@ void ScheduleCache::insert(const PermutationDigest& digest,
   while (shard.lru.size() >= shard_capacity_) {
     shard.index.erase(shard.lru.back().digest);
     shard.lru.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_.inc();
+    entries_.add(-1);
   }
   shard.lru.push_front(Entry{digest, std::move(schedule)});
   shard.index.emplace(digest, shard.lru.begin());
+  entries_.add(1);
 }
 
 ScheduleCacheStats ScheduleCache::stats() const {
   ScheduleCacheStats out;
-  out.hits = hits_.load(std::memory_order_relaxed);
-  out.misses = misses_.load(std::memory_order_relaxed);
-  out.evictions = evictions_.load(std::memory_order_relaxed);
-  out.bypasses = bypasses_.load(std::memory_order_relaxed);
+  out.hits = hits_.value();
+  out.misses = misses_.value();
+  out.evictions = evictions_.value();
+  out.bypasses = bypasses_.value();
   out.entries = size();
   return out;
 }
@@ -123,6 +153,7 @@ std::size_t ScheduleCache::size() const {
 void ScheduleCache::clear() {
   for (Shard& shard : shards_) {
     std::scoped_lock lock(shard.mu);
+    entries_.add(-static_cast<std::int64_t>(shard.lru.size()));
     shard.lru.clear();
     shard.index.clear();
   }

@@ -22,11 +22,15 @@
 //
 // The digest is 128 bits of splitmix-style mixing over (size, image); the
 // cache trusts it without a full image compare — a false hit needs a
-// 2^-128-scale collision.  Hit/miss/eviction/bypass counters are relaxed
-// atomics: exact under quiescence, approximate during concurrent traffic.
+// 2^-128-scale collision.  Hit/miss/eviction/bypass counters are
+// registry-backed obs::Counters (relaxed atomics: exact under quiescence,
+// approximate during concurrent traffic); each cache owns its instances —
+// stats() is the per-instance view — and attaches them to a
+// MetricsRegistry (the global one by default) under bnb_cache_*, so a
+// registry snapshot reports the fabric-wide totals across every live
+// cache in one coherent pass.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -35,6 +39,7 @@
 #include <vector>
 
 #include "core/compiled_bnb.hpp"
+#include "obs/metrics.hpp"
 #include "perm/permutation.hpp"
 
 namespace bnb {
@@ -64,8 +69,14 @@ class ScheduleCache {
   /// Cache at most `capacity` schedules, spread over `shards` LRU shards
   /// (each shard holds ceil(capacity / shards)).  Requires capacity >= 1
   /// and 1 <= shards <= 256; one shard gives a single global LRU order
-  /// (deterministic eviction, useful for tests).
-  explicit ScheduleCache(std::size_t capacity, std::size_t shards = 8);
+  /// (deterministic eviction, useful for tests).  The cache's counters are
+  /// attached to `registry` (nullptr = the global registry) under the
+  /// bnb_cache_* names for the life of the cache, and folded into the
+  /// registry's own totals at destruction (fabric-wide counters never go
+  /// backwards when a cache dies).
+  explicit ScheduleCache(std::size_t capacity, std::size_t shards = 8,
+                         obs::MetricsRegistry* registry = nullptr);
+  ~ScheduleCache();
 
   ScheduleCache(const ScheduleCache&) = delete;
   ScheduleCache& operator=(const ScheduleCache&) = delete;
@@ -91,10 +102,10 @@ class ScheduleCache {
               std::shared_ptr<const ControlSchedule> schedule);
 
   /// Count one fault/trace bypass (route() calls this automatically).
-  void record_bypass() noexcept {
-    bypasses_.fetch_add(1, std::memory_order_relaxed);
-  }
+  void record_bypass() noexcept { bypasses_.inc(); }
 
+  /// Per-instance counter snapshot (a thin adapter over the same
+  /// registry-attached counters).
   [[nodiscard]] ScheduleCacheStats stats() const;
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
@@ -125,10 +136,12 @@ class ScheduleCache {
   std::size_t capacity_;
   std::size_t shard_capacity_;
   std::vector<Shard> shards_;
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> misses_{0};
-  std::atomic<std::uint64_t> evictions_{0};
-  std::atomic<std::uint64_t> bypasses_{0};
+  obs::MetricsRegistry* registry_;  ///< counters attached here until ~ScheduleCache
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter evictions_;
+  obs::Counter bypasses_;
+  obs::Gauge entries_;  ///< live entry count, maintained under the shard locks
 };
 
 }  // namespace bnb

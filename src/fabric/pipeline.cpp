@@ -4,6 +4,7 @@
 #include <type_traits>
 
 #include "common/expect.hpp"
+#include "obs/metrics.hpp"
 
 namespace bnb {
 
@@ -30,6 +31,26 @@ bool audit(const StagedJob& job, const Permutation& pi) {
     if (pi(static_cast<std::size_t>(src)) != line) return false;
   }
   return true;
+}
+
+/// Fold one finished stream into the global registry's bnb_fabric_* view.
+void publish_stream(const PipelinedFabric::StreamStats& s) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  reg.counter("bnb_fabric_streams_total", "run_stream calls completed").inc();
+  reg.counter("bnb_fabric_permutations_total", "permutations issued to the pipelined fabric")
+      .inc(s.permutations);
+  reg.counter("bnb_fabric_misroutes_caught_total", "retired jobs failing the stream audit")
+      .inc(s.misroutes_caught);
+  reg.counter("bnb_fabric_retries_total", "permutations reissued after a failed audit")
+      .inc(s.retries);
+  reg.counter("bnb_fabric_degraded_cycles_total", "cycles routed with live fault overlays")
+      .inc(s.degraded_cycles);
+  reg.counter("bnb_fabric_degraded_transitions_total",
+              "healthy->degraded mode flips across all streams")
+      .inc(s.degraded_transitions);
+  reg.counter("bnb_fabric_failed_permutations_total",
+              "permutations misrouted with retries exhausted")
+      .inc(s.failed_permutations);
 }
 }  // namespace
 
@@ -90,12 +111,17 @@ PipelinedFabric::StreamStats PipelinedFabric::run_stream(
         for (std::size_t i = 0; i < perms.size(); ++i) pending.push_back(i);
         std::vector<unsigned> attempts(perms.size(), 0);
         std::uint64_t cycle = 0;
+        bool was_degraded = false;
 
         while (!pending.empty() || !in_flight.empty()) {
           const EngineFaults* live =
               (overlay != nullptr && cycle < inject->until_cycle) ? overlay
                                                                   : nullptr;
-          if (live != nullptr) ++s.degraded_cycles;
+          if (live != nullptr) {
+            ++s.degraded_cycles;
+            if (!was_degraded) ++s.degraded_transitions;
+          }
+          was_degraded = live != nullptr;
           // Advance every in-flight job by one column.
           for (std::size_t k = 0; k < in_flight.size(); ++k) {
             if constexpr (kIsBnb) {
@@ -148,6 +174,7 @@ PipelinedFabric::StreamStats PipelinedFabric::run_stream(
         s.time_per_permutation =
             s.cycle_time_units * static_cast<double>(cycle) /
             static_cast<double>(perms.size());
+        publish_stream(s);
         return s;
       },
       router_);

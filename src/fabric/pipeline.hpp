@@ -46,6 +46,7 @@ class PipelinedFabric {
     std::uint64_t misroutes_caught = 0;    ///< retired jobs failing the audit
     std::uint64_t retries = 0;             ///< permutations reissued
     std::uint64_t degraded_cycles = 0;     ///< cycles routed with live faults
+    std::uint64_t degraded_transitions = 0; ///< healthy->degraded mode flips
     std::uint64_t failed_permutations = 0; ///< misrouted with retries exhausted
   };
 

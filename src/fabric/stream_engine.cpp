@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/expect.hpp"
+#include "obs/span.hpp"
 
 namespace bnb {
 namespace {
@@ -43,6 +44,11 @@ class SpscRing {
     out = std::move(slots_[tail & mask_]);
     tail_.store(tail + 1, std::memory_order_release);
     return true;
+  }
+
+  /// Approximate occupancy (exact from the producer thread).
+  [[nodiscard]] std::uint64_t size() const noexcept {
+    return head_.load(std::memory_order_relaxed) - tail_.load(std::memory_order_acquire);
   }
 
  private:
@@ -101,10 +107,31 @@ StreamEngine::StreamEngine(const CompiledBnb& plan, Options options)
   if (threads_ == 0) {
     threads_ = std::thread::hardware_concurrency() > 1 ? 2 : 1;
   }
+  obs::MetricsRegistry& reg =
+      options.registry != nullptr ? *options.registry : obs::MetricsRegistry::global();
+  runs_ = &reg.counter("bnb_stream_runs_total", "StreamEngine::run calls completed");
+  permutations_ =
+      &reg.counter("bnb_stream_permutations_total", "permutations routed through run()");
+  solves_ = &reg.counter("bnb_stream_solves_total", "cold arbiter-tree solves in run()");
+  cache_hits_ =
+      &reg.counter("bnb_stream_cache_hits_total", "schedules served from the stream cache");
+  ring_high_water_ = &reg.gauge("bnb_stream_ring_high_water",
+                                "max solved schedules queued in any run's SPSC ring");
 }
 
 StreamEngine::Result StreamEngine::run(std::span<const Permutation> perms) const {
-  return threads_ >= 2 ? run_pipelined(perms) : run_inline(perms);
+  BNB_OBS_SPAN(obs_span, obs::Phase::kStreamRun);
+  Result result = threads_ >= 2 ? run_pipelined(perms) : run_inline(perms);
+  publish(result.stats);
+  return result;
+}
+
+void StreamEngine::publish(const Stats& stats) const {
+  runs_->inc();
+  permutations_->inc(stats.permutations);
+  solves_->inc(stats.solved);
+  cache_hits_->inc(stats.cache_hits);
+  ring_high_water_->update_max(static_cast<std::int64_t>(stats.ring_high_water));
 }
 
 StreamEngine::Result StreamEngine::run_inline(std::span<const Permutation> perms) const {
@@ -169,6 +196,7 @@ StreamEngine::Result StreamEngine::run_pipelined(std::span<const Permutation> pe
   ErrorLatch latch;
   std::atomic<std::uint64_t> solver_solved{0};
   std::atomic<std::uint64_t> solver_hits{0};
+  std::atomic<std::uint64_t> solver_high_water{0};
 
   // SOLVER stage (spawned): control-solve permutation k+1 while the applier
   // is still delivering permutation k.
@@ -176,6 +204,7 @@ StreamEngine::Result StreamEngine::run_pipelined(std::span<const Permutation> pe
     RouteScratch scratch;
     std::uint64_t solved = 0;
     std::uint64_t hits = 0;
+    std::uint64_t high_water = 0;
     for (std::size_t i = 0; i < perms.size(); ++i) {
       if (stop.load(std::memory_order_acquire)) break;
       StreamSlot slot;
@@ -207,13 +236,16 @@ StreamEngine::Result StreamEngine::run_pipelined(std::span<const Permutation> pe
         if (stop.load(std::memory_order_acquire)) {
           solver_solved.store(solved, std::memory_order_relaxed);
           solver_hits.store(hits, std::memory_order_relaxed);
+          solver_high_water.store(high_water, std::memory_order_relaxed);
           return;
         }
         std::this_thread::yield();
       }
+      high_water = std::max(high_water, ring.size());  // producer-side: exact
     }
     solver_solved.store(solved, std::memory_order_relaxed);
     solver_hits.store(hits, std::memory_order_relaxed);
+    solver_high_water.store(high_water, std::memory_order_relaxed);
   });
 
   // APPLIER stage (calling thread): replay solved schedules in stream order.
@@ -243,6 +275,7 @@ StreamEngine::Result StreamEngine::run_pipelined(std::span<const Permutation> pe
   if (latch.error) latch.rethrow(perms.size());
   result.stats.solved = solver_solved.load(std::memory_order_relaxed);
   result.stats.cache_hits = solver_hits.load(std::memory_order_relaxed);
+  result.stats.ring_high_water = solver_high_water.load(std::memory_order_relaxed);
   result.stats.all_self_routed = all_ok;
   return result;
 }

@@ -33,6 +33,7 @@
 
 #include "core/compiled_bnb.hpp"
 #include "core/schedule_cache.hpp"
+#include "obs/metrics.hpp"
 #include "perm/permutation.hpp"
 
 namespace bnb {
@@ -50,12 +51,16 @@ class StreamEngine {
     /// Optional schedule cache consulted before each solve; nullptr = every
     /// permutation is solved cold.  Shared across engines/threads is fine.
     ScheduleCache* cache = nullptr;
+    /// Registry the engine publishes its bnb_stream_* totals to at the end
+    /// of every run(); nullptr = the global registry.
+    obs::MetricsRegistry* registry = nullptr;
   };
 
   struct Stats {
     std::uint64_t permutations = 0;
     std::uint64_t solved = 0;       ///< cold arbiter-tree solves run
     std::uint64_t cache_hits = 0;   ///< schedules served from Options::cache
+    std::uint64_t ring_high_water = 0;  ///< max solved schedules queued (0 inline)
     unsigned threads_used = 1;
     bool pipelined = false;         ///< true when solver/applier overlapped
     bool all_self_routed = false;
@@ -80,11 +85,19 @@ class StreamEngine {
  private:
   Result run_inline(std::span<const Permutation> perms) const;
   Result run_pipelined(std::span<const Permutation> perms) const;
+  void publish(const Stats& stats) const;
 
   const CompiledBnb& plan_;
   unsigned threads_;
   std::size_t ring_depth_;
   ScheduleCache* cache_;
+  // Registry-owned bnb_stream_* metrics, resolved once at construction so
+  // the const run() path never touches the registry mutex.
+  obs::Counter* runs_;
+  obs::Counter* permutations_;
+  obs::Counter* solves_;
+  obs::Counter* cache_hits_;
+  obs::Gauge* ring_high_water_;
 };
 
 }  // namespace bnb

@@ -6,6 +6,7 @@
 #include "common/expect.hpp"
 #include "core/bit_pack.hpp"
 #include "fault/injection.hpp"
+#include "obs/span.hpp"
 #include "perm/generators.hpp"
 
 namespace bnb {
@@ -102,9 +103,39 @@ const char* to_string(RouteOutcome outcome) noexcept {
   return "?";
 }
 
-RobustRouter::RobustRouter(unsigned m, RobustPolicy policy)
-    : engine_(m), fallback_(m), audit_(m), policy_(policy) {
+RobustRouter::RobustRouter(unsigned m, RobustPolicy policy,
+                           obs::MetricsRegistry* registry)
+    : engine_(m),
+      fallback_(m),
+      audit_(m),
+      policy_(policy),
+      registry_(registry != nullptr ? registry : &obs::MetricsRegistry::global()) {
   scratch_.prepare(engine_);
+  registry_->attach_counter("bnb_robust_routed_total", &routed_,
+                            "RobustRouter deliveries on any path");
+  registry_->attach_counter("bnb_robust_misroutes_caught_total", &misroutes_caught_,
+                            "delivery audits that failed");
+  registry_->attach_counter("bnb_robust_retries_total", &retries_,
+                            "extra primary-path attempts");
+  registry_->attach_counter("bnb_robust_fallback_total", &fallback_routes_,
+                            "spare-plane deliveries");
+  registry_->attach_counter("bnb_robust_failures_total", &failures_,
+                            "routes that ended kFailed");
+}
+
+RobustRouter::~RobustRouter() {
+  registry_->detach_counter("bnb_robust_routed_total", &routed_);
+  registry_->detach_counter("bnb_robust_misroutes_caught_total", &misroutes_caught_);
+  registry_->detach_counter("bnb_robust_retries_total", &retries_);
+  registry_->detach_counter("bnb_robust_fallback_total", &fallback_routes_);
+  registry_->detach_counter("bnb_robust_failures_total", &failures_);
+  // Fold the final totals into the owned counters so the fabric-wide view
+  // stays monotonic across router lifetimes.
+  registry_->counter("bnb_robust_routed_total").inc(routed_.value());
+  registry_->counter("bnb_robust_misroutes_caught_total").inc(misroutes_caught_.value());
+  registry_->counter("bnb_robust_retries_total").inc(retries_.value());
+  registry_->counter("bnb_robust_fallback_total").inc(fallback_routes_.value());
+  registry_->counter("bnb_robust_failures_total").inc(failures_.value());
 }
 
 void RobustRouter::inject(const FaultModel& model) {
@@ -144,38 +175,46 @@ RobustReport RobustRouter::route(const Permutation& pi) {
     const EngineFaults* overlay = overlay_for_attempt();
     const CompiledBnb::Output out = engine_.route(pi, scratch_, nullptr, overlay);
     ++report.attempts;
-    report.audit = audit_.audit(pi, out.outputs);
+    {
+      BNB_OBS_SPAN(obs_span, obs::Phase::kAudit);
+      report.audit = audit_.audit(pi, out.outputs);
+    }
     if (report.audit.ok) {
       report.outcome = attempt == 0 ? RouteOutcome::kDelivered
                                     : RouteOutcome::kDeliveredAfterRetry;
       report.dest.assign(out.dest.begin(), out.dest.end());
-      ++stats_.routed;
+      routed_.inc();
       return report;
     }
-    ++stats_.misroutes_caught;
-    if (attempt + 1 < attempts_allowed) ++stats_.retries;
+    misroutes_caught_.inc();
+    if (attempt + 1 < attempts_allowed) retries_.inc();
   }
 
   // The primary path persistently misroutes: localize the damage, then try
   // the spare plane.
   if (policy_.diagnose_on_failure) report.diagnosis = diagnose(pi);
   if (policy_.fallback_to_behavioral) {
+    BNB_OBS_SPAN(obs_span, obs::Phase::kFallback);
     const BnbNetwork::Result spare = fallback_.route(pi);
-    report.audit = audit_.audit(pi, spare.outputs);
+    {
+      BNB_OBS_SPAN(audit_span, obs::Phase::kAudit);
+      report.audit = audit_.audit(pi, spare.outputs);
+    }
     if (report.audit.ok) {
       report.outcome = RouteOutcome::kDeliveredByFallback;
       report.dest = spare.dest;
-      ++stats_.routed;
-      ++stats_.fallback_routes;
+      routed_.inc();
+      fallback_routes_.inc();
       return report;
     }
   }
   report.outcome = RouteOutcome::kFailed;
-  ++stats_.failures;
+  failures_.inc();
   return report;
 }
 
 Diagnosis RobustRouter::diagnose(const Permutation& pi) const {
+  BNB_OBS_SPAN(obs_span, obs::Phase::kDiagnose);
   Diagnosis diagnosis;
   const bool active = permanent_ || transient_remaining_ > 0;
   if (overlay_.empty() || !active) return diagnosis;

@@ -30,6 +30,7 @@
 #include "core/compiled_bnb.hpp"
 #include "fault/delivery_audit.hpp"
 #include "fault/fault_model.hpp"
+#include "obs/metrics.hpp"
 #include "perm/permutation.hpp"
 
 namespace bnb {
@@ -74,7 +75,14 @@ struct RobustReport {
 
 class RobustRouter {
  public:
-  explicit RobustRouter(unsigned m, RobustPolicy policy = {});
+  /// The router's recovery counters are attached to `registry` (nullptr =
+  /// the global registry) under the bnb_robust_* names while it lives.
+  explicit RobustRouter(unsigned m, RobustPolicy policy = {},
+                        obs::MetricsRegistry* registry = nullptr);
+  ~RobustRouter();
+
+  RobustRouter(const RobustRouter&) = delete;
+  RobustRouter& operator=(const RobustRouter&) = delete;
 
   [[nodiscard]] unsigned m() const noexcept { return engine_.m(); }
   [[nodiscard]] std::size_t inputs() const noexcept { return engine_.inputs(); }
@@ -98,6 +106,7 @@ class RobustRouter {
   /// when the faulty and clean fabrics agree on every probe).
   [[nodiscard]] Diagnosis diagnose(const Permutation& pi) const;
 
+  /// Counter snapshot (a thin adapter over the registry-attached counters).
   struct Stats {
     std::uint64_t routed = 0;           ///< deliveries (any path)
     std::uint64_t misroutes_caught = 0; ///< audits that failed
@@ -105,8 +114,17 @@ class RobustRouter {
     std::uint64_t fallback_routes = 0;  ///< spare-plane deliveries
     std::uint64_t failures = 0;         ///< kFailed routes
   };
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_ = {}; }
+  [[nodiscard]] Stats stats() const noexcept {
+    return Stats{routed_.value(), misroutes_caught_.value(), retries_.value(),
+                 fallback_routes_.value(), failures_.value()};
+  }
+  void reset_stats() noexcept {
+    routed_.reset();
+    misroutes_caught_.reset();
+    retries_.reset();
+    fallback_routes_.reset();
+    failures_.reset();
+  }
 
  private:
   [[nodiscard]] const EngineFaults* overlay_for_attempt();
@@ -119,7 +137,12 @@ class RobustRouter {
   EngineFaults overlay_;
   bool permanent_ = false;
   unsigned transient_remaining_ = 0;
-  Stats stats_;
+  obs::MetricsRegistry* registry_;  ///< counters attached here until destruction
+  obs::Counter routed_;
+  obs::Counter misroutes_caught_;
+  obs::Counter retries_;
+  obs::Counter fallback_routes_;
+  obs::Counter failures_;
 };
 
 }  // namespace bnb

@@ -1,0 +1,136 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace bnb::obs {
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out += buf;
+}
+
+/// `le` label text of histogram bucket b: the finite bound or +Inf.
+std::string le_text(std::size_t b) {
+  if (b + 1 == Histogram::kBuckets) return "+Inf";
+  std::string out;
+  append_u64(out, Histogram::upper_bound(b));
+  return out;
+}
+
+}  // namespace
+
+std::string to_prometheus(const RegistrySnapshot& snapshot) {
+  std::string out;
+  for (const MetricSnapshot& metric : snapshot.metrics) {
+    if (!metric.help.empty()) {
+      out += "# HELP " + metric.name + " " + metric.help + "\n";
+    }
+    out += "# TYPE " + metric.name + " ";
+    out += to_string(metric.kind);
+    out += "\n";
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        out += metric.name + " ";
+        append_u64(out, metric.counter);
+        out += "\n";
+        break;
+      case MetricKind::kGauge:
+        out += metric.name + " ";
+        append_i64(out, metric.gauge);
+        out += "\n";
+        break;
+      case MetricKind::kHistogram: {
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+          cumulative += metric.histogram.buckets[b];
+          out += metric.name + "_bucket{le=\"" + le_text(b) + "\"} ";
+          append_u64(out, cumulative);
+          out += "\n";
+        }
+        out += metric.name + "_sum ";
+        append_u64(out, metric.histogram.sum);
+        out += "\n";
+        out += metric.name + "_count ";
+        append_u64(out, metric.histogram.count);
+        out += "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const RegistrySnapshot& snapshot) {
+  std::string counters;
+  std::string gauges;
+  std::string histograms;
+  for (const MetricSnapshot& metric : snapshot.metrics) {
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        if (!counters.empty()) counters += ",\n";
+        counters += "    \"" + metric.name + "\": ";
+        append_u64(counters, metric.counter);
+        break;
+      case MetricKind::kGauge:
+        if (!gauges.empty()) gauges += ",\n";
+        gauges += "    \"" + metric.name + "\": ";
+        append_i64(gauges, metric.gauge);
+        break;
+      case MetricKind::kHistogram: {
+        if (!histograms.empty()) histograms += ",\n";
+        histograms += "    \"" + metric.name + "\": {\"count\": ";
+        append_u64(histograms, metric.histogram.count);
+        histograms += ", \"sum\": ";
+        append_u64(histograms, metric.histogram.sum);
+        histograms += ", \"buckets\": [";
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+          cumulative += metric.histogram.buckets[b];
+          if (b > 0) histograms += ", ";
+          histograms += "{\"le\": \"" + le_text(b) + "\", \"count\": ";
+          append_u64(histograms, cumulative);
+          histograms += "}";
+        }
+        histograms += "]}";
+        break;
+      }
+    }
+  }
+  std::string out = "{\n  \"schema\": \"bnb.metrics.v1\",\n";
+  out += "  \"counters\": {";
+  if (!counters.empty()) out += "\n" + counters + "\n  ";
+  out += "},\n  \"gauges\": {";
+  if (!gauges.empty()) out += "\n" + gauges + "\n  ";
+  out += "},\n  \"histograms\": {";
+  if (!histograms.empty()) out += "\n" + histograms + "\n  ";
+  out += "}\n}\n";
+  return out;
+}
+
+std::string trace_to_json(std::span<const SpanRecord> spans) {
+  std::string out = "{\n  \"schema\": \"bnb.trace.v1\",\n  \"spans\": [";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"phase\": \"";
+    out += to_string(spans[i].phase);
+    out += "\", \"start_ns\": ";
+    append_u64(out, spans[i].start_ns);
+    out += ", \"duration_ns\": ";
+    append_u64(out, spans[i].duration_ns);
+    out += "}";
+  }
+  if (!spans.empty()) out += "\n  ";
+  out += "]\n}\n";
+  return out;
+}
+
+}  // namespace bnb::obs

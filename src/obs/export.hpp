@@ -1,0 +1,31 @@
+// Exporters for MetricsRegistry snapshots and span traces.
+//
+//   * to_prometheus — Prometheus text exposition format 0.0.4: # HELP /
+//     # TYPE headers, counters and gauges as bare samples, histograms as
+//     cumulative name_bucket{le="..."} series plus name_sum / name_count.
+//   * to_json — schema "bnb.metrics.v1": {schema, counters{}, gauges{},
+//     histograms{name: {count, sum, buckets: [{le, count}...]}}} with the
+//     same cumulative bucket convention, names in sorted order.
+//   * trace_to_json — schema "bnb.trace.v1": the structured span list
+//     {spans: [{phase, start_ns, duration_ns}...]} from a SpanTrace.
+//
+// Both snapshot exporters emit the FULL metric catalog of the snapshot —
+// the golden tests in tests/test_obs.cpp parse the output back and verify
+// every metric round-trips with its exact value.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace bnb::obs {
+
+[[nodiscard]] std::string to_prometheus(const RegistrySnapshot& snapshot);
+
+[[nodiscard]] std::string to_json(const RegistrySnapshot& snapshot);
+
+[[nodiscard]] std::string trace_to_json(std::span<const SpanRecord> spans);
+
+}  // namespace bnb::obs

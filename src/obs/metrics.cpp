@@ -1,0 +1,141 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace bnb::obs {
+
+const char* to_string(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+const MetricSnapshot* RegistrySnapshot::find(std::string_view name) const noexcept {
+  const auto it = std::lower_bound(
+      metrics.begin(), metrics.end(), name,
+      [](const MetricSnapshot& m, std::string_view key) { return m.name < key; });
+  if (it == metrics.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry_for(std::string_view name,
+                                                  MetricKind kind,
+                                                  std::string_view help) {
+  BNB_EXPECTS(!name.empty());
+  const auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    BNB_EXPECTS(it->second.kind == kind);
+    if (it->second.help.empty() && !help.empty()) it->second.help = help;
+    return it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  entry.help = help;
+  return entries_.emplace(std::string(name), std::move(entry)).first->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, std::string_view help) {
+  std::scoped_lock lock(mu_);
+  Entry& entry = entry_for(name, MetricKind::kCounter, help);
+  if (!entry.counter) entry.counter = std::make_unique<Counter>();
+  return *entry.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help) {
+  std::scoped_lock lock(mu_);
+  Entry& entry = entry_for(name, MetricKind::kGauge, help);
+  if (!entry.gauge) entry.gauge = std::make_unique<Gauge>();
+  return *entry.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, std::string_view help) {
+  std::scoped_lock lock(mu_);
+  Entry& entry = entry_for(name, MetricKind::kHistogram, help);
+  if (!entry.histogram) entry.histogram = std::make_unique<Histogram>();
+  return *entry.histogram;
+}
+
+void MetricsRegistry::attach_counter(std::string_view name, const Counter* source,
+                                     std::string_view help) {
+  BNB_EXPECTS(source != nullptr);
+  std::scoped_lock lock(mu_);
+  entry_for(name, MetricKind::kCounter, help).counter_sources.push_back(source);
+}
+
+void MetricsRegistry::detach_counter(std::string_view name,
+                                     const Counter* source) noexcept {
+  std::scoped_lock lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return;
+  auto& sources = it->second.counter_sources;
+  sources.erase(std::remove(sources.begin(), sources.end(), source), sources.end());
+}
+
+void MetricsRegistry::attach_gauge(std::string_view name, const Gauge* source,
+                                   std::string_view help) {
+  BNB_EXPECTS(source != nullptr);
+  std::scoped_lock lock(mu_);
+  entry_for(name, MetricKind::kGauge, help).gauge_sources.push_back(source);
+}
+
+void MetricsRegistry::detach_gauge(std::string_view name, const Gauge* source) noexcept {
+  std::scoped_lock lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return;
+  auto& sources = it->second.gauge_sources;
+  sources.erase(std::remove(sources.begin(), sources.end(), source), sources.end());
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  std::scoped_lock lock(mu_);
+  RegistrySnapshot out;
+  out.metrics.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    MetricSnapshot metric;
+    metric.name = name;
+    metric.help = entry.help;
+    metric.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::kCounter: {
+        std::uint64_t total = entry.counter ? entry.counter->value() : 0;
+        for (const Counter* source : entry.counter_sources) total += source->value();
+        metric.counter = total;
+        break;
+      }
+      case MetricKind::kGauge: {
+        std::int64_t total = entry.gauge ? entry.gauge->value() : 0;
+        for (const Gauge* source : entry.gauge_sources) total += source->value();
+        metric.gauge = total;
+        break;
+      }
+      case MetricKind::kHistogram: {
+        if (entry.histogram) {
+          for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+            metric.histogram.buckets[b] = entry.histogram->bucket_count(b);
+            metric.histogram.count += metric.histogram.buckets[b];
+          }
+          metric.histogram.sum = entry.histogram->sum();
+        }
+        break;
+      }
+    }
+    out.metrics.push_back(std::move(metric));
+  }
+  // std::map iterates in key order, so the snapshot is already name-sorted.
+  return out;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::scoped_lock lock(mu_);
+  return entries_.size();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace bnb::obs

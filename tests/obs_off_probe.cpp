@@ -1,0 +1,26 @@
+// BNB_OBS_OFF probe translation unit.
+//
+// tests/CMakeLists.txt force-compiles THIS file with BNB_OBS_OFF while the
+// rest of the test binary keeps telemetry on, proving two things at once:
+//   * the compiled-out BNB_OBS_SPAN path really is a no-op (no histogram
+//     records, no trace records — test_obs.cpp asserts the deltas), and
+//   * mixing OFF and ON translation units in one binary is ODR-safe,
+//     because the macro only selects between two always-defined types.
+#ifndef BNB_OBS_OFF
+#error "obs_off_probe.cpp must be compiled with BNB_OBS_OFF (see tests/CMakeLists.txt)"
+#endif
+
+#include "obs/span.hpp"
+
+namespace bnb::testhook {
+
+int obs_off_compiled() { return BNB_OBS_COMPILED; }
+
+void obs_off_span_burst(int n) {
+  for (int i = 0; i < n; ++i) {
+    BNB_OBS_SPAN(span, ::bnb::obs::Phase::kRoute);
+    span.finish();
+  }
+}
+
+}  // namespace bnb::testhook

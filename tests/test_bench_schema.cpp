@@ -1,5 +1,5 @@
 // BENCH_routing.json is the repo's recorded perf baseline; docs/PERF.md
-// documents its schema (bnb.bench_routing.v3).  This test parses the
+// documents its schema (bnb.bench_routing.v4).  This test parses the
 // checked-in file with a minimal JSON reader and validates the schema, so
 // a bench_engine change that drifts the emitted shape fails CI instead of
 // silently invalidating the regression baseline.
@@ -222,7 +222,7 @@ TEST(BenchRoutingJson, MatchesTheDocumentedSchema) {
 
   // Header.
   ASSERT_TRUE(field(top, "schema").is_string());
-  EXPECT_EQ(field(top, "schema").str(), "bnb.bench_routing.v3");
+  EXPECT_EQ(field(top, "schema").str(), "bnb.bench_routing.v4");
   ASSERT_TRUE(field(top, "generated_by").is_string());
   ASSERT_TRUE(field(top, "hardware_threads").is_number());
   const double hardware_threads = field(top, "hardware_threads").num();
@@ -404,6 +404,46 @@ TEST(BenchRoutingJson, MatchesTheDocumentedSchema) {
   }
   EXPECT_TRUE(saw_pipelined) << "stream section must time the pipelined engine";
   EXPECT_TRUE(saw_cached) << "stream section must time the cached engine";
+
+  // obs (v4): telemetry overhead — the same phase work timed with spans
+  // runtime-enabled vs runtime-disabled.  overhead_pct must be consistent
+  // with its two timings, and the recorded overhead on the hot phases
+  // (route, apply) must clear the <3% acceptance bar.  Negative values are
+  // fine: the span cost sits inside timing noise.
+  ASSERT_TRUE(field(top, "obs").is_object());
+  const JsonObject& obs = field(top, "obs").object();
+  ASSERT_TRUE(field(obs, "m").is_number());
+  ASSERT_TRUE(field(obs, "phases").is_array());
+  const JsonArray& obs_rows = field(obs, "phases").array();
+  std::vector<std::string> obs_phases;
+  for (const auto& row_value : obs_rows) {
+    ASSERT_TRUE(row_value->is_object());
+    const JsonObject& row = row_value->object();
+    ASSERT_TRUE(field(row, "phase").is_string());
+    for (const char* key :
+         {"enabled_ns_per_call", "disabled_ns_per_call", "overhead_pct"}) {
+      ASSERT_TRUE(field(row, key).is_number()) << key;
+    }
+    const double enabled_ns = field(row, "enabled_ns_per_call").num();
+    const double disabled_ns = field(row, "disabled_ns_per_call").num();
+    const double overhead = field(row, "overhead_pct").num();
+    EXPECT_GT(enabled_ns, 0.0);
+    EXPECT_GT(disabled_ns, 0.0);
+    EXPECT_NEAR(overhead, (enabled_ns - disabled_ns) / disabled_ns * 100.0, 0.05)
+        << "overhead_pct inconsistent for phase " << field(row, "phase").str();
+    obs_phases.push_back(field(row, "phase").str());
+    if (field(row, "phase").str() == "route" ||
+        field(row, "phase").str() == "apply") {
+      EXPECT_LT(overhead, 3.0)
+          << "telemetry must cost <3% on the " << field(row, "phase").str()
+          << " hot path";
+    }
+  }
+  for (const char* phase : {"route", "solve", "apply"}) {
+    EXPECT_TRUE(std::find(obs_phases.begin(), obs_phases.end(), phase) !=
+                obs_phases.end())
+        << "obs section must record the " << phase << " phase";
+  }
 }
 
 }  // namespace

@@ -18,6 +18,7 @@
 #include "core/schedule_cache.hpp"
 #include "core/splitter.hpp"
 #include "fabric/staged_router.hpp"
+#include "obs/span.hpp"
 #include "perm/generators.hpp"
 
 namespace bnb {
@@ -135,6 +136,13 @@ TEST(CompiledBnb, SteadyStateRoutingAllocatesNothing) {
   // Warm-up (first call may still touch lazily prepared state).
   (void)engine.route(perms[0], scratch);
 
+  // The measured region runs with full telemetry live — enabled spans AND
+  // a structured trace sink installed — so the zero-allocation guarantee
+  // covers the instrumentation too (spans record into preallocated state).
+  obs::set_enabled(true);
+  obs::SpanTrace span_trace(64);
+  obs::set_trace(&span_trace);
+
   testhook::reset_allocation_count();
   for (const auto& pi : perms) {
     const auto out = engine.route(pi, scratch);
@@ -142,8 +150,15 @@ TEST(CompiledBnb, SteadyStateRoutingAllocatesNothing) {
   }
   const auto out = engine.route_words(words, scratch);
   ASSERT_TRUE(out.self_routed);
-  EXPECT_EQ(testhook::allocation_count(), 0U)
-      << "steady-state route must not touch the heap";
+  const std::size_t allocs = testhook::allocation_count();
+  obs::set_trace(nullptr);
+  EXPECT_EQ(allocs, 0U)
+      << "steady-state route (with telemetry live) must not touch the heap";
+#if BNB_OBS_COMPILED
+  EXPECT_EQ(span_trace.recorded(), static_cast<std::uint64_t>(perms.size()) + 1);
+#else
+  EXPECT_EQ(span_trace.recorded(), 0U);  // BNB_OBS_OFF: spans compiled out
+#endif
 }
 
 TEST(CompiledBnb, ScratchPreparesLazilyOnFirstRoute) {

@@ -1,0 +1,539 @@
+// Telemetry layer tests: metric primitives, registry aggregation, span
+// taxonomy, exporters, and the BNB_OBS_OFF compiled-out path.
+//
+// Suite naming: every suite here starts with "Obs" so the tsan preset's
+// test filter picks the concurrency cases up (see CMakePresets.json).
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+#include "core/compiled_bnb.hpp"
+#include "core/schedule_cache.hpp"
+#include "fabric/stream_engine.hpp"
+#include "fault/robust_router.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "perm/generators.hpp"
+
+#include "alloc_count_hook.hpp"
+
+// Exported by obs_off_probe.cpp, which is force-compiled with BNB_OBS_OFF
+// even when the rest of this binary has telemetry on.
+namespace bnb::testhook {
+int obs_off_compiled();
+void obs_off_span_burst(int n);
+}  // namespace bnb::testhook
+
+namespace bnb {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::MetricKind;
+using obs::MetricsRegistry;
+using obs::Phase;
+
+// ---- primitives -------------------------------------------------------
+
+TEST(ObsCounter, IncrementsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsGauge, SetAddAndRunningMax) {
+  Gauge g;
+  g.set(-7);
+  EXPECT_EQ(g.value(), -7);
+  g.add(10);
+  EXPECT_EQ(g.value(), 3);
+  g.update_max(17);
+  EXPECT_EQ(g.value(), 17);
+  g.update_max(5);  // lower than current: no change
+  EXPECT_EQ(g.value(), 17);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(ObsHistogram, BucketBoundariesArePowersOfTwo) {
+  // Bucket b holds v <= 2^b; the last bucket is +Inf.
+  EXPECT_EQ(Histogram::upper_bound(0), 1u);
+  EXPECT_EQ(Histogram::upper_bound(1), 2u);
+  EXPECT_EQ(Histogram::upper_bound(30), 1u << 30);
+  EXPECT_EQ(Histogram::upper_bound(Histogram::kBuckets - 1), ~std::uint64_t{0});
+
+  Histogram h;
+  h.record(0);  // bucket 0
+  h.record(1);  // bucket 0
+  h.record(2);  // bucket 1
+  h.record(3);  // bucket 2 (2 < 3 <= 4)
+  h.record(4);  // bucket 2
+  h.record(5);  // bucket 3
+  h.record(std::uint64_t{1} << 30);         // bucket 30, the last finite bound
+  h.record((std::uint64_t{1} << 30) + 1);   // past every finite bound: +Inf
+  h.record(~std::uint64_t{0});              // +Inf
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.bucket_count(30), 1u);
+  EXPECT_EQ(h.bucket_count(Histogram::kBuckets - 1), 2u);
+  EXPECT_EQ(h.total_count(), 9u);
+  h.reset();
+  EXPECT_EQ(h.total_count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+}
+
+TEST(ObsHistogram, SumAccumulates) {
+  Histogram h;
+  h.record(10);
+  h.record(100);
+  EXPECT_EQ(h.sum(), 110u);
+  EXPECT_EQ(h.total_count(), 2u);
+}
+
+// ---- registry ---------------------------------------------------------
+
+TEST(ObsRegistry, GetOrCreateReturnsStableIdentity) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x_total", "first help wins");
+  Counter& b = reg.counter("x_total", "ignored");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(reg.size(), 1u);
+  a.inc(5);
+  const auto snap = reg.snapshot();
+  ASSERT_NE(snap.find("x_total"), nullptr);
+  EXPECT_EQ(snap.find("x_total")->counter, 5u);
+  EXPECT_EQ(snap.find("x_total")->help, "first help wins");
+  EXPECT_EQ(snap.find("missing"), nullptr);
+}
+
+TEST(ObsRegistry, KindMismatchIsAContractViolation) {
+  MetricsRegistry reg;
+  (void)reg.counter("name");
+  EXPECT_THROW((void)reg.gauge("name"), contract_violation);
+  EXPECT_THROW((void)reg.histogram("name"), contract_violation);
+  EXPECT_THROW(reg.attach_gauge("name", nullptr), contract_violation);
+}
+
+TEST(ObsRegistry, AttachedInstancesSumWithOwned) {
+  MetricsRegistry reg;
+  reg.counter("c_total").inc(1);  // owned
+  Counter inst1;
+  Counter inst2;
+  inst1.inc(10);
+  inst2.inc(100);
+  reg.attach_counter("c_total", &inst1);
+  reg.attach_counter("c_total", &inst2);
+  EXPECT_EQ(reg.snapshot().find("c_total")->counter, 111u);
+
+  reg.detach_counter("c_total", &inst2);
+  EXPECT_EQ(reg.snapshot().find("c_total")->counter, 11u);
+  reg.detach_counter("c_total", &inst1);
+  EXPECT_EQ(reg.snapshot().find("c_total")->counter, 1u);
+  // Detaching something never attached is a harmless no-op.
+  reg.detach_counter("c_total", &inst1);
+  reg.detach_counter("never_attached", &inst1);
+}
+
+TEST(ObsRegistry, AttachedGaugesSumLevels) {
+  MetricsRegistry reg;
+  Gauge a;
+  Gauge b;
+  a.set(5);
+  b.set(-2);
+  reg.attach_gauge("level", &a);
+  reg.attach_gauge("level", &b);
+  EXPECT_EQ(reg.snapshot().find("level")->gauge, 3);
+  reg.detach_gauge("level", &a);
+  reg.detach_gauge("level", &b);
+}
+
+TEST(ObsRegistry, SnapshotIsNameSorted) {
+  MetricsRegistry reg;
+  (void)reg.counter("zeta");
+  (void)reg.counter("alpha");
+  (void)reg.gauge("mid");
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.metrics.size(), 3u);
+  EXPECT_EQ(snap.metrics[0].name, "alpha");
+  EXPECT_EQ(snap.metrics[1].name, "mid");
+  EXPECT_EQ(snap.metrics[2].name, "zeta");
+}
+
+TEST(Obs, CounterConcurrentWritersExact) {
+  // Relaxed fetch_add loses nothing: the total is exact once the writers
+  // join.  Runs under the tsan preset.
+  Counter c;
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.inc();
+        h.record(static_cast<std::uint64_t>(i & 1023));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.total_count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Obs, RegistryConcurrentRegistrationAndSnapshot) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg, t] {
+      for (int i = 0; i < 200; ++i) {
+        reg.counter("shared_total").inc();
+        reg.counter("own_" + std::to_string(t)).inc();
+        if (i % 50 == 0) (void)reg.snapshot();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.find("shared_total")->counter, static_cast<std::uint64_t>(kThreads) * 200);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(snap.find("own_" + std::to_string(t))->counter, 200u);
+  }
+}
+
+// ---- spans and trace --------------------------------------------------
+
+TEST(ObsSpan, PhaseNamesAndHistogramsCoverTheTaxonomy) {
+  const Phase all[] = {Phase::kSolve,    Phase::kApply,    Phase::kRoute,
+                       Phase::kAudit,    Phase::kDiagnose, Phase::kFallback,
+                       Phase::kStreamRun};
+  static_assert(obs::kPhaseCount == 7);
+  const char* names[] = {"solve", "apply", "route", "audit", "diagnose",
+                         "fallback", "stream_run"};
+  for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+    EXPECT_STREQ(obs::to_string(all[i]), names[i]);
+    // Each phase has its own histogram; all are distinct objects.
+    for (std::size_t j = i + 1; j < obs::kPhaseCount; ++j) {
+      EXPECT_NE(&obs::phase_histogram(all[i]), &obs::phase_histogram(all[j]));
+    }
+  }
+  // The phase histograms live in the global registry under bnb_<phase>_ns.
+  const auto snap = MetricsRegistry::global().snapshot();
+  for (const char* name : names) {
+    const auto* metric = snap.find(std::string("bnb_") + name + "_ns");
+    ASSERT_NE(metric, nullptr) << name;
+    EXPECT_EQ(metric->kind, MetricKind::kHistogram);
+  }
+}
+
+TEST(ObsSpan, LiveSpanRecordsIntoHistogramAndTrace) {
+  obs::set_enabled(true);
+  obs::SpanTrace trace(8);
+  obs::set_trace(&trace);
+  const std::uint64_t before = obs::phase_histogram(Phase::kDiagnose).total_count();
+  {
+    obs::LiveSpan span(Phase::kDiagnose);
+  }
+  obs::set_trace(nullptr);
+  EXPECT_EQ(obs::phase_histogram(Phase::kDiagnose).total_count(), before + 1);
+  const auto spans = trace.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].phase, Phase::kDiagnose);
+}
+
+TEST(ObsSpan, FinishIsIdempotent) {
+  obs::set_enabled(true);
+  const std::uint64_t before = obs::phase_histogram(Phase::kFallback).total_count();
+  obs::LiveSpan span(Phase::kFallback);
+  span.finish();
+  span.finish();  // second call must not double-record
+  EXPECT_EQ(obs::phase_histogram(Phase::kFallback).total_count(), before + 1);
+}
+
+TEST(ObsSpan, RuntimeDisableSkipsRecording) {
+  obs::set_enabled(false);
+  const std::uint64_t before = obs::phase_histogram(Phase::kAudit).total_count();
+  {
+    obs::LiveSpan span(Phase::kAudit);
+  }
+  obs::set_enabled(true);
+  EXPECT_EQ(obs::phase_histogram(Phase::kAudit).total_count(), before);
+}
+
+TEST(ObsSpan, TraceRingKeepsMostRecentAndWraps) {
+  obs::SpanTrace trace(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    trace.record(Phase::kSolve, /*start_ns=*/i, /*duration_ns=*/i * 10);
+  }
+  EXPECT_EQ(trace.recorded(), 10u);
+  EXPECT_EQ(trace.capacity(), 4u);
+  const auto spans = trace.snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(spans[k].start_ns, 6 + k);  // oldest retained first
+    EXPECT_EQ(spans[k].duration_ns, (6 + k) * 10);
+  }
+  trace.clear();
+  EXPECT_EQ(trace.recorded(), 0u);
+  EXPECT_TRUE(trace.snapshot().empty());
+}
+
+TEST(Obs, TraceConcurrentRecordIsLossyButRaceFree) {
+  obs::SpanTrace trace(64);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (std::uint64_t i = 0; i < 5000; ++i) trace.record(Phase::kApply, i, 1);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(trace.recorded(), static_cast<std::uint64_t>(kThreads) * 5000);
+  EXPECT_EQ(trace.snapshot().size(), 64u);
+}
+
+TEST(ObsSpan, SpanBurstAllocatesNothing) {
+  // Spans must be legal inside the zero-allocation steady state: warm the
+  // phase table and preallocate the trace, then record with the global
+  // operator-new hook watching.
+  obs::set_enabled(true);
+  (void)obs::phase_histogram(Phase::kRoute);
+  obs::SpanTrace trace(256);
+  obs::set_trace(&trace);
+
+  testhook::reset_allocation_count();
+  for (int i = 0; i < 1000; ++i) {
+    obs::LiveSpan span(Phase::kRoute);
+    span.finish();
+  }
+  const std::size_t allocs = testhook::allocation_count();
+  obs::set_trace(nullptr);
+  EXPECT_EQ(allocs, 0u);
+}
+
+// ---- BNB_OBS_OFF compiled-out path ------------------------------------
+
+TEST(ObsOff, ProbeSeesInstrumentationCompiledOut) {
+  EXPECT_EQ(testhook::obs_off_compiled(), 0);
+}
+
+TEST(ObsOff, CompiledOutSpansRecordNothing) {
+  obs::set_enabled(true);
+  obs::SpanTrace trace(16);
+  obs::set_trace(&trace);
+  const std::uint64_t before = obs::phase_histogram(Phase::kRoute).total_count();
+  testhook::obs_off_span_burst(100);
+  obs::set_trace(nullptr);
+  EXPECT_EQ(obs::phase_histogram(Phase::kRoute).total_count(), before);
+  EXPECT_EQ(trace.recorded(), 0u);
+}
+
+// ---- exporters --------------------------------------------------------
+
+TEST(ObsExport, PrometheusGoldenForCountersAndGauges) {
+  MetricsRegistry reg;
+  reg.counter("t_events_total", "events seen").inc(3);
+  reg.gauge("t_level").set(-7);
+  const std::string expected =
+      "# HELP t_events_total events seen\n"
+      "# TYPE t_events_total counter\n"
+      "t_events_total 3\n"
+      "# TYPE t_level gauge\n"
+      "t_level -7\n";
+  EXPECT_EQ(obs::to_prometheus(reg.snapshot()), expected);
+}
+
+TEST(ObsExport, PrometheusHistogramIsCumulative) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("t_lat_ns", "latency");
+  h.record(1);     // bucket 0
+  h.record(5);     // bucket 3 (le 8)
+  h.record(5000);  // bucket 13 (le 8192)
+  const std::string text = obs::to_prometheus(reg.snapshot());
+  EXPECT_NE(text.find("# TYPE t_lat_ns histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("t_lat_ns_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("t_lat_ns_bucket{le=\"4\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("t_lat_ns_bucket{le=\"8\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("t_lat_ns_bucket{le=\"4096\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("t_lat_ns_bucket{le=\"8192\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("t_lat_ns_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("t_lat_ns_sum 5006\n"), std::string::npos);
+  EXPECT_NE(text.find("t_lat_ns_count 3\n"), std::string::npos);
+}
+
+TEST(ObsExport, JsonGolden) {
+  MetricsRegistry reg;
+  reg.counter("t_events_total", "events").inc(7);
+  reg.gauge("t_depth").set(4);
+  const std::string json = obs::to_json(reg.snapshot());
+  const std::string expected =
+      "{\n"
+      "  \"schema\": \"bnb.metrics.v1\",\n"
+      "  \"counters\": {\n"
+      "    \"t_events_total\": 7\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"t_depth\": 4\n"
+      "  },\n"
+      "  \"histograms\": {}\n"
+      "}\n";
+  EXPECT_EQ(json, expected);
+}
+
+TEST(ObsExport, JsonHistogramCarriesCumulativeBuckets) {
+  MetricsRegistry reg;
+  reg.histogram("t_lat_ns").record(3);
+  const std::string json = obs::to_json(reg.snapshot());
+  EXPECT_NE(json.find("\"t_lat_ns\": {\"count\": 1, \"sum\": 3, \"buckets\": ["),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"le\": \"2\", \"count\": 0}"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\": \"4\", \"count\": 1}"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\": \"+Inf\", \"count\": 1}"), std::string::npos);
+}
+
+TEST(ObsExport, TraceJson) {
+  obs::SpanRecord records[2];
+  records[0] = {Phase::kSolve, 100, 50};
+  records[1] = {Phase::kApply, 150, 25};
+  const std::string json = obs::trace_to_json(records);
+  const std::string expected =
+      "{\n"
+      "  \"schema\": \"bnb.trace.v1\",\n"
+      "  \"spans\": [\n"
+      "    {\"phase\": \"solve\", \"start_ns\": 100, \"duration_ns\": 50},\n"
+      "    {\"phase\": \"apply\", \"start_ns\": 150, \"duration_ns\": 25}\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(json, expected);
+  EXPECT_EQ(obs::trace_to_json({}),
+            "{\n  \"schema\": \"bnb.trace.v1\",\n  \"spans\": []\n}\n");
+}
+
+TEST(ObsExport, EveryMetricRoundTripsThroughBothExporters) {
+  // Exercise the real subsystems against a LOCAL registry (where they
+  // accept one) and the global registry (engine + fabric metrics), then
+  // require every snapshotted name to surface in both export formats.
+  MetricsRegistry reg;
+  ScheduleCache cache(4, 1, &reg);
+  RouteScratch scratch;
+  const CompiledBnb engine(3);
+  Rng rng(7);
+  for (int i = 0; i < 3; ++i) {
+    const Permutation pi = random_perm(engine.inputs(), rng);
+    (void)cache.route(engine, pi, scratch);
+    (void)cache.route(engine, pi, scratch);  // second pass: cache hit
+  }
+  RobustRouter router(3, RobustPolicy{}, &reg);
+  (void)router.route(random_perm(router.inputs(), rng));
+  StreamEngine::Options options;
+  options.threads = 1;
+  options.registry = &reg;
+  StreamEngine stream(engine, options);
+  const std::vector<Permutation> perms = {random_perm(engine.inputs(), rng)};
+  (void)stream.run(perms);
+
+  for (const MetricsRegistry* source : {&reg, &MetricsRegistry::global()}) {
+    const auto snap = source->snapshot();
+    ASSERT_FALSE(snap.metrics.empty());
+    const std::string prom = obs::to_prometheus(snap);
+    const std::string json = obs::to_json(snap);
+    for (const auto& metric : snap.metrics) {
+      EXPECT_NE(prom.find(metric.name), std::string::npos) << metric.name;
+      EXPECT_NE(json.find("\"" + metric.name + "\""), std::string::npos) << metric.name;
+    }
+  }
+  // The local registry carries the full per-subsystem catalog.
+  const auto snap = reg.snapshot();
+  for (const char* name :
+       {"bnb_cache_hits_total", "bnb_cache_misses_total", "bnb_cache_evictions_total",
+        "bnb_cache_bypasses_total", "bnb_cache_entries", "bnb_robust_routed_total",
+        "bnb_robust_misroutes_caught_total", "bnb_robust_retries_total",
+        "bnb_robust_fallback_total", "bnb_robust_failures_total",
+        "bnb_stream_runs_total", "bnb_stream_permutations_total",
+        "bnb_stream_solves_total", "bnb_stream_cache_hits_total",
+        "bnb_stream_ring_high_water"}) {
+    EXPECT_NE(snap.find(name), nullptr) << name;
+  }
+  EXPECT_EQ(snap.find("bnb_cache_hits_total")->counter, 3u);
+  EXPECT_EQ(snap.find("bnb_cache_entries")->gauge, 3);
+  EXPECT_EQ(snap.find("bnb_robust_routed_total")->counter, 1u);
+  EXPECT_EQ(snap.find("bnb_stream_permutations_total")->counter, 1u);
+}
+
+// ---- subsystem integration -------------------------------------------
+
+TEST(Obs, TwoCachesAggregateInOneRegistry) {
+  MetricsRegistry reg;
+  {
+    ScheduleCache a(4, 1, &reg);
+    ScheduleCache b(4, 1, &reg);
+    a.record_bypass();
+    a.record_bypass();
+    b.record_bypass();
+    EXPECT_EQ(reg.snapshot().find("bnb_cache_bypasses_total")->counter, 3u);
+    // Per-instance stats stay exact.
+    EXPECT_EQ(a.stats().bypasses, 2u);
+    EXPECT_EQ(b.stats().bypasses, 1u);
+  }
+  // Counters are monotonic across instance lifetimes: a destroyed cache's
+  // totals fold into the registry's owned counters instead of vanishing.
+  EXPECT_EQ(reg.snapshot().find("bnb_cache_bypasses_total")->counter, 3u);
+  EXPECT_EQ(reg.snapshot().find("bnb_cache_entries")->gauge, 0);
+}
+
+TEST(Obs, CacheEntriesGaugeTracksInsertEvictClear) {
+  MetricsRegistry reg;
+  ScheduleCache cache(2, 1, &reg);
+  RouteScratch scratch;
+  const CompiledBnb engine(3);
+  Rng rng(11);
+  for (int i = 0; i < 3; ++i) {
+    (void)cache.route(engine, random_perm(engine.inputs(), rng), scratch);
+  }
+  // Capacity 2, three distinct inserts: one eviction, two live entries.
+  auto snap = reg.snapshot();
+  EXPECT_EQ(snap.find("bnb_cache_evictions_total")->counter, 1u);
+  EXPECT_EQ(snap.find("bnb_cache_entries")->gauge, 2);
+  EXPECT_EQ(cache.size(), 2u);
+  cache.clear();
+  EXPECT_EQ(reg.snapshot().find("bnb_cache_entries")->gauge, 0);
+}
+
+TEST(Obs, StreamEngineReportsRingHighWater) {
+  const CompiledBnb engine(3);
+  MetricsRegistry reg;
+  StreamEngine::Options options;
+  options.threads = 2;
+  options.ring_depth = 4;
+  options.registry = &reg;
+  const StreamEngine stream(engine, options);
+  Rng rng(13);
+  std::vector<Permutation> perms;
+  for (int i = 0; i < 32; ++i) perms.push_back(random_perm(engine.inputs(), rng));
+  const auto result = stream.run(perms);
+  EXPECT_TRUE(result.stats.all_self_routed);
+  EXPECT_LE(result.stats.ring_high_water, 4u);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.find("bnb_stream_runs_total")->counter, 1u);
+  EXPECT_EQ(snap.find("bnb_stream_permutations_total")->counter, 32u);
+  EXPECT_EQ(static_cast<std::uint64_t>(snap.find("bnb_stream_ring_high_water")->gauge),
+            result.stats.ring_high_water);
+}
+
+}  // namespace
+}  // namespace bnb
