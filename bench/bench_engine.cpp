@@ -3,11 +3,13 @@
 // microbenchmarks of the compiled engine at m = 12, batch scaling of
 // CompiledBnb::route_batch at m = 14 across worker-thread counts, the
 // ScheduleCache cold-vs-warm economics (repeated traffic replays a solved
-// schedule instead of re-running the arbiter trees), StreamEngine
+// schedule instead of re-running the arbiter trees), the register-resident
+// small-N lane (m in {4,5,6}: SmallSchedule::apply / apply8 replay vs the
+// general warm-cache path at the same size), StreamEngine
 // throughput (inline vs solver/applier-pipelined, with and without a warm
 // cache), and the telemetry overhead of the obs spans (each m=12 phase
 // timed with spans runtime-enabled vs runtime-disabled).  Results are
-// written as JSON (schema "bnb.bench_routing.v4") so the checked-in
+// written as JSON (schema "bnb.bench_routing.v5") so the checked-in
 // BENCH_routing.json can be regenerated and diffed; see docs/PERF.md for
 // the schema and EXPERIMENTS.md for regeneration instructions.
 //
@@ -25,6 +27,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -100,6 +103,17 @@ struct ObsRow {
   double enabled_ns = 0;   ///< spans live (histogram record per phase)
   double disabled_ns = 0;  ///< runtime-disabled (one relaxed load left)
 };
+
+struct SmallRow {
+  unsigned m = 0;
+  double general_warm_ns = 0;  ///< digest + general-lane find + apply (pre-lane warm path)
+  double small_route_ns = 0;   ///< full cache.route through the small lane
+  double apply_ns = 0;         ///< raw SmallSchedule::apply register replay
+  double apply8_ns = 0;        ///< apply8 per permutation (one 8-lane call / 8)
+};
+
+/// Data sink so the optimizer cannot delete the register-only replay loops.
+volatile std::uint64_t g_small_sink = 0;
 
 }  // namespace
 
@@ -253,6 +267,80 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(cache_stats.misses));
   }
 
+  // Register-resident small-N lane: at each m <= 6 size, the warm general
+  // path (digest + general-lane find + schedule apply — exactly what
+  // repeated small traffic cost before the lane existed) vs the full
+  // small-lane cache.route, the raw SmallSchedule::apply replay (a chained
+  // data dependency so each call really waits for the last), and apply8
+  // through the selected tier's 8-wide kernel.
+  std::vector<SmallRow> small_rows;
+  for (const unsigned m : {4U, 5U, 6U}) {
+    const std::size_t n = std::size_t{1} << m;
+    const bnb::CompiledBnb plan(m);
+    bnb::RouteScratch scratch;
+    scratch.prepare(plan);
+    const auto pool = perm_pool(n, 8, rng);
+    SmallRow row;
+    row.m = m;
+
+    // Pre-lane warm path: general-lane entries only (route() would take
+    // the small lane now, so the fill goes through insert() by hand).
+    bnb::ScheduleCache general_cache(64);
+    for (const auto& pi : pool) {
+      auto schedule = std::make_shared<bnb::ControlSchedule>();
+      plan.solve(pi, scratch, *schedule);
+      general_cache.insert(bnb::digest_permutation(pi), std::move(schedule));
+    }
+    std::size_t i_gen = 0;
+    row.general_warm_ns = ns_per_call(
+        [&] {
+          const auto& pi = pool[i_gen++ & 7];
+          const auto schedule = general_cache.find(bnb::digest_permutation(pi));
+          const auto r = plan.apply(*schedule, pi, scratch);
+          if (!r.self_routed) std::exit(1);
+        },
+        budget);
+
+    bnb::ScheduleCache small_cache(64);
+    for (const auto& pi : pool) (void)small_cache.route(plan, pi, scratch);
+    std::size_t i_small = 0;
+    row.small_route_ns = ns_per_call(
+        [&] {
+          const auto r = small_cache.route(plan, pool[i_small++ & 7], scratch);
+          if (!r.self_routed) std::exit(1);
+        },
+        budget);
+
+    bnb::SmallSchedule scheds[8];
+    for (std::size_t j = 0; j < 8; ++j) scheds[j] = plan.compile_small(pool[j], scratch);
+    // Throughput, not latency: each call's input derives from the loop
+    // counter alone, so successive replays overlap in the out-of-order
+    // window exactly as independent permutations would; the XOR
+    // accumulator keeps the work observable.
+    std::uint64_t acc = 0;
+    const std::uint64_t apply_seed = rng.next();
+    std::size_t i_apply = 0;
+    row.apply_ns = ns_per_call(
+        [&] {
+          acc ^= scheds[i_apply & 7].apply(apply_seed + i_apply);
+          ++i_apply;
+        },
+        budget);
+    std::uint64_t lanes[8];
+    for (std::uint64_t& lane : lanes) lane = rng.next();
+    std::size_t i_wide = 0;
+    row.apply8_ns =
+        ns_per_call([&] { scheds[i_wide++ & 7].apply8(lanes); }, budget) / 8.0;
+    g_small_sink = g_small_sink ^ acc ^ lanes[0];
+
+    small_rows.push_back(row);
+    std::printf("small m=%u general warm %8.1f ns/perm  small route %8.1f ns/perm  "
+                "apply %6.2f ns/perm (%5.1fx)  apply8 %6.2f ns/perm (%4.2fx)\n",
+                m, row.general_warm_ns, row.small_route_ns, row.apply_ns,
+                row.general_warm_ns / row.apply_ns, row.apply8_ns,
+                row.apply_ns / row.apply8_ns);
+  }
+
   // Stream throughput: the same 64-permutation stream through every
   // StreamEngine shape.  Cached rows time the warm steady state (the
   // engine's first run fills the shared cache).
@@ -341,7 +429,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"schema\": \"bnb.bench_routing.v4\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"bnb.bench_routing.v5\",\n");
   std::fprintf(f, "  \"generated_by\": \"bench_engine\",\n");
   // Batch scaling is bounded by the host: on a 1-core container the
   // thread rows stay flat regardless of the pool implementation.
@@ -408,6 +496,24 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(cache_stats.evictions),
                static_cast<unsigned long long>(cache_stats.bypasses));
   std::fprintf(f, "  },\n");
+  // small (v5): the register-resident lane vs the general warm path at the
+  // same size.  apply8 rows ran through the tier named here.
+  std::fprintf(f, "  \"small\": {\n    \"pool\": 8,\n");
+  std::fprintf(f, "    \"apply8_tier\": \"%s\",\n", selected.name);
+  std::fprintf(f, "    \"results\": [\n");
+  for (std::size_t i = 0; i < small_rows.size(); ++i) {
+    const auto& row = small_rows[i];
+    std::fprintf(f,
+                 "      {\"m\": %u, \"n\": %zu, \"general_warm_ns_per_perm\": %.1f, "
+                 "\"small_route_warm_ns_per_perm\": %.1f, \"apply_ns_per_perm\": %.3f, "
+                 "\"apply8_ns_per_perm\": %.3f, \"apply_speedup_vs_general\": %.2f, "
+                 "\"apply8_speedup_vs_apply\": %.2f}%s\n",
+                 row.m, std::size_t{1} << row.m, row.general_warm_ns,
+                 row.small_route_ns, row.apply_ns, row.apply8_ns,
+                 row.general_warm_ns / row.apply_ns, row.apply_ns / row.apply8_ns,
+                 i + 1 < small_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  },\n");
   std::fprintf(f, "  \"stream\": {\n    \"m\": %u,\n    \"permutations\": %zu,\n",
                stream_m, stream_perms);
   std::fprintf(f, "    \"results\": [\n");

@@ -85,6 +85,28 @@ void dump_metrics(const std::string& format) {
   if (!text.empty() && text.back() != '\n') std::fputc('\n', stdout);
 }
 
+// Current value of the small-lane route counter (0 before any small-N
+// route).  Counters survive BNB_OBS=OFF, so lane reporting works in both
+// builds; sampled before/after a run, the delta tells which lane served it.
+unsigned long long small_route_total() {
+  const auto snap = bnb::obs::MetricsRegistry::global().snapshot();
+  const auto* metric = snap.find("bnb_small_route_total");
+  return metric != nullptr ? metric->counter : 0;
+}
+
+// One "lane:" line per routing mode: `small` when every request replayed
+// through the register-resident SmallSchedule path, `general` when none
+// did, `mixed` otherwise (possible only if a run spans both sides of the
+// m <= 6 boundary, which a single CLI invocation never does today).
+void print_lane(unsigned long long small_delta, std::uint64_t total_routes) {
+  const char* lane = small_delta == 0                ? "general"
+                     : small_delta >= total_routes   ? "small"
+                                                     : "mixed";
+  std::printf("lane: %s (bnb_small_route_total +%llu of %llu route%s)\n", lane,
+              small_delta, static_cast<unsigned long long>(total_routes),
+              total_routes == 1 ? "" : "s");
+}
+
 // Parse one --inject spec into `model`.  Returns false on a malformed or
 // out-of-shape spec (FaultModel::add validates coordinates).
 bool parse_inject_spec(const std::string& spec, std::uint64_t seed,
@@ -276,6 +298,7 @@ int run_stream(std::size_t count, unsigned threads, std::size_t repeat,
   std::uint64_t solved = 0;
   std::uint64_t hits = 0;
   bool pipelined = false;
+  const unsigned long long small_before = small_route_total();
   for (std::size_t pass = 0; pass < repeat; ++pass) {
     const auto result = stream.run(perms);
     all_ok &= result.stats.all_self_routed;
@@ -307,6 +330,8 @@ int run_stream(std::size_t count, unsigned threads, std::size_t repeat,
               counter_of("bnb_cache_hits_total"), counter_of("bnb_cache_misses_total"),
               counter_of("bnb_cache_evictions_total"),
               counter_of("bnb_cache_bypasses_total"), cache.size());
+  print_lane(small_route_total() - small_before,
+             static_cast<std::uint64_t>(count) * repeat);
   return all_ok ? 0 : 1;
 }
 
@@ -317,6 +342,7 @@ int run_repeat(const bnb::Permutation& pi, std::size_t repeat) {
   bnb::RouteScratch scratch;
   bnb::ScheduleCache cache(16);
   bool all_ok = true;
+  const unsigned long long small_before = small_route_total();
   for (std::size_t k = 0; k < repeat; ++k) {
     all_ok &= cache.route(engine, pi, scratch).self_routed;
   }
@@ -328,6 +354,7 @@ int run_repeat(const bnb::Permutation& pi, std::size_t repeat) {
               static_cast<unsigned long long>(stats.misses),
               static_cast<unsigned long long>(stats.evictions),
               static_cast<unsigned long long>(stats.bypasses));
+  print_lane(small_route_total() - small_before, repeat);
   return all_ok ? 0 : 1;
 }
 

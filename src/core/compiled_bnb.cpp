@@ -12,6 +12,7 @@
 
 #include "common/expect.hpp"
 #include "core/bit_pack.hpp"
+#include "core/schedule_cache.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 
@@ -23,6 +24,78 @@ namespace {
 // and down level stacks (each level rounds up to whole words, hence the
 // +32-word slack for up to 25 levels), and two down-pass temporaries.
 constexpr std::size_t kLevelSlack = 32;
+
+// Loop-based Beneš routing of one bit permutation, for the small-N
+// flattening.  Any permutation of n = 2^m elements routes through 2m - 1
+// butterfly stages with deltas n/2, n/4, ..., 2, 1, 2, ..., n/4, n/2
+// (Beneš's rearrangeable network; Waksman's looping construction decides
+// the switches).  Each subnetwork 2-colors its elements — which of every
+// input pair (j, j + half) and output pair (d, d + half) crosses to the
+// upper half — by walking the cycles of the graph whose edges are exactly
+// those pairings, then recurses on the two halves.  Stage masks mark the
+// LOWER partner of each swapped pair, matching SmallSchedule's butterfly
+// step semantics.  Everything lives on the stack (a few hundred bytes per
+// recursion level, depth <= 5): flatten_small stays allocation-free.
+struct BenesRouter {
+  std::uint64_t stage_masks[SmallSchedule::kMaxDepth] = {};
+  std::uint32_t perm[SmallSchedule::kMaxLines] = {};  ///< local dest of position j
+  unsigned m = 0;
+
+  /// Route perm[base .. base+n) (values local, 0..n-1); `level` 0 at the
+  /// outermost call.  Enter stages land in slot `level`, leave stages in
+  /// the mirror slot 2(m-1) - level, the delta-1 middle in slot m - 1.
+  void route(unsigned base, unsigned n, unsigned level) {
+    std::uint32_t* p = perm + base;
+    if (n == 2) {
+      if (p[0] == 1) stage_masks[m - 1] |= std::uint64_t{1} << base;
+      return;
+    }
+    const unsigned half = n / 2;
+    std::uint32_t inv[SmallSchedule::kMaxLines];
+    std::uint8_t side[SmallSchedule::kMaxLines];
+    for (unsigned j = 0; j < n; ++j) inv[p[j]] = j;
+    for (unsigned j = 0; j < n; ++j) side[j] = 2;  // 2 = undecided
+    for (unsigned seed = 0; seed < n; ++seed) {
+      if (side[seed] != 2) continue;
+      // Walk the alternating cycle: an input-switch edge forces partners
+      // onto opposite sides, an output-switch edge forces the two elements
+      // sharing an output pair onto opposite sides.  Cycles are disjoint
+      // and even, so the 2-coloring always closes consistently.
+      unsigned j = seed;
+      std::uint8_t s = 0;
+      do {
+        side[j] = s;
+        j ^= half;  // input-switch partner takes the other subnetwork
+        s = 1 - s;
+        side[j] = s;
+        j = inv[p[j] ^ half];  // element sharing j's output switch
+        s = 1 - s;
+      } while (j != seed);
+    }
+    // Enter stage: pair (base+j, base+j+half) crosses iff the element at
+    // the lower position goes to the upper subnetwork.  Leave stage: pair
+    // (base+d, base+d+half) crosses iff output d's element returns from
+    // the upper subnetwork.  Both read the pre-recursion inv/side.
+    for (unsigned j = 0; j < half; ++j) {
+      if (side[j] == 1) stage_masks[level] |= std::uint64_t{1} << (base + j);
+      if (side[inv[j]] == 1) {
+        stage_masks[2 * (m - 1) - level] |= std::uint64_t{1} << (base + j);
+      }
+    }
+    // Rewire each half's sub-permutation (destinations folded into the
+    // half) and recurse.
+    std::uint32_t next[SmallSchedule::kMaxLines];
+    for (unsigned j = 0; j < half; ++j) {
+      const unsigned lower_src = side[j] == 1 ? j + half : j;
+      const unsigned upper_src = side[j] == 1 ? j : j + half;
+      next[j] = p[lower_src] & (half - 1);
+      next[half + j] = p[upper_src] & (half - 1);
+    }
+    for (unsigned j = 0; j < n; ++j) p[j] = next[j];
+    route(base, half, level + 1);
+    route(base + half, half, level + 1);
+  }
+};
 
 }  // namespace
 
@@ -106,6 +179,11 @@ CompiledBnb::CompiledBnb(unsigned m, const kernels::KernelSet* kernels)
       .counter(std::string("bnb_kernel_plans_total_") + ks_->name,
                "CompiledBnb plans bound to this kernel tier")
       .inc();
+  if (small_capable()) {
+    small_routes_ = &obs::MetricsRegistry::global().counter(
+        "bnb_small_route_total",
+        "routes served by the register-resident small-N lane");
+  }
 }
 
 std::size_t CompiledBnb::control_words() const noexcept {
@@ -493,6 +571,74 @@ CompiledBnb::Output CompiledBnb::apply_words(const ControlSchedule& schedule,
   return Output{{scratch.outputs_.data(), n}, {scratch.dest_.data(), n}, self_routed};
 }
 
+SmallSchedule CompiledBnb::flatten_small(const ControlSchedule& schedule) const {
+  BNB_EXPECTS(small_capable());
+  BNB_EXPECTS(schedule.prepared_for(*this) && schedule.solved());
+  const std::size_t n = inputs();
+  // The solved columns compose to one permutation of the n <= 64 state
+  // bits — the schedule's line_of_input map.  Re-route THAT through a
+  // Beneš decomposition instead of expanding the columns step for step:
+  // 2m - 1 stages at most (11 at m = 6) versus the columns' 71, so the
+  // whole replay fits one out-of-order window.  Bits at positions >= n are
+  // never in any stage mask (masks only cover [base, base + n)), which is
+  // the pass-through contract SmallSchedule::apply documents.
+  const std::span<const std::uint32_t> line_of = schedule.line_of_input();
+  SmallSchedule out;
+  BenesRouter router;
+  router.m = m_;
+  for (std::size_t j = 0; j < n; ++j) {
+    router.perm[j] = line_of[j];
+    out.line_of_[j] = static_cast<std::uint8_t>(line_of[j]);
+  }
+  router.route(0, static_cast<unsigned>(n), 0);
+  // Keep only the stages that move something: identity-like traffic
+  // replays in a handful of steps, the identity itself in none.
+  std::size_t depth = 0;
+  for (unsigned t = 0; t < 2 * m_ - 1; ++t) {
+    if (router.stage_masks[t] == 0) continue;
+    const unsigned level = t < m_ ? t : 2 * (m_ - 1) - t;
+    out.masks_[depth] = router.stage_masks[t];
+    out.deltas_[depth] = static_cast<std::uint8_t>(1U << (m_ - 1 - level));
+    ++depth;
+  }
+  BNB_EXPECTS(depth <= SmallSchedule::kMaxDepth);
+  out.m_ = m_;
+  out.depth_ = static_cast<std::uint16_t>(depth);
+  out.apply8_ = ks_->small_apply8;
+  return out;
+}
+
+SmallSchedule CompiledBnb::compile_small(const Permutation& pi,
+                                         RouteScratch& scratch) const {
+  BNB_EXPECTS(small_capable());
+  // solve() prepares the scratch and its schedule slot itself, so a warm
+  // scratch makes this allocation-free end to end.
+  solve(pi, scratch, scratch.schedule_);
+  return flatten_small(scratch.schedule_);
+}
+
+CompiledBnb::Output CompiledBnb::apply_small(const SmallSchedule& schedule,
+                                             const Permutation& pi,
+                                             RouteScratch& scratch) const {
+  BNB_OBS_SPAN(obs_span, obs::Phase::kSmallApply);
+  const std::size_t n = inputs();
+  BNB_EXPECTS(pi.size() == n);
+  BNB_EXPECTS(schedule.solved() && schedule.m() == m_);
+  scratch.prepare(*this);
+  // Same delivery contract as apply(): input j's word (address pi(j),
+  // payload j) appears on the line the flattened steps compose to.
+  bool self_routed = true;
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint32_t line = schedule.line_of_input(j);
+    const std::uint32_t address = pi(j);
+    scratch.dest_[j] = line;
+    scratch.outputs_[line] = Word{address, std::uint64_t{j}};
+    self_routed &= (address == line);
+  }
+  small_routes_->inc();
+  return Output{{scratch.outputs_.data(), n}, {scratch.dest_.data(), n}, self_routed};
+}
+
 CompiledBnb::Output CompiledBnb::route_words(std::span<const Word> words,
                                              RouteScratch& scratch,
                                              ControlTrace* trace,
@@ -591,8 +737,21 @@ BatchResult CompiledBnb::route_batch(std::span<const Permutation> perms,
     stop.store(true, std::memory_order_relaxed);
   };
 
+  // Small-N batches take the register-resident lane: each worker keeps a
+  // tiny direct-mapped memo of flattened schedules so a permutation that
+  // repeats within its chunks replays in registers instead of re-running
+  // the solver.  Worker-local, value-type — no synchronization, no heap.
+  const bool small_lane =
+      small_capable() && (faults == nullptr || faults->empty());
+
   auto drain = [&](unsigned self) {
     RouteScratch scratch;
+    constexpr std::size_t kMemoSlots = 16;
+    struct MemoEntry {
+      PermutationDigest digest;
+      SmallSchedule schedule;
+    };
+    std::array<MemoEntry, kMemoSlots> memo{};
     try {
       scratch.prepare(*this);
     } catch (...) {
@@ -620,7 +779,18 @@ BatchResult CompiledBnb::route_batch(std::span<const Permutation> perms,
           // permutation is reported with its batch index rather than tearing
           // the whole call down before any routing starts.
           BNB_EXPECTS(perms[idx].size() == n);
-          const Output out = route(perms[idx], scratch, nullptr, faults);
+          Output out;
+          if (small_lane) {
+            const PermutationDigest digest = digest_permutation(perms[idx]);
+            MemoEntry& slot = memo[digest.hi & (kMemoSlots - 1)];
+            if (!slot.schedule.solved() || !(slot.digest == digest)) {
+              slot.schedule = compile_small(perms[idx], scratch);
+              slot.digest = digest;
+            }
+            out = apply_small(slot.schedule, perms[idx], scratch);
+          } else {
+            out = route(perms[idx], scratch, nullptr, faults);
+          }
           if (!out.self_routed) all_ok.store(false, std::memory_order_relaxed);
           std::copy(out.dest.begin(), out.dest.end(),
                     result.dest.begin() + static_cast<std::ptrdiff_t>(idx * n));

@@ -52,9 +52,14 @@
 #include "core/bnb_network.hpp"
 #include "core/fault_hooks.hpp"
 #include "core/kernels/kernel_set.hpp"
+#include "core/small_schedule.hpp"
 #include "perm/permutation.hpp"
 
 namespace bnb {
+
+namespace obs {
+class Counter;
+}  // namespace obs
 
 class CompiledBnb;
 
@@ -271,6 +276,35 @@ class CompiledBnb {
                                    std::span<const Word> words,
                                    RouteScratch& scratch) const;
 
+  // -- register-resident small-N fast lane (core/small_schedule.hpp) ------
+
+  /// True when this plan's network fits the flat small-N replay:
+  /// m <= SmallSchedule::kMaxM (N <= 64 lines, one uint64_t of state).
+  [[nodiscard]] bool small_capable() const noexcept {
+    return m_ <= SmallSchedule::kMaxM;
+  }
+
+  /// Solve `pi` and flatten the result into a SmallSchedule: the solved
+  /// columns' composed input->line permutation is Beneš-decomposed into at
+  /// most 2m - 1 (mask, delta) butterfly steps replayable entirely in
+  /// registers.  Requires
+  /// small_capable().  Zero allocations once `scratch` is prepared; the
+  /// solve runs through scratch's schedule slot exactly like route().
+  [[nodiscard]] SmallSchedule compile_small(const Permutation& pi,
+                                            RouteScratch& scratch) const;
+
+  /// Flatten an already-solved schedule of THIS plan (shared with
+  /// compile_small; exposed for callers that hold a ControlSchedule).
+  /// Requires small_capable(), schedule prepared for this plan and solved.
+  [[nodiscard]] SmallSchedule flatten_small(const ControlSchedule& schedule) const;
+
+  /// Replay a flattened schedule for the permutation it was compiled for:
+  /// identical Output contract to apply(), O(N <= 64), no kernel dispatch.
+  /// Counts into bnb_small_route_total and the small_apply phase span.
+  /// Requires `schedule` solved by this plan shape (same m).
+  [[nodiscard]] Output apply_small(const SmallSchedule& schedule, const Permutation& pi,
+                                   RouteScratch& scratch) const;
+
   /// Route explicit words.  The public span entry validates that the
   /// addresses form a permutation of 0..N-1 (the route(Permutation) path
   /// skips that O(N) re-check — the Permutation invariant guarantees it).
@@ -340,6 +374,9 @@ class CompiledBnb {
   unsigned m_;
   const kernels::KernelSet* ks_;
   std::vector<Column> columns_;
+  /// bnb_small_route_total, resolved once at construction (small plans
+  /// only, nullptr otherwise) so apply_small never touches the registry.
+  obs::Counter* small_routes_ = nullptr;
 };
 
 /// Apply one column's switch exchanges plus its following wiring to a line

@@ -83,6 +83,16 @@ struct KernelSet {
   void (*slice_pass)(const std::uint64_t* in, std::size_t nbits,
                      const std::uint64_t* ctl, std::size_t chunk_bits,
                      std::uint64_t* tmp, std::uint64_t* out);
+  /// Replay a flattened small-N schedule (core/small_schedule.hpp) over 8
+  /// INDEPENDENT 64-line states in one instruction stream.  Step s swaps
+  /// bits i and i+deltas[s] of every lane for each set bit i of masks[s]
+  /// (the classic Benes butterfly:  y = (x ^ (x >> d)) & m;  x ^= y ^
+  /// (y << d)).  `lanes` is 8 contiguous words, updated in place; bits the
+  /// masks never touch (>= the schedule's line count) pass through
+  /// unchanged.  Bit-identical across tiers — the AVX-512 lane runs all 8
+  /// words per step in one register, the scalar fallback loops.
+  void (*small_apply8)(const std::uint64_t* masks, const std::uint8_t* deltas,
+                       std::size_t depth, std::uint64_t* lanes);
 };
 
 /// The portable per-line reference set (always available, every host).

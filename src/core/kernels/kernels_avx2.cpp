@@ -192,6 +192,26 @@ void slice_pass_k(const std::uint64_t* in, std::size_t nbits, const std::uint64_
   bitpack::chunk_concat(e, o, nbits / 2, chunk_bits, out);
 }
 
+// Small-schedule replay: the 8 independent 64-line states split across two
+// YMM registers; each (mask, delta) butterfly step runs both halves before
+// the next mask load.  Deltas vary per step, so the shifts take their count
+// from an XMM register rather than an immediate.
+void small_apply8_k(const std::uint64_t* masks, const std::uint8_t* deltas,
+                    std::size_t depth, std::uint64_t* lanes) {
+  __m256i x0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lanes));
+  __m256i x1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lanes + 4));
+  for (std::size_t s = 0; s < depth; ++s) {
+    const __m128i d = _mm_cvtsi32_si128(deltas[s]);
+    const __m256i m = bcast(masks[s]);
+    const __m256i y0 = _mm256_and_si256(_mm256_xor_si256(x0, _mm256_srl_epi64(x0, d)), m);
+    const __m256i y1 = _mm256_and_si256(_mm256_xor_si256(x1, _mm256_srl_epi64(x1, d)), m);
+    x0 = _mm256_xor_si256(x0, _mm256_xor_si256(y0, _mm256_sll_epi64(y0, d)));
+    x1 = _mm256_xor_si256(x1, _mm256_xor_si256(y1, _mm256_sll_epi64(y1, d)));
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), x0);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes + 4), x1);
+}
+
 }  // namespace
 
 namespace detail {
@@ -206,7 +226,8 @@ const KernelSet kAvx2Set{"avx2",
                          &chunk_concat_k,
                          &masked_exchange_k,
                          &xor_words_k,
-                         &slice_pass_k};
+                         &slice_pass_k,
+                         &small_apply8_k};
 }  // namespace detail
 
 }  // namespace bnb::kernels

@@ -223,6 +223,23 @@ void slice_pass_k(const std::uint64_t* in, std::size_t nbits, const std::uint64_
   bitpack::chunk_concat(e, o, nbits / 2, chunk_bits, out);
 }
 
+// Small-schedule replay: one ZMM register holds all 8 independent 64-line
+// states, so every (mask, delta) butterfly step is 4 instructions for the
+// whole batch — VPSRLQ, VPTERNLOGQ for (x ^ (x >> d)) & m, VPSLLQ, VPXORQ.
+// Deltas vary per step, so the shifts take their count from an XMM register
+// (_mm_cvtsi32_si128) rather than an immediate.
+void small_apply8_k(const std::uint64_t* masks, const std::uint8_t* deltas,
+                    std::size_t depth, std::uint64_t* lanes) {
+  __m512i x = _mm512_loadu_si512(lanes);
+  for (std::size_t s = 0; s < depth; ++s) {
+    const __m128i d = _mm_cvtsi32_si128(deltas[s]);
+    const __m512i y =
+        _mm512_ternarylogic_epi64(x, _mm512_srl_epi64(x, d), bcast(masks[s]), kXorAnd);
+    x = _mm512_xor_si512(x, _mm512_xor_si512(y, _mm512_sll_epi64(y, d)));
+  }
+  _mm512_storeu_si512(lanes, x);
+}
+
 }  // namespace
 
 namespace detail {
@@ -236,7 +253,8 @@ const KernelSet kAvx512Set{"avx512",
                            &chunk_concat_k,
                            &masked_exchange_k,
                            &xor_words_k,
-                           &slice_pass_k};
+                           &slice_pass_k,
+                           &small_apply8_k};
 }  // namespace detail
 
 }  // namespace bnb::kernels

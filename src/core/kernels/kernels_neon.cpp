@@ -57,7 +57,10 @@ const KernelSet kNeonSet{"neon",
                          kScalarSet.chunk_concat,
                          &masked_exchange_k,
                          &xor_words_k,
-                         kWideSet.slice_pass};
+                         kWideSet.slice_pass,
+                         // 128-bit lanes gain nothing over the unrolled
+                         // scalar step loop for the small-schedule replay.
+                         kScalarSet.small_apply8};
 }  // namespace detail
 
 }  // namespace bnb::kernels

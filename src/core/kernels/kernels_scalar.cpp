@@ -65,6 +65,22 @@ void slice_pass_k(const std::uint64_t* in, std::size_t nbits, const std::uint64_
   detail::slice_pass_runs_scalar(in, 0, nbits / 128, ctl, chunk_bits / 64, out);
 }
 
+// Small-schedule replay over 8 independent lanes: step-outer order loads
+// each (mask, delta) once and streams it across the lanes, which the
+// compiler unrolls into straight register code (the per-lane body is the
+// same butterfly as SmallSchedule::apply).
+void small_apply8_k(const std::uint64_t* masks, const std::uint8_t* deltas,
+                    std::size_t depth, std::uint64_t* lanes) {
+  for (std::size_t s = 0; s < depth; ++s) {
+    const unsigned d = deltas[s];
+    const std::uint64_t m = masks[s];
+    for (std::size_t l = 0; l < 8; ++l) {
+      const std::uint64_t y = (lanes[l] ^ (lanes[l] >> d)) & m;
+      lanes[l] ^= y ^ (y << d);
+    }
+  }
+}
+
 constexpr KernelSet make_set(const char* name, Tier tier, bool wide) {
   return KernelSet{name,
                    tier,
@@ -76,7 +92,8 @@ constexpr KernelSet make_set(const char* name, Tier tier, bool wide) {
                    &chunk_concat_k,
                    &masked_exchange_k,
                    &xor_words_k,
-                   &slice_pass_k};
+                   &slice_pass_k,
+                   &small_apply8_k};
 }
 
 }  // namespace

@@ -86,6 +86,18 @@ CompiledBnb::Output ScheduleCache::route(const CompiledBnb& plan, const Permutat
     return plan.route(pi, scratch, trace, faults);
   }
   const PermutationDigest digest = digest_permutation(pi);
+  if (plan.small_capable()) {
+    // Small lane: value-type hit (one ~0.7 KB copy under the shard lock)
+    // replayed in registers — the warm path allocates nothing at all.
+    SmallSchedule small;
+    if (find_small(digest, small)) {
+      return plan.apply_small(small, pi, scratch);
+    }
+    small = plan.compile_small(pi, scratch);
+    CompiledBnb::Output out = plan.apply_small(small, pi, scratch);
+    insert_small(digest, small);
+    return out;
+  }
   if (auto cached = find(digest)) {
     BNB_EXPECTS(cached->prepared_for(plan));
     return plan.apply(*cached, pi, scratch);
@@ -101,8 +113,8 @@ std::shared_ptr<const ControlSchedule> ScheduleCache::find(const PermutationDige
   Shard& shard = shard_for(digest);
   std::scoped_lock lock(shard.mu);
   const auto it = shard.index.find(digest);
-  if (it == shard.index.end()) {
-    misses_.inc();
+  if (it == shard.index.end() || it->second->schedule == nullptr) {
+    misses_.inc();  // absent, or a small-lane entry: not this lane's data
     return nullptr;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // promote to MRU
@@ -117,6 +129,7 @@ void ScheduleCache::insert(const PermutationDigest& digest,
   std::scoped_lock lock(shard.mu);
   if (const auto it = shard.index.find(digest); it != shard.index.end()) {
     it->second->schedule = std::move(schedule);  // racing miss: keep the newest solve
+    it->second->small = SmallSchedule{};         // the entry changes lanes
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
@@ -127,6 +140,42 @@ void ScheduleCache::insert(const PermutationDigest& digest,
     entries_.add(-1);
   }
   shard.lru.push_front(Entry{digest, std::move(schedule)});
+  shard.index.emplace(digest, shard.lru.begin());
+  entries_.add(1);
+}
+
+bool ScheduleCache::find_small(const PermutationDigest& digest, SmallSchedule& out) {
+  Shard& shard = shard_for(digest);
+  std::scoped_lock lock(shard.mu);
+  const auto it = shard.index.find(digest);
+  if (it == shard.index.end() || !it->second->small.solved()) {
+    misses_.inc();  // absent, or a general-lane entry: not this lane's data
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // promote to MRU
+  hits_.inc();
+  out = it->second->small;
+  return true;
+}
+
+void ScheduleCache::insert_small(const PermutationDigest& digest,
+                                 const SmallSchedule& schedule) {
+  BNB_EXPECTS(schedule.solved());
+  Shard& shard = shard_for(digest);
+  std::scoped_lock lock(shard.mu);
+  if (const auto it = shard.index.find(digest); it != shard.index.end()) {
+    it->second->small = schedule;    // racing miss: keep the newest flatten
+    it->second->schedule = nullptr;  // the entry changes lanes
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  while (shard.lru.size() >= shard_capacity_) {
+    shard.index.erase(shard.lru.back().digest);
+    shard.lru.pop_back();
+    evictions_.inc();
+    entries_.add(-1);
+  }
+  shard.lru.push_front(Entry{digest, nullptr, schedule});
   shard.index.emplace(digest, shard.lru.begin());
   entries_.add(1);
 }

@@ -15,6 +15,16 @@
 //     lock-free after lookup even while other threads evict, and schedules
 //     are tier-invariant (controls are proven bit-identical across kernel
 //     tiers), so plans on different tiers may share one cache.
+//   * SMALL LANE: plans with m <= SmallSchedule::kMaxM cache the flattened
+//     register-resident SmallSchedule BY VALUE in the same LRU entries —
+//     a warm hit copies ~0.7 KB of plain data under the shard lock and
+//     replays it with CompiledBnb::apply_small: no shared_ptr churn, no
+//     allocation, no kernel dispatch.  Both lanes share the hit/miss/
+//     eviction counters and the LRU order, so the cache's observable
+//     accounting is lane-independent.  A digest keyed by a small plan is
+//     always a small-lane entry (the size is mixed into the digest), so
+//     the lanes never collide in practice; a cross-lane lookup is simply
+//     a counted miss.
 //   * FAULT/TRACE BYPASS: route() forwards any call with a ControlTrace or
 //     a non-empty EngineFaults overlay straight to the fused engine path —
 //     fault semantics are never served from, or recorded into, the cache
@@ -93,13 +103,24 @@ class ScheduleCache {
                                           const EngineFaults* faults = nullptr);
 
   /// Look up a digest: the schedule (promoted to MRU), or nullptr.
-  /// Counts a hit or a miss.
+  /// Counts a hit or a miss.  A small-lane entry under this digest is a
+  /// miss for this lane (the digest keys one lane per network size).
   [[nodiscard]] std::shared_ptr<const ControlSchedule> find(const PermutationDigest& digest);
 
   /// Insert (or refresh) a solved schedule, evicting the shard's LRU tail
   /// when it is full.  Does not touch the hit/miss counters.
   void insert(const PermutationDigest& digest,
               std::shared_ptr<const ControlSchedule> schedule);
+
+  /// Small-lane lookup: copy the cached SmallSchedule into `out` under the
+  /// shard lock (value copy — no allocation, no shared_ptr churn), promote
+  /// the entry to MRU, and count a hit.  Counts a miss and returns false
+  /// when the digest is absent or held by the general lane.
+  [[nodiscard]] bool find_small(const PermutationDigest& digest, SmallSchedule& out);
+
+  /// Insert (or refresh) a flattened small-N schedule by value; same LRU
+  /// and eviction accounting as insert().  Does not touch hit/miss.
+  void insert_small(const PermutationDigest& digest, const SmallSchedule& schedule);
 
   /// Count one fault/trace bypass (route() calls this automatically).
   void record_bypass() noexcept { bypasses_.inc(); }
@@ -121,7 +142,8 @@ class ScheduleCache {
   };
   struct Entry {
     PermutationDigest digest;
-    std::shared_ptr<const ControlSchedule> schedule;
+    std::shared_ptr<const ControlSchedule> schedule;  ///< general lane
+    SmallSchedule small;  ///< small lane, by value; small.solved() discriminates
   };
   struct Shard {
     mutable std::mutex mu;

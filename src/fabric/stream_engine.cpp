@@ -59,9 +59,13 @@ class SpscRing {
 };
 
 /// One solved permutation in flight between the solver and applier stages.
+/// Small plans (m <= SmallSchedule::kMaxM) travel BY VALUE in `small` —
+/// no shared_ptr churn, and a cold small stream allocates nothing per
+/// permutation; small.solved() tells the applier which lane to replay.
 struct StreamSlot {
   std::size_t index = 0;
   std::shared_ptr<const ControlSchedule> schedule;
+  SmallSchedule small;
 };
 
 /// First-error-wins capture shared by the two stages (route_batch semantics).
@@ -144,11 +148,31 @@ StreamEngine::Result StreamEngine::run_inline(std::span<const Permutation> perms
 
   RouteScratch scratch;
   ControlSchedule local;  // reused across cold solves when no cache is attached
+  const bool small = plan_.small_capable();
   bool all_ok = true;
   for (std::size_t i = 0; i < perms.size(); ++i) {
     try {
       CompiledBnb::Output out{};
-      if (cache_ != nullptr) {
+      if (small) {
+        // Register-resident lane: the flattened schedule lives on this
+        // stack frame (cache hits copy it by value), so the whole
+        // iteration is allocation-free once the scratch is warm.
+        SmallSchedule sched;
+        if (cache_ != nullptr) {
+          const PermutationDigest digest = digest_permutation(perms[i]);
+          if (cache_->find_small(digest, sched)) {
+            ++result.stats.cache_hits;
+          } else {
+            sched = plan_.compile_small(perms[i], scratch);
+            ++result.stats.solved;
+            cache_->insert_small(digest, sched);
+          }
+        } else {
+          sched = plan_.compile_small(perms[i], scratch);
+          ++result.stats.solved;
+        }
+        out = plan_.apply_small(sched, perms[i], scratch);
+      } else if (cache_ != nullptr) {
         const PermutationDigest digest = digest_permutation(perms[i]);
         std::shared_ptr<const ControlSchedule> schedule = cache_->find(digest);
         if (schedule != nullptr) {
@@ -200,6 +224,7 @@ StreamEngine::Result StreamEngine::run_pipelined(std::span<const Permutation> pe
 
   // SOLVER stage (spawned): control-solve permutation k+1 while the applier
   // is still delivering permutation k.
+  const bool small = plan_.small_capable();
   std::thread solver([&] {
     RouteScratch scratch;
     std::uint64_t solved = 0;
@@ -210,7 +235,23 @@ StreamEngine::Result StreamEngine::run_pipelined(std::span<const Permutation> pe
       StreamSlot slot;
       slot.index = i;
       try {
-        if (cache_ != nullptr) {
+        if (small) {
+          // Small lane: the flattened schedule rides the ring by value —
+          // no shared_ptr per permutation even on a cold stream.
+          if (cache_ != nullptr) {
+            const PermutationDigest digest = digest_permutation(perms[i]);
+            if (cache_->find_small(digest, slot.small)) {
+              ++hits;
+            } else {
+              slot.small = plan_.compile_small(perms[i], scratch);
+              ++solved;
+              cache_->insert_small(digest, slot.small);
+            }
+          } else {
+            slot.small = plan_.compile_small(perms[i], scratch);
+            ++solved;
+          }
+        } else if (cache_ != nullptr) {
           const PermutationDigest digest = digest_permutation(perms[i]);
           slot.schedule = cache_->find(digest);
           if (slot.schedule != nullptr) {
@@ -260,7 +301,10 @@ StreamEngine::Result StreamEngine::run_pipelined(std::span<const Permutation> pe
       continue;
     }
     try {
-      const CompiledBnb::Output out = plan_.apply(*slot.schedule, perms[slot.index], scratch);
+      const CompiledBnb::Output out =
+          slot.small.solved()
+              ? plan_.apply_small(slot.small, perms[slot.index], scratch)
+              : plan_.apply(*slot.schedule, perms[slot.index], scratch);
       all_ok &= out.self_routed;
       std::copy(out.dest.begin(), out.dest.end(), result.dest.begin() + slot.index * n);
     } catch (...) {

@@ -16,6 +16,11 @@
 //   * Options::cache: an optional ScheduleCache consulted before solving;
 //     hits skip the solve stage entirely (repeated traffic streams at
 //     apply-only speed) and misses populate the cache.
+//   * SMALL LANE: plans with m <= SmallSchedule::kMaxM stream flattened
+//     SmallSchedules (core/small_schedule.hpp) by value — through the
+//     cache's small lane and the ring slots alike — so small-N traffic
+//     pays no shared_ptr allocation per permutation and replays in
+//     registers on the applier side.
 //   * Errors: first-error-wins exactly like route_batch — the first stage
 //     to throw records its permutation index, both stages drain, and the
 //     error is rethrown on the calling thread as batch_route_error.

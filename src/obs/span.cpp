@@ -32,6 +32,9 @@ struct PhaseTable {
         &registry.histogram("bnb_fallback_ns", "behavioral spare-plane route latency");
     histograms[static_cast<std::size_t>(Phase::kStreamRun)] =
         &registry.histogram("bnb_stream_run_ns", "whole StreamEngine::run latency");
+    histograms[static_cast<std::size_t>(Phase::kSmallApply)] =
+        &registry.histogram("bnb_small_apply_ns",
+                            "register-resident small-N replay latency");
   }
 };
 
@@ -51,6 +54,7 @@ const char* to_string(Phase phase) noexcept {
     case Phase::kDiagnose: return "diagnose";
     case Phase::kFallback: return "fallback";
     case Phase::kStreamRun: return "stream_run";
+    case Phase::kSmallApply: return "small_apply";
   }
   return "?";
 }

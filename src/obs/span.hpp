@@ -13,6 +13,7 @@
 //   kDiagnose   RobustRouter::diagnose — binary-search fault localization
 //   kFallback   the behavioral spare-plane route after primary persistence
 //   kStreamRun  one whole StreamEngine::run call
+//   kSmallApply CompiledBnb::apply_small — register-resident small-N replay
 //
 // Cost model: a LiveSpan is one relaxed atomic load when telemetry is
 // runtime-disabled (set_enabled(false)), and two steady_clock reads plus a
@@ -45,8 +46,9 @@ enum class Phase : std::uint8_t {
   kDiagnose,
   kFallback,
   kStreamRun,
+  kSmallApply,
 };
-inline constexpr std::size_t kPhaseCount = 7;
+inline constexpr std::size_t kPhaseCount = 8;
 
 [[nodiscard]] const char* to_string(Phase phase) noexcept;
 

@@ -1,5 +1,5 @@
 // BENCH_routing.json is the repo's recorded perf baseline; docs/PERF.md
-// documents its schema (bnb.bench_routing.v4).  This test parses the
+// documents its schema (bnb.bench_routing.v5).  This test parses the
 // checked-in file with a minimal JSON reader and validates the schema, so
 // a bench_engine change that drifts the emitted shape fails CI instead of
 // silently invalidating the regression baseline.
@@ -222,7 +222,7 @@ TEST(BenchRoutingJson, MatchesTheDocumentedSchema) {
 
   // Header.
   ASSERT_TRUE(field(top, "schema").is_string());
-  EXPECT_EQ(field(top, "schema").str(), "bnb.bench_routing.v4");
+  EXPECT_EQ(field(top, "schema").str(), "bnb.bench_routing.v5");
   ASSERT_TRUE(field(top, "generated_by").is_string());
   ASSERT_TRUE(field(top, "hardware_threads").is_number());
   const double hardware_threads = field(top, "hardware_threads").num();
@@ -370,6 +370,65 @@ TEST(BenchRoutingJson, MatchesTheDocumentedSchema) {
       << "the recorded warm run is hit-dominated by construction";
   EXPECT_EQ(field(cache, "bypasses").num(), 0.0)
       << "no fault/trace traffic in the recorded run";
+
+  // small (v5): the register-resident small-N lane.  One row per m in
+  // 4..6, each comparing the pre-lane warm path (general-lane find +
+  // schedule apply) against the flat SmallSchedule replay; the recorded
+  // speedups are the lane's acceptance bars — apply must beat the general
+  // warm path >= 10x at m = 6, and apply8 must beat scalar apply >= 3x
+  // when the run used an AVX-512 kernel tier.
+  ASSERT_TRUE(field(top, "small").is_object());
+  const JsonObject& small = field(top, "small").object();
+  ASSERT_TRUE(field(small, "pool").is_number());
+  ASSERT_TRUE(field(small, "apply8_tier").is_string());
+  const std::string& apply8_tier = field(small, "apply8_tier").str();
+  EXPECT_TRUE(std::find(tier_names.begin(), tier_names.end(), apply8_tier) !=
+              tier_names.end())
+      << "apply8_tier must be one of kernels.available";
+  ASSERT_TRUE(field(small, "results").is_array());
+  const JsonArray& small_rows = field(small, "results").array();
+  ASSERT_EQ(small_rows.size(), 3U) << "one row per m in {4, 5, 6}";
+  double small_prev_m = 0;
+  for (const auto& row_value : small_rows) {
+    ASSERT_TRUE(row_value->is_object());
+    const JsonObject& row = row_value->object();
+    for (const char* key :
+         {"m", "n", "general_warm_ns_per_perm", "small_route_warm_ns_per_perm",
+          "apply_ns_per_perm", "apply8_ns_per_perm", "apply_speedup_vs_general",
+          "apply8_speedup_vs_apply"}) {
+      ASSERT_TRUE(field(row, key).is_number()) << key;
+    }
+    const double m = field(row, "m").num();
+    EXPECT_GT(m, small_prev_m) << "rows must be sorted by m, strictly increasing";
+    small_prev_m = m;
+    EXPECT_LE(m, 6.0) << "the small lane ends at m = 6 (one word of state)";
+    EXPECT_EQ(field(row, "n").num(),
+              static_cast<double>(1ULL << static_cast<unsigned>(m)));
+    const double general_ns = field(row, "general_warm_ns_per_perm").num();
+    const double small_route_ns = field(row, "small_route_warm_ns_per_perm").num();
+    const double apply_ns = field(row, "apply_ns_per_perm").num();
+    const double apply8_ns = field(row, "apply8_ns_per_perm").num();
+    EXPECT_GT(general_ns, 0.0);
+    EXPECT_GT(small_route_ns, 0.0);
+    EXPECT_GT(apply_ns, 0.0);
+    EXPECT_GT(apply8_ns, 0.0);
+    EXPECT_NEAR(field(row, "apply_speedup_vs_general").num(), general_ns / apply_ns,
+                general_ns / apply_ns * 0.01)
+        << "apply_speedup_vs_general inconsistent at m=" << m;
+    EXPECT_NEAR(field(row, "apply8_speedup_vs_apply").num(), apply_ns / apply8_ns,
+                apply_ns / apply8_ns * 0.01)
+        << "apply8_speedup_vs_apply inconsistent at m=" << m;
+    if (m == 6.0) {
+      EXPECT_GE(field(row, "apply_speedup_vs_general").num(), 10.0)
+          << "acceptance bar: the flat replay must beat the general warm "
+             "path >= 10x at m = 6";
+    }
+    if (apply8_tier.rfind("avx512", 0) == 0) {
+      EXPECT_GE(field(row, "apply8_speedup_vs_apply").num(), 3.0)
+          << "acceptance bar: apply8 must beat scalar apply >= 3x on an "
+             "AVX-512 tier (m=" << m << ")";
+    }
+  }
 
   // stream (v3): StreamEngine rows {threads, pipelined, cached,
   // ns_per_perm, perms_per_sec, oversubscribed}.

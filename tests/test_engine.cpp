@@ -542,6 +542,37 @@ TEST(CompiledBnb, SteadyStateSolveApplyAndCacheHitsAllocateNothing) {
   EXPECT_EQ(cache.stats().hits, static_cast<std::uint64_t>(perms.size()));
 }
 
+TEST(CompiledBnb, SteadyStateSmallLaneAllocatesNothing) {
+  // The register-resident small-N lane inherits the same guarantee one
+  // level deeper: after one warm-up, compile_small (solve + flatten into a
+  // stack value), apply_small, and the raw apply()/apply8() replays are
+  // all heap-free — there is no schedule object to allocate at all.
+  const CompiledBnb engine(6);
+  RouteScratch scratch;
+  Rng rng(0x5EED6);
+  std::vector<Permutation> perms;
+  for (int i = 0; i < 4; ++i) perms.push_back(random_perm(engine.inputs(), rng));
+
+  // Warm-up: size the scratch.
+  (void)engine.apply_small(engine.compile_small(perms[0], scratch), perms[0], scratch);
+
+  testhook::reset_allocation_count();
+  std::uint64_t acc = 0;
+  for (const auto& pi : perms) {
+    const SmallSchedule sched = engine.compile_small(pi, scratch);
+    const auto out = engine.apply_small(sched, pi, scratch);
+    ASSERT_TRUE(out.self_routed);
+    std::uint64_t lanes[8] = {1, 2, 4, 8, 16, 32, 64, 128};
+    for (int replay = 0; replay < 64; ++replay) {
+      acc ^= sched.apply(acc ^ replay);
+      sched.apply8(lanes);
+    }
+    acc ^= lanes[0];
+  }
+  EXPECT_EQ(testhook::allocation_count(), 0U)
+      << "small-lane compile + replay must not touch the heap (acc=" << acc << ")";
+}
+
 TEST(StagedBnbRouter, ReplayMatchesArbiterStepColumnByColumn) {
   // step_replay under a solved schedule must move the words exactly as the
   // arbiter-evaluating step() does, at every intermediate column.

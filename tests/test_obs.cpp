@@ -218,12 +218,12 @@ TEST(Obs, RegistryConcurrentRegistrationAndSnapshot) {
 // ---- spans and trace --------------------------------------------------
 
 TEST(ObsSpan, PhaseNamesAndHistogramsCoverTheTaxonomy) {
-  const Phase all[] = {Phase::kSolve,    Phase::kApply,    Phase::kRoute,
-                       Phase::kAudit,    Phase::kDiagnose, Phase::kFallback,
-                       Phase::kStreamRun};
-  static_assert(obs::kPhaseCount == 7);
+  const Phase all[] = {Phase::kSolve,    Phase::kApply,     Phase::kRoute,
+                       Phase::kAudit,    Phase::kDiagnose,  Phase::kFallback,
+                       Phase::kStreamRun, Phase::kSmallApply};
+  static_assert(obs::kPhaseCount == 8);
   const char* names[] = {"solve", "apply", "route", "audit", "diagnose",
-                         "fallback", "stream_run"};
+                         "fallback", "stream_run", "small_apply"};
   for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
     EXPECT_STREQ(obs::to_string(all[i]), names[i]);
     // Each phase has its own histogram; all are distinct objects.

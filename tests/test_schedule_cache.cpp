@@ -10,13 +10,16 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <thread>
 #include <vector>
 
+#include "alloc_count_hook.hpp"
 #include "common/rng.hpp"
 #include "core/compiled_bnb.hpp"
 #include "core/kernels/kernel_set.hpp"
 #include "core/schedule_cache.hpp"
+#include "core/small_schedule.hpp"
 #include "fault/fault_model.hpp"
 #include "fault/injection.hpp"
 #include "perm/generators.hpp"
@@ -308,6 +311,103 @@ TEST(ScheduleCache, ConcurrentMixedHitMissTrafficStaysCoherent) {
   EXPECT_GT(stats.misses, 0U);
   EXPECT_GT(stats.evictions, 0U) << "capacity 8 over a 24-perm pool must evict";
   EXPECT_LE(cache.size(), cache.capacity());
+}
+
+// ---- small lane --------------------------------------------------------
+
+TEST(ScheduleCache, SmallLaneFindInsertRoundTripAndCrossLaneMiss) {
+  // find_small/insert_small share the LRU entries and counters with the
+  // general lane; a digest held by one lane is a counted miss for the
+  // other (never a type confusion).
+  Rng rng(0xCAC4E08);
+  const CompiledBnb plan(4);
+  RouteScratch scratch;
+  ScheduleCache cache(8, /*shards=*/1);
+
+  const Permutation a = random_perm(16, rng);
+  const PermutationDigest da = digest_permutation(a);
+  SmallSchedule out;
+  ASSERT_FALSE(cache.find_small(da, out));
+  EXPECT_EQ(cache.stats().misses, 1U);
+
+  const SmallSchedule compiled = plan.compile_small(a, scratch);
+  cache.insert_small(da, compiled);
+  EXPECT_EQ(cache.size(), 1U);
+  ASSERT_TRUE(cache.find_small(da, out));
+  EXPECT_EQ(cache.stats().hits, 1U);
+  ASSERT_TRUE(out.solved());
+  for (std::size_t j = 0; j < 16; ++j) {
+    EXPECT_EQ(out.line_of_input(j), compiled.line_of_input(j)) << "input " << j;
+  }
+
+  // General-lane lookup of a small-lane entry: a miss, not a crash.
+  EXPECT_EQ(cache.find(da), nullptr);
+  EXPECT_EQ(cache.stats().misses, 2U);
+
+  // And the mirror image: a general-lane entry misses the small lane.
+  const Permutation b = random_perm(16, rng);
+  const PermutationDigest db = digest_permutation(b);
+  auto schedule = std::make_shared<ControlSchedule>();
+  plan.solve(b, scratch, *schedule);
+  cache.insert(db, schedule);
+  EXPECT_FALSE(cache.find_small(db, out));
+  EXPECT_EQ(cache.stats().misses, 3U);
+  EXPECT_NE(cache.find(db), nullptr);
+}
+
+TEST(ScheduleCache, SmallLaneRouteCountsHitsMissesAndEvictions) {
+  // route() on a small-capable plan takes the small lane end to end, with
+  // the same observable hit/miss/eviction accounting as the general lane.
+  Rng rng(0xCAC4E09);
+  const unsigned m = 5;
+  const std::size_t n = std::size_t{1} << m;
+  const CompiledBnb plan(m);
+  RouteScratch scratch;
+  ScheduleCache cache(2, /*shards=*/1);  // tiny: deterministic LRU eviction
+
+  const Permutation a = random_perm(n, rng);
+  const Permutation b = random_perm(n, rng);
+  const Permutation c = random_perm(n, rng);
+
+  (void)cache.route(plan, a, scratch);
+  (void)cache.route(plan, b, scratch);
+  EXPECT_EQ(cache.stats().misses, 2U);
+  (void)cache.route(plan, a, scratch);  // hit; promotes a, leaves b as LRU
+  EXPECT_EQ(cache.stats().hits, 1U);
+  (void)cache.route(plan, c, scratch);  // full shard: evicts b
+  EXPECT_EQ(cache.stats().evictions, 1U);
+  (void)cache.route(plan, b, scratch);  // evicted: misses again
+  EXPECT_EQ(cache.stats().misses, 4U);
+  EXPECT_LE(cache.size(), 2U);
+}
+
+TEST(ScheduleCache, SmallLaneWarmHitsAllocateNothing) {
+  // The whole point of the value-type lane: a warm small-N route is
+  // find_small (stack copy) + apply_small (register replay into the
+  // prepared scratch) — zero heap traffic, no shared_ptr churn.
+  Rng rng(0xCAC4E0A);
+  const unsigned m = 6;
+  const CompiledBnb plan(m);
+  RouteScratch scratch;
+  ScheduleCache cache(16, /*shards=*/1);
+
+  std::vector<Permutation> perms;
+  for (int i = 0; i < 4; ++i) perms.push_back(random_perm(plan.inputs(), rng));
+  for (const auto& pi : perms) (void)cache.route(plan, pi, scratch);  // warm-up fill
+
+  const auto before = cache.stats();
+  testhook::reset_allocation_count();
+  for (int round = 0; round < 8; ++round) {
+    for (const auto& pi : perms) {
+      const auto out = cache.route(plan, pi, scratch);
+      ASSERT_TRUE(out.self_routed);
+    }
+  }
+  EXPECT_EQ(testhook::allocation_count(), 0U)
+      << "warm small-lane hits must not touch the heap";
+  const auto after = cache.stats();
+  EXPECT_EQ(after.hits, before.hits + 8 * perms.size());
+  EXPECT_EQ(after.misses, before.misses);
 }
 
 }  // namespace
