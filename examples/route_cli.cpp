@@ -27,6 +27,14 @@
 //                             # pipeline at --threads >= 2, inline at 1) over a
 //                             # shared ScheduleCache; passes after the first
 //                             # are pure cache hits
+//   route_cli --chaos --rounds 2000 --seed 7 16
+//                             # seeded chaos campaign on a 16-line fabric:
+//                             # a fault-arrival process (transient glitches,
+//                             # persistent bursts) against a ResilientRouter
+//                             # concurrent with a backpressured StreamEngine
+//                             # over a shared ScheduleCache; exits 0 iff no
+//                             # silent misroute, no stall, and the circuit
+//                             # breaker tripped AND recovered (RELIABILITY.md)
 //   route_cli --metrics=prom --repeat 100 3 0 1 2
 //                             # any mode + --metrics[=json|prom] dumps the
 //                             # global MetricsRegistry (counters, gauges,
@@ -58,6 +66,7 @@
 #include "core/schedule_cache.hpp"
 #include "core/trace_render.hpp"
 #include "fabric/stream_engine.hpp"
+#include "fault/chaos.hpp"
 #include "fault/fault_model.hpp"
 #include "fault/robust_router.hpp"
 #include "obs/export.hpp"
@@ -71,6 +80,7 @@ int usage(const char* argv0) {
                "usage: %s [--network=bnb|batcher|benes|koppelman] [--trace] "
                "[--dot N] [--batch COUNT [--threads T] [--stream]] "
                "[--repeat K] [--inject SPEC [--rounds R] [--seed S]] "
+               "[--chaos [--rounds R] [--seed S] [--threads T]] "
                "[--metrics[=json|prom]] [image... | N]\n",
                argv0);
   return 2;
@@ -245,6 +255,67 @@ int run_inject(const std::string& spec, std::uint64_t seed, std::size_t rounds,
   return 0;
 }
 
+// --chaos: one seeded chaos campaign (fault/chaos.hpp) — a randomized
+// fault-arrival process against the ResilientRouter, concurrent with a
+// backpressured StreamEngine over a shared ScheduleCache.  `rounds` is the
+// router-side route count; the forced trip/recover phase and the stream
+// driver add their own traffic on top.
+int run_chaos(std::uint64_t seed, std::size_t rounds, unsigned threads,
+              std::size_t n) {
+  if (!bnb::is_power_of_two(n) || n < 2 || n > (std::size_t{1} << 10)) {
+    std::fputs("--chaos needs N a power of two in [2, 1024]\n", stderr);
+    return 2;
+  }
+  if (rounds == 0 || rounds > 1000000) {
+    std::fputs("--rounds must be in [1, 1000000]\n", stderr);
+    return 2;
+  }
+  bnb::ChaosConfig config;
+  config.m = bnb::log2_exact(n);
+  config.seed = seed;
+  config.router_routes = rounds;
+  config.stream_threads = threads >= 2 ? 2 : 1;
+  const bnb::ChaosReport report = bnb::run_chaos_campaign(config);
+
+  std::printf("chaos: %zu-line fabric, seed %llu: %zu checked deliveries "
+              "(%zu router + %zu stream)\n",
+              n, static_cast<unsigned long long>(seed), report.total_routes,
+              report.router_routes, report.stream_routes);
+  std::printf("router: %zu delivered (%llu cached replays), %zu healed by "
+              "retry, %zu by fallback, %zu degraded, %zu failed loudly\n",
+              report.delivered,
+              static_cast<unsigned long long>(report.cache_served),
+              report.retried, report.fallbacks, report.degraded, report.failed);
+  std::printf("faults: %zu windows (%zu transient, %zu persistent), %zu "
+              "faults injected\n",
+              report.fault_windows, report.transient_windows,
+              report.persistent_windows, report.faults_injected);
+  std::printf("breaker: %llu trips, %llu probes, %llu recoveries; %llu "
+              "backoffs; %llu cache entries quarantined\n",
+              static_cast<unsigned long long>(report.breaker_trips),
+              static_cast<unsigned long long>(report.breaker_probes),
+              static_cast<unsigned long long>(report.breaker_recoveries),
+              static_cast<unsigned long long>(report.backoffs),
+              static_cast<unsigned long long>(report.quarantined));
+  std::printf("stream: %zu ok, %zu isolated failures, %zu shed, %zu stalls\n",
+              report.stream_routes, report.stream_item_failures,
+              report.stream_shed, report.stream_stalls);
+  if (report.silent_misroutes != 0) {
+    std::printf("RESULT: %zu SILENT MISROUTES — the resilience contract is "
+                "broken\n",
+                report.silent_misroutes);
+    return 1;
+  }
+  if (!report.ok(config)) {
+    std::puts("RESULT: chaos campaign FAILED (stall, hang, or no breaker "
+              "trip/recover cycle)");
+    return 1;
+  }
+  std::puts("RESULT: chaos campaign OK — no silent misroutes, no stalls, "
+            "breaker tripped and recovered");
+  return 0;
+}
+
 // --batch COUNT: route COUNT random permutations of N lines (optional
 // positional N, default 16) through CompiledBnb::route_batch.
 int run_batch(std::size_t count, unsigned threads, std::size_t n) {
@@ -388,6 +459,8 @@ int main(int argc, char** argv) {
   bool repeat_given = false;
   std::size_t repeat = 1;
   std::string inject_spec;
+  bool chaos = false;
+  bool rounds_given = false;
   std::size_t rounds = 20;
   std::uint64_t seed = 2026;
   bool metrics = false;
@@ -429,8 +502,11 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--inject") == 0) {
       if (a + 1 >= argc) return usage(argv[0]);
       inject_spec = argv[++a];
+    } else if (std::strcmp(arg, "--chaos") == 0) {
+      chaos = true;
     } else if (std::strcmp(arg, "--rounds") == 0) {
       if (a + 1 >= argc) return usage(argv[0]);
+      rounds_given = true;
       rounds = std::strtoull(argv[++a], nullptr, 10);
     } else if (std::strcmp(arg, "--seed") == 0) {
       if (a + 1 >= argc) return usage(argv[0]);
@@ -465,6 +541,17 @@ int main(int argc, char** argv) {
                "drop one of them\n",
                stderr);
     return 2;
+  }
+
+  if (chaos) {
+    // In chaos mode the single optional positional argument is N; the mode
+    // owns the whole run and composes with --metrics only.
+    if (!inject_spec.empty() || batch || repeat_given || trace ||
+        image.size() > 1) {
+      return usage(argv[0]);
+    }
+    return finish(run_chaos(seed, rounds_given ? rounds : 2000, threads,
+                            image.empty() ? 16 : image[0]));
   }
 
   if (!inject_spec.empty()) {

@@ -727,6 +727,7 @@ BatchResult CompiledBnb::route_batch(std::span<const Permutation> perms,
   std::mutex error_mutex;
   std::exception_ptr first_error;
   std::size_t first_error_index = 0;
+  std::vector<std::size_t> failed_indices;
 
   auto record_error = [&](std::size_t idx) {
     std::lock_guard<std::mutex> lock(error_mutex);
@@ -734,6 +735,9 @@ BatchResult CompiledBnb::route_batch(std::span<const Permutation> perms,
       first_error = std::current_exception();
       first_error_index = idx;
     }
+    // Keep every failing index: concurrent workers may all fail before the
+    // stop flag drains the pool, and a multi-fault campaign wants them all.
+    failed_indices.push_back(idx);
     stop.store(true, std::memory_order_relaxed);
   };
 
@@ -820,7 +824,12 @@ BatchResult CompiledBnb::route_batch(std::span<const Permutation> perms,
     } catch (...) {
       // Non-std exception: the index and cause() still identify it.
     }
-    throw batch_route_error(first_error_index, first_error, what);
+    if (failed_indices.size() > 1) {
+      what += " (+" + std::to_string(failed_indices.size() - 1) +
+              " more worker failure" + (failed_indices.size() > 2 ? "s" : "") + ")";
+    }
+    throw batch_route_error(first_error_index, first_error, what,
+                            std::move(failed_indices));
   }
 
   result.all_self_routed = all_ok.load();

@@ -167,20 +167,43 @@ struct BatchResult {
 /// An exception escaped a route_batch worker thread.  The worker captures
 /// it and the pool rethrows it on the calling thread as this type, naming
 /// the batch index that failed; the original exception is in cause().
+/// Under multi-fault campaigns several workers can fail before the stop
+/// flag drains the pool — every failing index observed is retained in
+/// failed_indices() so concurrent damage is debuggable from one error.
 class batch_route_error : public std::runtime_error {
  public:
   batch_route_error(std::size_t index, std::exception_ptr cause,
-                    const std::string& what_arg)
-      : std::runtime_error(what_arg), index_(index), cause_(std::move(cause)) {}
+                    const std::string& what_arg,
+                    std::vector<std::size_t> failed = {})
+      : std::runtime_error(what_arg),
+        index_(index),
+        cause_(std::move(cause)),
+        failed_(std::move(failed)) {
+    if (failed_.empty()) failed_.push_back(index_);
+  }
 
-  /// Index into the batch of the permutation whose route threw.
+  /// Index into the batch of the FIRST permutation whose route threw (the
+  /// one cause() belongs to).
   [[nodiscard]] std::size_t index() const noexcept { return index_; }
   /// The original exception; std::rethrow_exception to recover its type.
   [[nodiscard]] std::exception_ptr cause() const noexcept { return cause_; }
 
+  /// Every failing batch index observed before the pool drained, first
+  /// failure included, in the order the failures were recorded.  Always
+  /// non-empty and always contains index().
+  [[nodiscard]] const std::vector<std::size_t>& failed_indices() const noexcept {
+    return failed_;
+  }
+  /// Failures beyond the first — workers that also failed while the stop
+  /// flag propagated.
+  [[nodiscard]] std::size_t additional_failures() const noexcept {
+    return failed_.size() - 1;
+  }
+
  private:
   std::size_t index_;
   std::exception_ptr cause_;
+  std::vector<std::size_t> failed_;
 };
 
 /// Opt-in capture of the engine's switch settings (off the fast path).

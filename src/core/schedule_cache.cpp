@@ -59,6 +59,8 @@ ScheduleCache::ScheduleCache(std::size_t capacity, std::size_t shards,
                             "LRU evictions across all shards");
   registry_->attach_counter("bnb_cache_bypasses_total", &bypasses_,
                             "fault/trace routes that bypassed the cache");
+  registry_->attach_counter("bnb_cache_quarantined_total", &quarantined_,
+                            "entries dropped by fault quarantine (invalidate)");
   registry_->attach_gauge("bnb_cache_entries", &entries_,
                           "live cached schedules across all shards");
 }
@@ -68,6 +70,7 @@ ScheduleCache::~ScheduleCache() {
   registry_->detach_counter("bnb_cache_misses_total", &misses_);
   registry_->detach_counter("bnb_cache_evictions_total", &evictions_);
   registry_->detach_counter("bnb_cache_bypasses_total", &bypasses_);
+  registry_->detach_counter("bnb_cache_quarantined_total", &quarantined_);
   registry_->detach_gauge("bnb_cache_entries", &entries_);
   // Fold the final totals into the registry's owned counters: the
   // fabric-wide counters stay monotonic across cache lifetimes (the
@@ -76,6 +79,7 @@ ScheduleCache::~ScheduleCache() {
   registry_->counter("bnb_cache_misses_total").inc(misses_.value());
   registry_->counter("bnb_cache_evictions_total").inc(evictions_.value());
   registry_->counter("bnb_cache_bypasses_total").inc(bypasses_.value());
+  registry_->counter("bnb_cache_quarantined_total").inc(quarantined_.value());
 }
 
 CompiledBnb::Output ScheduleCache::route(const CompiledBnb& plan, const Permutation& pi,
@@ -180,12 +184,25 @@ void ScheduleCache::insert_small(const PermutationDigest& digest,
   entries_.add(1);
 }
 
+bool ScheduleCache::invalidate(const PermutationDigest& digest) {
+  Shard& shard = shard_for(digest);
+  std::scoped_lock lock(shard.mu);
+  const auto it = shard.index.find(digest);
+  if (it == shard.index.end()) return false;
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
+  quarantined_.inc();
+  entries_.add(-1);
+  return true;
+}
+
 ScheduleCacheStats ScheduleCache::stats() const {
   ScheduleCacheStats out;
   out.hits = hits_.value();
   out.misses = misses_.value();
   out.evictions = evictions_.value();
   out.bypasses = bypasses_.value();
+  out.quarantined = quarantined_.value();
   out.entries = size();
   return out;
 }

@@ -29,6 +29,11 @@
 //     a non-empty EngineFaults overlay straight to the fused engine path —
 //     fault semantics are never served from, or recorded into, the cache
 //     (counted in `bypasses`).
+//   * QUARANTINE: invalidate(digest) drops an entry from whichever lane
+//     holds it (counted in `quarantined`).  The resilience layer
+//     (fault/resilience.hpp) calls it on every fault diagnosis and failed
+//     replay audit, so a schedule that might have been solved against a
+//     damaged fabric can never be served again — see docs/RELIABILITY.md.
 //
 // The digest is 128 bits of splitmix-style mixing over (size, image); the
 // cache trusts it without a full image compare — a false hit needs a
@@ -71,6 +76,7 @@ struct ScheduleCacheStats {
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
   std::uint64_t bypasses = 0;
+  std::uint64_t quarantined = 0;
   std::size_t entries = 0;
 };
 
@@ -125,6 +131,15 @@ class ScheduleCache {
   /// Count one fault/trace bypass (route() calls this automatically).
   void record_bypass() noexcept { bypasses_.inc(); }
 
+  /// Quarantine `digest`: drop its entry from whichever lane holds it and
+  /// count it in bnb_cache_quarantined_total.  The resilience layer calls
+  /// this on every fault diagnosis and failed replay audit, so a schedule
+  /// that might have been solved against a damaged fabric can never be
+  /// served again.  Returns true when an entry was actually dropped; a
+  /// miss leaves every counter untouched (quarantining an absent digest is
+  /// the common case — most fault routes never made it into the cache).
+  bool invalidate(const PermutationDigest& digest);
+
   /// Per-instance counter snapshot (a thin adapter over the same
   /// registry-attached counters).
   [[nodiscard]] ScheduleCacheStats stats() const;
@@ -163,6 +178,7 @@ class ScheduleCache {
   obs::Counter misses_;
   obs::Counter evictions_;
   obs::Counter bypasses_;
+  obs::Counter quarantined_;
   obs::Gauge entries_;  ///< live entry count, maintained under the shard locks
 };
 

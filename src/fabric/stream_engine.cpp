@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <memory>
 #include <mutex>
@@ -14,6 +15,12 @@
 
 namespace bnb {
 namespace {
+
+[[nodiscard]] std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
 
 /// Single-producer single-consumer ring of solved schedules.  Monotonic
 /// head/tail counters masked into a power-of-two slot array; the producer
@@ -62,31 +69,36 @@ class SpscRing {
 /// Small plans (m <= SmallSchedule::kMaxM) travel BY VALUE in `small` —
 /// no shared_ptr churn, and a cold small stream allocates nothing per
 /// permutation; small.solved() tells the applier which lane to replay.
+/// Under isolate_errors a solver-side failure still ships a slot with
+/// `failed` set so the applier can retire the index as kFailed in order.
 struct StreamSlot {
   std::size_t index = 0;
   std::shared_ptr<const ControlSchedule> schedule;
   SmallSchedule small;
+  bool failed = false;
 };
 
-/// First-error-wins capture shared by the two stages (route_batch semantics).
+/// First-error-wins capture shared by the two stages (route_batch
+/// semantics): the first recorded exception is the cause, but every
+/// failing index is retained so batch_route_error::failed_indices() can
+/// report concurrent damage.
 struct ErrorLatch {
   std::mutex mu;
   std::exception_ptr error;
-  std::size_t index = 0;
+  std::vector<std::size_t> indices;  ///< every failure, in recording order
 
   void record(std::size_t at, std::atomic<bool>& stop) {
     {
       std::scoped_lock lock(mu);
-      if (!error) {
-        error = std::current_exception();
-        index = at;
-      }
+      if (!error) error = std::current_exception();
+      indices.push_back(at);
     }
     stop.store(true, std::memory_order_release);
   }
 
   [[noreturn]] void rethrow(std::size_t total) const {
-    std::string what = "stream_engine: permutation " + std::to_string(index) + " of " +
+    const std::size_t first = indices.front();
+    std::string what = "stream_engine: permutation " + std::to_string(first) + " of " +
                        std::to_string(total) + " threw";
     try {
       std::rethrow_exception(error);
@@ -96,17 +108,84 @@ struct ErrorLatch {
     } catch (...) {
       // Non-std exception: the index and cause() still identify it.
     }
-    throw batch_route_error(index, error, what);
+    if (indices.size() > 1) {
+      what += " (+" + std::to_string(indices.size() - 1) + " more worker failures)";
+    }
+    throw batch_route_error(first, error, what, indices);
   }
 };
 
 }  // namespace
 
+stream_overload_error::stream_overload_error(std::size_t limit, std::size_t offered)
+    : std::runtime_error("stream_engine: admission limit " + std::to_string(limit) +
+                         " exceeded (" + std::to_string(offered) +
+                         " permutations offered); stream shed"),
+      limit_(limit),
+      offered_(offered) {}
+
+stream_stall_error::stream_stall_error(std::size_t solved, std::size_t applied,
+                                       std::size_t total, std::uint64_t timeout_ms)
+    : std::runtime_error("stream_engine: watchdog saw no progress for " +
+                         std::to_string(timeout_ms) + " ms (solved " + std::to_string(solved) +
+                         ", applied " + std::to_string(applied) + " of " +
+                         std::to_string(total) + "); stream failed instead of hanging"),
+      solved_(solved),
+      applied_(applied),
+      total_(total) {}
+
+stream_cancelled_error::stream_cancelled_error()
+    : std::runtime_error("stream_engine: run interrupted by cancel() or engine destruction") {}
+
+const char* to_string(StreamItemStatus status) noexcept {
+  switch (status) {
+    case StreamItemStatus::kOk:
+      return "ok";
+    case StreamItemStatus::kFailed:
+      return "failed";
+    case StreamItemStatus::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
+/// RAII registration of one run() against the engine lifecycle: refuses to
+/// start on a cancelled engine, and guarantees the destructor's drain wait
+/// sees active_runs_ reach zero however the run exits.
+class StreamEngine::ActiveRun {
+ public:
+  explicit ActiveRun(const StreamEngine& engine) : engine_(engine) {
+    std::scoped_lock lock(engine_.lifecycle_mu_);
+    if (engine_.cancelled_.load(std::memory_order_acquire)) {
+      engine_.cancelled_runs_->inc();
+      throw stream_cancelled_error();
+    }
+    ++engine_.active_runs_;
+  }
+
+  ~ActiveRun() {
+    std::scoped_lock lock(engine_.lifecycle_mu_);
+    --engine_.active_runs_;
+    engine_.lifecycle_cv_.notify_all();
+  }
+
+  ActiveRun(const ActiveRun&) = delete;
+  ActiveRun& operator=(const ActiveRun&) = delete;
+
+ private:
+  const StreamEngine& engine_;
+};
+
 StreamEngine::StreamEngine(const CompiledBnb& plan, Options options)
     : plan_(plan),
       threads_(options.threads),
       ring_depth_(std::max<std::size_t>(options.ring_depth, 2)),
-      cache_(options.cache) {
+      cache_(options.cache),
+      admission_limit_(options.admission_limit),
+      isolate_errors_(options.isolate_errors),
+      watchdog_timeout_ms_(options.watchdog_timeout_ms),
+      solve_hook_(std::move(options.solve_hook)),
+      apply_hook_(std::move(options.apply_hook)) {
   BNB_EXPECTS(options.threads <= 256);
   if (threads_ == 0) {
     threads_ = std::thread::hardware_concurrency() > 1 ? 2 : 1;
@@ -119,14 +198,57 @@ StreamEngine::StreamEngine(const CompiledBnb& plan, Options options)
   solves_ = &reg.counter("bnb_stream_solves_total", "cold arbiter-tree solves in run()");
   cache_hits_ =
       &reg.counter("bnb_stream_cache_hits_total", "schedules served from the stream cache");
+  shed_ = &reg.counter("bnb_stream_shed_total",
+                       "permutations refused by stream admission control");
+  item_failures_ = &reg.counter("bnb_stream_item_failures_total",
+                                "stream items marked failed under error isolation");
+  stalls_ = &reg.counter("bnb_stream_stalls_total",
+                         "streams failed by the pipeline stall watchdog");
+  cancelled_runs_ = &reg.counter("bnb_stream_cancelled_total",
+                                 "stream runs interrupted by cancel() or destruction");
   ring_high_water_ = &reg.gauge("bnb_stream_ring_high_water",
                                 "max solved schedules queued in any run's SPSC ring");
 }
 
+StreamEngine::~StreamEngine() {
+  cancel();
+  std::unique_lock<std::mutex> lock(lifecycle_mu_);
+  lifecycle_cv_.wait(lock, [this] { return active_runs_ == 0; });
+}
+
+void StreamEngine::cancel() const noexcept {
+  cancelled_.store(true, std::memory_order_release);
+}
+
 StreamEngine::Result StreamEngine::run(std::span<const Permutation> perms) const {
   BNB_OBS_SPAN(obs_span, obs::Phase::kStreamRun);
-  Result result = threads_ >= 2 ? run_pipelined(perms) : run_inline(perms);
+  ActiveRun guard(*this);
+  const std::size_t offered = perms.size();
+  std::span<const Permutation> admitted = perms;
+  if (admission_limit_ != 0 && offered > admission_limit_) {
+    if (!isolate_errors_) {
+      // Strict admission: the whole stream is refused loudly, nothing routes.
+      shed_->inc(offered);
+      throw stream_overload_error(admission_limit_, offered);
+    }
+    admitted = perms.first(admission_limit_);
+  }
+  Result result = run_admitted(admitted, offered);
   publish(result.stats);
+  return result;
+}
+
+StreamEngine::Result StreamEngine::run_admitted(std::span<const Permutation> perms,
+                                                std::size_t offered) const {
+  Result result = threads_ >= 2 ? run_pipelined(perms) : run_inline(perms);
+  if (perms.size() < offered) {
+    // Shed tail: the refused suffix gets zeroed dest rows and kShed marks,
+    // and stats still account for every permutation offered.
+    result.dest.resize(offered * plan_.inputs(), 0);
+    result.status.resize(offered, StreamItemStatus::kShed);
+    result.stats.shed = offered - perms.size();
+    result.stats.permutations = offered;
+  }
   return result;
 }
 
@@ -135,6 +257,8 @@ void StreamEngine::publish(const Stats& stats) const {
   permutations_->inc(stats.permutations);
   solves_->inc(stats.solved);
   cache_hits_->inc(stats.cache_hits);
+  if (stats.shed != 0) shed_->inc(stats.shed);
+  if (stats.failed != 0) item_failures_->inc(stats.failed);
   ring_high_water_->update_max(static_cast<std::int64_t>(stats.ring_high_water));
 }
 
@@ -145,13 +269,19 @@ StreamEngine::Result StreamEngine::run_inline(std::span<const Permutation> perms
   result.stats.threads_used = 1;
   result.stats.pipelined = false;
   result.dest.resize(perms.size() * n);
+  result.status.assign(perms.size(), StreamItemStatus::kOk);
 
   RouteScratch scratch;
   ControlSchedule local;  // reused across cold solves when no cache is attached
   const bool small = plan_.small_capable();
   bool all_ok = true;
   for (std::size_t i = 0; i < perms.size(); ++i) {
+    if (cancelled_.load(std::memory_order_acquire)) {
+      cancelled_runs_->inc();
+      throw stream_cancelled_error();
+    }
     try {
+      if (solve_hook_) solve_hook_(i);
       CompiledBnb::Output out{};
       if (small) {
         // Register-resident lane: the flattened schedule lives on this
@@ -171,6 +301,7 @@ StreamEngine::Result StreamEngine::run_inline(std::span<const Permutation> perms
           sched = plan_.compile_small(perms[i], scratch);
           ++result.stats.solved;
         }
+        if (apply_hook_) apply_hook_(i);
         out = plan_.apply_small(sched, perms[i], scratch);
       } else if (cache_ != nullptr) {
         const PermutationDigest digest = digest_permutation(perms[i]);
@@ -184,15 +315,23 @@ StreamEngine::Result StreamEngine::run_inline(std::span<const Permutation> perms
           cache_->insert(digest, solved);
           schedule = std::move(solved);
         }
+        if (apply_hook_) apply_hook_(i);
         out = plan_.apply(*schedule, perms[i], scratch);
       } else {
         plan_.solve(perms[i], scratch, local);
         ++result.stats.solved;
+        if (apply_hook_) apply_hook_(i);
         out = plan_.apply(local, perms[i], scratch);
       }
       all_ok &= out.self_routed;
       std::copy(out.dest.begin(), out.dest.end(), result.dest.begin() + i * n);
     } catch (...) {
+      if (isolate_errors_) {
+        // Damage stays on this item: dest rows read zero, the stream goes on.
+        result.status[i] = StreamItemStatus::kFailed;
+        ++result.stats.failed;
+        continue;
+      }
       ErrorLatch latch;
       std::atomic<bool> unused{false};
       latch.record(i, unused);
@@ -210,6 +349,7 @@ StreamEngine::Result StreamEngine::run_pipelined(std::span<const Permutation> pe
   result.stats.threads_used = 2;  // one solver + one applier, regardless of asked-for extras
   result.stats.pipelined = true;
   result.dest.resize(perms.size() * n);
+  result.status.assign(perms.size(), StreamItemStatus::kOk);
   if (perms.empty()) {
     result.stats.all_self_routed = true;
     return result;
@@ -217,10 +357,37 @@ StreamEngine::Result StreamEngine::run_pipelined(std::span<const Permutation> pe
 
   SpscRing<StreamSlot> ring(ring_depth_);
   std::atomic<bool> stop{false};
+  std::atomic<bool> stalled{false};
   ErrorLatch latch;
   std::atomic<std::uint64_t> solver_solved{0};
   std::atomic<std::uint64_t> solver_hits{0};
   std::atomic<std::uint64_t> solver_high_water{0};
+  std::atomic<std::uint64_t> solver_done{0};  ///< items pushed, for stall diagnostics
+
+  // WATCHDOG: both stages stamp last_progress after each retired item; a
+  // stage spinning on its ring longer than the timeout without seeing the
+  // stamp move declares the stream stalled (the other stage is stuck), sets
+  // stop, and the run fails with stream_stall_error after the join.  The
+  // join itself completes at the stuck stage's next stop check — a stage
+  // that never returns from user code (a hook or solve that truly hangs
+  // forever) is not interruptible in portable C++; the watchdog bounds
+  // every finite stall.
+  const bool watchdog = watchdog_timeout_ms_ > 0;
+  const std::uint64_t timeout_ns = watchdog_timeout_ms_ * 1'000'000ULL;
+  std::atomic<std::uint64_t> last_progress{now_ns()};
+  const auto progressed = [&] {
+    if (watchdog) last_progress.store(now_ns(), std::memory_order_relaxed);
+  };
+  const auto stalled_now = [&] {
+    if (!watchdog) return false;
+    // Load the stamp BEFORE reading the clock: the other stage may advance
+    // last_progress between the two reads, and with the opposite order the
+    // unsigned subtraction underflows into an instant false stall.  The
+    // now > last guard absorbs any residual skew the same way.
+    const std::uint64_t last = last_progress.load(std::memory_order_relaxed);
+    const std::uint64_t now = now_ns();
+    return now > last && now - last > timeout_ns;
+  };
 
   // SOLVER stage (spawned): control-solve permutation k+1 while the applier
   // is still delivering permutation k.
@@ -230,11 +397,20 @@ StreamEngine::Result StreamEngine::run_pipelined(std::span<const Permutation> pe
     std::uint64_t solved = 0;
     std::uint64_t hits = 0;
     std::uint64_t high_water = 0;
+    const auto flush_counts = [&] {
+      solver_solved.store(solved, std::memory_order_relaxed);
+      solver_hits.store(hits, std::memory_order_relaxed);
+      solver_high_water.store(high_water, std::memory_order_relaxed);
+    };
     for (std::size_t i = 0; i < perms.size(); ++i) {
-      if (stop.load(std::memory_order_acquire)) break;
+      if (stop.load(std::memory_order_acquire) ||
+          cancelled_.load(std::memory_order_acquire)) {
+        break;
+      }
       StreamSlot slot;
       slot.index = i;
       try {
+        if (solve_hook_) solve_hook_(i);
         if (small) {
           // Small lane: the flattened schedule rides the ring by value —
           // no shared_ptr per permutation even on a cold stream.
@@ -270,37 +446,69 @@ StreamEngine::Result StreamEngine::run_pipelined(std::span<const Permutation> pe
           slot.schedule = std::move(fresh);
         }
       } catch (...) {
-        latch.record(i, stop);
-        break;
+        if (!isolate_errors_) {
+          latch.record(i, stop);
+          break;
+        }
+        // Isolation: ship the failure downstream so the applier retires
+        // the index as kFailed in stream order.
+        slot.schedule = nullptr;
+        slot.small = SmallSchedule{};
+        slot.failed = true;
       }
       while (!ring.try_push(std::move(slot))) {
-        if (stop.load(std::memory_order_acquire)) {
-          solver_solved.store(solved, std::memory_order_relaxed);
-          solver_hits.store(hits, std::memory_order_relaxed);
-          solver_high_water.store(high_water, std::memory_order_relaxed);
+        if (stop.load(std::memory_order_acquire) ||
+            cancelled_.load(std::memory_order_acquire)) {
+          flush_counts();
+          return;
+        }
+        if (stalled_now()) {
+          // The applier stopped draining: fail the stream, don't spin forever.
+          stalled.store(true, std::memory_order_release);
+          stop.store(true, std::memory_order_release);
+          flush_counts();
           return;
         }
         std::this_thread::yield();
       }
+      solver_done.fetch_add(1, std::memory_order_relaxed);
+      progressed();
       high_water = std::max(high_water, ring.size());  // producer-side: exact
     }
-    solver_solved.store(solved, std::memory_order_relaxed);
-    solver_hits.store(hits, std::memory_order_relaxed);
-    solver_high_water.store(high_water, std::memory_order_relaxed);
+    flush_counts();
   });
 
   // APPLIER stage (calling thread): replay solved schedules in stream order.
   RouteScratch scratch;
   bool all_ok = true;
   std::size_t applied = 0;
+  bool cancelled_hit = false;
   while (applied < perms.size()) {
+    if (cancelled_.load(std::memory_order_acquire)) {
+      cancelled_hit = true;
+      break;
+    }
     StreamSlot slot;
     if (!ring.try_pop(slot)) {
       if (stop.load(std::memory_order_acquire)) break;
+      if (stalled_now()) {
+        // The solver stopped producing: fail the stream, don't spin forever.
+        stalled.store(true, std::memory_order_release);
+        stop.store(true, std::memory_order_release);
+        break;
+      }
       std::this_thread::yield();
       continue;
     }
+    if (slot.failed) {
+      result.status[slot.index] = StreamItemStatus::kFailed;
+      ++result.stats.failed;
+      ++applied;
+      progressed();
+      continue;
+    }
     try {
+      if (apply_hook_) apply_hook_(slot.index);
       const CompiledBnb::Output out =
           slot.small.solved()
               ? plan_.apply_small(slot.small, perms[slot.index], scratch)
@@ -308,15 +516,29 @@ StreamEngine::Result StreamEngine::run_pipelined(std::span<const Permutation> pe
       all_ok &= out.self_routed;
       std::copy(out.dest.begin(), out.dest.end(), result.dest.begin() + slot.index * n);
     } catch (...) {
-      latch.record(slot.index, stop);
-      break;
+      if (!isolate_errors_) {
+        latch.record(slot.index, stop);
+        break;
+      }
+      result.status[slot.index] = StreamItemStatus::kFailed;
+      ++result.stats.failed;
     }
     ++applied;
+    progressed();
   }
   stop.store(true, std::memory_order_release);  // release a solver blocked on a full ring
   solver.join();
 
   if (latch.error) latch.rethrow(perms.size());
+  if (stalled.load(std::memory_order_acquire)) {
+    stalls_->inc();
+    throw stream_stall_error(solver_done.load(std::memory_order_relaxed), applied,
+                             perms.size(), watchdog_timeout_ms_);
+  }
+  if (cancelled_hit || cancelled_.load(std::memory_order_acquire)) {
+    cancelled_runs_->inc();
+    throw stream_cancelled_error();
+  }
   result.stats.solved = solver_solved.load(std::memory_order_relaxed);
   result.stats.cache_hits = solver_hits.load(std::memory_order_relaxed);
   result.stats.ring_high_water = solver_high_water.load(std::memory_order_relaxed);

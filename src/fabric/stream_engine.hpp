@@ -21,19 +21,57 @@
 //     cache's small lane and the ring slots alike — so small-N traffic
 //     pays no shared_ptr allocation per permutation and replays in
 //     registers on the applier side.
-//   * Errors: first-error-wins exactly like route_batch — the first stage
-//     to throw records its permutation index, both stages drain, and the
-//     error is rethrown on the calling thread as batch_route_error.
+//
+// RESILIENCE (docs/RELIABILITY.md).  The engine fails loudly and in
+// bounded time instead of blocking or dying with the batch:
+//
+//   * ADMISSION: Options::admission_limit bounds how many permutations one
+//     run() accepts.  An oversized stream throws stream_overload_error up
+//     front (strict mode) or routes the admitted prefix and marks the
+//     excess kShed in Result::status (isolate_errors mode) — an explicit
+//     shed path instead of unbounded queue growth.
+//   * PER-ITEM ERROR ISOLATION: with Options::isolate_errors a fault on
+//     permutation k no longer kills permutations k+1..n.  The failing item
+//     is marked kFailed in Result::status (its dest rows read zero), the
+//     stream keeps going, and Stats::failed counts the damage.  With
+//     isolation off the historic first-error-wins contract holds: the
+//     first stage to throw records its permutation index, both stages
+//     drain, and the error is rethrown on the calling thread as
+//     batch_route_error (now carrying every failing index observed).
+//   * WATCHDOG: with Options::watchdog_timeout_ms, a pipelined stage that
+//     waits on its ring longer than the timeout without ANY stream
+//     progress declares the other stage stalled: the stream stops and
+//     run() throws stream_stall_error with a solved/applied diagnostic
+//     instead of spinning forever.  Pick a timeout well above the worst
+//     single-item latency; the chaos campaign proves the watchdog never
+//     fires spuriously on a healthy stream.  Inline (threads = 1) runs
+//     make progress by definition and never arm the watchdog.
+//   * CANCEL/DRAIN: cancel() asks every in-flight run() to stop; those
+//     runs throw stream_cancelled_error at their next loop step.  The
+//     destructor cancels and then BLOCKS until every in-flight run has
+//     left the engine, so destroying a StreamEngine mid-stream neither
+//     hangs nor leaves a worker touching freed state (tsan-covered).
+//     A cancelled engine stays cancelled: later run() calls throw.
+//   * Options::solve_hook / apply_hook: per-index instrumentation points
+//     on the solver/applier stages for chaos and latency injection (the
+//     stall tests and bench_chaos drive them); they must return — a hook
+//     that never returns is a genuine hang no watchdog can cancel.
 //
 // Results are bit-identical to CompiledBnb::route_batch on the same span
 // (tests/test_stream_engine.cpp proves it), and an engine is immutable
-// after construction: run() keeps all mutable state on its own stack, so
-// one StreamEngine may serve concurrent run() calls.
+// after construction: run() keeps all mutable state on its own stack (the
+// lifecycle guard is the one shared word), so one StreamEngine may serve
+// concurrent run() calls.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <condition_variable>
+#include <mutex>
+#include <atomic>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "core/compiled_bnb.hpp"
@@ -42,6 +80,51 @@
 #include "perm/permutation.hpp"
 
 namespace bnb {
+
+/// run() was offered more permutations than Options::admission_limit while
+/// strict (isolate_errors off): the stream is refused up front.
+class stream_overload_error : public std::runtime_error {
+ public:
+  stream_overload_error(std::size_t limit, std::size_t offered);
+  [[nodiscard]] std::size_t limit() const noexcept { return limit_; }
+  [[nodiscard]] std::size_t offered() const noexcept { return offered_; }
+
+ private:
+  std::size_t limit_;
+  std::size_t offered_;
+};
+
+/// The watchdog saw no stream progress for longer than
+/// Options::watchdog_timeout_ms while a stage was waiting on the ring:
+/// the other stage is stalled, and the stream failed instead of hanging.
+class stream_stall_error : public std::runtime_error {
+ public:
+  stream_stall_error(std::size_t solved, std::size_t applied, std::size_t total,
+                     std::uint64_t timeout_ms);
+  [[nodiscard]] std::size_t solved() const noexcept { return solved_; }
+  [[nodiscard]] std::size_t applied() const noexcept { return applied_; }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+ private:
+  std::size_t solved_;
+  std::size_t applied_;
+  std::size_t total_;
+};
+
+/// cancel() (or engine destruction) interrupted this run.
+class stream_cancelled_error : public std::runtime_error {
+ public:
+  stream_cancelled_error();
+};
+
+/// Per-permutation disposition of one run() (Result::status).
+enum class StreamItemStatus : std::uint8_t {
+  kOk = 0,     ///< routed and delivered
+  kFailed,     ///< this item threw (isolate_errors); its dest rows are zero
+  kShed,       ///< refused by admission control; never routed
+};
+
+[[nodiscard]] const char* to_string(StreamItemStatus status) noexcept;
 
 class StreamEngine {
  public:
@@ -59,35 +142,73 @@ class StreamEngine {
     /// Registry the engine publishes its bnb_stream_* totals to at the end
     /// of every run(); nullptr = the global registry.
     obs::MetricsRegistry* registry = nullptr;
+    /// Max permutations one run() admits; 0 = unlimited.  Excess is shed:
+    /// stream_overload_error when strict, kShed statuses when isolating.
+    std::size_t admission_limit = 0;
+    /// Per-item error isolation: a failing permutation is marked kFailed
+    /// and the stream continues (default: first-error-wins rethrow).
+    bool isolate_errors = false;
+    /// Pipelined-stage stall detection in milliseconds; 0 = disabled.
+    std::uint64_t watchdog_timeout_ms = 0;
+    /// Chaos/test instrumentation, called with the stream index before the
+    /// stage's work for that item.  Must return; may throw (the throw is
+    /// treated exactly like the stage's own failure).
+    std::function<void(std::size_t)> solve_hook;
+    std::function<void(std::size_t)> apply_hook;
   };
 
   struct Stats {
-    std::uint64_t permutations = 0;
+    std::uint64_t permutations = 0;  ///< offered to run() (admitted + shed)
     std::uint64_t solved = 0;       ///< cold arbiter-tree solves run
     std::uint64_t cache_hits = 0;   ///< schedules served from Options::cache
     std::uint64_t ring_high_water = 0;  ///< max solved schedules queued (0 inline)
+    std::uint64_t failed = 0;       ///< items marked kFailed (isolate_errors)
+    std::uint64_t shed = 0;         ///< items refused by admission control
     unsigned threads_used = 1;
     bool pipelined = false;         ///< true when solver/applier overlapped
-    bool all_self_routed = false;
+    bool all_self_routed = false;   ///< over delivered items only
   };
 
   /// dest[perm * N + input] = output line, same layout as BatchResult.
+  /// status[perm] tells each item's disposition (all kOk on the historic
+  /// strict path — anything else would have thrown instead).
   struct Result {
     std::vector<std::uint32_t> dest;
+    std::vector<StreamItemStatus> status;
     Stats stats;
   };
 
   explicit StreamEngine(const CompiledBnb& plan) : StreamEngine(plan, Options()) {}
   StreamEngine(const CompiledBnb& plan, Options options);
 
-  /// Route the whole stream; throws batch_route_error naming the first
-  /// failing permutation index (results are then unspecified).
+  /// Cancels in-flight runs and blocks until they have all left run().
+  ~StreamEngine();
+
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
+
+  /// Route the whole stream.  Throws batch_route_error naming the failing
+  /// permutation index/indices (strict mode), stream_overload_error on an
+  /// oversized strict stream, stream_stall_error when the watchdog fires,
+  /// and stream_cancelled_error when cancel()/destruction interrupts the
+  /// run (results are then unspecified).
   [[nodiscard]] Result run(std::span<const Permutation> perms) const;
+
+  /// Ask every in-flight run() (on any thread) to stop; they throw
+  /// stream_cancelled_error at their next loop step.  Sticky: the engine
+  /// accepts no further runs.  Safe from any thread, idempotent.
+  void cancel() const noexcept;
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
 
   [[nodiscard]] const CompiledBnb& plan() const noexcept { return plan_; }
   [[nodiscard]] unsigned threads() const noexcept { return threads_; }
 
  private:
+  class ActiveRun;
+
+  Result run_admitted(std::span<const Permutation> perms, std::size_t offered) const;
   Result run_inline(std::span<const Permutation> perms) const;
   Result run_pipelined(std::span<const Permutation> perms) const;
   void publish(const Stats& stats) const;
@@ -96,13 +217,28 @@ class StreamEngine {
   unsigned threads_;
   std::size_t ring_depth_;
   ScheduleCache* cache_;
+  std::size_t admission_limit_;
+  bool isolate_errors_;
+  std::uint64_t watchdog_timeout_ms_;
+  std::function<void(std::size_t)> solve_hook_;
+  std::function<void(std::size_t)> apply_hook_;
   // Registry-owned bnb_stream_* metrics, resolved once at construction so
   // the const run() path never touches the registry mutex.
   obs::Counter* runs_;
   obs::Counter* permutations_;
   obs::Counter* solves_;
   obs::Counter* cache_hits_;
+  obs::Counter* shed_;
+  obs::Counter* item_failures_;
+  obs::Counter* stalls_;
+  obs::Counter* cancelled_runs_;
   obs::Gauge* ring_high_water_;
+  // Lifecycle: how many run() calls are inside the engine, and whether
+  // cancel() was requested.  The destructor waits on active_runs_ == 0.
+  mutable std::mutex lifecycle_mu_;
+  mutable std::condition_variable lifecycle_cv_;
+  mutable std::size_t active_runs_ = 0;
+  mutable std::atomic<bool> cancelled_{false};
 };
 
 }  // namespace bnb

@@ -1,0 +1,236 @@
+#include "fault/chaos.hpp"
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+#include "core/compiled_bnb.hpp"
+#include "core/schedule_cache.hpp"
+#include "fabric/stream_engine.hpp"
+#include "fault/fault_model.hpp"
+#include "perm/generators.hpp"
+
+namespace bnb {
+namespace {
+
+/// The harness's own misroute check: a delivered dest row must be exactly
+/// the requested permutation.  Deliberately independent of DeliveryAudit —
+/// the harness double-checks the checker.
+[[nodiscard]] bool delivery_matches(const Permutation& pi,
+                                    const std::uint32_t* dest, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    if (dest[j] != pi(j)) return false;
+  }
+  return true;
+}
+
+[[nodiscard]] FaultModel sample_burst(unsigned m, std::size_t count, Rng& rng) {
+  FaultModel model(m);
+  for (const FaultSpec& spec : FaultModel::random_campaign(m, count, rng)) {
+    model.add(spec);
+  }
+  return model;
+}
+
+}  // namespace
+
+ChaosReport run_chaos_campaign(const ChaosConfig& cfg, obs::MetricsRegistry* registry) {
+  BNB_EXPECTS(cfg.burst_max >= 1);
+  BNB_EXPECTS(cfg.transient_attempts_max >= 1);
+  BNB_EXPECTS(cfg.persistent_routes_max >= 1);
+  obs::MetricsRegistry& reg =
+      registry != nullptr ? *registry : obs::MetricsRegistry::global();
+  const std::size_t n = std::size_t{1} << cfg.m;
+
+  ChaosReport report;
+  ScheduleCache cache(cfg.cache_capacity, 8, &reg);
+
+  // ---- stream driver: a backpressured StreamEngine sharing the cache ----
+  // Error isolation is on (a poisoned item must not kill the stream) and
+  // the watchdog is armed: a hang shows up as a counted stall, never as a
+  // wedged campaign.  Every kOk row is re-checked against its permutation.
+  std::atomic<std::size_t> stream_ok_items{0};
+  std::atomic<std::size_t> stream_failed{0};
+  std::atomic<std::size_t> stream_shed{0};
+  std::atomic<std::size_t> stream_misroutes{0};
+  std::atomic<std::size_t> stream_stalls{0};
+  std::atomic<bool> stream_live{true};
+
+  CompiledBnb stream_plan(cfg.m);
+  const auto stream_driver = [&] {
+    try {
+      Rng rng(SplitMix64(cfg.seed ^ 0x53545245414DULL).next());
+      std::vector<Permutation> perms;
+      perms.reserve(cfg.stream_perms);
+      for (std::size_t i = 0; i < cfg.stream_perms; ++i) {
+        perms.push_back(random_perm(n, rng));
+      }
+      StreamEngine::Options options;
+      options.threads = cfg.stream_threads;
+      options.cache = &cache;
+      options.registry = &reg;
+      options.admission_limit = cfg.stream_admission_limit;
+      options.isolate_errors = true;
+      options.watchdog_timeout_ms = cfg.watchdog_timeout_ms;
+      StreamEngine engine(stream_plan, std::move(options));
+      for (std::size_t run = 0; run < cfg.stream_runs; ++run) {
+        StreamEngine::Result result;
+        try {
+          result = engine.run(perms);
+        } catch (const stream_stall_error&) {
+          // The throw IS the liveness mechanism (no hang), but a stall
+          // still fails the campaign's pass criteria.
+          stream_stalls.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        for (std::size_t i = 0; i < perms.size(); ++i) {
+          switch (result.status[i]) {
+            case StreamItemStatus::kOk:
+              if (delivery_matches(perms[i], result.dest.data() + i * n, n)) {
+                stream_ok_items.fetch_add(1, std::memory_order_relaxed);
+              } else {
+                stream_misroutes.fetch_add(1, std::memory_order_relaxed);
+              }
+              break;
+            case StreamItemStatus::kFailed:
+              stream_failed.fetch_add(1, std::memory_order_relaxed);
+              break;
+            case StreamItemStatus::kShed:
+              stream_shed.fetch_add(1, std::memory_order_relaxed);
+              break;
+          }
+        }
+      }
+    } catch (...) {
+      stream_live.store(false, std::memory_order_relaxed);
+    }
+  };
+
+  std::thread stream_thread;
+  if (cfg.concurrent) stream_thread = std::thread(stream_driver);
+
+  // ---- router driver: fault arrival process against a ResilientRouter ---
+  ResilientRouter router(cfg.m, cfg.policy, &cache, &reg);
+  Rng fault_rng(SplitMix64(cfg.seed ^ 0x4641554C54ULL).next());
+  Rng perm_rng(SplitMix64(cfg.seed ^ 0x524F555445ULL).next());
+
+  const auto tally = [&](const Permutation& pi, const ResilientReport& rep) {
+    switch (rep.outcome) {
+      case ResilientOutcome::kDelivered:
+        ++report.delivered;
+        break;
+      case ResilientOutcome::kDeliveredAfterRetry:
+        ++report.delivered;
+        ++report.retried;
+        break;
+      case ResilientOutcome::kDeliveredByFallback:
+        ++report.fallbacks;
+        break;
+      case ResilientOutcome::kDegraded:
+        ++report.degraded;
+        break;
+      case ResilientOutcome::kFailed:
+        ++report.failed;
+        break;
+    }
+    if (rep.deadline_exceeded) ++report.deadline_exceeded;
+    if (rep.delivered() && !(rep.dest.size() == n && delivery_matches(pi, rep.dest.data(), n))) {
+      ++report.silent_misroutes;
+    }
+    ++report.router_routes;
+  };
+
+  bool window_open = false;
+  std::size_t window_routes_left = 0;
+  for (std::size_t i = 0; i < cfg.router_routes; ++i) {
+    if (!window_open && fault_rng.uniform01() < cfg.fault_arrival) {
+      const std::size_t burst = 1 + fault_rng.below(cfg.burst_max);
+      const FaultModel model = sample_burst(cfg.m, burst, fault_rng);
+      report.faults_injected += model.size();
+      ++report.fault_windows;
+      if (fault_rng.uniform01() < cfg.transient_fraction) {
+        const auto attempts =
+            1 + static_cast<unsigned>(fault_rng.below(cfg.transient_attempts_max));
+        router.inject_transient(model, attempts);
+        ++report.transient_windows;
+        window_routes_left = attempts;
+      } else {
+        router.inject(model);
+        ++report.persistent_windows;
+        window_routes_left = 1 + fault_rng.below(cfg.persistent_routes_max);
+      }
+      window_open = true;
+    }
+    const Permutation pi = random_perm(n, perm_rng);
+    tally(pi, router.route(pi));
+    if (window_open && --window_routes_left == 0) {
+      // The repair crew arrives: the overlay is gone AND no longer suspect,
+      // so the cache fast path re-opens.
+      router.clear_faults();
+      window_open = false;
+    }
+  }
+  if (window_open) router.clear_faults();
+
+  // ---- deterministic trip/recover phase ---------------------------------
+  // Random arrivals may never line up trip_threshold consecutive diagnoses;
+  // this phase guarantees every campaign witnesses the full breaker cycle:
+  // storm until OPEN, repair, route until CLOSED again.
+  if (cfg.force_trip_and_recover) {
+    const HealthTracker::Stats before = router.health().stats();
+    const std::size_t budget =
+        256 + 64 * (router.health().policy().trip_threshold +
+                    router.health().policy().probe_interval *
+                        router.health().policy().recovery_threshold);
+    bool tripped = false;
+    for (unsigned storm = 0; storm < 8 && !tripped; ++storm) {
+      const FaultModel model = sample_burst(cfg.m, 4, fault_rng);
+      report.faults_injected += model.size();
+      ++report.fault_windows;
+      ++report.persistent_windows;
+      router.inject(model);
+      for (std::size_t i = 0; i < budget && !tripped; ++i) {
+        const Permutation pi = random_perm(n, perm_rng);
+        tally(pi, router.route(pi));
+        tripped = router.health().stats().trips > before.trips;
+      }
+    }
+    router.clear_faults();
+    bool recovered = false;
+    for (std::size_t i = 0; i < budget && !recovered; ++i) {
+      const Permutation pi = random_perm(n, perm_rng);
+      tally(pi, router.route(pi));
+      recovered = router.health().stats().recoveries > before.recoveries;
+    }
+  }
+
+  if (cfg.concurrent) {
+    stream_thread.join();
+  } else {
+    stream_driver();
+  }
+
+  report.stream_routes = stream_ok_items.load(std::memory_order_relaxed);
+  report.stream_item_failures = stream_failed.load(std::memory_order_relaxed);
+  report.stream_shed = stream_shed.load(std::memory_order_relaxed);
+  report.silent_misroutes += stream_misroutes.load(std::memory_order_relaxed);
+  report.stream_stalls = stream_stalls.load(std::memory_order_relaxed);
+  report.live = report.live && stream_live.load(std::memory_order_relaxed);
+
+  const HealthTracker::Stats health = router.health().stats();
+  report.breaker_trips = health.trips;
+  report.breaker_probes = health.probes;
+  report.breaker_recoveries = health.recoveries;
+  const ResilientRouter::Stats rstats = router.stats();
+  report.backoffs = rstats.backoffs;
+  report.cache_served = rstats.cache_served;
+  report.quarantined = cache.stats().quarantined;
+  report.total_routes = report.router_routes + report.stream_routes;
+  return report;
+}
+
+}  // namespace bnb

@@ -410,4 +410,102 @@ TEST(ScheduleCache, SmallLaneWarmHitsAllocateNothing) {
   EXPECT_EQ(after.misses, before.misses);
 }
 
+TEST(ScheduleCache, SmallLaneFaultAndTraceRoutesBypassAndNeverInsert) {
+  // Satellite of the quarantine contract at m <= kMaxM: a fault-injected
+  // or traced route on a small-capable plan must bypass the small lane —
+  // no hit, no insert, no cached fault semantics — and an already-warm
+  // small-lane entry must not serve such a route.
+  Rng rng(0xCAC4E0B);
+  for (const unsigned m : {4U, 6U}) {  // both ends of the small lane
+    const std::size_t n = std::size_t{1} << m;
+    const CompiledBnb plan(m);
+    ASSERT_TRUE(plan.small_capable());
+    RouteScratch scratch;
+    ScheduleCache cache(16, /*shards=*/1);
+    const Permutation pi = random_perm(n, rng);
+    const PermutationDigest digest = digest_permutation(pi);
+
+    FaultModel model(m);
+    model.add({FaultKind::kLinkFlip, {0, 0, 0, 0}, false, 0, 0});
+    const EngineFaults overlay = compile_engine_faults(model);
+    ASSERT_FALSE(overlay.empty());
+
+    // Cold fault route: bypass, empty cache, small lane never consulted.
+    (void)cache.route(plan, pi, scratch, nullptr, &overlay);
+    EXPECT_EQ(cache.stats().bypasses, 1U) << "m=" << m;
+    EXPECT_EQ(cache.stats().entries, 0U) << "m=" << m;
+    SmallSchedule probe;
+    EXPECT_FALSE(cache.find_small(digest, probe))
+        << "m=" << m << ": a fault route must not have filled the small lane";
+
+    // Cold trace route: same contract.
+    ControlTrace trace;
+    (void)cache.route(plan, pi, scratch, &trace);
+    EXPECT_EQ(cache.stats().bypasses, 2U) << "m=" << m;
+    EXPECT_EQ(cache.stats().entries, 0U) << "m=" << m;
+
+    // Warm the small lane with the clean schedule, then demand that fault
+    // and trace routes still bypass it — fault semantics are never served
+    // from a cached replay, and the entry must survive untouched.
+    const auto clean = cache.route(plan, pi, scratch);
+    ASSERT_EQ(cache.stats().entries, 1U) << "m=" << m;
+    const auto faulty = cache.route(plan, pi, scratch, nullptr, &overlay);
+    EXPECT_EQ(cache.stats().bypasses, 3U) << "m=" << m;
+    (void)cache.route(plan, pi, scratch, &trace);
+    EXPECT_EQ(cache.stats().bypasses, 4U) << "m=" << m;
+    EXPECT_EQ(cache.stats().entries, 1U) << "m=" << m;
+
+    // The faulty delivery must match the fused engine under the overlay,
+    // not the clean cached replay.
+    const auto want = plan.route(pi, scratch, nullptr, &overlay);
+    for (std::size_t line = 0; line < n; ++line) {
+      ASSERT_EQ(faulty.dest[line], want.dest[line])
+          << "m=" << m << ": fault semantics served from the small lane";
+    }
+    (void)clean;
+  }
+}
+
+// ---- quarantine ---------------------------------------------------------
+
+TEST(ScheduleCache, InvalidateDropsEitherLaneAndCountsQuarantine) {
+  Rng rng(0xCAC4E0C);
+  const CompiledBnb small_plan(5);
+  const CompiledBnb general_plan(7);
+  RouteScratch scratch;
+  ScheduleCache cache(16, /*shards=*/1);
+
+  // One entry per lane.
+  const Permutation a = random_perm(32, rng);
+  const PermutationDigest da = digest_permutation(a);
+  cache.insert_small(da, small_plan.compile_small(a, scratch));
+  const Permutation b = random_perm(128, rng);
+  const PermutationDigest db = digest_permutation(b);
+  auto schedule = std::make_shared<ControlSchedule>();
+  RouteScratch general_scratch;
+  general_plan.solve(b, general_scratch, *schedule);
+  cache.insert(db, schedule);
+  ASSERT_EQ(cache.stats().entries, 2U);
+
+  // Small-lane quarantine.
+  EXPECT_TRUE(cache.invalidate(da));
+  EXPECT_EQ(cache.stats().quarantined, 1U);
+  EXPECT_EQ(cache.stats().entries, 1U);
+  SmallSchedule out;
+  EXPECT_FALSE(cache.find_small(da, out));
+
+  // General-lane quarantine.
+  EXPECT_TRUE(cache.invalidate(db));
+  EXPECT_EQ(cache.stats().quarantined, 2U);
+  EXPECT_EQ(cache.stats().entries, 0U);
+  EXPECT_EQ(cache.find(db), nullptr);
+
+  // Quarantining an absent digest is a counted no-op on every counter.
+  const auto before = cache.stats();
+  EXPECT_FALSE(cache.invalidate(da));
+  const auto after = cache.stats();
+  EXPECT_EQ(after.quarantined, before.quarantined);
+  EXPECT_EQ(after.entries, 0U);
+}
+
 }  // namespace

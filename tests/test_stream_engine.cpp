@@ -7,7 +7,13 @@
 // targets for the ring buffer.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <exception>
+#include <memory>
+#include <span>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -147,6 +153,270 @@ TEST(StreamEngine, FirstErrorWinsNamesTheFailingIndex) {
       EXPECT_NE(e.cause(), nullptr);
       EXPECT_THROW(std::rethrow_exception(e.cause()), contract_violation);
     }
+  }
+}
+
+// ---- error isolation ----------------------------------------------------
+
+TEST(StreamEngine, IsolatedErrorsCarryPerIndexStatus) {
+  // Under isolate_errors a poisoned item must not kill the stream: its
+  // index retires as kFailed with a zeroed dest row, every other item
+  // still delivers, and no exception escapes.
+  const unsigned m = 5;
+  const std::size_t n = 32;
+  const CompiledBnb plan(m);
+  auto pool = random_pool(m, 12, 0x57E08);
+  pool[3] = identity_perm(8);  // wrong size: the solver's contract trips
+  pool[9] = identity_perm(4);
+
+  for (const unsigned threads : {1U, 2U}) {
+    StreamEngine::Options options;
+    options.threads = threads;
+    options.isolate_errors = true;
+    StreamEngine engine(plan, options);
+    const auto result = engine.run(pool);
+    ASSERT_EQ(result.status.size(), pool.size()) << "threads=" << threads;
+    EXPECT_EQ(result.stats.failed, 2U) << "threads=" << threads;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (i == 3 || i == 9) {
+        EXPECT_EQ(result.status[i], StreamItemStatus::kFailed)
+            << "threads=" << threads << " i=" << i;
+        for (std::size_t j = 0; j < n; ++j) {
+          EXPECT_EQ(result.dest[i * n + j], 0U) << "failed rows read zero";
+        }
+      } else {
+        EXPECT_EQ(result.status[i], StreamItemStatus::kOk)
+            << "threads=" << threads << " i=" << i;
+        for (std::size_t j = 0; j < n; ++j) {
+          ASSERT_EQ(result.dest[i * n + j], pool[i](j))
+              << "threads=" << threads << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(StreamEngine, MultipleFailuresAreRetainedInTheBatchError) {
+  // Without isolation the stream still throws first-error-wins, but every
+  // failing index observed before the stop drained is retained.
+  const unsigned m = 5;
+  const CompiledBnb plan(m);
+  auto pool = random_pool(m, 12, 0x57E09);
+  pool[4] = identity_perm(8);
+
+  StreamEngine engine(plan, {.threads = 1});
+  try {
+    (void)engine.run(pool);
+    FAIL() << "wrong-size permutation must throw";
+  } catch (const batch_route_error& e) {
+    EXPECT_EQ(e.index(), 4U);
+    ASSERT_FALSE(e.failed_indices().empty());
+    EXPECT_EQ(e.failed_indices().front(), e.index());
+    EXPECT_EQ(e.additional_failures(), e.failed_indices().size() - 1);
+  }
+}
+
+TEST(BatchRouteError, RecordsAdditionalFailedWorkers) {
+  // Direct contract of the extended exception: explicit index list, and
+  // the single-index default.
+  const auto cause = std::make_exception_ptr(std::runtime_error("boom"));
+  const batch_route_error multi(3, cause, "3 of 12 threw (+2 more worker failures)",
+                                {3, 7, 9});
+  EXPECT_EQ(multi.index(), 3U);
+  EXPECT_EQ(multi.failed_indices(), (std::vector<std::size_t>{3, 7, 9}));
+  EXPECT_EQ(multi.additional_failures(), 2U);
+
+  const batch_route_error single(5, cause, "5 threw");
+  EXPECT_EQ(single.failed_indices(), (std::vector<std::size_t>{5}));
+  EXPECT_EQ(single.additional_failures(), 0U);
+}
+
+TEST(CompiledBnb, RouteBatchReportsEveryObservedWorkerFailure) {
+  // Two poisoned items across a threaded batch: the pool throws once, the
+  // winning index is one of the bad ones, and every retained index is bad.
+  const unsigned m = 5;
+  const CompiledBnb plan(m);
+  Rng rng(0x57E0A);
+  std::vector<Permutation> pool;
+  for (int i = 0; i < 16; ++i) pool.push_back(random_perm(32, rng));
+  pool[3] = identity_perm(8);
+  pool[9] = identity_perm(8);
+
+  try {
+    (void)plan.route_batch(pool, /*threads=*/2);
+    FAIL() << "wrong-size permutations must throw";
+  } catch (const batch_route_error& e) {
+    EXPECT_TRUE(e.index() == 3U || e.index() == 9U);
+    ASSERT_FALSE(e.failed_indices().empty());
+    EXPECT_EQ(e.failed_indices().front(), e.index());
+    EXPECT_EQ(e.additional_failures(), e.failed_indices().size() - 1);
+    for (const std::size_t idx : e.failed_indices()) {
+      EXPECT_TRUE(idx == 3U || idx == 9U) << "a healthy index was blamed";
+    }
+  }
+}
+
+// ---- admission control --------------------------------------------------
+
+TEST(StreamEngine, StrictAdmissionRefusesTheWholeStream) {
+  const unsigned m = 4;
+  const CompiledBnb plan(m);
+  const auto pool = random_pool(m, 8, 0x57E0B);
+
+  for (const unsigned threads : {1U, 2U}) {
+    StreamEngine::Options options;
+    options.threads = threads;
+    options.admission_limit = 5;
+    StreamEngine engine(plan, options);
+    try {
+      (void)engine.run(pool);
+      FAIL() << "overflow must shed loudly (threads=" << threads << ")";
+    } catch (const stream_overload_error& e) {
+      EXPECT_EQ(e.limit(), 5U);
+      EXPECT_EQ(e.offered(), 8U);
+    }
+    // A stream within the limit is untouched by admission control.
+    const auto ok = engine.run(std::span<const Permutation>(pool).first(5));
+    EXPECT_EQ(ok.stats.permutations, 5U);
+    EXPECT_EQ(ok.stats.shed, 0U);
+  }
+}
+
+TEST(StreamEngine, IsolatingAdmissionShedsTheTail) {
+  // With isolation on, overload degrades instead of refusing: the prefix
+  // routes, the tail is marked kShed with zeroed dest rows.
+  const unsigned m = 4;
+  const std::size_t n = 16;
+  const CompiledBnb plan(m);
+  const auto pool = random_pool(m, 8, 0x57E0C);
+
+  for (const unsigned threads : {1U, 2U}) {
+    StreamEngine::Options options;
+    options.threads = threads;
+    options.admission_limit = 5;
+    options.isolate_errors = true;
+    StreamEngine engine(plan, options);
+    const auto result = engine.run(pool);
+    ASSERT_EQ(result.status.size(), 8U);
+    ASSERT_EQ(result.dest.size(), 8U * n);
+    EXPECT_EQ(result.stats.permutations, 8U);
+    EXPECT_EQ(result.stats.shed, 3U);
+    for (std::size_t i = 0; i < 8; ++i) {
+      if (i < 5) {
+        EXPECT_EQ(result.status[i], StreamItemStatus::kOk);
+        for (std::size_t j = 0; j < n; ++j) {
+          ASSERT_EQ(result.dest[i * n + j], pool[i](j));
+        }
+      } else {
+        EXPECT_EQ(result.status[i], StreamItemStatus::kShed);
+        for (std::size_t j = 0; j < n; ++j) {
+          EXPECT_EQ(result.dest[i * n + j], 0U);
+        }
+      }
+    }
+  }
+}
+
+// ---- watchdog -----------------------------------------------------------
+
+TEST(StreamEngine, WatchdogFailsAStalledSolverInsteadOfHanging) {
+  // A solver stuck in user code past the timeout: the applier declares the
+  // stream stalled and run() throws stream_stall_error — a diagnostic,
+  // not a hang.  (The stuck hook here is finite so the join completes.)
+  const unsigned m = 4;
+  const CompiledBnb plan(m);
+  const auto pool = random_pool(m, 6, 0x57E0D);
+
+  StreamEngine::Options options;
+  options.threads = 2;
+  options.watchdog_timeout_ms = 100;
+  options.solve_hook = [](std::size_t i) {
+    if (i == 2) std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  };
+  StreamEngine engine(plan, options);
+  try {
+    (void)engine.run(pool);
+    FAIL() << "a stalled solver must fail the stream";
+  } catch (const stream_stall_error& e) {
+    EXPECT_EQ(e.total(), pool.size());
+    EXPECT_LT(e.applied(), pool.size());
+  }
+}
+
+TEST(StreamEngine, WatchdogStaysQuietOnAHealthyStream) {
+  const unsigned m = 5;
+  const auto pool = random_pool(m, 48, 0x57E0E);
+  StreamEngine::Options options;
+  options.threads = 2;
+  options.watchdog_timeout_ms = 5000;
+  expect_matches_route_batch(m, pool, options);
+}
+
+// ---- cancellation / destruction -----------------------------------------
+
+TEST(StreamEngine, CancelStopsAnInFlightRun) {
+  const unsigned m = 4;
+  const CompiledBnb plan(m);
+  const auto pool = random_pool(m, 64, 0x57E0F);
+
+  for (const unsigned threads : {1U, 2U}) {
+    StreamEngine::Options options;
+    options.threads = threads;
+    std::atomic<bool> started{false};
+    options.solve_hook = [&](std::size_t) {
+      started.store(true, std::memory_order_release);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    };
+    StreamEngine engine(plan, options);
+
+    std::atomic<bool> cancelled_seen{false};
+    std::thread runner([&] {
+      try {
+        (void)engine.run(pool);
+      } catch (const stream_cancelled_error&) {
+        cancelled_seen.store(true, std::memory_order_release);
+      }
+    });
+    while (!started.load(std::memory_order_acquire)) std::this_thread::yield();
+    engine.cancel();
+    runner.join();
+    EXPECT_TRUE(cancelled_seen.load()) << "threads=" << threads;
+    EXPECT_TRUE(engine.cancelled());
+    // cancel() is sticky: later runs are refused immediately.
+    EXPECT_THROW((void)engine.run(pool), stream_cancelled_error);
+  }
+}
+
+TEST(StreamEngine, DestructorDuringStreamCancelsAndJoins) {
+  // Destroying the engine mid-stream must cancel the run and block until
+  // it has fully exited — never leaving a worker touching freed state.
+  // This is the tsan target for the drain path.
+  const unsigned m = 4;
+  const CompiledBnb plan(m);
+  const auto pool = random_pool(m, 64, 0x57E10);
+
+  for (const unsigned threads : {1U, 2U}) {
+    StreamEngine::Options options;
+    options.threads = threads;
+    std::atomic<bool> started{false};
+    options.solve_hook = [&](std::size_t) {
+      started.store(true, std::memory_order_release);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    };
+    auto engine = std::make_unique<StreamEngine>(plan, options);
+
+    std::atomic<bool> cancelled_seen{false};
+    std::thread runner([&] {
+      try {
+        (void)engine->run(pool);
+      } catch (const stream_cancelled_error&) {
+        cancelled_seen.store(true, std::memory_order_release);
+      }
+    });
+    while (!started.load(std::memory_order_acquire)) std::this_thread::yield();
+    engine.reset();  // cancels, then blocks until the run has exited
+    runner.join();
+    EXPECT_TRUE(cancelled_seen.load()) << "threads=" << threads;
   }
 }
 
