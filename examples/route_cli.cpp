@@ -21,6 +21,12 @@
 //                             # route [3 0 1 2] 1000 times through a
 //                             # ScheduleCache (1 miss, 999 schedule replays)
 //                             # and print the hit/miss counters
+//   route_cli --repeat 3 --cache-save warm.bnbstore 3 0 1 2
+//   route_cli --repeat 3 --cache-load warm.bnbstore 3 0 1 2
+//                             # persist the solved schedules as a
+//                             # bnb.schedstore.v1 file, then warm-start a
+//                             # fresh process from it (3 hits, 0 misses);
+//                             # an unreadable or corrupt store exits 2
 //   route_cli --stream --batch 200 --repeat 5 --threads 2 64
 //                             # stream 200 random 64-line permutations 5 times
 //                             # through the StreamEngine (solver/applier
@@ -64,6 +70,7 @@
 #include "core/kernels/kernel_set.hpp"
 #include "core/dot_export.hpp"
 #include "core/schedule_cache.hpp"
+#include "core/schedule_store.hpp"
 #include "core/trace_render.hpp"
 #include "fabric/stream_engine.hpp"
 #include "fault/chaos.hpp"
@@ -79,7 +86,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--network=bnb|batcher|benes|koppelman] [--trace] "
                "[--dot N] [--batch COUNT [--threads T] [--stream]] "
-               "[--repeat K] [--inject SPEC [--rounds R] [--seed S]] "
+               "[--repeat K [--cache-load PATH] [--cache-save PATH]] "
+               "[--inject SPEC [--rounds R] [--seed S]] "
                "[--chaos [--rounds R] [--seed S] [--threads T]] "
                "[--metrics[=json|prom]] [image... | N]\n",
                argv0);
@@ -407,11 +415,27 @@ int run_stream(std::size_t count, unsigned threads, std::size_t repeat,
 }
 
 // --repeat K on a single permutation: route it K times through a
-// ScheduleCache (one arbiter-tree solve, K-1 schedule replays).
-int run_repeat(const bnb::Permutation& pi, std::size_t repeat) {
+// ScheduleCache (one arbiter-tree solve, K-1 schedule replays).  With
+// --cache-load the cache warm-starts from a bnb.schedstore.v1 file before
+// the first route (a prior save makes every pass a hit); with --cache-save
+// the cache is persisted after the last.  A store the build cannot read —
+// wrong magic, unsupported version, foreign byte order, CRC damage — is a
+// usage-level failure: diagnostic on stderr, exit 2.
+int run_repeat(const bnb::Permutation& pi, std::size_t repeat,
+               const std::string& cache_load, const std::string& cache_save) {
   const bnb::CompiledBnb engine(bnb::log2_exact(pi.size()));
   bnb::RouteScratch scratch;
   bnb::ScheduleCache cache(16);
+  if (!cache_load.empty()) {
+    try {
+      const std::size_t loaded = cache.load(cache_load);
+      std::printf("cache: loaded %zu schedule%s from %s\n", loaded,
+                  loaded == 1 ? "" : "s", cache_load.c_str());
+    } catch (const bnb::schedule_store_error& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
   bool all_ok = true;
   const unsigned long long small_before = small_route_total();
   for (std::size_t k = 0; k < repeat; ++k) {
@@ -426,6 +450,16 @@ int run_repeat(const bnb::Permutation& pi, std::size_t repeat) {
               static_cast<unsigned long long>(stats.evictions),
               static_cast<unsigned long long>(stats.bypasses));
   print_lane(small_route_total() - small_before, repeat);
+  if (!cache_save.empty()) {
+    try {
+      const std::size_t saved = cache.save(cache_save);
+      std::printf("cache: saved %zu schedule%s to %s\n", saved,
+                  saved == 1 ? "" : "s", cache_save.c_str());
+    } catch (const bnb::schedule_store_error& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
   return all_ok ? 0 : 1;
 }
 
@@ -465,6 +499,8 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 2026;
   bool metrics = false;
   std::string metrics_format = "prom";
+  std::string cache_load;
+  std::string cache_save;
   std::vector<bnb::Permutation::value_type> image;
 
   for (int a = 1; a < argc; ++a) {
@@ -499,6 +535,12 @@ int main(int argc, char** argv) {
       if (a + 1 >= argc) return usage(argv[0]);
       repeat_given = true;
       repeat = std::strtoull(argv[++a], nullptr, 10);
+    } else if (std::strcmp(arg, "--cache-load") == 0) {
+      if (a + 1 >= argc) return usage(argv[0]);
+      cache_load = argv[++a];
+    } else if (std::strcmp(arg, "--cache-save") == 0) {
+      if (a + 1 >= argc) return usage(argv[0]);
+      cache_save = argv[++a];
     } else if (std::strcmp(arg, "--inject") == 0) {
       if (a + 1 >= argc) return usage(argv[0]);
       inject_spec = argv[++a];
@@ -532,6 +574,12 @@ int main(int argc, char** argv) {
   }
   if (stream && !batch) {
     std::fputs("--stream needs --batch COUNT (it streams a random pool)\n",
+               stderr);
+    return 2;
+  }
+  if ((!cache_load.empty() || !cache_save.empty()) && !repeat_given) {
+    std::fputs("--cache-load/--cache-save persist the --repeat mode's "
+               "ScheduleCache; add --repeat K\n",
                stderr);
     return 2;
   }
@@ -607,7 +655,7 @@ int main(int argc, char** argv) {
                  stderr);
       return 2;
     }
-    return finish(run_repeat(pi, repeat));
+    return finish(run_repeat(pi, repeat, cache_load, cache_save));
   }
 
   bool routed = false;

@@ -1,0 +1,21 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+//
+// The schedule store (core/schedule_store.hpp) checksums every record's
+// payload and its file header with this: corruption on disk must fail
+// loudly at load time, never replay a damaged schedule.  The seed
+// parameter chains partial computations: crc32(b, n2, crc32(a, n1)) ==
+// crc32(a+b, n1+n2), so callers can checksum scattered buffers without
+// staging them contiguously.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bnb {
+
+/// CRC-32 of `bytes` bytes at `data`; pass a previous result as `seed` to
+/// continue a running checksum across several buffers.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t bytes,
+                                  std::uint32_t seed = 0) noexcept;
+
+}  // namespace bnb

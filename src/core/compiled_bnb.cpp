@@ -118,6 +118,25 @@ bool ControlSchedule::prepared_for(const CompiledBnb& plan) const noexcept {
   return m_ == plan.m() && m_ != 0 && control_words_ == plan.control_words();
 }
 
+void ControlSchedule::reshape(unsigned m, std::size_t columns,
+                              std::size_t control_words) {
+  BNB_EXPECTS(m >= 1 && m < 26);
+  BNB_EXPECTS(columns == static_cast<std::size_t>(m) * (m + 1) / 2);
+  BNB_EXPECTS(control_words >= 1);
+  const std::size_t lines = std::size_t{1} << m;
+  if (m_ == m && columns_ == columns && control_words_ == control_words &&
+      ctl_.size() == columns * control_words && line_of_input_.size() == lines) {
+    solved_ = false;
+    return;
+  }
+  m_ = m;
+  columns_ = columns;
+  control_words_ = control_words;
+  ctl_.assign(columns * control_words, 0);
+  line_of_input_.assign(lines, 0);
+  solved_ = false;
+}
+
 // ---- RouteScratch -----------------------------------------------------
 
 void RouteScratch::prepare(const CompiledBnb& plan) {
@@ -567,6 +586,40 @@ CompiledBnb::Output CompiledBnb::apply_words(const ControlSchedule& schedule,
     scratch.dest_[j] = line;
     scratch.outputs_[line] = Word{words[j].address, words[j].payload};
     self_routed &= (words[j].address == line);
+  }
+  return Output{{scratch.outputs_.data(), n}, {scratch.dest_.data(), n}, self_routed};
+}
+
+CompiledBnb::Output CompiledBnb::apply_packed_lines(
+    const std::atomic<std::uint64_t>* packed, const Permutation& pi,
+    RouteScratch& scratch) const {
+  // Deliberately NOT wrapped in a kApply span: this is the cache's warm-hit
+  // interior, already counted by bnb_cache_hits_total and the probe-length
+  // histogram, and the span's two clock reads cost ~25% of an m=7 replay.
+  const std::size_t n = inputs();
+  BNB_EXPECTS(packed != nullptr);
+  BNB_EXPECTS(pi.size() == n);
+  scratch.prepare(*this);
+  // Same replay loop as apply(), reading the line map two lanes per packed
+  // word.  Every line is masked into [0, n): the caller's seqlock check
+  // discards the output of a torn read, the mask only has to keep the torn
+  // read memory-safe.
+  bool self_routed = true;
+  const std::uint32_t line_mask = static_cast<std::uint32_t>(n - 1);
+  for (std::size_t j = 0; j < n; j += 2) {
+    const std::uint64_t word = packed[j >> 1].load(std::memory_order_relaxed);
+    const std::uint32_t line0 = static_cast<std::uint32_t>(word) & line_mask;
+    const std::uint32_t a0 = pi(j);
+    scratch.dest_[j] = line0;
+    scratch.outputs_[line0] = Word{a0, std::uint64_t{j}};
+    self_routed &= (a0 == line0);
+    if (j + 1 < n) {
+      const std::uint32_t line1 = static_cast<std::uint32_t>(word >> 32) & line_mask;
+      const std::uint32_t a1 = pi(j + 1);
+      scratch.dest_[j + 1] = line1;
+      scratch.outputs_[line1] = Word{a1, std::uint64_t{j + 1}};
+      self_routed &= (a1 == line1);
+    }
   }
   return Output{{scratch.outputs_.data(), n}, {scratch.dest_.data(), n}, self_routed};
 }

@@ -42,6 +42,7 @@
 // solve; fault/trace routes take the fused path and never touch schedules.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <exception>
 #include <span>
@@ -107,6 +108,23 @@ class ControlSchedule {
            line_of_input_.size() * sizeof(std::uint32_t);
   }
 
+  // -- wire access (core/schedule_store.hpp, core/schedule_cache.hpp) -----
+  // Deserializers and the flat schedule store rebuild schedules without a
+  // plan in hand: reshape() sizes the buffers to an explicit shape (no-op
+  // when already that shape — the zero-allocation copy-out path), the
+  // mutable accessors expose the raw buffers, and set_solved() marks the
+  // rebuilt schedule replayable.  prepare() remains the plan-driven path.
+
+  /// Size for an explicit shape; lines count is 2^m.  Allocation-free when
+  /// the schedule already has this exact shape.  Marks the schedule
+  /// unsolved until set_solved(true).
+  void reshape(unsigned m, std::size_t columns, std::size_t control_words);
+
+  [[nodiscard]] const std::uint64_t* ctl_data() const noexcept { return ctl_.data(); }
+  [[nodiscard]] std::uint64_t* ctl_data() noexcept { return ctl_.data(); }
+  [[nodiscard]] std::uint32_t* lines_data() noexcept { return line_of_input_.data(); }
+  void set_solved(bool solved) noexcept { solved_ = solved; }
+
  private:
   friend class CompiledBnb;
   unsigned m_ = 0;  ///< 0 = unprepared
@@ -136,6 +154,13 @@ class RouteScratch {
   /// automatically when this is false; the explicit check exists for
   /// callers that must guarantee the zero-allocation steady state.
   [[nodiscard]] bool prepared_for(const CompiledBnb& plan) const noexcept;
+
+  /// The scratch-owned ControlSchedule route() solves into.  Exposed for
+  /// cache copy-out workflows (fault/resilience.cpp, fabric): a caller can
+  /// ScheduleCache::find() into this slot and apply() from it without
+  /// owning a second schedule — allocation-free once shaped.
+  [[nodiscard]] ControlSchedule& schedule_slot() noexcept { return schedule_; }
+  [[nodiscard]] const ControlSchedule& schedule_slot() const noexcept { return schedule_; }
 
  private:
   friend class CompiledBnb;
@@ -298,6 +323,19 @@ class CompiledBnb {
   [[nodiscard]] Output apply_words(const ControlSchedule& schedule,
                                    std::span<const Word> words,
                                    RouteScratch& scratch) const;
+
+  /// Replay straight from a PACKED line map published by the flat
+  /// ScheduleCache: packed[w] holds line_of_input(2w) in its low 32 bits
+  /// and line_of_input(2w+1) in its high 32 bits, each word loaded with a
+  /// relaxed atomic load.  This is the zero-copy seqlock hit path: the
+  /// caller validates its slot's sequence AFTER this returns and discards
+  /// the output on a torn read, so every line is masked into [0, N) here —
+  /// even a concurrently-rewritten map can never index out of bounds.
+  /// apply() reads nothing but the line map, so this is bit-identical to
+  /// apply() on an untorn map.  Requires (N+1)/2 packed words.
+  [[nodiscard]] Output apply_packed_lines(const std::atomic<std::uint64_t>* packed,
+                                          const Permutation& pi,
+                                          RouteScratch& scratch) const;
 
   // -- register-resident small-N fast lane (core/small_schedule.hpp) ------
 

@@ -1,8 +1,10 @@
 #include "core/schedule_cache.hpp"
 
-#include <utility>
+#include <cstring>
+#include <type_traits>
 
 #include "common/expect.hpp"
+#include "core/schedule_store.hpp"
 
 namespace bnb {
 namespace {
@@ -15,6 +17,22 @@ constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
   x *= 0x94D049BB133111EBULL;
   x ^= x >> 31;
   return x;
+}
+
+constexpr std::size_t next_pow2(std::size_t x) noexcept {
+  std::size_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+// Valid ControlSchedule shape per the engine's own invariants; anything
+// else is a torn shape read and the lookup degrades to a miss.  Mirrors
+// ControlSchedule::reshape's contract WITHOUT its BNB_EXPECTS — the
+// lock-free reader must never turn a torn read into a contract violation.
+constexpr bool plausible_shape(std::uint32_t m, std::uint64_t columns,
+                               std::uint64_t control_words) noexcept {
+  return m >= 1 && m < 26 &&
+         columns == static_cast<std::uint64_t>(m) * (m + 1) / 2 && control_words >= 1;
 }
 
 }  // namespace
@@ -48,21 +66,28 @@ ScheduleCache::ScheduleCache(std::size_t capacity, std::size_t shards,
       registry_(registry != nullptr ? registry : &obs::MetricsRegistry::global()) {
   BNB_EXPECTS(capacity >= 1);
   BNB_EXPECTS(shards >= 1 && shards <= 256);
-  if (shards > capacity) shards = capacity;  // never hand a shard zero slots
-  shard_capacity_ = (capacity + shards - 1) / shards;
-  shards_ = std::vector<Shard>(shards);
+  (void)shards;  // PR 4 API compatibility; the flat table has no shards
+  table_size_ = next_pow2(capacity_ < 4 ? 8 : 2 * capacity_);
+  mask_ = table_size_ - 1;
+  slots_ = std::make_unique<Slot[]>(table_size_);
   registry_->attach_counter("bnb_cache_hits_total", &hits_,
                             "schedule cache hits (replays without a solve)");
   registry_->attach_counter("bnb_cache_misses_total", &misses_,
                             "schedule cache misses (cold solves)");
   registry_->attach_counter("bnb_cache_evictions_total", &evictions_,
-                            "LRU evictions across all shards");
+                            "clock/second-chance evictions");
   registry_->attach_counter("bnb_cache_bypasses_total", &bypasses_,
                             "fault/trace routes that bypassed the cache");
   registry_->attach_counter("bnb_cache_quarantined_total", &quarantined_,
                             "entries dropped by fault quarantine (invalidate)");
+  registry_->attach_counter("bnb_cache_store_saved_total", &store_saved_,
+                            "schedule records written by save()");
+  registry_->attach_counter("bnb_cache_store_loaded_total", &store_loaded_,
+                            "schedule records loaded (load() + warm-store promotions)");
   registry_->attach_gauge("bnb_cache_entries", &entries_,
-                          "live cached schedules across all shards");
+                          "live cached schedules in the flat table");
+  probe_len_ = &registry_->histogram("bnb_cache_probe_len",
+                                     "open-addressing slots probed per cache lookup");
 }
 
 ScheduleCache::~ScheduleCache() {
@@ -71,6 +96,8 @@ ScheduleCache::~ScheduleCache() {
   registry_->detach_counter("bnb_cache_evictions_total", &evictions_);
   registry_->detach_counter("bnb_cache_bypasses_total", &bypasses_);
   registry_->detach_counter("bnb_cache_quarantined_total", &quarantined_);
+  registry_->detach_counter("bnb_cache_store_saved_total", &store_saved_);
+  registry_->detach_counter("bnb_cache_store_loaded_total", &store_loaded_);
   registry_->detach_gauge("bnb_cache_entries", &entries_);
   // Fold the final totals into the registry's owned counters: the
   // fabric-wide counters stay monotonic across cache lifetimes (the
@@ -80,6 +107,8 @@ ScheduleCache::~ScheduleCache() {
   registry_->counter("bnb_cache_evictions_total").inc(evictions_.value());
   registry_->counter("bnb_cache_bypasses_total").inc(bypasses_.value());
   registry_->counter("bnb_cache_quarantined_total").inc(quarantined_.value());
+  registry_->counter("bnb_cache_store_saved_total").inc(store_saved_.value());
+  registry_->counter("bnb_cache_store_loaded_total").inc(store_loaded_.value());
 }
 
 CompiledBnb::Output ScheduleCache::route(const CompiledBnb& plan, const Permutation& pi,
@@ -91,8 +120,8 @@ CompiledBnb::Output ScheduleCache::route(const CompiledBnb& plan, const Permutat
   }
   const PermutationDigest digest = digest_permutation(pi);
   if (plan.small_capable()) {
-    // Small lane: value-type hit (one ~0.7 KB copy under the shard lock)
-    // replayed in registers — the warm path allocates nothing at all.
+    // Small lane: value-type hit copied out through the slot's staging
+    // words and replayed in registers — the warm path allocates nothing.
     SmallSchedule small;
     if (find_small(digest, small)) {
       return plan.apply_small(small, pi, scratch);
@@ -102,95 +131,196 @@ CompiledBnb::Output ScheduleCache::route(const CompiledBnb& plan, const Permutat
     insert_small(digest, small);
     return out;
   }
-  if (auto cached = find(digest)) {
-    BNB_EXPECTS(cached->prepared_for(plan));
-    return plan.apply(*cached, pi, scratch);
+  // General lane: a hit replays STRAIGHT FROM THE SLOT (no schedule copy);
+  // a miss routes the clean path — which already captures the solved
+  // schedule into the scratch slot — and publishes that capture.
+  CompiledBnb::Output out;
+  if (replay(plan, digest, pi, scratch, out)) {
+    return out;
   }
-  auto schedule = std::make_shared<ControlSchedule>();
-  plan.solve(pi, scratch, *schedule);
-  CompiledBnb::Output out = plan.apply(*schedule, pi, scratch);
-  insert(digest, std::move(schedule));
+  out = plan.route(pi, scratch);
+  insert(digest, scratch.schedule_slot());
   return out;
 }
 
-std::shared_ptr<const ControlSchedule> ScheduleCache::find(const PermutationDigest& digest) {
-  Shard& shard = shard_for(digest);
-  std::scoped_lock lock(shard.mu);
-  const auto it = shard.index.find(digest);
-  if (it == shard.index.end() || it->second->schedule == nullptr) {
-    misses_.inc();  // absent, or a small-lane entry: not this lane's data
-    return nullptr;
+ScheduleCache::Slot* ScheduleCache::probe_reader(const PermutationDigest& digest,
+                                                 std::size_t& probes) noexcept {
+  // Double hashing: both digest lanes are avalanche-mixed, so lo IS the
+  // bucket hash and hi|1 an odd (hence full-cycle) step.
+  std::size_t idx = static_cast<std::size_t>(digest.lo) & mask_;
+  const std::size_t step = (static_cast<std::size_t>(digest.hi) | 1) & mask_;
+  for (std::size_t k = 0; k < table_size_; ++k) {
+    Slot& s = slots_[idx];
+    ++probes;
+    const std::uint32_t st = s.state.load(std::memory_order_acquire);
+    if (st == kFree) return nullptr;  // probe chains never skip a free slot
+    if (st == kLive && s.digest_lo.load(std::memory_order_relaxed) == digest.lo &&
+        s.digest_hi.load(std::memory_order_relaxed) == digest.hi) {
+      // A torn digest read can only FAIL this test (→ clean miss); a false
+      // positive still has to survive the caller's seqlock validation.
+      return &s;
+    }
+    idx = (idx + step) & mask_;
   }
-  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // promote to MRU
-  hits_.inc();
-  return it->second->schedule;
+  return nullptr;
 }
 
-void ScheduleCache::insert(const PermutationDigest& digest,
-                           std::shared_ptr<const ControlSchedule> schedule) {
-  BNB_EXPECTS(schedule != nullptr && schedule->solved());
-  Shard& shard = shard_for(digest);
-  std::scoped_lock lock(shard.mu);
-  if (const auto it = shard.index.find(digest); it != shard.index.end()) {
-    it->second->schedule = std::move(schedule);  // racing miss: keep the newest solve
-    it->second->small = SmallSchedule{};         // the entry changes lanes
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    return;
+bool ScheduleCache::replay(const CompiledBnb& plan, const PermutationDigest& digest,
+                           const Permutation& pi, RouteScratch& scratch,
+                           CompiledBnb::Output& out) {
+  std::size_t probes = 0;
+  Slot* slot = probe_reader(digest, probes);
+  probe_len_->record(probes);
+  if (slot != nullptr) {
+    for (int attempt = 0; attempt < kReadAttempts; ++attempt) {
+      const std::uint32_t s1 = slot->seq.load(std::memory_order_acquire);
+      if ((s1 & 1U) != 0) continue;  // writer inside; retry
+      if (slot->state.load(std::memory_order_relaxed) != kLive ||
+          slot->lane.load(std::memory_order_relaxed) != kLaneGeneral ||
+          slot->digest_lo.load(std::memory_order_relaxed) != digest.lo ||
+          slot->digest_hi.load(std::memory_order_relaxed) != digest.hi) {
+        break;  // evicted/lane-switched under us: ordinary miss
+      }
+      const std::uint32_t m = slot->g_m.load(std::memory_order_relaxed);
+      const std::uint64_t columns = slot->g_columns.load(std::memory_order_relaxed);
+      const std::uint64_t cw = slot->g_control_words.load(std::memory_order_relaxed);
+      std::atomic<std::uint64_t>* buf = slot->gbuf.load(std::memory_order_relaxed);
+      if (m != plan.m() || buf == nullptr || !plausible_shape(m, columns, cw)) break;
+      const std::size_t n = plan.inputs();
+      const std::size_t ctl_words = static_cast<std::size_t>(columns * cw);
+      const std::size_t line_words = (n + 1) / 2;
+      if (ctl_words + line_words > buf[0].load(std::memory_order_relaxed)) {
+        break;  // torn shape would overrun the payload: miss
+      }
+      // Replay the input->line map straight off the slot (relaxed loads,
+      // line values masked in-range) — zero copies, zero allocations.
+      out = plan.apply_packed_lines(buf + 1 + ctl_words, pi, scratch);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot->seq.load(std::memory_order_relaxed) != s1) continue;  // torn: retry
+      slot->ref.store(1, std::memory_order_relaxed);  // second chance
+      hits_.inc();
+      return true;
+    }
   }
-  while (shard.lru.size() >= shard_capacity_) {
-    shard.index.erase(shard.lru.back().digest);
-    shard.lru.pop_back();
-    evictions_.inc();
-    entries_.add(-1);
+  if (warm_view_.load(std::memory_order_acquire) != nullptr &&
+      warm_replay(plan, digest, pi, scratch, out)) {
+    return true;
   }
-  shard.lru.push_front(Entry{digest, std::move(schedule)});
-  shard.index.emplace(digest, shard.lru.begin());
-  entries_.add(1);
+  misses_.inc();
+  return false;
+}
+
+bool ScheduleCache::find(const PermutationDigest& digest, ControlSchedule& out) {
+  std::size_t probes = 0;
+  Slot* slot = probe_reader(digest, probes);
+  probe_len_->record(probes);
+  if (slot != nullptr) {
+    for (int attempt = 0; attempt < kReadAttempts; ++attempt) {
+      const std::uint32_t s1 = slot->seq.load(std::memory_order_acquire);
+      if ((s1 & 1U) != 0) continue;
+      if (slot->state.load(std::memory_order_relaxed) != kLive ||
+          slot->lane.load(std::memory_order_relaxed) != kLaneGeneral ||
+          slot->digest_lo.load(std::memory_order_relaxed) != digest.lo ||
+          slot->digest_hi.load(std::memory_order_relaxed) != digest.hi) {
+        break;
+      }
+      const std::uint32_t m = slot->g_m.load(std::memory_order_relaxed);
+      const std::uint64_t columns = slot->g_columns.load(std::memory_order_relaxed);
+      const std::uint64_t cw = slot->g_control_words.load(std::memory_order_relaxed);
+      std::atomic<std::uint64_t>* buf = slot->gbuf.load(std::memory_order_relaxed);
+      if (buf == nullptr || !plausible_shape(m, columns, cw)) break;
+      const std::size_t n = std::size_t{1} << m;
+      const std::size_t ctl_words = static_cast<std::size_t>(columns * cw);
+      const std::size_t line_words = (n + 1) / 2;
+      if (ctl_words + line_words > buf[0].load(std::memory_order_relaxed)) break;
+      // Copy-out: allocation-free when `out` already has this shape.
+      out.reshape(m, static_cast<std::size_t>(columns), static_cast<std::size_t>(cw));
+      std::uint64_t* ctl = out.ctl_data();
+      for (std::size_t w = 0; w < ctl_words; ++w) {
+        ctl[w] = buf[1 + w].load(std::memory_order_relaxed);
+      }
+      std::uint32_t* lines = out.lines_data();
+      const std::atomic<std::uint64_t>* packed = buf + 1 + ctl_words;
+      for (std::size_t w = 0; w < line_words; ++w) {
+        const std::uint64_t word = packed[w].load(std::memory_order_relaxed);
+        lines[2 * w] = static_cast<std::uint32_t>(word);
+        if (2 * w + 1 < n) lines[2 * w + 1] = static_cast<std::uint32_t>(word >> 32);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot->seq.load(std::memory_order_relaxed) != s1) continue;  // torn: retry
+      out.set_solved(true);
+      slot->ref.store(1, std::memory_order_relaxed);
+      hits_.inc();
+      return true;
+    }
+  }
+  if (warm_view_.load(std::memory_order_acquire) != nullptr &&
+      warm_fetch_general(digest, out)) {
+    return true;
+  }
+  misses_.inc();
+  return false;
 }
 
 bool ScheduleCache::find_small(const PermutationDigest& digest, SmallSchedule& out) {
-  Shard& shard = shard_for(digest);
-  std::scoped_lock lock(shard.mu);
-  const auto it = shard.index.find(digest);
-  if (it == shard.index.end() || !it->second->small.solved()) {
-    misses_.inc();  // absent, or a general-lane entry: not this lane's data
-    return false;
+  static_assert(std::is_trivially_copyable_v<SmallSchedule>,
+                "the small lane stages SmallSchedule as raw words");
+  std::size_t probes = 0;
+  Slot* slot = probe_reader(digest, probes);
+  probe_len_->record(probes);
+  if (slot != nullptr) {
+    for (int attempt = 0; attempt < kReadAttempts; ++attempt) {
+      const std::uint32_t s1 = slot->seq.load(std::memory_order_acquire);
+      if ((s1 & 1U) != 0) continue;
+      if (slot->state.load(std::memory_order_relaxed) != kLive ||
+          slot->lane.load(std::memory_order_relaxed) != kLaneSmall ||
+          slot->digest_lo.load(std::memory_order_relaxed) != digest.lo ||
+          slot->digest_hi.load(std::memory_order_relaxed) != digest.hi) {
+        break;  // absent or a general-lane entry: not this lane's data
+      }
+      std::uint64_t words[kSmallWords];
+      for (std::size_t i = 0; i < kSmallWords; ++i) {
+        words[i] = slot->small[i].load(std::memory_order_relaxed);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot->seq.load(std::memory_order_relaxed) != s1) continue;  // torn: retry
+      std::memcpy(&out, words, sizeof(SmallSchedule));
+      if (!out.solved()) break;  // torn-then-validated can't happen; belt and braces
+      slot->ref.store(1, std::memory_order_relaxed);
+      hits_.inc();
+      return true;
+    }
   }
-  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // promote to MRU
-  hits_.inc();
-  out = it->second->small;
-  return true;
+  if (warm_view_.load(std::memory_order_acquire) != nullptr &&
+      warm_fetch_small(digest, out)) {
+    return true;
+  }
+  misses_.inc();
+  return false;
+}
+
+void ScheduleCache::insert(const PermutationDigest& digest, const ControlSchedule& schedule) {
+  BNB_EXPECTS(schedule.solved());
+  std::scoped_lock lock(mu_);
+  Slot* slot = writer_claim_locked(digest);
+  write_general_locked(*slot, digest, schedule);
 }
 
 void ScheduleCache::insert_small(const PermutationDigest& digest,
                                  const SmallSchedule& schedule) {
   BNB_EXPECTS(schedule.solved());
-  Shard& shard = shard_for(digest);
-  std::scoped_lock lock(shard.mu);
-  if (const auto it = shard.index.find(digest); it != shard.index.end()) {
-    it->second->small = schedule;    // racing miss: keep the newest flatten
-    it->second->schedule = nullptr;  // the entry changes lanes
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    return;
-  }
-  while (shard.lru.size() >= shard_capacity_) {
-    shard.index.erase(shard.lru.back().digest);
-    shard.lru.pop_back();
-    evictions_.inc();
-    entries_.add(-1);
-  }
-  shard.lru.push_front(Entry{digest, nullptr, schedule});
-  shard.index.emplace(digest, shard.lru.begin());
-  entries_.add(1);
+  std::scoped_lock lock(mu_);
+  Slot* slot = writer_claim_locked(digest);
+  write_small_locked(*slot, digest, schedule);
 }
 
 bool ScheduleCache::invalidate(const PermutationDigest& digest) {
-  Shard& shard = shard_for(digest);
-  std::scoped_lock lock(shard.mu);
-  const auto it = shard.index.find(digest);
-  if (it == shard.index.end()) return false;
-  shard.lru.erase(it->second);
-  shard.index.erase(it);
+  std::scoped_lock lock(mu_);
+  Slot* slot = writer_find_locked(digest);
+  if (slot == nullptr) return false;
+  free_slot_locked(*slot, kTombstone);
+  --live_;
+  ++tombstones_;
   quarantined_.inc();
   entries_.add(-1);
   return true;
@@ -203,25 +333,249 @@ ScheduleCacheStats ScheduleCache::stats() const {
   out.evictions = evictions_.value();
   out.bypasses = bypasses_.value();
   out.quarantined = quarantined_.value();
+  out.store_saved = store_saved_.value();
+  out.store_loaded = store_loaded_.value();
   out.entries = size();
   return out;
 }
 
 std::size_t ScheduleCache::size() const {
-  std::size_t total = 0;
-  for (const Shard& shard : shards_) {
-    std::scoped_lock lock(shard.mu);
-    total += shard.lru.size();
-  }
-  return total;
+  std::scoped_lock lock(mu_);
+  return live_;
 }
 
 void ScheduleCache::clear() {
-  for (Shard& shard : shards_) {
-    std::scoped_lock lock(shard.mu);
-    entries_.add(-static_cast<std::int64_t>(shard.lru.size()));
-    shard.lru.clear();
-    shard.index.clear();
+  std::scoped_lock lock(mu_);
+  for (std::size_t i = 0; i < table_size_; ++i) {
+    if (slots_[i].state.load(std::memory_order_relaxed) != kFree) {
+      free_slot_locked(slots_[i], kFree);
+    }
+  }
+  entries_.add(-static_cast<std::int64_t>(live_));
+  live_ = 0;
+  tombstones_ = 0;
+  hand_ = 0;
+}
+
+// -- writer-side helpers (mu_ held) -----------------------------------------
+
+ScheduleCache::Slot* ScheduleCache::writer_find_locked(
+    const PermutationDigest& digest) noexcept {
+  std::size_t idx = static_cast<std::size_t>(digest.lo) & mask_;
+  const std::size_t step = (static_cast<std::size_t>(digest.hi) | 1) & mask_;
+  for (std::size_t k = 0; k < table_size_; ++k) {
+    Slot& s = slots_[idx];
+    const std::uint32_t st = s.state.load(std::memory_order_relaxed);
+    if (st == kFree) return nullptr;
+    if (st == kLive && s.digest_lo.load(std::memory_order_relaxed) == digest.lo &&
+        s.digest_hi.load(std::memory_order_relaxed) == digest.hi) {
+      return &s;
+    }
+    idx = (idx + step) & mask_;
+  }
+  return nullptr;
+}
+
+ScheduleCache::Slot* ScheduleCache::writer_position_locked(
+    const PermutationDigest& digest) noexcept {
+  // First free-or-tombstone slot in probe order.  The caller has already
+  // ruled out a live entry under this digest, and live_ <= capacity_ <=
+  // table_size_/2 guarantees a non-live slot exists on the cycle.
+  std::size_t idx = static_cast<std::size_t>(digest.lo) & mask_;
+  const std::size_t step = (static_cast<std::size_t>(digest.hi) | 1) & mask_;
+  for (std::size_t k = 0; k < table_size_; ++k) {
+    Slot& s = slots_[idx];
+    if (s.state.load(std::memory_order_relaxed) != kLive) return &s;
+    idx = (idx + step) & mask_;
+  }
+  return nullptr;  // unreachable by the load-factor invariant
+}
+
+ScheduleCache::Slot* ScheduleCache::writer_claim_locked(const PermutationDigest& digest) {
+  if (tombstones_ * 4 >= table_size_) rehash_locked();
+  if (Slot* existing = writer_find_locked(digest)) {
+    return existing;  // racing miss / lane switch: overwrite in place
+  }
+  if (live_ >= capacity_) evict_one_locked();
+  Slot* slot = writer_position_locked(digest);
+  BNB_EXPECTS(slot != nullptr);
+  if (slot->state.load(std::memory_order_relaxed) == kTombstone) --tombstones_;
+  ++live_;
+  entries_.add(1);
+  return slot;
+}
+
+void ScheduleCache::evict_one_locked() {
+  // Clock / second chance: clear reference bits until an unreferenced live
+  // slot comes under the hand; two sweeps always find one (the first sweep
+  // clears every bit at worst).
+  for (std::size_t k = 0; k < 2 * table_size_ + 1; ++k) {
+    Slot& s = slots_[hand_];
+    hand_ = (hand_ + 1) & mask_;
+    if (s.state.load(std::memory_order_relaxed) != kLive) continue;
+    if (s.ref.load(std::memory_order_relaxed) != 0) {
+      s.ref.store(0, std::memory_order_relaxed);  // second chance spent
+      continue;
+    }
+    free_slot_locked(s, kTombstone);
+    --live_;
+    ++tombstones_;
+    evictions_.inc();
+    entries_.add(-1);
+    return;
+  }
+}
+
+void ScheduleCache::free_slot_locked(Slot& slot, std::uint32_t new_state) noexcept {
+  // Seqlock writer dance so a reader mid-copy rejects its snapshot.  The
+  // payload buffer (if any) stays owned by buffers_ and attached to the
+  // slot as reusable scratch.
+  const std::uint32_t q = slot.seq.load(std::memory_order_relaxed);
+  slot.seq.store(q + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.state.store(new_state, std::memory_order_relaxed);
+  slot.lane.store(0, std::memory_order_relaxed);
+  slot.ref.store(0, std::memory_order_relaxed);
+  slot.seq.store(q + 2, std::memory_order_release);
+}
+
+std::atomic<std::uint64_t>* ScheduleCache::ensure_buffer_locked(Slot& slot,
+                                                                std::size_t payload_words) {
+  std::atomic<std::uint64_t>* buf = slot.gbuf.load(std::memory_order_relaxed);
+  if (buf != nullptr && buf[0].load(std::memory_order_relaxed) >= payload_words) {
+    return buf;  // reuse: word 0 is the immutable allocated capacity
+  }
+  auto owned = std::make_unique<std::atomic<std::uint64_t>[]>(1 + payload_words);
+  owned[0].store(payload_words, std::memory_order_relaxed);
+  buf = owned.get();
+  // The outgrown buffer (if any) stays in buffers_: a reader may still be
+  // copying from it, and type-stability is what makes that race benign.
+  buffers_.push_back(std::move(owned));
+  return buf;
+}
+
+void ScheduleCache::write_general_locked(Slot& slot, const PermutationDigest& digest,
+                                         const ControlSchedule& schedule) {
+  const unsigned m = schedule.m();
+  const std::size_t n = std::size_t{1} << m;
+  const std::size_t ctl_words = schedule.columns() * schedule.control_words();
+  const std::size_t line_words = (n + 1) / 2;
+  std::atomic<std::uint64_t>* buf = ensure_buffer_locked(slot, ctl_words + line_words);
+  const std::span<const std::uint32_t> lines = schedule.line_of_input();
+  const std::uint64_t* ctl = schedule.ctl_data();
+
+  const std::uint32_t q = slot.seq.load(std::memory_order_relaxed);
+  slot.seq.store(q + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.digest_lo.store(digest.lo, std::memory_order_relaxed);
+  slot.digest_hi.store(digest.hi, std::memory_order_relaxed);
+  slot.g_m.store(m, std::memory_order_relaxed);
+  slot.g_columns.store(static_cast<std::uint32_t>(schedule.columns()),
+                       std::memory_order_relaxed);
+  slot.g_control_words.store(static_cast<std::uint32_t>(schedule.control_words()),
+                             std::memory_order_relaxed);
+  slot.gbuf.store(buf, std::memory_order_relaxed);
+  for (std::size_t w = 0; w < ctl_words; ++w) {
+    buf[1 + w].store(ctl[w], std::memory_order_relaxed);
+  }
+  std::atomic<std::uint64_t>* packed = buf + 1 + ctl_words;
+  for (std::size_t w = 0; w < line_words; ++w) {
+    const std::uint64_t level_lo = lines[2 * w];
+    const std::uint64_t level_hi = (2 * w + 1 < n) ? lines[2 * w + 1] : 0;
+    packed[w].store(level_lo | (level_hi << 32), std::memory_order_relaxed);
+  }
+  slot.lane.store(kLaneGeneral, std::memory_order_relaxed);
+  slot.state.store(kLive, std::memory_order_relaxed);
+  slot.ref.store(0, std::memory_order_relaxed);  // earns its second chance on a hit
+  slot.seq.store(q + 2, std::memory_order_release);
+}
+
+void ScheduleCache::write_small_locked(Slot& slot, const PermutationDigest& digest,
+                                       const SmallSchedule& schedule) {
+  std::uint64_t words[kSmallWords] = {};
+  std::memcpy(words, &schedule, sizeof(SmallSchedule));
+
+  const std::uint32_t q = slot.seq.load(std::memory_order_relaxed);
+  slot.seq.store(q + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.digest_lo.store(digest.lo, std::memory_order_relaxed);
+  slot.digest_hi.store(digest.hi, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kSmallWords; ++i) {
+    slot.small[i].store(words[i], std::memory_order_relaxed);
+  }
+  slot.lane.store(kLaneSmall, std::memory_order_relaxed);
+  slot.state.store(kLive, std::memory_order_relaxed);
+  slot.ref.store(0, std::memory_order_relaxed);
+  slot.seq.store(q + 2, std::memory_order_release);
+}
+
+void ScheduleCache::rehash_locked() {
+  // In-place compaction: lift every live entry out, reset the whole table,
+  // and re-insert at home positions.  Payload buffers MOVE with their
+  // entries (the packed words are position-independent), so no payload is
+  // rewritten.  Concurrent readers transiently miss mid-rehash and fall
+  // back to a solve — correct, just cold; their insert then queues on mu_.
+  struct Lifted {
+    PermutationDigest digest;
+    std::uint32_t lane = 0;
+    std::uint32_t ref = 0;
+    std::uint32_t g_m = 0;
+    std::uint32_t g_columns = 0;
+    std::uint32_t g_control_words = 0;
+    std::atomic<std::uint64_t>* gbuf = nullptr;
+    std::uint64_t small[kSmallWords] = {};
+  };
+  std::vector<Lifted> lives;
+  lives.reserve(live_);
+  for (std::size_t i = 0; i < table_size_; ++i) {
+    Slot& s = slots_[i];
+    if (s.state.load(std::memory_order_relaxed) == kLive) {
+      Lifted e;
+      e.digest = PermutationDigest{s.digest_lo.load(std::memory_order_relaxed),
+                                   s.digest_hi.load(std::memory_order_relaxed)};
+      e.lane = s.lane.load(std::memory_order_relaxed);
+      e.ref = s.ref.load(std::memory_order_relaxed);
+      e.g_m = s.g_m.load(std::memory_order_relaxed);
+      e.g_columns = s.g_columns.load(std::memory_order_relaxed);
+      e.g_control_words = s.g_control_words.load(std::memory_order_relaxed);
+      e.gbuf = s.gbuf.load(std::memory_order_relaxed);
+      for (std::size_t w = 0; w < kSmallWords; ++w) {
+        e.small[w] = s.small[w].load(std::memory_order_relaxed);
+      }
+      lives.push_back(e);
+    }
+    if (s.state.load(std::memory_order_relaxed) != kFree) {
+      free_slot_locked(s, kFree);
+    }
+    // Detach scratch buffers so re-insertion can re-attach the RIGHT
+    // buffer to the RIGHT entry (ownership stays with buffers_).
+    const std::uint32_t q = s.seq.load(std::memory_order_relaxed);
+    s.seq.store(q + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    s.gbuf.store(nullptr, std::memory_order_relaxed);
+    s.seq.store(q + 2, std::memory_order_release);
+  }
+  tombstones_ = 0;
+  for (const Lifted& e : lives) {
+    Slot* slot = writer_position_locked(e.digest);
+    BNB_EXPECTS(slot != nullptr);
+    Slot& s = *slot;
+    const std::uint32_t q = s.seq.load(std::memory_order_relaxed);
+    s.seq.store(q + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    s.digest_lo.store(e.digest.lo, std::memory_order_relaxed);
+    s.digest_hi.store(e.digest.hi, std::memory_order_relaxed);
+    s.g_m.store(e.g_m, std::memory_order_relaxed);
+    s.g_columns.store(e.g_columns, std::memory_order_relaxed);
+    s.g_control_words.store(e.g_control_words, std::memory_order_relaxed);
+    s.gbuf.store(e.gbuf, std::memory_order_relaxed);
+    for (std::size_t w = 0; w < kSmallWords; ++w) {
+      s.small[w].store(e.small[w], std::memory_order_relaxed);
+    }
+    s.lane.store(e.lane, std::memory_order_relaxed);
+    s.ref.store(e.ref, std::memory_order_relaxed);
+    s.state.store(kLive, std::memory_order_relaxed);
+    s.seq.store(q + 2, std::memory_order_release);
   }
 }
 

@@ -1,56 +1,61 @@
-// Sharded, thread-safe LRU cache of solved ControlSchedules.
+// Flat open-addressing schedule store with seqlock readers.
 //
 // The paper's fabric re-arbitrates every permutation from scratch; real
 // traffic repeats.  A ScheduleCache keys solved schedules by a strong
 // 128-bit permutation digest so a repeated permutation skips the entire
 // control solve (arbiter trees, column passes) and pays only the O(N)
-// schedule apply.  Design:
+// schedule apply.  The interior is a single flat table, not the sharded
+// mutex+LRU of PR 4 — on the warm path a reader takes NO lock, follows NO
+// list, and touches NO reference count:
 //
-//   * SHARDED: the digest picks one of `shards` independent LRU shards,
-//     each with its own mutex, so concurrent hit/miss traffic from a
-//     worker pool does not serialize on one lock.
-//   * LRU per shard: capacity is divided evenly across shards; inserting
-//     into a full shard evicts its least-recently-used entry (counted).
-//   * Entries are shared_ptr<const ControlSchedule>: a hit is usable
-//     lock-free after lookup even while other threads evict, and schedules
-//     are tier-invariant (controls are proven bit-identical across kernel
-//     tiers), so plans on different tiers may share one cache.
-//   * SMALL LANE: plans with m <= SmallSchedule::kMaxM cache the flattened
-//     register-resident SmallSchedule BY VALUE in the same LRU entries —
-//     a warm hit copies ~0.7 KB of plain data under the shard lock and
-//     replays it with CompiledBnb::apply_small: no shared_ptr churn, no
-//     allocation, no kernel dispatch.  Both lanes share the hit/miss/
-//     eviction counters and the LRU order, so the cache's observable
-//     accounting is lane-independent.  A digest keyed by a small plan is
-//     always a small-lane entry (the size is mixed into the digest), so
-//     the lanes never collide in practice; a cross-lane lookup is simply
-//     a counted miss.
-//   * FAULT/TRACE BYPASS: route() forwards any call with a ControlTrace or
-//     a non-empty EngineFaults overlay straight to the fused engine path —
-//     fault semantics are never served from, or recorded into, the cache
-//     (counted in `bypasses`).
-//   * QUARANTINE: invalidate(digest) drops an entry from whichever lane
-//     holds it (counted in `quarantined`).  The resilience layer
-//     (fault/resilience.hpp) calls it on every fault diagnosis and failed
-//     replay audit, so a schedule that might have been solved against a
-//     damaged fabric can never be served again — see docs/RELIABILITY.md.
+//   * FLAT TABLE: power-of-two capacity, open addressing with double
+//     hashing on the digest (h1 = lo, step = hi|1 — odd, so the probe
+//     sequence cycles the whole table).  The digest lanes are already
+//     avalanche-mixed; no re-hashing needed.  Load factor stays <= 1/2
+//     (table is sized to 2x the entry capacity).
+//   * SEQLOCK READERS: every slot carries a sequence word (even = stable,
+//     odd = writer inside).  A reader snapshots the sequence, copies or
+//     replays the payload with relaxed atomic loads, and revalidates; a
+//     torn read is discarded and becomes an ordinary miss.  Readers never
+//     block writers and writers never block readers.
+//   * ZERO-ALLOC WARM HITS: the general lane replays STRAIGHT FROM THE
+//     SLOT — replay() hands CompiledBnb::apply_packed_lines the slot's
+//     packed input->line map and revalidates the sequence afterwards; no
+//     schedule copy, no shared_ptr, no heap.  The small lane copies its
+//     ~0.2 KB value type through the slot's staging words.  Payload
+//     buffers are TYPE-STABLE: once allocated they live until the cache
+//     dies, so a reader racing an eviction copies stale-but-owned memory
+//     and the sequence check rejects the result.
+//   * CLOCK EVICTION: a hit sets the slot's reference bit; inserting into
+//     a full cache sweeps a clock hand that clears reference bits and
+//     evicts the first unreferenced live slot (second chance — a touched
+//     entry always survives the next eviction).  Evicted/invalidated
+//     slots become tombstones so reader probe chains stay intact; the
+//     table rehashes in place when tombstones pile up.
+//   * FAULT/TRACE BYPASS and QUARANTINE keep their PR 4/7 contracts:
+//     route() forwards trace/fault calls to the fused engine (counted in
+//     `bypasses`), and invalidate(digest) tombstones the slot from
+//     whichever lane holds it (counted in `quarantined`) — see
+//     docs/RELIABILITY.md.
+//   * PERSISTENCE (core/schedule_store.hpp): save()/load() serialize the
+//     live entries as bnb.schedstore.v1 (versioned, CRC-per-record), and
+//     warm_start() memory-maps a store read-only so the first request
+//     after a process restart replays at warm speed — a table miss
+//     consults the mmap index, CRC-checks the one record it needs, and
+//     promotes it into the table as a hit.
 //
 // The digest is 128 bits of splitmix-style mixing over (size, image); the
 // cache trusts it without a full image compare — a false hit needs a
-// 2^-128-scale collision.  Hit/miss/eviction/bypass counters are
-// registry-backed obs::Counters (relaxed atomics: exact under quiescence,
-// approximate during concurrent traffic); each cache owns its instances —
-// stats() is the per-instance view — and attaches them to a
-// MetricsRegistry (the global one by default) under bnb_cache_*, so a
-// registry snapshot reports the fabric-wide totals across every live
-// cache in one coherent pass.
+// 2^-128-scale collision.  Counters are registry-backed obs::Counters
+// under bnb_cache_* (stats() is the per-instance view); probe lengths go
+// to the registry-owned bnb_cache_probe_len histogram.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <mutex>
-#include <unordered_map>
+#include <string>
 #include <vector>
 
 #include "core/compiled_bnb.hpp"
@@ -58,6 +63,8 @@
 #include "perm/permutation.hpp"
 
 namespace bnb {
+
+class WarmStore;  // core/schedule_store.hpp: mmap-backed read-only store
 
 /// Strong 128-bit permutation fingerprint (mixes the size and every image
 /// element); the ScheduleCache key.
@@ -70,26 +77,28 @@ struct PermutationDigest {
 
 [[nodiscard]] PermutationDigest digest_permutation(const Permutation& pi) noexcept;
 
-/// Counter snapshot; `entries` is the live entry count across all shards.
+/// Counter snapshot; `entries` is the live entry count.
 struct ScheduleCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
   std::uint64_t bypasses = 0;
   std::uint64_t quarantined = 0;
+  std::uint64_t store_saved = 0;   ///< records written by save()
+  std::uint64_t store_loaded = 0;  ///< records loaded (load() + warm promotions)
   std::size_t entries = 0;
 };
 
 class ScheduleCache {
  public:
-  /// Cache at most `capacity` schedules, spread over `shards` LRU shards
-  /// (each shard holds ceil(capacity / shards)).  Requires capacity >= 1
-  /// and 1 <= shards <= 256; one shard gives a single global LRU order
-  /// (deterministic eviction, useful for tests).  The cache's counters are
+  /// Cache at most `capacity` schedules in a flat table of the next power
+  /// of two >= 2 * capacity (load factor <= 1/2).  Requires capacity >= 1
+  /// and 1 <= shards <= 256; `shards` is accepted for source compatibility
+  /// with the PR 4 sharded cache and ignored — the flat table has no
+  /// shards, readers are lock-free everywhere.  The cache's counters are
   /// attached to `registry` (nullptr = the global registry) under the
   /// bnb_cache_* names for the life of the cache, and folded into the
-  /// registry's own totals at destruction (fabric-wide counters never go
-  /// backwards when a cache dies).
+  /// registry's own totals at destruction.
   explicit ScheduleCache(std::size_t capacity, std::size_t shards = 8,
                          obs::MetricsRegistry* registry = nullptr);
   ~ScheduleCache();
@@ -102,42 +111,58 @@ class ScheduleCache {
   /// non-null `trace` or non-empty `faults` bypasses the cache entirely and
   /// takes the fused CompiledBnb::route path.  Output is bit-identical to
   /// plan.route(pi, scratch, trace, faults) in every case.  Steady-state
-  /// hits allocate nothing; misses allocate the new schedule.
+  /// hits allocate nothing — in BOTH lanes; misses allocate the new entry.
   [[nodiscard]] CompiledBnb::Output route(const CompiledBnb& plan, const Permutation& pi,
                                           RouteScratch& scratch,
                                           ControlTrace* trace = nullptr,
                                           const EngineFaults* faults = nullptr);
 
-  /// Look up a digest: the schedule (promoted to MRU), or nullptr.
-  /// Counts a hit or a miss.  A small-lane entry under this digest is a
-  /// miss for this lane (the digest keys one lane per network size).
-  [[nodiscard]] std::shared_ptr<const ControlSchedule> find(const PermutationDigest& digest);
+  /// The zero-copy general-lane hit path: probe for `digest` and, on a
+  /// live general entry of `plan`'s shape, replay it straight from the
+  /// slot's packed line map (seqlock-validated, allocation-free, no lock).
+  /// Fills `out` and counts a hit on success; counts a miss and returns
+  /// false otherwise (absent digest, small-lane entry, shape mismatch, or
+  /// a torn read that exhausted its retries).  A warm store attached with
+  /// warm_start() is consulted before declaring the miss.
+  [[nodiscard]] bool replay(const CompiledBnb& plan, const PermutationDigest& digest,
+                            const Permutation& pi, RouteScratch& scratch,
+                            CompiledBnb::Output& out);
 
-  /// Insert (or refresh) a solved schedule, evicting the shard's LRU tail
-  /// when it is full.  Does not touch the hit/miss counters.
-  void insert(const PermutationDigest& digest,
-              std::shared_ptr<const ControlSchedule> schedule);
+  /// Full-fidelity general-lane lookup: copy the cached schedule (packed
+  /// controls AND line map) into `out`.  Allocation-free when `out`
+  /// already has the entry's shape (e.g. a RouteScratch::schedule_slot()
+  /// warmed on the same plan).  Counts a hit or a miss; a small-lane
+  /// entry under this digest is a miss for this lane.
+  [[nodiscard]] bool find(const PermutationDigest& digest, ControlSchedule& out);
 
-  /// Small-lane lookup: copy the cached SmallSchedule into `out` under the
-  /// shard lock (value copy — no allocation, no shared_ptr churn), promote
-  /// the entry to MRU, and count a hit.  Counts a miss and returns false
-  /// when the digest is absent or held by the general lane.
+  /// Insert (or refresh) a solved schedule — the payload is copied into
+  /// the slot's type-stable buffer; the caller keeps ownership of
+  /// `schedule`.  Evicts (clock/second-chance) when the cache is full.
+  /// Does not touch the hit/miss counters.
+  void insert(const PermutationDigest& digest, const ControlSchedule& schedule);
+
+  /// Small-lane lookup: copy the cached SmallSchedule into `out` through
+  /// the slot's staging words (seqlock-validated value copy — no
+  /// allocation, no lock), set the reference bit, and count a hit.
+  /// Counts a miss and returns false when the digest is absent or held by
+  /// the general lane; a warm store is consulted first.
   [[nodiscard]] bool find_small(const PermutationDigest& digest, SmallSchedule& out);
 
-  /// Insert (or refresh) a flattened small-N schedule by value; same LRU
-  /// and eviction accounting as insert().  Does not touch hit/miss.
+  /// Insert (or refresh) a flattened small-N schedule by value; same
+  /// eviction accounting as insert().  Does not touch hit/miss.
   void insert_small(const PermutationDigest& digest, const SmallSchedule& schedule);
 
   /// Count one fault/trace bypass (route() calls this automatically).
   void record_bypass() noexcept { bypasses_.inc(); }
 
-  /// Quarantine `digest`: drop its entry from whichever lane holds it and
-  /// count it in bnb_cache_quarantined_total.  The resilience layer calls
-  /// this on every fault diagnosis and failed replay audit, so a schedule
-  /// that might have been solved against a damaged fabric can never be
-  /// served again.  Returns true when an entry was actually dropped; a
-  /// miss leaves every counter untouched (quarantining an absent digest is
-  /// the common case — most fault routes never made it into the cache).
+  /// Quarantine `digest`: tombstone its slot in whichever lane holds it
+  /// and count it in bnb_cache_quarantined_total.  The resilience layer
+  /// calls this on every fault diagnosis and failed replay audit, so a
+  /// schedule that might have been solved against a damaged fabric can
+  /// never be served again.  Returns true when an entry was actually
+  /// dropped; a miss leaves every counter untouched.  Safe against
+  /// concurrent readers: a reader mid-replay on the dying slot fails its
+  /// sequence check and re-solves.
   bool invalidate(const PermutationDigest& digest);
 
   /// Per-instance counter snapshot (a thin adapter over the same
@@ -146,40 +171,130 @@ class ScheduleCache {
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
-  /// Drop every entry (counters are kept).
+  /// Drop every entry (counters are kept; an attached warm store stays).
   void clear();
 
- private:
-  struct DigestHash {
-    std::size_t operator()(const PermutationDigest& d) const noexcept {
-      return static_cast<std::size_t>(d.lo ^ (d.hi * 0x9E3779B97F4A7C15ULL));
-    }
-  };
-  struct Entry {
-    PermutationDigest digest;
-    std::shared_ptr<const ControlSchedule> schedule;  ///< general lane
-    SmallSchedule small;  ///< small lane, by value; small.solved() discriminates
-  };
-  struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;  ///< front = most recently used
-    std::unordered_map<PermutationDigest, std::list<Entry>::iterator, DigestHash> index;
-  };
+  // -- persistence (bnb.schedstore.v1; core/schedule_store.cpp) -----------
 
-  [[nodiscard]] Shard& shard_for(const PermutationDigest& d) {
-    return shards_[static_cast<std::size_t>(d.hi) % shards_.size()];
+  /// Serialize every live entry to `path` (header + one CRC'd record per
+  /// entry).  Returns the number of records written and counts them in
+  /// bnb_cache_store_saved_total.  Throws schedule_store_error on I/O
+  /// failure.  Takes the writer lock: concurrent readers keep hitting.
+  std::size_t save(const std::string& path);
+
+  /// Eagerly load every record of `path` into the table, fully verifying
+  /// the header and every record CRC up front.  Returns the number of
+  /// records inserted (counted in bnb_cache_store_loaded_total).  Throws
+  /// schedule_store_error on open failure, bad magic/version/endianness,
+  /// or any CRC mismatch — a corrupt store never half-loads silently.
+  std::size_t load(const std::string& path);
+
+  /// Attach `path` as a read-only memory-mapped warm store.  The header
+  /// and record bounds are validated now; payload CRCs are checked lazily,
+  /// per record, on first use.  After this, a lookup that misses the table
+  /// consults the store, promotes a matching record into the table, and
+  /// serves it as a HIT — warm-cache speed from the first request after a
+  /// restart.  A corrupt record degrades to an ordinary miss.  Returns the
+  /// number of records indexed.  Throws schedule_store_error on open or
+  /// format/version mismatch.  Replaces any previously attached store.
+  std::size_t warm_start(const std::string& path);
+
+  /// True when a warm store is attached.
+  [[nodiscard]] bool has_warm_store() const noexcept {
+    return warm_view_.load(std::memory_order_acquire) != nullptr;
   }
 
-  std::size_t capacity_;
-  std::size_t shard_capacity_;
-  std::vector<Shard> shards_;
+ private:
+  static constexpr std::size_t kSmallWords = (sizeof(SmallSchedule) + 7) / 8;
+  static constexpr std::uint32_t kFree = 0;
+  static constexpr std::uint32_t kLive = 1;
+  static constexpr std::uint32_t kTombstone = 2;
+  static constexpr std::uint32_t kLaneGeneral = 1;
+  static constexpr std::uint32_t kLaneSmall = 2;
+  /// Seqlock read attempts before a torn read degrades to a miss.
+  static constexpr int kReadAttempts = 8;
+
+  /// One table slot.  Every field a reader touches is an atomic accessed
+  /// with relaxed ordering inside the seqlock window; `seq` carries the
+  /// acquire/release edges.  The general payload lives in a type-stable
+  /// buffer: word 0 is the immutable payload capacity, then the packed
+  /// controls (g_columns * g_control_words words), then the input->line
+  /// map packed two u32 lines per word.  The small payload is staged in
+  /// place as raw SmallSchedule bytes.
+  struct Slot {
+    std::atomic<std::uint32_t> seq{0};    ///< even = stable, odd = writer inside
+    std::atomic<std::uint32_t> state{kFree};
+    std::atomic<std::uint32_t> lane{0};
+    std::atomic<std::uint32_t> ref{0};    ///< clock/second-chance reference bit
+    std::atomic<std::uint64_t> digest_lo{0};
+    std::atomic<std::uint64_t> digest_hi{0};
+    std::atomic<std::uint32_t> g_m{0};
+    std::atomic<std::uint32_t> g_columns{0};
+    std::atomic<std::uint32_t> g_control_words{0};
+    std::atomic<std::atomic<std::uint64_t>*> gbuf{nullptr};
+    std::atomic<std::uint64_t> small[kSmallWords] = {};
+  };
+
+  // Reader-side probe: the live slot whose digest matches, or nullptr
+  // after a free slot or a full cycle.  Lock-free; `probes` counts slots
+  // visited (recorded into bnb_cache_probe_len by the callers).
+  [[nodiscard]] Slot* probe_reader(const PermutationDigest& digest,
+                                   std::size_t& probes) noexcept;
+
+  // Writer-side helpers; all require mu_ held.
+  [[nodiscard]] Slot* writer_find_locked(const PermutationDigest& digest) noexcept;
+  [[nodiscard]] Slot* writer_position_locked(const PermutationDigest& digest) noexcept;
+  [[nodiscard]] Slot* writer_claim_locked(const PermutationDigest& digest);
+  void evict_one_locked();
+  void rehash_locked();
+  void free_slot_locked(Slot& slot, std::uint32_t new_state) noexcept;
+  [[nodiscard]] std::atomic<std::uint64_t>* ensure_buffer_locked(Slot& slot,
+                                                                 std::size_t payload_words);
+  void write_general_locked(Slot& slot, const PermutationDigest& digest,
+                            const ControlSchedule& schedule);
+  void write_small_locked(Slot& slot, const PermutationDigest& digest,
+                          const SmallSchedule& schedule);
+
+  // Warm-store fallbacks (core/schedule_store.cpp).  Each promotes the
+  // record into the table and counts a hit + a store load on success.
+  [[nodiscard]] bool warm_replay(const CompiledBnb& plan, const PermutationDigest& digest,
+                                 const Permutation& pi, RouteScratch& scratch,
+                                 CompiledBnb::Output& out);
+  [[nodiscard]] bool warm_fetch_general(const PermutationDigest& digest,
+                                        ControlSchedule& out);
+  [[nodiscard]] bool warm_fetch_small(const PermutationDigest& digest,
+                                      SmallSchedule& out);
+
+  std::size_t capacity_;    ///< max live entries
+  std::size_t table_size_;  ///< power of two >= 2 * capacity_
+  std::size_t mask_;        ///< table_size_ - 1
+  std::unique_ptr<Slot[]> slots_;
+
+  mutable std::mutex mu_;   ///< single writer lock; readers never take it
+  std::size_t live_ = 0;
+  std::size_t tombstones_ = 0;
+  std::size_t hand_ = 0;    ///< clock hand (slot index)
+  /// Owns every general payload buffer ever allocated (type-stable: a
+  /// buffer is never freed while the cache lives, so lock-free readers can
+  /// race evictions safely; the seqlock rejects their stale copies).
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>[]>> buffers_;
+
+  std::unique_ptr<WarmStore> warm_;                       ///< owner
+  std::atomic<const WarmStore*> warm_view_{nullptr};      ///< reader view
+  /// Superseded warm stores, retired-not-freed so a lock-free reader that
+  /// raced warm_start() can finish against the old map safely.
+  std::vector<std::unique_ptr<WarmStore>> retired_warm_;
+
   obs::MetricsRegistry* registry_;  ///< counters attached here until ~ScheduleCache
   obs::Counter hits_;
   obs::Counter misses_;
   obs::Counter evictions_;
   obs::Counter bypasses_;
   obs::Counter quarantined_;
-  obs::Gauge entries_;  ///< live entry count, maintained under the shard locks
+  obs::Counter store_saved_;
+  obs::Counter store_loaded_;
+  obs::Gauge entries_;        ///< live entry count
+  obs::Histogram* probe_len_; ///< registry-owned bnb_cache_probe_len
 };
 
 }  // namespace bnb

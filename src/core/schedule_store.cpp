@@ -1,0 +1,424 @@
+// bnb.schedstore.v1 codec + the ScheduleCache persistence entry points
+// (save/load/warm_start and the lock-free warm-store fallbacks).  See
+// schedule_store.hpp for the format contract.
+#include "core/schedule_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/crc32.hpp"
+#include "common/expect.hpp"
+#include "core/kernels/kernel_set.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define BNB_STORE_HAS_MMAP 1
+#else
+#define BNB_STORE_HAS_MMAP 0
+#endif
+
+namespace bnb {
+namespace {
+
+constexpr char kMagic[8] = {'B', 'N', 'B', 'S', 'C', 'H', 'D', '1'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kEndianProbe = 0x01020304U;
+/// Format-level promise: stored schedules replay bit-identically on every
+/// kernel tier.  Bumped only if a future format ever stores tier-specific
+/// artifacts — a reader refuses a tag it does not understand.
+constexpr std::uint32_t kKernelInvariant = 1;
+
+struct StoreHeader {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t endian;
+  std::uint32_t kernel_invariance;
+  std::uint32_t record_count;
+  std::uint32_t reserved;
+  std::uint32_t header_crc;  ///< crc32 of the 28 bytes before this field
+};
+static_assert(sizeof(StoreHeader) == 32, "header layout is part of the format");
+
+struct RecordHeader {
+  std::uint64_t digest_lo;
+  std::uint64_t digest_hi;
+  std::uint32_t kind;  ///< WarmStore::kGeneralRecord | kSmallRecord
+  std::uint32_t m;
+  std::uint32_t payload_bytes;  ///< multiple of 8
+  std::uint32_t payload_crc;    ///< crc32 of the payload bytes
+};
+static_assert(sizeof(RecordHeader) == 32, "record layout is part of the format");
+
+struct GeneralPayloadHeader {
+  std::uint32_t columns;
+  std::uint32_t control_words;
+  std::uint32_t lines;  ///< 2^m
+  std::uint32_t reserved;
+};
+static_assert(sizeof(GeneralPayloadHeader) == 16, "payload layout is part of the format");
+
+void append_bytes(std::vector<unsigned char>& out, const void* p, std::size_t n) {
+  const auto* b = static_cast<const unsigned char*>(p);
+  out.insert(out.end(), b, b + n);
+}
+
+bool digest_less(const WarmStore::Record& a, const PermutationDigest& d) noexcept {
+  return a.digest.hi != d.hi ? a.digest.hi < d.hi : a.digest.lo < d.lo;
+}
+
+/// Parse + shape-validate a general record payload into `out`.  Returns
+/// false on any inconsistency (the caller treats that as corruption).
+bool decode_general(const WarmStore::Record& r, ControlSchedule& out) {
+  if (r.payload_bytes < sizeof(GeneralPayloadHeader)) return false;
+  GeneralPayloadHeader ph;
+  std::memcpy(&ph, r.payload, sizeof(ph));
+  const std::uint32_t m = r.m;
+  if (m < 1 || m >= 26) return false;
+  if (ph.lines != (std::uint32_t{1} << m)) return false;
+  if (ph.columns != m * (m + 1) / 2 || ph.control_words < 1) return false;
+  const std::size_t ctl_words = std::size_t{ph.columns} * ph.control_words;
+  const std::size_t need =
+      sizeof(GeneralPayloadHeader) + ctl_words * 8 + std::size_t{ph.lines} * 4;
+  if (r.payload_bytes != need) return false;
+  out.reshape(m, ph.columns, ph.control_words);
+  std::memcpy(out.ctl_data(), r.payload + sizeof(GeneralPayloadHeader), ctl_words * 8);
+  std::memcpy(out.lines_data(), r.payload + sizeof(GeneralPayloadHeader) + ctl_words * 8,
+              std::size_t{ph.lines} * 4);
+  const std::uint32_t* lines = out.lines_data();
+  for (std::uint32_t j = 0; j < ph.lines; ++j) {
+    if (lines[j] >= ph.lines) return false;  // out-of-range line: corrupt
+  }
+  out.set_solved(true);
+  return true;
+}
+
+/// Parse a small record payload, re-binding apply8 from THIS process's
+/// kernel dispatch.  Returns an unsolved schedule on corruption.
+SmallSchedule decode_small(const WarmStore::Record& r) {
+  if (r.payload_bytes != sizeof(SmallSchedule::Wire)) return SmallSchedule{};
+  SmallSchedule::Wire wire;
+  std::memcpy(&wire, r.payload, sizeof(wire));
+  if (wire.m != r.m) return SmallSchedule{};
+  return SmallSchedule::from_wire(wire, kernels::active_kernels().small_apply8);
+}
+
+}  // namespace
+
+// -- WarmStore ---------------------------------------------------------------
+
+WarmStore::WarmStore(const std::string& path) {
+#if BNB_STORE_HAS_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw schedule_store_error("schedule store: cannot open '" + path + "'");
+  }
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    throw schedule_store_error("schedule store: cannot stat '" + path + "'");
+  }
+  bytes_ = static_cast<std::size_t>(st.st_size);
+  if (bytes_ > 0) {
+    void* map = ::mmap(nullptr, bytes_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map == MAP_FAILED) {
+      ::close(fd);
+      throw schedule_store_error("schedule store: mmap failed for '" + path + "'");
+    }
+    data_ = static_cast<const unsigned char*>(map);
+    mapped_ = true;
+  }
+  ::close(fd);
+#else
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw schedule_store_error("schedule store: cannot open '" + path + "'");
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long sz = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  fallback_.resize(sz > 0 ? static_cast<std::size_t>(sz) : 0);
+  if (!fallback_.empty() && std::fread(fallback_.data(), 1, fallback_.size(), f) !=
+                                fallback_.size()) {
+    std::fclose(f);
+    throw schedule_store_error("schedule store: short read on '" + path + "'");
+  }
+  std::fclose(f);
+  data_ = fallback_.data();
+  bytes_ = fallback_.size();
+#endif
+
+  // Header + record-bounds validation (the eager half; payload CRCs are
+  // deferred to verify()).
+  if (bytes_ < sizeof(StoreHeader)) {
+    throw schedule_store_error("schedule store: '" + path + "' is truncated");
+  }
+  StoreHeader h;
+  std::memcpy(&h, data_, sizeof(h));
+  if (std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0) {
+    throw schedule_store_error("schedule store: '" + path +
+                               "' is not a bnb.schedstore file (bad magic)");
+  }
+  if (h.version != kVersion) {
+    throw schedule_store_error("schedule store: '" + path +
+                               "' has unsupported version " + std::to_string(h.version) +
+                               " (this build reads version " + std::to_string(kVersion) +
+                               ")");
+  }
+  if (h.endian != kEndianProbe) {
+    throw schedule_store_error("schedule store: '" + path +
+                               "' was written with a different byte order");
+  }
+  if (h.kernel_invariance != kKernelInvariant) {
+    throw schedule_store_error("schedule store: '" + path +
+                               "' carries an unknown kernel-invariance tag");
+  }
+  if (crc32(data_, sizeof(StoreHeader) - sizeof(std::uint32_t)) != h.header_crc) {
+    throw schedule_store_error("schedule store: '" + path + "' header CRC mismatch");
+  }
+  std::size_t off = sizeof(StoreHeader);
+  index_.reserve(h.record_count);
+  for (std::uint32_t i = 0; i < h.record_count; ++i) {
+    if (off + sizeof(RecordHeader) > bytes_) {
+      throw schedule_store_error("schedule store: '" + path +
+                                 "' record table runs past end of file");
+    }
+    RecordHeader rh;
+    std::memcpy(&rh, data_ + off, sizeof(rh));
+    off += sizeof(RecordHeader);
+    if (rh.payload_bytes % 8 != 0 || off + rh.payload_bytes > bytes_) {
+      throw schedule_store_error("schedule store: '" + path +
+                                 "' record payload runs past end of file");
+    }
+    Record r;
+    r.digest = PermutationDigest{rh.digest_lo, rh.digest_hi};
+    r.kind = rh.kind;
+    r.m = rh.m;
+    r.payload_bytes = rh.payload_bytes;
+    r.payload_crc = rh.payload_crc;
+    r.payload = data_ + off;
+    index_.push_back(r);
+    off += rh.payload_bytes;
+  }
+  std::sort(index_.begin(), index_.end(), [](const Record& a, const Record& b) {
+    return a.digest.hi != b.digest.hi ? a.digest.hi < b.digest.hi
+                                      : a.digest.lo < b.digest.lo;
+  });
+}
+
+WarmStore::~WarmStore() {
+#if BNB_STORE_HAS_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<unsigned char*>(data_), bytes_);
+  }
+#endif
+}
+
+const WarmStore::Record* WarmStore::lookup(const PermutationDigest& digest) const noexcept {
+  const auto it = std::lower_bound(index_.begin(), index_.end(), digest, digest_less);
+  if (it == index_.end() || !(it->digest == digest)) return nullptr;
+  return &*it;
+}
+
+bool WarmStore::verify(const Record& record) const noexcept {
+  return crc32(record.payload, record.payload_bytes) == record.payload_crc;
+}
+
+// -- ScheduleCache persistence ----------------------------------------------
+
+std::size_t ScheduleCache::save(const std::string& path) {
+  std::vector<unsigned char> body;
+  std::uint32_t count = 0;
+  {
+    // The writer lock freezes the table (readers never mutate payloads);
+    // relaxed loads below are exact.
+    std::scoped_lock lock(mu_);
+    for (std::size_t i = 0; i < table_size_; ++i) {
+      Slot& s = slots_[i];
+      if (s.state.load(std::memory_order_relaxed) != kLive) continue;
+      RecordHeader rh = {};
+      rh.digest_lo = s.digest_lo.load(std::memory_order_relaxed);
+      rh.digest_hi = s.digest_hi.load(std::memory_order_relaxed);
+      std::vector<unsigned char> payload;
+      if (s.lane.load(std::memory_order_relaxed) == kLaneGeneral) {
+        const std::uint32_t m = s.g_m.load(std::memory_order_relaxed);
+        GeneralPayloadHeader ph = {};
+        ph.columns = s.g_columns.load(std::memory_order_relaxed);
+        ph.control_words = s.g_control_words.load(std::memory_order_relaxed);
+        ph.lines = std::uint32_t{1} << m;
+        const std::size_t ctl_words = std::size_t{ph.columns} * ph.control_words;
+        const std::atomic<std::uint64_t>* buf = s.gbuf.load(std::memory_order_relaxed);
+        payload.reserve(sizeof(ph) + ctl_words * 8 + std::size_t{ph.lines} * 4);
+        append_bytes(payload, &ph, sizeof(ph));
+        for (std::size_t w = 0; w < ctl_words; ++w) {
+          const std::uint64_t word = buf[1 + w].load(std::memory_order_relaxed);
+          append_bytes(payload, &word, 8);
+        }
+        const std::atomic<std::uint64_t>* packed = buf + 1 + ctl_words;
+        for (std::uint32_t j = 0; j < ph.lines; j += 2) {
+          const std::uint64_t word = packed[j >> 1].load(std::memory_order_relaxed);
+          const auto lo = static_cast<std::uint32_t>(word);
+          const auto hi = static_cast<std::uint32_t>(word >> 32);
+          append_bytes(payload, &lo, 4);
+          if (j + 1 < ph.lines) append_bytes(payload, &hi, 4);
+        }
+        rh.kind = WarmStore::kGeneralRecord;
+        rh.m = m;
+      } else {
+        // Reassemble the staged SmallSchedule, then strip it to wire form
+        // (the apply8 binding never leaves the process).
+        std::uint64_t words[kSmallWords];
+        for (std::size_t w = 0; w < kSmallWords; ++w) {
+          words[w] = s.small[w].load(std::memory_order_relaxed);
+        }
+        SmallSchedule small;
+        std::memcpy(&small, words, sizeof(small));
+        const SmallSchedule::Wire wire = small.to_wire();
+        append_bytes(payload, &wire, sizeof(wire));
+        rh.kind = WarmStore::kSmallRecord;
+        rh.m = small.m();
+      }
+      while (payload.size() % 8 != 0) payload.push_back(0);
+      rh.payload_bytes = static_cast<std::uint32_t>(payload.size());
+      rh.payload_crc = crc32(payload.data(), payload.size());
+      append_bytes(body, &rh, sizeof(rh));
+      append_bytes(body, payload.data(), payload.size());
+      ++count;
+    }
+  }
+
+  StoreHeader h = {};
+  std::memcpy(h.magic, kMagic, sizeof(kMagic));
+  h.version = kVersion;
+  h.endian = kEndianProbe;
+  h.kernel_invariance = kKernelInvariant;
+  h.record_count = count;
+  h.header_crc = crc32(&h, sizeof(StoreHeader) - sizeof(std::uint32_t));
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw schedule_store_error("schedule store: cannot create '" + path + "'");
+  }
+  const bool ok = std::fwrite(&h, sizeof(h), 1, f) == 1 &&
+                  (body.empty() || std::fwrite(body.data(), body.size(), 1, f) == 1);
+  if (std::fclose(f) != 0 || !ok) {
+    throw schedule_store_error("schedule store: write failed for '" + path + "'");
+  }
+  store_saved_.inc(count);
+  return count;
+}
+
+std::size_t ScheduleCache::load(const std::string& path) {
+  // Validate EVERYTHING through the WarmStore attach (header, bounds) plus
+  // an eager CRC + decode pass, before the first table mutation: a corrupt
+  // store throws with the cache untouched.
+  WarmStore store(path);
+  struct Decoded {
+    PermutationDigest digest;
+    bool small = false;
+    ControlSchedule general;
+    SmallSchedule small_sched;
+  };
+  std::vector<Decoded> records;
+  records.reserve(store.records());
+  for (std::size_t i = 0; i < store.records(); ++i) {
+    const WarmStore::Record& r = store.record(i);
+    if (!store.verify(r)) {
+      throw schedule_store_error("schedule store: '" + path + "' record " +
+                                 std::to_string(i) + " CRC mismatch");
+    }
+    Decoded d;
+    d.digest = r.digest;
+    if (r.kind == WarmStore::kGeneralRecord) {
+      if (!decode_general(r, d.general)) {
+        throw schedule_store_error("schedule store: '" + path + "' record " +
+                                   std::to_string(i) + " is malformed");
+      }
+    } else if (r.kind == WarmStore::kSmallRecord) {
+      d.small = true;
+      d.small_sched = decode_small(r);
+      if (!d.small_sched.solved()) {
+        throw schedule_store_error("schedule store: '" + path + "' record " +
+                                   std::to_string(i) + " is malformed");
+      }
+    } else {
+      throw schedule_store_error("schedule store: '" + path + "' record " +
+                                 std::to_string(i) + " has unknown kind");
+    }
+    records.push_back(std::move(d));
+  }
+  for (const Decoded& d : records) {
+    if (d.small) {
+      insert_small(d.digest, d.small_sched);
+    } else {
+      insert(d.digest, d.general);
+    }
+  }
+  store_loaded_.inc(records.size());
+  return records.size();
+}
+
+std::size_t ScheduleCache::warm_start(const std::string& path) {
+  auto store = std::make_unique<WarmStore>(path);  // throws on open/format
+  const std::size_t n = store->records();
+  std::scoped_lock lock(mu_);
+  warm_view_.store(nullptr, std::memory_order_release);
+  if (warm_ != nullptr) retired_warm_.push_back(std::move(warm_));
+  warm_ = std::move(store);
+  warm_view_.store(warm_.get(), std::memory_order_release);
+  return n;
+}
+
+bool ScheduleCache::warm_fetch_general(const PermutationDigest& digest,
+                                       ControlSchedule& out) {
+  const WarmStore* ws = warm_view_.load(std::memory_order_acquire);
+  if (ws == nullptr) return false;
+  const WarmStore::Record* r = ws->lookup(digest);
+  if (r == nullptr || r->kind != WarmStore::kGeneralRecord) return false;
+  if (!ws->verify(*r) || !decode_general(*r, out)) return false;  // corrupt -> miss
+  insert(digest, out);  // promote: later lookups hit in RAM
+  hits_.inc();
+  store_loaded_.inc();
+  return true;
+}
+
+bool ScheduleCache::warm_replay(const CompiledBnb& plan, const PermutationDigest& digest,
+                                const Permutation& pi, RouteScratch& scratch,
+                                CompiledBnb::Output& out) {
+  const WarmStore* ws = warm_view_.load(std::memory_order_acquire);
+  if (ws == nullptr) return false;
+  const WarmStore::Record* r = ws->lookup(digest);
+  if (r == nullptr || r->kind != WarmStore::kGeneralRecord) return false;
+  // Shape the scratch BEFORE decoding into its schedule slot: apply() would
+  // otherwise re-prepare an unshaped scratch and wipe the decoded schedule.
+  scratch.prepare(plan);
+  ControlSchedule& sched = scratch.schedule_slot();
+  if (!ws->verify(*r) || !decode_general(*r, sched)) return false;  // corrupt -> miss
+  if (!sched.prepared_for(plan)) return false;  // wrong shape for this plan
+  out = plan.apply(sched, pi, scratch);
+  insert(digest, sched);  // promote: the next replay() hits the flat table
+  hits_.inc();
+  store_loaded_.inc();
+  return true;
+}
+
+bool ScheduleCache::warm_fetch_small(const PermutationDigest& digest, SmallSchedule& out) {
+  const WarmStore* ws = warm_view_.load(std::memory_order_acquire);
+  if (ws == nullptr) return false;
+  const WarmStore::Record* r = ws->lookup(digest);
+  if (r == nullptr || r->kind != WarmStore::kSmallRecord) return false;
+  if (!ws->verify(*r)) return false;  // corrupt -> miss
+  SmallSchedule small = decode_small(*r);
+  if (!small.solved()) return false;
+  out = small;
+  insert_small(digest, small);  // promote
+  hits_.inc();
+  store_loaded_.inc();
+  return true;
+}
+
+}  // namespace bnb

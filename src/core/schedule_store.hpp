@@ -1,0 +1,101 @@
+// bnb.schedstore.v1 — versioned binary persistence for the schedule cache.
+//
+// A solved schedule is expensive to produce (the full column-by-column
+// control solve) but cheap to describe: packed switch controls plus the
+// composed input->line map for the general lane, a SmallSchedule::Wire for
+// the small lane.  ScheduleCache::save() serializes every live entry into
+// this format; load() rebuilds a cache eagerly; warm_start() attaches the
+// file as a read-only memory map so a fresh process serves its FIRST
+// request at warm-cache speed, paying only a lazy per-record CRC check.
+//
+// File layout (all integers little-endian, the header pins endianness):
+//
+//   StoreHeader   32 B   magic "BNBSCHD1", version, endianness probe,
+//                        kernel-invariance tag, record count, header CRC32
+//   Record        32 B   digest (128-bit), kind (general | small), m,
+//        header          payload byte count, payload CRC32
+//   Record        8-aligned payload:
+//        payload         general: {columns, control_words, lines, pad} +
+//                                 packed controls (u64[]) + line map (u32[])
+//                        small:   SmallSchedule::Wire (the apply8 kernel
+//                                 binding is NOT stored — it is re-bound
+//                                 from the loading process's dispatch)
+//
+// The kernel-invariance tag records the format-level promise that a stored
+// schedule replays bit-identically on EVERY kernel tier (the control solve
+// is tier-invariant; only data movement differs), so a store saved on an
+// AVX-512 host loads on a scalar host and vice versa — asserted per tier by
+// tests/test_schedule_store.cpp and enforced in CI's cache-persistence job.
+//
+// load() verifies everything up front and throws schedule_store_error on
+// the first inconsistency — a corrupt store never half-loads silently.
+// warm_start() validates the header and record BOUNDS up front but defers
+// payload CRCs to first use; a record that fails its lazy check degrades to
+// an ordinary cache miss (the fabric re-solves), never an error.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/schedule_cache.hpp"
+
+namespace bnb {
+
+/// Thrown by ScheduleCache::save/load/warm_start on I/O failure or a
+/// malformed/mismatched store (bad magic, version, endianness, CRC).  The
+/// CLI maps this to exit code 2 with the message on stderr.
+class schedule_store_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A read-only, memory-mapped bnb.schedstore.v1 file with a sorted digest
+/// index.  Construction validates the header and walks the record bounds;
+/// payload CRCs are checked by verify(), once, at first use of a record.
+/// The map lives until destruction; ScheduleCache retires (never frees)
+/// superseded stores so lock-free readers can race warm_start() safely.
+class WarmStore {
+ public:
+  static constexpr std::uint32_t kGeneralRecord = 1;
+  static constexpr std::uint32_t kSmallRecord = 2;
+
+  /// One indexed record; `payload` points into the mapped file.
+  struct Record {
+    PermutationDigest digest;
+    std::uint32_t kind = 0;
+    std::uint32_t m = 0;
+    std::uint32_t payload_bytes = 0;
+    std::uint32_t payload_crc = 0;
+    const unsigned char* payload = nullptr;
+  };
+
+  /// Map `path` and index its records.  Throws schedule_store_error on
+  /// open failure or a malformed header / out-of-bounds record table.
+  explicit WarmStore(const std::string& path);
+  ~WarmStore();
+
+  WarmStore(const WarmStore&) = delete;
+  WarmStore& operator=(const WarmStore&) = delete;
+
+  [[nodiscard]] std::size_t records() const noexcept { return index_.size(); }
+
+  /// Binary-search the sorted index; nullptr when the digest is absent.
+  [[nodiscard]] const Record* lookup(const PermutationDigest& digest) const noexcept;
+
+  /// Record `i` in digest-sorted order; requires i < records().
+  [[nodiscard]] const Record& record(std::size_t i) const noexcept { return index_[i]; }
+
+  /// CRC-check `record`'s payload (the lazy half of validation).
+  [[nodiscard]] bool verify(const Record& record) const noexcept;
+
+ private:
+  const unsigned char* data_ = nullptr;
+  std::size_t bytes_ = 0;
+  bool mapped_ = false;               ///< mmap'd (else heap fallback owns fallback_)
+  std::vector<unsigned char> fallback_;
+  std::vector<Record> index_;         ///< sorted by (digest.hi, digest.lo)
+};
+
+}  // namespace bnb

@@ -97,6 +97,60 @@ class SmallSchedule {
   [[nodiscard]] std::uint64_t step_mask(std::size_t s) const noexcept { return masks_[s]; }
   [[nodiscard]] unsigned step_delta(std::size_t s) const noexcept { return deltas_[s]; }
 
+  // -- wire form (core/schedule_store.hpp) --------------------------------
+  // The serializable fields — everything EXCEPT the apply8 kernel binding,
+  // which is a process-local function pointer and must be re-bound from the
+  // loading process's own kernel dispatch.  Fixed-size plain data so a Wire
+  // can be written/CRC'd/read as raw bytes.
+
+  struct Wire {
+    std::uint32_t m = 0;
+    std::uint16_t depth = 0;
+    std::uint16_t reserved = 0;
+    std::uint64_t masks[kMaxDepth] = {};
+    std::uint8_t deltas[kMaxDepth] = {};
+    std::uint8_t line_of[kMaxLines] = {};
+    std::uint8_t pad[5] = {};  ///< explicit tail padding: CRC'd bytes are all defined
+  };
+  static_assert(2 * kMaxM - 1 == 11 && sizeof(Wire) == 176,
+                "Wire layout is part of bnb.schedstore.v1");
+
+  [[nodiscard]] Wire to_wire() const noexcept {
+    Wire w;
+    w.m = m_;
+    w.depth = depth_;
+    for (std::size_t s = 0; s < kMaxDepth; ++s) {
+      w.masks[s] = masks_[s];
+      w.deltas[s] = deltas_[s];
+    }
+    for (std::size_t j = 0; j < kMaxLines; ++j) w.line_of[j] = line_of_[j];
+    return w;
+  }
+
+  /// Rebuild from a wire record, binding `apply8` from the CURRENT
+  /// process's kernel dispatch (the stored schedule is tier-invariant; the
+  /// fn pointer is not portable).  Returns an empty schedule when the wire
+  /// fields are out of shape (corrupt record) — callers treat that as a
+  /// load failure, never a crash.
+  [[nodiscard]] static SmallSchedule from_wire(
+      const Wire& w,
+      void (*apply8)(const std::uint64_t*, const std::uint8_t*, std::size_t,
+                     std::uint64_t*)) noexcept {
+    SmallSchedule out;
+    if (w.m == 0 || w.m > kMaxM || w.depth > kMaxDepth) return out;
+    out.m_ = w.m;
+    out.depth_ = w.depth;
+    for (std::size_t s = 0; s < kMaxDepth; ++s) {
+      out.masks_[s] = w.masks[s];
+      out.deltas_[s] = w.deltas[s];
+    }
+    for (std::size_t j = 0; j < kMaxLines; ++j) {
+      out.line_of_[j] = w.line_of[j];
+    }
+    out.apply8_ = apply8;
+    return out;
+  }
+
  private:
   friend class CompiledBnb;
   unsigned m_ = 0;  ///< 0 = empty / unsolved

@@ -26,7 +26,10 @@ namespace {
 /// head/tail counters masked into a power-of-two slot array; the producer
 /// publishes with a release store of head_, the consumer with a release
 /// store of tail_ — the classic two-index SPSC queue, wait-free on both
-/// sides (callers spin with yield on full/empty).
+/// sides (callers spin with yield on full/empty).  push/pop SWAP with the
+/// ring storage instead of move-assigning: the caller's slot gets the
+/// retired occupant back, so its schedule buffers circulate between the
+/// stages and a steady-state stream re-solves into already-sized memory.
 template <typename T>
 class SpscRing {
  public:
@@ -37,10 +40,10 @@ class SpscRing {
     slots_.resize(pow2);
   }
 
-  [[nodiscard]] bool try_push(T&& value) {
+  [[nodiscard]] bool try_push(T& value) {
     const std::uint64_t head = head_.load(std::memory_order_relaxed);
     if (head - tail_.load(std::memory_order_acquire) > mask_) return false;
-    slots_[head & mask_] = std::move(value);
+    std::swap(slots_[head & mask_], value);
     head_.store(head + 1, std::memory_order_release);
     return true;
   }
@@ -48,7 +51,7 @@ class SpscRing {
   [[nodiscard]] bool try_pop(T& out) {
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
     if (tail == head_.load(std::memory_order_acquire)) return false;
-    out = std::move(slots_[tail & mask_]);
+    std::swap(out, slots_[tail & mask_]);
     tail_.store(tail + 1, std::memory_order_release);
     return true;
   }
@@ -66,14 +69,17 @@ class SpscRing {
 };
 
 /// One solved permutation in flight between the solver and applier stages.
-/// Small plans (m <= SmallSchedule::kMaxM) travel BY VALUE in `small` —
-/// no shared_ptr churn, and a cold small stream allocates nothing per
-/// permutation; small.solved() tells the applier which lane to replay.
-/// Under isolate_errors a solver-side failure still ships a slot with
-/// `failed` set so the applier can retire the index as kFailed in order.
+/// BOTH lanes travel by value: small plans (m <= SmallSchedule::kMaxM) in
+/// `small`, general plans in `schedule` — no shared_ptr churn in either.
+/// The swap-based ring recirculates the schedule's buffers between the
+/// stages, so once every ring slot has been shaped a pipelined stream
+/// solves, ships, and replays with no per-permutation allocation at all;
+/// small.solved() tells the applier which lane to replay.  Under
+/// isolate_errors a solver-side failure still ships a slot with `failed`
+/// set so the applier can retire the index as kFailed in order.
 struct StreamSlot {
   std::size_t index = 0;
-  std::shared_ptr<const ControlSchedule> schedule;
+  ControlSchedule schedule;
   SmallSchedule small;
   bool failed = false;
 };
@@ -272,7 +278,9 @@ StreamEngine::Result StreamEngine::run_inline(std::span<const Permutation> perms
   result.status.assign(perms.size(), StreamItemStatus::kOk);
 
   RouteScratch scratch;
-  ControlSchedule local;  // reused across cold solves when no cache is attached
+  ControlSchedule local;  // reused across solves and cache copy-outs: the
+                          // inline general lane is allocation-free once
+                          // `local` has taken this plan's shape
   const bool small = plan_.small_capable();
   bool all_ok = true;
   for (std::size_t i = 0; i < perms.size(); ++i) {
@@ -305,18 +313,15 @@ StreamEngine::Result StreamEngine::run_inline(std::span<const Permutation> perms
         out = plan_.apply_small(sched, perms[i], scratch);
       } else if (cache_ != nullptr) {
         const PermutationDigest digest = digest_permutation(perms[i]);
-        std::shared_ptr<const ControlSchedule> schedule = cache_->find(digest);
-        if (schedule != nullptr) {
+        if (cache_->find(digest, local)) {
           ++result.stats.cache_hits;
         } else {
-          auto solved = std::make_shared<ControlSchedule>();
-          plan_.solve(perms[i], scratch, *solved);
+          plan_.solve(perms[i], scratch, local);
           ++result.stats.solved;
-          cache_->insert(digest, solved);
-          schedule = std::move(solved);
+          cache_->insert(digest, local);
         }
         if (apply_hook_) apply_hook_(i);
-        out = plan_.apply(*schedule, perms[i], scratch);
+        out = plan_.apply(local, perms[i], scratch);
       } else {
         plan_.solve(perms[i], scratch, local);
         ++result.stats.solved;
@@ -402,13 +407,18 @@ StreamEngine::Result StreamEngine::run_pipelined(std::span<const Permutation> pe
       solver_hits.store(hits, std::memory_order_relaxed);
       solver_high_water.store(high_water, std::memory_order_relaxed);
     };
+    // One slot reused across the whole stream: the swap-push hands back the
+    // ring's retired occupant, whose schedule buffers are already shaped —
+    // steady state solves into recirculated memory, allocation-free.
+    StreamSlot slot;
     for (std::size_t i = 0; i < perms.size(); ++i) {
       if (stop.load(std::memory_order_acquire) ||
           cancelled_.load(std::memory_order_acquire)) {
         break;
       }
-      StreamSlot slot;
       slot.index = i;
+      slot.failed = false;
+      slot.small = SmallSchedule{};  // a stale small lane must not shadow general
       try {
         if (solve_hook_) solve_hook_(i);
         if (small) {
@@ -429,21 +439,16 @@ StreamEngine::Result StreamEngine::run_pipelined(std::span<const Permutation> pe
           }
         } else if (cache_ != nullptr) {
           const PermutationDigest digest = digest_permutation(perms[i]);
-          slot.schedule = cache_->find(digest);
-          if (slot.schedule != nullptr) {
+          if (cache_->find(digest, slot.schedule)) {
             ++hits;
           } else {
-            auto fresh = std::make_shared<ControlSchedule>();
-            plan_.solve(perms[i], scratch, *fresh);
+            plan_.solve(perms[i], scratch, slot.schedule);
             ++solved;
-            cache_->insert(digest, fresh);
-            slot.schedule = std::move(fresh);
+            cache_->insert(digest, slot.schedule);
           }
         } else {
-          auto fresh = std::make_shared<ControlSchedule>();
-          plan_.solve(perms[i], scratch, *fresh);
+          plan_.solve(perms[i], scratch, slot.schedule);
           ++solved;
-          slot.schedule = std::move(fresh);
         }
       } catch (...) {
         if (!isolate_errors_) {
@@ -451,12 +456,13 @@ StreamEngine::Result StreamEngine::run_pipelined(std::span<const Permutation> pe
           break;
         }
         // Isolation: ship the failure downstream so the applier retires
-        // the index as kFailed in stream order.
-        slot.schedule = nullptr;
+        // the index as kFailed in stream order (the schedule keeps its
+        // buffers; `failed` gates the applier off it).
+        slot.schedule.set_solved(false);
         slot.small = SmallSchedule{};
         slot.failed = true;
       }
-      while (!ring.try_push(std::move(slot))) {
+      while (!ring.try_push(slot)) {
         if (stop.load(std::memory_order_acquire) ||
             cancelled_.load(std::memory_order_acquire)) {
           flush_counts();
@@ -483,12 +489,14 @@ StreamEngine::Result StreamEngine::run_pipelined(std::span<const Permutation> pe
   bool all_ok = true;
   std::size_t applied = 0;
   bool cancelled_hit = false;
+  // Reused across pops: try_pop swaps the previously-applied slot (shaped
+  // buffers and all) back into the ring for the solver to recycle.
+  StreamSlot slot;
   while (applied < perms.size()) {
     if (cancelled_.load(std::memory_order_acquire)) {
       cancelled_hit = true;
       break;
     }
-    StreamSlot slot;
     if (!ring.try_pop(slot)) {
       if (stop.load(std::memory_order_acquire)) break;
       if (stalled_now()) {
@@ -512,7 +520,7 @@ StreamEngine::Result StreamEngine::run_pipelined(std::span<const Permutation> pe
       const CompiledBnb::Output out =
           slot.small.solved()
               ? plan_.apply_small(slot.small, perms[slot.index], scratch)
-              : plan_.apply(*slot.schedule, perms[slot.index], scratch);
+              : plan_.apply(slot.schedule, perms[slot.index], scratch);
       all_ok &= out.self_routed;
       std::copy(out.dest.begin(), out.dest.end(), result.dest.begin() + slot.index * n);
     } catch (...) {

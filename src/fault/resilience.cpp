@@ -193,20 +193,17 @@ bool ResilientRouter::route_fast(const Permutation& pi, ResilientReport& report)
   bool replay = false;
   CompiledBnb::Output out{};
   SmallSchedule small_sched;
-  std::shared_ptr<const ControlSchedule> sched;
   if (plan.small_capable()) {
     replay = cache_->find_small(digest, small_sched);
     if (!replay) small_sched = plan.compile_small(pi, scratch_);
     out = plan.apply_small(small_sched, pi, scratch_);
   } else {
-    sched = cache_->find(digest);
-    replay = sched != nullptr;
-    if (!replay) {
-      auto fresh = std::make_shared<ControlSchedule>();
-      plan.solve(pi, scratch_, *fresh);
-      sched = std::move(fresh);
-    }
-    out = plan.apply(*sched, pi, scratch_);
+    // Copy-out into the scratch-owned schedule slot: allocation-free once
+    // the scratch is warmed on this plan's shape.
+    ControlSchedule& sched = scratch_.schedule_slot();
+    replay = cache_->find(digest, sched);
+    if (!replay) plan.solve(pi, scratch_, sched);
+    out = plan.apply(sched, pi, scratch_);
   }
   {
     BNB_OBS_SPAN(audit_span, obs::Phase::kAudit);
@@ -229,7 +226,7 @@ bool ResilientRouter::route_fast(const Permutation& pi, ResilientReport& report)
     if (plan.small_capable()) {
       cache_->insert_small(digest, small_sched);
     } else {
-      cache_->insert(digest, sched);
+      cache_->insert(digest, scratch_.schedule_slot());
     }
   }
   report.dest.assign(out.dest.begin(), out.dest.end());

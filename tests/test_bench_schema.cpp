@@ -1,5 +1,5 @@
 // BENCH_routing.json is the repo's recorded perf baseline; docs/PERF.md
-// documents its schema (bnb.bench_routing.v5).  This test parses the
+// documents its schema (bnb.bench_routing.v6).  This test parses the
 // checked-in file with a minimal JSON reader and validates the schema, so
 // a bench_engine change that drifts the emitted shape fails CI instead of
 // silently invalidating the regression baseline.
@@ -222,7 +222,7 @@ TEST(BenchRoutingJson, MatchesTheDocumentedSchema) {
 
   // Header.
   ASSERT_TRUE(field(top, "schema").is_string());
-  EXPECT_EQ(field(top, "schema").str(), "bnb.bench_routing.v5");
+  EXPECT_EQ(field(top, "schema").str(), "bnb.bench_routing.v6");
   ASSERT_TRUE(field(top, "generated_by").is_string());
   ASSERT_TRUE(field(top, "hardware_threads").is_number());
   const double hardware_threads = field(top, "hardware_threads").num();
@@ -353,7 +353,8 @@ TEST(BenchRoutingJson, MatchesTheDocumentedSchema) {
   const JsonObject& cache = field(top, "cache").object();
   for (const char* key : {"m", "capacity", "pool", "cold_ns_per_perm",
                           "warm_ns_per_perm", "warm_speedup", "hits", "misses",
-                          "evictions", "bypasses"}) {
+                          "evictions", "bypasses", "contended_m",
+                          "probe_len_avg", "probe_len_max_bucket"}) {
     ASSERT_TRUE(field(cache, key).is_number()) << key;
   }
   const double cold_ns = field(cache, "cold_ns_per_perm").num();
@@ -370,6 +371,54 @@ TEST(BenchRoutingJson, MatchesTheDocumentedSchema) {
       << "the recorded warm run is hit-dominated by construction";
   EXPECT_EQ(field(cache, "bypasses").num(), 0.0)
       << "no fault/trace traffic in the recorded run";
+
+  // cache.contended (v6): warm-hit latency of the seqlock flat store vs the
+  // reconstructed PR4 mutex+LRU baseline under 1/2/4/8 reader threads.  The
+  // flat store must win single-threaded (>= 1.05x: no mutex, no shared_ptr
+  // copy, no LRU splice) and by >= 2x wherever the host genuinely runs 4+
+  // readers in parallel — oversubscribed rows time time-slicing, not
+  // contention, so the 2x bar only applies to real-parallel rows.
+  EXPECT_GE(field(cache, "probe_len_avg").num(), 1.0)
+      << "every lookup probes at least one slot";
+  EXPECT_GE(field(cache, "probe_len_max_bucket").num(),
+            field(cache, "probe_len_avg").num());
+  ASSERT_TRUE(field(cache, "contended").is_array());
+  const JsonArray& contended = field(cache, "contended").array();
+  ASSERT_GE(contended.size(), 2U)
+      << "contended section must hold a thread-scaling curve";
+  double prev_cont_threads = 0;
+  for (const auto& row_value : contended) {
+    ASSERT_TRUE(row_value->is_object());
+    const JsonObject& row = row_value->object();
+    for (const char* key : {"threads", "old_hit_ns", "new_hit_ns", "speedup"}) {
+      ASSERT_TRUE(field(row, key).is_number()) << key;
+    }
+    ASSERT_TRUE(field(row, "oversubscribed").is_bool());
+    const double threads = field(row, "threads").num();
+    EXPECT_GT(threads, prev_cont_threads) << "thread counts must increase";
+    prev_cont_threads = threads;
+    if (!field(row, "oversubscribed").boolean()) {
+      EXPECT_LE(threads, hardware_threads)
+          << "a non-oversubscribed row cannot exceed the host's cores";
+    }
+    const double old_ns = field(row, "old_hit_ns").num();
+    const double new_ns = field(row, "new_hit_ns").num();
+    const double speedup = field(row, "speedup").num();
+    EXPECT_GT(old_ns, 0.0);
+    EXPECT_GT(new_ns, 0.0);
+    EXPECT_NEAR(speedup, old_ns / new_ns, old_ns / new_ns * 0.01)
+        << "speedup inconsistent at threads=" << threads;
+    if (threads == 1.0) {
+      EXPECT_GE(speedup, 1.05)
+          << "acceptance bar: the seqlock flat store must beat the mutex+LRU "
+             "baseline even uncontended";
+    }
+    if (threads >= 4.0 && !field(row, "oversubscribed").boolean()) {
+      EXPECT_GE(speedup, 2.0)
+          << "acceptance bar: lock-free readers must beat the mutex >= 2x "
+             "under real 4+-thread contention";
+    }
+  }
 
   // small (v5): the register-resident small-N lane.  One row per m in
   // 4..6, each comparing the pre-lane warm path (general-lane find +

@@ -365,9 +365,9 @@ TEST(ResilientRouter, QuarantineInvalidatesPoisonedDigest) {
     if (plan.small_capable()) {
       cache.insert_small(digest, plan.compile_small(other, scratch));
     } else {
-      auto poisoned = std::make_shared<ControlSchedule>();
-      plan.solve(other, scratch, *poisoned);
-      cache.insert(digest, std::move(poisoned));
+      ControlSchedule poisoned;
+      plan.solve(other, scratch, poisoned);
+      cache.insert(digest, poisoned);
     }
     ASSERT_EQ(cache.stats().entries, 1U);
 

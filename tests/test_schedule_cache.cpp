@@ -3,9 +3,11 @@
 // kernel tier this host supports — schedules are tier-invariant, so one
 // cache may even serve plans pinned to different tiers), fault overlays
 // and ControlTrace capture must BYPASS the cache (fault semantics are
-// never served from, or recorded into, it), LRU eviction must be
-// deterministic with one shard, and one cache must stay coherent under
-// concurrent mixed hit/miss traffic.
+// never served from, or recorded into, it), clock/second-chance eviction
+// must spare recently-hit entries, warm hits in BOTH lanes must be
+// allocation-free, and one cache must stay coherent under concurrent
+// mixed hit/miss traffic and under invalidate() racing a reader storm
+// (the seqlock proof, run under the tsan preset).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -28,18 +30,6 @@ namespace {
 
 using namespace bnb;
 using kernels::KernelSet;
-
-void expect_same_output(const CompiledBnb::Output& got, const CompiledBnb::Output& want,
-                        std::size_t n, const char* label) {
-  ASSERT_EQ(got.self_routed, want.self_routed) << label;
-  for (std::size_t line = 0; line < n; ++line) {
-    ASSERT_EQ(got.dest[line], want.dest[line]) << label << " dest[" << line << "]";
-    ASSERT_EQ(got.outputs[line].address, want.outputs[line].address)
-        << label << " address at line " << line;
-    ASSERT_EQ(got.outputs[line].payload, want.outputs[line].payload)
-        << label << " payload at line " << line;
-  }
-}
 
 /// Route `pi` cold, then twice through the cache (miss-fill, then hit) on
 /// every supported tier, demanding bit-identical output each time.  The
@@ -213,9 +203,15 @@ TEST(ScheduleCache, TraceRoutesBypassTheCache) {
   EXPECT_EQ(cache.stats().bypasses, 2U);
 }
 
-// ---- LRU / sharding ----------------------------------------------------
+// ---- clock eviction ----------------------------------------------------
 
-TEST(ScheduleCache, SingleShardLruEvictsOldestAndKeepsTouched) {
+TEST(ScheduleCache, ClockEvictionSparesTouchedEntriesAndEvictsOneUntouched) {
+  // Second-chance semantics: a hit sets an entry's reference bit, and the
+  // eviction sweep skips referenced entries (clearing the bit) before
+  // reclaiming the first unreferenced one.  Unlike strict LRU the victim's
+  // identity depends on table layout, so the contract pinned here is the
+  // one callers can rely on: the touched entry survives, exactly one
+  // untouched entry is reclaimed.
   Rng rng(0xCAC4E05);
   const unsigned m = 4;
   const CompiledBnb plan(m);
@@ -228,19 +224,24 @@ TEST(ScheduleCache, SingleShardLruEvictsOldestAndKeepsTouched) {
   ASSERT_EQ(cache.size(), 4U);
   ASSERT_EQ(cache.stats().evictions, 0U);
 
-  // Touch pool[0] so pool[1] is the LRU entry, then overflow with pool[4].
+  // Touch pool[0] (sets its reference bit), then overflow with pool[4].
   (void)cache.route(plan, pool[0], scratch);
   EXPECT_EQ(cache.stats().hits, 1U);
   (void)cache.route(plan, pool[4], scratch);
   EXPECT_EQ(cache.stats().evictions, 1U);
   EXPECT_EQ(cache.size(), 4U);
 
-  // pool[0] survived its touch; pool[1] was evicted and must miss again.
+  // The touched entry survived the sweep ...
   const auto before = cache.stats();
   (void)cache.route(plan, pool[0], scratch);
   EXPECT_EQ(cache.stats().hits, before.hits + 1);
-  (void)cache.route(plan, pool[1], scratch);
-  EXPECT_EQ(cache.stats().misses, before.misses + 1);
+  // ... and exactly one of the untouched entries was reclaimed.
+  SmallSchedule probe;
+  int missing = 0;
+  for (int i = 1; i <= 3; ++i) {
+    if (!cache.find_small(digest_permutation(pool[i]), probe)) ++missing;
+  }
+  EXPECT_EQ(missing, 1) << "exactly one untouched entry must have been evicted";
 }
 
 TEST(ScheduleCache, ClearDropsEntriesAndKeepsCounters) {
@@ -341,18 +342,20 @@ TEST(ScheduleCache, SmallLaneFindInsertRoundTripAndCrossLaneMiss) {
   }
 
   // General-lane lookup of a small-lane entry: a miss, not a crash.
-  EXPECT_EQ(cache.find(da), nullptr);
+  ControlSchedule fetched;
+  EXPECT_FALSE(cache.find(da, fetched));
   EXPECT_EQ(cache.stats().misses, 2U);
 
   // And the mirror image: a general-lane entry misses the small lane.
   const Permutation b = random_perm(16, rng);
   const PermutationDigest db = digest_permutation(b);
-  auto schedule = std::make_shared<ControlSchedule>();
-  plan.solve(b, scratch, *schedule);
+  ControlSchedule schedule;
+  plan.solve(b, scratch, schedule);
   cache.insert(db, schedule);
   EXPECT_FALSE(cache.find_small(db, out));
   EXPECT_EQ(cache.stats().misses, 3U);
-  EXPECT_NE(cache.find(db), nullptr);
+  EXPECT_TRUE(cache.find(db, fetched));
+  EXPECT_TRUE(fetched.solved());
 }
 
 TEST(ScheduleCache, SmallLaneRouteCountsHitsMissesAndEvictions) {
@@ -466,6 +469,193 @@ TEST(ScheduleCache, SmallLaneFaultAndTraceRoutesBypassAndNeverInsert) {
   }
 }
 
+// ---- general lane: zero-alloc warm path ---------------------------------
+
+TEST(ScheduleCache, GeneralLaneWarmHitsAllocateNothing) {
+  // The flat-table promise: a warm general-lane route is probe + seqlock
+  // validate + zero-copy replay straight from the slot's buffer — no
+  // shared_ptr, no copies, no heap traffic at all.
+  Rng rng(0xCAC4E0D);
+  const unsigned m = 7;  // smallest general-lane size
+  const CompiledBnb plan(m);
+  ASSERT_FALSE(plan.small_capable());
+  RouteScratch scratch;
+  scratch.prepare(plan);
+  ScheduleCache cache(16, /*shards=*/1);
+
+  std::vector<Permutation> perms;
+  for (int i = 0; i < 4; ++i) perms.push_back(random_perm(plan.inputs(), rng));
+  std::vector<PermutationDigest> digests;
+  for (const auto& pi : perms) digests.push_back(digest_permutation(pi));
+  for (const auto& pi : perms) (void)cache.route(plan, pi, scratch);  // fill
+
+  const auto before = cache.stats();
+  testhook::reset_allocation_count();
+  for (int round = 0; round < 8; ++round) {
+    for (const auto& pi : perms) {
+      const auto out = cache.route(plan, pi, scratch);
+      ASSERT_TRUE(out.self_routed);
+    }
+  }
+  EXPECT_EQ(testhook::allocation_count(), 0U)
+      << "warm general-lane route() hits must not touch the heap";
+  const auto mid = cache.stats();
+  EXPECT_EQ(mid.hits, before.hits + 8 * perms.size());
+  EXPECT_EQ(mid.misses, before.misses);
+
+  // The explicit replay() entry point is equally clean ...
+  testhook::reset_allocation_count();
+  for (std::size_t i = 0; i < perms.size(); ++i) {
+    CompiledBnb::Output out{};
+    ASSERT_TRUE(cache.replay(plan, digests[i], perms[i], scratch, out));
+    ASSERT_TRUE(out.self_routed);
+  }
+  EXPECT_EQ(testhook::allocation_count(), 0U)
+      << "replay() hits must not touch the heap";
+
+  // ... and find()'s copy-out is allocation-free once the destination has
+  // been shaped by a first fetch.
+  ControlSchedule fetched;
+  ASSERT_TRUE(cache.find(digests[0], fetched));  // shapes `fetched` (may alloc)
+  testhook::reset_allocation_count();
+  for (std::size_t i = 0; i < perms.size(); ++i) {
+    ASSERT_TRUE(cache.find(digests[i], fetched));
+  }
+  EXPECT_EQ(testhook::allocation_count(), 0U)
+      << "same-shape find() copy-outs must reuse the destination's buffers";
+}
+
+// ---- general lane: fault / trace bypass ---------------------------------
+
+TEST(ScheduleCache, GeneralLaneFaultAndTraceRoutesBypassBothLanes) {
+  // Mirror of the small-lane bypass pin at general-lane size: a fault or
+  // trace route at m = 7 must bypass the flat table entirely — no probe
+  // hit, no insert — even when the digest is already resident.
+  Rng rng(0xCAC4E0E);
+  const unsigned m = 7;
+  const std::size_t n = std::size_t{1} << m;
+  const CompiledBnb plan(m);
+  ASSERT_FALSE(plan.small_capable());
+  RouteScratch scratch;
+  ScheduleCache cache(16, /*shards=*/1);
+  const Permutation pi = random_perm(n, rng);
+  const PermutationDigest digest = digest_permutation(pi);
+
+  FaultModel model(m);
+  model.add({FaultKind::kLinkFlip, {0, 0, 0, 0}, false, 0, 0});
+  const EngineFaults overlay = compile_engine_faults(model);
+  ASSERT_FALSE(overlay.empty());
+
+  // Cold fault and trace routes: bypass, nothing cached.
+  (void)cache.route(plan, pi, scratch, nullptr, &overlay);
+  EXPECT_EQ(cache.stats().bypasses, 1U);
+  EXPECT_EQ(cache.stats().entries, 0U);
+  ControlTrace trace;
+  (void)cache.route(plan, pi, scratch, &trace);
+  EXPECT_EQ(cache.stats().bypasses, 2U);
+  EXPECT_EQ(cache.stats().entries, 0U);
+  ControlSchedule probe;
+  EXPECT_FALSE(cache.find(digest, probe))
+      << "a bypassed route must not have filled the general lane";
+
+  // Warm the entry, then demand fault/trace routes still bypass it.
+  (void)cache.route(plan, pi, scratch);
+  ASSERT_EQ(cache.stats().entries, 1U);
+  const auto faulty = cache.route(plan, pi, scratch, nullptr, &overlay);
+  EXPECT_EQ(cache.stats().bypasses, 3U);
+  (void)cache.route(plan, pi, scratch, &trace);
+  EXPECT_EQ(cache.stats().bypasses, 4U);
+  EXPECT_EQ(cache.stats().entries, 1U);
+
+  // Fault semantics must come from the fused engine, not the cached replay.
+  const auto want = plan.route(pi, scratch, nullptr, &overlay);
+  for (std::size_t line = 0; line < n; ++line) {
+    ASSERT_EQ(faulty.dest[line], want.dest[line])
+        << "fault semantics served from the general lane";
+  }
+}
+
+// ---- invalidate vs reader storm -----------------------------------------
+
+TEST(ScheduleCache, InvalidateDuringConcurrentReaderStormStaysCoherent) {
+  // The seqlock's hard case: a writer repeatedly quarantines and re-inserts
+  // hot digests while readers replay them lock-free.  Every reader delivery
+  // must be bit-identical to the cold reference — a torn read may only ever
+  // become a counted miss (re-solve), never a wrong route.  Run under the
+  // tsan preset this is the data-race proof for invalidate().
+  Rng rng(0xCAC4E0F);
+  const unsigned m = 7;
+  const std::size_t n = std::size_t{1} << m;
+  const CompiledBnb plan(m);
+  const std::size_t pool_size = 4;
+  std::vector<Permutation> pool;
+  std::vector<PermutationDigest> digests;
+  std::vector<std::vector<std::uint32_t>> want;
+  {
+    RouteScratch scratch;
+    for (std::size_t i = 0; i < pool_size; ++i) {
+      pool.push_back(random_perm(n, rng));
+      digests.push_back(digest_permutation(pool.back()));
+      const auto out = plan.route(pool.back(), scratch);
+      want.emplace_back(out.dest.begin(), out.dest.end());
+    }
+  }
+
+  ScheduleCache cache(16, /*shards=*/1);
+  {
+    RouteScratch scratch;
+    for (const auto& pi : pool) (void)cache.route(plan, pi, scratch);
+  }
+
+  constexpr int kReaders = 3;
+  constexpr int kReaderIters = 300;
+  constexpr int kWriterIters = 200;
+  std::vector<int> mismatches(kReaders, 0);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kReaders; ++t) {
+    workers.emplace_back([&, t] {
+      RouteScratch scratch;
+      for (int i = 0; i < kReaderIters; ++i) {
+        const std::size_t idx = (static_cast<std::size_t>(t) + i) % pool_size;
+        const auto out = cache.route(plan, pool[idx], scratch);
+        for (std::size_t j = 0; j < n; ++j) {
+          if (out.dest[j] != want[idx][j]) {
+            ++mismatches[t];
+            break;
+          }
+        }
+      }
+    });
+  }
+  workers.emplace_back([&] {
+    // The storm: quarantine a hot digest, then re-solve it back in, so
+    // readers race slot teardown AND slot rewrite in every combination.
+    RouteScratch scratch;
+    for (int i = 0; i < kWriterIters; ++i) {
+      const std::size_t idx = static_cast<std::size_t>(i) % pool_size;
+      (void)cache.invalidate(digests[idx]);
+      (void)cache.route(plan, pool[idx], scratch);
+    }
+  });
+  for (auto& w : workers) w.join();
+
+  for (int t = 0; t < kReaders; ++t) EXPECT_EQ(mismatches[t], 0) << "reader " << t;
+  const auto stats = cache.stats();
+  EXPECT_GT(stats.quarantined, 0U);
+  // Writer re-inserts everything it quarantined, so the survivors must all
+  // still replay correctly single-threaded.
+  {
+    RouteScratch scratch;
+    for (std::size_t i = 0; i < pool_size; ++i) {
+      const auto out = cache.route(plan, pool[i], scratch);
+      for (std::size_t j = 0; j < n; ++j) {
+        ASSERT_EQ(out.dest[j], want[i][j]) << "post-storm replay diverged";
+      }
+    }
+  }
+  EXPECT_LE(cache.size(), cache.capacity());
+}
+
 // ---- quarantine ---------------------------------------------------------
 
 TEST(ScheduleCache, InvalidateDropsEitherLaneAndCountsQuarantine) {
@@ -481,9 +671,9 @@ TEST(ScheduleCache, InvalidateDropsEitherLaneAndCountsQuarantine) {
   cache.insert_small(da, small_plan.compile_small(a, scratch));
   const Permutation b = random_perm(128, rng);
   const PermutationDigest db = digest_permutation(b);
-  auto schedule = std::make_shared<ControlSchedule>();
+  ControlSchedule schedule;
   RouteScratch general_scratch;
-  general_plan.solve(b, general_scratch, *schedule);
+  general_plan.solve(b, general_scratch, schedule);
   cache.insert(db, schedule);
   ASSERT_EQ(cache.stats().entries, 2U);
 
@@ -498,7 +688,8 @@ TEST(ScheduleCache, InvalidateDropsEitherLaneAndCountsQuarantine) {
   EXPECT_TRUE(cache.invalidate(db));
   EXPECT_EQ(cache.stats().quarantined, 2U);
   EXPECT_EQ(cache.stats().entries, 0U);
-  EXPECT_EQ(cache.find(db), nullptr);
+  ControlSchedule gone;
+  EXPECT_FALSE(cache.find(db, gone));
 
   // Quarantining an absent digest is a counted no-op on every counter.
   const auto before = cache.stats();

@@ -1,0 +1,270 @@
+// bnb.schedstore.v1 persistence: save → load must replay bit-identically
+// in BOTH lanes across every kernel tier this host supports (the format's
+// kernel-invariance promise, with apply8 re-bound from the loading
+// process's dispatch), a store the build cannot read — missing, truncated,
+// wrong magic, unsupported version, header or record CRC damage — must
+// throw schedule_store_error from load() with nothing inserted, and
+// warm_start() must serve mmap-backed hits that promote into the table
+// while per-record corruption degrades to a counted miss, never a wrong
+// route.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/crc32.hpp"
+#include "common/rng.hpp"
+#include "core/compiled_bnb.hpp"
+#include "core/kernels/kernel_set.hpp"
+#include "core/schedule_cache.hpp"
+#include "core/schedule_store.hpp"
+#include "perm/generators.hpp"
+
+namespace {
+
+using namespace bnb;
+using kernels::KernelSet;
+
+std::vector<unsigned char> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<unsigned char>(std::istreambuf_iterator<char>(in),
+                                    std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::vector<unsigned char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string temp_path(const char* name) { return testing::TempDir() + name; }
+
+/// One general-lane (m=7) and one small-lane (m=5) permutation with their
+/// cold-reference destinations, plus a saved store holding both schedules.
+struct Fixture {
+  Permutation general_pi{Permutation(identity_perm(128))};
+  Permutation small_pi{Permutation(identity_perm(32))};
+  std::vector<std::uint32_t> general_want;
+  std::vector<std::uint32_t> small_want;
+  std::string path;
+  std::size_t saved = 0;
+};
+
+Fixture make_saved_store(const char* filename, std::uint64_t seed) {
+  Fixture fx;
+  Rng rng(seed);
+  fx.general_pi = random_perm(128, rng);
+  fx.small_pi = random_perm(32, rng);
+  fx.path = temp_path(filename);
+
+  const CompiledBnb general_plan(7);
+  const CompiledBnb small_plan(5);
+  RouteScratch scratch;
+  ScheduleCache cache(16);
+  const auto g = cache.route(general_plan, fx.general_pi, scratch);
+  fx.general_want.assign(g.dest.begin(), g.dest.end());
+  const auto s = cache.route(small_plan, fx.small_pi, scratch);
+  fx.small_want.assign(s.dest.begin(), s.dest.end());
+  fx.saved = cache.save(fx.path);
+  EXPECT_EQ(fx.saved, 2U);
+  EXPECT_EQ(cache.stats().store_saved, 2U);
+  return fx;
+}
+
+void expect_replays_bit_identical(ScheduleCache& cache, const Fixture& fx,
+                                  const KernelSet* set, const char* label) {
+  const CompiledBnb general_plan(7, set);
+  const CompiledBnb small_plan(5, set);
+  RouteScratch scratch;
+  const auto before = cache.stats();
+  const auto g = cache.route(general_plan, fx.general_pi, scratch);
+  for (std::size_t j = 0; j < fx.general_want.size(); ++j) {
+    ASSERT_EQ(g.dest[j], fx.general_want[j]) << label << " general dest[" << j << "]";
+  }
+  const auto s = cache.route(small_plan, fx.small_pi, scratch);
+  for (std::size_t j = 0; j < fx.small_want.size(); ++j) {
+    ASSERT_EQ(s.dest[j], fx.small_want[j]) << label << " small dest[" << j << "]";
+  }
+  const auto after = cache.stats();
+  EXPECT_EQ(after.hits, before.hits + 2)
+      << label << ": loaded schedules must replay as hits, not re-solves";
+  EXPECT_EQ(after.misses, before.misses) << label;
+}
+
+// ---- round trip ---------------------------------------------------------
+
+TEST(ScheduleStore, SaveLoadRoundTripBitIdenticalAcrossTiers) {
+  const Fixture fx = make_saved_store("roundtrip.bnbstore", 0x5702E01);
+
+  // One save, one load per tier: the stored bytes are tier-invariant, so a
+  // store written under the default dispatch must replay bit-identically
+  // on every tier, with the small lane's apply8 re-bound at load time.
+  for (const KernelSet* set : kernels::supported_kernel_sets()) {
+    ScheduleCache cache(16);
+    ASSERT_EQ(cache.load(fx.path), 2U) << set->name;
+    EXPECT_EQ(cache.size(), 2U) << set->name;
+    EXPECT_EQ(cache.stats().store_loaded, 2U) << set->name;
+    expect_replays_bit_identical(cache, fx, set, set->name);
+  }
+}
+
+TEST(ScheduleStore, SaveAnEmptyCacheAndLoadItBack) {
+  const std::string path = temp_path("empty.bnbstore");
+  ScheduleCache cache(8);
+  EXPECT_EQ(cache.save(path), 0U);
+  ScheduleCache fresh(8);
+  EXPECT_EQ(fresh.load(path), 0U);
+  EXPECT_EQ(fresh.size(), 0U);
+}
+
+// ---- refusal diagnostics ------------------------------------------------
+
+TEST(ScheduleStore, LoadMissingFileThrows) {
+  ScheduleCache cache(8);
+  EXPECT_THROW((void)cache.load(temp_path("no-such-file.bnbstore")),
+               schedule_store_error);
+}
+
+TEST(ScheduleStore, LoadRejectsForeignAndDamagedHeaders) {
+  const Fixture fx = make_saved_store("headers.bnbstore", 0x5702E02);
+  const std::vector<unsigned char> good = read_file(fx.path);
+  ASSERT_GE(good.size(), 64U);
+
+  // Not a store at all (bad magic).
+  const std::string bad_magic = temp_path("bad-magic.bnbstore");
+  write_file(bad_magic, {'n', 'o', 't', ' ', 'a', ' ', 's', 't', 'o', 'r', 'e'});
+  ScheduleCache cache(8);
+  EXPECT_THROW((void)cache.load(bad_magic), schedule_store_error);
+
+  // Truncated mid-header.
+  const std::string truncated = temp_path("truncated.bnbstore");
+  write_file(truncated, std::vector<unsigned char>(good.begin(), good.begin() + 16));
+  EXPECT_THROW((void)cache.load(truncated), schedule_store_error);
+
+  // A future version with a correct CRC: refused as unsupported, so the
+  // version check (not the CRC) is what fires.
+  std::vector<unsigned char> v2 = good;
+  const std::uint32_t version = 2;
+  std::memcpy(v2.data() + 8, &version, 4);
+  const std::uint32_t crc = crc32(v2.data(), 28);
+  std::memcpy(v2.data() + 28, &crc, 4);
+  const std::string v2_path = temp_path("v2.bnbstore");
+  write_file(v2_path, v2);
+  try {
+    (void)cache.load(v2_path);
+    FAIL() << "version 2 must be refused";
+  } catch (const schedule_store_error& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported version 2"), std::string::npos)
+        << e.what();
+  }
+
+  // Header bytes damaged without fixing the CRC.
+  std::vector<unsigned char> damaged = good;
+  damaged[24] ^= 0xFF;  // reserved field, covered by the header CRC
+  const std::string damaged_path = temp_path("damaged-header.bnbstore");
+  write_file(damaged_path, damaged);
+  EXPECT_THROW((void)cache.load(damaged_path), schedule_store_error);
+
+  // Nothing was inserted by any refused load.
+  EXPECT_EQ(cache.size(), 0U);
+}
+
+TEST(ScheduleStore, LoadRejectsRecordCrcDamageAtomically) {
+  const Fixture fx = make_saved_store("record-crc.bnbstore", 0x5702E03);
+  std::vector<unsigned char> bytes = read_file(fx.path);
+  ASSERT_GT(bytes.size(), 65U);
+  bytes[64] ^= 0x01;  // first payload byte of record 0
+  const std::string path = temp_path("record-crc-damaged.bnbstore");
+  write_file(path, bytes);
+
+  ScheduleCache cache(8);
+  try {
+    (void)cache.load(path);
+    FAIL() << "payload damage must be refused";
+  } catch (const schedule_store_error& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC mismatch"), std::string::npos)
+        << e.what();
+  }
+  // load() validates everything before touching the table: the intact
+  // record 1 must NOT have been inserted either.
+  EXPECT_EQ(cache.size(), 0U);
+  EXPECT_EQ(cache.stats().store_loaded, 0U);
+}
+
+// ---- warm start ---------------------------------------------------------
+
+TEST(ScheduleStore, WarmStartServesHitsAndPromotesIntoTheTable) {
+  const Fixture fx = make_saved_store("warm.bnbstore", 0x5702E04);
+
+  ScheduleCache cache(16);
+  ASSERT_EQ(cache.warm_start(fx.path), 2U);
+  EXPECT_TRUE(cache.has_warm_store());
+  EXPECT_EQ(cache.size(), 0U) << "warm_start is lazy: nothing promoted yet";
+
+  // First routes hit the mmap-backed store and promote into the table.
+  expect_replays_bit_identical(cache, fx, nullptr, "warm-start");
+  EXPECT_EQ(cache.size(), 2U) << "warm hits must promote";
+  EXPECT_GE(cache.stats().store_loaded, 2U);
+
+  // Second routes hit the flat table directly.
+  expect_replays_bit_identical(cache, fx, nullptr, "post-promotion");
+}
+
+TEST(ScheduleStore, WarmStartRecordCorruptionDegradesToAMiss) {
+  const Fixture fx = make_saved_store("warm-corrupt.bnbstore", 0x5702E05);
+  std::vector<unsigned char> bytes = read_file(fx.path);
+  ASSERT_GT(bytes.size(), 65U);
+  bytes[64] ^= 0x01;  // damage record 0's payload; header stays valid
+  bytes[bytes.size() - 1] ^= 0x01;  // and the last record's tail
+  const std::string path = temp_path("warm-corrupt-damaged.bnbstore");
+  write_file(path, bytes);
+
+  ScheduleCache cache(16);
+  ASSERT_EQ(cache.warm_start(path), 2U)
+      << "record CRCs are lazy for warm_start; the header is intact";
+
+  // Both lookups fail verify(), fall through to a counted miss, re-solve,
+  // and still deliver the correct routes.
+  const CompiledBnb general_plan(7);
+  const CompiledBnb small_plan(5);
+  RouteScratch scratch;
+  const auto g = cache.route(general_plan, fx.general_pi, scratch);
+  for (std::size_t j = 0; j < fx.general_want.size(); ++j) {
+    ASSERT_EQ(g.dest[j], fx.general_want[j]) << "corrupt warm record changed a route";
+  }
+  const auto s = cache.route(small_plan, fx.small_pi, scratch);
+  for (std::size_t j = 0; j < fx.small_want.size(); ++j) {
+    ASSERT_EQ(s.dest[j], fx.small_want[j]) << "corrupt warm record changed a route";
+  }
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0U);
+  EXPECT_EQ(stats.misses, 2U) << "corruption must degrade to counted misses";
+  EXPECT_EQ(cache.size(), 2U) << "the re-solves repopulate the table";
+}
+
+TEST(ScheduleStore, WarmStoreLookupAndVerifyDirectly) {
+  const Fixture fx = make_saved_store("direct.bnbstore", 0x5702E06);
+  const WarmStore store(fx.path);
+  ASSERT_EQ(store.records(), 2U);
+
+  const PermutationDigest dg = digest_permutation(fx.general_pi);
+  const WarmStore::Record* rg = store.lookup(dg);
+  ASSERT_NE(rg, nullptr);
+  EXPECT_EQ(rg->kind, WarmStore::kGeneralRecord);
+  EXPECT_EQ(rg->m, 7U);
+  EXPECT_TRUE(store.verify(*rg));
+
+  const PermutationDigest ds = digest_permutation(fx.small_pi);
+  const WarmStore::Record* rs = store.lookup(ds);
+  ASSERT_NE(rs, nullptr);
+  EXPECT_EQ(rs->kind, WarmStore::kSmallRecord);
+  EXPECT_EQ(rs->m, 5U);
+  EXPECT_TRUE(store.verify(*rs));
+
+  EXPECT_EQ(store.lookup(PermutationDigest{1, 2}), nullptr);
+}
+
+}  // namespace
