@@ -20,6 +20,7 @@
 
 #include "common/table.hpp"
 #include "fault/chaos.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -105,6 +106,31 @@ void run_scenarios(std::uint64_t seed) {
   table.print();
   std::puts("(every delivery independently re-checked; a FAILED verdict means a");
   std::puts(" silent misroute, a stall/hang, or a missing breaker cycle)");
+
+  // Tail-latency view across all campaigns: per-phase percentiles out of
+  // the global registry's phase histograms.  Empty in a BNB_OBS=OFF build
+  // (spans are compiled out, so the histograms never record).
+  TablePrinter latency({"phase latency", "samples", "p50 us", "p90 us", "p99 us"});
+  const bnb::obs::RegistrySnapshot snap =
+      bnb::obs::MetricsRegistry::global().snapshot();
+  bool any = false;
+  for (const char* name :
+       {"bnb_route_ns", "bnb_solve_ns", "bnb_apply_ns", "bnb_small_apply_ns",
+        "bnb_audit_ns", "bnb_fallback_ns", "bnb_stream_queue_wait_ns"}) {
+    const auto* metric = snap.find(name);
+    if (metric == nullptr || metric->histogram.count == 0) continue;
+    const auto& h = metric->histogram;
+    latency.add_row({name, TablePrinter::num(h.count),
+                     TablePrinter::num(h.p50() / 1000.0, 1),
+                     TablePrinter::num(h.p90() / 1000.0, 1),
+                     TablePrinter::num(h.p99() / 1000.0, 1)});
+    any = true;
+  }
+  if (any) {
+    std::puts("");
+    latency.print();
+    std::puts("(bucketed estimates from the per-phase histograms, all scenarios pooled)");
+  }
 }
 
 }  // namespace

@@ -601,6 +601,7 @@ int main(int argc, char** argv) {
   // inside timing noise (small negative percentages are noise, not gain).
   const unsigned obs_m = 12;
   std::vector<ObsRow> obs_rows;
+  std::vector<ObsRow> tracing_rows;  // traced (sink installed) vs untraced
   {
     const bnb::CompiledBnb plan(obs_m);
     bnb::RouteScratch scratch;
@@ -641,6 +642,41 @@ int main(int argc, char** argv) {
       const auto r = plan.apply(applied, pool[0], scratch);
       if (!r.self_routed) std::exit(1);
     });
+
+    // Tracing overhead (v7): the same phase work with a SpanTrace sink
+    // installed vs without, spans runtime-enabled on both sides.  The
+    // traced side pays the full causal-tracing path per span: a trace-id
+    // allocation in the root scope, the TLS context read, and six relaxed
+    // stores into the ring.  Same <3% acceptance bar as the enablement
+    // rows (test_bench_schema enforces it on route, solve, and apply).
+    bnb::obs::set_enabled(true);
+    bnb::obs::SpanTrace sink(65536);
+    const auto measure_tracing = [&](const char* phase, auto&& fn) {
+      double untraced_ns = 0;
+      double traced_ns = 0;
+      for (int rep = 0; rep < 9; ++rep) {
+        bnb::obs::set_trace(nullptr);
+        const double off = ns_per_call(fn, budget / 8);
+        bnb::obs::set_trace(&sink);
+        const double on = ns_per_call(fn, budget / 8);
+        bnb::obs::set_trace(nullptr);
+        untraced_ns = rep == 0 ? off : std::min(untraced_ns, off);
+        traced_ns = rep == 0 ? on : std::min(traced_ns, on);
+      }
+      tracing_rows.push_back({phase, traced_ns, untraced_ns});
+      std::printf("obs m=%u %-6s traced  %9.0f ns  untraced %9.0f ns  overhead %+6.2f%%\n",
+                  obs_m, phase, traced_ns, untraced_ns,
+                  (traced_ns - untraced_ns) / untraced_ns * 100.0);
+    };
+    measure_tracing("route", [&] {
+      const auto r = plan.route(pool[i_route++ & 7], scratch);
+      if (!r.self_routed) std::exit(1);
+    });
+    measure_tracing("solve", [&] { plan.solve(pool[i_solve++ & 7], scratch, solve_out); });
+    measure_tracing("apply", [&] {
+      const auto r = plan.apply(applied, pool[0], scratch);
+      if (!r.self_routed) std::exit(1);
+    });
   }
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
@@ -648,7 +684,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"schema\": \"bnb.bench_routing.v6\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"bnb.bench_routing.v7\",\n");
   std::fprintf(f, "  \"generated_by\": \"bench_engine\",\n");
   // Batch scaling is bounded by the host: on a 1-core container the
   // thread rows stay flat regardless of the pool implementation.
@@ -776,6 +812,19 @@ int main(int argc, char** argv) {
                  row.phase, row.enabled_ns, row.disabled_ns,
                  (row.enabled_ns - row.disabled_ns) / row.disabled_ns * 100.0,
                  i + 1 < obs_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "    ],\n");
+  // tracing (v7): same phases with a SpanTrace sink installed vs not,
+  // runtime-enabled on both sides — the marginal cost of causal tracing.
+  std::fprintf(f, "    \"tracing\": [\n");
+  for (std::size_t i = 0; i < tracing_rows.size(); ++i) {
+    const auto& row = tracing_rows[i];
+    std::fprintf(f,
+                 "      {\"phase\": \"%s\", \"traced_ns_per_call\": %.1f, "
+                 "\"untraced_ns_per_call\": %.1f, \"overhead_pct\": %.3f}%s\n",
+                 row.phase, row.enabled_ns, row.disabled_ns,
+                 (row.enabled_ns - row.disabled_ns) / row.disabled_ns * 100.0,
+                 i + 1 < tracing_rows.size() ? "," : "");
   }
   std::fprintf(f, "    ]\n  }\n}\n");
   std::fclose(f);

@@ -46,6 +46,17 @@
 //                             # global MetricsRegistry (counters, gauges,
 //                             # per-phase latency histograms) after the run;
 //                             # bare --metrics means Prometheus text
+//   route_cli --stream --batch 50 --threads 2 --trace-out=trace.json 4096
+//                             # any mode + --trace-out=FILE installs a span
+//                             # sink for the run and exports it as Chrome
+//                             # trace-event JSON (open in Perfetto / DevTools);
+//                             # per-route trace ids link each solve to its
+//                             # queue-wait and apply across threads
+//   route_cli --chaos --rounds 2000 --timeseries-out=ts.json 16
+//                             # any mode + --timeseries-out=FILE samples the
+//                             # metrics registry on an interval and exports a
+//                             # bnb.timeseries.v1 telemetry timeline (counter
+//                             # rates, per-interval histogram percentiles)
 //
 // --inject SPECs: random:K, stuck0|stuck1|flag0|flag1:i.j.s.e,
 //                 dead:i.j.s.e.in.out, flip:i.j.s.line  (see docs/FAULTS.md)
@@ -56,6 +67,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -78,6 +90,8 @@
 #include "fault/robust_router.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/span.hpp"
 #include "perm/generators.hpp"
 
 namespace {
@@ -89,7 +103,8 @@ int usage(const char* argv0) {
                "[--repeat K [--cache-load PATH] [--cache-save PATH]] "
                "[--inject SPEC [--rounds R] [--seed S]] "
                "[--chaos [--rounds R] [--seed S] [--threads T]] "
-               "[--metrics[=json|prom]] [image... | N]\n",
+               "[--metrics[=json|prom]] [--trace-out=FILE] "
+               "[--timeseries-out=FILE] [image... | N]\n",
                argv0);
   return 2;
 }
@@ -101,6 +116,30 @@ void dump_metrics(const std::string& format) {
       format == "json" ? bnb::obs::to_json(snap) : bnb::obs::to_prometheus(snap);
   std::fputs(text.c_str(), stdout);
   if (!text.empty() && text.back() != '\n') std::fputc('\n', stdout);
+}
+
+// Write `text` to `path`, truncating.  Returns false on any I/O failure.
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return (std::fclose(f) == 0) && wrote;
+}
+
+// Per-phase latency percentiles from the global registry.  Phases that
+// never fired (count 0 — always the case under BNB_OBS=OFF) print
+// nothing, so the output only carries lines the run actually earned.
+void print_latency_percentiles(std::initializer_list<const char*> names) {
+  const auto snap = bnb::obs::MetricsRegistry::global().snapshot();
+  for (const char* name : names) {
+    const auto* metric = snap.find(name);
+    if (metric == nullptr || metric->histogram.count == 0) continue;
+    const auto& h = metric->histogram;
+    std::printf(
+        "latency: %s p50=%.1fus p90=%.1fus p99=%.1fus (%llu samples)\n", name,
+        h.p50() / 1000.0, h.p90() / 1000.0, h.p99() / 1000.0,
+        static_cast<unsigned long long>(h.count));
+  }
 }
 
 // Current value of the small-lane route counter (0 before any small-N
@@ -269,7 +308,7 @@ int run_inject(const std::string& spec, std::uint64_t seed, std::size_t rounds,
 // router-side route count; the forced trip/recover phase and the stream
 // driver add their own traffic on top.
 int run_chaos(std::uint64_t seed, std::size_t rounds, unsigned threads,
-              std::size_t n) {
+              std::size_t n, const std::string& timeseries_out) {
   if (!bnb::is_power_of_two(n) || n < 2 || n > (std::size_t{1} << 10)) {
     std::fputs("--chaos needs N a power of two in [2, 1024]\n", stderr);
     return 2;
@@ -283,6 +322,9 @@ int run_chaos(std::uint64_t seed, std::size_t rounds, unsigned threads,
   config.seed = seed;
   config.router_routes = rounds;
   config.stream_threads = threads >= 2 ? 2 : 1;
+  // --timeseries-out: the campaign runs its own registry, so the sampler
+  // has to live inside it (fault/chaos.hpp wires one in when asked).
+  if (!timeseries_out.empty()) config.sample_interval_ms = 25;
   const bnb::ChaosReport report = bnb::run_chaos_campaign(config);
 
   std::printf("chaos: %zu-line fabric, seed %llu: %zu checked deliveries "
@@ -308,6 +350,17 @@ int run_chaos(std::uint64_t seed, std::size_t rounds, unsigned threads,
   std::printf("stream: %zu ok, %zu isolated failures, %zu shed, %zu stalls\n",
               report.stream_routes, report.stream_item_failures,
               report.stream_shed, report.stream_stalls);
+  print_latency_percentiles({"bnb_route_ns", "bnb_solve_ns", "bnb_apply_ns"});
+  if (!timeseries_out.empty()) {
+    if (!write_text_file(timeseries_out, report.timeseries_json)) {
+      std::fprintf(stderr, "cannot write %s\n", timeseries_out.c_str());
+      return 2;
+    }
+    std::printf("timeseries: %zu interval%s -> %s\n",
+                report.timeseries_intervals,
+                report.timeseries_intervals == 1 ? "" : "s",
+                timeseries_out.c_str());
+  }
   if (report.silent_misroutes != 0) {
     std::printf("RESULT: %zu SILENT MISROUTES — the resilience contract is "
                 "broken\n",
@@ -411,6 +464,9 @@ int run_stream(std::size_t count, unsigned threads, std::size_t repeat,
               counter_of("bnb_cache_bypasses_total"), cache.size());
   print_lane(small_route_total() - small_before,
              static_cast<std::uint64_t>(count) * repeat);
+  print_latency_percentiles(
+      {"bnb_solve_ns", "bnb_stream_queue_wait_ns", "bnb_apply_ns",
+       "bnb_small_apply_ns"});
   return all_ok ? 0 : 1;
 }
 
@@ -450,6 +506,8 @@ int run_repeat(const bnb::Permutation& pi, std::size_t repeat,
               static_cast<unsigned long long>(stats.evictions),
               static_cast<unsigned long long>(stats.bypasses));
   print_lane(small_route_total() - small_before, repeat);
+  print_latency_percentiles(
+      {"bnb_solve_ns", "bnb_apply_ns", "bnb_small_apply_ns"});
   if (!cache_save.empty()) {
     try {
       const std::size_t saved = cache.save(cache_save);
@@ -501,6 +559,8 @@ int main(int argc, char** argv) {
   std::string metrics_format = "prom";
   std::string cache_load;
   std::string cache_save;
+  std::string trace_out;
+  std::string timeseries_out;
   std::vector<bnb::Permutation::value_type> image;
 
   for (int a = 1; a < argc; ++a) {
@@ -515,6 +575,18 @@ int main(int argc, char** argv) {
       if (metrics_format != "json" && metrics_format != "prom") {
         std::fprintf(stderr, "--metrics wants json or prom, not '%s'\n",
                      metrics_format.c_str());
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      trace_out = arg + 12;
+      if (trace_out.empty()) {
+        std::fputs("--trace-out needs a file path\n", stderr);
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--timeseries-out=", 17) == 0) {
+      timeseries_out = arg + 17;
+      if (timeseries_out.empty()) {
+        std::fputs("--timeseries-out needs a file path\n", stderr);
         return 2;
       }
     } else if (std::strcmp(arg, "--trace") == 0) {
@@ -561,10 +633,49 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --trace-out: install the structured span sink before any traffic runs.
+  // Every span the run records lands in this ring; finish() exports it as
+  // Chrome trace-event JSON.  65536 slots hold the tail of even a large
+  // --batch; overflow is counted, not silent.
+  bnb::obs::SpanTrace span_trace(65536);
+  if (!trace_out.empty()) bnb::obs::set_trace(&span_trace);
+
+  // --timeseries-out outside --chaos samples the global registry on a
+  // short interval (chaos campaigns publish into their own registry, so
+  // run_chaos wires the sampler into the campaign instead).
+  bnb::obs::TelemetrySampler::Options sampler_options;
+  sampler_options.interval_ms = 25;
+  bnb::obs::TelemetrySampler sampler(sampler_options);
+  if (!timeseries_out.empty() && !chaos) sampler.start();
+
   // Modes below route real traffic; finish() appends the registry dump
-  // --metrics asked for once the selected mode has run.
+  // --metrics asked for and writes the telemetry files once the selected
+  // mode has run.
   const auto finish = [&](int code) {
     if (metrics) dump_metrics(metrics_format);
+    if (!trace_out.empty()) {
+      bnb::obs::set_trace(nullptr);
+      const std::vector<bnb::obs::SpanRecord> spans = span_trace.snapshot();
+      if (!write_text_file(trace_out, bnb::obs::trace_to_chrome(spans))) {
+        std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+        return 2;
+      }
+      std::printf("trace: %zu span%s (%llu dropped) -> %s\n", spans.size(),
+                  spans.size() == 1 ? "" : "s",
+                  static_cast<unsigned long long>(span_trace.dropped()),
+                  trace_out.c_str());
+    }
+    if (!timeseries_out.empty() && !chaos) {
+      sampler.stop();
+      if (!write_text_file(timeseries_out, sampler.to_json())) {
+        std::fprintf(stderr, "cannot write %s\n", timeseries_out.c_str());
+        return 2;
+      }
+      std::printf("timeseries: %zu interval%s -> %s\n",
+                  sampler.intervals().size(),
+                  sampler.intervals().size() == 1 ? "" : "s",
+                  timeseries_out.c_str());
+    }
     return code;
   };
 
@@ -593,13 +704,14 @@ int main(int argc, char** argv) {
 
   if (chaos) {
     // In chaos mode the single optional positional argument is N; the mode
-    // owns the whole run and composes with --metrics only.
+    // owns the whole run and composes only with --metrics and the
+    // telemetry outputs.
     if (!inject_spec.empty() || batch || repeat_given || trace ||
         image.size() > 1) {
       return usage(argv[0]);
     }
     return finish(run_chaos(seed, rounds_given ? rounds : 2000, threads,
-                            image.empty() ? 16 : image[0]));
+                            image.empty() ? 16 : image[0], timeseries_out));
   }
 
   if (!inject_spec.empty()) {

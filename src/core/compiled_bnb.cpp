@@ -15,6 +15,7 @@
 #include "core/schedule_cache.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/trace_context.hpp"
 
 namespace bnb {
 
@@ -510,6 +511,7 @@ CompiledBnb::Output CompiledBnb::route_impl(RouteScratch& s, ControlTrace* trace
 CompiledBnb::Output CompiledBnb::route(const Permutation& pi, RouteScratch& scratch,
                                        ControlTrace* trace,
                                        const EngineFaults* faults) const {
+  BNB_OBS_TRACE_ROOT(trace_scope);
   BNB_OBS_SPAN(obs_span, obs::Phase::kRoute);
   const std::size_t n = inputs();
   BNB_EXPECTS(pi.size() == n);
@@ -696,6 +698,7 @@ CompiledBnb::Output CompiledBnb::route_words(std::span<const Word> words,
                                              RouteScratch& scratch,
                                              ControlTrace* trace,
                                              const EngineFaults* faults) const {
+  BNB_OBS_TRACE_ROOT(trace_scope);
   BNB_OBS_SPAN(obs_span, obs::Phase::kRoute);
   const std::size_t n = inputs();
   BNB_EXPECTS(words.size() == n);
@@ -831,6 +834,9 @@ BatchResult CompiledBnb::route_batch(std::span<const Permutation> perms,
       if (!range) return;  // every queue drained
       for (std::size_t idx = range->first; idx < range->second; ++idx) {
         if (stop.load(std::memory_order_relaxed)) return;
+        // Each batch item is its own causal unit: a fresh trace id per
+        // permutation (the small lane's apply_small span inherits it too).
+        BNB_OBS_TRACE_ROOT(item_scope);
         try {
           // Per-item validation happens here, inside the worker, so a bad
           // permutation is reported with its batch index rather than tearing

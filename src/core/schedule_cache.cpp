@@ -5,6 +5,7 @@
 
 #include "common/expect.hpp"
 #include "core/schedule_store.hpp"
+#include "obs/span.hpp"
 
 namespace bnb {
 namespace {
@@ -211,6 +212,28 @@ bool ScheduleCache::replay(const CompiledBnb& plan, const PermutationDigest& dig
 }
 
 bool ScheduleCache::find(const PermutationDigest& digest, ControlSchedule& out) {
+#if BNB_OBS_COMPILED
+  // SINK-GATED lookup span: the warm hit is a sub-microsecond path and the
+  // contended-cache bench compares it across builds, so the probe is timed
+  // only while a structured trace sink is installed (someone is actively
+  // chasing a causal trace).  Steady-state metrics keep it untimed — same
+  // reasoning as apply_packed_lines staying span-free.
+  struct LookupTimer {
+    std::uint64_t t0 = 0;
+    bool armed = false;
+    LookupTimer() noexcept {
+      if (obs::trace() != nullptr && obs::runtime_enabled()) {
+        t0 = obs::now_ns();
+        armed = true;
+      }
+    }
+    ~LookupTimer() {
+      if (armed) {
+        obs::record_phase(obs::Phase::kCacheLookup, t0, obs::now_ns() - t0);
+      }
+    }
+  } lookup_timer;
+#endif
   std::size_t probes = 0;
   Slot* slot = probe_reader(digest, probes);
   probe_len_->record(probes);

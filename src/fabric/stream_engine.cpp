@@ -12,6 +12,7 @@
 
 #include "common/expect.hpp"
 #include "obs/span.hpp"
+#include "obs/trace_context.hpp"
 
 namespace bnb {
 namespace {
@@ -82,6 +83,14 @@ struct StreamSlot {
   ControlSchedule schedule;
   SmallSchedule small;
   bool failed = false;
+#if BNB_OBS_COMPILED
+  // Causal identity rides the ring with the schedule: the applier rebinds
+  // its apply span to the item's trace, and enqueue_ns (stamped by the
+  // solver after the solve, BEFORE any backpressure spin) lets it attribute
+  // the dwell time between the stages as a queue-wait pseudo-span.
+  std::uint64_t trace_id = 0;
+  std::uint64_t enqueue_ns = 0;
+#endif
 };
 
 /// First-error-wins capture shared by the two stages (route_batch
@@ -227,6 +236,7 @@ void StreamEngine::cancel() const noexcept {
 }
 
 StreamEngine::Result StreamEngine::run(std::span<const Permutation> perms) const {
+  BNB_OBS_TRACE_ROOT(trace_scope);
   BNB_OBS_SPAN(obs_span, obs::Phase::kStreamRun);
   ActiveRun guard(*this);
   const std::size_t offered = perms.size();
@@ -283,11 +293,21 @@ StreamEngine::Result StreamEngine::run_inline(std::span<const Permutation> perms
                           // `local` has taken this plan's shape
   const bool small = plan_.small_capable();
   bool all_ok = true;
+#if BNB_OBS_COMPILED
+  // The enclosing run() trace; each stream item becomes a child trace of
+  // it (no ids are allocated when the run itself is untraced).
+  const obs::TraceContext run_ctx = obs::current_context();
+#endif
   for (std::size_t i = 0; i < perms.size(); ++i) {
     if (cancelled_.load(std::memory_order_acquire)) {
       cancelled_runs_->inc();
       throw stream_cancelled_error();
     }
+#if BNB_OBS_COMPILED
+    BNB_OBS_TRACE_CHILD(item_scope,
+                        run_ctx.trace_id != 0 ? obs::new_trace_id() : 0,
+                        run_ctx.trace_id);
+#endif
     try {
       if (solve_hook_) solve_hook_(i);
       CompiledBnb::Output out{};
@@ -397,6 +417,11 @@ StreamEngine::Result StreamEngine::run_pipelined(std::span<const Permutation> pe
   // SOLVER stage (spawned): control-solve permutation k+1 while the applier
   // is still delivering permutation k.
   const bool small = plan_.small_capable();
+#if BNB_OBS_COMPILED
+  // The run() trace, captured on the calling thread so both stages can
+  // parent their per-item traces to it (TLS does not cross the spawn).
+  const obs::TraceContext run_ctx = obs::current_context();
+#endif
   std::thread solver([&] {
     RouteScratch scratch;
     std::uint64_t solved = 0;
@@ -419,6 +444,13 @@ StreamEngine::Result StreamEngine::run_pipelined(std::span<const Permutation> pe
       slot.index = i;
       slot.failed = false;
       slot.small = SmallSchedule{};  // a stale small lane must not shadow general
+#if BNB_OBS_COMPILED
+      // One fresh child trace per stream item: the solve below runs inside
+      // it on this thread, and the id ships downstream in the slot so the
+      // applier's spans join the same trace.
+      slot.trace_id = run_ctx.trace_id != 0 ? obs::new_trace_id() : 0;
+      BNB_OBS_TRACE_CHILD(item_scope, slot.trace_id, run_ctx.trace_id);
+#endif
       try {
         if (solve_hook_) solve_hook_(i);
         if (small) {
@@ -462,6 +494,12 @@ StreamEngine::Result StreamEngine::run_pipelined(std::span<const Permutation> pe
         slot.small = SmallSchedule{};
         slot.failed = true;
       }
+#if BNB_OBS_COMPILED
+      // Queue-wait starts here: after the solve, before the push loop, so
+      // time spent spinning on a full ring (backpressure) counts as queue
+      // delay — exactly the contended-MIN dwell the trace should show.
+      slot.enqueue_ns = obs::now_ns();
+#endif
       while (!ring.try_push(slot)) {
         if (stop.load(std::memory_order_acquire) ||
             cancelled_.load(std::memory_order_acquire)) {
@@ -508,6 +546,18 @@ StreamEngine::Result StreamEngine::run_pipelined(std::span<const Permutation> pe
       std::this_thread::yield();
       continue;
     }
+#if BNB_OBS_COMPILED
+    if (slot.trace_id != 0 && obs::runtime_enabled()) {
+      // Retire the queue-wait pseudo-span: enqueue stamp to pickup, under
+      // the ITEM's trace id (carried by the slot, not this thread's TLS).
+      const std::uint64_t picked = now_ns();
+      if (picked >= slot.enqueue_ns) {
+        obs::record_phase(obs::Phase::kQueueWait, slot.enqueue_ns,
+                          picked - slot.enqueue_ns, slot.trace_id,
+                          run_ctx.trace_id, obs::current_thread_id());
+      }
+    }
+#endif
     if (slot.failed) {
       result.status[slot.index] = StreamItemStatus::kFailed;
       ++result.stats.failed;
@@ -516,6 +566,9 @@ StreamEngine::Result StreamEngine::run_pipelined(std::span<const Permutation> pe
       continue;
     }
     try {
+#if BNB_OBS_COMPILED
+      BNB_OBS_TRACE_CHILD(item_scope, slot.trace_id, run_ctx.trace_id);
+#endif
       if (apply_hook_) apply_hook_(slot.index);
       const CompiledBnb::Output out =
           slot.small.solved()

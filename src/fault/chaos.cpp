@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <memory>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "core/schedule_cache.hpp"
 #include "fabric/stream_engine.hpp"
 #include "fault/fault_model.hpp"
+#include "obs/sampler.hpp"
 #include "perm/generators.hpp"
 
 namespace bnb {
@@ -48,6 +50,18 @@ ChaosReport run_chaos_campaign(const ChaosConfig& cfg, obs::MetricsRegistry* reg
 
   ChaosReport report;
   ScheduleCache cache(cfg.cache_capacity, 8, &reg);
+
+  // Optional telemetry timeline: a background sampler over the campaign
+  // registry, so the report carries per-interval counter rates and latency
+  // percentiles instead of only the end-state totals.
+  std::unique_ptr<obs::TelemetrySampler> sampler;
+  if (cfg.sample_interval_ms > 0) {
+    obs::TelemetrySampler::Options sampler_options;
+    sampler_options.interval_ms = cfg.sample_interval_ms;
+    sampler_options.registry = &reg;
+    sampler = std::make_unique<obs::TelemetrySampler>(sampler_options);
+    sampler->start();
+  }
 
   // ---- stream driver: a backpressured StreamEngine sharing the cache ----
   // Error isolation is on (a poisoned item must not kill the stream) and
@@ -230,6 +244,12 @@ ChaosReport run_chaos_campaign(const ChaosConfig& cfg, obs::MetricsRegistry* reg
   report.cache_served = rstats.cache_served;
   report.quarantined = cache.stats().quarantined;
   report.total_routes = report.router_routes + report.stream_routes;
+
+  if (sampler != nullptr) {
+    sampler->stop();  // takes the final flush sample
+    report.timeseries_intervals = sampler->intervals().size();
+    report.timeseries_json = sampler->to_json();
+  }
   return report;
 }
 

@@ -36,6 +36,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "fault/resilience.hpp"
 #include "obs/metrics.hpp"
@@ -71,6 +72,11 @@ struct ChaosConfig {
   /// campaign witnesses a full trip/recover cycle regardless of how the
   /// random arrivals fell.
   bool force_trip_and_recover = true;
+
+  /// Non-zero: run a TelemetrySampler over the campaign registry at this
+  /// period, producing the bnb.timeseries.v1 timeline in
+  /// ChaosReport::timeseries_json (0 = no sampling).
+  std::uint64_t sample_interval_ms = 0;
 };
 
 struct ChaosReport {
@@ -109,6 +115,10 @@ struct ChaosReport {
   std::uint64_t backoffs = 0;
   std::uint64_t quarantined = 0;   ///< cache entries dropped by quarantine
   std::uint64_t cache_served = 0;  ///< router deliveries from cached replays
+
+  // -- telemetry timeline (sample_interval_ms > 0) ------------------------
+  std::size_t timeseries_intervals = 0;  ///< sampling intervals captured
+  std::string timeseries_json;           ///< bnb.timeseries.v1 export (empty = off)
 
   /// The campaign's pass criteria: no silent misroute anywhere, full
   /// liveness, watchdog quiet — and, when the config forces it, at least

@@ -8,6 +8,7 @@
 
 #include "common/expect.hpp"
 #include "obs/span.hpp"
+#include "obs/trace_context.hpp"
 
 namespace bnb {
 namespace {
@@ -235,6 +236,9 @@ bool ResilientRouter::route_fast(const Permutation& pi, ResilientReport& report)
 }
 
 ResilientReport ResilientRouter::route(const Permutation& pi) {
+  // One trace per resilient route: the gate decision, fast path, retry
+  // ladder, and any spare-plane fallback all share this id.
+  BNB_OBS_TRACE_ROOT(trace_scope);
   BNB_EXPECTS(pi.size() == inputs());
   ResilientReport report;
   const std::uint64_t start = now_ns();

@@ -7,6 +7,7 @@
 #include "core/bit_pack.hpp"
 #include "fault/injection.hpp"
 #include "obs/span.hpp"
+#include "obs/trace_context.hpp"
 #include "perm/generators.hpp"
 
 namespace bnb {
@@ -167,6 +168,9 @@ const EngineFaults* RobustRouter::overlay_for_attempt() {
 }
 
 RobustReport RobustRouter::route(const Permutation& pi) {
+  // One trace covers the whole retry/fallback ladder: every attempt's
+  // route, audit, diagnose, and spare-plane span shares this id.
+  BNB_OBS_TRACE_ROOT(trace_scope);
   BNB_EXPECTS(pi.size() == inputs());
   RobustReport report;
 

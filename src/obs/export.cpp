@@ -1,7 +1,10 @@
 #include "obs/export.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <map>
+#include <vector>
 
 namespace bnb::obs {
 namespace {
@@ -16,6 +19,39 @@ void append_i64(std::string& out, std::int64_t v) {
   char buf[24];
   std::snprintf(buf, sizeof buf, "%" PRId64, v);
   out += buf;
+}
+
+/// Nanoseconds as a microsecond decimal ("1234.567") — the unit Chrome
+/// trace `ts`/`dur` fields expect.
+void append_us(std::string& out, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(ns) / 1000.0);
+  out += buf;
+}
+
+/// Append `text` with JSON string escaping (quotes, backslashes, control
+/// characters).  Phase names are currently plain identifiers, but event
+/// names are part of the exporter contract and must stay valid JSON no
+/// matter what the taxonomy grows into.
+void append_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
 }
 
 /// `le` label text of histogram bucket b: the finite bound or +Inf.
@@ -116,19 +152,118 @@ std::string to_json(const RegistrySnapshot& snapshot) {
   return out;
 }
 
-std::string trace_to_json(std::span<const SpanRecord> spans) {
-  std::string out = "{\n  \"schema\": \"bnb.trace.v1\",\n  \"spans\": [";
+std::string trace_to_json(std::span<const SpanRecord> spans,
+                          std::uint64_t dropped_total) {
+  std::string out = "{\n  \"schema\": \"bnb.trace.v2\",\n  \"dropped_total\": ";
+  append_u64(out, dropped_total);
+  out += ",\n  \"spans\": [";
   for (std::size_t i = 0; i < spans.size(); ++i) {
     out += i == 0 ? "\n" : ",\n";
     out += "    {\"phase\": \"";
-    out += to_string(spans[i].phase);
+    append_escaped(out, to_string(spans[i].phase));
     out += "\", \"start_ns\": ";
     append_u64(out, spans[i].start_ns);
     out += ", \"duration_ns\": ";
     append_u64(out, spans[i].duration_ns);
+    out += ", \"trace_id\": ";
+    append_u64(out, spans[i].trace_id);
+    out += ", \"parent_id\": ";
+    append_u64(out, spans[i].parent_id);
+    out += ", \"thread_id\": ";
+    append_u64(out, spans[i].thread_id);
     out += "}";
   }
   if (!spans.empty()) out += "\n  ";
+  out += "]\n}\n";
+  return out;
+}
+
+std::string trace_to_chrome(std::span<const SpanRecord> spans) {
+  std::string events;
+  const auto emit = [&events](std::string_view body) {
+    if (!events.empty()) events += ",\n";
+    events += "    {";
+    events += body;
+    events += "}";
+  };
+
+  // Metadata: one process, one named row per thread seen in the trace.
+  {
+    std::string body =
+        "\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
+        "\"args\": {\"name\": \"bnb\"}";
+    emit(body);
+  }
+  std::vector<std::uint32_t> tids;
+  for (const SpanRecord& span : spans) tids.push_back(span.thread_id);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  for (const std::uint32_t tid : tids) {
+    std::string body = "\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": ";
+    append_u64(body, tid);
+    body += ", \"args\": {\"name\": \"bnb-thread-";
+    append_u64(body, tid);
+    body += "\"}";
+    emit(body);
+  }
+
+  // One complete (ph:"X") event per span.
+  for (const SpanRecord& span : spans) {
+    std::string body = "\"name\": \"";
+    append_escaped(body, to_string(span.phase));
+    body += "\", \"cat\": \"bnb\", \"ph\": \"X\", \"ts\": ";
+    append_us(body, span.start_ns);
+    body += ", \"dur\": ";
+    append_us(body, span.duration_ns);
+    body += ", \"pid\": 1, \"tid\": ";
+    append_u64(body, span.thread_id);
+    body += ", \"args\": {\"trace_id\": ";
+    append_u64(body, span.trace_id);
+    body += ", \"parent_id\": ";
+    append_u64(body, span.parent_id);
+    body += "}";
+    emit(body);
+  }
+
+  // Flow events: a trace id whose spans land on more than one thread gets
+  // an s -> t ... -> f arrow chain (start at the end of the first span,
+  // finish at the start of the last) so Perfetto draws the solver ->
+  // queue -> applier handoff as one connected route.
+  std::map<std::uint64_t, std::vector<const SpanRecord*>> by_trace;
+  for (const SpanRecord& span : spans) {
+    if (span.trace_id != 0) by_trace[span.trace_id].push_back(&span);
+  }
+  for (auto& [trace_id, group] : by_trace) {
+    bool multi_thread = false;
+    for (const SpanRecord* span : group) {
+      if (span->thread_id != group.front()->thread_id) multi_thread = true;
+    }
+    if (!multi_thread) continue;
+    std::stable_sort(group.begin(), group.end(),
+                     [](const SpanRecord* a, const SpanRecord* b) {
+                       return a->start_ns < b->start_ns;
+                     });
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      const SpanRecord* span = group[i];
+      const bool first = i == 0;
+      const bool last = i + 1 == group.size();
+      std::string body = "\"name\": \"route\", \"cat\": \"bnb\", \"ph\": \"";
+      body += first ? "s" : (last ? "f" : "t");
+      body += "\", \"id\": ";
+      append_u64(body, trace_id);
+      body += ", \"ts\": ";
+      // The arrow leaves the first span at its end and lands on later
+      // spans at their starts.
+      append_us(body, first ? span->start_ns + span->duration_ns : span->start_ns);
+      body += ", \"pid\": 1, \"tid\": ";
+      append_u64(body, span->thread_id);
+      if (last) body += ", \"bp\": \"e\"";
+      emit(body);
+    }
+  }
+
+  std::string out = "{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [";
+  if (!events.empty()) out += "\n" + events + "\n  ";
   out += "]\n}\n";
   return out;
 }

@@ -1,8 +1,39 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace bnb::obs {
+
+double HistogramSnapshot::percentile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the wanted sample, 1-based; ceil so p100 is the last sample.
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    if (seen + buckets[b] >= rank) {
+      // Linear interpolation across the bucket's value range; the +Inf
+      // bucket has no finite width, so clamp it to the last finite bound.
+      const double lower =
+          b == 0 ? 0.0 : static_cast<double>(Histogram::upper_bound(b - 1));
+      const double upper =
+          b + 1 < Histogram::kBuckets
+              ? static_cast<double>(Histogram::upper_bound(b))
+              : static_cast<double>(Histogram::upper_bound(Histogram::kBuckets - 2));
+      if (upper <= lower) return upper;
+      const double into =
+          (static_cast<double>(rank - seen)) / static_cast<double>(buckets[b]);
+      return lower + (upper - lower) * into;
+    }
+    seen += buckets[b];
+  }
+  return static_cast<double>(Histogram::upper_bound(Histogram::kBuckets - 2));
+}
 
 const char* to_string(MetricKind kind) noexcept {
   switch (kind) {

@@ -142,6 +142,16 @@ struct HistogramSnapshot {
   std::array<std::uint64_t, Histogram::kBuckets> buckets{};
   std::uint64_t count = 0;
   std::uint64_t sum = 0;
+
+  /// Estimate the `q`-quantile (q in [0, 1]) from the power-of-two
+  /// buckets: find the bucket holding the rank-ceil(q*count) sample and
+  /// interpolate linearly inside it.  The +Inf bucket clamps to the last
+  /// finite bound, so the estimate is conservative there.  Returns 0 for
+  /// an empty histogram.
+  [[nodiscard]] double percentile(double q) const noexcept;
+  [[nodiscard]] double p50() const noexcept { return percentile(0.50); }
+  [[nodiscard]] double p90() const noexcept { return percentile(0.90); }
+  [[nodiscard]] double p99() const noexcept { return percentile(0.99); }
 };
 
 /// Point-in-time value of one named metric.

@@ -1,0 +1,226 @@
+#include "obs/sampler.hpp"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/span.hpp"
+
+namespace bnb::obs {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out += buf;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  out += buf;
+}
+
+}  // namespace
+
+TelemetrySampler::TelemetrySampler() : TelemetrySampler(Options()) {}
+
+TelemetrySampler::TelemetrySampler(Options options)
+    : options_(options),
+      registry_(options.registry != nullptr ? options.registry
+                                            : &MetricsRegistry::global()) {
+  if (options_.interval_ms == 0) options_.interval_ms = 1;
+  if (options_.capacity == 0) options_.capacity = 1;
+}
+
+TelemetrySampler::~TelemetrySampler() { stop(); }
+
+void TelemetrySampler::start() {
+  std::unique_lock lock(mu_);
+  if (running_) return;
+  sample_locked();  // baseline
+  running_ = true;
+  stopping_ = false;
+  worker_ = std::thread([this] { run(); });
+}
+
+void TelemetrySampler::stop() {
+  {
+    std::unique_lock lock(mu_);
+    if (!running_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+  std::unique_lock lock(mu_);
+  running_ = false;
+  stopping_ = false;
+  sample_locked();  // flush the tail of the run
+}
+
+void TelemetrySampler::run() {
+  std::unique_lock lock(mu_);
+  while (!stopping_) {
+    const auto period = std::chrono::milliseconds(options_.interval_ms);
+    if (cv_.wait_for(lock, period, [this] { return stopping_; })) break;
+    sample_locked();
+  }
+}
+
+bool TelemetrySampler::sample_now() {
+  std::unique_lock lock(mu_);
+  return sample_locked();
+}
+
+bool TelemetrySampler::sample_locked() {
+  const std::uint64_t sample_ns = now_ns();
+  RegistrySnapshot current = registry_->snapshot();
+  if (!have_baseline_) {
+    baseline_ = std::move(current);
+    baseline_ns_ = sample_ns;
+    have_baseline_ = true;
+    return false;
+  }
+
+  Interval interval;
+  interval.start_ns = baseline_ns_;
+  interval.end_ns = sample_ns;
+  const double seconds =
+      static_cast<double>(sample_ns - baseline_ns_) / 1e9;
+
+  // Both snapshots are name-sorted; walk them together.  A metric absent
+  // from the baseline (created mid-interval) deltas against zero.
+  std::size_t b = 0;
+  for (const MetricSnapshot& cur : current.metrics) {
+    while (b < baseline_.metrics.size() && baseline_.metrics[b].name < cur.name) ++b;
+    const MetricSnapshot* prev =
+        (b < baseline_.metrics.size() && baseline_.metrics[b].name == cur.name)
+            ? &baseline_.metrics[b]
+            : nullptr;
+    switch (cur.kind) {
+      case MetricKind::kCounter: {
+        const std::uint64_t before = prev != nullptr ? prev->counter : 0;
+        if (cur.counter <= before) break;
+        CounterDelta delta;
+        delta.name = cur.name;
+        delta.delta = cur.counter - before;
+        delta.rate_per_sec =
+            seconds > 0.0 ? static_cast<double>(delta.delta) / seconds : 0.0;
+        interval.counters.push_back(std::move(delta));
+        break;
+      }
+      case MetricKind::kGauge: {
+        GaugeLevel level;
+        level.name = cur.name;
+        level.value = cur.gauge;
+        interval.gauges.push_back(std::move(level));
+        break;
+      }
+      case MetricKind::kHistogram: {
+        HistogramSnapshot delta;
+        for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+          const std::uint64_t before = prev != nullptr ? prev->histogram.buckets[i] : 0;
+          delta.buckets[i] = cur.histogram.buckets[i] >= before
+                                 ? cur.histogram.buckets[i] - before
+                                 : 0;
+          delta.count += delta.buckets[i];
+        }
+        if (delta.count == 0) break;
+        const std::uint64_t sum_before = prev != nullptr ? prev->histogram.sum : 0;
+        delta.sum = cur.histogram.sum >= sum_before ? cur.histogram.sum - sum_before : 0;
+        HistogramDelta out;
+        out.name = cur.name;
+        out.count = delta.count;
+        out.sum = delta.sum;
+        out.p50 = delta.p50();
+        out.p90 = delta.p90();
+        out.p99 = delta.p99();
+        interval.histograms.push_back(std::move(out));
+        break;
+      }
+    }
+  }
+
+  baseline_ = std::move(current);
+  baseline_ns_ = sample_ns;
+  if (ring_.size() >= options_.capacity) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  ring_.push_back(std::move(interval));
+  return true;
+}
+
+std::vector<TelemetrySampler::Interval> TelemetrySampler::intervals() const {
+  std::unique_lock lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::uint64_t TelemetrySampler::dropped_intervals() const {
+  std::unique_lock lock(mu_);
+  return dropped_;
+}
+
+std::string TelemetrySampler::to_json() const {
+  std::unique_lock lock(mu_);
+  std::string out = "{\n  \"schema\": \"bnb.timeseries.v1\",\n  \"interval_ms\": ";
+  append_u64(out, options_.interval_ms);
+  out += ",\n  \"dropped_intervals\": ";
+  append_u64(out, dropped_);
+  out += ",\n  \"intervals\": [";
+  bool first_interval = true;
+  for (const Interval& interval : ring_) {
+    out += first_interval ? "\n" : ",\n";
+    first_interval = false;
+    out += "    {\"start_ns\": ";
+    append_u64(out, interval.start_ns);
+    out += ", \"end_ns\": ";
+    append_u64(out, interval.end_ns);
+    out += ",\n     \"counters\": {";
+    for (std::size_t i = 0; i < interval.counters.size(); ++i) {
+      const CounterDelta& c = interval.counters[i];
+      out += i == 0 ? "" : ", ";
+      out += "\"" + c.name + "\": {\"delta\": ";
+      append_u64(out, c.delta);
+      out += ", \"rate_per_sec\": ";
+      append_double(out, c.rate_per_sec);
+      out += "}";
+    }
+    out += "},\n     \"gauges\": {";
+    for (std::size_t i = 0; i < interval.gauges.size(); ++i) {
+      const GaugeLevel& g = interval.gauges[i];
+      out += i == 0 ? "" : ", ";
+      out += "\"" + g.name + "\": ";
+      append_i64(out, g.value);
+    }
+    out += "},\n     \"histograms\": {";
+    for (std::size_t i = 0; i < interval.histograms.size(); ++i) {
+      const HistogramDelta& h = interval.histograms[i];
+      out += i == 0 ? "" : ", ";
+      out += "\"" + h.name + "\": {\"count\": ";
+      append_u64(out, h.count);
+      out += ", \"sum\": ";
+      append_u64(out, h.sum);
+      out += ", \"p50\": ";
+      append_double(out, h.p50);
+      out += ", \"p90\": ";
+      append_double(out, h.p90);
+      out += ", \"p99\": ";
+      append_double(out, h.p99);
+      out += "}";
+    }
+    out += "}}";
+  }
+  if (!ring_.empty()) out += "\n  ";
+  out += "]\n}\n";
+  return out;
+}
+
+}  // namespace bnb::obs

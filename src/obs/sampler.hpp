@@ -1,0 +1,128 @@
+// Continuous telemetry sampling: a background thread that snapshots a
+// MetricsRegistry on a fixed interval and keeps a bounded ring of
+// per-interval DELTAS, so a chaos campaign or a long daemon run produces
+// a telemetry timeline (counter rates, histogram percentiles over just
+// that interval) instead of one end-state snapshot.
+//
+// Semantics:
+//
+//   * The first sample taken is the BASELINE — it records where the
+//     registry stood and pushes no interval.  Every later sample pushes
+//     one Interval holding the counter/histogram movement since the
+//     previous sample plus the instantaneous gauge levels.
+//   * The ring is bounded (Options::capacity); when full the oldest
+//     interval is evicted and dropped_intervals() counts it, mirroring
+//     the SpanTrace lossy contract.
+//   * sample_now() takes one sample synchronously — deterministic tests
+//     and final end-of-run flushes use it; start()/stop() run the same
+//     logic on a background thread with a cv-interruptible sleep, so
+//     stop() returns promptly instead of waiting out the interval.
+//   * Sampling takes the registry mutex (snapshot()) but never touches
+//     the hot write paths — the recorded metrics are relaxed atomics and
+//     keep their "exact under quiescence" contract.
+//
+// to_json() exports schema "bnb.timeseries.v1": {schema, interval_ms,
+// dropped_intervals, intervals: [{start_ns, end_ns, counters{name:
+// {delta, rate_per_sec}}, gauges{name: value}, histograms{name: {count,
+// sum, p50, p90, p99}}}...]}.  Zero-movement counters and histograms are
+// omitted per interval; gauges are always reported.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace bnb::obs {
+
+class TelemetrySampler {
+ public:
+  struct Options {
+    std::uint64_t interval_ms = 100;  ///< background sampling period
+    std::size_t capacity = 600;       ///< intervals retained (oldest evicted)
+    MetricsRegistry* registry = nullptr;  ///< nullptr = the global registry
+  };
+
+  struct CounterDelta {
+    std::string name;
+    std::uint64_t delta = 0;
+    double rate_per_sec = 0.0;
+  };
+  struct GaugeLevel {
+    std::string name;
+    std::int64_t value = 0;
+  };
+  struct HistogramDelta {
+    std::string name;
+    std::uint64_t count = 0;  ///< records landed this interval
+    std::uint64_t sum = 0;
+    double p50 = 0.0;  ///< percentiles of THIS interval's records only
+    double p90 = 0.0;
+    double p99 = 0.0;
+  };
+
+  /// One sampling interval: registry movement between two snapshots.
+  struct Interval {
+    std::uint64_t start_ns = 0;
+    std::uint64_t end_ns = 0;
+    std::vector<CounterDelta> counters;
+    std::vector<GaugeLevel> gauges;
+    std::vector<HistogramDelta> histograms;
+  };
+
+  TelemetrySampler();  // default Options (defined out of line: the nested
+                       // struct's member defaults need the class complete)
+  explicit TelemetrySampler(Options options);
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+  ~TelemetrySampler();
+
+  /// Spawn the background thread (takes the baseline sample first).
+  /// No-op if already running.
+  void start();
+
+  /// Stop and join the background thread, taking one final sample so the
+  /// tail of the run is not lost.  No-op if not running.
+  void stop();
+
+  /// Take one sample synchronously.  Returns true if an interval was
+  /// pushed (false for the baseline sample).
+  bool sample_now();
+
+  /// Copy of the retained intervals, oldest first.
+  [[nodiscard]] std::vector<Interval> intervals() const;
+
+  /// Intervals evicted from the full ring.
+  [[nodiscard]] std::uint64_t dropped_intervals() const;
+
+  /// Export the retained intervals as schema "bnb.timeseries.v1".
+  [[nodiscard]] std::string to_json() const;
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+ private:
+  void run();
+  bool sample_locked();
+
+  Options options_;
+  MetricsRegistry* registry_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool running_ = false;
+  bool stopping_ = false;
+  std::thread worker_;
+
+  bool have_baseline_ = false;
+  RegistrySnapshot baseline_;
+  std::uint64_t baseline_ns_ = 0;
+  std::deque<Interval> ring_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace bnb::obs

@@ -1,5 +1,7 @@
 #include "obs/span.hpp"
 
+#include "obs/trace_context.hpp"
+
 namespace bnb::obs {
 
 namespace detail {
@@ -35,6 +37,14 @@ struct PhaseTable {
     histograms[static_cast<std::size_t>(Phase::kSmallApply)] =
         &registry.histogram("bnb_small_apply_ns",
                             "register-resident small-N replay latency");
+    histograms[static_cast<std::size_t>(Phase::kQueueWait)] =
+        &registry.histogram("bnb_stream_queue_wait_ns",
+                            "stream-item dwell time in the SPSC ring between "
+                            "solver enqueue and applier pickup");
+    histograms[static_cast<std::size_t>(Phase::kCacheLookup)] =
+        &registry.histogram("bnb_cache_lookup_ns",
+                            "general-lane schedule cache probe latency "
+                            "(recorded only while a trace sink is installed)");
   }
 };
 
@@ -55,6 +65,8 @@ const char* to_string(Phase phase) noexcept {
     case Phase::kFallback: return "fallback";
     case Phase::kStreamRun: return "stream_run";
     case Phase::kSmallApply: return "small_apply";
+    case Phase::kQueueWait: return "queue_wait";
+    case Phase::kCacheLookup: return "cache_lookup";
   }
   return "?";
 }
@@ -70,12 +82,17 @@ Histogram& phase_histogram(Phase phase) {
 SpanTrace::SpanTrace(std::size_t capacity) : slots_(capacity == 0 ? 1 : capacity) {}
 
 void SpanTrace::record(Phase phase, std::uint64_t start_ns,
-                       std::uint64_t duration_ns) noexcept {
+                       std::uint64_t duration_ns, std::uint64_t trace_id,
+                       std::uint64_t parent_id, std::uint32_t thread_id) noexcept {
   const std::uint64_t index = next_.fetch_add(1, std::memory_order_relaxed);
+  if (index >= slots_.size()) dropped_.fetch_add(1, std::memory_order_relaxed);
   Slot& slot = slots_[index % slots_.size()];
   slot.phase.store(static_cast<std::uint64_t>(phase), std::memory_order_relaxed);
   slot.start.store(start_ns, std::memory_order_relaxed);
   slot.duration.store(duration_ns, std::memory_order_relaxed);
+  slot.trace.store(trace_id, std::memory_order_relaxed);
+  slot.parent.store(parent_id, std::memory_order_relaxed);
+  slot.thread.store(thread_id, std::memory_order_relaxed);
 }
 
 std::vector<SpanRecord> SpanTrace::snapshot() const {
@@ -91,6 +108,10 @@ std::vector<SpanRecord> SpanTrace::snapshot() const {
     record.phase = static_cast<Phase>(slot.phase.load(std::memory_order_relaxed));
     record.start_ns = slot.start.load(std::memory_order_relaxed);
     record.duration_ns = slot.duration.load(std::memory_order_relaxed);
+    record.trace_id = slot.trace.load(std::memory_order_relaxed);
+    record.parent_id = slot.parent.load(std::memory_order_relaxed);
+    record.thread_id =
+        static_cast<std::uint32_t>(slot.thread.load(std::memory_order_relaxed));
     out.push_back(record);
   }
   return out;
@@ -98,6 +119,7 @@ std::vector<SpanRecord> SpanTrace::snapshot() const {
 
 void SpanTrace::clear() noexcept {
   next_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
 }
 
 void set_trace(SpanTrace* trace) noexcept {
@@ -108,8 +130,18 @@ SpanTrace* trace() noexcept { return g_trace.load(std::memory_order_acquire); }
 
 void record_phase(Phase phase, std::uint64_t start_ns,
                   std::uint64_t duration_ns) noexcept {
+  const TraceContext context = current_context();
+  record_phase(phase, start_ns, duration_ns, context.trace_id, context.parent_id,
+               current_thread_id());
+}
+
+void record_phase(Phase phase, std::uint64_t start_ns, std::uint64_t duration_ns,
+                  std::uint64_t trace_id, std::uint64_t parent_id,
+                  std::uint32_t thread_id) noexcept {
   phase_histogram(phase).record(duration_ns);
-  if (SpanTrace* sink = trace()) sink->record(phase, start_ns, duration_ns);
+  if (SpanTrace* sink = trace()) {
+    sink->record(phase, start_ns, duration_ns, trace_id, parent_id, thread_id);
+  }
 }
 
 }  // namespace bnb::obs

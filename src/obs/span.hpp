@@ -14,6 +14,18 @@
 //   kFallback   the behavioral spare-plane route after primary persistence
 //   kStreamRun  one whole StreamEngine::run call
 //   kSmallApply CompiledBnb::apply_small — register-resident small-N replay
+//   kQueueWait  stream-item dwell time in the StreamEngine's SPSC ring: a
+//               PSEUDO-span recorded by the applier between the solver's
+//               enqueue stamp and its own pickup (queue-delay attribution;
+//               no code runs "inside" it)
+//   kCacheLookup ScheduleCache general-lane probe, recorded only while a
+//               trace sink is installed (the warm-hit path stays untimed
+//               in steady state — see schedule_cache.cpp)
+//
+// CAUSALITY (obs/trace_context.hpp): every completed span additionally
+// stamps the thread's current {trace_id, parent_id} and its dense thread
+// id into the SpanRecord, so a trace export reconstructs which solve fed
+// which apply across threads instead of a flat phase soup.
 //
 // Cost model: a LiveSpan is one relaxed atomic load when telemetry is
 // runtime-disabled (set_enabled(false)), and two steady_clock reads plus a
@@ -47,8 +59,10 @@ enum class Phase : std::uint8_t {
   kFallback,
   kStreamRun,
   kSmallApply,
+  kQueueWait,
+  kCacheLookup,
 };
-inline constexpr std::size_t kPhaseCount = 8;
+inline constexpr std::size_t kPhaseCount = 10;
 
 [[nodiscard]] const char* to_string(Phase phase) noexcept;
 
@@ -75,25 +89,32 @@ void set_enabled(bool enabled) noexcept;
 /// registry.  All phase histograms are created together on first use.
 [[nodiscard]] Histogram& phase_histogram(Phase phase);
 
-/// One completed span.
+/// One completed span: the phase timing plus its causal identity (see
+/// obs/trace_context.hpp; all-zero ids mean the span ran untraced).
 struct SpanRecord {
   Phase phase = Phase::kSolve;
   std::uint64_t start_ns = 0;
   std::uint64_t duration_ns = 0;
+  std::uint64_t trace_id = 0;   ///< trace this span belongs to (0 = untraced)
+  std::uint64_t parent_id = 0;  ///< trace that spawned trace_id (0 = root)
+  std::uint32_t thread_id = 0;  ///< dense per-process thread id (0 = unknown)
 };
 
 /// Lossy lock-free ring of completed spans for structured trace export.
 /// record() is wait-free and allocation-free from any thread; the ring
-/// keeps the most recent `capacity` spans (older ones are overwritten).
-/// snapshot() is exact under quiescence; during concurrent recording a
-/// wrapped slot may be observed mid-overwrite (fields are individually
-/// atomic, so the read is race-free but the record may mix two spans) —
-/// the trace is a debugging surface, not an accounting one.
+/// keeps the most recent `capacity` spans (older ones are overwritten, and
+/// dropped() counts every such overwrite so overflow is visible instead of
+/// silent).  snapshot() is exact under quiescence; during concurrent
+/// recording a wrapped slot may be observed mid-overwrite (fields are
+/// individually atomic, so the read is race-free but the record may mix
+/// two spans) — the trace is a debugging surface, not an accounting one.
 class SpanTrace {
  public:
   explicit SpanTrace(std::size_t capacity);
 
-  void record(Phase phase, std::uint64_t start_ns, std::uint64_t duration_ns) noexcept;
+  void record(Phase phase, std::uint64_t start_ns, std::uint64_t duration_ns,
+              std::uint64_t trace_id = 0, std::uint64_t parent_id = 0,
+              std::uint32_t thread_id = 0) noexcept;
 
   /// Retained spans, oldest first.
   [[nodiscard]] std::vector<SpanRecord> snapshot() const;
@@ -101,6 +122,11 @@ class SpanTrace {
   /// Total spans ever recorded (>= capacity means the ring wrapped).
   [[nodiscard]] std::uint64_t recorded() const noexcept {
     return next_.load(std::memory_order_relaxed);
+  }
+  /// Spans lost to ring overflow (recorded over a slot never snapshotted
+  /// in between — the lossy contract made countable).
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
   void clear() noexcept;
@@ -110,9 +136,13 @@ class SpanTrace {
     std::atomic<std::uint64_t> phase{0};
     std::atomic<std::uint64_t> start{0};
     std::atomic<std::uint64_t> duration{0};
+    std::atomic<std::uint64_t> trace{0};
+    std::atomic<std::uint64_t> parent{0};
+    std::atomic<std::uint64_t> thread{0};
   };
   std::vector<Slot> slots_;
   std::atomic<std::uint64_t> next_{0};
+  std::atomic<std::uint64_t> dropped_{0};
 };
 
 /// Install (or clear, with nullptr) the process-wide structured trace
@@ -122,8 +152,14 @@ void set_trace(SpanTrace* trace) noexcept;
 [[nodiscard]] SpanTrace* trace() noexcept;
 
 /// Record a completed phase directly (what ~LiveSpan calls): phase
-/// histogram plus the installed trace sink, if any.
+/// histogram plus the installed trace sink, if any.  The three-argument
+/// form stamps the calling thread's current trace context; the explicit
+/// form is for pseudo-spans whose identity traveled out-of-band (the
+/// stream queue-wait span carries its ids through the ring slot).
 void record_phase(Phase phase, std::uint64_t start_ns, std::uint64_t duration_ns) noexcept;
+void record_phase(Phase phase, std::uint64_t start_ns, std::uint64_t duration_ns,
+                  std::uint64_t trace_id, std::uint64_t parent_id,
+                  std::uint32_t thread_id) noexcept;
 
 /// RAII phase span: times construction-to-finish() (or destruction) into
 /// the phase histogram and the trace sink.  Does nothing at all when

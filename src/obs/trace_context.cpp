@@ -1,0 +1,29 @@
+#include "obs/trace_context.hpp"
+
+namespace bnb::obs {
+
+namespace detail {
+
+TraceContext& tls_context() noexcept {
+  thread_local TraceContext context;
+  return context;
+}
+
+}  // namespace detail
+
+namespace {
+std::atomic<std::uint64_t> g_next_trace_id{1};
+std::atomic<std::uint32_t> g_next_thread_id{1};
+}  // namespace
+
+std::uint64_t new_trace_id() noexcept {
+  return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint32_t current_thread_id() noexcept {
+  thread_local std::uint32_t id =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace bnb::obs

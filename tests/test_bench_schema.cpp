@@ -1,5 +1,5 @@
 // BENCH_routing.json is the repo's recorded perf baseline; docs/PERF.md
-// documents its schema (bnb.bench_routing.v6).  This test parses the
+// documents its schema (bnb.bench_routing.v7).  This test parses the
 // checked-in file with a minimal JSON reader and validates the schema, so
 // a bench_engine change that drifts the emitted shape fails CI instead of
 // silently invalidating the regression baseline.
@@ -222,7 +222,7 @@ TEST(BenchRoutingJson, MatchesTheDocumentedSchema) {
 
   // Header.
   ASSERT_TRUE(field(top, "schema").is_string());
-  EXPECT_EQ(field(top, "schema").str(), "bnb.bench_routing.v6");
+  EXPECT_EQ(field(top, "schema").str(), "bnb.bench_routing.v7");
   ASSERT_TRUE(field(top, "generated_by").is_string());
   ASSERT_TRUE(field(top, "hardware_threads").is_number());
   const double hardware_threads = field(top, "hardware_threads").num();
@@ -551,6 +551,40 @@ TEST(BenchRoutingJson, MatchesTheDocumentedSchema) {
     EXPECT_TRUE(std::find(obs_phases.begin(), obs_phases.end(), phase) !=
                 obs_phases.end())
         << "obs section must record the " << phase << " phase";
+  }
+
+  // obs.tracing (v7): the marginal cost of causal tracing — the same
+  // phases with a SpanTrace sink installed vs not, runtime-enabled on
+  // both sides.  Every row must clear the <3% bar: tracing-on routing
+  // must stay within 3% of tracing-off.
+  ASSERT_TRUE(field(obs, "tracing").is_array());
+  const JsonArray& tracing_rows = field(obs, "tracing").array();
+  std::vector<std::string> tracing_phases;
+  for (const auto& row_value : tracing_rows) {
+    ASSERT_TRUE(row_value->is_object());
+    const JsonObject& row = row_value->object();
+    ASSERT_TRUE(field(row, "phase").is_string());
+    for (const char* key :
+         {"traced_ns_per_call", "untraced_ns_per_call", "overhead_pct"}) {
+      ASSERT_TRUE(field(row, key).is_number()) << key;
+    }
+    const double traced_ns = field(row, "traced_ns_per_call").num();
+    const double untraced_ns = field(row, "untraced_ns_per_call").num();
+    const double overhead = field(row, "overhead_pct").num();
+    EXPECT_GT(traced_ns, 0.0);
+    EXPECT_GT(untraced_ns, 0.0);
+    EXPECT_NEAR(overhead, (traced_ns - untraced_ns) / untraced_ns * 100.0, 0.05)
+        << "overhead_pct inconsistent for traced phase "
+        << field(row, "phase").str();
+    EXPECT_LT(overhead, 3.0)
+        << "causal tracing must cost <3% on the " << field(row, "phase").str()
+        << " phase";
+    tracing_phases.push_back(field(row, "phase").str());
+  }
+  for (const char* phase : {"route", "solve", "apply"}) {
+    EXPECT_TRUE(std::find(tracing_phases.begin(), tracing_phases.end(),
+                          phase) != tracing_phases.end())
+        << "obs.tracing section must record the " << phase << " phase";
   }
 }
 

@@ -17,7 +17,9 @@
 #include "fault/robust_router.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "obs/span.hpp"
+#include "obs/trace_context.hpp"
 #include "perm/generators.hpp"
 
 #include "alloc_count_hook.hpp"
@@ -100,6 +102,56 @@ TEST(ObsHistogram, SumAccumulates) {
   h.record(100);
   EXPECT_EQ(h.sum(), 110u);
   EXPECT_EQ(h.total_count(), 2u);
+}
+
+TEST(ObsHistogram, PercentileEstimatesFromBuckets) {
+  obs::HistogramSnapshot snap;
+  EXPECT_EQ(snap.percentile(0.5), 0.0);  // empty histogram
+
+  // 100 samples all in bucket 3 (values in (4, 8]): every percentile
+  // interpolates inside that bucket's range.
+  snap.buckets[3] = 100;
+  snap.count = 100;
+  EXPECT_GT(snap.p50(), 4.0);
+  EXPECT_LE(snap.p50(), 8.0);
+  EXPECT_GT(snap.p99(), snap.p50());
+  EXPECT_LE(snap.p99(), 8.0);
+
+  // Split distribution: 90 fast samples (bucket 3), 10 slow (bucket 10,
+  // values in (512, 1024]).  p50 stays fast, p99 lands in the slow bucket.
+  snap = {};
+  snap.buckets[3] = 90;
+  snap.buckets[10] = 10;
+  snap.count = 100;
+  EXPECT_LE(snap.p50(), 8.0);
+  EXPECT_GT(snap.p99(), 512.0);
+  EXPECT_LE(snap.p99(), 1024.0);
+  EXPECT_LE(snap.p90(), 8.0);  // rank 90 is the last fast sample
+}
+
+TEST(ObsHistogram, PercentileClampsInfinityBucket) {
+  obs::HistogramSnapshot snap;
+  snap.buckets[Histogram::kBuckets - 1] = 10;  // everything in +Inf
+  snap.count = 10;
+  // No finite upper bound exists; the estimate clamps to the last finite
+  // boundary instead of reporting UINT64_MAX nanoseconds.
+  const double last_finite =
+      static_cast<double>(Histogram::upper_bound(Histogram::kBuckets - 2));
+  EXPECT_EQ(snap.p50(), last_finite);
+  EXPECT_EQ(snap.p99(), last_finite);
+}
+
+TEST(ObsHistogram, PercentileMatchesExactRanksOnSmallCounts) {
+  obs::HistogramSnapshot snap;
+  snap.buckets[0] = 1;  // one sample <= 1
+  snap.buckets[5] = 1;  // one sample in (16, 32]
+  snap.count = 2;
+  EXPECT_LE(snap.percentile(0.5), 1.0);   // rank 1: the fast sample
+  EXPECT_GT(snap.percentile(0.99), 16.0);  // rank 2: the slow one
+  EXPECT_LE(snap.percentile(0.99), 32.0);
+  // Quantiles are clamped to [0, 1].
+  EXPECT_EQ(snap.percentile(-1.0), snap.percentile(0.0));
+  EXPECT_EQ(snap.percentile(2.0), snap.percentile(1.0));
 }
 
 // ---- registry ---------------------------------------------------------
@@ -218,12 +270,21 @@ TEST(Obs, RegistryConcurrentRegistrationAndSnapshot) {
 // ---- spans and trace --------------------------------------------------
 
 TEST(ObsSpan, PhaseNamesAndHistogramsCoverTheTaxonomy) {
-  const Phase all[] = {Phase::kSolve,    Phase::kApply,     Phase::kRoute,
-                       Phase::kAudit,    Phase::kDiagnose,  Phase::kFallback,
-                       Phase::kStreamRun, Phase::kSmallApply};
-  static_assert(obs::kPhaseCount == 8);
-  const char* names[] = {"solve", "apply", "route", "audit", "diagnose",
-                         "fallback", "stream_run", "small_apply"};
+  const Phase all[] = {Phase::kSolve,     Phase::kApply,      Phase::kRoute,
+                       Phase::kAudit,     Phase::kDiagnose,   Phase::kFallback,
+                       Phase::kStreamRun, Phase::kSmallApply, Phase::kQueueWait,
+                       Phase::kCacheLookup};
+  static_assert(obs::kPhaseCount == 10);
+  const char* names[] = {"solve",      "apply",       "route",     "audit",
+                         "diagnose",   "fallback",    "stream_run", "small_apply",
+                         "queue_wait", "cache_lookup"};
+  // Histogram names mostly follow bnb_<phase>_ns; the two newest phases
+  // carry their own descriptive names.
+  const char* histogram_names[] = {
+      "bnb_solve_ns",      "bnb_apply_ns",       "bnb_route_ns",
+      "bnb_audit_ns",      "bnb_diagnose_ns",    "bnb_fallback_ns",
+      "bnb_stream_run_ns", "bnb_small_apply_ns", "bnb_stream_queue_wait_ns",
+      "bnb_cache_lookup_ns"};
   for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
     EXPECT_STREQ(obs::to_string(all[i]), names[i]);
     // Each phase has its own histogram; all are distinct objects.
@@ -231,10 +292,9 @@ TEST(ObsSpan, PhaseNamesAndHistogramsCoverTheTaxonomy) {
       EXPECT_NE(&obs::phase_histogram(all[i]), &obs::phase_histogram(all[j]));
     }
   }
-  // The phase histograms live in the global registry under bnb_<phase>_ns.
   const auto snap = MetricsRegistry::global().snapshot();
-  for (const char* name : names) {
-    const auto* metric = snap.find(std::string("bnb_") + name + "_ns");
+  for (const char* name : histogram_names) {
+    const auto* metric = snap.find(name);
     ASSERT_NE(metric, nullptr) << name;
     EXPECT_EQ(metric->kind, MetricKind::kHistogram);
   }
@@ -290,6 +350,241 @@ TEST(ObsSpan, TraceRingKeepsMostRecentAndWraps) {
   trace.clear();
   EXPECT_EQ(trace.recorded(), 0u);
   EXPECT_TRUE(trace.snapshot().empty());
+}
+
+TEST(ObsSpan, RingOverflowIsCountedAsDropped) {
+  obs::SpanTrace trace(4);
+  for (std::uint64_t i = 0; i < 4; ++i) trace.record(Phase::kSolve, i, 1);
+  EXPECT_EQ(trace.dropped(), 0u);  // exactly full: nothing lost yet
+  trace.record(Phase::kSolve, 4, 1);
+  trace.record(Phase::kSolve, 5, 1);
+  EXPECT_EQ(trace.dropped(), 2u);
+  trace.clear();
+  EXPECT_EQ(trace.dropped(), 0u);
+  EXPECT_EQ(trace.recorded(), 0u);
+}
+
+// ---- trace context ----------------------------------------------------
+
+TEST(ObsTrace, NewTraceIdsAreUniqueAndNonZero) {
+  const std::uint64_t a = obs::new_trace_id();
+  const std::uint64_t b = obs::new_trace_id();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST(ObsTrace, ScopeInstallsAndRestoresContext) {
+  EXPECT_EQ(obs::current_context().trace_id, 0u);  // untraced by default
+  {
+    obs::TraceScope outer(42, 7);
+    EXPECT_EQ(obs::current_context().trace_id, 42u);
+    EXPECT_EQ(obs::current_context().parent_id, 7u);
+    {
+      obs::TraceScope inner(43, 42);
+      EXPECT_EQ(obs::current_context().trace_id, 43u);
+    }
+    EXPECT_EQ(obs::current_context().trace_id, 42u);  // restored
+  }
+  EXPECT_EQ(obs::current_context().trace_id, 0u);
+}
+
+TEST(ObsTrace, RootScopeStartsOnlyWhenUntraced) {
+  obs::set_enabled(true);
+  {
+    obs::TraceScope root(obs::TraceScope::kRoot);
+    const std::uint64_t started = obs::current_context().trace_id;
+    EXPECT_NE(started, 0u);
+    {
+      // A nested root INHERITS instead of fragmenting the trace.
+      obs::TraceScope nested(obs::TraceScope::kRoot);
+      EXPECT_EQ(obs::current_context().trace_id, started);
+    }
+  }
+  EXPECT_EQ(obs::current_context().trace_id, 0u);
+}
+
+TEST(ObsTrace, RootScopeAllocatesNothingWhenRuntimeDisabled) {
+  obs::set_enabled(false);
+  {
+    obs::TraceScope root(obs::TraceScope::kRoot);
+    EXPECT_EQ(obs::current_context().trace_id, 0u);
+  }
+  obs::set_enabled(true);
+}
+
+TEST(ObsTrace, ThreadIdsAreDenseAndDistinctAcrossThreads) {
+  const std::uint32_t mine = obs::current_thread_id();
+  EXPECT_NE(mine, 0u);
+  EXPECT_EQ(obs::current_thread_id(), mine);  // cached, stable
+  std::uint32_t other = 0;
+  std::thread([&other] { other = obs::current_thread_id(); }).join();
+  EXPECT_NE(other, 0u);
+  EXPECT_NE(other, mine);
+}
+
+TEST(ObsTrace, LiveSpanStampsCurrentContextIntoTheSink) {
+  obs::set_enabled(true);
+  obs::SpanTrace trace(8);
+  obs::set_trace(&trace);
+  {
+    obs::TraceScope scope(77, 11);
+    obs::LiveSpan span(Phase::kAudit);
+  }
+  {
+    obs::LiveSpan span(Phase::kAudit);  // untraced: ids stay zero
+  }
+  obs::set_trace(nullptr);
+  const auto spans = trace.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].trace_id, 77u);
+  EXPECT_EQ(spans[0].parent_id, 11u);
+  EXPECT_EQ(spans[0].thread_id, obs::current_thread_id());
+  EXPECT_EQ(spans[1].trace_id, 0u);
+  EXPECT_EQ(spans[1].parent_id, 0u);
+}
+
+TEST(ObsTrace, CompiledRouteSharesOneTraceAcrossItsPhases) {
+#if !BNB_OBS_COMPILED
+  GTEST_SKIP() << "BNB_OBS_OFF: engine spans (and their trace ids) are "
+                  "compiled out";
+#else
+  // A CompiledBnb::route opens a root trace; the solve/apply work inside
+  // shares it, and two routes get two different ids.
+  obs::set_enabled(true);
+  obs::SpanTrace trace(64);
+  obs::set_trace(&trace);
+  const CompiledBnb engine(3);
+  RouteScratch scratch;
+  Rng rng(23);
+  (void)engine.route(random_perm(engine.inputs(), rng), scratch);
+  (void)engine.route(random_perm(engine.inputs(), rng), scratch);
+  obs::set_trace(nullptr);
+  const auto spans = trace.snapshot();
+  std::vector<std::uint64_t> route_ids;
+  for (const auto& span : spans) {
+    if (span.phase == Phase::kRoute && span.trace_id != 0) {
+      route_ids.push_back(span.trace_id);
+    }
+  }
+  ASSERT_EQ(route_ids.size(), 2u);
+  EXPECT_NE(route_ids[0], route_ids[1]);
+#endif
+}
+
+// ---- telemetry sampler ------------------------------------------------
+
+TEST(ObsSampler, FirstSampleIsBaselineThenDeltas) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("s_events_total");
+  Histogram& h = reg.histogram("s_lat_ns");
+  obs::TelemetrySampler::Options options;
+  options.registry = &reg;
+  obs::TelemetrySampler sampler(options);
+
+  c.inc(5);
+  EXPECT_FALSE(sampler.sample_now());  // baseline: no interval pushed
+  EXPECT_TRUE(sampler.intervals().empty());
+
+  c.inc(10);
+  h.record(100);
+  h.record(200);
+  EXPECT_TRUE(sampler.sample_now());
+  auto intervals = sampler.intervals();
+  ASSERT_EQ(intervals.size(), 1u);
+  ASSERT_EQ(intervals[0].counters.size(), 1u);
+  EXPECT_EQ(intervals[0].counters[0].name, "s_events_total");
+  EXPECT_EQ(intervals[0].counters[0].delta, 10u);  // NOT the 15 total
+  EXPECT_GT(intervals[0].counters[0].rate_per_sec, 0.0);
+  ASSERT_EQ(intervals[0].histograms.size(), 1u);
+  EXPECT_EQ(intervals[0].histograms[0].count, 2u);
+  EXPECT_EQ(intervals[0].histograms[0].sum, 300u);
+  EXPECT_GT(intervals[0].histograms[0].p50, 0.0);
+  EXPECT_LE(intervals[0].histograms[0].p99, 256.0);  // bucket bound of 200
+
+  // A quiet interval reports no counter/histogram movement.
+  EXPECT_TRUE(sampler.sample_now());
+  intervals = sampler.intervals();
+  ASSERT_EQ(intervals.size(), 2u);
+  EXPECT_TRUE(intervals[1].counters.empty());
+  EXPECT_TRUE(intervals[1].histograms.empty());
+}
+
+TEST(ObsSampler, RingIsBoundedAndCountsEvictions) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("s_total");
+  obs::TelemetrySampler::Options options;
+  options.registry = &reg;
+  options.capacity = 3;
+  obs::TelemetrySampler sampler(options);
+  (void)sampler.sample_now();  // baseline
+  for (int i = 0; i < 5; ++i) {
+    c.inc();
+    (void)sampler.sample_now();
+  }
+  EXPECT_EQ(sampler.intervals().size(), 3u);
+  EXPECT_EQ(sampler.dropped_intervals(), 2u);
+}
+
+TEST(ObsSampler, ToJsonCarriesSchemaAndSeries) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("s_requests_total");
+  reg.gauge("s_depth").set(9);
+  obs::TelemetrySampler::Options options;
+  options.registry = &reg;
+  options.interval_ms = 50;
+  obs::TelemetrySampler sampler(options);
+  (void)sampler.sample_now();
+  c.inc(4);
+  (void)sampler.sample_now();
+  const std::string json = sampler.to_json();
+  EXPECT_NE(json.find("\"schema\": \"bnb.timeseries.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"interval_ms\": 50"), std::string::npos);
+  EXPECT_NE(json.find("\"s_requests_total\": {\"delta\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"s_depth\": 9"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_intervals\": 0"), std::string::npos);
+
+  // Empty sampler: still a valid envelope.
+  obs::TelemetrySampler empty(options);
+  EXPECT_NE(empty.to_json().find("\"intervals\": []"), std::string::npos);
+}
+
+TEST(ObsSampler, BackgroundThreadSamplesAndStopsPromptly) {
+  // Runs under the tsan preset: the sampler thread races the recording
+  // threads below by design.
+  MetricsRegistry reg;
+  Counter& c = reg.counter("s_bg_total");
+  Histogram& h = reg.histogram("s_bg_lat_ns");
+  obs::TelemetrySampler::Options options;
+  options.registry = &reg;
+  options.interval_ms = 5;
+  obs::TelemetrySampler sampler(options);
+  sampler.start();
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < 20000; ++i) {
+        c.inc();
+        h.record(static_cast<std::uint64_t>(i & 511));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  sampler.stop();  // joins + takes the flush sample
+  const auto intervals = sampler.intervals();
+  ASSERT_FALSE(intervals.empty());
+  std::uint64_t total = 0;
+  for (const auto& interval : intervals) {
+    for (const auto& counter : interval.counters) {
+      if (counter.name == "s_bg_total") total += counter.delta;
+    }
+  }
+  // Quiescent at stop(): the interval deltas reassemble the exact total.
+  EXPECT_EQ(total, 40000u);
+  // start() again after stop() works (baseline resets are not required --
+  // the previous baseline carries forward, so no interval is lost).
+  sampler.start();
+  sampler.stop();
 }
 
 TEST(Obs, TraceConcurrentRecordIsLossyButRaceFree) {
@@ -408,20 +703,106 @@ TEST(ObsExport, JsonHistogramCarriesCumulativeBuckets) {
 
 TEST(ObsExport, TraceJson) {
   obs::SpanRecord records[2];
-  records[0] = {Phase::kSolve, 100, 50};
-  records[1] = {Phase::kApply, 150, 25};
-  const std::string json = obs::trace_to_json(records);
+  records[0] = {Phase::kSolve, 100, 50, 7, 3, 1};
+  records[1] = {Phase::kApply, 150, 25, 7, 3, 2};
+  const std::string json = obs::trace_to_json(records, /*dropped_total=*/4);
   const std::string expected =
       "{\n"
-      "  \"schema\": \"bnb.trace.v1\",\n"
+      "  \"schema\": \"bnb.trace.v2\",\n"
+      "  \"dropped_total\": 4,\n"
       "  \"spans\": [\n"
-      "    {\"phase\": \"solve\", \"start_ns\": 100, \"duration_ns\": 50},\n"
-      "    {\"phase\": \"apply\", \"start_ns\": 150, \"duration_ns\": 25}\n"
+      "    {\"phase\": \"solve\", \"start_ns\": 100, \"duration_ns\": 50, "
+      "\"trace_id\": 7, \"parent_id\": 3, \"thread_id\": 1},\n"
+      "    {\"phase\": \"apply\", \"start_ns\": 150, \"duration_ns\": 25, "
+      "\"trace_id\": 7, \"parent_id\": 3, \"thread_id\": 2}\n"
       "  ]\n"
       "}\n";
   EXPECT_EQ(json, expected);
   EXPECT_EQ(obs::trace_to_json({}),
-            "{\n  \"schema\": \"bnb.trace.v1\",\n  \"spans\": []\n}\n");
+            "{\n  \"schema\": \"bnb.trace.v2\",\n  \"dropped_total\": 0,\n"
+            "  \"spans\": []\n}\n");
+}
+
+TEST(ObsExport, ChromeTraceGolden) {
+  obs::SpanRecord records[2];
+  records[0] = {Phase::kSolve, 1000, 500, 7, 3, 1};
+  records[1] = {Phase::kApply, 2000, 250, 7, 3, 2};
+  const std::string json = obs::trace_to_chrome(records);
+  // Envelope + metadata.
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"process_name\", \"ph\": \"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"name\": \"bnb-thread-1\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"name\": \"bnb-thread-2\"}"), std::string::npos);
+  // Complete events in microseconds, causal ids in args.
+  EXPECT_NE(json.find("\"name\": \"solve\", \"cat\": \"bnb\", \"ph\": \"X\", "
+                      "\"ts\": 1.000, \"dur\": 0.500, \"pid\": 1, \"tid\": 1, "
+                      "\"args\": {\"trace_id\": 7, \"parent_id\": 3}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"apply\", \"cat\": \"bnb\", \"ph\": \"X\", "
+                      "\"ts\": 2.000, \"dur\": 0.250, \"pid\": 1, \"tid\": 2, "
+                      "\"args\": {\"trace_id\": 7, \"parent_id\": 3}"),
+            std::string::npos);
+  // Trace 7 crosses two threads: flow start leaves the solve at its end
+  // (1.5 us) and finishes on the apply's start.
+  EXPECT_NE(json.find("\"ph\": \"s\", \"id\": 7, \"ts\": 1.500, \"pid\": 1, "
+                      "\"tid\": 1"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"f\", \"id\": 7, \"ts\": 2.000, \"pid\": 1, "
+                      "\"tid\": 2, \"bp\": \"e\""),
+            std::string::npos);
+}
+
+TEST(ObsExport, ChromeTraceEmptyAndSingleThreadEdges) {
+  // Empty span list: a valid envelope with only the process metadata.
+  const std::string empty = obs::trace_to_chrome({});
+  EXPECT_NE(empty.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(empty.find("process_name"), std::string::npos);
+  EXPECT_EQ(empty.find("\"ph\": \"X\""), std::string::npos);
+
+  // A single-thread trace gets NO flow events (nothing to stitch), and an
+  // untraced span (trace_id 0) never participates in flows.
+  obs::SpanRecord records[3];
+  records[0] = {Phase::kSolve, 100, 10, 5, 0, 1};
+  records[1] = {Phase::kApply, 200, 10, 5, 0, 1};
+  records[2] = {Phase::kRoute, 300, 10, 0, 0, 2};
+  const std::string json = obs::trace_to_chrome(records);
+  EXPECT_EQ(json.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\": \"f\""), std::string::npos);
+}
+
+TEST(ObsExport, ChromeTraceFromWrappedRing) {
+  // A ring-wrapped snapshot (oldest spans overwritten) still exports: the
+  // retained suffix appears, the dropped count reports the loss.
+  obs::SpanTrace trace(4);
+  for (std::uint64_t i = 0; i < 9; ++i) {
+    trace.record(Phase::kSolve, 100 * i, 10, i + 1, 0,
+                 static_cast<std::uint32_t>(1 + (i & 1)));
+  }
+  EXPECT_EQ(trace.dropped(), 5u);
+  const auto spans = trace.snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  const std::string json = obs::trace_to_chrome(spans);
+  // Oldest retained span is i=5 (ts 500 ns = 0.5 us).
+  EXPECT_NE(json.find("\"ts\": 0.500"), std::string::npos);
+  const std::string v2 = obs::trace_to_json(spans, trace.dropped());
+  EXPECT_NE(v2.find("\"dropped_total\": 5"), std::string::npos);
+}
+
+TEST(ObsExport, JsonStringEscapingInPhaseNames) {
+  // The exporters escape event names; to_string today returns plain
+  // identifiers, so drive the escaper through a record whose name passes
+  // the same path (every phase name must round-trip unchanged).
+  for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
+    obs::SpanRecord record{static_cast<Phase>(p), 1, 1, 1, 0, 1};
+    const std::string json = obs::trace_to_chrome({&record, 1});
+    const std::string name = obs::to_string(static_cast<Phase>(p));
+    EXPECT_NE(json.find("\"name\": \"" + name + "\""), std::string::npos) << name;
+    // No raw control characters, quotes, or backslashes leaked into the
+    // emitted event names.
+    EXPECT_EQ(name.find('"'), std::string::npos);
+    EXPECT_EQ(name.find('\\'), std::string::npos);
+  }
 }
 
 TEST(ObsExport, EveryMetricRoundTripsThroughBothExporters) {

@@ -11,7 +11,9 @@
 #include <chrono>
 #include <cstdint>
 #include <exception>
+#include <map>
 #include <memory>
+#include <set>
 #include <span>
 #include <thread>
 #include <vector>
@@ -20,6 +22,8 @@
 #include "core/compiled_bnb.hpp"
 #include "core/schedule_cache.hpp"
 #include "fabric/stream_engine.hpp"
+#include "obs/span.hpp"
+#include "obs/trace_context.hpp"
 #include "perm/generators.hpp"
 
 namespace {
@@ -418,6 +422,114 @@ TEST(StreamEngine, DestructorDuringStreamCancelsAndJoins) {
     runner.join();
     EXPECT_TRUE(cancelled_seen.load()) << "threads=" << threads;
   }
+}
+
+TEST(StreamEngine, PipelinedItemsShareOneTraceAcrossTheHandoff) {
+#if !BNB_OBS_COMPILED
+  GTEST_SKIP() << "BNB_OBS_OFF: spans and trace ids are compiled out";
+#else
+  // The acceptance shape of the causal-tracing work: every pipelined
+  // stream item must retire a solve, a queue-wait, and an apply span under
+  // ONE trace id, parented to the run's trace, with the solve and apply on
+  // different threads (the id rode the SPSC ring, not thread-local state).
+  const unsigned m = 12;  // general lane: solves go through kSolve spans
+  const CompiledBnb plan(m);
+  const auto pool = random_pool(m, 12, 0x57E0C);
+
+  obs::set_enabled(true);
+  obs::SpanTrace trace(4096);
+  obs::set_trace(&trace);
+  StreamEngine::Options options;
+  options.threads = 2;
+  options.ring_depth = 4;
+  const StreamEngine engine(plan, options);
+  const auto result = engine.run(pool);
+  obs::set_trace(nullptr);
+  EXPECT_TRUE(result.stats.all_self_routed);
+
+  const auto spans = trace.snapshot();
+  EXPECT_EQ(trace.dropped(), 0u);
+
+  // The run span carries the root trace id every item is parented to.
+  std::uint64_t run_id = 0;
+  for (const auto& span : spans) {
+    if (span.phase == obs::Phase::kStreamRun) run_id = span.trace_id;
+  }
+  ASSERT_NE(run_id, 0u);
+
+  struct PerItem {
+    int solves = 0;
+    int waits = 0;
+    int applies = 0;
+    std::uint32_t solve_tid = 0;
+    std::uint32_t apply_tid = 0;
+  };
+  std::map<std::uint64_t, PerItem> items;
+  for (const auto& span : spans) {
+    if (span.trace_id == 0 || span.trace_id == run_id) continue;
+    EXPECT_EQ(span.parent_id, run_id) << "item spans parent to the run";
+    PerItem& item = items[span.trace_id];
+    switch (span.phase) {
+      case obs::Phase::kSolve:
+        ++item.solves;
+        item.solve_tid = span.thread_id;
+        break;
+      case obs::Phase::kQueueWait:
+        ++item.waits;
+        break;
+      case obs::Phase::kApply:
+        ++item.applies;
+        item.apply_tid = span.thread_id;
+        break;
+      default:
+        break;
+    }
+  }
+  ASSERT_EQ(items.size(), pool.size());
+  for (const auto& [trace_id, item] : items) {
+    EXPECT_EQ(item.solves, 1) << "trace " << trace_id;
+    EXPECT_EQ(item.waits, 1) << "trace " << trace_id;
+    EXPECT_EQ(item.applies, 1) << "trace " << trace_id;
+    EXPECT_NE(item.solve_tid, item.apply_tid)
+        << "solve and apply must land on the two pipeline threads";
+  }
+  // The queue-wait histogram saw every item.
+  EXPECT_GE(obs::phase_histogram(obs::Phase::kQueueWait).total_count(), pool.size());
+#endif
+}
+
+TEST(StreamEngine, InlineItemsGetPerItemTracesWithoutQueueWaits) {
+#if !BNB_OBS_COMPILED
+  GTEST_SKIP() << "BNB_OBS_OFF: spans and trace ids are compiled out";
+#else
+  const unsigned m = 4;
+  const CompiledBnb plan(m);
+  const auto pool = random_pool(m, 6, 0x57E0D);
+  obs::set_enabled(true);
+  obs::SpanTrace trace(1024);
+  obs::set_trace(&trace);
+  StreamEngine::Options options;
+  options.threads = 1;
+  const StreamEngine engine(plan, options);
+  (void)engine.run(pool);
+  obs::set_trace(nullptr);
+
+  std::uint64_t run_id = 0;
+  std::set<std::uint64_t> item_ids;
+  bool saw_queue_wait = false;
+  for (const auto& span : trace.snapshot()) {
+    if (span.phase == obs::Phase::kStreamRun) run_id = span.trace_id;
+    if (span.phase == obs::Phase::kQueueWait) saw_queue_wait = true;
+    if (span.trace_id != 0 && span.phase == obs::Phase::kSmallApply) {
+      item_ids.insert(span.trace_id);
+    }
+  }
+  ASSERT_NE(run_id, 0u);
+  // m=4 streams take the small lane: one apply_small span per item, each
+  // under its own child trace.  No ring, no queue-wait pseudo-spans.
+  EXPECT_EQ(item_ids.size(), pool.size());
+  EXPECT_FALSE(saw_queue_wait);
+#endif
 }
 
 TEST(StreamEngine, SharedCacheAcrossEnginesAndRuns) {
